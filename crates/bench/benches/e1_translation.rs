@@ -1,0 +1,47 @@
+//! Experiment E1/E2 — Figures 1–6: parsing the medical schema, translating
+//! it to first-order logic and to SL/QL.
+//!
+//! The paper reports no timings for these steps; the bench documents that
+//! the whole front end is far cheaper than a single query evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use subq::dl::{fol, parse_model, samples, validate_model};
+use subq::translate::translate_model;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_translation");
+    group.sample_size(30);
+
+    group.bench_function("parse_medical_schema", |b| {
+        b.iter(|| parse_model(black_box(samples::MEDICAL_SOURCE)).expect("parses"))
+    });
+
+    let model = samples::medical_model();
+    group.bench_function("validate_medical_schema", |b| {
+        b.iter(|| validate_model(black_box(&model)))
+    });
+
+    group.bench_function("figure2_first_order_translation", |b| {
+        b.iter(|| fol::model_axioms(black_box(&model)))
+    });
+
+    group.bench_function("figure4_query_formulas", |b| {
+        b.iter(|| {
+            model
+                .queries
+                .iter()
+                .map(fol::query_formula)
+                .map(|f| f.size())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("figure6_structural_translation", |b| {
+        b.iter(|| translate_model(black_box(&model)).expect("translates"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment E3 — Figure 11: the subsumption check of the paper's worked
+//! example (QueryPatient against ViewPatient under the medical schema), in
+//! both directions and with/without trace recording.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subq::calculus::SubsumptionChecker;
+use subq::dl::samples;
+use subq::translate::translate_model;
+
+fn bench_paper_example(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_paper_example");
+    group.sample_size(50);
+
+    let model = samples::medical_model();
+
+    group.bench_function("query_subsumed_by_view", |b| {
+        b.iter_batched(
+            || translate_model(&model).expect("translates"),
+            |mut translated| {
+                let query = translated.query_concept("QueryPatient").expect("present");
+                let view = translated.query_concept("ViewPatient").expect("present");
+                let checker = SubsumptionChecker::new(&translated.schema);
+                assert!(checker.subsumes(&mut translated.arena, query, view));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("view_not_subsumed_by_query", |b| {
+        b.iter_batched(
+            || translate_model(&model).expect("translates"),
+            |mut translated| {
+                let query = translated.query_concept("QueryPatient").expect("present");
+                let view = translated.query_concept("ViewPatient").expect("present");
+                let checker = SubsumptionChecker::new(&translated.schema);
+                assert!(!checker.subsumes(&mut translated.arena, view, query));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("with_figure11_trace", |b| {
+        b.iter_batched(
+            || translate_model(&model).expect("translates"),
+            |mut translated| {
+                let query = translated.query_concept("QueryPatient").expect("present");
+                let view = translated.query_concept("ViewPatient").expect("present");
+                let checker = SubsumptionChecker::new(&translated.schema);
+                let outcome = checker.check_with_trace(&mut translated.arena, query, view);
+                assert!(outcome.subsumed());
+                outcome.trace.map(|t| t.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_example);
+criterion_main!(benches);

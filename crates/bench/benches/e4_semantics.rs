@@ -1,0 +1,65 @@
+//! Experiment E4 — Table 1: evaluating concepts under the set semantics and
+//! under the transformational (first-order) semantics over finite
+//! interpretations. The two must agree (checked) and the bench records the
+//! cost of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subq::concepts::fol::concept_holds_at;
+use subq::concepts::{Element, Interpretation};
+use subq::workload::{random_concept, RandomConceptParams};
+
+fn build_interpretation(env: &subq::workload::random::RandomEnv, size: u32) -> Interpretation {
+    // A deterministic ring-shaped interpretation: element i is in class
+    // K_{i mod classes} and attribute r_j connects i to i+j+1 (mod size).
+    let mut interp = Interpretation::new(size);
+    let classes: Vec<_> = env.vocabulary.classes().collect();
+    let attrs: Vec<_> = env.vocabulary.attributes().collect();
+    for i in 0..size {
+        interp.add_class_member(classes[(i as usize) % classes.len()], Element(i));
+        for (j, attr) in attrs.iter().enumerate() {
+            let to = (i + j as u32 + 1) % size;
+            interp.add_attr_pair(*attr, Element(i), Element(to));
+        }
+    }
+    for (k, constant) in env.vocabulary.constants().enumerate() {
+        interp.set_constant(constant, Element(k as u32 % size));
+    }
+    interp
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_semantics");
+    group.sample_size(20);
+
+    let params = RandomConceptParams::default();
+    for &domain in &[4u32, 8, 16] {
+        let (env, concept) = random_concept(11, params);
+        let interp = build_interpretation(&env, domain);
+
+        // Cross-check once outside the measurement loop.
+        for e in interp.domain() {
+            assert_eq!(
+                interp.satisfies_concept(&env.arena, concept, e),
+                concept_holds_at(&env.arena, &interp, concept, e),
+                "Table 1 agreement violated"
+            );
+        }
+
+        group.bench_function(format!("set_semantics/domain_{domain}"), |b| {
+            b.iter(|| interp.eval_concept(&env.arena, concept))
+        });
+        group.bench_function(format!("fol_semantics/domain_{domain}"), |b| {
+            b.iter(|| {
+                interp
+                    .domain()
+                    .filter(|&e| concept_holds_at(&env.arena, &interp, concept, e))
+                    .count()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_semantics);
+criterion_main!(benches);

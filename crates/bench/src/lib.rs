@@ -1,0 +1,44 @@
+//! Shared helpers for the experiment harness (benches and the table
+//! binaries under `src/bin`).
+//!
+//! Each experiment (E1–E8, see DESIGN.md) has a Criterion bench measuring
+//! wall-clock time and, where the paper's claim is about growth rates, a
+//! binary that prints the corresponding table of counters (individuals,
+//! rule applications, branches, valuations, candidates examined) so the
+//! shape can be compared with the paper's statements without relying on
+//! absolute timings.
+
+use subq::calculus::{CompletionStats, SubsumptionChecker};
+use subq::workload::ScalingInstance;
+
+/// Runs a scaling instance through the checker and returns whether it was
+/// subsumed together with the completion statistics.
+pub fn run_instance(instance: &mut ScalingInstance) -> (bool, CompletionStats) {
+    let checker = SubsumptionChecker::new(&instance.schema);
+    let outcome = checker.check(&mut instance.arena, instance.query, instance.view);
+    (outcome.subsumed(), outcome.stats)
+}
+
+/// Formats one row of a markdown-style table.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq::workload::scaling::path_depth_instance;
+
+    #[test]
+    fn run_instance_reports_subsumption_and_stats() {
+        let mut instance = path_depth_instance(3);
+        let (subsumed, stats) = run_instance(&mut instance);
+        assert!(subsumed);
+        assert!(stats.rule_applications > 0);
+    }
+
+    #[test]
+    fn row_formats_markdown() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+}

@@ -1,0 +1,256 @@
+//! The canonical interpretation of a completed fact set (Section 4.2).
+//!
+//! For a clash-free complete pair `F : G`, the canonical interpretation
+//! `I_F` is a Σ-model of `F` (Proposition 4.5). Its domain consists of the
+//! individuals occurring in `F` plus one extra element `u` that serves as a
+//! universal filler for necessary attributes whose witnesses were never
+//! materialized (the schema rules only create fillers that a goal asks
+//! for). The construction is:
+//!
+//! * `A^I  = { s | s : A ∈ F } ∪ { u }`
+//! * `P^I  = { (s, t) | s P t ∈ F } ∪ { (u, u) }
+//!          ∪ { (s, u) | s has no P-filler in F, but s : A ∈ F and A ⊑ ∃P ∈ Σ }`
+//! * every constant denotes itself.
+//!
+//! The module materializes `I_F` as a [`subq_concepts::Interpretation`] so
+//! the soundness statements of the paper can be executed as tests: the
+//! canonical interpretation of a clash-free completion satisfies the schema
+//! and makes the root an instance of the query concept.
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::ind::Ind;
+use std::collections::{HashMap, HashSet};
+use subq_concepts::interpretation::{Element, Interpretation};
+use subq_concepts::schema::{Schema, SchemaAxiom};
+use subq_concepts::term::{Concept, TermArena};
+
+/// The canonical interpretation together with the mapping from individuals
+/// to domain elements.
+#[derive(Clone, Debug)]
+pub struct CanonicalModel {
+    /// The interpretation `I_F`.
+    pub interpretation: Interpretation,
+    /// The element representing each individual of the fact set.
+    pub element_of: HashMap<Ind, Element>,
+    /// The universal filler element `u`.
+    pub universal: Element,
+}
+
+impl CanonicalModel {
+    /// Builds the canonical interpretation of a (complete) fact set.
+    pub fn build(facts: &ConstraintSet, schema: &Schema, arena: &TermArena) -> CanonicalModel {
+        let mut interpretation = Interpretation::new(0);
+        let mut element_of: HashMap<Ind, Element> = HashMap::new();
+
+        // Assign elements to individuals in a deterministic order.
+        let mut individuals: Vec<Ind> = facts.individuals().into_iter().collect();
+        individuals.sort();
+        for ind in &individuals {
+            let element = interpretation.add_element();
+            element_of.insert(*ind, element);
+            if let Ind::Const(c) = ind {
+                interpretation.set_constant(*c, element);
+            }
+        }
+        let universal = interpretation.add_element();
+
+        // Primitive memberships and attribute fillers.
+        let mut class_ids: HashSet<subq_concepts::symbol::ClassId> = HashSet::new();
+        let mut attr_ids: HashSet<subq_concepts::symbol::AttrId> = HashSet::new();
+        for constraint in facts.iter() {
+            match *constraint {
+                Constraint::Member(s, concept) => {
+                    if let Concept::Prim(class) = arena.concept(concept) {
+                        class_ids.insert(class);
+                        interpretation.add_class_member(class, element_of[&s]);
+                    }
+                }
+                Constraint::Filler(s, attr, t) => {
+                    if attr.is_primitive() {
+                        let p = attr.base();
+                        attr_ids.insert(p);
+                        interpretation.add_attr_pair(p, element_of[&s], element_of[&t]);
+                    }
+                }
+                Constraint::PathRel(..) => {}
+            }
+        }
+
+        // Attributes mentioned only in the schema still need their (u, u)
+        // loop so that necessary-attribute axioms hold at u.
+        for axiom in schema.axioms() {
+            match *axiom {
+                SchemaAxiom::Inclusion(_, subq_concepts::schema::SlConcept::All(p, _))
+                | SchemaAxiom::Inclusion(_, subq_concepts::schema::SlConcept::Exists(p))
+                | SchemaAxiom::Inclusion(_, subq_concepts::schema::SlConcept::AtMostOne(p))
+                | SchemaAxiom::AttrTyping(p, _, _) => {
+                    attr_ids.insert(p);
+                }
+                SchemaAxiom::Inclusion(_, subq_concepts::schema::SlConcept::Prim(_)) => {}
+            }
+        }
+        for class in schema.axioms().iter().flat_map(|axiom| match *axiom {
+            SchemaAxiom::Inclusion(a, rhs) => {
+                let mut v = vec![a];
+                if let subq_concepts::schema::SlConcept::Prim(b)
+                | subq_concepts::schema::SlConcept::All(_, b) = rhs
+                {
+                    v.push(b);
+                }
+                v
+            }
+            SchemaAxiom::AttrTyping(_, dom, rng) => vec![dom, rng],
+        }) {
+            class_ids.insert(class);
+        }
+
+        // u belongs to every primitive concept and every attribute loops on
+        // it.
+        for class in &class_ids {
+            interpretation.add_class_member(*class, universal);
+        }
+        for attr in &attr_ids {
+            interpretation.add_attr_pair(*attr, universal, universal);
+        }
+
+        // Missing necessary fillers point to u.
+        for ind in &individuals {
+            let classes: Vec<_> = facts
+                .concepts_of(*ind)
+                .filter_map(|c| match arena.concept(c) {
+                    Concept::Prim(class) => Some(class),
+                    _ => None,
+                })
+                .collect();
+            for class in classes {
+                for attr in schema.necessary_attrs_of(class) {
+                    let has_filler = facts
+                        .has_any_filler_via(*ind, subq_concepts::attribute::Attr::primitive(attr));
+                    if !has_filler {
+                        interpretation.add_attr_pair(attr, element_of[ind], universal);
+                    }
+                }
+            }
+        }
+
+        CanonicalModel {
+            interpretation,
+            element_of,
+            universal,
+        }
+    }
+
+    /// The element of an individual, if it occurs in the fact set.
+    pub fn element(&self, ind: Ind) -> Option<Element> {
+        self.element_of.get(&ind).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Completion;
+    use subq_concepts::attribute::Attr;
+    use subq_concepts::symbol::Vocabulary;
+
+    /// The canonical interpretation of a clash-free completion is a model
+    /// of the schema and makes the root an instance of the query
+    /// (Proposition 4.5 plus Corollary 4.3, executed).
+    #[test]
+    fn canonical_model_satisfies_schema_and_query() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let person = voc.class("Person");
+        let disease = voc.class("Disease");
+        let string = voc.class("String");
+        let suffers = voc.attribute("suffers");
+        let name = voc.attribute("name");
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        schema.add_necessary(patient, suffers);
+        schema.add_value_restriction(patient, suffers, disease);
+        schema.add_necessary(person, name);
+        schema.add_value_restriction(person, name, string);
+        schema.add_functional(person, name);
+
+        let mut arena = TermArena::new();
+        let patient_c = arena.prim(patient);
+        let string_c = arena.prim(string);
+        let view_path = arena.path1(Attr::primitive(name), string_c);
+        let view = arena.exists(view_path);
+
+        let mut completion = Completion::new(&mut arena, &schema, patient_c, view, false);
+        completion.run();
+        assert!(completion.find_clash().is_none());
+
+        let model = CanonicalModel::build(completion.facts(), &schema, completion.arena());
+        assert!(model.interpretation.satisfies_schema(&schema));
+        let root = model.element(Ind::ROOT).expect("root individual exists");
+        assert!(model
+            .interpretation
+            .satisfies_concept(completion.arena(), patient_c, root));
+        // Since the subsumption holds, the root is also in the view's
+        // extension.
+        assert!(model
+            .interpretation
+            .satisfies_concept(completion.arena(), view, root));
+    }
+
+    /// When the subsumption fails, the canonical interpretation is the
+    /// counter-model: the root satisfies the query but not the view.
+    #[test]
+    fn canonical_model_is_a_counterexample_when_not_subsumed() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let doctor = voc.class("Doctor");
+        let consults = voc.attribute("consults");
+        let schema = Schema::new();
+
+        let mut arena = TermArena::new();
+        let patient_c = arena.prim(patient);
+        let doctor_c = arena.prim(doctor);
+        let path = arena.path1(Attr::primitive(consults), doctor_c);
+        let view = arena.exists(path);
+
+        let mut completion = Completion::new(&mut arena, &schema, patient_c, view, false);
+        completion.run();
+        assert!(!completion.view_fact_derived());
+        assert!(completion.find_clash().is_none());
+
+        let model = CanonicalModel::build(completion.facts(), &schema, completion.arena());
+        let root = model.element(Ind::ROOT).expect("root exists");
+        assert!(model
+            .interpretation
+            .satisfies_concept(completion.arena(), patient_c, root));
+        assert!(!model
+            .interpretation
+            .satisfies_concept(completion.arena(), view, root));
+    }
+
+    /// Constants denote themselves in the canonical interpretation.
+    #[test]
+    fn constants_denote_themselves() {
+        let mut voc = Vocabulary::new();
+        let drug = voc.class("Drug");
+        let takes = voc.attribute("takes");
+        let aspirin = voc.constant("Aspirin");
+        let schema = Schema::new();
+
+        let mut arena = TermArena::new();
+        let aspirin_c = arena.singleton(aspirin);
+        let drug_c = arena.prim(drug);
+        let restricted = arena.and(drug_c, aspirin_c);
+        let path = arena.path1(Attr::primitive(takes), restricted);
+        let query = arena.exists(path);
+        let top = arena.top();
+
+        let mut completion = Completion::new(&mut arena, &schema, query, top, false);
+        completion.run();
+        let model = CanonicalModel::build(completion.facts(), &schema, completion.arena());
+        let elem = model
+            .element(Ind::Const(aspirin))
+            .expect("constant occurs in the facts after D3");
+        assert_eq!(model.interpretation.constant(aspirin), Some(elem));
+        assert!(model.interpretation.respects_unique_names());
+    }
+}

@@ -1,0 +1,358 @@
+//! The public subsumption checking API.
+//!
+//! [`SubsumptionChecker`] wraps the completion engine into the decision
+//! procedure of Theorem 4.7: `C ⊑_Σ D` iff the completed facts contain
+//! `o : D` or a clash. It normalizes path agreements first, runs the
+//! completion, and reports the verdict together with statistics and (on
+//! request) the full derivation trace.
+
+use crate::engine::{Completion, CompletionStats};
+use crate::trace::DerivationTrace;
+use subq_concepts::normalize::normalize_concept;
+use subq_concepts::schema::Schema;
+use subq_concepts::term::{ConceptId, TermArena};
+
+/// How a subsumption was established (or refuted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubsumptionVerdict {
+    /// The completed facts contain the constraint `o : D`.
+    SubsumedByFact,
+    /// The completed facts contain a clash, so the query is unsatisfiable
+    /// with respect to Σ and therefore subsumed by every concept.
+    SubsumedByClash,
+    /// Neither holds: the canonical interpretation is a counter-model.
+    NotSubsumed,
+}
+
+impl SubsumptionVerdict {
+    /// Whether the verdict means the subsumption holds.
+    pub fn holds(self) -> bool {
+        !matches!(self, SubsumptionVerdict::NotSubsumed)
+    }
+}
+
+/// The result of a subsumption check.
+#[derive(Clone, Debug)]
+pub struct SubsumptionOutcome {
+    /// The verdict.
+    pub verdict: SubsumptionVerdict,
+    /// Statistics of the completion run.
+    pub stats: CompletionStats,
+    /// The normalized query concept that was actually checked.
+    pub normalized_query: ConceptId,
+    /// The normalized view concept that was actually checked.
+    pub normalized_view: ConceptId,
+    /// The derivation trace, when requested.
+    pub trace: Option<DerivationTrace>,
+}
+
+impl SubsumptionOutcome {
+    /// Whether the subsumption holds.
+    pub fn subsumed(&self) -> bool {
+        self.verdict.holds()
+    }
+
+    /// Whether the subsumption was established through a clash
+    /// (unsatisfiable query).
+    pub fn via_clash(&self) -> bool {
+        self.verdict == SubsumptionVerdict::SubsumedByClash
+    }
+}
+
+/// A Σ-subsumption checker for QL concepts.
+///
+/// The checker is cheap to construct and borrows the schema; one checker
+/// can serve many queries against many views, which is exactly the usage
+/// pattern of the query optimizer described in the paper (test each
+/// incoming query against every materialized view).
+#[derive(Clone, Copy, Debug)]
+pub struct SubsumptionChecker<'a> {
+    schema: &'a Schema,
+}
+
+impl<'a> SubsumptionChecker<'a> {
+    /// Creates a checker for the given schema.
+    pub fn new(schema: &'a Schema) -> Self {
+        SubsumptionChecker { schema }
+    }
+
+    /// The schema this checker reasons with respect to.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// Decides `sub ⊑_Σ sup`.
+    pub fn subsumes(&self, arena: &mut TermArena, sub: ConceptId, sup: ConceptId) -> bool {
+        self.run(arena, sub, sup, false).subsumed()
+    }
+
+    /// Decides `sub ⊑_Σ sup` and returns the full outcome (verdict,
+    /// statistics, normalized concepts).
+    pub fn check(&self, arena: &mut TermArena, sub: ConceptId, sup: ConceptId) -> SubsumptionOutcome {
+        self.run(arena, sub, sup, false)
+    }
+
+    /// Like [`SubsumptionChecker::check`] but also records the derivation
+    /// trace (Figure 11 style).
+    pub fn check_with_trace(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        sup: ConceptId,
+    ) -> SubsumptionOutcome {
+        self.run(arena, sub, sup, true)
+    }
+
+    /// Whether a concept is Σ-unsatisfiable, detected through a clash in
+    /// its completion. (In SL/QL unsatisfiability can only arise from
+    /// singleton conflicts; see Section 4.4 for why richer schema languages
+    /// change this.)
+    pub fn is_unsatisfiable(&self, arena: &mut TermArena, concept: ConceptId) -> bool {
+        let top = arena.top();
+        self.run(arena, concept, top, false).via_clash()
+    }
+
+    /// Checks two concepts for Σ-equivalence (mutual subsumption).
+    pub fn equivalent(&self, arena: &mut TermArena, a: ConceptId, b: ConceptId) -> bool {
+        self.subsumes(arena, a, b) && self.subsumes(arena, b, a)
+    }
+
+    fn run(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        sup: ConceptId,
+        record_trace: bool,
+    ) -> SubsumptionOutcome {
+        let normalized_query = normalize_concept(arena, sub);
+        let normalized_view = normalize_concept(arena, sup);
+        let mut completion = Completion::new(
+            arena,
+            self.schema,
+            normalized_query,
+            normalized_view,
+            record_trace,
+        );
+        let stats = completion.run();
+        // A clash means the query is Σ-unsatisfiable and hence subsumed by
+        // every concept; check it first so `via_clash` doubles as an
+        // unsatisfiability signal even when the view fact also happens to
+        // be derivable.
+        let verdict = if completion.find_clash().is_some() {
+            SubsumptionVerdict::SubsumedByClash
+        } else if completion.view_fact_derived() {
+            SubsumptionVerdict::SubsumedByFact
+        } else {
+            SubsumptionVerdict::NotSubsumed
+        };
+        let trace = completion.trace().cloned();
+        SubsumptionOutcome {
+            verdict,
+            stats,
+            normalized_query,
+            normalized_view,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_concepts::attribute::Attr;
+    use subq_concepts::symbol::Vocabulary;
+
+    struct Medical {
+        voc: Vocabulary,
+        arena: TermArena,
+        schema: Schema,
+        query: ConceptId,
+        view: ConceptId,
+    }
+
+    /// The running example of the paper: the medical schema of Figure 6 and
+    /// the concepts C_Q / D_V of Section 3.2.
+    fn medical_example() -> Medical {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let person = voc.class("Person");
+        let doctor = voc.class("Doctor");
+        let disease = voc.class("Disease");
+        let drug = voc.class("Drug");
+        let string = voc.class("String");
+        let topic = voc.class("Topic");
+        let male = voc.class("Male");
+        let female = voc.class("Female");
+        let takes = voc.attribute("takes");
+        let consults = voc.attribute("consults");
+        let suffers = voc.attribute("suffers");
+        let name = voc.attribute("name");
+        let skilled_in = voc.attribute("skilled_in");
+
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        schema.add_value_restriction(patient, takes, drug);
+        schema.add_value_restriction(patient, consults, doctor);
+        schema.add_value_restriction(patient, suffers, disease);
+        schema.add_necessary(patient, suffers);
+        schema.add_value_restriction(person, name, string);
+        schema.add_necessary(person, name);
+        schema.add_functional(person, name);
+        schema.add_value_restriction(doctor, skilled_in, disease);
+        schema.add_attr_typing(skilled_in, person, topic);
+
+        let mut arena = TermArena::new();
+        // C_Q = Male ⊓ Patient ⊓
+        //       ∃(consults: Female) ≐ (suffers: ⊤)(skilled_in⁻¹: Doctor)
+        let male_c = arena.prim(male);
+        let patient_c = arena.prim(patient);
+        let female_c = arena.prim(female);
+        let doctor_c = arena.prim(doctor);
+        let top = arena.top();
+        let p = arena.path1(Attr::primitive(consults), female_c);
+        let q = arena.path_of(&[
+            (Attr::primitive(suffers), top),
+            (Attr::inverse_of(skilled_in), doctor_c),
+        ]);
+        let agree = arena.agree(p, q);
+        let query = arena.and_all([male_c, patient_c, agree]);
+
+        // D_V = Patient ⊓ ∃(name: String) ⊓
+        //       ∃(consults: Doctor)(skilled_in: Disease) ≐ (suffers: Disease)
+        let string_c = arena.prim(string);
+        let disease_c = arena.prim(disease);
+        let name_path = arena.path1(Attr::primitive(name), string_c);
+        let has_name = arena.exists(name_path);
+        let vp = arena.path_of(&[
+            (Attr::primitive(consults), doctor_c),
+            (Attr::primitive(skilled_in), disease_c),
+        ]);
+        let vq = arena.path1(Attr::primitive(suffers), disease_c);
+        let vagree = arena.agree(vp, vq);
+        let view = arena.and_all([patient_c, has_name, vagree]);
+
+        Medical {
+            voc,
+            arena,
+            schema,
+            query,
+            view,
+        }
+    }
+
+    /// The headline result of the worked example: C_Q ⊑_Σ D_V (Figure 11),
+    /// while the converse fails.
+    #[test]
+    fn paper_example_subsumption_holds_one_way() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let outcome = checker.check_with_trace(&mut m.arena, m.query, m.view);
+        assert_eq!(outcome.verdict, SubsumptionVerdict::SubsumedByFact);
+        let trace = outcome.trace.as_ref().expect("trace requested");
+        assert!(!trace.is_empty());
+        // The derivation must use the schema: the necessary-name filler is
+        // created by S5 and the inverse-attribute reasoning by D2.
+        assert!(trace.count_rule(crate::rules::RuleId::S5) >= 1);
+        assert!(trace.count_rule(crate::rules::RuleId::D2) >= 1);
+        assert!(trace.count_rule(crate::rules::RuleId::C5) >= 1);
+
+        let reverse = checker.check(&mut m.arena, m.view, m.query);
+        assert_eq!(reverse.verdict, SubsumptionVerdict::NotSubsumed);
+    }
+
+    /// The trace renders in the style of Figure 11 and mentions the
+    /// individuals and concepts of the example.
+    #[test]
+    fn paper_example_trace_renders() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let outcome = checker.check_with_trace(&mut m.arena, m.query, m.view);
+        let trace = outcome.trace.expect("trace requested");
+        let rendered = trace.render(&m.voc, &m.arena);
+        assert!(rendered.contains("[D1]"));
+        assert!(rendered.contains("[S1]"));
+        assert!(rendered.contains("x: Person"));
+        assert!(rendered.contains("consults"));
+    }
+
+    /// Subsumption without the schema fails: the schema information is what
+    /// makes the example work (inverse of skilled_in, necessary name,
+    /// suffers typing).
+    #[test]
+    fn paper_example_needs_the_schema() {
+        let mut m = medical_example();
+        let empty = Schema::new();
+        let checker = SubsumptionChecker::new(&empty);
+        assert!(!checker.subsumes(&mut m.arena, m.query, m.view));
+    }
+
+    /// Basic algebraic sanity: reflexivity, ⊤ as greatest element, and the
+    /// conjunct-projection `C ⊓ D ⊑ C`.
+    #[test]
+    fn algebraic_properties() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let top = m.arena.top();
+        assert!(checker.subsumes(&mut m.arena, m.query, m.query));
+        assert!(checker.subsumes(&mut m.arena, m.view, m.view));
+        assert!(checker.subsumes(&mut m.arena, m.query, top));
+        assert!(!checker.subsumes(&mut m.arena, top, m.query));
+
+        let patient = m.voc.find_class("Patient").expect("interned");
+        let patient_c = m.arena.prim(patient);
+        assert!(checker.subsumes(&mut m.arena, m.query, patient_c));
+        assert!(!checker.subsumes(&mut m.arena, patient_c, m.query));
+    }
+
+    /// Unsatisfiability detection through singleton clashes.
+    #[test]
+    fn unsatisfiable_concepts_are_subsumed_by_everything() {
+        let mut voc = Vocabulary::new();
+        let a = voc.constant("a");
+        let b = voc.constant("b");
+        let thing = voc.class("Thing");
+        let schema = Schema::new();
+        let mut arena = TermArena::new();
+        let sa = arena.singleton(a);
+        let sb = arena.singleton(b);
+        let both = arena.and(sa, sb);
+        let thing_c = arena.prim(thing);
+        let checker = SubsumptionChecker::new(&schema);
+        assert!(checker.is_unsatisfiable(&mut arena, both));
+        let outcome = checker.check(&mut arena, both, thing_c);
+        assert_eq!(outcome.verdict, SubsumptionVerdict::SubsumedByClash);
+        assert!(!checker.is_unsatisfiable(&mut arena, thing_c));
+    }
+
+    /// Equivalence is mutual subsumption; `C ⊓ ⊤` is equivalent to `C`.
+    #[test]
+    fn equivalence_modulo_top() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let top = m.arena.top();
+        let query_and_top = m.arena.and(m.query, top);
+        assert!(checker.equivalent(&mut m.arena, m.query, query_and_top));
+        assert!(!checker.equivalent(&mut m.arena, m.query, m.view));
+    }
+
+    /// The outcome reports completion statistics compatible with the
+    /// polynomial bound.
+    #[test]
+    fn stats_are_reported_and_bounded() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let outcome = checker.check(&mut m.arena, m.query, m.view);
+        let msize = m.arena.concept_size(outcome.normalized_query);
+        let nsize = m.arena.concept_size(outcome.normalized_view);
+        assert!(outcome.stats.individuals >= 2);
+        assert!(
+            outcome.stats.individuals <= msize * nsize + 1,
+            "individuals {} exceed M·N = {}·{}",
+            outcome.stats.individuals,
+            msize,
+            nsize
+        );
+        assert!(outcome.stats.rule_applications > 0);
+        assert!(outcome.stats.facts >= outcome.stats.goals);
+    }
+}

@@ -1,0 +1,305 @@
+//! Constraints and indexed constraint systems.
+//!
+//! The calculus works on *constraints* of three forms (Section 4.1):
+//!
+//! * `s : C` — the individual `s` is an instance of the QL concept `C`,
+//! * `s R t` — `t` is an `R`-filler of `s` for a (possibly inverted)
+//!   attribute `R`,
+//! * `s p t` — `s` and `t` are related through the path `p`.
+//!
+//! A [`ConstraintSet`] stores one of the two components of a pair `F : G`
+//! and maintains the indexes the rules query: concepts per individual,
+//! attribute successors per individual, and path facts per individual.
+
+use crate::ind::Ind;
+use std::collections::{HashMap, HashSet};
+use subq_concepts::attribute::Attr;
+use subq_concepts::display::DisplayCtx;
+use subq_concepts::symbol::Vocabulary;
+use subq_concepts::term::{ConceptId, PathId, TermArena};
+
+/// A single constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Constraint {
+    /// `s : C`.
+    Member(Ind, ConceptId),
+    /// `s R t`.
+    Filler(Ind, Attr, Ind),
+    /// `s p t`.
+    PathRel(Ind, PathId, Ind),
+}
+
+impl Constraint {
+    /// Renders the constraint in the paper's notation.
+    pub fn render(&self, voc: &Vocabulary, arena: &TermArena) -> String {
+        let ctx = DisplayCtx::new(voc, arena);
+        match *self {
+            Constraint::Member(s, c) => format!("{}: {}", s.render(voc), ctx.concept(c)),
+            Constraint::Filler(s, r, t) => {
+                format!("{} {} {}", s.render(voc), ctx.attr(r), t.render(voc))
+            }
+            Constraint::PathRel(s, p, t) => {
+                format!("{} {} {}", s.render(voc), ctx.path(p), t.render(voc))
+            }
+        }
+    }
+
+    /// The individuals mentioned by the constraint.
+    pub fn individuals(&self) -> Vec<Ind> {
+        match *self {
+            Constraint::Member(s, _) => vec![s],
+            Constraint::Filler(s, _, t) | Constraint::PathRel(s, _, t) => vec![s, t],
+        }
+    }
+
+    /// Applies the substitution `[from ↦ to]` to the constraint.
+    pub fn substitute(&self, from: Ind, to: Ind) -> Constraint {
+        let map = |i: Ind| if i == from { to } else { i };
+        match *self {
+            Constraint::Member(s, c) => Constraint::Member(map(s), c),
+            Constraint::Filler(s, r, t) => Constraint::Filler(map(s), r, map(t)),
+            Constraint::PathRel(s, p, t) => Constraint::PathRel(map(s), p, map(t)),
+        }
+    }
+}
+
+/// An indexed set of constraints (the facts `F` or the goals `G`).
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet {
+    all: HashSet<Constraint>,
+    insertion_order: Vec<Constraint>,
+    members_by_ind: HashMap<Ind, HashSet<ConceptId>>,
+    fillers_by_src: HashMap<Ind, Vec<(Attr, Ind)>>,
+    paths_by_src: HashMap<Ind, Vec<(PathId, Ind)>>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint; returns `true` if it was not already present.
+    pub fn insert(&mut self, constraint: Constraint) -> bool {
+        if !self.all.insert(constraint) {
+            return false;
+        }
+        self.insertion_order.push(constraint);
+        match constraint {
+            Constraint::Member(s, c) => {
+                self.members_by_ind.entry(s).or_default().insert(c);
+            }
+            Constraint::Filler(s, r, t) => {
+                self.fillers_by_src.entry(s).or_default().push((r, t));
+            }
+            Constraint::PathRel(s, p, t) => {
+                self.paths_by_src.entry(s).or_default().push((p, t));
+            }
+        }
+        true
+    }
+
+    /// Whether a constraint is present.
+    pub fn contains(&self, constraint: &Constraint) -> bool {
+        self.all.contains(constraint)
+    }
+
+    /// Whether `s : C` is present.
+    pub fn has_member(&self, s: Ind, concept: ConceptId) -> bool {
+        self.members_by_ind
+            .get(&s)
+            .is_some_and(|cs| cs.contains(&concept))
+    }
+
+    /// Whether `s R t` is present.
+    pub fn has_filler(&self, s: Ind, attr: Attr, t: Ind) -> bool {
+        self.all.contains(&Constraint::Filler(s, attr, t))
+    }
+
+    /// Whether `s p t` is present.
+    pub fn has_path(&self, s: Ind, path: PathId, t: Ind) -> bool {
+        self.all.contains(&Constraint::PathRel(s, path, t))
+    }
+
+    /// The concepts `C` with `s : C` present.
+    pub fn concepts_of(&self, s: Ind) -> impl Iterator<Item = ConceptId> + '_ {
+        self.members_by_ind
+            .get(&s)
+            .into_iter()
+            .flat_map(|cs| cs.iter().copied())
+    }
+
+    /// The `(R, t)` pairs with `s R t` present.
+    pub fn fillers_of(&self, s: Ind) -> impl Iterator<Item = (Attr, Ind)> + '_ {
+        self.fillers_by_src
+            .get(&s)
+            .into_iter()
+            .flat_map(|v| v.iter().copied())
+    }
+
+    /// The fillers of `s` through a specific attribute.
+    pub fn fillers_via(&self, s: Ind, attr: Attr) -> impl Iterator<Item = Ind> + '_ {
+        self.fillers_of(s)
+            .filter_map(move |(r, t)| if r == attr { Some(t) } else { None })
+    }
+
+    /// Whether `s` has any filler through `attr`.
+    pub fn has_any_filler_via(&self, s: Ind, attr: Attr) -> bool {
+        self.fillers_via(s, attr).next().is_some()
+    }
+
+    /// The `(p, t)` pairs with `s p t` present.
+    pub fn paths_of(&self, s: Ind) -> impl Iterator<Item = (PathId, Ind)> + '_ {
+        self.paths_by_src
+            .get(&s)
+            .into_iter()
+            .flat_map(|v| v.iter().copied())
+    }
+
+    /// The targets `t` with `s p t` present for a specific path.
+    pub fn path_targets(&self, s: Ind, path: PathId) -> impl Iterator<Item = Ind> + '_ {
+        self.paths_of(s)
+            .filter_map(move |(p, t)| if p == path { Some(t) } else { None })
+    }
+
+    /// Whether `s` has any target through path `p`.
+    pub fn has_any_path_target(&self, s: Ind, path: PathId) -> bool {
+        self.path_targets(s, path).next().is_some()
+    }
+
+    /// All constraints in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> + '_ {
+        self.insertion_order.iter()
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// All individuals mentioned by some constraint.
+    pub fn individuals(&self) -> HashSet<Ind> {
+        let mut out = HashSet::new();
+        for constraint in &self.insertion_order {
+            out.extend(constraint.individuals());
+        }
+        out
+    }
+
+    /// Applies the substitution `[from ↦ to]` to every constraint,
+    /// rebuilding the indexes.
+    pub fn substitute(&mut self, from: Ind, to: Ind) {
+        let constraints: Vec<Constraint> = self
+            .insertion_order
+            .iter()
+            .map(|c| c.substitute(from, to))
+            .collect();
+        *self = ConstraintSet::new();
+        for constraint in constraints {
+            self.insert(constraint);
+        }
+    }
+
+    /// Renders all constraints, one per line, in insertion order.
+    pub fn render(&self, voc: &Vocabulary, arena: &TermArena) -> String {
+        let mut out = String::new();
+        for constraint in &self.insertion_order {
+            out.push_str(&constraint.render(voc, arena));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_concepts::symbol::Vocabulary;
+
+    fn fixture() -> (Vocabulary, TermArena, ConceptId, Attr) {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let consults = voc.attribute("consults");
+        let mut arena = TermArena::new();
+        let p = arena.prim(patient);
+        (voc, arena, p, Attr::primitive(consults))
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_indexed() {
+        let (_voc, _arena, patient, consults) = fixture();
+        let mut set = ConstraintSet::new();
+        let x = Ind::ROOT;
+        let y = Ind::Var(1);
+        assert!(set.insert(Constraint::Member(x, patient)));
+        assert!(!set.insert(Constraint::Member(x, patient)));
+        assert!(set.insert(Constraint::Filler(x, consults, y)));
+        assert!(set.has_member(x, patient));
+        assert!(set.has_filler(x, consults, y));
+        assert!(!set.has_filler(y, consults, x));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.fillers_via(x, consults).collect::<Vec<_>>(), vec![y]);
+        assert!(set.has_any_filler_via(x, consults));
+        assert!(!set.has_any_filler_via(x, consults.inverse()));
+    }
+
+    #[test]
+    fn path_index_and_targets() {
+        let (_voc, mut arena, patient, consults) = fixture();
+        let mut set = ConstraintSet::new();
+        let path = arena.path1(consults, patient);
+        let x = Ind::ROOT;
+        let y = Ind::Var(1);
+        assert!(set.insert(Constraint::PathRel(x, path, y)));
+        assert!(set.has_path(x, path, y));
+        assert!(set.has_any_path_target(x, path));
+        assert_eq!(set.path_targets(x, path).collect::<Vec<_>>(), vec![y]);
+        assert!(!set.has_any_path_target(y, path));
+    }
+
+    #[test]
+    fn substitution_rewrites_and_reindexes() {
+        let (mut voc, _arena, patient, consults) = fixture();
+        let aspirin = voc.constant("Aspirin");
+        let mut set = ConstraintSet::new();
+        let y = Ind::Var(3);
+        let a = Ind::Const(aspirin);
+        set.insert(Constraint::Member(y, patient));
+        set.insert(Constraint::Filler(Ind::ROOT, consults, y));
+        set.substitute(y, a);
+        assert!(set.has_member(a, patient));
+        assert!(!set.has_member(y, patient));
+        assert!(set.has_filler(Ind::ROOT, consults, a));
+        assert_eq!(set.len(), 2);
+        let inds = set.individuals();
+        assert!(inds.contains(&a));
+        assert!(!inds.contains(&y));
+    }
+
+    #[test]
+    fn substitution_can_merge_constraints() {
+        let (_voc, _arena, patient, _consults) = fixture();
+        let mut set = ConstraintSet::new();
+        set.insert(Constraint::Member(Ind::Var(1), patient));
+        set.insert(Constraint::Member(Ind::Var(2), patient));
+        assert_eq!(set.len(), 2);
+        set.substitute(Ind::Var(2), Ind::Var(1));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn rendering_is_paper_style() {
+        let (voc, arena, patient, consults) = fixture();
+        let mut set = ConstraintSet::new();
+        set.insert(Constraint::Member(Ind::ROOT, patient));
+        set.insert(Constraint::Filler(Ind::ROOT, consults, Ind::Var(1)));
+        let rendered = set.render(&voc, &arena);
+        assert!(rendered.contains("x: Patient"));
+        assert!(rendered.contains("x consults y1"));
+    }
+}

@@ -1,0 +1,1175 @@
+//! The completion engine: saturation of a fact/goal pair under the rules
+//! of Figures 7–10.
+//!
+//! A [`Completion`] starts from the pair `{x : C} : {x : D}` and applies
+//! rules until none is applicable. The engine follows the paper's control
+//! structure:
+//!
+//! * decomposition rules are applied before schema rules (the priority
+//!   stated in Section 4.1);
+//! * goal and composition rules are interleaved with them until the whole
+//!   pair is stable;
+//! * the substitution rules D3 and S4 are applied one instance at a time,
+//!   since a substitution invalidates previously collected rule instances.
+//!
+//! All rules are deterministic, so the completion is unique up to the
+//! naming of fresh variables; the engine always numbers fresh variables in
+//! creation order, which makes runs reproducible and lets tests compare
+//! traces against Figure 11.
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::ind::Ind;
+use crate::rules::RuleId;
+use crate::trace::{DerivationTrace, TraceStep};
+use subq_concepts::attribute::Attr;
+use subq_concepts::schema::Schema;
+use subq_concepts::term::{Concept, ConceptId, Path, PathId, Restriction, TermArena};
+
+/// Statistics about a finished completion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompletionStats {
+    /// Distinct individuals occurring in the final pair.
+    pub individuals: usize,
+    /// Fresh variables created by rules D4, D6, and S5.
+    pub fresh_vars: usize,
+    /// Total number of rule applications.
+    pub rule_applications: usize,
+    /// Constraints in the final fact set `F`.
+    pub facts: usize,
+    /// Constraints in the final goal set `G`.
+    pub goals: usize,
+}
+
+/// A clash found in the fact set (Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Clash {
+    /// `a : {b}` for distinct constants `a`, `b`.
+    ConstantSingleton(Ind, Ind),
+    /// `s P a`, `s P b`, `s : A` with `A ⊑ (≤1 P)` and distinct constants
+    /// `a`, `b`.
+    FunctionalFanOut(Ind, Attr, Ind, Ind),
+}
+
+/// The completion of a pair of constraint systems.
+pub struct Completion<'a> {
+    arena: &'a mut TermArena,
+    schema: &'a Schema,
+    facts: ConstraintSet,
+    goals: ConstraintSet,
+    next_var: u32,
+    fresh_vars: usize,
+    rule_applications: usize,
+    trace: Option<DerivationTrace>,
+    query: ConceptId,
+    view: ConceptId,
+}
+
+impl<'a> Completion<'a> {
+    /// Creates the initial pair `{x : query} : {x : view}`.
+    ///
+    /// Both concepts must already be normalized (every agreement of the
+    /// form `∃p ≐ ε`); the [`crate::checker::SubsumptionChecker`] takes
+    /// care of that.
+    pub fn new(
+        arena: &'a mut TermArena,
+        schema: &'a Schema,
+        query: ConceptId,
+        view: ConceptId,
+        record_trace: bool,
+    ) -> Self {
+        let mut facts = ConstraintSet::new();
+        let mut goals = ConstraintSet::new();
+        facts.insert(Constraint::Member(Ind::ROOT, query));
+        goals.insert(Constraint::Member(Ind::ROOT, view));
+        Completion {
+            arena,
+            schema,
+            facts,
+            goals,
+            next_var: 1,
+            fresh_vars: 0,
+            rule_applications: 0,
+            trace: record_trace.then(DerivationTrace::new),
+            query,
+            view,
+        }
+    }
+
+    /// The fact set `F`.
+    pub fn facts(&self) -> &ConstraintSet {
+        &self.facts
+    }
+
+    /// The goal set `G`.
+    pub fn goals(&self) -> &ConstraintSet {
+        &self.goals
+    }
+
+    /// The recorded derivation trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&DerivationTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The term arena the completion works over.
+    pub fn arena(&self) -> &TermArena {
+        self.arena
+    }
+
+    /// The schema Σ.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// The (normalized) query concept `C`.
+    pub fn query(&self) -> ConceptId {
+        self.query
+    }
+
+    /// The (normalized) view concept `D`.
+    pub fn view(&self) -> ConceptId {
+        self.view
+    }
+
+    /// Statistics of the completion so far.
+    pub fn stats(&self) -> CompletionStats {
+        let mut individuals = self.facts.individuals();
+        individuals.extend(self.goals.individuals());
+        CompletionStats {
+            individuals: individuals.len(),
+            fresh_vars: self.fresh_vars,
+            rule_applications: self.rule_applications,
+            facts: self.facts.len(),
+            goals: self.goals.len(),
+        }
+    }
+
+    /// The individual `o` such that `o : D` is the (unique) top-level goal.
+    ///
+    /// Initially this is `x`; the substitution rules D3 and S4 may replace
+    /// it by a constant or another variable.
+    pub fn view_individual(&self) -> Ind {
+        self.goals
+            .iter()
+            .find_map(|c| match *c {
+                Constraint::Member(s, concept) if concept == self.view => Some(s),
+                _ => None,
+            })
+            .unwrap_or(Ind::ROOT)
+    }
+
+    /// Runs rules until no rule is applicable, then returns the statistics.
+    pub fn run(&mut self) -> CompletionStats {
+        loop {
+            if self.apply_group(Group::Decomposition) {
+                continue;
+            }
+            if self.apply_group(Group::Schema) {
+                continue;
+            }
+            if self.apply_group(Group::Goal) {
+                continue;
+            }
+            if self.apply_group(Group::Composition) {
+                continue;
+            }
+            break;
+        }
+        self.stats()
+    }
+
+    /// Whether the completed facts contain the constraint `o : D`.
+    pub fn view_fact_derived(&self) -> bool {
+        let o = self.view_individual();
+        self.facts.has_member(o, self.view)
+    }
+
+    /// Searches the fact set for a clash (Section 4.2).
+    pub fn find_clash(&self) -> Option<Clash> {
+        // a : {b} with distinct constants.
+        for constraint in self.facts.iter() {
+            if let Constraint::Member(s, concept) = *constraint {
+                if let (Some(a), Concept::Singleton(b)) = (s.as_const(), self.arena.concept(concept))
+                {
+                    if a != b {
+                        return Some(Clash::ConstantSingleton(s, Ind::Const(b)));
+                    }
+                }
+            }
+        }
+        // s P a, s P b, s : A with A ⊑ (≤1 P) and a ≠ b constants.
+        for constraint in self.facts.iter() {
+            let Constraint::Member(s, concept) = *constraint else {
+                continue;
+            };
+            let Concept::Prim(class) = self.arena.concept(concept) else {
+                continue;
+            };
+            for attr in self.schema.functional_attrs_of(class) {
+                let attr = Attr::primitive(attr);
+                let const_fillers: Vec<Ind> = self
+                    .facts
+                    .fillers_via(s, attr)
+                    .filter(|t| t.is_const())
+                    .collect();
+                for (i, &a) in const_fillers.iter().enumerate() {
+                    for &b in &const_fillers[i + 1..] {
+                        if a != b {
+                            return Some(Clash::FunctionalFanOut(s, attr, a, b));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    // ----- bookkeeping ----------------------------------------------------
+
+    fn fresh_var(&mut self) -> Ind {
+        let v = Ind::Var(self.next_var);
+        self.next_var += 1;
+        self.fresh_vars += 1;
+        v
+    }
+
+    fn record(&mut self, step: TraceStep) {
+        self.rule_applications += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(step);
+        }
+    }
+
+    /// Adds facts for one rule application; returns whether anything was new.
+    fn add_facts(&mut self, rule: RuleId, constraints: Vec<Constraint>) -> bool {
+        let added: Vec<Constraint> = constraints
+            .into_iter()
+            .filter(|c| self.facts.insert(*c))
+            .collect();
+        if added.is_empty() {
+            return false;
+        }
+        self.record(TraceStep {
+            rule,
+            added_facts: added,
+            added_goals: vec![],
+            substitution: None,
+        });
+        true
+    }
+
+    /// Adds goals for one rule application; returns whether anything was new.
+    fn add_goals(&mut self, rule: RuleId, constraints: Vec<Constraint>) -> bool {
+        let added: Vec<Constraint> = constraints
+            .into_iter()
+            .filter(|c| self.goals.insert(*c))
+            .collect();
+        if added.is_empty() {
+            return false;
+        }
+        self.record(TraceStep {
+            rule,
+            added_facts: vec![],
+            added_goals: added,
+            substitution: None,
+        });
+        true
+    }
+
+    /// Applies the substitution `[from ↦ to]` to the whole pair.
+    fn substitute(&mut self, rule: RuleId, from: Ind, to: Ind) {
+        self.facts.substitute(from, to);
+        self.goals.substitute(from, to);
+        self.record(TraceStep {
+            rule,
+            added_facts: vec![],
+            added_goals: vec![],
+            substitution: Some((from, to)),
+        });
+    }
+
+    fn apply_group(&mut self, group: Group) -> bool {
+        match group {
+            Group::Decomposition => {
+                self.rule_d1()
+                    | self.rule_d2()
+                    | self.rule_d3()
+                    | self.rule_d4()
+                    | self.rule_d5()
+                    | self.rule_d6()
+                    | self.rule_d7()
+            }
+            Group::Schema => {
+                self.rule_s1() | self.rule_s2() | self.rule_s3() | self.rule_s4() | self.rule_s5()
+            }
+            Group::Goal => self.rule_g1() | self.rule_g23(),
+            Group::Composition => {
+                self.rule_c1()
+                    | self.rule_c2()
+                    | self.rule_c3()
+                    | self.rule_c4()
+                    | self.rule_c56()
+            }
+        }
+    }
+
+    // ----- decomposition rules (Figure 7) ---------------------------------
+
+    /// D1: `s : C ⊓ D ∈ F` yields `s : C` and `s : D`.
+    fn rule_d1(&mut self) -> bool {
+        let candidates: Vec<(Ind, ConceptId, ConceptId)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::And(l, r) => Some((s, l, r)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, l, r) in candidates {
+            changed |= self.add_facts(
+                RuleId::D1,
+                vec![Constraint::Member(s, l), Constraint::Member(s, r)],
+            );
+        }
+        changed
+    }
+
+    /// D2: `t R⁻¹ s ∈ F` yields `s R t` (closure of fillers under
+    /// inversion).
+    fn rule_d2(&mut self) -> bool {
+        let candidates: Vec<(Ind, Attr, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Filler(t, r, s) => Some((s, r.inverse(), t)),
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, r, t) in candidates {
+            changed |= self.add_facts(RuleId::D2, vec![Constraint::Filler(s, r, t)]);
+        }
+        changed
+    }
+
+    /// D3: `y : {a} ∈ F` for a variable `y` substitutes `y` by `a`.
+    fn rule_d3(&mut self) -> bool {
+        let candidate = self.facts.iter().find_map(|c| match *c {
+            Constraint::Member(s, concept) if s.is_var() => match self.arena.concept(concept) {
+                Concept::Singleton(a) => Some((s, Ind::Const(a))),
+                _ => None,
+            },
+            _ => None,
+        });
+        if let Some((from, to)) = candidate {
+            self.substitute(RuleId::D3, from, to);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// D4: `s : ∃p ∈ F` with no witness yields `s p y` for a fresh `y`.
+    fn rule_d4(&mut self) -> bool {
+        let candidates: Vec<(Ind, PathId)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Exists(p) if !self.arena.is_empty_path(p) => Some((s, p)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, p) in candidates {
+            if self.facts.has_any_path_target(s, p) {
+                continue;
+            }
+            let y = self.fresh_var();
+            changed |= self.add_facts(RuleId::D4, vec![Constraint::PathRel(s, p, y)]);
+        }
+        changed
+    }
+
+    /// D5: `s : ∃p ≐ ε ∈ F` yields the cyclic witness `s p s`.
+    fn rule_d5(&mut self) -> bool {
+        let candidates: Vec<(Ind, PathId)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Agree(p, q)
+                        if self.arena.is_empty_path(q) && !self.arena.is_empty_path(p) =>
+                    {
+                        Some((s, p))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, p) in candidates {
+            changed |= self.add_facts(RuleId::D5, vec![Constraint::PathRel(s, p, s)]);
+        }
+        changed
+    }
+
+    /// D6: unfold the first step of a path fact `s (R:C)p t` (`p ≠ ε`) with
+    /// a fresh middle individual, unless a suitable one already exists.
+    fn rule_d6(&mut self) -> bool {
+        let candidates: Vec<(Ind, Restriction, PathId, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::PathRel(s, p, t) => match self.arena.path(p) {
+                    Path::Step(restriction, rest) if !self.arena.is_empty_path(rest) => {
+                        Some((s, restriction, rest, t))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, restriction, rest, t) in candidates {
+            let exists_witness = self.facts.fillers_via(s, restriction.attr).any(|t_prime| {
+                self.facts.has_member(t_prime, restriction.concept)
+                    && self.facts.has_path(t_prime, rest, t)
+            });
+            if exists_witness {
+                continue;
+            }
+            let y = self.fresh_var();
+            changed |= self.add_facts(
+                RuleId::D6,
+                vec![
+                    Constraint::Filler(s, restriction.attr, y),
+                    Constraint::Member(y, restriction.concept),
+                    Constraint::PathRel(y, rest, t),
+                ],
+            );
+        }
+        changed
+    }
+
+    /// D7: unfold a one-step path fact `s (R:C) t` into `s R t` and `t : C`.
+    fn rule_d7(&mut self) -> bool {
+        let candidates: Vec<(Ind, Restriction, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::PathRel(s, p, t) => match self.arena.path(p) {
+                    Path::Step(restriction, rest) if self.arena.is_empty_path(rest) => {
+                        Some((s, restriction, t))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, restriction, t) in candidates {
+            changed |= self.add_facts(
+                RuleId::D7,
+                vec![
+                    Constraint::Filler(s, restriction.attr, t),
+                    Constraint::Member(t, restriction.concept),
+                ],
+            );
+        }
+        changed
+    }
+
+    // ----- schema rules (Figure 8) -----------------------------------------
+
+    /// The primitive classes `A` with `s : A ∈ F`.
+    fn primitive_memberships(&self) -> Vec<(Ind, subq_concepts::symbol::ClassId)> {
+        self.facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Prim(class) => Some((s, class)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// S1: `s : A₁ ∈ F`, `A₁ ⊑ A₂ ∈ Σ` yields `s : A₂`.
+    fn rule_s1(&mut self) -> bool {
+        let candidates = self.primitive_memberships();
+        let mut changed = false;
+        for (s, a1) in candidates {
+            let supers: Vec<_> = self.schema.supers_of(a1).to_vec();
+            for a2 in supers {
+                let concept = self.arena.prim(a2);
+                changed |= self.add_facts(RuleId::S1, vec![Constraint::Member(s, concept)]);
+            }
+        }
+        changed
+    }
+
+    /// S2: `s : A₁`, `s P t ∈ F`, `A₁ ⊑ ∀P.A₂ ∈ Σ` yields `t : A₂`.
+    fn rule_s2(&mut self) -> bool {
+        let candidates = self.primitive_memberships();
+        let mut changed = false;
+        for (s, a1) in candidates {
+            let restrictions: Vec<_> = self.schema.value_restrictions_of(a1).to_vec();
+            for (p, a2) in restrictions {
+                let fillers: Vec<Ind> = self.facts.fillers_via(s, Attr::primitive(p)).collect();
+                for t in fillers {
+                    let concept = self.arena.prim(a2);
+                    changed |= self.add_facts(RuleId::S2, vec![Constraint::Member(t, concept)]);
+                }
+            }
+        }
+        changed
+    }
+
+    /// S3: `s P t ∈ F`, `P ⊑ A₁ × A₂ ∈ Σ` yields `s : A₁` and `t : A₂`.
+    fn rule_s3(&mut self) -> bool {
+        let candidates: Vec<(Ind, Attr, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Filler(s, r, t) if r.is_primitive() => Some((s, r, t)),
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, r, t) in candidates {
+            let Some(p) = r.as_primitive() else { continue };
+            let Some((dom, rng)) = self.schema.attr_typing(p) else {
+                continue;
+            };
+            let dom_c = self.arena.prim(dom);
+            let rng_c = self.arena.prim(rng);
+            changed |= self.add_facts(
+                RuleId::S3,
+                vec![Constraint::Member(s, dom_c), Constraint::Member(t, rng_c)],
+            );
+        }
+        changed
+    }
+
+    /// S4: `s : A`, `s P y`, `s P t ∈ F` with `A ⊑ (≤1 P) ∈ Σ` and `y` a
+    /// variable identifies `y` with `t`.
+    fn rule_s4(&mut self) -> bool {
+        let memberships = self.primitive_memberships();
+        for (s, a) in memberships {
+            let functional: Vec<_> = self.schema.functional_attrs_of(a).collect();
+            for p in functional {
+                let attr = Attr::primitive(p);
+                let fillers: Vec<Ind> = self.facts.fillers_via(s, attr).collect();
+                if fillers.len() < 2 {
+                    continue;
+                }
+                // Pick a variable to eliminate and any other filler to keep;
+                // prefer keeping constants so the substitution is stable.
+                let keep = fillers
+                    .iter()
+                    .copied()
+                    .find(|f| f.is_const())
+                    .unwrap_or(fillers[0]);
+                let eliminate = fillers.iter().copied().find(|f| f.is_var() && *f != keep);
+                if let Some(y) = eliminate {
+                    self.substitute(RuleId::S4, y, keep);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// S5: a goal `s : ∃(P:C)p` or `s : ∃(P:C)p ≐ ε` demands a `P`-filler
+    /// of `s`; if none exists but some fact `s : A` with `A ⊑ ∃P ∈ Σ`
+    /// guarantees one, create it.
+    fn rule_s5(&mut self) -> bool {
+        let candidates: Vec<(Ind, Attr)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => {
+                    let path = match self.arena.concept(concept) {
+                        Concept::Exists(p) => Some(p),
+                        Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some(p),
+                        _ => None,
+                    }?;
+                    match self.arena.path(path) {
+                        Path::Step(restriction, _) if restriction.attr.is_primitive() => {
+                            Some((s, restriction.attr))
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, attr) in candidates {
+            if self.facts.has_any_filler_via(s, attr) {
+                continue;
+            }
+            let p = attr.as_primitive().expect("checked primitive");
+            let has_necessary = self.primitive_class_facts_of(s).iter().any(|&a| {
+                self.schema.is_necessary(a, p)
+            });
+            if !has_necessary {
+                continue;
+            }
+            let y = self.fresh_var();
+            changed |= self.add_facts(RuleId::S5, vec![Constraint::Filler(s, attr, y)]);
+        }
+        changed
+    }
+
+    fn primitive_class_facts_of(&self, s: Ind) -> Vec<subq_concepts::symbol::ClassId> {
+        self.facts
+            .concepts_of(s)
+            .filter_map(|c| match self.arena.concept(c) {
+                Concept::Prim(class) => Some(class),
+                _ => None,
+            })
+            .collect()
+    }
+
+    // ----- goal rules (Figure 9) -------------------------------------------
+
+    /// G1: `s : C ⊓ D ∈ G` yields the goals `s : C` and `s : D`.
+    fn rule_g1(&mut self) -> bool {
+        let candidates: Vec<(Ind, ConceptId, ConceptId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::And(l, r) => Some((s, l, r)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, l, r) in candidates {
+            changed |= self.add_goals(
+                RuleId::G1,
+                vec![Constraint::Member(s, l), Constraint::Member(s, r)],
+            );
+        }
+        changed
+    }
+
+    /// G2 and G3: a goal path `s : ∃(R:C)p` (or its `≐ ε` form) and a fact
+    /// `s R t` yield the goals `t : C` (G2) and, if `p ≠ ε`, also `t : ∃p`
+    /// (G3).
+    fn rule_g23(&mut self) -> bool {
+        let candidates: Vec<(Ind, Restriction, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => {
+                    let path = match self.arena.concept(concept) {
+                        Concept::Exists(p) => Some(p),
+                        Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some(p),
+                        _ => None,
+                    }?;
+                    match self.arena.path(path) {
+                        Path::Step(restriction, rest) => Some((s, restriction, rest)),
+                        Path::Empty => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, restriction, rest) in candidates {
+            let fillers: Vec<Ind> = self.facts.fillers_via(s, restriction.attr).collect();
+            let rest_is_empty = self.arena.is_empty_path(rest);
+            for t in fillers {
+                if rest_is_empty {
+                    changed |= self.add_goals(
+                        RuleId::G2,
+                        vec![Constraint::Member(t, restriction.concept)],
+                    );
+                } else {
+                    let exists_rest = self.arena.exists(rest);
+                    changed |= self.add_goals(
+                        RuleId::G3,
+                        vec![
+                            Constraint::Member(t, restriction.concept),
+                            Constraint::Member(t, exists_rest),
+                        ],
+                    );
+                }
+            }
+        }
+        changed
+    }
+
+    // ----- composition rules (Figure 10) -------------------------------------
+
+    /// C1: facts `s : C` and `s : D` compose to `s : C ⊓ D` when the goal
+    /// asks for it.
+    fn rule_c1(&mut self) -> bool {
+        let candidates: Vec<(Ind, ConceptId, ConceptId, ConceptId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::And(l, r) => Some((s, concept, l, r)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, whole, l, r) in candidates {
+            if self.facts.has_member(s, l) && self.facts.has_member(s, r) {
+                changed |= self.add_facts(RuleId::C1, vec![Constraint::Member(s, whole)]);
+            }
+        }
+        changed
+    }
+
+    /// C2: a goal `s : ⊤` is trivially satisfied.
+    fn rule_c2(&mut self) -> bool {
+        let candidates: Vec<(Ind, ConceptId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Top => Some((s, concept)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, concept) in candidates {
+            changed |= self.add_facts(RuleId::C2, vec![Constraint::Member(s, concept)]);
+        }
+        changed
+    }
+
+    /// C3: a goal `s : ∃p` composes from a witnessing path fact (or `p = ε`).
+    fn rule_c3(&mut self) -> bool {
+        let candidates: Vec<(Ind, ConceptId, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Exists(p) => Some((s, concept, p)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, concept, p) in candidates {
+            if self.arena.is_empty_path(p) || self.facts.has_any_path_target(s, p) {
+                changed |= self.add_facts(RuleId::C3, vec![Constraint::Member(s, concept)]);
+            }
+        }
+        changed
+    }
+
+    /// C4: a goal `s : ∃p ≐ ε` composes from a cyclic path fact `s p s`
+    /// (or `p = ε`).
+    fn rule_c4(&mut self) -> bool {
+        let candidates: Vec<(Ind, ConceptId, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some((s, concept, p)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, concept, p) in candidates {
+            if self.arena.is_empty_path(p) || self.facts.has_path(s, p, s) {
+                changed |= self.add_facts(RuleId::C4, vec![Constraint::Member(s, concept)]);
+            }
+        }
+        changed
+    }
+
+    /// C5 and C6: path facts are composed bottom-up along goal paths.
+    ///
+    /// For a goal path `(R:C)p` starting at `s`: if `p = ε` (C6), every
+    /// filler `s R t` with `t : C` yields the path fact `s (R:C) t`; if
+    /// `p ≠ ε` (C5), every filler `s R t'` with `t' : C` and a suffix fact
+    /// `t' p t` yields `s (R:C)p t`.
+    fn rule_c56(&mut self) -> bool {
+        let candidates: Vec<(Ind, PathId, Restriction, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => {
+                    let path = match self.arena.concept(concept) {
+                        Concept::Exists(p) => Some(p),
+                        Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some(p),
+                        _ => None,
+                    }?;
+                    match self.arena.path(path) {
+                        Path::Step(restriction, rest) => Some((s, path, restriction, rest)),
+                        Path::Empty => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, full_path, restriction, rest) in candidates {
+            let rest_is_empty = self.arena.is_empty_path(rest);
+            let fillers: Vec<Ind> = self
+                .facts
+                .fillers_via(s, restriction.attr)
+                .filter(|t| self.facts.has_member(*t, restriction.concept))
+                .collect();
+            for t_prime in fillers {
+                if rest_is_empty {
+                    changed |= self.add_facts(
+                        RuleId::C6,
+                        vec![Constraint::PathRel(s, full_path, t_prime)],
+                    );
+                } else {
+                    let targets: Vec<Ind> = self.facts.path_targets(t_prime, rest).collect();
+                    for t in targets {
+                        changed |= self
+                            .add_facts(RuleId::C5, vec![Constraint::PathRel(s, full_path, t)]);
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+enum Group {
+    Decomposition,
+    Schema,
+    Goal,
+    Composition,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_concepts::symbol::Vocabulary;
+
+    /// `Patient ⊑ Person` makes `Patient ⊑_Σ Person` derivable via S1.
+    #[test]
+    fn simple_isa_subsumption_derives_view_fact() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let person = voc.class("Person");
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        let mut arena = TermArena::new();
+        let c = arena.prim(patient);
+        let d = arena.prim(person);
+        let mut completion = Completion::new(&mut arena, &schema, c, d, true);
+        completion.run();
+        assert!(completion.view_fact_derived());
+        assert!(completion.find_clash().is_none());
+        let trace = completion.trace().expect("tracing enabled");
+        assert_eq!(trace.count_rule(RuleId::S1), 1);
+    }
+
+    /// Without the axiom the subsumption does not hold and no view fact is
+    /// derived.
+    #[test]
+    fn no_axiom_no_subsumption() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let person = voc.class("Person");
+        let schema = Schema::new();
+        let mut arena = TermArena::new();
+        let c = arena.prim(patient);
+        let d = arena.prim(person);
+        let mut completion = Completion::new(&mut arena, &schema, c, d, false);
+        completion.run();
+        assert!(!completion.view_fact_derived());
+        assert!(completion.find_clash().is_none());
+    }
+
+    /// Every concept subsumes itself: the decomposition witnesses feed the
+    /// composition rules back up to the full view concept.
+    #[test]
+    fn reflexivity_through_decomposition_and_composition() {
+        let mut voc = Vocabulary::new();
+        let doctor = voc.class("Doctor");
+        let disease = voc.class("Disease");
+        let consults = voc.attribute("consults");
+        let skilled = voc.attribute("skilled_in");
+        let schema = Schema::new();
+        let mut arena = TermArena::new();
+        let doctor_c = arena.prim(doctor);
+        let disease_c = arena.prim(disease);
+        let path = arena.path_of(&[
+            (Attr::primitive(consults), doctor_c),
+            (Attr::primitive(skilled), disease_c),
+        ]);
+        let agree = arena.agree_epsilon(path);
+        let exists = arena.exists(path);
+        let concept = arena.and(exists, agree);
+        let mut completion = Completion::new(&mut arena, &schema, concept, concept, false);
+        completion.run();
+        assert!(completion.view_fact_derived());
+    }
+
+    /// Rule S5 creates a filler only when a goal demands it; the fact
+    /// `x : ∃name` alone never materializes a name filler.
+    #[test]
+    fn s5_only_fires_for_goals() {
+        let mut voc = Vocabulary::new();
+        let person = voc.class("Person");
+        let string = voc.class("String");
+        let name = voc.attribute("name");
+        let mut schema = Schema::new();
+        schema.add_necessary(person, name);
+        schema.add_value_restriction(person, name, string);
+
+        // Query: Person. View: ∃(name: String). The filler must be invented
+        // by S5 and typed by S2.
+        let mut arena = TermArena::new();
+        let person_c = arena.prim(person);
+        let string_c = arena.prim(string);
+        let view_path = arena.path1(Attr::primitive(name), string_c);
+        let view = arena.exists(view_path);
+        let mut completion = Completion::new(&mut arena, &schema, person_c, view, true);
+        completion.run();
+        assert!(completion.view_fact_derived());
+        let trace = completion.trace().expect("tracing enabled");
+        assert_eq!(trace.count_rule(RuleId::S5), 1);
+        assert_eq!(trace.count_rule(RuleId::S2), 1);
+
+        // Reversed: the view Person is not implied by ∃(name: String).
+        let mut arena2 = TermArena::new();
+        let person_c2 = arena2.prim(person);
+        let string_c2 = arena2.prim(string);
+        let path2 = arena2.path1(Attr::primitive(name), string_c2);
+        let query2 = arena2.exists(path2);
+        let mut completion2 = Completion::new(&mut arena2, &schema, query2, person_c2, false);
+        completion2.run();
+        assert!(!completion2.view_fact_derived());
+    }
+
+    /// Functional attributes identify fillers (rule S4): if a person has at
+    /// most one name, a query naming it twice still matches a view asking
+    /// for a single restricted name.
+    #[test]
+    fn s4_identifies_functional_fillers() {
+        let mut voc = Vocabulary::new();
+        let person = voc.class("Person");
+        let string = voc.class("String");
+        let nice = voc.class("Nice");
+        let name = voc.attribute("name");
+        let mut schema = Schema::new();
+        schema.add_functional(person, name);
+
+        let mut arena = TermArena::new();
+        let person_c = arena.prim(person);
+        let string_c = arena.prim(string);
+        let nice_c = arena.prim(nice);
+        // Query: Person ⊓ ∃(name: String) ⊓ ∃(name: Nice).
+        let p1 = arena.path1(Attr::primitive(name), string_c);
+        let p2 = arena.path1(Attr::primitive(name), nice_c);
+        let e1 = arena.exists(p1);
+        let e2 = arena.exists(p2);
+        let query = arena.and_all([person_c, e1, e2]);
+        // View: ∃(name: String ⊓ Nice).
+        let both = arena.and(string_c, nice_c);
+        let vp = arena.path1(Attr::primitive(name), both);
+        let view = arena.exists(vp);
+
+        let mut completion = Completion::new(&mut arena, &schema, query, view, true);
+        completion.run();
+        assert!(completion.view_fact_derived());
+        assert!(completion.trace().expect("trace").count_rule(RuleId::S4) >= 1);
+
+        // Without the functional axiom the two name fillers stay distinct
+        // and the view is not derived.
+        let empty = Schema::new();
+        let mut arena2 = TermArena::new();
+        let person_c = arena2.prim(person);
+        let string_c = arena2.prim(string);
+        let nice_c = arena2.prim(nice);
+        let p1 = arena2.path1(Attr::primitive(name), string_c);
+        let p2 = arena2.path1(Attr::primitive(name), nice_c);
+        let e1 = arena2.exists(p1);
+        let e2 = arena2.exists(p2);
+        let query = arena2.and_all([person_c, e1, e2]);
+        let both = arena2.and(string_c, nice_c);
+        let vp = arena2.path1(Attr::primitive(name), both);
+        let view = arena2.exists(vp);
+        let mut completion2 = Completion::new(&mut arena2, &empty, query, view, false);
+        completion2.run();
+        assert!(!completion2.view_fact_derived());
+    }
+
+    /// D3 substitutes variables bound to singletons; a clash appears when a
+    /// constant is forced into a different singleton.
+    #[test]
+    fn singleton_substitution_and_clash() {
+        let mut voc = Vocabulary::new();
+        let drug = voc.class("Drug");
+        let takes = voc.attribute("takes");
+        let aspirin = voc.constant("Aspirin");
+        let ibuprofen = voc.constant("Ibuprofen");
+        let schema = Schema::new();
+
+        // Query: ∃(takes: {Aspirin} ⊓ {Ibuprofen}) — unsatisfiable.
+        let mut arena = TermArena::new();
+        let a = arena.singleton(aspirin);
+        let b = arena.singleton(ibuprofen);
+        let both = arena.and(a, b);
+        let path = arena.path1(Attr::primitive(takes), both);
+        let query = arena.exists(path);
+        let drug_c = arena.prim(drug);
+        let mut completion = Completion::new(&mut arena, &schema, query, drug_c, true);
+        completion.run();
+        // The unsatisfiable query is subsumed by anything: a clash appears.
+        assert!(matches!(
+            completion.find_clash(),
+            Some(Clash::ConstantSingleton(..))
+        ));
+        assert!(completion.trace().expect("trace").count_rule(RuleId::D3) >= 1);
+    }
+
+    /// A functional attribute with two distinct constant fillers clashes.
+    #[test]
+    fn functional_fanout_clash() {
+        let mut voc = Vocabulary::new();
+        let person = voc.class("Person");
+        let name = voc.attribute("name");
+        let alice = voc.constant("alice");
+        let bob = voc.constant("bob");
+        let mut schema = Schema::new();
+        schema.add_functional(person, name);
+
+        let mut arena = TermArena::new();
+        let person_c = arena.prim(person);
+        let a = arena.singleton(alice);
+        let b = arena.singleton(bob);
+        let p1 = arena.path1(Attr::primitive(name), a);
+        let p2 = arena.path1(Attr::primitive(name), b);
+        let e1 = arena.exists(p1);
+        let e2 = arena.exists(p2);
+        let query = arena.and_all([person_c, e1, e2]);
+        let top = arena.top();
+        let mut completion = Completion::new(&mut arena, &schema, query, top, false);
+        completion.run();
+        assert!(matches!(
+            completion.find_clash(),
+            Some(Clash::FunctionalFanOut(..))
+        ));
+    }
+
+    /// The inverse-closure rule D2 lets a view reach backwards over an
+    /// attribute the query traversed forwards.
+    #[test]
+    fn inverse_closure_connects_both_directions() {
+        let mut voc = Vocabulary::new();
+        let doctor = voc.class("Doctor");
+        let consults = voc.attribute("consults");
+        let schema = Schema::new();
+        let mut arena = TermArena::new();
+        let doctor_c = arena.prim(doctor);
+        let top = arena.top();
+        // Query: ∃(consults: Doctor ⊓ ∃(consults⁻¹: ⊤)) — trivially the
+        // inverse edge exists.
+        let back = arena.path1(Attr::inverse_of(consults), top);
+        let back_exists = arena.exists(back);
+        let doctor_and_back = arena.and(doctor_c, back_exists);
+        let qpath = arena.path1(Attr::primitive(consults), doctor_and_back);
+        let query = arena.exists(qpath);
+        // View: ∃(consults: Doctor).
+        let vpath = arena.path1(Attr::primitive(consults), doctor_c);
+        let view = arena.exists(vpath);
+        let mut completion = Completion::new(&mut arena, &schema, query, view, false);
+        completion.run();
+        assert!(completion.view_fact_derived());
+    }
+
+    /// The number of individuals stays within the `M · N` bound of
+    /// Proposition 4.8.
+    #[test]
+    fn individual_count_respects_mn_bound() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let r = voc.attribute("r");
+        let mut schema = Schema::new();
+        schema.add_necessary(a, r);
+        schema.add_value_restriction(a, r, a);
+
+        let mut arena = TermArena::new();
+        let a_c = arena.prim(a);
+        let top = arena.top();
+        // View: ∃(r:⊤)(r:⊤)(r:⊤) — demands a chain of three fillers.
+        let view_path = arena.path_of(&[
+            (Attr::primitive(r), top),
+            (Attr::primitive(r), top),
+            (Attr::primitive(r), top),
+        ]);
+        let view = arena.exists(view_path);
+        let m = arena.concept_size(a_c);
+        let n = arena.concept_size(view);
+        let mut completion = Completion::new(&mut arena, &schema, a_c, view, false);
+        let stats = completion.run();
+        assert!(completion.view_fact_derived());
+        assert!(
+            stats.individuals <= m * n + 1,
+            "individuals {} must respect the M*N bound ({} * {})",
+            stats.individuals,
+            m,
+            n
+        );
+    }
+
+    /// Completions are deterministic: running twice yields identical stats
+    /// and rule sequences.
+    #[test]
+    fn completion_is_deterministic() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let person = voc.class("Person");
+        let disease = voc.class("Disease");
+        let suffers = voc.attribute("suffers");
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        schema.add_necessary(patient, suffers);
+        schema.add_value_restriction(patient, suffers, disease);
+
+        let build = |arena: &mut TermArena| {
+            let patient_c = arena.prim(patient);
+            let disease_c = arena.prim(disease);
+            let path = arena.path1(Attr::primitive(suffers), disease_c);
+            let view = arena.exists(path);
+            (patient_c, view)
+        };
+        let mut arena1 = TermArena::new();
+        let (c1, d1) = build(&mut arena1);
+        let mut run1 = Completion::new(&mut arena1, &schema, c1, d1, true);
+        let stats1 = run1.run();
+        let seq1 = run1.trace().expect("trace").rule_sequence();
+
+        let mut arena2 = TermArena::new();
+        let (c2, d2) = build(&mut arena2);
+        let mut run2 = Completion::new(&mut arena2, &schema, c2, d2, true);
+        let stats2 = run2.run();
+        let seq2 = run2.trace().expect("trace").rule_sequence();
+
+        assert_eq!(stats1, stats2);
+        assert_eq!(seq1, seq2);
+    }
+}

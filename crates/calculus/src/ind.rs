@@ -1,0 +1,98 @@
+//! Individuals: constants and variables.
+//!
+//! The calculus "augments the syntax by variables" and refers to constants
+//! and variables alike as *individuals* (Section 4.1). Variables are
+//! created fresh by the decomposition rules D4/D6 and by the schema rule
+//! S5, and may later be identified with other individuals by the
+//! substitution rules D3 and S4.
+
+use std::fmt;
+use subq_concepts::symbol::{ConstId, Vocabulary};
+
+/// An individual occurring in a constraint: a constant `a` or a variable
+/// `x`, `y₁`, `y₂`, ….
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ind {
+    /// A constant of the vocabulary (interpreted as itself under the
+    /// Unique Name Assumption).
+    Const(ConstId),
+    /// A variable, identified by its creation index; index 0 is the
+    /// distinguished variable `x` the completion starts from.
+    Var(u32),
+}
+
+impl Ind {
+    /// The distinguished start variable `x` of a subsumption check.
+    pub const ROOT: Ind = Ind::Var(0);
+
+    /// Whether this individual is a variable.
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Ind::Var(_))
+    }
+
+    /// Whether this individual is a constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Ind::Const(_))
+    }
+
+    /// The constant, if this individual is one.
+    #[inline]
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Ind::Const(c) => Some(c),
+            Ind::Var(_) => None,
+        }
+    }
+
+    /// Renders the individual with vocabulary names (`x`, `y3`, or the
+    /// constant's name).
+    pub fn render(self, voc: &Vocabulary) -> String {
+        match self {
+            Ind::Const(c) => voc.const_name(c).to_owned(),
+            Ind::Var(0) => "x".to_owned(),
+            Ind::Var(i) => format!("y{i}"),
+        }
+    }
+}
+
+impl fmt::Debug for Ind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ind::Const(c) => write!(f, "{c:?}"),
+            Ind::Var(0) => write!(f, "x"),
+            Ind::Var(i) => write!(f, "y{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_variable_zero() {
+        assert_eq!(Ind::ROOT, Ind::Var(0));
+        assert!(Ind::ROOT.is_var());
+        assert!(!Ind::ROOT.is_const());
+    }
+
+    #[test]
+    fn const_accessors() {
+        let c = ConstId::from_index(2);
+        let ind = Ind::Const(c);
+        assert!(ind.is_const());
+        assert_eq!(ind.as_const(), Some(c));
+        assert_eq!(Ind::Var(1).as_const(), None);
+    }
+
+    #[test]
+    fn rendering_uses_names() {
+        let mut voc = Vocabulary::new();
+        let aspirin = voc.constant("Aspirin");
+        assert_eq!(Ind::Const(aspirin).render(&voc), "Aspirin");
+        assert_eq!(Ind::ROOT.render(&voc), "x");
+        assert_eq!(Ind::Var(4).render(&voc), "y4");
+    }
+}

@@ -1,0 +1,164 @@
+//! Identifiers of the calculus rules (Figures 7–10) for traces and
+//! statistics.
+
+use std::fmt;
+
+/// A rule of the calculus.
+///
+/// The names follow the paper: `D` for decomposition, `S` for schema, `G`
+/// for goal, and `C` for composition rules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RuleId {
+    /// D1: decompose a fact `s : C ⊓ D` into `s : C` and `s : D`.
+    D1,
+    /// D2: close attribute facts under inversion (`t R⁻¹ s` yields `s R t`).
+    D2,
+    /// D3: substitute a variable `y` with the constant `a` when `y : {a}`.
+    D3,
+    /// D4: give a fact `s : ∃p` a witness path `s p y` with fresh `y`.
+    D4,
+    /// D5: give a fact `s : ∃p ≐ ε` the cyclic witness `s p s`.
+    D5,
+    /// D6: unfold a path fact `s (R:C)p t` by one step with a fresh middle
+    /// individual.
+    D6,
+    /// D7: unfold the last step of a path fact `s (R:C) t`.
+    D7,
+    /// S1: apply an inclusion axiom `A₁ ⊑ A₂`.
+    S1,
+    /// S2: apply a value restriction axiom `A₁ ⊑ ∀P.A₂` to a filler.
+    S2,
+    /// S3: apply an attribute typing axiom `P ⊑ A₁ × A₂`.
+    S3,
+    /// S4: identify fillers of a functional attribute (`A ⊑ (≤1 P)`).
+    S4,
+    /// S5: create a filler for a necessary attribute (`A ⊑ ∃P`) demanded by
+    /// a goal.
+    S5,
+    /// G1: decompose a goal `s : C ⊓ D`.
+    G1,
+    /// G2: derive the filler subgoal of a one-step goal path.
+    G2,
+    /// G3: derive the filler and remaining-path subgoals of a longer goal
+    /// path.
+    G3,
+    /// C1: compose a fact `s : C ⊓ D` from its conjunct facts.
+    C1,
+    /// C2: add the trivial fact `s : ⊤` demanded by a goal.
+    C2,
+    /// C3: compose a fact `s : ∃p` from a witnessing path fact.
+    C3,
+    /// C4: compose a fact `s : ∃p ≐ ε` from a cyclic path fact.
+    C4,
+    /// C5: compose a path fact `s (R:C)p t` from its first step and suffix.
+    C5,
+    /// C6: compose a one-step path fact `s (R:C) t`.
+    C6,
+}
+
+impl RuleId {
+    /// All rules in their priority groups (decomposition, schema, goal,
+    /// composition).
+    pub const ALL: [RuleId; 21] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::D6,
+        RuleId::D7,
+        RuleId::S1,
+        RuleId::S2,
+        RuleId::S3,
+        RuleId::S4,
+        RuleId::S5,
+        RuleId::G1,
+        RuleId::G2,
+        RuleId::G3,
+        RuleId::C1,
+        RuleId::C2,
+        RuleId::C3,
+        RuleId::C4,
+        RuleId::C5,
+        RuleId::C6,
+    ];
+
+    /// Whether this is a decomposition rule (Figure 7).
+    pub fn is_decomposition(self) -> bool {
+        matches!(
+            self,
+            RuleId::D1
+                | RuleId::D2
+                | RuleId::D3
+                | RuleId::D4
+                | RuleId::D5
+                | RuleId::D6
+                | RuleId::D7
+        )
+    }
+
+    /// Whether this is a schema rule (Figure 8).
+    pub fn is_schema(self) -> bool {
+        matches!(
+            self,
+            RuleId::S1 | RuleId::S2 | RuleId::S3 | RuleId::S4 | RuleId::S5
+        )
+    }
+
+    /// Whether this is a goal rule (Figure 9).
+    pub fn is_goal(self) -> bool {
+        matches!(self, RuleId::G1 | RuleId::G2 | RuleId::G3)
+    }
+
+    /// Whether this is a composition rule (Figure 10).
+    pub fn is_composition(self) -> bool {
+        matches!(
+            self,
+            RuleId::C1 | RuleId::C2 | RuleId::C3 | RuleId::C4 | RuleId::C5 | RuleId::C6
+        )
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_partition_the_rules() {
+        for rule in RuleId::ALL {
+            let groups = [
+                rule.is_decomposition(),
+                rule.is_schema(),
+                rule.is_goal(),
+                rule.is_composition(),
+            ];
+            assert_eq!(
+                groups.iter().filter(|&&g| g).count(),
+                1,
+                "{rule} must belong to exactly one group"
+            );
+        }
+    }
+
+    #[test]
+    fn all_lists_each_rule_once() {
+        let mut seen = std::collections::HashSet::new();
+        for rule in RuleId::ALL {
+            assert!(seen.insert(rule));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(RuleId::D4.to_string(), "D4");
+        assert_eq!(RuleId::S5.to_string(), "S5");
+        assert_eq!(RuleId::C6.to_string(), "C6");
+    }
+}

@@ -1,0 +1,156 @@
+//! Derivation traces: a record of every rule application, sufficient to
+//! regenerate Figure 11 of the paper.
+
+use crate::constraint::Constraint;
+use crate::ind::Ind;
+use crate::rules::RuleId;
+use subq_concepts::symbol::Vocabulary;
+use subq_concepts::term::TermArena;
+
+/// One rule application.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// The rule that was applied.
+    pub rule: RuleId,
+    /// Constraints added to the facts `F` by this application.
+    pub added_facts: Vec<Constraint>,
+    /// Constraints added to the goals `G` by this application.
+    pub added_goals: Vec<Constraint>,
+    /// A substitution `[from ↦ to]` performed by this application (rules D3
+    /// and S4).
+    pub substitution: Option<(Ind, Ind)>,
+}
+
+impl TraceStep {
+    /// Renders the step as a single line in the style of Figure 11, e.g.
+    /// `F ∪= {x consults y1, y1: Female ⊓ Doctor}   [D6]`.
+    pub fn render(&self, voc: &Vocabulary, arena: &TermArena) -> String {
+        let mut parts = Vec::new();
+        if let Some((from, to)) = self.substitution {
+            parts.push(format!("[{} ↦ {}]", from.render(voc), to.render(voc)));
+        }
+        if !self.added_facts.is_empty() {
+            let facts: Vec<String> = self
+                .added_facts
+                .iter()
+                .map(|c| c.render(voc, arena))
+                .collect();
+            parts.push(format!("F ∪= {{{}}}", facts.join(", ")));
+        }
+        if !self.added_goals.is_empty() {
+            let goals: Vec<String> = self
+                .added_goals
+                .iter()
+                .map(|c| c.render(voc, arena))
+                .collect();
+            parts.push(format!("G ∪= {{{}}}", goals.join(", ")));
+        }
+        format!("{:<60}  [{}]", parts.join("   "), self.rule)
+    }
+}
+
+/// The full derivation of a completion.
+#[derive(Clone, Debug, Default)]
+pub struct DerivationTrace {
+    steps: Vec<TraceStep>,
+}
+
+impl DerivationTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        DerivationTrace::default()
+    }
+
+    /// Records a rule application.
+    pub fn push(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// The recorded steps, in application order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of rule applications.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no rule was applied.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// How many times a particular rule was applied.
+    pub fn count_rule(&self, rule: RuleId) -> usize {
+        self.steps.iter().filter(|s| s.rule == rule).count()
+    }
+
+    /// The rules applied, in order, with multiplicity.
+    pub fn rule_sequence(&self) -> Vec<RuleId> {
+        self.steps.iter().map(|s| s.rule).collect()
+    }
+
+    /// Renders the whole derivation, one rule application per line
+    /// (Figure 11 style).
+    pub fn render(&self, voc: &Vocabulary, arena: &TermArena) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!("{:>3}. {}\n", i + 1, step.render(voc, arena)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates_and_counts() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let mut arena = TermArena::new();
+        let p = arena.prim(patient);
+
+        let mut trace = DerivationTrace::new();
+        assert!(trace.is_empty());
+        trace.push(TraceStep {
+            rule: RuleId::D1,
+            added_facts: vec![Constraint::Member(Ind::ROOT, p)],
+            added_goals: vec![],
+            substitution: None,
+        });
+        trace.push(TraceStep {
+            rule: RuleId::G1,
+            added_facts: vec![],
+            added_goals: vec![Constraint::Member(Ind::ROOT, p)],
+            substitution: None,
+        });
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.count_rule(RuleId::D1), 1);
+        assert_eq!(trace.count_rule(RuleId::C1), 0);
+        assert_eq!(trace.rule_sequence(), vec![RuleId::D1, RuleId::G1]);
+
+        let rendered = trace.render(&voc, &arena);
+        assert!(rendered.contains("[D1]"));
+        assert!(rendered.contains("x: Patient"));
+        assert!(rendered.contains("G ∪= {x: Patient}"));
+    }
+
+    #[test]
+    fn substitution_steps_render_the_mapping() {
+        let mut voc = Vocabulary::new();
+        let aspirin = voc.constant("Aspirin");
+        let arena = TermArena::new();
+        let step = TraceStep {
+            rule: RuleId::D3,
+            added_facts: vec![],
+            added_goals: vec![],
+            substitution: Some((Ind::Var(2), Ind::Const(aspirin))),
+        };
+        let rendered = step.render(&voc, &arena);
+        assert!(rendered.contains("y2 ↦ Aspirin"));
+        assert!(rendered.contains("[D3]"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Property tests for the subsumption calculus: soundness against the
+//! model-theoretic semantics, basic algebraic laws, and the polynomial
+//! size bound of Proposition 4.8.
+
+use proptest::prelude::*;
+use subq_calculus::SubsumptionChecker;
+use subq_concepts::prelude::*;
+
+const N_CLASSES: usize = 4;
+const N_ATTRS: usize = 3;
+
+/// Concept description without constants (constants only matter for clash
+/// detection, which has dedicated unit tests).
+#[derive(Clone, Debug)]
+enum Desc {
+    Prim(usize),
+    Top,
+    And(Box<Desc>, Box<Desc>),
+    Exists(Vec<(usize, bool, Desc)>),
+    Agree(Vec<(usize, bool, Desc)>, Vec<(usize, bool, Desc)>),
+}
+
+fn desc() -> impl Strategy<Value = Desc> {
+    let leaf = prop_oneof![
+        (0..N_CLASSES).prop_map(Desc::Prim),
+        Just(Desc::Top),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        let step = (0..N_ATTRS, any::<bool>(), inner.clone());
+        let path = prop::collection::vec(step, 1..3);
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Desc::And(Box::new(a), Box::new(b))),
+            path.clone().prop_map(Desc::Exists),
+            (path.clone(), path).prop_map(|(p, q)| Desc::Agree(p, q)),
+        ]
+    })
+}
+
+/// A random schema over the same small vocabulary: a handful of inclusion,
+/// value-restriction, necessity and functionality axioms plus attribute
+/// typings.
+#[derive(Clone, Debug)]
+struct SchemaDesc {
+    isa: Vec<(usize, usize)>,
+    all: Vec<(usize, usize, usize)>,
+    necessary: Vec<(usize, usize)>,
+    functional: Vec<(usize, usize)>,
+    typings: Vec<(usize, usize, usize)>,
+}
+
+fn schema_desc() -> impl Strategy<Value = SchemaDesc> {
+    (
+        prop::collection::vec((0..N_CLASSES, 0..N_CLASSES), 0..4),
+        prop::collection::vec((0..N_CLASSES, 0..N_ATTRS, 0..N_CLASSES), 0..4),
+        prop::collection::vec((0..N_CLASSES, 0..N_ATTRS), 0..3),
+        prop::collection::vec((0..N_CLASSES, 0..N_ATTRS), 0..2),
+        prop::collection::vec((0..N_ATTRS, 0..N_CLASSES, 0..N_CLASSES), 0..2),
+    )
+        .prop_map(|(isa, all, necessary, functional, typings)| SchemaDesc {
+            isa,
+            all,
+            necessary,
+            functional,
+            typings,
+        })
+}
+
+struct World {
+    arena: TermArena,
+    classes: Vec<ClassId>,
+    attrs: Vec<AttrId>,
+}
+
+fn world() -> World {
+    let mut voc = Vocabulary::new();
+    let classes = (0..N_CLASSES).map(|i| voc.class(&format!("K{i}"))).collect();
+    let attrs = (0..N_ATTRS).map(|i| voc.attribute(&format!("r{i}"))).collect();
+    World {
+        arena: TermArena::new(),
+        classes,
+        attrs,
+    }
+}
+
+fn intern(world: &mut World, d: &Desc) -> ConceptId {
+    match d {
+        Desc::Prim(i) => world.arena.prim(world.classes[*i]),
+        Desc::Top => world.arena.top(),
+        Desc::And(a, b) => {
+            let l = intern(world, a);
+            let r = intern(world, b);
+            world.arena.and(l, r)
+        }
+        Desc::Exists(steps) => {
+            let p = intern_path(world, steps);
+            world.arena.exists(p)
+        }
+        Desc::Agree(p, q) => {
+            let pp = intern_path(world, p);
+            let qq = intern_path(world, q);
+            world.arena.agree(pp, qq)
+        }
+    }
+}
+
+fn intern_path(world: &mut World, steps: &[(usize, bool, Desc)]) -> PathId {
+    let interned: Vec<(Attr, ConceptId)> = steps
+        .iter()
+        .map(|(a, inv, d)| {
+            let c = intern(world, d);
+            let attr = if *inv {
+                Attr::inverse_of(world.attrs[*a])
+            } else {
+                Attr::primitive(world.attrs[*a])
+            };
+            (attr, c)
+        })
+        .collect();
+    world.arena.path_of(&interned)
+}
+
+fn build_schema(world: &World, d: &SchemaDesc) -> Schema {
+    let mut schema = Schema::new();
+    for (a, b) in &d.isa {
+        schema.add_isa(world.classes[*a], world.classes[*b]);
+    }
+    for (a, p, b) in &d.all {
+        schema.add_value_restriction(world.classes[*a], world.attrs[*p], world.classes[*b]);
+    }
+    for (a, p) in &d.necessary {
+        schema.add_necessary(world.classes[*a], world.attrs[*p]);
+    }
+    for (a, p) in &d.functional {
+        schema.add_functional(world.classes[*a], world.attrs[*p]);
+    }
+    for (p, a, b) in &d.typings {
+        schema.add_attr_typing(world.attrs[*p], world.classes[*a], world.classes[*b]);
+    }
+    schema
+}
+
+#[derive(Clone, Debug)]
+struct InterpDesc {
+    domain: u32,
+    members: Vec<(usize, u32)>,
+    edges: Vec<(usize, u32, u32)>,
+}
+
+fn interp_desc() -> impl Strategy<Value = InterpDesc> {
+    (2u32..5).prop_flat_map(|domain| {
+        (
+            Just(domain),
+            prop::collection::vec((0..N_CLASSES, 0..domain), 0..12),
+            prop::collection::vec((0..N_ATTRS, 0..domain, 0..domain), 0..14),
+        )
+            .prop_map(|(domain, members, edges)| InterpDesc {
+                domain,
+                members,
+                edges,
+            })
+    })
+}
+
+fn build_interp(world: &World, d: &InterpDesc) -> Interpretation {
+    let mut interp = Interpretation::new(d.domain);
+    for (c, e) in &d.members {
+        interp.add_class_member(world.classes[*c], Element(*e));
+    }
+    for (a, from, to) in &d.edges {
+        interp.add_attr_pair(world.attrs[*a], Element(*from), Element(*to));
+    }
+    interp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness for the empty schema: whenever the calculus claims
+    /// `C ⊑ D`, the extensions satisfy `C^I ⊆ D^I` in every interpretation.
+    #[test]
+    fn soundness_on_empty_schema(c in desc(), d in desc(), i in interp_desc()) {
+        let mut w = world();
+        let cq = intern(&mut w, &c);
+        let dv = intern(&mut w, &d);
+        let schema = Schema::new();
+        let checker = SubsumptionChecker::new(&schema);
+        if checker.subsumes(&mut w.arena, cq, dv) {
+            let interp = build_interp(&w, &i);
+            prop_assert!(
+                interp.subsumed_here(&w.arena, cq, dv),
+                "calculus claimed subsumption but found counterexample"
+            );
+        }
+    }
+
+    /// Soundness with a schema: whenever the calculus claims `C ⊑_Σ D`,
+    /// every interpretation that satisfies Σ also satisfies the inclusion.
+    /// Interpretations that violate Σ are skipped (they are irrelevant to
+    /// Σ-subsumption).
+    #[test]
+    fn soundness_with_schema(
+        c in desc(),
+        d in desc(),
+        s in schema_desc(),
+        i in interp_desc(),
+    ) {
+        let mut w = world();
+        let cq = intern(&mut w, &c);
+        let dv = intern(&mut w, &d);
+        let schema = build_schema(&w, &s);
+        let checker = SubsumptionChecker::new(&schema);
+        if checker.subsumes(&mut w.arena, cq, dv) {
+            let interp = build_interp(&w, &i);
+            if interp.satisfies_schema(&schema) {
+                prop_assert!(
+                    interp.subsumed_here(&w.arena, cq, dv),
+                    "Σ-model violates claimed Σ-subsumption"
+                );
+            }
+        }
+    }
+
+    /// Reflexivity, the ⊤ upper bound, and conjunct projection hold for
+    /// every concept and schema.
+    #[test]
+    fn reflexivity_top_and_projection(c in desc(), d in desc(), s in schema_desc()) {
+        let mut w = world();
+        let cq = intern(&mut w, &c);
+        let dv = intern(&mut w, &d);
+        let both = w.arena.and(cq, dv);
+        let top = w.arena.top();
+        let schema = build_schema(&w, &s);
+        let checker = SubsumptionChecker::new(&schema);
+        prop_assert!(checker.subsumes(&mut w.arena, cq, cq));
+        prop_assert!(checker.subsumes(&mut w.arena, cq, top));
+        prop_assert!(checker.subsumes(&mut w.arena, both, cq));
+        prop_assert!(checker.subsumes(&mut w.arena, both, dv));
+    }
+
+    /// Strengthening the query preserves subsumption: if `C ⊑_Σ D` then
+    /// `C ⊓ E ⊑_Σ D`.
+    #[test]
+    fn query_strengthening_is_monotone(
+        c in desc(),
+        d in desc(),
+        e in desc(),
+        s in schema_desc(),
+    ) {
+        let mut w = world();
+        let cq = intern(&mut w, &c);
+        let dv = intern(&mut w, &d);
+        let extra = intern(&mut w, &e);
+        let schema = build_schema(&w, &s);
+        let checker = SubsumptionChecker::new(&schema);
+        if checker.subsumes(&mut w.arena, cq, dv) {
+            let stronger = w.arena.and(cq, extra);
+            prop_assert!(checker.subsumes(&mut w.arena, stronger, dv));
+        }
+    }
+
+    /// Transitivity: `C ⊑_Σ D` and `D ⊑_Σ E` imply `C ⊑_Σ E`.
+    #[test]
+    fn subsumption_is_transitive(
+        c in desc(),
+        d in desc(),
+        e in desc(),
+        s in schema_desc(),
+    ) {
+        let mut w = world();
+        let cc = intern(&mut w, &c);
+        let dd = intern(&mut w, &d);
+        let ee = intern(&mut w, &e);
+        let schema = build_schema(&w, &s);
+        let checker = SubsumptionChecker::new(&schema);
+        if checker.subsumes(&mut w.arena, cc, dd) && checker.subsumes(&mut w.arena, dd, ee) {
+            prop_assert!(checker.subsumes(&mut w.arena, cc, ee));
+        }
+    }
+
+    /// Proposition 4.8: the number of individuals in the completion is at
+    /// most the product of the concept sizes (plus the root bookkeeping).
+    #[test]
+    fn individual_bound_of_proposition_4_8(c in desc(), d in desc(), s in schema_desc()) {
+        let mut w = world();
+        let cq = intern(&mut w, &c);
+        let dv = intern(&mut w, &d);
+        let schema = build_schema(&w, &s);
+        let checker = SubsumptionChecker::new(&schema);
+        let outcome = checker.check(&mut w.arena, cq, dv);
+        let m = w.arena.concept_size(outcome.normalized_query);
+        let n = w.arena.concept_size(outcome.normalized_view);
+        prop_assert!(
+            outcome.stats.individuals <= m * n + 1,
+            "individuals {} exceed bound {}·{}+1",
+            outcome.stats.individuals, m, n
+        );
+    }
+}

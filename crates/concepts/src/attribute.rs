@@ -1,0 +1,109 @@
+//! Attributes of the query language QL: primitive attributes and their
+//! inverses.
+//!
+//! In the schema language SL attributes must be primitive; in QL an
+//! attribute `R` can be a primitive attribute `P` or an inverse `P⁻¹`
+//! (Section 3.1 of the paper). The paper writes `R⁻¹` for the operation
+//! that maps `P` to `P⁻¹` and `P⁻¹` back to `P`; this is [`Attr::inverse`].
+
+use crate::symbol::AttrId;
+use serde::{Deserialize, Serialize};
+
+/// A QL attribute: a primitive attribute or the inverse of one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Attr {
+    prim: AttrId,
+    inverted: bool,
+}
+
+impl Attr {
+    /// The primitive attribute `P`.
+    #[inline]
+    pub fn primitive(prim: AttrId) -> Self {
+        Attr {
+            prim,
+            inverted: false,
+        }
+    }
+
+    /// The inverse attribute `P⁻¹`.
+    #[inline]
+    pub fn inverse_of(prim: AttrId) -> Self {
+        Attr {
+            prim,
+            inverted: true,
+        }
+    }
+
+    /// The underlying primitive attribute symbol.
+    #[inline]
+    pub fn base(self) -> AttrId {
+        self.prim
+    }
+
+    /// Whether this attribute is an inverse `P⁻¹`.
+    #[inline]
+    pub fn is_inverted(self) -> bool {
+        self.inverted
+    }
+
+    /// Whether this attribute is a plain primitive attribute `P`.
+    #[inline]
+    pub fn is_primitive(self) -> bool {
+        !self.inverted
+    }
+
+    /// The paper's `R⁻¹`: `P ↦ P⁻¹` and `P⁻¹ ↦ P`.
+    #[inline]
+    pub fn inverse(self) -> Self {
+        Attr {
+            prim: self.prim,
+            inverted: !self.inverted,
+        }
+    }
+
+    /// If this attribute is primitive, returns its symbol.
+    #[inline]
+    pub fn as_primitive(self) -> Option<AttrId> {
+        if self.inverted {
+            None
+        } else {
+            Some(self.prim)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> AttrId {
+        AttrId::from_index(n as usize)
+    }
+
+    #[test]
+    fn inverse_is_an_involution() {
+        let a = Attr::primitive(p(3));
+        assert_eq!(a.inverse().inverse(), a);
+        let b = Attr::inverse_of(p(3));
+        assert_eq!(b.inverse().inverse(), b);
+        assert_eq!(a.inverse(), b);
+    }
+
+    #[test]
+    fn primitive_and_inverse_are_distinct() {
+        let a = Attr::primitive(p(1));
+        let b = Attr::inverse_of(p(1));
+        assert_ne!(a, b);
+        assert_eq!(a.base(), b.base());
+        assert!(a.is_primitive());
+        assert!(!b.is_primitive());
+        assert!(b.is_inverted());
+    }
+
+    #[test]
+    fn as_primitive_only_for_non_inverted() {
+        assert_eq!(Attr::primitive(p(2)).as_primitive(), Some(p(2)));
+        assert_eq!(Attr::inverse_of(p(2)).as_primitive(), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! A name-based convenience builder for QL concepts.
+//!
+//! The arena API works on interned identifiers; tests, examples, and the
+//! workload generators often want to write concepts down by name. The
+//! [`ConceptBuilder`] borrows a [`Vocabulary`] and a [`TermArena`] and
+//! interns names on the fly.
+
+use crate::attribute::Attr;
+use crate::symbol::Vocabulary;
+use crate::term::{ConceptId, PathId, TermArena};
+
+/// Builder interning names and constructing concepts in one go.
+pub struct ConceptBuilder<'a> {
+    voc: &'a mut Vocabulary,
+    arena: &'a mut TermArena,
+}
+
+impl<'a> ConceptBuilder<'a> {
+    /// Creates a builder over the given vocabulary and arena.
+    pub fn new(voc: &'a mut Vocabulary, arena: &'a mut TermArena) -> Self {
+        ConceptBuilder { voc, arena }
+    }
+
+    /// The primitive attribute with the given name.
+    pub fn attr(&mut self, name: &str) -> Attr {
+        Attr::primitive(self.voc.attribute(name))
+    }
+
+    /// The inverse of the primitive attribute with the given name.
+    pub fn inv(&mut self, name: &str) -> Attr {
+        Attr::inverse_of(self.voc.attribute(name))
+    }
+
+    /// The primitive concept with the given class name.
+    pub fn prim(&mut self, name: &str) -> ConceptId {
+        let class = self.voc.class(name);
+        self.arena.prim(class)
+    }
+
+    /// The universal concept `⊤`.
+    pub fn top(&mut self) -> ConceptId {
+        self.arena.top()
+    }
+
+    /// The singleton `{name}`.
+    pub fn singleton(&mut self, name: &str) -> ConceptId {
+        let constant = self.voc.constant(name);
+        self.arena.singleton(constant)
+    }
+
+    /// Intersection of the given concepts (`⊤` if empty).
+    pub fn and(&mut self, concepts: &[ConceptId]) -> ConceptId {
+        self.arena.and_all(concepts.iter().copied())
+    }
+
+    /// A path from `(attribute, restriction)` steps.
+    pub fn path(&mut self, steps: &[(Attr, ConceptId)]) -> PathId {
+        self.arena.path_of(steps)
+    }
+
+    /// `∃p` for the path made of the given steps.
+    pub fn exists(&mut self, steps: &[(Attr, ConceptId)]) -> ConceptId {
+        let path = self.arena.path_of(steps);
+        self.arena.exists(path)
+    }
+
+    /// `∃p ≐ q`.
+    pub fn agree(&mut self, p: PathId, q: PathId) -> ConceptId {
+        self.arena.agree(p, q)
+    }
+
+    /// `∃p ≐ ε`.
+    pub fn agree_eps(&mut self, p: PathId) -> ConceptId {
+        self.arena.agree_epsilon(p)
+    }
+
+    /// Access to the underlying arena for operations not covered here.
+    pub fn arena(&mut self) -> &mut TermArena {
+        self.arena
+    }
+
+    /// Access to the underlying vocabulary.
+    pub fn vocabulary(&mut self) -> &mut Vocabulary {
+        self.voc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::DisplayCtx;
+
+    #[test]
+    fn builds_the_paper_view_concept() {
+        let mut voc = Vocabulary::new();
+        let mut arena = TermArena::new();
+        let mut b = ConceptBuilder::new(&mut voc, &mut arena);
+
+        // D_V = Patient ⊓ ∃(name: String) ⊓
+        //       ∃(consults: Doctor)(skilled_in: Disease) ≐ (suffers: Disease)
+        let patient = b.prim("Patient");
+        let string = b.prim("String");
+        let doctor = b.prim("Doctor");
+        let disease = b.prim("Disease");
+        let name = b.attr("name");
+        let consults = b.attr("consults");
+        let skilled_in = b.attr("skilled_in");
+        let suffers = b.attr("suffers");
+
+        let has_name = b.exists(&[(name, string)]);
+        let p = b.path(&[(consults, doctor), (skilled_in, disease)]);
+        let q = b.path(&[(suffers, disease)]);
+        let agree = b.agree(p, q);
+        let view = b.and(&[patient, has_name, agree]);
+
+        let ctx = DisplayCtx::new(&voc, &arena);
+        assert_eq!(
+            ctx.concept(view),
+            "Patient ⊓ ∃(name: String) ⊓ ∃(consults: Doctor)(skilled_in: Disease) ≐ (suffers: Disease)"
+        );
+    }
+
+    #[test]
+    fn inverse_attributes_and_singletons() {
+        let mut voc = Vocabulary::new();
+        let mut arena = TermArena::new();
+        let mut b = ConceptBuilder::new(&mut voc, &mut arena);
+        let skilled = b.inv("skilled_in");
+        assert!(skilled.is_inverted());
+        let aspirin = b.singleton("Aspirin");
+        let ex = b.exists(&[(skilled, aspirin)]);
+        let ctx = DisplayCtx::new(&voc, &arena);
+        assert_eq!(ctx.concept(ex), "∃(skilled_in⁻¹: {Aspirin})");
+    }
+
+    #[test]
+    fn empty_and_is_top() {
+        let mut voc = Vocabulary::new();
+        let mut arena = TermArena::new();
+        let mut b = ConceptBuilder::new(&mut voc, &mut arena);
+        let top = b.and(&[]);
+        assert_eq!(top, b.top());
+    }
+}

@@ -1,0 +1,141 @@
+//! Rendering of concepts, paths, and attributes in the paper's notation.
+
+use crate::attribute::Attr;
+use crate::symbol::Vocabulary;
+use crate::term::{Concept, ConceptId, Path, PathId, TermArena};
+
+/// A display context pairing a vocabulary (for names) with a term arena
+/// (for structure).
+#[derive(Clone, Copy)]
+pub struct DisplayCtx<'a> {
+    voc: &'a Vocabulary,
+    arena: &'a TermArena,
+}
+
+impl<'a> DisplayCtx<'a> {
+    /// Creates a display context.
+    pub fn new(voc: &'a Vocabulary, arena: &'a TermArena) -> Self {
+        DisplayCtx { voc, arena }
+    }
+
+    /// Renders an attribute: `consults` or `skilled_in⁻¹`.
+    pub fn attr(&self, attr: Attr) -> String {
+        let name = self.voc.attr_name(attr.base());
+        if attr.is_inverted() {
+            format!("{name}⁻¹")
+        } else {
+            name.to_owned()
+        }
+    }
+
+    /// Renders a path: `(consults: Doctor)(skilled_in: Disease)` or `ε`.
+    pub fn path(&self, path: PathId) -> String {
+        if self.arena.is_empty_path(path) {
+            return "ε".to_owned();
+        }
+        let mut out = String::new();
+        let mut current = path;
+        loop {
+            match self.arena.path(current) {
+                Path::Empty => break,
+                Path::Step(restriction, rest) => {
+                    out.push('(');
+                    out.push_str(&self.attr(restriction.attr));
+                    out.push_str(": ");
+                    out.push_str(&self.concept(restriction.concept));
+                    out.push(')');
+                    current = rest;
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a concept in the paper's notation, e.g.
+    /// `Male ⊓ Patient ⊓ ∃(consults: Female) ≐ (suffers: ⊤)(…)`.
+    pub fn concept(&self, concept: ConceptId) -> String {
+        match self.arena.concept(concept) {
+            Concept::Prim(class) => self.voc.class_name(class).to_owned(),
+            Concept::Top => "⊤".to_owned(),
+            Concept::Singleton(constant) => format!("{{{}}}", self.voc.const_name(constant)),
+            Concept::And(..) => {
+                let parts: Vec<String> = self
+                    .arena
+                    .conjuncts(concept)
+                    .into_iter()
+                    .map(|c| self.conjunct(c))
+                    .collect();
+                parts.join(" ⊓ ")
+            }
+            Concept::Exists(path) => format!("∃{}", self.path(path)),
+            Concept::Agree(p, q) => format!("∃{} ≐ {}", self.path(p), self.path(q)),
+        }
+    }
+
+    /// Renders a conjunct, parenthesizing nested agreements for
+    /// readability.
+    fn conjunct(&self, concept: ConceptId) -> String {
+        match self.arena.concept(concept) {
+            Concept::Agree(..) => self.concept(concept),
+            _ => self.concept(concept),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_style_concepts() {
+        let mut voc = Vocabulary::new();
+        let male = voc.class("Male");
+        let patient = voc.class("Patient");
+        let female = voc.class("Female");
+        let consults = voc.attribute("consults");
+        let suffers = voc.attribute("suffers");
+
+        let mut arena = TermArena::new();
+        let male_c = arena.prim(male);
+        let patient_c = arena.prim(patient);
+        let female_c = arena.prim(female);
+        let top = arena.top();
+        let p = arena.path1(Attr::primitive(consults), female_c);
+        let q = arena.path1(Attr::primitive(suffers), top);
+        let agree = arena.agree(p, q);
+        let c = arena.and_all([male_c, patient_c, agree]);
+
+        let ctx = DisplayCtx::new(&voc, &arena);
+        let rendered = ctx.concept(c);
+        assert_eq!(
+            rendered,
+            "Male ⊓ Patient ⊓ ∃(consults: Female) ≐ (suffers: ⊤)"
+        );
+    }
+
+    #[test]
+    fn renders_inverse_attributes_and_singletons() {
+        let mut voc = Vocabulary::new();
+        let skilled_in = voc.attribute("skilled_in");
+        let aspirin = voc.constant("Aspirin");
+        let mut arena = TermArena::new();
+        let sing = arena.singleton(aspirin);
+        let path = arena.path1(Attr::inverse_of(skilled_in), sing);
+        let ex = arena.exists(path);
+        let ctx = DisplayCtx::new(&voc, &arena);
+        assert_eq!(ctx.concept(ex), "∃(skilled_in⁻¹: {Aspirin})");
+    }
+
+    #[test]
+    fn renders_empty_path_as_epsilon() {
+        let mut voc = Vocabulary::new();
+        let r = voc.attribute("r");
+        let mut arena = TermArena::new();
+        let top = arena.top();
+        let p = arena.path1(Attr::primitive(r), top);
+        let agree = arena.agree_epsilon(p);
+        let ctx = DisplayCtx::new(&voc, &arena);
+        assert_eq!(ctx.concept(agree), "∃(r: ⊤) ≐ ε");
+        assert_eq!(ctx.path(arena.epsilon()), "ε");
+    }
+}

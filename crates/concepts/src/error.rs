@@ -1,0 +1,56 @@
+//! Error types shared by the concept-language layer.
+
+use std::fmt;
+
+/// Errors raised while building or evaluating concepts and schemas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConceptError {
+    /// A constant occurring in a concept has no denotation in the
+    /// interpretation it is evaluated against.
+    UnmappedConstant(String),
+    /// Two distinct constants were mapped to the same domain element,
+    /// violating the Unique Name Assumption.
+    UniqueNameViolation(String, String),
+    /// An operation expected the normalized agreement form `∃p ≐ ε` but was
+    /// given a general agreement `∃p ≐ q`.
+    NotNormalized,
+    /// An SL axiom refers to a symbol kind it cannot contain (e.g. an
+    /// inverse attribute).
+    IllFormedAxiom(String),
+}
+
+impl fmt::Display for ConceptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConceptError::UnmappedConstant(name) => {
+                write!(f, "constant `{name}` has no denotation in the interpretation")
+            }
+            ConceptError::UniqueNameViolation(a, b) => write!(
+                f,
+                "constants `{a}` and `{b}` denote the same element, violating the unique name assumption"
+            ),
+            ConceptError::NotNormalized => {
+                write!(f, "concept is not in the normalized `∃p ≐ ε` agreement form")
+            }
+            ConceptError::IllFormedAxiom(msg) => write!(f, "ill-formed schema axiom: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConceptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_payload() {
+        let e = ConceptError::UnmappedConstant("Aspirin".into());
+        assert!(e.to_string().contains("Aspirin"));
+        let e = ConceptError::UniqueNameViolation("a".into(), "b".into());
+        assert!(e.to_string().contains('a') && e.to_string().contains('b'));
+        assert!(ConceptError::NotNormalized.to_string().contains("normalized"));
+        let e = ConceptError::IllFormedAxiom("inverse attribute".into());
+        assert!(e.to_string().contains("inverse attribute"));
+    }
+}

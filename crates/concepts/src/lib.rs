@@ -1,0 +1,70 @@
+//! Abstract schema and query concept languages for object-oriented databases.
+//!
+//! This crate implements the two abstract languages of Buchheit, Jeusfeld,
+//! Nutt and Staudt, *Subsumption between Queries to Object-Oriented
+//! Databases* (EDBT'94):
+//!
+//! * **SL**, the schema language, whose axioms capture the structural part
+//!   of an OODB schema: subclass inclusions `A ⊑ D` with
+//!   `D ::= A | ∀P.A | ∃P | (≤1 P)` and attribute typings `P ⊑ A₁ × A₂`
+//!   (see [`schema`]).
+//! * **QL**, the query language, whose concepts capture the structural part
+//!   of query classes: `C ::= A | ⊤ | {a} | C ⊓ D | ∃p | ∃p ≐ q` over paths
+//!   of restricted, possibly inverted attributes (see [`term`]).
+//!
+//! Both languages are given their two semantics from Table 1 of the paper:
+//! the *set semantics* over finite interpretations ([`interpretation`]) and
+//! the *transformational semantics* into first-order formulas ([`fol`]).
+//!
+//! Concepts and paths are hash-consed into a [`term::TermArena`], so that
+//! structural equality is identifier equality and the downstream calculus
+//! can treat constraints as small `Copy` values.
+//!
+//! # Quick example
+//!
+//! ```
+//! use subq_concepts::prelude::*;
+//!
+//! let mut voc = Vocabulary::new();
+//! let doctor = voc.class("Doctor");
+//! let consults = voc.attribute("consults");
+//!
+//! let mut arena = TermArena::new();
+//! let d = arena.prim(doctor);
+//! // ∃(consults: Doctor)
+//! let path = arena.path1(Attr::primitive(consults), d);
+//! let c = arena.exists(path);
+//! assert_eq!(arena.concept_size(c), 3);
+//! ```
+
+pub mod attribute;
+pub mod builder;
+pub mod display;
+pub mod error;
+pub mod fol;
+pub mod interpretation;
+pub mod normalize;
+pub mod schema;
+pub mod symbol;
+pub mod term;
+
+pub use attribute::Attr;
+pub use builder::ConceptBuilder;
+pub use error::ConceptError;
+pub use interpretation::{Element, Interpretation};
+pub use schema::{Schema, SchemaAxiom, SlConcept};
+pub use symbol::{AttrId, ClassId, ConstId, Vocabulary};
+pub use term::{Concept, ConceptId, Path, PathId, Restriction, TermArena};
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use crate::attribute::Attr;
+    pub use crate::builder::ConceptBuilder;
+    pub use crate::display::DisplayCtx;
+    pub use crate::fol::{Formula, Term, Var};
+    pub use crate::interpretation::{Element, Interpretation};
+    pub use crate::normalize::normalize_concept;
+    pub use crate::schema::{Schema, SchemaAxiom, SlConcept};
+    pub use crate::symbol::{AttrId, ClassId, ConstId, Vocabulary};
+    pub use crate::term::{Concept, ConceptId, Path, PathId, Restriction, TermArena};
+}

@@ -1,0 +1,299 @@
+//! Normalization of path agreements.
+//!
+//! Section 4 of the paper assumes that every agreement concept has the form
+//! `∃p ≐ ε`: "Any concept of the form `∃p ≐ q` is equivalent to a concept
+//! of the form `∃p' ≐ ε`, since paths can be inverted using inverses of
+//! attributes." This module performs that rewriting.
+//!
+//! For `p = (S₁:B₁)⋯(Sₘ:Bₘ)` and `q = (R₁:C₁)⋯(Rₙ:Cₙ)` (`n ≥ 1`), the
+//! normalized path is
+//!
+//! ```text
+//! p' = (S₁:B₁)⋯(Sₘ:Bₘ ⊓ Cₙ) · (Rₙ⁻¹:Cₙ₋₁)(Rₙ₋₁⁻¹:Cₙ₋₂)⋯(R₁⁻¹:⊤)
+//! ```
+//!
+//! i.e. `p` with `q`'s final value restriction merged into its last step,
+//! followed by `q` walked backwards (each attribute inverted, value
+//! restrictions shifted by one position, the landing on the start object
+//! restricted only by `⊤`). When `p = ε` the two paths simply swap roles.
+//! This reproduces the rewriting used for the example in Section 4.1 of the
+//! paper (`C_Q`, `D_V` before Figure 11).
+
+use crate::term::{Concept, ConceptId, Path, PathId, Restriction, TermArena};
+
+/// Rewrites a concept so that every agreement sub-concept has the form
+/// `∃p ≐ ε`. Returns the (possibly identical) normalized concept.
+pub fn normalize_concept(arena: &mut TermArena, concept: ConceptId) -> ConceptId {
+    match arena.concept(concept) {
+        Concept::Prim(_) | Concept::Top | Concept::Singleton(_) => concept,
+        Concept::And(l, r) => {
+            let nl = normalize_concept(arena, l);
+            let nr = normalize_concept(arena, r);
+            if nl == l && nr == r {
+                concept
+            } else {
+                arena.and(nl, nr)
+            }
+        }
+        Concept::Exists(p) => {
+            let np = normalize_path(arena, p);
+            if np == p {
+                concept
+            } else {
+                arena.exists(np)
+            }
+        }
+        Concept::Agree(p, q) => {
+            let np = normalize_path(arena, p);
+            let nq = normalize_path(arena, q);
+            let merged = merge_agreement(arena, np, nq);
+            arena.agree_epsilon(merged)
+        }
+    }
+}
+
+/// Whether every agreement sub-concept already has the form `∃p ≐ ε`.
+pub fn is_normalized(arena: &TermArena, concept: ConceptId) -> bool {
+    match arena.concept(concept) {
+        Concept::Prim(_) | Concept::Top | Concept::Singleton(_) => true,
+        Concept::And(l, r) => is_normalized(arena, l) && is_normalized(arena, r),
+        Concept::Exists(p) => is_normalized_path(arena, p),
+        Concept::Agree(p, q) => {
+            arena.is_empty_path(q) && is_normalized_path(arena, p)
+        }
+    }
+}
+
+fn is_normalized_path(arena: &TermArena, path: PathId) -> bool {
+    match arena.path(path) {
+        Path::Empty => true,
+        Path::Step(restriction, rest) => {
+            is_normalized(arena, restriction.concept) && is_normalized_path(arena, rest)
+        }
+    }
+}
+
+/// Normalizes the value restrictions inside a path.
+fn normalize_path(arena: &mut TermArena, path: PathId) -> PathId {
+    let steps = arena.path_steps(path);
+    let mut changed = false;
+    let mut normalized: Vec<Restriction> = Vec::with_capacity(steps.len());
+    for step in steps {
+        let concept = normalize_concept(arena, step.concept);
+        if concept != step.concept {
+            changed = true;
+        }
+        normalized.push(Restriction {
+            attr: step.attr,
+            concept,
+        });
+    }
+    if !changed {
+        return path;
+    }
+    rebuild_path(arena, &normalized)
+}
+
+fn rebuild_path(arena: &mut TermArena, steps: &[Restriction]) -> PathId {
+    let mut path = arena.empty_path();
+    for step in steps.iter().rev() {
+        path = arena.step(step.attr, step.concept, path);
+    }
+    path
+}
+
+/// Combines the two paths of an agreement `∃p ≐ q` into the single path
+/// `p'` of the equivalent `∃p' ≐ ε`.
+fn merge_agreement(arena: &mut TermArena, p: PathId, q: PathId) -> PathId {
+    if arena.is_empty_path(q) {
+        return p;
+    }
+    if arena.is_empty_path(p) {
+        // ∃ε ≐ q is equivalent to ∃q ≐ ε: both state that q loops back to
+        // the start object.
+        return q;
+    }
+
+    let p_steps = arena.path_steps(p);
+    let q_steps = arena.path_steps(q);
+    let q_last = q_steps.last().expect("q is non-empty");
+
+    // p with q's final value restriction merged into its last step.
+    let mut merged: Vec<Restriction> = p_steps.clone();
+    let last = merged.last_mut().expect("p is non-empty");
+    last.concept = arena.and(last.concept, q_last.concept);
+
+    // q walked backwards: attribute of step i inverted, restricted by the
+    // value restriction of step i-1 (⊤ when landing back on the start).
+    let top = arena.top();
+    for i in (0..q_steps.len()).rev() {
+        let landing = if i == 0 {
+            top
+        } else {
+            q_steps[i - 1].concept
+        };
+        merged.push(Restriction {
+            attr: q_steps[i].attr.inverse(),
+            concept: landing,
+        });
+    }
+
+    rebuild_path(arena, &merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attr;
+    use crate::interpretation::{Element, Interpretation};
+    use crate::symbol::Vocabulary;
+
+    /// Rebuilds the paper's query concept C_Q and checks that its
+    /// normalization is exactly the rewritten form shown in Section 4.1.
+    #[test]
+    fn paper_example_normalizes_as_printed() {
+        let mut voc = Vocabulary::new();
+        let male = voc.class("Male");
+        let patient = voc.class("Patient");
+        let female = voc.class("Female");
+        let doctor = voc.class("Doctor");
+        let consults = voc.attribute("consults");
+        let suffers = voc.attribute("suffers");
+        let skilled_in = voc.attribute("skilled_in");
+
+        let mut arena = TermArena::new();
+        let male_c = arena.prim(male);
+        let patient_c = arena.prim(patient);
+        let female_c = arena.prim(female);
+        let doctor_c = arena.prim(doctor);
+        let top = arena.top();
+
+        // p = (consults: Female), q = (suffers: ⊤)(skilled_in⁻¹: Doctor)
+        let p = arena.path1(Attr::primitive(consults), female_c);
+        let q = arena.path_of(&[
+            (Attr::primitive(suffers), top),
+            (Attr::inverse_of(skilled_in), doctor_c),
+        ]);
+        let agree = arena.agree(p, q);
+        let c_q = arena.and_all([male_c, patient_c, agree]);
+
+        let normalized = normalize_concept(&mut arena, c_q);
+        assert!(is_normalized(&arena, normalized));
+
+        // Expected: Male ⊓ Patient ⊓
+        //   ∃(consults: Female ⊓ Doctor)(skilled_in: ⊤)(suffers⁻¹: ⊤) ≐ ε
+        let conjuncts = arena.conjuncts(normalized);
+        assert_eq!(conjuncts.len(), 3);
+        let Concept::Agree(path, eps) = arena.concept(conjuncts[2]) else {
+            panic!("third conjunct must be an agreement");
+        };
+        assert!(arena.is_empty_path(eps));
+        let steps = arena.path_steps(path);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].attr, Attr::primitive(consults));
+        assert_eq!(
+            arena.concept(steps[0].concept),
+            Concept::And(female_c, doctor_c)
+        );
+        assert_eq!(steps[1].attr, Attr::primitive(skilled_in));
+        assert_eq!(steps[1].concept, top);
+        assert_eq!(steps[2].attr, Attr::inverse_of(suffers));
+        assert_eq!(steps[2].concept, top);
+    }
+
+    #[test]
+    fn already_normalized_concepts_are_unchanged() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let r = voc.attribute("r");
+        let mut arena = TermArena::new();
+        let a_c = arena.prim(a);
+        let p = arena.path1(Attr::primitive(r), a_c);
+        let ex = arena.exists(p);
+        let agree = arena.agree_epsilon(p);
+        let c = arena.and(ex, agree);
+        assert!(is_normalized(&arena, c));
+        assert_eq!(normalize_concept(&mut arena, c), c);
+    }
+
+    #[test]
+    fn epsilon_left_path_swaps_roles() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let r = voc.attribute("r");
+        let mut arena = TermArena::new();
+        let a_c = arena.prim(a);
+        let q = arena.path1(Attr::primitive(r), a_c);
+        let eps = arena.empty_path();
+        let agree = arena.agree(eps, q);
+        let normalized = normalize_concept(&mut arena, agree);
+        assert_eq!(normalized, arena.agree_epsilon(q));
+    }
+
+    #[test]
+    fn nested_agreements_inside_paths_are_normalized() {
+        let mut voc = Vocabulary::new();
+        let r = voc.attribute("r");
+        let s = voc.attribute("s");
+        let mut arena = TermArena::new();
+        let top = arena.top();
+        // Inner agreement with two non-empty paths, used as a value
+        // restriction of an outer exists.
+        let p_inner = arena.path1(Attr::primitive(r), top);
+        let q_inner = arena.path1(Attr::primitive(s), top);
+        let inner = arena.agree(p_inner, q_inner);
+        let outer_path = arena.path1(Attr::primitive(r), inner);
+        let outer = arena.exists(outer_path);
+        assert!(!is_normalized(&arena, outer));
+        let normalized = normalize_concept(&mut arena, outer);
+        assert!(is_normalized(&arena, normalized));
+    }
+
+    /// Normalization preserves the set semantics on a concrete
+    /// interpretation (a targeted check; the exhaustive property test lives
+    /// in `tests/semantics_props.rs`).
+    #[test]
+    fn normalization_preserves_extensions() {
+        let mut voc = Vocabulary::new();
+        let female = voc.class("Female");
+        let doctor = voc.class("Doctor");
+        let consults = voc.attribute("consults");
+        let suffers = voc.attribute("suffers");
+        let skilled_in = voc.attribute("skilled_in");
+
+        let mut arena = TermArena::new();
+        let female_c = arena.prim(female);
+        let doctor_c = arena.prim(doctor);
+        let top = arena.top();
+        let p = arena.path1(Attr::primitive(consults), female_c);
+        let q = arena.path_of(&[
+            (Attr::primitive(suffers), top),
+            (Attr::inverse_of(skilled_in), doctor_c),
+        ]);
+        let agree = arena.agree(p, q);
+
+        // Interpretation: patient 0 consults doctor 1 (female, doctor),
+        // suffers disease 2, and 1 is skilled in 2.
+        let mut interp = Interpretation::new(3);
+        interp.add_class_member(female, Element(1));
+        interp.add_class_member(doctor, Element(1));
+        interp.add_attr_pair(consults, Element(0), Element(1));
+        interp.add_attr_pair(suffers, Element(0), Element(2));
+        interp.add_attr_pair(skilled_in, Element(1), Element(2));
+
+        let before = interp.eval_concept(&arena, agree);
+        let normalized = normalize_concept(&mut arena, agree);
+        let after = interp.eval_concept(&arena, normalized);
+        assert_eq!(before, after);
+        assert_eq!(before, std::collections::BTreeSet::from([Element(0)]));
+
+        // Removing the skilled_in edge must empty both extensions.
+        let mut interp2 = Interpretation::new(3);
+        interp2.add_class_member(female, Element(1));
+        interp2.add_class_member(doctor, Element(1));
+        interp2.add_attr_pair(consults, Element(0), Element(1));
+        interp2.add_attr_pair(suffers, Element(0), Element(2));
+        assert!(interp2.eval_concept(&arena, agree).is_empty());
+        assert!(interp2.eval_concept(&arena, normalized).is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! The abstract schema language SL and indexed schemas.
+//!
+//! An SL schema Σ is a set of axioms of two forms (Section 3.1):
+//!
+//! * `A ⊑ D` where `A` is a primitive concept and `D` an SL concept
+//!   `D ::= A' | ∀P.A' | ∃P | (≤1 P)`, and
+//! * `P ⊑ A₁ × A₂`, stating that the primitive attribute `P` has domain
+//!   `A₁` and range `A₂`.
+//!
+//! [`Schema`] stores the axioms and maintains the lookup indexes the
+//! subsumption calculus needs: the schema rules S1–S5 repeatedly ask
+//! questions such as "which `A₂` have `A₁ ⊑ ∀P.A₂ ∈ Σ`?" or
+//! "is `A ⊑ (≤1 P) ∈ Σ`?", and those must be answerable without scanning
+//! the whole axiom set for the procedure to stay polynomial in practice.
+
+use crate::symbol::{AttrId, ClassId, Vocabulary};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// An SL concept: the right-hand side of an inclusion axiom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlConcept {
+    /// A primitive concept `A`.
+    Prim(ClassId),
+    /// Typing of an attribute: `∀P.A` — every `P`-filler is an `A`.
+    All(AttrId, ClassId),
+    /// Necessary attribute: `∃P` — there is at least one `P`-filler.
+    Exists(AttrId),
+    /// Single-valued attribute: `(≤1 P)` — there is at most one `P`-filler.
+    AtMostOne(AttrId),
+}
+
+/// A schema axiom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemaAxiom {
+    /// `A ⊑ D`: all instances of `A` satisfy `D`.
+    Inclusion(ClassId, SlConcept),
+    /// `P ⊑ A₁ × A₂`: the attribute `P` has domain `A₁` and range `A₂`.
+    AttrTyping(AttrId, ClassId, ClassId),
+}
+
+/// An indexed SL schema.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Schema {
+    axioms: Vec<SchemaAxiom>,
+    /// `A ↦ { A' | A ⊑ A' ∈ Σ }` (rule S1).
+    supers: HashMap<ClassId, Vec<ClassId>>,
+    /// `A ↦ [(P, A') | A ⊑ ∀P.A' ∈ Σ]` (rule S2).
+    value_restrictions: HashMap<ClassId, Vec<(AttrId, ClassId)>>,
+    /// `A ↦ { P | A ⊑ ∃P ∈ Σ }` (rule S5).
+    necessary: HashMap<ClassId, HashSet<AttrId>>,
+    /// `A ↦ { P | A ⊑ (≤1 P) ∈ Σ }` (rule S4, clash detection).
+    functional: HashMap<ClassId, HashSet<AttrId>>,
+    /// `P ↦ (A₁, A₂)` (rule S3). A later typing for the same attribute
+    /// overrides an earlier one; well-formed schemas declare each attribute
+    /// once.
+    typings: HashMap<AttrId, (ClassId, ClassId)>,
+    axiom_set: HashSet<SchemaAxiom>,
+}
+
+impl Schema {
+    /// Creates an empty schema (the empty Σ; subsumption then coincides
+    /// with containment of the underlying conjunctive queries).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from an iterator of axioms.
+    pub fn from_axioms<I: IntoIterator<Item = SchemaAxiom>>(axioms: I) -> Self {
+        let mut schema = Schema::new();
+        for axiom in axioms {
+            schema.add_axiom(axiom);
+        }
+        schema
+    }
+
+    /// Adds one axiom, updating all indexes. Duplicate axioms are ignored.
+    pub fn add_axiom(&mut self, axiom: SchemaAxiom) {
+        if !self.axiom_set.insert(axiom) {
+            return;
+        }
+        self.axioms.push(axiom);
+        match axiom {
+            SchemaAxiom::Inclusion(a, SlConcept::Prim(b)) => {
+                self.supers.entry(a).or_default().push(b);
+            }
+            SchemaAxiom::Inclusion(a, SlConcept::All(p, b)) => {
+                self.value_restrictions.entry(a).or_default().push((p, b));
+            }
+            SchemaAxiom::Inclusion(a, SlConcept::Exists(p)) => {
+                self.necessary.entry(a).or_default().insert(p);
+            }
+            SchemaAxiom::Inclusion(a, SlConcept::AtMostOne(p)) => {
+                self.functional.entry(a).or_default().insert(p);
+            }
+            SchemaAxiom::AttrTyping(p, dom, rng) => {
+                self.typings.insert(p, (dom, rng));
+            }
+        }
+    }
+
+    /// Convenience: adds `A ⊑ B` for primitive `B` (an isA link).
+    pub fn add_isa(&mut self, sub: ClassId, sup: ClassId) {
+        self.add_axiom(SchemaAxiom::Inclusion(sub, SlConcept::Prim(sup)));
+    }
+
+    /// Convenience: adds `A ⊑ ∀P.B` (attribute typing within a class).
+    pub fn add_value_restriction(&mut self, class: ClassId, attr: AttrId, range: ClassId) {
+        self.add_axiom(SchemaAxiom::Inclusion(class, SlConcept::All(attr, range)));
+    }
+
+    /// Convenience: adds `A ⊑ ∃P` (the attribute is necessary for `A`).
+    pub fn add_necessary(&mut self, class: ClassId, attr: AttrId) {
+        self.add_axiom(SchemaAxiom::Inclusion(class, SlConcept::Exists(attr)));
+    }
+
+    /// Convenience: adds `A ⊑ (≤1 P)` (the attribute is single-valued on
+    /// `A`).
+    pub fn add_functional(&mut self, class: ClassId, attr: AttrId) {
+        self.add_axiom(SchemaAxiom::Inclusion(class, SlConcept::AtMostOne(attr)));
+    }
+
+    /// Convenience: adds `P ⊑ A₁ × A₂`.
+    pub fn add_attr_typing(&mut self, attr: AttrId, domain: ClassId, range: ClassId) {
+        self.add_axiom(SchemaAxiom::AttrTyping(attr, domain, range));
+    }
+
+    /// All axioms in insertion order.
+    pub fn axioms(&self) -> &[SchemaAxiom] {
+        &self.axioms
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Whether the schema has no axioms.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+
+    /// Direct primitive superclasses of `class` (`class ⊑ A'` axioms).
+    pub fn supers_of(&self, class: ClassId) -> &[ClassId] {
+        self.supers.get(&class).map_or(&[], Vec::as_slice)
+    }
+
+    /// Value restrictions `(P, A')` with `class ⊑ ∀P.A'` in Σ.
+    pub fn value_restrictions_of(&self, class: ClassId) -> &[(AttrId, ClassId)] {
+        self.value_restrictions
+            .get(&class)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `class ⊑ ∃attr` is in Σ.
+    pub fn is_necessary(&self, class: ClassId, attr: AttrId) -> bool {
+        self.necessary
+            .get(&class)
+            .is_some_and(|set| set.contains(&attr))
+    }
+
+    /// The attributes declared necessary for `class`.
+    pub fn necessary_attrs_of(&self, class: ClassId) -> impl Iterator<Item = AttrId> + '_ {
+        self.necessary
+            .get(&class)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// Whether `class ⊑ (≤1 attr)` is in Σ.
+    pub fn is_functional(&self, class: ClassId, attr: AttrId) -> bool {
+        self.functional
+            .get(&class)
+            .is_some_and(|set| set.contains(&attr))
+    }
+
+    /// The attributes declared single-valued for `class`.
+    pub fn functional_attrs_of(&self, class: ClassId) -> impl Iterator<Item = AttrId> + '_ {
+        self.functional
+            .get(&class)
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// The `(domain, range)` typing of an attribute, if declared.
+    pub fn attr_typing(&self, attr: AttrId) -> Option<(ClassId, ClassId)> {
+        self.typings.get(&attr).copied()
+    }
+
+    /// The transitive closure of the declared isA hierarchy starting from
+    /// `class`, excluding `class` itself unless it is part of a cycle.
+    ///
+    /// The calculus does not need this (rule S1 saturates step by step), but
+    /// the OODB engine and the workload generators do.
+    pub fn ancestors_of(&self, class: ClassId) -> Vec<ClassId> {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<ClassId> = self.supers_of(class).to_vec();
+        let mut out = Vec::new();
+        while let Some(next) = stack.pop() {
+            if seen.insert(next) {
+                out.push(next);
+                stack.extend_from_slice(self.supers_of(next));
+            }
+        }
+        out
+    }
+
+    /// Whether `sub` is a (possibly indirect) declared subclass of `sup`.
+    pub fn is_subclass_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        sub == sup || self.ancestors_of(sub).contains(&sup)
+    }
+
+    /// Total syntactic size of the schema: one node per axiom plus one per
+    /// symbol occurrence. Used as the `|Σ|` measure in scaling experiments.
+    pub fn size(&self) -> usize {
+        self.axioms
+            .iter()
+            .map(|axiom| match axiom {
+                SchemaAxiom::Inclusion(_, SlConcept::Prim(_)) => 3,
+                SchemaAxiom::Inclusion(_, SlConcept::All(_, _)) => 4,
+                SchemaAxiom::Inclusion(_, SlConcept::Exists(_)) => 3,
+                SchemaAxiom::Inclusion(_, SlConcept::AtMostOne(_)) => 3,
+                SchemaAxiom::AttrTyping(_, _, _) => 4,
+            })
+            .sum()
+    }
+
+    /// Renders the schema in the paper's notation (Figure 6 style), one
+    /// axiom per line.
+    pub fn render(&self, voc: &Vocabulary) -> String {
+        let mut out = String::new();
+        for axiom in &self.axioms {
+            match *axiom {
+                SchemaAxiom::Inclusion(a, rhs) => {
+                    out.push_str(voc.class_name(a));
+                    out.push_str(" ⊑ ");
+                    match rhs {
+                        SlConcept::Prim(b) => out.push_str(voc.class_name(b)),
+                        SlConcept::All(p, b) => {
+                            out.push_str(&format!("∀{}.{}", voc.attr_name(p), voc.class_name(b)));
+                        }
+                        SlConcept::Exists(p) => out.push_str(&format!("∃{}", voc.attr_name(p))),
+                        SlConcept::AtMostOne(p) => {
+                            out.push_str(&format!("(≤1 {})", voc.attr_name(p)));
+                        }
+                    }
+                }
+                SchemaAxiom::AttrTyping(p, dom, rng) => {
+                    out.push_str(&format!(
+                        "{} ⊑ {} × {}",
+                        voc.attr_name(p),
+                        voc.class_name(dom),
+                        voc.class_name(rng)
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(voc: &mut Vocabulary) -> (ClassId, ClassId, ClassId, AttrId, AttrId) {
+        (
+            voc.class("Patient"),
+            voc.class("Person"),
+            voc.class("Disease"),
+            voc.attribute("suffers"),
+            voc.attribute("name"),
+        )
+    }
+
+    #[test]
+    fn indexes_answer_schema_rule_queries() {
+        let mut voc = Vocabulary::new();
+        let (patient, person, disease, suffers, name) = ids(&mut voc);
+        let string = voc.class("String");
+        let topic = voc.class("Topic");
+        let skilled = voc.attribute("skilled_in");
+
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        schema.add_value_restriction(patient, suffers, disease);
+        schema.add_necessary(patient, suffers);
+        schema.add_value_restriction(person, name, string);
+        schema.add_necessary(person, name);
+        schema.add_functional(person, name);
+        schema.add_attr_typing(skilled, person, topic);
+
+        assert_eq!(schema.supers_of(patient), &[person]);
+        assert_eq!(
+            schema.value_restrictions_of(patient),
+            &[(suffers, disease)]
+        );
+        assert!(schema.is_necessary(patient, suffers));
+        assert!(!schema.is_necessary(patient, name));
+        assert!(schema.is_functional(person, name));
+        assert!(!schema.is_functional(patient, name));
+        assert_eq!(schema.attr_typing(skilled), Some((person, topic)));
+        assert_eq!(schema.attr_typing(name), None);
+        assert_eq!(schema.len(), 7);
+    }
+
+    #[test]
+    fn duplicate_axioms_are_ignored() {
+        let mut voc = Vocabulary::new();
+        let (patient, person, ..) = ids(&mut voc);
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        schema.add_isa(patient, person);
+        assert_eq!(schema.len(), 1);
+        assert_eq!(schema.supers_of(patient), &[person]);
+    }
+
+    #[test]
+    fn ancestors_are_transitive() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let b = voc.class("B");
+        let c = voc.class("C");
+        let mut schema = Schema::new();
+        schema.add_isa(a, b);
+        schema.add_isa(b, c);
+        let ancestors = schema.ancestors_of(a);
+        assert!(ancestors.contains(&b));
+        assert!(ancestors.contains(&c));
+        assert!(!ancestors.contains(&a));
+        assert!(schema.is_subclass_of(a, c));
+        assert!(schema.is_subclass_of(a, a));
+        assert!(!schema.is_subclass_of(c, a));
+    }
+
+    #[test]
+    fn ancestors_terminate_on_cycles() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let b = voc.class("B");
+        let mut schema = Schema::new();
+        schema.add_isa(a, b);
+        schema.add_isa(b, a);
+        let ancestors = schema.ancestors_of(a);
+        assert!(ancestors.contains(&a));
+        assert!(ancestors.contains(&b));
+        assert_eq!(ancestors.len(), 2);
+    }
+
+    #[test]
+    fn size_counts_symbols() {
+        let mut voc = Vocabulary::new();
+        let (patient, person, disease, suffers, _) = ids(&mut voc);
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person); // 3
+        schema.add_value_restriction(patient, suffers, disease); // 4
+        schema.add_attr_typing(suffers, patient, disease); // 4
+        assert_eq!(schema.size(), 11);
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let mut voc = Vocabulary::new();
+        let (patient, person, disease, suffers, name) = ids(&mut voc);
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        schema.add_value_restriction(patient, suffers, disease);
+        schema.add_necessary(patient, suffers);
+        schema.add_functional(person, name);
+        let rendered = schema.render(&voc);
+        assert!(rendered.contains("Patient ⊑ Person"));
+        assert!(rendered.contains("Patient ⊑ ∀suffers.Disease"));
+        assert!(rendered.contains("Patient ⊑ ∃suffers"));
+        assert!(rendered.contains("Person ⊑ (≤1 name)"));
+    }
+
+    #[test]
+    fn empty_schema_reports_empty() {
+        let schema = Schema::new();
+        assert!(schema.is_empty());
+        assert_eq!(schema.size(), 0);
+        assert_eq!(schema.axioms().len(), 0);
+    }
+}

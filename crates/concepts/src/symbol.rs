@@ -1,0 +1,243 @@
+//! Interned vocabulary symbols: primitive concepts (classes), primitive
+//! attributes, and constants.
+//!
+//! The paper's alphabets `A` (primitive concepts), `P` (primitive
+//! attributes) and `a, b, c` (constants, interpreted under the Unique Name
+//! Assumption) are represented by small copyable identifiers handed out by a
+//! [`Vocabulary`]. All name-to-id resolution is exact string matching; names
+//! are case-sensitive, as in the paper's examples (`Patient`, `skilled_in`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Raw index of this symbol inside its vocabulary table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Reconstructs an identifier from a raw index.
+            ///
+            /// Intended for serialization and workload generators that
+            /// enumerate symbols densely; using an index that was never
+            /// handed out by the owning [`Vocabulary`] yields lookups that
+            /// panic or return placeholder names.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a primitive concept (a schema or query class name).
+    ClassId,
+    "C"
+);
+define_id!(
+    /// Identifier of a primitive attribute (a binary relation name).
+    AttrId,
+    "P"
+);
+define_id!(
+    /// Identifier of a constant (an object name, under the Unique Name
+    /// Assumption distinct constants denote distinct objects).
+    ConstId,
+    "a"
+);
+
+/// A symbol table interning class, attribute, and constant names.
+///
+/// The vocabulary is append-only: symbols are never removed, and interning
+/// the same name twice returns the same identifier. The well-known universal
+/// class `Object` of the paper is *not* special-cased here; the translation
+/// layer maps it to the QL concept `⊤` instead.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Vocabulary {
+    class_names: Vec<String>,
+    attr_names: Vec<String>,
+    const_names: Vec<String>,
+    class_by_name: HashMap<String, ClassId>,
+    attr_by_name: HashMap<String, AttrId>,
+    const_by_name: HashMap<String, ConstId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a class name, returning its identifier.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        if let Some(&id) = self.class_by_name.get(name) {
+            return id;
+        }
+        let id = ClassId(self.class_names.len() as u32);
+        self.class_names.push(name.to_owned());
+        self.class_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns an attribute name, returning its identifier.
+    pub fn attribute(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.attr_by_name.get(name) {
+            return id;
+        }
+        let id = AttrId(self.attr_names.len() as u32);
+        self.attr_names.push(name.to_owned());
+        self.attr_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns a constant name, returning its identifier.
+    pub fn constant(&mut self, name: &str) -> ConstId {
+        if let Some(&id) = self.const_by_name.get(name) {
+            return id;
+        }
+        let id = ConstId(self.const_names.len() as u32);
+        self.const_names.push(name.to_owned());
+        self.const_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already interned class by name.
+    pub fn find_class(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// Looks up an already interned attribute by name.
+    pub fn find_attribute(&self, name: &str) -> Option<AttrId> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// Looks up an already interned constant by name.
+    pub fn find_constant(&self, name: &str) -> Option<ConstId> {
+        self.const_by_name.get(name).copied()
+    }
+
+    /// Name of a class.
+    pub fn class_name(&self, id: ClassId) -> &str {
+        &self.class_names[id.index()]
+    }
+
+    /// Name of an attribute.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attr_names[id.index()]
+    }
+
+    /// Name of a constant.
+    pub fn const_name(&self, id: ConstId) -> &str {
+        &self.const_names[id.index()]
+    }
+
+    /// Number of interned classes.
+    pub fn class_count(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Number of interned attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Number of interned constants.
+    pub fn const_count(&self) -> usize {
+        self.const_names.len()
+    }
+
+    /// Iterates over all class identifiers in interning order.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.class_names.len() as u32).map(ClassId)
+    }
+
+    /// Iterates over all attribute identifiers in interning order.
+    pub fn attributes(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attr_names.len() as u32).map(AttrId)
+    }
+
+    /// Iterates over all constant identifiers in interning order.
+    pub fn constants(&self) -> impl Iterator<Item = ConstId> + '_ {
+        (0..self.const_names.len() as u32).map(ConstId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("Patient");
+        let b = voc.class("Patient");
+        assert_eq!(a, b);
+        assert_eq!(voc.class_count(), 1);
+        assert_eq!(voc.class_name(a), "Patient");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("Patient");
+        let b = voc.class("Doctor");
+        assert_ne!(a, b);
+        assert_eq!(voc.class_count(), 2);
+    }
+
+    #[test]
+    fn namespaces_are_independent() {
+        let mut voc = Vocabulary::new();
+        let c = voc.class("name");
+        let p = voc.attribute("name");
+        let k = voc.constant("name");
+        assert_eq!(c.index(), 0);
+        assert_eq!(p.index(), 0);
+        assert_eq!(k.index(), 0);
+        assert_eq!(voc.class_name(c), "name");
+        assert_eq!(voc.attr_name(p), "name");
+        assert_eq!(voc.const_name(k), "name");
+    }
+
+    #[test]
+    fn find_returns_none_for_unknown() {
+        let voc = Vocabulary::new();
+        assert!(voc.find_class("Nope").is_none());
+        assert!(voc.find_attribute("nope").is_none());
+        assert!(voc.find_constant("nope").is_none());
+    }
+
+    #[test]
+    fn iteration_matches_interning_order() {
+        let mut voc = Vocabulary::new();
+        let names = ["A", "B", "C"];
+        let ids: Vec<ClassId> = names.iter().map(|n| voc.class(n)).collect();
+        let collected: Vec<ClassId> = voc.classes().collect();
+        assert_eq!(ids, collected);
+        for (id, name) in ids.iter().zip(names.iter()) {
+            assert_eq!(voc.class_name(*id), *name);
+        }
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        let mut voc = Vocabulary::new();
+        let a = voc.attribute("consults");
+        assert_eq!(AttrId::from_index(a.index()), a);
+    }
+}

@@ -1,0 +1,568 @@
+//! Hash-consed representation of QL concepts and paths.
+//!
+//! QL concepts and the paths occurring inside them form recursive term
+//! graphs. Instead of boxing every node we intern them into a
+//! [`TermArena`]: each distinct concept receives a [`ConceptId`] and each
+//! distinct path a [`PathId`]. Two terms are structurally equal exactly when
+//! their identifiers are equal, which makes the constraints manipulated by
+//! the subsumption calculus small `Copy` values that hash in O(1).
+//!
+//! Paths are stored as cons-lists of [`Restriction`]s so that peeling the
+//! first restricted attribute off a path — the operation the calculus rules
+//! D6/D7, S5, G2/G3 and C5/C6 perform constantly — is a single arena lookup
+//! and suffixes are shared between paths.
+
+use crate::attribute::Attr;
+use crate::symbol::{ClassId, ConstId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of an interned QL concept inside a [`TermArena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ConceptId(u32);
+
+impl ConceptId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an interned path inside a [`TermArena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A restricted attribute `(R : C)`: the pairs related by `R` whose second
+/// component is an instance of `C`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Restriction {
+    /// The (possibly inverted) attribute `R`.
+    pub attr: Attr,
+    /// The value restriction `C` on the attribute fillers.
+    pub concept: ConceptId,
+}
+
+/// A path node: either the empty path `ε` or a restriction followed by a
+/// (shared) suffix path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Path {
+    /// The empty path `ε`, denoting the identity relation.
+    Empty,
+    /// `(R : C) · p` — a restricted attribute followed by the rest of the
+    /// chain.
+    Step(Restriction, PathId),
+}
+
+/// A QL concept node.
+///
+/// The variants follow the grammar of Section 3.1:
+/// `C ::= A | ⊤ | {a} | C ⊓ D | ∃p | ∃p ≐ q`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Concept {
+    /// A primitive concept `A`.
+    Prim(ClassId),
+    /// The universal concept `⊤` (the paper's class `Object`).
+    Top,
+    /// A singleton set `{a}` for a constant `a`.
+    Singleton(ConstId),
+    /// Intersection `C ⊓ D`.
+    And(ConceptId, ConceptId),
+    /// Existential quantification over a path, `∃p`.
+    Exists(PathId),
+    /// Existential agreement of two paths, `∃p ≐ q`.
+    ///
+    /// The calculus only handles the normalized form where the second path
+    /// is `ε`; [`crate::normalize::normalize_concept`] rewrites the general
+    /// form into it.
+    Agree(PathId, PathId),
+}
+
+/// Arena interning QL concepts and paths.
+///
+/// The arena is append-only. Interning is hash-consed: requesting the same
+/// node twice returns the same identifier, so identifier equality coincides
+/// with structural equality of terms.
+#[derive(Clone, Debug, Default)]
+pub struct TermArena {
+    concepts: Vec<Concept>,
+    concept_ids: HashMap<Concept, ConceptId>,
+    paths: Vec<Path>,
+    path_ids: HashMap<Path, PathId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena containing only the empty path.
+    pub fn new() -> Self {
+        let mut arena = TermArena::default();
+        // Pre-intern ε so that `empty_path` never allocates.
+        arena.intern_path(Path::Empty);
+        arena
+    }
+
+    fn intern_concept(&mut self, node: Concept) -> ConceptId {
+        if let Some(&id) = self.concept_ids.get(&node) {
+            return id;
+        }
+        let id = ConceptId(self.concepts.len() as u32);
+        self.concepts.push(node);
+        self.concept_ids.insert(node, id);
+        id
+    }
+
+    fn intern_path(&mut self, node: Path) -> PathId {
+        if let Some(&id) = self.path_ids.get(&node) {
+            return id;
+        }
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(node);
+        self.path_ids.insert(node, id);
+        id
+    }
+
+    /// Looks up a concept node.
+    #[inline]
+    pub fn concept(&self, id: ConceptId) -> Concept {
+        self.concepts[id.index()]
+    }
+
+    /// Looks up a path node.
+    #[inline]
+    pub fn path(&self, id: PathId) -> Path {
+        self.paths[id.index()]
+    }
+
+    /// Number of distinct interned concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of distinct interned paths (including `ε`).
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    // ----- constructors -------------------------------------------------
+
+    /// The primitive concept `A`.
+    pub fn prim(&mut self, class: ClassId) -> ConceptId {
+        self.intern_concept(Concept::Prim(class))
+    }
+
+    /// The universal concept `⊤`.
+    pub fn top(&mut self) -> ConceptId {
+        self.intern_concept(Concept::Top)
+    }
+
+    /// The singleton concept `{a}`.
+    pub fn singleton(&mut self, constant: ConstId) -> ConceptId {
+        self.intern_concept(Concept::Singleton(constant))
+    }
+
+    /// The intersection `C ⊓ D`.
+    pub fn and(&mut self, left: ConceptId, right: ConceptId) -> ConceptId {
+        self.intern_concept(Concept::And(left, right))
+    }
+
+    /// Right-folds a non-empty sequence of concepts into nested binary
+    /// intersections; returns `⊤` for an empty sequence.
+    pub fn and_all<I>(&mut self, concepts: I) -> ConceptId
+    where
+        I: IntoIterator<Item = ConceptId>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        let mut iter = concepts.into_iter().rev();
+        let Some(last) = iter.next() else {
+            return self.top();
+        };
+        iter.fold(last, |acc, c| self.and(c, acc))
+    }
+
+    /// The existential path quantification `∃p`.
+    pub fn exists(&mut self, path: PathId) -> ConceptId {
+        self.intern_concept(Concept::Exists(path))
+    }
+
+    /// The existential path agreement `∃p ≐ q`.
+    pub fn agree(&mut self, left: PathId, right: PathId) -> ConceptId {
+        self.intern_concept(Concept::Agree(left, right))
+    }
+
+    /// The agreement with the empty path, `∃p ≐ ε` (the normalized form).
+    pub fn agree_epsilon(&mut self, path: PathId) -> ConceptId {
+        let eps = self.empty_path();
+        self.intern_concept(Concept::Agree(path, eps))
+    }
+
+    /// The empty path `ε`.
+    pub fn empty_path(&mut self) -> PathId {
+        self.intern_path(Path::Empty)
+    }
+
+    /// The empty path `ε` without requiring mutable access.
+    ///
+    /// `ε` is pre-interned by [`TermArena::new`], so its identifier is
+    /// stable across the lifetime of the arena.
+    #[inline]
+    pub fn epsilon(&self) -> PathId {
+        PathId(0)
+    }
+
+    /// Prepends the restriction `(attr : concept)` to `rest`.
+    pub fn step(&mut self, attr: Attr, concept: ConceptId, rest: PathId) -> PathId {
+        self.intern_path(Path::Step(Restriction { attr, concept }, rest))
+    }
+
+    /// A path of a single restriction `(attr : concept)`.
+    pub fn path1(&mut self, attr: Attr, concept: ConceptId) -> PathId {
+        let eps = self.empty_path();
+        self.step(attr, concept, eps)
+    }
+
+    /// Builds a path from restrictions given front-to-back.
+    pub fn path_of(&mut self, steps: &[(Attr, ConceptId)]) -> PathId {
+        let mut path = self.empty_path();
+        for &(attr, concept) in steps.iter().rev() {
+            path = self.step(attr, concept, path);
+        }
+        path
+    }
+
+    /// Concatenates two paths, `p · q`.
+    pub fn concat(&mut self, front: PathId, back: PathId) -> PathId {
+        match self.path(front) {
+            Path::Empty => back,
+            Path::Step(restriction, rest) => {
+                let tail = self.concat(rest, back);
+                self.intern_path(Path::Step(restriction, tail))
+            }
+        }
+    }
+
+    // ----- inspection ---------------------------------------------------
+
+    /// The restrictions of a path, front-to-back.
+    pub fn path_steps(&self, mut path: PathId) -> Vec<Restriction> {
+        let mut steps = Vec::new();
+        loop {
+            match self.path(path) {
+                Path::Empty => return steps,
+                Path::Step(restriction, rest) => {
+                    steps.push(restriction);
+                    path = rest;
+                }
+            }
+        }
+    }
+
+    /// Number of restrictions in a path.
+    pub fn path_len(&self, mut path: PathId) -> usize {
+        let mut len = 0;
+        loop {
+            match self.path(path) {
+                Path::Empty => return len,
+                Path::Step(_, rest) => {
+                    len += 1;
+                    path = rest;
+                }
+            }
+        }
+    }
+
+    /// Whether a path is the empty path `ε`.
+    #[inline]
+    pub fn is_empty_path(&self, path: PathId) -> bool {
+        matches!(self.path(path), Path::Empty)
+    }
+
+    /// Size of a concept, counted as the number of syntax-tree nodes
+    /// (concept constructors plus one per path restriction).
+    ///
+    /// This is the measure `M`, `N` used in the complexity analysis of
+    /// Section 4.3 (Proposition 4.8 and Theorem 4.9).
+    pub fn concept_size(&self, concept: ConceptId) -> usize {
+        match self.concept(concept) {
+            Concept::Prim(_) | Concept::Top | Concept::Singleton(_) => 1,
+            Concept::And(l, r) => 1 + self.concept_size(l) + self.concept_size(r),
+            Concept::Exists(p) => 1 + self.path_size(p),
+            Concept::Agree(p, q) => 1 + self.path_size(p) + self.path_size(q),
+        }
+    }
+
+    /// Size of a path: one node per restriction plus the size of each value
+    /// restriction concept.
+    pub fn path_size(&self, path: PathId) -> usize {
+        match self.path(path) {
+            Path::Empty => 0,
+            Path::Step(restriction, rest) => {
+                1 + self.concept_size(restriction.concept) + self.path_size(rest)
+            }
+        }
+    }
+
+    /// The conjuncts of a concept with nested intersections flattened.
+    pub fn conjuncts(&self, concept: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(concept, &mut out);
+        out
+    }
+
+    fn collect_conjuncts(&self, concept: ConceptId, out: &mut Vec<ConceptId>) {
+        match self.concept(concept) {
+            Concept::And(l, r) => {
+                self.collect_conjuncts(l, out);
+                self.collect_conjuncts(r, out);
+            }
+            _ => out.push(concept),
+        }
+    }
+
+    /// All constants occurring in a concept (inside singletons), without
+    /// duplicates, in first-occurrence order.
+    pub fn constants_in(&self, concept: ConceptId) -> Vec<ConstId> {
+        let mut out = Vec::new();
+        self.collect_constants(concept, &mut out);
+        out
+    }
+
+    fn collect_constants(&self, concept: ConceptId, out: &mut Vec<ConstId>) {
+        match self.concept(concept) {
+            Concept::Prim(_) | Concept::Top => {}
+            Concept::Singleton(a) => {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+            Concept::And(l, r) => {
+                self.collect_constants(l, out);
+                self.collect_constants(r, out);
+            }
+            Concept::Exists(p) => self.collect_constants_path(p, out),
+            Concept::Agree(p, q) => {
+                self.collect_constants_path(p, out);
+                self.collect_constants_path(q, out);
+            }
+        }
+    }
+
+    fn collect_constants_path(&self, path: PathId, out: &mut Vec<ConstId>) {
+        if let Path::Step(restriction, rest) = self.path(path) {
+            self.collect_constants(restriction.concept, out);
+            self.collect_constants_path(rest, out);
+        }
+    }
+
+    /// All primitive classes occurring in a concept, without duplicates.
+    pub fn classes_in(&self, concept: ConceptId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        self.collect_classes(concept, &mut out);
+        out
+    }
+
+    fn collect_classes(&self, concept: ConceptId, out: &mut Vec<ClassId>) {
+        match self.concept(concept) {
+            Concept::Prim(a) => {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+            Concept::Top | Concept::Singleton(_) => {}
+            Concept::And(l, r) => {
+                self.collect_classes(l, out);
+                self.collect_classes(r, out);
+            }
+            Concept::Exists(p) => self.collect_classes_path(p, out),
+            Concept::Agree(p, q) => {
+                self.collect_classes_path(p, out);
+                self.collect_classes_path(q, out);
+            }
+        }
+    }
+
+    fn collect_classes_path(&self, path: PathId, out: &mut Vec<ClassId>) {
+        if let Path::Step(restriction, rest) = self.path(path) {
+            self.collect_classes(restriction.concept, out);
+            self.collect_classes_path(rest, out);
+        }
+    }
+
+    /// Maximum nesting depth of existential/agreement constructs in a
+    /// concept (a secondary size measure used by the workload generators).
+    pub fn concept_depth(&self, concept: ConceptId) -> usize {
+        match self.concept(concept) {
+            Concept::Prim(_) | Concept::Top | Concept::Singleton(_) => 0,
+            Concept::And(l, r) => self.concept_depth(l).max(self.concept_depth(r)),
+            Concept::Exists(p) => 1 + self.path_depth(p),
+            Concept::Agree(p, q) => 1 + self.path_depth(p).max(self.path_depth(q)),
+        }
+    }
+
+    fn path_depth(&self, path: PathId) -> usize {
+        match self.path(path) {
+            Path::Empty => 0,
+            Path::Step(restriction, rest) => self
+                .concept_depth(restriction.concept)
+                .max(self.path_depth(rest)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Vocabulary;
+
+    fn setup() -> (Vocabulary, TermArena) {
+        (Vocabulary::new(), TermArena::new())
+    }
+
+    #[test]
+    fn hash_consing_gives_identifier_equality() {
+        let (mut voc, mut arena) = setup();
+        let patient = voc.class("Patient");
+        let a = arena.prim(patient);
+        let b = arena.prim(patient);
+        assert_eq!(a, b);
+        assert_eq!(arena.concept_count(), 1);
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_ids() {
+        let (mut voc, mut arena) = setup();
+        let p = arena.prim(voc.class("Patient"));
+        let d = arena.prim(voc.class("Doctor"));
+        assert_ne!(p, d);
+        let pd = arena.and(p, d);
+        let dp = arena.and(d, p);
+        assert_ne!(pd, dp, "⊓ is not canonicalized for commutativity");
+    }
+
+    #[test]
+    fn epsilon_is_preinterned() {
+        let arena = TermArena::new();
+        assert!(arena.is_empty_path(arena.epsilon()));
+        assert_eq!(arena.path_count(), 1);
+    }
+
+    #[test]
+    fn path_construction_and_steps_round_trip() {
+        let (mut voc, mut arena) = setup();
+        let doctor = arena.prim(voc.class("Doctor"));
+        let disease = arena.prim(voc.class("Disease"));
+        let consults = Attr::primitive(voc.attribute("consults"));
+        let skilled = Attr::primitive(voc.attribute("skilled_in"));
+
+        let path = arena.path_of(&[(consults, doctor), (skilled, disease)]);
+        let steps = arena.path_steps(path);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].attr, consults);
+        assert_eq!(steps[0].concept, doctor);
+        assert_eq!(steps[1].attr, skilled);
+        assert_eq!(steps[1].concept, disease);
+        assert_eq!(arena.path_len(path), 2);
+    }
+
+    #[test]
+    fn path_suffixes_are_shared() {
+        let (mut voc, mut arena) = setup();
+        let top = arena.top();
+        let a = Attr::primitive(voc.attribute("a"));
+        let b = Attr::primitive(voc.attribute("b"));
+        let suffix = arena.path1(b, top);
+        let before = arena.path_count();
+        let p1 = arena.step(a, top, suffix);
+        let p2 = arena.step(a, top, suffix);
+        assert_eq!(p1, p2);
+        assert_eq!(arena.path_count(), before + 1);
+    }
+
+    #[test]
+    fn concat_appends_paths() {
+        let (mut voc, mut arena) = setup();
+        let top = arena.top();
+        let a = Attr::primitive(voc.attribute("a"));
+        let b = Attr::primitive(voc.attribute("b"));
+        let front = arena.path1(a, top);
+        let back = arena.path1(b, top);
+        let joined = arena.concat(front, back);
+        assert_eq!(arena.path_len(joined), 2);
+        let steps = arena.path_steps(joined);
+        assert_eq!(steps[0].attr, a);
+        assert_eq!(steps[1].attr, b);
+
+        let eps = arena.empty_path();
+        assert_eq!(arena.concat(eps, back), back);
+        assert_eq!(arena.concat(front, eps), front);
+    }
+
+    #[test]
+    fn and_all_folds_right() {
+        let (mut voc, mut arena) = setup();
+        let a = arena.prim(voc.class("A"));
+        let b = arena.prim(voc.class("B"));
+        let c = arena.prim(voc.class("C"));
+        let all = arena.and_all([a, b, c]);
+        assert_eq!(arena.conjuncts(all), vec![a, b, c]);
+        let empty = arena.and_all([]);
+        assert_eq!(arena.concept(empty), Concept::Top);
+        let single = arena.and_all([b]);
+        assert_eq!(single, b);
+    }
+
+    #[test]
+    fn concept_size_counts_nodes() {
+        let (mut voc, mut arena) = setup();
+        let male = arena.prim(voc.class("Male"));
+        let patient = arena.prim(voc.class("Patient"));
+        let both = arena.and(male, patient);
+        assert_eq!(arena.concept_size(both), 3);
+
+        let female = arena.prim(voc.class("Female"));
+        let consults = Attr::primitive(voc.attribute("consults"));
+        let p = arena.path1(consults, female);
+        let exists = arena.exists(p);
+        // ∃(consults: Female): exists node + restriction + Female
+        assert_eq!(arena.concept_size(exists), 3);
+
+        let eps = arena.empty_path();
+        let agree = arena.agree(p, eps);
+        assert_eq!(arena.concept_size(agree), 3);
+    }
+
+    #[test]
+    fn constants_and_classes_are_collected() {
+        let (mut voc, mut arena) = setup();
+        let aspirin = voc.constant("Aspirin");
+        let drug = voc.class("Drug");
+        let takes = Attr::primitive(voc.attribute("takes"));
+        let sing = arena.singleton(aspirin);
+        let d = arena.prim(drug);
+        let restricted = arena.and(d, sing);
+        let p = arena.path1(takes, restricted);
+        let c = arena.exists(p);
+        assert_eq!(arena.constants_in(c), vec![aspirin]);
+        assert_eq!(arena.classes_in(c), vec![drug]);
+    }
+
+    #[test]
+    fn depth_reflects_nesting() {
+        let (mut voc, mut arena) = setup();
+        let top = arena.top();
+        let a = Attr::primitive(voc.attribute("a"));
+        let inner_path = arena.path1(a, top);
+        let inner = arena.exists(inner_path);
+        let outer_path = arena.path1(a, inner);
+        let outer = arena.exists(outer_path);
+        assert_eq!(arena.concept_depth(top), 0);
+        assert_eq!(arena.concept_depth(inner), 1);
+        assert_eq!(arena.concept_depth(outer), 2);
+    }
+}

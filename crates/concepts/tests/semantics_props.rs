@@ -1,0 +1,250 @@
+//! Property tests for Table 1: the set semantics and the transformational
+//! (first-order) semantics of QL must agree on every concept and every
+//! finite interpretation, and normalization must preserve extensions.
+
+use proptest::prelude::*;
+use subq_concepts::prelude::*;
+
+/// A self-contained description of a concept that can be interned into an
+/// arena once the vocabulary is fixed. Proptest strategies cannot thread a
+/// `&mut TermArena` through generation, so we generate this intermediate
+/// tree first.
+#[derive(Clone, Debug)]
+enum ConceptDesc {
+    Prim(usize),
+    Top,
+    Singleton(usize),
+    And(Box<ConceptDesc>, Box<ConceptDesc>),
+    Exists(Vec<(usize, bool, ConceptDesc)>),
+    Agree(
+        Vec<(usize, bool, ConceptDesc)>,
+        Vec<(usize, bool, ConceptDesc)>,
+    ),
+}
+
+const N_CLASSES: usize = 4;
+const N_ATTRS: usize = 3;
+const N_CONSTS: usize = 2;
+
+fn concept_desc() -> impl Strategy<Value = ConceptDesc> {
+    let leaf = prop_oneof![
+        (0..N_CLASSES).prop_map(ConceptDesc::Prim),
+        Just(ConceptDesc::Top),
+        (0..N_CONSTS).prop_map(ConceptDesc::Singleton),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let step = (0..N_ATTRS, any::<bool>(), inner.clone());
+        let path = prop::collection::vec(step, 1..3);
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ConceptDesc::And(Box::new(a), Box::new(b))),
+            path.clone().prop_map(ConceptDesc::Exists),
+            (path.clone(), path).prop_map(|(p, q)| ConceptDesc::Agree(p, q)),
+        ]
+    })
+}
+
+struct World {
+    #[allow(dead_code)] // kept so failure messages can be rendered with names if needed
+    voc: Vocabulary,
+    arena: TermArena,
+    classes: Vec<ClassId>,
+    attrs: Vec<AttrId>,
+    consts: Vec<ConstId>,
+}
+
+fn world() -> World {
+    let mut voc = Vocabulary::new();
+    let classes = (0..N_CLASSES)
+        .map(|i| voc.class(&format!("K{i}")))
+        .collect();
+    let attrs = (0..N_ATTRS)
+        .map(|i| voc.attribute(&format!("r{i}")))
+        .collect();
+    let consts = (0..N_CONSTS)
+        .map(|i| voc.constant(&format!("c{i}")))
+        .collect();
+    World {
+        voc,
+        arena: TermArena::new(),
+        classes,
+        attrs,
+        consts,
+    }
+}
+
+fn intern(world: &mut World, desc: &ConceptDesc) -> ConceptId {
+    match desc {
+        ConceptDesc::Prim(i) => world.arena.prim(world.classes[*i]),
+        ConceptDesc::Top => world.arena.top(),
+        ConceptDesc::Singleton(i) => world.arena.singleton(world.consts[*i]),
+        ConceptDesc::And(a, b) => {
+            let left = intern(world, a);
+            let right = intern(world, b);
+            world.arena.and(left, right)
+        }
+        ConceptDesc::Exists(steps) => {
+            let path = intern_path(world, steps);
+            world.arena.exists(path)
+        }
+        ConceptDesc::Agree(p, q) => {
+            let left = intern_path(world, p);
+            let right = intern_path(world, q);
+            world.arena.agree(left, right)
+        }
+    }
+}
+
+fn intern_path(world: &mut World, steps: &[(usize, bool, ConceptDesc)]) -> PathId {
+    let interned: Vec<(Attr, ConceptId)> = steps
+        .iter()
+        .map(|(attr, inverted, desc)| {
+            let concept = intern(world, desc);
+            let attr = if *inverted {
+                Attr::inverse_of(world.attrs[*attr])
+            } else {
+                Attr::primitive(world.attrs[*attr])
+            };
+            (attr, concept)
+        })
+        .collect();
+    world.arena.path_of(&interned)
+}
+
+/// A description of a small interpretation: domain size, class members,
+/// attribute edges, and constant denotations.
+#[derive(Clone, Debug)]
+struct InterpDesc {
+    domain: u32,
+    members: Vec<(usize, u32)>,
+    edges: Vec<(usize, u32, u32)>,
+    const_elems: Vec<u32>,
+}
+
+fn interp_desc() -> impl Strategy<Value = InterpDesc> {
+    (2u32..5).prop_flat_map(|domain| {
+        let members = prop::collection::vec((0..N_CLASSES, 0..domain), 0..10);
+        let edges = prop::collection::vec((0..N_ATTRS, 0..domain, 0..domain), 0..12);
+        let consts = prop::collection::vec(0..domain, N_CONSTS);
+        (Just(domain), members, edges, consts).prop_map(|(domain, members, edges, const_elems)| {
+            InterpDesc {
+                domain,
+                members,
+                edges,
+                const_elems,
+            }
+        })
+    })
+}
+
+fn build_interp(world: &World, desc: &InterpDesc) -> Interpretation {
+    let mut interp = Interpretation::new(desc.domain);
+    for (class, elem) in &desc.members {
+        interp.add_class_member(world.classes[*class], Element(*elem));
+    }
+    for (attr, from, to) in &desc.edges {
+        interp.add_attr_pair(world.attrs[*attr], Element(*from), Element(*to));
+    }
+    // Map constants injectively by skewing collisions to distinct elements
+    // modulo the domain; the UNA is only needed for the FOL comparison when
+    // it actually holds, so we force it.
+    let mut used = std::collections::HashSet::new();
+    for (i, base) in desc.const_elems.iter().enumerate() {
+        let mut elem = *base % desc.domain;
+        let mut tries = 0;
+        while used.contains(&elem) && tries < desc.domain {
+            elem = (elem + 1) % desc.domain;
+            tries += 1;
+        }
+        if !used.contains(&elem) {
+            used.insert(elem);
+            interp.set_constant(world.consts[i], Element(elem));
+        }
+    }
+    interp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Table 1 (experiment E4): for every element of every interpretation,
+    /// membership under the set semantics coincides with satisfaction of
+    /// the translated first-order formula.
+    #[test]
+    fn set_and_fol_semantics_agree(desc in concept_desc(), idesc in interp_desc()) {
+        let mut w = world();
+        let concept = intern(&mut w, &desc);
+        let interp = build_interp(&w, &idesc);
+        for e in interp.domain() {
+            let set_says = interp.satisfies_concept(&w.arena, concept, e);
+            let fol_says = subq_concepts::fol::concept_holds_at(&w.arena, &interp, concept, e);
+            prop_assert_eq!(set_says, fol_says, "disagreement at {:?} on {:?}", e, desc);
+        }
+    }
+
+    /// Normalizing `∃p ≐ q` into `∃p' ≐ ε` preserves the extension on every
+    /// interpretation (the equivalence claimed at the start of Section 4).
+    #[test]
+    fn normalization_preserves_extension(desc in concept_desc(), idesc in interp_desc()) {
+        let mut w = world();
+        let concept = intern(&mut w, &desc);
+        let interp = build_interp(&w, &idesc);
+        let before = interp.eval_concept(&w.arena, concept);
+        let normalized = normalize_concept(&mut w.arena, concept);
+        prop_assert!(subq_concepts::normalize::is_normalized(&w.arena, normalized));
+        let after = interp.eval_concept(&w.arena, normalized);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Intersection is interpreted as set intersection (a direct reading of
+    /// Table 1) and is therefore monotone: `(C ⊓ D)^I ⊆ C^I`.
+    #[test]
+    fn intersection_is_set_intersection(
+        a in concept_desc(),
+        b in concept_desc(),
+        idesc in interp_desc(),
+    ) {
+        let mut w = world();
+        let ca = intern(&mut w, &a);
+        let cb = intern(&mut w, &b);
+        let cab = w.arena.and(ca, cb);
+        let interp = build_interp(&w, &idesc);
+        let ext_a = interp.eval_concept(&w.arena, ca);
+        let ext_b = interp.eval_concept(&w.arena, cb);
+        let ext_ab = interp.eval_concept(&w.arena, cab);
+        let expected: std::collections::BTreeSet<_> =
+            ext_a.intersection(&ext_b).copied().collect();
+        prop_assert_eq!(&ext_ab, &expected);
+        prop_assert!(ext_ab.is_subset(&ext_a));
+    }
+
+    /// `∃p ≐ ε` implies `∃p`: an object with a cyclic path filler certainly
+    /// has a path filler.
+    #[test]
+    fn agreement_with_epsilon_implies_exists(desc in concept_desc(), idesc in interp_desc()) {
+        let mut w = world();
+        // Build a single-step path whose restriction is the generated concept.
+        let c = intern(&mut w, &desc);
+        let attr = Attr::primitive(w.attrs[0]);
+        let path = w.arena.path1(attr, c);
+        let agree = w.arena.agree_epsilon(path);
+        let exists = w.arena.exists(path);
+        let interp = build_interp(&w, &idesc);
+        let agree_ext = interp.eval_concept(&w.arena, agree);
+        let exists_ext = interp.eval_concept(&w.arena, exists);
+        prop_assert!(agree_ext.is_subset(&exists_ext));
+    }
+
+    /// The size measure is strictly positive and additive over ⊓.
+    #[test]
+    fn size_is_positive_and_additive(a in concept_desc(), b in concept_desc()) {
+        let mut w = world();
+        let ca = intern(&mut w, &a);
+        let cb = intern(&mut w, &b);
+        let cab = w.arena.and(ca, cb);
+        let sa = w.arena.concept_size(ca);
+        let sb = w.arena.concept_size(cb);
+        prop_assert!(sa >= 1);
+        prop_assert_eq!(w.arena.concept_size(cab), sa + sb + 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! Containment and evaluation of conjunctive queries by homomorphism
+//! search (Chandra–Merlin).
+//!
+//! `Q₁ ⊆ Q₂` holds iff there is a homomorphism from `Q₂` into the
+//! *canonical database* of `Q₁` (the query body with its variables frozen
+//! to fresh constants) that maps answer variable to answer variable. The
+//! search below is a straightforward backtracking matcher and therefore
+//! worst-case exponential — which is precisely the baseline the paper
+//! contrasts its polynomial structural calculus against (Section 5,
+//! "Conjunctive Queries").
+
+use crate::cq::{ConjunctiveQuery, CqAtom, CqTerm, CqVar};
+use std::collections::{BTreeSet, HashMap};
+use subq_concepts::interpretation::{Element, Interpretation};
+
+/// Freezes a conjunctive query into its canonical database.
+///
+/// Returns the interpretation, the element assigned to each term, and the
+/// element of the answer variable.
+pub fn freeze(query: &ConjunctiveQuery) -> (Interpretation, HashMap<CqTerm, Element>, Element) {
+    let mut interp = Interpretation::new(0);
+    let mut element_of: HashMap<CqTerm, Element> = HashMap::new();
+
+    let assign = |term: CqTerm, interp: &mut Interpretation, map: &mut HashMap<CqTerm, Element>| {
+        if let Some(&e) = map.get(&term) {
+            return e;
+        }
+        let e = interp.add_element();
+        map.insert(term, e);
+        if let CqTerm::Const(c) = term {
+            interp.set_constant(c, e);
+        }
+        e
+    };
+
+    // When the answer variable is bound to a constant, the head element is
+    // that constant's element.
+    let head_term = match query.head_constant {
+        Some(c) => CqTerm::Const(c),
+        None => CqTerm::Var(query.head),
+    };
+    let head = assign(head_term, &mut interp, &mut element_of);
+    element_of.entry(CqTerm::Var(query.head)).or_insert(head);
+    for atom in &query.atoms {
+        match *atom {
+            CqAtom::Class(class, t) => {
+                let e = assign(t, &mut interp, &mut element_of);
+                interp.add_class_member(class, e);
+            }
+            CqAtom::Attr(attr, s, t) => {
+                let es = assign(s, &mut interp, &mut element_of);
+                let et = assign(t, &mut interp, &mut element_of);
+                interp.add_attr_pair(attr, es, et);
+            }
+        }
+    }
+    (interp, element_of, head)
+}
+
+/// Whether there is a homomorphism from `query` into `interp` mapping the
+/// answer variable to `target`.
+pub fn has_homomorphism(
+    query: &ConjunctiveQuery,
+    interp: &Interpretation,
+    target: Element,
+) -> bool {
+    if query.inconsistent {
+        return false;
+    }
+    // An answer variable bound to a constant only matches that constant's
+    // element.
+    if let Some(c) = query.head_constant {
+        if interp.constant(c) != Some(target) {
+            return false;
+        }
+    }
+    // Constants must denote in the target interpretation.
+    for constant in query.constants() {
+        if interp.constant(constant).is_none() {
+            return false;
+        }
+    }
+    let mut assignment: HashMap<CqVar, Element> = HashMap::new();
+    assignment.insert(query.head, target);
+    if !atoms_consistent(query, interp, &assignment) {
+        return false;
+    }
+    let vars: Vec<CqVar> = query
+        .variables()
+        .into_iter()
+        .filter(|v| *v != query.head)
+        .collect();
+    search(query, interp, &vars, 0, &mut assignment)
+}
+
+fn search(
+    query: &ConjunctiveQuery,
+    interp: &Interpretation,
+    vars: &[CqVar],
+    index: usize,
+    assignment: &mut HashMap<CqVar, Element>,
+) -> bool {
+    if index == vars.len() {
+        return atoms_satisfied(query, interp, assignment);
+    }
+    let var = vars[index];
+    for candidate in interp.domain() {
+        assignment.insert(var, candidate);
+        if atoms_consistent(query, interp, assignment)
+            && search(query, interp, vars, index + 1, assignment)
+        {
+            return true;
+        }
+    }
+    assignment.remove(&var);
+    false
+}
+
+fn term_value(
+    term: CqTerm,
+    interp: &Interpretation,
+    assignment: &HashMap<CqVar, Element>,
+) -> Option<Element> {
+    match term {
+        CqTerm::Var(v) => assignment.get(&v).copied(),
+        CqTerm::Const(c) => interp.constant(c),
+    }
+}
+
+/// Checks the atoms whose terms are all assigned (used for early pruning).
+fn atoms_consistent(
+    query: &ConjunctiveQuery,
+    interp: &Interpretation,
+    assignment: &HashMap<CqVar, Element>,
+) -> bool {
+    query.atoms.iter().all(|atom| match *atom {
+        CqAtom::Class(class, t) => match term_value(t, interp, assignment) {
+            Some(e) => interp.is_in_class(class, e),
+            None => true,
+        },
+        CqAtom::Attr(attr, s, t) => {
+            match (
+                term_value(s, interp, assignment),
+                term_value(t, interp, assignment),
+            ) {
+                (Some(es), Some(et)) => interp.has_attr_pair(attr, es, et),
+                _ => true,
+            }
+        }
+    })
+}
+
+/// Checks that every atom is satisfied under a total assignment.
+fn atoms_satisfied(
+    query: &ConjunctiveQuery,
+    interp: &Interpretation,
+    assignment: &HashMap<CqVar, Element>,
+) -> bool {
+    query.atoms.iter().all(|atom| match *atom {
+        CqAtom::Class(class, t) => term_value(t, interp, assignment)
+            .is_some_and(|e| interp.is_in_class(class, e)),
+        CqAtom::Attr(attr, s, t) => {
+            match (
+                term_value(s, interp, assignment),
+                term_value(t, interp, assignment),
+            ) {
+                (Some(es), Some(et)) => interp.has_attr_pair(attr, es, et),
+                _ => false,
+            }
+        }
+    })
+}
+
+/// Decides containment `sub ⊆ sup` (every answer of `sub` is an answer of
+/// `sup` in every interpretation).
+pub fn contains(sub: &ConjunctiveQuery, sup: &ConjunctiveQuery) -> bool {
+    if sub.inconsistent {
+        return true;
+    }
+    if sup.inconsistent {
+        return false;
+    }
+    let (canonical, _, head) = freeze(sub);
+    has_homomorphism(sup, &canonical, head)
+}
+
+/// Evaluates a conjunctive query over a finite interpretation.
+pub fn evaluate(query: &ConjunctiveQuery, interp: &Interpretation) -> BTreeSet<Element> {
+    if query.inconsistent {
+        return BTreeSet::new();
+    }
+    interp
+        .domain()
+        .filter(|&d| has_homomorphism(query, interp, d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_concept::concept_to_cq;
+    use subq_concepts::attribute::Attr;
+    use subq_concepts::symbol::Vocabulary;
+    use subq_concepts::term::TermArena;
+
+    #[test]
+    fn freezing_builds_the_canonical_database() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let consults = voc.attribute("consults");
+        let mut arena = TermArena::new();
+        let p = arena.prim(patient);
+        let path = arena.path1(Attr::primitive(consults), p);
+        let exists = arena.exists(path);
+        let both = arena.and(p, exists);
+        let cq = concept_to_cq(&arena, both);
+        let (interp, element_of, head) = freeze(&cq);
+        assert_eq!(interp.domain_size(), 2);
+        assert!(interp.is_in_class(patient, head));
+        assert_eq!(element_of.len(), 2);
+        let other = interp.domain().find(|&e| e != head).expect("two elements");
+        assert!(interp.has_attr_pair(consults, head, other));
+    }
+
+    #[test]
+    fn containment_matches_intuition() {
+        let mut voc = Vocabulary::new();
+        let male = voc.class("Male");
+        let patient = voc.class("Patient");
+        let mut arena = TermArena::new();
+        let m = arena.prim(male);
+        let p = arena.prim(patient);
+        let both = arena.and(m, p);
+        let cq_both = concept_to_cq(&arena, both);
+        let cq_p = concept_to_cq(&arena, p);
+        assert!(contains(&cq_both, &cq_p));
+        assert!(!contains(&cq_p, &cq_both));
+        assert!(contains(&cq_p, &cq_p));
+        let top = arena.top();
+        let cq_top = concept_to_cq(&arena, top);
+        assert!(contains(&cq_p, &cq_top));
+        assert!(!contains(&cq_top, &cq_p));
+    }
+
+    #[test]
+    fn agreement_is_contained_in_exists() {
+        let mut voc = Vocabulary::new();
+        let consults = voc.attribute("consults");
+        let suffers = voc.attribute("suffers");
+        let mut arena = TermArena::new();
+        let top = arena.top();
+        let p = arena.path1(Attr::primitive(consults), top);
+        let q = arena.path1(Attr::primitive(suffers), top);
+        let agree = arena.agree(p, q);
+        let exists_p = arena.exists(p);
+        let cq_agree = concept_to_cq(&arena, agree);
+        let cq_exists = concept_to_cq(&arena, exists_p);
+        assert!(contains(&cq_agree, &cq_exists));
+        assert!(!contains(&cq_exists, &cq_agree));
+    }
+
+    #[test]
+    fn inconsistent_queries_are_contained_in_everything() {
+        let mut voc = Vocabulary::new();
+        let a = voc.constant("a");
+        let b = voc.constant("b");
+        let thing = voc.class("Thing");
+        let mut arena = TermArena::new();
+        let sa = arena.singleton(a);
+        let sb = arena.singleton(b);
+        let bad = arena.and(sa, sb);
+        let t = arena.prim(thing);
+        let cq_bad = concept_to_cq(&arena, bad);
+        let cq_t = concept_to_cq(&arena, t);
+        assert!(cq_bad.inconsistent);
+        assert!(contains(&cq_bad, &cq_t));
+        assert!(!contains(&cq_t, &cq_bad));
+    }
+
+    #[test]
+    fn evaluation_matches_ql_set_semantics_on_an_example() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let doctor = voc.class("Doctor");
+        let consults = voc.attribute("consults");
+        let mut arena = TermArena::new();
+        let p = arena.prim(patient);
+        let d = arena.prim(doctor);
+        let path = arena.path1(Attr::primitive(consults), d);
+        let exists = arena.exists(path);
+        let concept = arena.and(p, exists);
+        let cq = concept_to_cq(&arena, concept);
+
+        let mut interp = Interpretation::new(3);
+        interp.add_class_member(patient, Element(0));
+        interp.add_class_member(patient, Element(2));
+        interp.add_class_member(doctor, Element(1));
+        interp.add_attr_pair(consults, Element(0), Element(1));
+        interp.add_attr_pair(consults, Element(2), Element(2));
+
+        assert_eq!(evaluate(&cq, &interp), interp.eval_concept(&arena, concept));
+        assert_eq!(evaluate(&cq, &interp), BTreeSet::from([Element(0)]));
+    }
+
+    #[test]
+    fn constants_must_denote_in_the_target() {
+        let mut voc = Vocabulary::new();
+        let takes = voc.attribute("takes");
+        let aspirin = voc.constant("Aspirin");
+        let mut arena = TermArena::new();
+        let sa = arena.singleton(aspirin);
+        let path = arena.path1(Attr::primitive(takes), sa);
+        let concept = arena.exists(path);
+        let cq = concept_to_cq(&arena, concept);
+
+        // Interpretation where Aspirin is not mapped: no answers.
+        let mut interp = Interpretation::new(2);
+        interp.add_attr_pair(takes, Element(0), Element(1));
+        assert!(evaluate(&cq, &interp).is_empty());
+
+        // Mapping Aspirin to the filler makes element 0 an answer.
+        interp.set_constant(aspirin, Element(1));
+        assert_eq!(evaluate(&cq, &interp), BTreeSet::from([Element(0)]));
+    }
+}

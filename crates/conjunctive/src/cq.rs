@@ -1,0 +1,239 @@
+//! Conjunctive queries with one free (answer) variable.
+
+use subq_concepts::symbol::{AttrId, ClassId, ConstId, Vocabulary};
+
+/// A query variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CqVar(pub u32);
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CqTerm {
+    /// A query variable.
+    Var(CqVar),
+    /// A constant of the vocabulary.
+    Const(ConstId),
+}
+
+/// An atom of the query body.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CqAtom {
+    /// `A(t)` — a unary (class) atom.
+    Class(ClassId, CqTerm),
+    /// `P(s, t)` — a binary (attribute) atom.
+    Attr(AttrId, CqTerm, CqTerm),
+}
+
+impl CqAtom {
+    /// The terms of the atom.
+    pub fn terms(&self) -> Vec<CqTerm> {
+        match *self {
+            CqAtom::Class(_, t) => vec![t],
+            CqAtom::Attr(_, s, t) => vec![s, t],
+        }
+    }
+
+    /// Applies a term substitution.
+    pub fn substitute(&self, from: CqTerm, to: CqTerm) -> CqAtom {
+        let map = |t: CqTerm| if t == from { to } else { t };
+        match *self {
+            CqAtom::Class(c, t) => CqAtom::Class(c, map(t)),
+            CqAtom::Attr(a, s, t) => CqAtom::Attr(a, map(s), map(t)),
+        }
+    }
+}
+
+/// A conjunctive query `{ x | ∃ ȳ. conj of atoms }` with answer variable
+/// `head`.
+///
+/// The `inconsistent` flag records that the query body forced two distinct
+/// constants to be equal (which can happen when translating QL singletons);
+/// such a query has an empty answer in every interpretation.
+#[derive(Clone, Debug, Default)]
+pub struct ConjunctiveQuery {
+    /// The answer variable.
+    pub head: CqVar,
+    /// The body atoms.
+    pub atoms: Vec<CqAtom>,
+    /// Number of distinct variables (variables are numbered `0..var_count`).
+    pub var_count: u32,
+    /// Whether the body is inconsistent (empty answer everywhere).
+    pub inconsistent: bool,
+    /// Variable identifications performed while building the query (QL
+    /// singletons and empty-path agreements); kept so later construction
+    /// steps can resolve a variable they still hold by value.
+    pub substitutions: Vec<(CqVar, CqTerm)>,
+    /// When set, the answer variable is required to denote this constant
+    /// (the QL singleton `{a}` applied to the answer object).
+    pub head_constant: Option<ConstId>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query with only the head variable and no atoms (the
+    /// universal query).
+    pub fn universal() -> Self {
+        ConjunctiveQuery {
+            head: CqVar(0),
+            atoms: Vec::new(),
+            var_count: 1,
+            inconsistent: false,
+            substitutions: Vec::new(),
+            head_constant: None,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> CqVar {
+        let v = CqVar(self.var_count);
+        self.var_count += 1;
+        v
+    }
+
+    /// Adds an atom.
+    pub fn push(&mut self, atom: CqAtom) {
+        if !self.atoms.contains(&atom) {
+            self.atoms.push(atom);
+        }
+    }
+
+    /// All variables occurring in the query (head plus body).
+    pub fn variables(&self) -> Vec<CqVar> {
+        let mut vars = vec![self.head];
+        for atom in &self.atoms {
+            for term in atom.terms() {
+                if let CqTerm::Var(v) = term {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+            }
+        }
+        vars
+    }
+
+    /// All constants occurring in the query.
+    pub fn constants(&self) -> Vec<ConstId> {
+        let mut consts = Vec::new();
+        for atom in &self.atoms {
+            for term in atom.terms() {
+                if let CqTerm::Const(c) = term {
+                    if !consts.contains(&c) {
+                        consts.push(c);
+                    }
+                }
+            }
+        }
+        consts
+    }
+
+    /// Applies a substitution to every atom (and to the head if it is the
+    /// substituted variable — callers should avoid that).
+    pub fn substitute(&mut self, from: CqTerm, to: CqTerm) {
+        for atom in &mut self.atoms {
+            *atom = atom.substitute(from, to);
+        }
+        self.atoms.dedup();
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Renders the query in rule notation, e.g.
+    /// `q(x0) :- Patient(x0), consults(x0, x1), Doctor(x1)`.
+    pub fn render(&self, voc: &Vocabulary) -> String {
+        let term = |t: CqTerm| match t {
+            CqTerm::Var(CqVar(i)) => format!("x{i}"),
+            CqTerm::Const(c) => voc.const_name(c).to_owned(),
+        };
+        let mut parts = Vec::new();
+        for atom in &self.atoms {
+            match *atom {
+                CqAtom::Class(c, t) => parts.push(format!("{}({})", voc.class_name(c), term(t))),
+                CqAtom::Attr(a, s, t) => {
+                    parts.push(format!("{}({}, {})", voc.attr_name(a), term(s), term(t)))
+                }
+            }
+        }
+        let body = if parts.is_empty() {
+            "true".to_owned()
+        } else {
+            parts.join(", ")
+        };
+        let marker = if self.inconsistent { "  [inconsistent]" } else { "" };
+        format!("q({}) :- {}{}", term(CqTerm::Var(self.head)), body, marker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_query_has_one_variable_and_no_atoms() {
+        let q = ConjunctiveQuery::universal();
+        assert!(q.is_empty());
+        assert_eq!(q.variables(), vec![CqVar(0)]);
+        assert!(!q.inconsistent);
+    }
+
+    #[test]
+    fn push_deduplicates_atoms() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let mut q = ConjunctiveQuery::universal();
+        let atom = CqAtom::Class(patient, CqTerm::Var(q.head));
+        q.push(atom);
+        q.push(atom);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn variables_and_constants_are_collected() {
+        let mut voc = Vocabulary::new();
+        let consults = voc.attribute("consults");
+        let aspirin = voc.constant("Aspirin");
+        let mut q = ConjunctiveQuery::universal();
+        let y = q.fresh_var();
+        q.push(CqAtom::Attr(consults, CqTerm::Var(q.head), CqTerm::Var(y)));
+        q.push(CqAtom::Attr(consults, CqTerm::Var(y), CqTerm::Const(aspirin)));
+        assert_eq!(q.variables(), vec![CqVar(0), y]);
+        assert_eq!(q.constants(), vec![aspirin]);
+    }
+
+    #[test]
+    fn substitution_rewrites_terms() {
+        let mut voc = Vocabulary::new();
+        let knows = voc.attribute("knows");
+        let alice = voc.constant("alice");
+        let mut q = ConjunctiveQuery::universal();
+        let y = q.fresh_var();
+        q.push(CqAtom::Attr(knows, CqTerm::Var(q.head), CqTerm::Var(y)));
+        q.substitute(CqTerm::Var(y), CqTerm::Const(alice));
+        assert_eq!(
+            q.atoms,
+            vec![CqAtom::Attr(knows, CqTerm::Var(CqVar(0)), CqTerm::Const(alice))]
+        );
+    }
+
+    #[test]
+    fn rendering_uses_rule_notation() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let consults = voc.attribute("consults");
+        let mut q = ConjunctiveQuery::universal();
+        let y = q.fresh_var();
+        q.push(CqAtom::Class(patient, CqTerm::Var(q.head)));
+        q.push(CqAtom::Attr(consults, CqTerm::Var(q.head), CqTerm::Var(y)));
+        let rendered = q.render(&voc);
+        assert_eq!(rendered, "q(x0) :- Patient(x0), consults(x0, x1)");
+        let empty = ConjunctiveQuery::universal();
+        assert_eq!(empty.render(&voc), "q(x0) :- true");
+    }
+}

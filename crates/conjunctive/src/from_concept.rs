@@ -1,0 +1,263 @@
+//! Exact translation of QL concepts into conjunctive queries.
+//!
+//! A QL concept is, by its transformational semantics (Table 1), an
+//! existentially quantified conjunction of unary and binary atoms with one
+//! free variable — i.e. a conjunctive query. This module performs that
+//! translation directly on the term structure:
+//!
+//! * `A` → a class atom, `⊤` → nothing,
+//! * `{a}` → the current term is identified with the constant `a`
+//!   (substituting the variable, or marking the query inconsistent when two
+//!   distinct constants collide),
+//! * `C ⊓ D` → union of the bodies,
+//! * `∃p` → a chain of fresh variables,
+//! * `∃p ≐ q` → two chains sharing their final term.
+
+use crate::cq::{ConjunctiveQuery, CqAtom, CqTerm};
+use subq_concepts::term::{Concept, ConceptId, Path, PathId, TermArena};
+
+/// Translates a QL concept into an equivalent conjunctive query.
+pub fn concept_to_cq(arena: &TermArena, concept: ConceptId) -> ConjunctiveQuery {
+    let mut query = ConjunctiveQuery::universal();
+    let head = CqTerm::Var(query.head);
+    translate_concept(arena, concept, head, &mut query);
+    query
+}
+
+fn translate_concept(
+    arena: &TermArena,
+    concept: ConceptId,
+    term: CqTerm,
+    query: &mut ConjunctiveQuery,
+) {
+    match arena.concept(concept) {
+        Concept::Top => {}
+        Concept::Prim(class) => query.push(CqAtom::Class(class, term)),
+        Concept::Singleton(constant) => identify(query, term, CqTerm::Const(constant)),
+        Concept::And(l, r) => {
+            translate_concept(arena, l, term, query);
+            // The left conjunct may have substituted `term` away (a
+            // singleton); equality of terms is by value, so re-identifying
+            // is unnecessary — substitution only affects variables other
+            // callers still reference by value, which is safe because a
+            // substituted variable no longer occurs in any atom.
+            translate_concept(arena, r, resolve(query, term), query);
+        }
+        Concept::Exists(path) => {
+            let end = CqTerm::Var(query.fresh_var());
+            translate_path(arena, path, term, end, query);
+        }
+        Concept::Agree(p, q) => {
+            let end = CqTerm::Var(query.fresh_var());
+            translate_path(arena, p, term, end, query);
+            translate_path(arena, q, term, resolve(query, end), query);
+        }
+    }
+}
+
+/// Follows the substitutions recorded on the query until a fixed point:
+/// identifications may chain (variable to variable to constant).
+fn resolve(query: &ConjunctiveQuery, mut term: CqTerm) -> CqTerm {
+    for _ in 0..=query.substitutions.len() {
+        match term {
+            CqTerm::Const(_) => return term,
+            CqTerm::Var(v) => {
+                let next = query
+                    .substitutions
+                    .iter()
+                    .find_map(|&(from, to)| if from == v { Some(to) } else { None });
+                match next {
+                    Some(to) => term = to,
+                    None => return term,
+                }
+            }
+        }
+    }
+    term
+}
+
+/// Identifies two terms: substitute a variable by the other term (never the
+/// answer variable, which instead records a `head_constant` binding), or
+/// flag inconsistency when two distinct constants meet.
+fn identify(query: &mut ConjunctiveQuery, left: CqTerm, right: CqTerm) {
+    let left = resolve(query, left);
+    let right = resolve(query, right);
+    if left == right {
+        return;
+    }
+    let head = query.head;
+    let bind_head_to_const = |query: &mut ConjunctiveQuery, constant| {
+        match query.head_constant {
+            Some(existing) if existing != constant => query.inconsistent = true,
+            _ => query.head_constant = Some(constant),
+        }
+        query.substitute(CqTerm::Var(head), CqTerm::Const(constant));
+        query
+            .substitutions
+            .push((head, CqTerm::Const(constant)));
+    };
+    match (left, right) {
+        (CqTerm::Const(a), CqTerm::Const(b)) => {
+            if a != b {
+                query.inconsistent = true;
+            }
+        }
+        (CqTerm::Var(v), CqTerm::Var(w)) => {
+            // Substitute away the non-answer variable.
+            let (from, to) = if v == head { (w, left) } else { (v, right) };
+            query.substitute(CqTerm::Var(from), to);
+            query.substitutions.push((from, to));
+        }
+        (CqTerm::Var(v), CqTerm::Const(c)) | (CqTerm::Const(c), CqTerm::Var(v)) => {
+            if v == head {
+                bind_head_to_const(query, c);
+            } else {
+                query.substitute(CqTerm::Var(v), CqTerm::Const(c));
+                query.substitutions.push((v, CqTerm::Const(c)));
+            }
+        }
+    }
+}
+
+fn translate_path(
+    arena: &TermArena,
+    path: PathId,
+    from: CqTerm,
+    to: CqTerm,
+    query: &mut ConjunctiveQuery,
+) {
+    match arena.path(path) {
+        Path::Empty => identify(query, from, to),
+        Path::Step(restriction, rest) => {
+            let from = resolve(query, from);
+            let next = if arena.is_empty_path(rest) {
+                resolve(query, to)
+            } else {
+                CqTerm::Var(query.fresh_var())
+            };
+            let atom = if restriction.attr.is_inverted() {
+                CqAtom::Attr(restriction.attr.base(), next, from)
+            } else {
+                CqAtom::Attr(restriction.attr.base(), from, next)
+            };
+            query.push(atom);
+            translate_concept(arena, restriction.concept, resolve(query, next), query);
+            if !arena.is_empty_path(rest) {
+                translate_path(arena, rest, resolve(query, next), to, query);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_concepts::attribute::Attr;
+    use subq_concepts::symbol::Vocabulary;
+
+    #[test]
+    fn primitive_and_intersection() {
+        let mut voc = Vocabulary::new();
+        let male = voc.class("Male");
+        let patient = voc.class("Patient");
+        let mut arena = TermArena::new();
+        let m = arena.prim(male);
+        let p = arena.prim(patient);
+        let both = arena.and(m, p);
+        let cq = concept_to_cq(&arena, both);
+        assert_eq!(cq.render(&voc), "q(x0) :- Male(x0), Patient(x0)");
+    }
+
+    #[test]
+    fn exists_path_builds_a_chain() {
+        let mut voc = Vocabulary::new();
+        let doctor = voc.class("Doctor");
+        let disease = voc.class("Disease");
+        let consults = voc.attribute("consults");
+        let skilled = voc.attribute("skilled_in");
+        let mut arena = TermArena::new();
+        let d = arena.prim(doctor);
+        let dis = arena.prim(disease);
+        let path = arena.path_of(&[
+            (Attr::primitive(consults), d),
+            (Attr::primitive(skilled), dis),
+        ]);
+        let c = arena.exists(path);
+        let cq = concept_to_cq(&arena, c);
+        let rendered = cq.render(&voc);
+        assert!(rendered.contains("consults(x0, x2)"));
+        assert!(rendered.contains("Doctor(x2)"));
+        assert!(rendered.contains("skilled_in(x2, x1)"));
+        assert!(rendered.contains("Disease(x1)"));
+    }
+
+    #[test]
+    fn agreement_shares_the_end_variable() {
+        let mut voc = Vocabulary::new();
+        let consults = voc.attribute("consults");
+        let suffers = voc.attribute("suffers");
+        let mut arena = TermArena::new();
+        let top = arena.top();
+        let p = arena.path1(Attr::primitive(consults), top);
+        let q = arena.path1(Attr::primitive(suffers), top);
+        let agree = arena.agree(p, q);
+        let cq = concept_to_cq(&arena, agree);
+        let rendered = cq.render(&voc);
+        assert!(rendered.contains("consults(x0, x1)"));
+        assert!(rendered.contains("suffers(x0, x1)"));
+    }
+
+    #[test]
+    fn inverse_attributes_swap_argument_order() {
+        let mut voc = Vocabulary::new();
+        let skilled = voc.attribute("skilled_in");
+        let doctor = voc.class("Doctor");
+        let mut arena = TermArena::new();
+        let d = arena.prim(doctor);
+        let path = arena.path1(Attr::inverse_of(skilled), d);
+        let c = arena.exists(path);
+        let cq = concept_to_cq(&arena, c);
+        assert_eq!(cq.render(&voc), "q(x0) :- skilled_in(x1, x0), Doctor(x1)");
+    }
+
+    #[test]
+    fn singletons_substitute_constants() {
+        let mut voc = Vocabulary::new();
+        let takes = voc.attribute("takes");
+        let drug = voc.class("Drug");
+        let aspirin = voc.constant("Aspirin");
+        let mut arena = TermArena::new();
+        let d = arena.prim(drug);
+        let a = arena.singleton(aspirin);
+        let filler = arena.and(d, a);
+        let path = arena.path1(Attr::primitive(takes), filler);
+        let c = arena.exists(path);
+        let cq = concept_to_cq(&arena, c);
+        let rendered = cq.render(&voc);
+        assert!(rendered.contains("takes(x0, Aspirin)"));
+        assert!(rendered.contains("Drug(Aspirin)"));
+        assert!(!cq.inconsistent);
+    }
+
+    #[test]
+    fn conflicting_singletons_mark_inconsistency() {
+        let mut voc = Vocabulary::new();
+        let a = voc.constant("a");
+        let b = voc.constant("b");
+        let mut arena = TermArena::new();
+        let sa = arena.singleton(a);
+        let sb = arena.singleton(b);
+        let both = arena.and(sa, sb);
+        let cq = concept_to_cq(&arena, both);
+        assert!(cq.inconsistent);
+    }
+
+    #[test]
+    fn top_translates_to_the_universal_query() {
+        let mut arena = TermArena::new();
+        let top = arena.top();
+        let cq = concept_to_cq(&arena, top);
+        assert!(cq.is_empty());
+        assert!(!cq.inconsistent);
+    }
+}

@@ -1,0 +1,35 @@
+//! Conjunctive queries over unary and binary predicates, and containment
+//! via homomorphism search.
+//!
+//! Section 3.2 of the paper observes that a query class with an empty
+//! constraint part is logically a *conjunctive query*: an existentially
+//! quantified conjunction of class and attribute atoms with one free
+//! variable. Containment of general conjunctive queries is NP-complete
+//! (Chandra–Merlin); the paper positions QL as "a naturally occurring class
+//! of conjunctive queries with polynomial containment problem" once the
+//! schema is empty.
+//!
+//! This crate provides the classical machinery as a baseline and testing
+//! oracle:
+//!
+//! * [`cq::ConjunctiveQuery`] — the query representation,
+//! * [`from_concept::concept_to_cq`] — the exact translation of a QL
+//!   concept into a conjunctive query,
+//! * [`containment::contains`] — containment by canonical-database
+//!   freezing and backtracking homomorphism search (worst-case
+//!   exponential), and
+//! * [`containment::evaluate`] — evaluation of a conjunctive query over a
+//!   finite interpretation (used for cross-validation against the QL set
+//!   semantics).
+//!
+//! Experiment E7 uses this crate to confirm the paper's positioning: on
+//! QL-expressible inputs the structural calculus agrees with the
+//! Chandra–Merlin decision while avoiding its exponential search.
+
+pub mod containment;
+pub mod cq;
+pub mod from_concept;
+
+pub use containment::{contains, evaluate, freeze};
+pub use cq::{ConjunctiveQuery, CqAtom, CqTerm, CqVar};
+pub use from_concept::concept_to_cq;

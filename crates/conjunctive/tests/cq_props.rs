@@ -1,0 +1,198 @@
+//! Cross-validation of the conjunctive-query machinery against the QL
+//! semantics and against the structural subsumption calculus.
+//!
+//! Two properties matter for the paper's claims:
+//!
+//! 1. the CQ translation is *exact*: evaluating the translated query over
+//!    any finite interpretation yields the concept's extension, and
+//! 2. on the empty schema, the polynomial calculus decides exactly
+//!    conjunctive-query containment for QL-expressible queries — i.e. it is
+//!    sound and complete on the fragment (Theorem 4.7 with Σ = ∅), matching
+//!    the NP-complete Chandra–Merlin oracle answer for answer.
+
+use proptest::prelude::*;
+use subq_calculus::SubsumptionChecker;
+use subq_concepts::prelude::*;
+use subq_conjunctive::{concept_to_cq, contains, evaluate};
+
+const N_CLASSES: usize = 3;
+const N_ATTRS: usize = 2;
+const N_CONSTS: usize = 2;
+
+#[derive(Clone, Debug)]
+enum Desc {
+    Prim(usize),
+    Top,
+    Singleton(usize),
+    And(Box<Desc>, Box<Desc>),
+    Exists(Vec<(usize, bool, Desc)>),
+    Agree(Vec<(usize, bool, Desc)>, Vec<(usize, bool, Desc)>),
+}
+
+fn desc() -> impl Strategy<Value = Desc> {
+    let leaf = prop_oneof![
+        (0..N_CLASSES).prop_map(Desc::Prim),
+        Just(Desc::Top),
+        (0..N_CONSTS).prop_map(Desc::Singleton),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        let step = (0..N_ATTRS, any::<bool>(), inner.clone());
+        let path = prop::collection::vec(step, 1..3);
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Desc::And(Box::new(a), Box::new(b))),
+            path.clone().prop_map(Desc::Exists),
+            (path.clone(), path).prop_map(|(p, q)| Desc::Agree(p, q)),
+        ]
+    })
+}
+
+struct World {
+    arena: TermArena,
+    classes: Vec<ClassId>,
+    attrs: Vec<AttrId>,
+    consts: Vec<ConstId>,
+}
+
+fn world() -> World {
+    let mut voc = Vocabulary::new();
+    World {
+        classes: (0..N_CLASSES).map(|i| voc.class(&format!("K{i}"))).collect(),
+        attrs: (0..N_ATTRS).map(|i| voc.attribute(&format!("r{i}"))).collect(),
+        consts: (0..N_CONSTS).map(|i| voc.constant(&format!("c{i}"))).collect(),
+        arena: TermArena::new(),
+    }
+}
+
+fn intern(w: &mut World, d: &Desc) -> ConceptId {
+    match d {
+        Desc::Prim(i) => w.arena.prim(w.classes[*i]),
+        Desc::Top => w.arena.top(),
+        Desc::Singleton(i) => w.arena.singleton(w.consts[*i]),
+        Desc::And(a, b) => {
+            let l = intern(w, a);
+            let r = intern(w, b);
+            w.arena.and(l, r)
+        }
+        Desc::Exists(p) => {
+            let path = intern_path(w, p);
+            w.arena.exists(path)
+        }
+        Desc::Agree(p, q) => {
+            let pp = intern_path(w, p);
+            let qq = intern_path(w, q);
+            w.arena.agree(pp, qq)
+        }
+    }
+}
+
+fn intern_path(w: &mut World, steps: &[(usize, bool, Desc)]) -> PathId {
+    let interned: Vec<(Attr, ConceptId)> = steps
+        .iter()
+        .map(|(a, inv, d)| {
+            let c = intern(w, d);
+            let attr = if *inv {
+                Attr::inverse_of(w.attrs[*a])
+            } else {
+                Attr::primitive(w.attrs[*a])
+            };
+            (attr, c)
+        })
+        .collect();
+    w.arena.path_of(&interned)
+}
+
+#[derive(Clone, Debug)]
+struct InterpDesc {
+    domain: u32,
+    members: Vec<(usize, u32)>,
+    edges: Vec<(usize, u32, u32)>,
+    consts: Vec<u32>,
+}
+
+fn interp_desc() -> impl Strategy<Value = InterpDesc> {
+    (2u32..4).prop_flat_map(|domain| {
+        (
+            Just(domain),
+            prop::collection::vec((0..N_CLASSES, 0..domain), 0..8),
+            prop::collection::vec((0..N_ATTRS, 0..domain, 0..domain), 0..10),
+            prop::collection::vec(0..domain, N_CONSTS),
+        )
+            .prop_map(|(domain, members, edges, consts)| InterpDesc {
+                domain,
+                members,
+                edges,
+                consts,
+            })
+    })
+}
+
+fn build_interp(w: &World, d: &InterpDesc) -> Interpretation {
+    let mut interp = Interpretation::new(d.domain);
+    for (c, e) in &d.members {
+        interp.add_class_member(w.classes[*c], Element(*e));
+    }
+    for (a, from, to) in &d.edges {
+        interp.add_attr_pair(w.attrs[*a], Element(*from), Element(*to));
+    }
+    let mut used = std::collections::HashSet::new();
+    for (i, base) in d.consts.iter().enumerate() {
+        let mut elem = *base % d.domain;
+        let mut tries = 0;
+        while used.contains(&elem) && tries < d.domain {
+            elem = (elem + 1) % d.domain;
+            tries += 1;
+        }
+        if used.insert(elem) {
+            interp.set_constant(w.consts[i], Element(elem));
+        }
+    }
+    interp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CQ translation is exact: evaluation of the translated query
+    /// over any interpretation equals the concept's extension.
+    #[test]
+    fn cq_translation_is_exact(c in desc(), i in interp_desc()) {
+        let mut w = world();
+        let concept = intern(&mut w, &c);
+        let interp = build_interp(&w, &i);
+        let cq = concept_to_cq(&w.arena, concept);
+        prop_assert_eq!(evaluate(&cq, &interp), interp.eval_concept(&w.arena, concept));
+    }
+
+    /// On the empty schema, the polynomial structural calculus and the
+    /// NP-complete Chandra–Merlin containment test give the same answer on
+    /// every pair of QL concepts (soundness *and* completeness on the
+    /// fragment, Theorem 4.7 with Σ = ∅).
+    #[test]
+    fn calculus_agrees_with_chandra_merlin_on_empty_schema(c in desc(), d in desc()) {
+        let mut w = world();
+        let cc = intern(&mut w, &c);
+        let dd = intern(&mut w, &d);
+        let cq_c = concept_to_cq(&w.arena, cc);
+        let cq_d = concept_to_cq(&w.arena, dd);
+        let oracle = contains(&cq_c, &cq_d);
+        let schema = Schema::new();
+        let checker = SubsumptionChecker::new(&schema);
+        let calculus = checker.subsumes(&mut w.arena, cc, dd);
+        prop_assert_eq!(
+            calculus, oracle,
+            "calculus and CQ containment disagree on {:?} vs {:?}", c, d
+        );
+    }
+
+    /// Containment is reflexive and ⊤-bounded at the CQ level as well.
+    #[test]
+    fn cq_containment_basic_laws(c in desc()) {
+        let mut w = world();
+        let concept = intern(&mut w, &c);
+        let top = w.arena.top();
+        let cq = concept_to_cq(&w.arena, concept);
+        let cq_top = concept_to_cq(&w.arena, top);
+        prop_assert!(contains(&cq, &cq));
+        prop_assert!(contains(&cq, &cq_top));
+    }
+}

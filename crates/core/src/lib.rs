@@ -1,0 +1,238 @@
+//! **subq** — subsumption between queries to object-oriented databases.
+//!
+//! This is the facade crate of the reproduction of Buchheit, Jeusfeld,
+//! Nutt and Staudt, *Subsumption between Queries to Object-Oriented
+//! Databases* (EDBT'94). It re-exports the component crates and offers a
+//! small high-level API ([`Engine`]) that covers the common workflow:
+//! parse a DL schema with query classes, translate its structural part to
+//! the concept languages SL/QL, and decide query/view subsumption in
+//! polynomial time — optionally driving the materialized-view query
+//! optimizer of [`oodb`].
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`concepts`] | the abstract languages SL and QL, their semantics |
+//! | [`calculus`] | the polynomial subsumption calculus (Section 4) |
+//! | [`dl`] | the concrete frame language DL: parser, validation, FOL translation |
+//! | [`translate`] | structural abstraction DL → SL/QL (Section 3.2) |
+//! | [`conjunctive`] | conjunctive queries and Chandra–Merlin containment |
+//! | [`extensions`] | the NP-hard language extensions of Section 4.4 |
+//! | [`oodb`] | object store, query-class evaluation, materialized views, optimizer |
+//! | [`workload`] | synthetic workload generators for the experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use subq::Engine;
+//!
+//! let mut engine = Engine::from_source(subq::dl::samples::MEDICAL_SOURCE).unwrap();
+//! assert!(engine.subsumes("QueryPatient", "ViewPatient").unwrap());
+//! assert!(!engine.subsumes("ViewPatient", "QueryPatient").unwrap());
+//! ```
+
+pub use subq_calculus as calculus;
+pub use subq_concepts as concepts;
+pub use subq_conjunctive as conjunctive;
+pub use subq_dl as dl;
+pub use subq_extensions as extensions;
+pub use subq_oodb as oodb;
+pub use subq_translate as translate;
+pub use subq_workload as workload;
+
+pub use subq_calculus::{SubsumptionChecker, SubsumptionOutcome, SubsumptionVerdict};
+pub use subq_concepts::{Schema, TermArena, Vocabulary};
+pub use subq_dl::{parse_model, DlModel};
+pub use subq_oodb::OptimizedDatabase;
+pub use subq_translate::{translate_model, TranslatedModel};
+
+use std::collections::HashMap;
+use std::fmt;
+use subq_concepts::term::ConceptId;
+use subq_dl::QueryClassDecl;
+
+/// Errors of the high-level engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The DL source text did not parse.
+    Parse(subq_dl::ParseError),
+    /// The model is not well formed.
+    Validation(Vec<subq_dl::ValidationError>),
+    /// The structural translation failed.
+    Translate(subq_translate::TranslateError),
+    /// A query class name is unknown.
+    UnknownQuery(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Validation(errors) => {
+                write!(f, "model is not well formed: ")?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            EngineError::Translate(e) => write!(f, "{e}"),
+            EngineError::UnknownQuery(name) => write!(f, "unknown query class `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A parsed and translated DL model with a subsumption front end.
+///
+/// The engine is what the paper calls the "subsumption checking component
+/// … embedded into a query optimizer": query classes are translated once,
+/// and pairs can then be tested in time polynomial in the sizes of the
+/// concepts and the schema.
+pub struct Engine {
+    model: DlModel,
+    translated: TranslatedModel,
+}
+
+impl Engine {
+    /// Parses, validates, and translates a DL model from source text.
+    pub fn from_source(source: &str) -> Result<Self, EngineError> {
+        let model = subq_dl::parse_model(source).map_err(EngineError::Parse)?;
+        Self::from_model(model)
+    }
+
+    /// Validates and translates an already parsed model.
+    pub fn from_model(model: DlModel) -> Result<Self, EngineError> {
+        let problems = subq_dl::validate_model(&model);
+        if !problems.is_empty() {
+            return Err(EngineError::Validation(problems));
+        }
+        let translated = subq_translate::translate_model(&model).map_err(EngineError::Translate)?;
+        Ok(Engine { model, translated })
+    }
+
+    /// The parsed DL model.
+    pub fn model(&self) -> &DlModel {
+        &self.model
+    }
+
+    /// The structural translation (SL schema and QL concepts).
+    pub fn translated(&self) -> &TranslatedModel {
+        &self.translated
+    }
+
+    /// The QL concept of a declared query class.
+    pub fn concept_of(&self, query: &str) -> Result<ConceptId, EngineError> {
+        self.translated
+            .query_concept(query)
+            .ok_or_else(|| EngineError::UnknownQuery(query.to_owned()))
+    }
+
+    /// Decides whether the answers of `query` are contained in the answers
+    /// of `view` in every database state (via Σ-subsumption of the
+    /// structural translations; sound, Proposition 3.1).
+    pub fn subsumes(&mut self, query: &str, view: &str) -> Result<bool, EngineError> {
+        let query_concept = self.concept_of(query)?;
+        let view_concept = self.concept_of(view)?;
+        let checker = SubsumptionChecker::new(&self.translated.schema);
+        Ok(checker.subsumes(&mut self.translated.arena, query_concept, view_concept))
+    }
+
+    /// Like [`Engine::subsumes`] but returns the full outcome including the
+    /// derivation trace (Figure 11 style).
+    pub fn check_with_trace(
+        &mut self,
+        query: &str,
+        view: &str,
+    ) -> Result<SubsumptionOutcome, EngineError> {
+        let query_concept = self.concept_of(query)?;
+        let view_concept = self.concept_of(view)?;
+        let checker = SubsumptionChecker::new(&self.translated.schema);
+        Ok(checker.check_with_trace(&mut self.translated.arena, query_concept, view_concept))
+    }
+
+    /// Tests one query against every declared *view* (structural query
+    /// class) and returns the names of the subsuming ones.
+    pub fn subsuming_views(&mut self, query: &str) -> Result<Vec<String>, EngineError> {
+        let query_concept = self.concept_of(query)?;
+        let checker = SubsumptionChecker::new(&self.translated.schema);
+        let views: Vec<(String, ConceptId)> = self
+            .model
+            .queries
+            .iter()
+            .filter(|q| q.is_view() && q.name != query)
+            .filter_map(|q| {
+                self.translated
+                    .query_concept(&q.name)
+                    .map(|c| (q.name.clone(), c))
+            })
+            .collect();
+        let mut out = Vec::new();
+        for (name, concept) in views {
+            if checker.subsumes(&mut self.translated.arena, query_concept, concept) {
+                out.push(name);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The declared query classes, keyed by name.
+    pub fn query_classes(&self) -> HashMap<&str, &QueryClassDecl> {
+        self.model
+            .queries
+            .iter()
+            .map(|q| (q.name.as_str(), q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_reproduces_the_paper_example() {
+        let mut engine = Engine::from_source(dl::samples::MEDICAL_SOURCE).expect("loads");
+        assert!(engine.subsumes("QueryPatient", "ViewPatient").expect("checks"));
+        assert!(!engine.subsumes("ViewPatient", "QueryPatient").expect("checks"));
+        assert_eq!(
+            engine.subsuming_views("QueryPatient").expect("checks"),
+            vec!["ViewPatient".to_owned()]
+        );
+        let outcome = engine
+            .check_with_trace("QueryPatient", "ViewPatient")
+            .expect("checks");
+        assert!(outcome.subsumed());
+        assert!(outcome.trace.is_some());
+    }
+
+    #[test]
+    fn unknown_queries_and_bad_models_are_reported() {
+        let mut engine = Engine::from_source(dl::samples::MEDICAL_SOURCE).expect("loads");
+        assert!(matches!(
+            engine.subsumes("Nope", "ViewPatient"),
+            Err(EngineError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            Engine::from_source("Class A isA Missing with end A"),
+            Err(EngineError::Validation(_))
+        ));
+        assert!(matches!(
+            Engine::from_source("not a model"),
+            Err(EngineError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn query_classes_are_exposed() {
+        let engine = Engine::from_source(dl::samples::MEDICAL_SOURCE).expect("loads");
+        let classes = engine.query_classes();
+        assert!(classes.contains_key("QueryPatient"));
+        assert!(classes.contains_key("ViewPatient"));
+        assert!(engine.model().class("Patient").is_some());
+        assert!(engine.translated().query_concept("ViewPatient").is_some());
+        assert!(engine.concept_of("QueryPatient").is_ok());
+    }
+}

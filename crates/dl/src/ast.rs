@@ -1,0 +1,388 @@
+//! Abstract syntax of the DL schema and query language (Section 2).
+
+use serde::{Deserialize, Serialize};
+
+/// An attribute specification inside a class declaration, e.g.
+/// `suffers: Disease` under the heading `attribute, necessary`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrSpec {
+    /// The attribute name.
+    pub name: String,
+    /// The class restricting the values of the attribute for members of
+    /// the declaring class.
+    pub range: String,
+    /// Whether the attribute is mandatory (`necessary`): at least one
+    /// value must exist.
+    pub necessary: bool,
+    /// Whether the attribute is functional (`single`): at most one value
+    /// may exist.
+    pub single: bool,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassDecl {
+    /// The class name.
+    pub name: String,
+    /// Direct superclasses (the `isA` clause).
+    pub is_a: Vec<String>,
+    /// Attribute restrictions stated for members of this class.
+    pub attributes: Vec<AttrSpec>,
+    /// The non-structural constraint clause, if any.
+    pub constraint: Option<ConstraintExpr>,
+}
+
+/// A global attribute declaration with domain, range and optional inverse
+/// synonym (e.g. `skilled_in` with inverse `specialist`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrDecl {
+    /// The attribute name.
+    pub name: String,
+    /// The domain class.
+    pub domain: String,
+    /// The range class.
+    pub range: String,
+    /// An optional synonym naming the inverse of this attribute. Synonyms
+    /// may only be used in queries, not in other schema declarations.
+    pub inverse: Option<String>,
+}
+
+/// A value filter attached to one step of a labeled path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathFilter {
+    /// `(a: C)` — the value must be an instance of the class `C`.
+    Class(String),
+    /// `(a: {i})` — the value must be the object named `i`.
+    Singleton(String),
+    /// `a` as a shorthand for `(a: Object)` — any value.
+    Any,
+}
+
+/// One step of a labeled path: a (possibly synonym) attribute with a value
+/// filter.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The attribute (or inverse synonym) name.
+    pub attr: String,
+    /// The filter on the values reached by this step.
+    pub filter: PathFilter,
+}
+
+/// A labeled path in the `derived` clause of a query class, e.g.
+/// `l_2: suffers.(specialist: Doctor)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledPath {
+    /// The label naming the derived object at the end of the path; may be
+    /// omitted when it is used neither in `where` nor in the constraint.
+    pub label: Option<String>,
+    /// The chain of restricted attributes.
+    pub steps: Vec<PathStep>,
+}
+
+/// A term of the constraint language: the implicit `this`, a bound
+/// variable, a label of the enclosing query class, or an object constant.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Term {
+    /// The object whose membership is being constrained.
+    This,
+    /// A variable bound by `forall`/`exists`, or a label of the query
+    /// class.
+    Ident(String),
+}
+
+/// A constraint-clause formula (the non-structural part of declarations).
+///
+/// The language is the first-order many-sorted language of Section 2.1:
+/// quantifiers range over classes, and the only atoms are class membership
+/// `(x in C)`, attribute atoms `(x a y)` and equalities.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintExpr {
+    /// `(t in C)`.
+    In(Term, String),
+    /// `(s a t)` — `t` is an `a`-value of `s`.
+    HasAttr(Term, String, Term),
+    /// `(s = t)`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<ConstraintExpr>),
+    /// Conjunction.
+    And(Box<ConstraintExpr>, Box<ConstraintExpr>),
+    /// Disjunction.
+    Or(Box<ConstraintExpr>, Box<ConstraintExpr>),
+    /// `forall x/C φ`.
+    Forall(String, String, Box<ConstraintExpr>),
+    /// `exists x/C φ`.
+    Exists(String, String, Box<ConstraintExpr>),
+}
+
+impl ConstraintExpr {
+    /// The labels and free identifiers mentioned by the constraint
+    /// (excluding variables bound by its own quantifiers).
+    pub fn free_idents(&self) -> Vec<String> {
+        fn walk(expr: &ConstraintExpr, bound: &mut Vec<String>, out: &mut Vec<String>) {
+            let add = |term: &Term, bound: &Vec<String>, out: &mut Vec<String>| {
+                if let Term::Ident(name) = term {
+                    if !bound.contains(name) && !out.contains(name) {
+                        out.push(name.clone());
+                    }
+                }
+            };
+            match expr {
+                ConstraintExpr::In(t, _) => add(t, bound, out),
+                ConstraintExpr::HasAttr(s, _, t) => {
+                    add(s, bound, out);
+                    add(t, bound, out);
+                }
+                ConstraintExpr::Eq(s, t) => {
+                    add(s, bound, out);
+                    add(t, bound, out);
+                }
+                ConstraintExpr::Not(inner) => walk(inner, bound, out),
+                ConstraintExpr::And(a, b) | ConstraintExpr::Or(a, b) => {
+                    walk(a, bound, out);
+                    walk(b, bound, out);
+                }
+                ConstraintExpr::Forall(var, _, body) | ConstraintExpr::Exists(var, _, body) => {
+                    bound.push(var.clone());
+                    walk(body, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+/// A query class declaration (Section 2.2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryClassDecl {
+    /// The name of the query class.
+    pub name: String,
+    /// Superclasses the answer objects must belong to.
+    pub is_a: Vec<String>,
+    /// Labeled derived paths.
+    pub derived: Vec<LabeledPath>,
+    /// Equalities between labels (`where` clause).
+    pub where_eqs: Vec<(String, String)>,
+    /// The non-structural constraint clause, if any.
+    pub constraint: Option<ConstraintExpr>,
+}
+
+impl QueryClassDecl {
+    /// A query class is a *view* when it has no non-structural part, i.e.
+    /// it is captured completely by its QL translation and its answers may
+    /// safely be used to answer subsumed queries (Section 2.2 / 3.2).
+    pub fn is_view(&self) -> bool {
+        self.constraint.is_none()
+    }
+
+    /// The labels declared in the `derived` clause.
+    pub fn labels(&self) -> Vec<&str> {
+        self.derived
+            .iter()
+            .filter_map(|p| p.label.as_deref())
+            .collect()
+    }
+}
+
+/// A complete DL model: schema declarations plus query classes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DlModel {
+    /// Class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+    /// Attribute declarations, in source order.
+    pub attributes: Vec<AttrDecl>,
+    /// Query class declarations, in source order.
+    pub queries: Vec<QueryClassDecl>,
+}
+
+impl DlModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        DlModel::default()
+    }
+
+    /// Looks up a class declaration by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up an attribute declaration by name.
+    pub fn attribute(&self, name: &str) -> Option<&AttrDecl> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up a query class by name.
+    pub fn query_class(&self, name: &str) -> Option<&QueryClassDecl> {
+        self.queries.iter().find(|q| q.name == name)
+    }
+
+    /// Resolves an attribute name that may be an inverse synonym: returns
+    /// the underlying attribute name and whether the synonym denotes the
+    /// inverse direction.
+    pub fn resolve_attribute(&self, name: &str) -> Option<(&AttrDecl, bool)> {
+        if let Some(decl) = self.attribute(name) {
+            return Some((decl, false));
+        }
+        self.attributes
+            .iter()
+            .find(|a| a.inverse.as_deref() == Some(name))
+            .map(|a| (a, true))
+    }
+
+    /// All class names declared or referenced anywhere in the model.
+    pub fn referenced_classes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |name: &str| {
+            if !out.iter().any(|n| n == name) {
+                out.push(name.to_owned());
+            }
+        };
+        for class in &self.classes {
+            push(&class.name);
+            for sup in &class.is_a {
+                push(sup);
+            }
+            for attr in &class.attributes {
+                push(&attr.range);
+            }
+        }
+        for attr in &self.attributes {
+            push(&attr.domain);
+            push(&attr.range);
+        }
+        for query in &self.queries {
+            for sup in &query.is_a {
+                push(sup);
+            }
+            for path in &query.derived {
+                for step in &path.steps {
+                    if let PathFilter::Class(c) = &step.filter {
+                        push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> QueryClassDecl {
+        QueryClassDecl {
+            name: "QueryPatient".into(),
+            is_a: vec!["Male".into(), "Patient".into()],
+            derived: vec![
+                LabeledPath {
+                    label: Some("l_1".into()),
+                    steps: vec![PathStep {
+                        attr: "consults".into(),
+                        filter: PathFilter::Class("Female".into()),
+                    }],
+                },
+                LabeledPath {
+                    label: Some("l_2".into()),
+                    steps: vec![
+                        PathStep {
+                            attr: "suffers".into(),
+                            filter: PathFilter::Any,
+                        },
+                        PathStep {
+                            attr: "specialist".into(),
+                            filter: PathFilter::Class("Doctor".into()),
+                        },
+                    ],
+                },
+            ],
+            where_eqs: vec![("l_1".into(), "l_2".into())],
+            constraint: None,
+        }
+    }
+
+    #[test]
+    fn views_are_queries_without_constraints() {
+        let mut query = sample_query();
+        assert!(query.is_view());
+        query.constraint = Some(ConstraintExpr::In(Term::This, "Patient".into()));
+        assert!(!query.is_view());
+    }
+
+    #[test]
+    fn labels_are_collected() {
+        let query = sample_query();
+        assert_eq!(query.labels(), vec!["l_1", "l_2"]);
+    }
+
+    #[test]
+    fn model_lookup_and_inverse_resolution() {
+        let mut model = DlModel::new();
+        model.classes.push(ClassDecl {
+            name: "Doctor".into(),
+            is_a: vec![],
+            attributes: vec![],
+            constraint: None,
+        });
+        model.attributes.push(AttrDecl {
+            name: "skilled_in".into(),
+            domain: "Person".into(),
+            range: "Topic".into(),
+            inverse: Some("specialist".into()),
+        });
+        assert!(model.class("Doctor").is_some());
+        assert!(model.class("Nurse").is_none());
+        let (decl, inverted) = model.resolve_attribute("skilled_in").expect("direct");
+        assert_eq!(decl.name, "skilled_in");
+        assert!(!inverted);
+        let (decl, inverted) = model.resolve_attribute("specialist").expect("synonym");
+        assert_eq!(decl.name, "skilled_in");
+        assert!(inverted);
+        assert!(model.resolve_attribute("unknown").is_none());
+    }
+
+    #[test]
+    fn referenced_classes_cover_all_clauses() {
+        let mut model = DlModel::new();
+        model.classes.push(ClassDecl {
+            name: "Patient".into(),
+            is_a: vec!["Person".into()],
+            attributes: vec![AttrSpec {
+                name: "takes".into(),
+                range: "Drug".into(),
+                necessary: false,
+                single: false,
+            }],
+            constraint: None,
+        });
+        model.queries.push(sample_query());
+        let classes = model.referenced_classes();
+        for expected in ["Patient", "Person", "Drug", "Male", "Female", "Doctor"] {
+            assert!(classes.iter().any(|c| c == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn free_idents_skip_bound_variables() {
+        // forall d/Drug (not (this takes d) or (d = Aspirin))
+        let expr = ConstraintExpr::Forall(
+            "d".into(),
+            "Drug".into(),
+            Box::new(ConstraintExpr::Or(
+                Box::new(ConstraintExpr::Not(Box::new(ConstraintExpr::HasAttr(
+                    Term::This,
+                    "takes".into(),
+                    Term::Ident("d".into()),
+                )))),
+                Box::new(ConstraintExpr::Eq(
+                    Term::Ident("d".into()),
+                    Term::Ident("Aspirin".into()),
+                )),
+            )),
+        );
+        assert_eq!(expr.free_idents(), vec!["Aspirin".to_owned()]);
+    }
+}

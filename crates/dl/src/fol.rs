@@ -1,0 +1,356 @@
+//! Translation of DL declarations and query classes into first-order
+//! formulas (Figures 2 and 4 of the paper).
+
+use crate::ast::{
+    AttrDecl, ClassDecl, ConstraintExpr, DlModel, LabeledPath, PathFilter, QueryClassDecl, Term,
+};
+use crate::logic::{NamedFormula, NamedTerm};
+
+/// Translates a class declaration into the schema formulas of Figure 2.
+///
+/// One formula is produced per isA link, per attribute typing, per
+/// `necessary` and `single` marker, and one for the constraint clause (with
+/// `this` replaced by the universally quantified membership variable).
+pub fn class_axioms(class: &ClassDecl) -> Vec<NamedFormula> {
+    let x = || NamedTerm::Var("x".into());
+    let y = || NamedTerm::Var("y".into());
+    let mut axioms = Vec::new();
+
+    for sup in &class.is_a {
+        axioms.push(NamedFormula::Forall(
+            vec!["x".into()],
+            Box::new(NamedFormula::Implies(
+                Box::new(NamedFormula::Class(class.name.clone(), x())),
+                Box::new(NamedFormula::Class(sup.clone(), x())),
+            )),
+        ));
+    }
+    for spec in &class.attributes {
+        // Typing: ∀x,y. C(x) ∧ a(x,y) ⇒ Range(y)
+        axioms.push(NamedFormula::Forall(
+            vec!["x".into(), "y".into()],
+            Box::new(NamedFormula::Implies(
+                Box::new(NamedFormula::and(vec![
+                    NamedFormula::Class(class.name.clone(), x()),
+                    NamedFormula::Attr(spec.name.clone(), x(), y()),
+                ])),
+                Box::new(NamedFormula::Class(spec.range.clone(), y())),
+            )),
+        ));
+        if spec.necessary {
+            // ∀x. C(x) ⇒ ∃y. a(x,y)
+            axioms.push(NamedFormula::Forall(
+                vec!["x".into()],
+                Box::new(NamedFormula::Implies(
+                    Box::new(NamedFormula::Class(class.name.clone(), x())),
+                    Box::new(NamedFormula::Exists(
+                        vec!["y".into()],
+                        Box::new(NamedFormula::Attr(spec.name.clone(), x(), y())),
+                    )),
+                )),
+            ));
+        }
+        if spec.single {
+            // ∀x,y,z. C(x) ∧ a(x,y) ∧ a(x,z) ⇒ y ≐ z
+            axioms.push(NamedFormula::Forall(
+                vec!["x".into(), "y".into(), "z".into()],
+                Box::new(NamedFormula::Implies(
+                    Box::new(NamedFormula::and(vec![
+                        NamedFormula::Class(class.name.clone(), x()),
+                        NamedFormula::Attr(spec.name.clone(), x(), y()),
+                        NamedFormula::Attr(spec.name.clone(), x(), NamedTerm::Var("z".into())),
+                    ])),
+                    Box::new(NamedFormula::Eq(y(), NamedTerm::Var("z".into()))),
+                )),
+            ));
+        }
+    }
+    if let Some(constraint) = &class.constraint {
+        // ∀x. C(x) ⇒ φ[this := x]
+        axioms.push(NamedFormula::Forall(
+            vec!["x".into()],
+            Box::new(NamedFormula::Implies(
+                Box::new(NamedFormula::Class(class.name.clone(), x())),
+                Box::new(constraint_to_formula(constraint, "x")),
+            )),
+        ));
+    }
+    axioms
+}
+
+/// Translates a global attribute declaration into the formulas of Figure 2:
+/// the domain/range typing and, if present, the inverse-synonym
+/// bi-implication.
+pub fn attr_axioms(attr: &AttrDecl) -> Vec<NamedFormula> {
+    let x = || NamedTerm::Var("x".into());
+    let y = || NamedTerm::Var("y".into());
+    let mut axioms = vec![NamedFormula::Forall(
+        vec!["x".into(), "y".into()],
+        Box::new(NamedFormula::Implies(
+            Box::new(NamedFormula::Attr(attr.name.clone(), x(), y())),
+            Box::new(NamedFormula::and(vec![
+                NamedFormula::Class(attr.domain.clone(), x()),
+                NamedFormula::Class(attr.range.clone(), y()),
+            ])),
+        )),
+    )];
+    if let Some(inverse) = &attr.inverse {
+        axioms.push(NamedFormula::Forall(
+            vec!["x".into(), "y".into()],
+            Box::new(NamedFormula::Iff(
+                Box::new(NamedFormula::Attr(attr.name.clone(), x(), y())),
+                Box::new(NamedFormula::Attr(inverse.clone(), y(), x())),
+            )),
+        ));
+    }
+    axioms
+}
+
+/// Translates every declaration of a model into schema formulas
+/// (Figure 2 for the whole schema).
+pub fn model_axioms(model: &DlModel) -> Vec<NamedFormula> {
+    let mut axioms = Vec::new();
+    for class in &model.classes {
+        axioms.extend(class_axioms(class));
+    }
+    for attr in &model.attributes {
+        axioms.extend(attr_axioms(attr));
+    }
+    axioms
+}
+
+/// Translates a query class into its defining bi-implication (Figure 4):
+/// `Q(t) ⇔ superclasses ∧ ∃ labels. paths ∧ equalities ∧ constraint`.
+pub fn query_formula(query: &QueryClassDecl) -> NamedFormula {
+    let t = || NamedTerm::Var("t".into());
+    let mut fresh = 0u32;
+    let mut fresh_var = || {
+        fresh += 1;
+        format!("z{fresh}")
+    };
+
+    let mut body = Vec::new();
+    for sup in &query.is_a {
+        body.push(NamedFormula::Class(sup.clone(), t()));
+    }
+
+    // Labels become existentially quantified variables; unlabeled paths get
+    // fresh names so every path contributes its chain formula.
+    let mut bound: Vec<String> = Vec::new();
+    for path in &query.derived {
+        let end_var = match &path.label {
+            Some(label) => label.clone(),
+            None => fresh_var(),
+        };
+        bound.push(end_var.clone());
+        body.push(path_formula(path, "t", &end_var, &mut fresh_var));
+    }
+    for (left, right) in &query.where_eqs {
+        body.push(NamedFormula::Eq(
+            NamedTerm::Var(left.clone()),
+            NamedTerm::Var(right.clone()),
+        ));
+    }
+    if let Some(constraint) = &query.constraint {
+        body.push(constraint_to_formula(constraint, "t"));
+    }
+
+    let rhs = if bound.is_empty() {
+        NamedFormula::and(body)
+    } else {
+        NamedFormula::Exists(bound, Box::new(NamedFormula::and(body)))
+    };
+    NamedFormula::Iff(
+        Box::new(NamedFormula::Class(query.name.clone(), t())),
+        Box::new(rhs),
+    )
+}
+
+/// The chain formula of a labeled path: intermediate objects are
+/// existentially quantified, the final object is named `end_var`.
+fn path_formula(
+    path: &LabeledPath,
+    start_var: &str,
+    end_var: &str,
+    fresh_var: &mut impl FnMut() -> String,
+) -> NamedFormula {
+    let mut conjuncts = Vec::new();
+    let mut intermediates = Vec::new();
+    let mut current = start_var.to_owned();
+    let last = path.steps.len().saturating_sub(1);
+    for (i, step) in path.steps.iter().enumerate() {
+        let next = if i == last {
+            end_var.to_owned()
+        } else {
+            let v = fresh_var();
+            intermediates.push(v.clone());
+            v
+        };
+        conjuncts.push(NamedFormula::Attr(
+            step.attr.clone(),
+            NamedTerm::Var(current.clone()),
+            NamedTerm::Var(next.clone()),
+        ));
+        match &step.filter {
+            PathFilter::Class(class) => {
+                conjuncts.push(NamedFormula::Class(class.clone(), NamedTerm::Var(next.clone())));
+            }
+            PathFilter::Singleton(object) => {
+                conjuncts.push(NamedFormula::Eq(
+                    NamedTerm::Var(next.clone()),
+                    NamedTerm::Const(object.clone()),
+                ));
+            }
+            PathFilter::Any => {}
+        }
+        current = next;
+    }
+    let body = NamedFormula::and(conjuncts);
+    if intermediates.is_empty() {
+        body
+    } else {
+        NamedFormula::Exists(intermediates, Box::new(body))
+    }
+}
+
+/// Translates a constraint-clause expression, replacing `this` by the given
+/// variable.
+pub fn constraint_to_formula(expr: &ConstraintExpr, this_var: &str) -> NamedFormula {
+    let term = |t: &Term| match t {
+        Term::This => NamedTerm::Var(this_var.to_owned()),
+        // Identifiers in constraints may be labels/bound variables or
+        // object constants; the distinction does not matter for rendering,
+        // and the evaluator in the OODB engine resolves them by scope.
+        Term::Ident(name) => NamedTerm::Var(name.clone()),
+    };
+    match expr {
+        ConstraintExpr::In(t, class) => NamedFormula::Class(class.clone(), term(t)),
+        ConstraintExpr::HasAttr(s, attr, t) => NamedFormula::Attr(attr.clone(), term(s), term(t)),
+        ConstraintExpr::Eq(s, t) => NamedFormula::Eq(term(s), term(t)),
+        ConstraintExpr::Not(inner) => {
+            NamedFormula::Not(Box::new(constraint_to_formula(inner, this_var)))
+        }
+        ConstraintExpr::And(a, b) => NamedFormula::and(vec![
+            constraint_to_formula(a, this_var),
+            constraint_to_formula(b, this_var),
+        ]),
+        ConstraintExpr::Or(a, b) => NamedFormula::Or(vec![
+            constraint_to_formula(a, this_var),
+            constraint_to_formula(b, this_var),
+        ]),
+        ConstraintExpr::Forall(var, class, body) => NamedFormula::Forall(
+            vec![var.clone()],
+            Box::new(NamedFormula::Implies(
+                Box::new(NamedFormula::Class(class.clone(), NamedTerm::Var(var.clone()))),
+                Box::new(constraint_to_formula(body, this_var)),
+            )),
+        ),
+        ConstraintExpr::Exists(var, class, body) => NamedFormula::Exists(
+            vec![var.clone()],
+            Box::new(NamedFormula::and(vec![
+                NamedFormula::Class(class.clone(), NamedTerm::Var(var.clone())),
+                constraint_to_formula(body, this_var),
+            ])),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_model;
+    use crate::samples;
+
+    #[test]
+    fn figure_2_patient_axioms() {
+        let model = parse_model(samples::MEDICAL_SOURCE).expect("parses");
+        let patient = model.class("Patient").expect("declared");
+        let axioms = class_axioms(patient);
+        let rendered: Vec<String> = axioms.iter().map(|a| a.to_string()).collect();
+        // The six formulas of Figure 2 for Patient (isA, three typings, one
+        // necessity, one constraint).
+        assert!(rendered.contains(&"∀ x. (Patient(x) ⇒ Person(x))".to_owned()));
+        assert!(rendered
+            .contains(&"∀ x, y. ((Patient(x) ∧ takes(x, y)) ⇒ Drug(y))".to_owned()));
+        assert!(rendered
+            .contains(&"∀ x, y. ((Patient(x) ∧ consults(x, y)) ⇒ Doctor(y))".to_owned()));
+        assert!(rendered
+            .contains(&"∀ x, y. ((Patient(x) ∧ suffers(x, y)) ⇒ Disease(y))".to_owned()));
+        assert!(rendered.contains(&"∀ x. (Patient(x) ⇒ ∃ y. suffers(x, y))".to_owned()));
+        assert!(rendered.contains(&"∀ x. (Patient(x) ⇒ ¬(Doctor(x)))".to_owned()));
+        assert_eq!(axioms.len(), 6);
+    }
+
+    #[test]
+    fn figure_2_skilled_in_axioms() {
+        let model = parse_model(samples::MEDICAL_SOURCE).expect("parses");
+        let attr = model.attribute("skilled_in").expect("declared");
+        let axioms = attr_axioms(attr);
+        let rendered: Vec<String> = axioms.iter().map(|a| a.to_string()).collect();
+        assert!(rendered
+            .contains(&"∀ x, y. (skilled_in(x, y) ⇒ (Person(x) ∧ Topic(y)))".to_owned()));
+        assert!(rendered
+            .contains(&"∀ x, y. (skilled_in(x, y) ⇔ specialist(y, x))".to_owned()));
+    }
+
+    #[test]
+    fn single_marker_produces_functionality_axiom() {
+        let model = parse_model(samples::MEDICAL_SOURCE).expect("parses");
+        let person = model.class("Person").expect("declared");
+        let rendered: Vec<String> = class_axioms(person).iter().map(|a| a.to_string()).collect();
+        assert!(rendered.iter().any(|f| f.contains("y ≐ z")));
+        assert!(rendered.iter().any(|f| f.contains("∃ y. name(x, y)")));
+    }
+
+    #[test]
+    fn figure_4_query_patient_formula() {
+        let model = parse_model(samples::MEDICAL_SOURCE).expect("parses");
+        let query = model.query_class("QueryPatient").expect("declared");
+        let formula = query_formula(query);
+        let rendered = formula.to_string();
+        // Structure of Figure 4: equivalence, superclasses, path conjuncts
+        // with existential labels, label equality, and the drug constraint.
+        assert!(rendered.starts_with("(QueryPatient(t) ⇔ ∃ l_1, l_2."));
+        assert!(rendered.contains("Male(t)"));
+        assert!(rendered.contains("Patient(t)"));
+        assert!(rendered.contains("consults(t, l_1)"));
+        assert!(rendered.contains("Female(l_1)"));
+        assert!(rendered.contains("specialist("));
+        assert!(rendered.contains("l_1 ≐ l_2"));
+        assert!(rendered.contains("Drug(d)"));
+        assert!(rendered.contains("d ≐ Aspirin") || rendered.contains("d ≐ Aspirin"));
+    }
+
+    #[test]
+    fn unlabeled_paths_get_fresh_variables() {
+        let model = parse_model(samples::MEDICAL_SOURCE).expect("parses");
+        let view = model.query_class("ViewPatient").expect("declared");
+        let rendered = query_formula(view).to_string();
+        assert!(rendered.contains("name(t, z1)"));
+        assert!(rendered.contains("String(z1)"));
+        assert!(rendered.contains("l_1 ≐ l_2"));
+    }
+
+    #[test]
+    fn model_axioms_cover_all_declarations() {
+        let model = parse_model(samples::MEDICAL_SOURCE).expect("parses");
+        let axioms = model_axioms(&model);
+        // Every class and attribute contributes at least one axiom.
+        assert!(axioms.len() >= model.classes.len() + model.attributes.len());
+    }
+
+    #[test]
+    fn singleton_filters_translate_to_equalities() {
+        let source = "
+            QueryClass AspirinTaker isA Patient with
+              derived
+                (takes: {Aspirin})
+            end AspirinTaker
+        ";
+        let model = parse_model(source).expect("parses");
+        let query = model.query_class("AspirinTaker").expect("declared");
+        let rendered = query_formula(query).to_string();
+        assert!(rendered.contains("takes(t, z1)"));
+        assert!(rendered.contains("z1 ≐ Aspirin"));
+    }
+}

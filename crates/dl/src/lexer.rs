@@ -1,0 +1,246 @@
+//! Tokenizer for the DL frame syntax.
+//!
+//! The syntax is the one used in Figures 1, 3 and 5 of the paper: keyword
+//! headed declarations (`Class … end …`), attribute sections, labeled
+//! paths, and a small first-order constraint language. Line comments start
+//! with `--`.
+
+use std::fmt;
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are recognized by the parser).
+    Word(String),
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Equals,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "`{w}`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::Slash => write!(f, "`/`"),
+        }
+    }
+}
+
+/// A lexing error: an unexpected character.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub character: char,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected character `{}` at line {}, column {}",
+            self.character, self.line, self.col
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes DL source text.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = source.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        let start_line = line;
+        let start_col = col;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '-' => {
+                // Either a comment `--` or an error (identifiers may contain
+                // `-` only in non-leading position, which we do not support).
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'-') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            col = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError {
+                        character: '-',
+                        line: start_line,
+                        col: start_col,
+                    });
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(word),
+                    line: start_line,
+                    col: start_col,
+                });
+            }
+            _ => {
+                let kind = match c {
+                    ':' => TokenKind::Colon,
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '=' => TokenKind::Equals,
+                    '/' => TokenKind::Slash,
+                    other => {
+                        return Err(LexError {
+                            character: other,
+                            line: start_line,
+                            col: start_col,
+                        })
+                    }
+                };
+                chars.next();
+                col += 1;
+                tokens.push(Token {
+                    kind,
+                    line: start_line,
+                    col: start_col,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn words_and_symbols() {
+        let toks = kinds("Class Patient isA Person with");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("Class".into()),
+                TokenKind::Word("Patient".into()),
+                TokenKind::Word("isA".into()),
+                TokenKind::Word("Person".into()),
+                TokenKind::Word("with".into()),
+            ]
+        );
+        let toks = kinds("l_1: (consults: Female).{Aspirin}");
+        assert!(toks.contains(&TokenKind::Colon));
+        assert!(toks.contains(&TokenKind::LParen));
+        assert!(toks.contains(&TokenKind::LBrace));
+        assert!(toks.contains(&TokenKind::Dot));
+        assert!(toks.contains(&TokenKind::Word("l_1".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("Class A -- the universal class\nend A");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("Class".into()),
+                TokenKind::Word("A".into()),
+                TokenKind::Word("end".into()),
+                TokenKind::Word("A".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("ab\n  cd").expect("lexes");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 3);
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = tokenize("Class $").expect_err("lexing fails");
+        assert_eq!(err.character, '$');
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 7);
+        assert!(err.to_string().contains('$'));
+    }
+
+    #[test]
+    fn single_dash_is_an_error() {
+        let err = tokenize("a - b").expect_err("lexing fails");
+        assert_eq!(err.character, '-');
+    }
+}

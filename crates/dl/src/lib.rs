@@ -1,0 +1,49 @@
+//! The concrete frame-like database language **DL** of Section 2.
+//!
+//! DL is the user-facing language of the paper: a generic object-oriented
+//! data model with class declarations (isA links, typed set-valued
+//! attributes, `necessary`/`single` markers, first-order constraint
+//! clauses), attribute declarations (domain, range, inverse synonyms), and
+//! *query classes* whose membership conditions are necessary **and**
+//! sufficient (isA superclasses, labeled derived paths, `where` equalities
+//! between labels, and an optional constraint clause).
+//!
+//! This crate provides:
+//!
+//! * the abstract syntax ([`ast`]),
+//! * a lexer and recursive-descent parser for the frame syntax used in
+//!   Figures 1, 3 and 5 ([`lexer`], [`parser`]),
+//! * well-formedness validation ([`validate`]),
+//! * the translation of declarations and query classes into first-order
+//!   formulas shown in Figures 2 and 4 ([`logic`], [`fol`]),
+//! * a pretty-printer back to DL syntax ([`pretty`]), and
+//! * the paper's running medical example as ready-made source text
+//!   ([`samples`]).
+//!
+//! The *structural* abstraction of DL into the concept languages SL/QL is
+//! performed by the `subq-translate` crate.
+//!
+//! ```
+//! use subq_dl::parser::parse_model;
+//! use subq_dl::samples;
+//!
+//! let model = parse_model(samples::MEDICAL_SOURCE).expect("the paper's schema parses");
+//! assert!(model.class("Patient").is_some());
+//! assert!(model.query_class("QueryPatient").is_some());
+//! ```
+
+pub mod ast;
+pub mod fol;
+pub mod lexer;
+pub mod logic;
+pub mod parser;
+pub mod pretty;
+pub mod samples;
+pub mod validate;
+
+pub use ast::{
+    AttrDecl, AttrSpec, ClassDecl, ConstraintExpr, DlModel, LabeledPath, PathFilter, PathStep,
+    QueryClassDecl, Term,
+};
+pub use parser::{parse_model, ParseError};
+pub use validate::{validate_model, ValidationError};

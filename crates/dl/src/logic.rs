@@ -1,0 +1,177 @@
+//! A small first-order language with named predicates, used to spell out
+//! the semantics of DL declarations (Figures 2 and 4 of the paper).
+//!
+//! Unlike [`subq_concepts::fol`], which works on interned symbol
+//! identifiers and is built for evaluation, this module works directly on
+//! names and is built for faithful, human-readable rendering of the
+//! translation figures.
+
+use std::fmt;
+
+/// A term: a variable or an object constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NamedTerm {
+    /// A variable, e.g. `x`, `l_1`, `d`.
+    Var(String),
+    /// An object constant, e.g. `Aspirin`.
+    Const(String),
+}
+
+impl fmt::Display for NamedTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamedTerm::Var(v) => write!(f, "{v}"),
+            NamedTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A first-order formula over unary and binary named predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NamedFormula {
+    /// The true formula.
+    True,
+    /// `C(t)` — class membership.
+    Class(String, NamedTerm),
+    /// `a(s, t)` — attribute atom.
+    Attr(String, NamedTerm, NamedTerm),
+    /// `s ≐ t`.
+    Eq(NamedTerm, NamedTerm),
+    /// Negation.
+    Not(Box<NamedFormula>),
+    /// n-ary conjunction.
+    And(Vec<NamedFormula>),
+    /// n-ary disjunction.
+    Or(Vec<NamedFormula>),
+    /// Implication.
+    Implies(Box<NamedFormula>, Box<NamedFormula>),
+    /// Bi-implication (used for the inverse-attribute axiom and for query
+    /// class definitions).
+    Iff(Box<NamedFormula>, Box<NamedFormula>),
+    /// `∃ x₁, …, xₙ. φ`.
+    Exists(Vec<String>, Box<NamedFormula>),
+    /// `∀ x₁, …, xₙ. φ`.
+    Forall(Vec<String>, Box<NamedFormula>),
+}
+
+impl NamedFormula {
+    /// Builds a conjunction, flattening the trivial cases.
+    pub fn and(conjuncts: Vec<NamedFormula>) -> NamedFormula {
+        let filtered: Vec<NamedFormula> = conjuncts
+            .into_iter()
+            .filter(|f| !matches!(f, NamedFormula::True))
+            .collect();
+        match filtered.len() {
+            0 => NamedFormula::True,
+            1 => filtered.into_iter().next().expect("len checked"),
+            _ => NamedFormula::And(filtered),
+        }
+    }
+
+    /// Number of connectives and atoms.
+    pub fn size(&self) -> usize {
+        match self {
+            NamedFormula::True
+            | NamedFormula::Class(..)
+            | NamedFormula::Attr(..)
+            | NamedFormula::Eq(..) => 1,
+            NamedFormula::Not(f) => 1 + f.size(),
+            NamedFormula::And(fs) | NamedFormula::Or(fs) => {
+                1 + fs.iter().map(NamedFormula::size).sum::<usize>()
+            }
+            NamedFormula::Implies(a, b) | NamedFormula::Iff(a, b) => 1 + a.size() + b.size(),
+            NamedFormula::Exists(_, f) | NamedFormula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+}
+
+impl fmt::Display for NamedFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamedFormula::True => write!(f, "true"),
+            NamedFormula::Class(name, t) => write!(f, "{name}({t})"),
+            NamedFormula::Attr(name, s, t) => write!(f, "{name}({s}, {t})"),
+            NamedFormula::Eq(s, t) => write!(f, "{s} ≐ {t}"),
+            NamedFormula::Not(inner) => write!(f, "¬({inner})"),
+            NamedFormula::And(fs) => {
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            NamedFormula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            NamedFormula::Implies(a, b) => write!(f, "({a} ⇒ {b})"),
+            NamedFormula::Iff(a, b) => write!(f, "({a} ⇔ {b})"),
+            NamedFormula::Exists(vars, body) => {
+                write!(f, "∃ {}. {body}", vars.join(", "))
+            }
+            NamedFormula::Forall(vars, body) => {
+                write!(f, "∀ {}. {body}", vars.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_figure_2_style() {
+        // ∀ x. Patient(x) ⇒ Person(x)
+        let formula = NamedFormula::Forall(
+            vec!["x".into()],
+            Box::new(NamedFormula::Implies(
+                Box::new(NamedFormula::Class(
+                    "Patient".into(),
+                    NamedTerm::Var("x".into()),
+                )),
+                Box::new(NamedFormula::Class(
+                    "Person".into(),
+                    NamedTerm::Var("x".into()),
+                )),
+            )),
+        );
+        assert_eq!(formula.to_string(), "∀ x. (Patient(x) ⇒ Person(x))");
+    }
+
+    #[test]
+    fn and_flattens_trivial_cases() {
+        assert_eq!(NamedFormula::and(vec![]), NamedFormula::True);
+        let single = NamedFormula::Class("A".into(), NamedTerm::Var("x".into()));
+        assert_eq!(NamedFormula::and(vec![single.clone()]), single);
+        let many = NamedFormula::and(vec![single.clone(), NamedFormula::True, single.clone()]);
+        assert_eq!(many.size(), 3);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let eq = NamedFormula::Eq(NamedTerm::Var("y".into()), NamedTerm::Const("Aspirin".into()));
+        let not = NamedFormula::Not(Box::new(eq.clone()));
+        assert_eq!(eq.size(), 1);
+        assert_eq!(not.size(), 2);
+    }
+
+    #[test]
+    fn constants_and_vars_render_plainly() {
+        let attr = NamedFormula::Attr(
+            "takes".into(),
+            NamedTerm::Var("x".into()),
+            NamedTerm::Const("Aspirin".into()),
+        );
+        assert_eq!(attr.to_string(), "takes(x, Aspirin)");
+    }
+}

@@ -1,0 +1,208 @@
+//! Pretty-printing of DL declarations back to the frame syntax.
+//!
+//! The printer produces text that re-parses to the same abstract syntax,
+//! which gives a convenient round-trip property for tests and lets tools
+//! store models as source.
+
+use crate::ast::{
+    AttrDecl, ClassDecl, ConstraintExpr, DlModel, LabeledPath, PathFilter, QueryClassDecl, Term,
+};
+use std::fmt::Write as _;
+
+/// Renders a whole model.
+pub fn render_model(model: &DlModel) -> String {
+    let mut out = String::new();
+    for class in &model.classes {
+        out.push_str(&render_class(class));
+        out.push('\n');
+    }
+    for attr in &model.attributes {
+        out.push_str(&render_attribute(attr));
+        out.push('\n');
+    }
+    for query in &model.queries {
+        out.push_str(&render_query(query));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a class declaration.
+pub fn render_class(class: &ClassDecl) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "Class {}", class.name);
+    if !class.is_a.is_empty() {
+        let _ = write!(out, " isA {}", class.is_a.join(", "));
+    }
+    out.push_str(" with\n");
+    // Group attribute specs by their (necessary, single) flags so the
+    // section headers come out like in Figure 1.
+    for (necessary, single) in [(false, false), (true, false), (false, true), (true, true)] {
+        let group: Vec<_> = class
+            .attributes
+            .iter()
+            .filter(|a| a.necessary == necessary && a.single == single)
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        out.push_str("  attribute");
+        if necessary {
+            out.push_str(", necessary");
+        }
+        if single {
+            out.push_str(", single");
+        }
+        out.push('\n');
+        for spec in group {
+            let _ = writeln!(out, "    {}: {}", spec.name, spec.range);
+        }
+    }
+    if let Some(constraint) = &class.constraint {
+        let _ = writeln!(out, "  constraint:\n    {}", render_constraint(constraint));
+    }
+    let _ = writeln!(out, "end {}", class.name);
+    out
+}
+
+/// Renders an attribute declaration.
+pub fn render_attribute(attr: &AttrDecl) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Attribute {} with", attr.name);
+    let _ = writeln!(out, "  domain: {}", attr.domain);
+    let _ = writeln!(out, "  range: {}", attr.range);
+    if let Some(inverse) = &attr.inverse {
+        let _ = writeln!(out, "  inverse: {inverse}");
+    }
+    let _ = writeln!(out, "end {}", attr.name);
+    out
+}
+
+/// Renders a query class declaration.
+pub fn render_query(query: &QueryClassDecl) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "QueryClass {}", query.name);
+    if !query.is_a.is_empty() {
+        let _ = write!(out, " isA {}", query.is_a.join(", "));
+    }
+    out.push_str(" with\n");
+    if !query.derived.is_empty() {
+        out.push_str("  derived\n");
+        for path in &query.derived {
+            let _ = writeln!(out, "    {}", render_path(path));
+        }
+    }
+    if !query.where_eqs.is_empty() {
+        out.push_str("  where\n");
+        for (left, right) in &query.where_eqs {
+            let _ = writeln!(out, "    {left} = {right}");
+        }
+    }
+    if let Some(constraint) = &query.constraint {
+        let _ = writeln!(out, "  constraint:\n    {}", render_constraint(constraint));
+    }
+    let _ = writeln!(out, "end {}", query.name);
+    out
+}
+
+/// Renders a labeled path, e.g. `l_2: suffers.(specialist: Doctor)`.
+pub fn render_path(path: &LabeledPath) -> String {
+    let steps: Vec<String> = path
+        .steps
+        .iter()
+        .map(|step| match &step.filter {
+            PathFilter::Any => step.attr.clone(),
+            PathFilter::Class(class) => format!("({}: {})", step.attr, class),
+            PathFilter::Singleton(object) => format!("({}: {{{}}})", step.attr, object),
+        })
+        .collect();
+    match &path.label {
+        Some(label) => format!("{}: {}", label, steps.join(".")),
+        None => steps.join("."),
+    }
+}
+
+/// Renders a constraint expression in a form the parser accepts again.
+pub fn render_constraint(expr: &ConstraintExpr) -> String {
+    fn term(t: &Term) -> String {
+        match t {
+            Term::This => "this".to_owned(),
+            Term::Ident(name) => name.clone(),
+        }
+    }
+    match expr {
+        ConstraintExpr::In(t, class) => format!("({} in {})", term(t), class),
+        ConstraintExpr::HasAttr(s, attr, t) => format!("({} {} {})", term(s), attr, term(t)),
+        ConstraintExpr::Eq(s, t) => format!("({} = {})", term(s), term(t)),
+        ConstraintExpr::Not(inner) => format!("not {}", render_constraint(inner)),
+        ConstraintExpr::And(a, b) => {
+            format!("({} and {})", render_constraint(a), render_constraint(b))
+        }
+        ConstraintExpr::Or(a, b) => {
+            format!("({} or {})", render_constraint(a), render_constraint(b))
+        }
+        ConstraintExpr::Forall(var, class, body) => {
+            format!("forall {var}/{class} {}", render_constraint(body))
+        }
+        ConstraintExpr::Exists(var, class, body) => {
+            format!("exists {var}/{class} {}", render_constraint(body))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_model;
+    use crate::samples;
+
+    /// Pretty-printing and re-parsing is the identity on the medical
+    /// example (modulo constraint-expression parenthesisation, which the
+    /// printer normalizes and the parser preserves).
+    #[test]
+    fn medical_model_round_trips() {
+        let model = samples::medical_model();
+        let printed = render_model(&model);
+        let reparsed = parse_model(&printed).expect("printed model parses");
+        assert_eq!(reparsed.classes.len(), model.classes.len());
+        assert_eq!(reparsed.attributes.len(), model.attributes.len());
+        assert_eq!(reparsed.queries.len(), model.queries.len());
+        // Structural pieces survive exactly.
+        for class in &model.classes {
+            let other = reparsed.class(&class.name).expect("class survives");
+            assert_eq!(other.is_a, class.is_a);
+            assert_eq!(other.attributes, class.attributes);
+        }
+        for query in &model.queries {
+            let other = reparsed.query_class(&query.name).expect("query survives");
+            assert_eq!(other.is_a, query.is_a);
+            assert_eq!(other.derived, query.derived);
+            assert_eq!(other.where_eqs, query.where_eqs);
+            assert_eq!(other.constraint.is_some(), query.constraint.is_some());
+        }
+        // A second round trip is a fixed point.
+        assert_eq!(render_model(&reparsed), printed);
+    }
+
+    #[test]
+    fn paths_render_like_the_figures() {
+        let model = samples::medical_model();
+        let query = model.query_class("QueryPatient").expect("declared");
+        assert_eq!(render_path(&query.derived[0]), "l_1: (consults: Female)");
+        assert_eq!(
+            render_path(&query.derived[1]),
+            "l_2: suffers.(specialist: Doctor)"
+        );
+    }
+
+    #[test]
+    fn constraints_render_and_reparse() {
+        let model = samples::medical_model();
+        let query = model.query_class("QueryPatient").expect("declared");
+        let constraint = query.constraint.as_ref().expect("constraint");
+        let printed = render_constraint(constraint);
+        assert!(printed.starts_with("forall d/Drug"));
+        let reparsed = crate::parser::parse_constraint(&printed).expect("reparses");
+        assert_eq!(&reparsed, constraint);
+    }
+}

@@ -1,0 +1,159 @@
+//! The paper's running example: the medical database schema of Figure 1,
+//! the query class `QueryPatient` of Figure 3, and the view `ViewPatient`
+//! of Figure 5, completed with the declarations the paper leaves implicit
+//! (footnote 2: `Drug`, `Disease`, `String`, `Topic`, `Male`, `Female`, and
+//! the attributes `consults`, `name`, `suffers`, `takes`).
+
+use crate::ast::DlModel;
+use crate::parser::parse_model;
+
+/// DL source text of the complete medical example.
+pub const MEDICAL_SOURCE: &str = "
+-- Figure 1: a part of the schema of a medical database -----------------
+
+Class Person with
+  attribute, necessary, single
+    name: String
+end Person
+
+Class Patient isA Person with
+  attribute
+    takes: Drug
+    consults: Doctor
+  attribute, necessary
+    suffers: Disease
+  constraint:
+    not (this in Doctor)
+end Patient
+
+Class Doctor isA Person with
+  attribute
+    skilled_in: Disease
+end Doctor
+
+Class Male isA Person with
+end Male
+
+Class Female isA Person with
+end Female
+
+Class Drug with
+end Drug
+
+Class Disease isA Topic with
+end Disease
+
+Class Topic with
+end Topic
+
+Class String with
+end String
+
+Attribute skilled_in with
+  domain: Person
+  range: Topic
+  inverse: specialist
+end skilled_in
+
+Attribute consults with
+  domain: Person
+  range: Person
+end consults
+
+Attribute suffers with
+  domain: Person
+  range: Disease
+end suffers
+
+Attribute takes with
+  domain: Person
+  range: Drug
+end takes
+
+Attribute name with
+  domain: Person
+  range: String
+end name
+
+-- Figure 3: the query class QueryPatient -------------------------------
+
+QueryClass QueryPatient isA Male, Patient with
+  derived
+    l_1: (consults: Female)
+    l_2: suffers.(specialist: Doctor)
+  where
+    l_1 = l_2
+  constraint:
+    forall d/Drug not (this takes d) or (d = Aspirin)
+end QueryPatient
+
+-- Figure 5: the view ViewPatient ----------------------------------------
+
+QueryClass ViewPatient isA Patient with
+  derived
+    (name: String)
+    l_1: (consults: Doctor).(skilled_in: Disease)
+    l_2: (suffers: Disease)
+  where
+    l_1 = l_2
+end ViewPatient
+";
+
+/// Parses [`MEDICAL_SOURCE`] into a model.
+///
+/// # Panics
+///
+/// Never panics in practice — the source is covered by unit tests; the
+/// panic message exists to surface accidental edits.
+pub fn medical_model() -> DlModel {
+    parse_model(MEDICAL_SOURCE).expect("the bundled medical example must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medical_source_parses_and_contains_the_figures() {
+        let model = medical_model();
+        assert!(model.class("Patient").is_some());
+        assert!(model.class("Person").is_some());
+        assert!(model.class("Doctor").is_some());
+        assert!(model.attribute("skilled_in").is_some());
+        assert!(model.query_class("QueryPatient").is_some());
+        assert!(model.query_class("ViewPatient").is_some());
+        assert_eq!(model.queries.len(), 2);
+        // ViewPatient is a view (no constraint clause), QueryPatient is not.
+        assert!(model.query_class("ViewPatient").unwrap().is_view());
+        assert!(!model.query_class("QueryPatient").unwrap().is_view());
+    }
+
+    #[test]
+    fn every_referenced_class_is_declared() {
+        let model = medical_model();
+        for name in model.referenced_classes() {
+            assert!(
+                model.class(&name).is_some(),
+                "class `{name}` is referenced but not declared"
+            );
+        }
+    }
+
+    #[test]
+    fn patient_declaration_matches_figure_1() {
+        let model = medical_model();
+        let patient = model.class("Patient").expect("declared");
+        assert_eq!(patient.is_a, vec!["Person"]);
+        let suffers = patient
+            .attributes
+            .iter()
+            .find(|a| a.name == "suffers")
+            .expect("suffers attribute");
+        assert!(suffers.necessary);
+        assert!(!suffers.single);
+        assert_eq!(suffers.range, "Disease");
+        let person = model.class("Person").expect("declared");
+        let name = &person.attributes[0];
+        assert!(name.necessary && name.single);
+    }
+}

@@ -1,0 +1,383 @@
+//! Well-formedness validation of DL models.
+//!
+//! A complete schema must declare every class and attribute it references
+//! (footnote 2 of the paper); attribute synonyms may be used in queries but
+//! not in other schema declarations; labels used in `where` clauses and
+//! constraints must be declared in the `derived` clause; and, to keep the
+//! subsumption algorithm simple, a label may occur at most once in the
+//! `where` clause (footnote 5).
+
+use crate::ast::{DlModel, PathFilter, QueryClassDecl};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation problem, with enough context to point the user at the
+/// offending declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A class is referenced but never declared.
+    UndeclaredClass { reference: String, context: String },
+    /// An attribute (or synonym) is referenced but never declared.
+    UndeclaredAttribute { reference: String, context: String },
+    /// A class or attribute is declared more than once.
+    DuplicateDeclaration { name: String },
+    /// An attribute synonym is used inside a schema declaration.
+    SynonymInSchema { synonym: String, context: String },
+    /// A label is used in `where` or `constraint` but not declared in
+    /// `derived`.
+    UndeclaredLabel { label: String, query: String },
+    /// A label occurs more than once in the `where` clause (footnote 5).
+    LabelReusedInWhere { label: String, query: String },
+    /// A query class names itself as a superclass.
+    SelfSuperclass { query: String },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UndeclaredClass { reference, context } => {
+                write!(f, "class `{reference}` referenced in {context} is not declared")
+            }
+            ValidationError::UndeclaredAttribute { reference, context } => {
+                write!(
+                    f,
+                    "attribute `{reference}` referenced in {context} is not declared"
+                )
+            }
+            ValidationError::DuplicateDeclaration { name } => {
+                write!(f, "`{name}` is declared more than once")
+            }
+            ValidationError::SynonymInSchema { synonym, context } => {
+                write!(
+                    f,
+                    "attribute synonym `{synonym}` may not be used in schema declaration {context}"
+                )
+            }
+            ValidationError::UndeclaredLabel { label, query } => {
+                write!(f, "label `{label}` used in `{query}` is not declared in its derived clause")
+            }
+            ValidationError::LabelReusedInWhere { label, query } => {
+                write!(f, "label `{label}` occurs more than once in the where clause of `{query}`")
+            }
+            ValidationError::SelfSuperclass { query } => {
+                write!(f, "query class `{query}` lists itself as a superclass")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a model, returning every problem found (empty = well-formed).
+pub fn validate_model(model: &DlModel) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    let class_names: HashSet<&str> = model.classes.iter().map(|c| c.name.as_str()).collect();
+    let query_names: HashSet<&str> = model.queries.iter().map(|q| q.name.as_str()).collect();
+    let attr_names: HashSet<&str> = model.attributes.iter().map(|a| a.name.as_str()).collect();
+
+    // Duplicate declarations.
+    let mut seen = HashSet::new();
+    for class in &model.classes {
+        if !seen.insert(class.name.as_str()) {
+            errors.push(ValidationError::DuplicateDeclaration {
+                name: class.name.clone(),
+            });
+        }
+    }
+    for attr in &model.attributes {
+        if !seen.insert(attr.name.as_str()) {
+            errors.push(ValidationError::DuplicateDeclaration {
+                name: attr.name.clone(),
+            });
+        }
+    }
+    for query in &model.queries {
+        if !seen.insert(query.name.as_str()) {
+            errors.push(ValidationError::DuplicateDeclaration {
+                name: query.name.clone(),
+            });
+        }
+    }
+
+    let class_known = |name: &str| class_names.contains(name) || query_names.contains(name);
+
+    // Class declarations: superclasses, attribute ranges and names.
+    for class in &model.classes {
+        let context = format!("class `{}`", class.name);
+        for sup in &class.is_a {
+            if !class_known(sup) {
+                errors.push(ValidationError::UndeclaredClass {
+                    reference: sup.clone(),
+                    context: context.clone(),
+                });
+            }
+        }
+        for spec in &class.attributes {
+            if !class_known(&spec.range) {
+                errors.push(ValidationError::UndeclaredClass {
+                    reference: spec.range.clone(),
+                    context: context.clone(),
+                });
+            }
+            match model.resolve_attribute(&spec.name) {
+                None => errors.push(ValidationError::UndeclaredAttribute {
+                    reference: spec.name.clone(),
+                    context: context.clone(),
+                }),
+                Some((_, true)) => errors.push(ValidationError::SynonymInSchema {
+                    synonym: spec.name.clone(),
+                    context: context.clone(),
+                }),
+                Some((_, false)) => {}
+            }
+        }
+    }
+
+    // Attribute declarations: domain and range classes.
+    for attr in &model.attributes {
+        let context = format!("attribute `{}`", attr.name);
+        for class in [&attr.domain, &attr.range] {
+            if !class_known(class) {
+                errors.push(ValidationError::UndeclaredClass {
+                    reference: class.clone(),
+                    context: context.clone(),
+                });
+            }
+        }
+        if let Some(inverse) = &attr.inverse {
+            if attr_names.contains(inverse.as_str()) {
+                errors.push(ValidationError::DuplicateDeclaration {
+                    name: inverse.clone(),
+                });
+            }
+        }
+    }
+
+    // Query classes.
+    for query in &model.queries {
+        errors.extend(validate_query(model, query, &class_known));
+    }
+
+    errors
+}
+
+fn validate_query(
+    model: &DlModel,
+    query: &QueryClassDecl,
+    class_known: &dyn Fn(&str) -> bool,
+) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let context = format!("query class `{}`", query.name);
+
+    for sup in &query.is_a {
+        if sup == &query.name {
+            errors.push(ValidationError::SelfSuperclass {
+                query: query.name.clone(),
+            });
+        } else if !class_known(sup) {
+            errors.push(ValidationError::UndeclaredClass {
+                reference: sup.clone(),
+                context: context.clone(),
+            });
+        }
+    }
+
+    for path in &query.derived {
+        for step in &path.steps {
+            if model.resolve_attribute(&step.attr).is_none() {
+                errors.push(ValidationError::UndeclaredAttribute {
+                    reference: step.attr.clone(),
+                    context: context.clone(),
+                });
+            }
+            if let PathFilter::Class(class) = &step.filter {
+                if !class_known(class) {
+                    errors.push(ValidationError::UndeclaredClass {
+                        reference: class.clone(),
+                        context: context.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Labels used in `where` and constraints must be declared; a label may
+    // appear at most once in the `where` clause.
+    let declared: HashSet<&str> = query.labels().into_iter().collect();
+    let mut used_in_where: HashSet<&str> = HashSet::new();
+    for (left, right) in &query.where_eqs {
+        for label in [left, right] {
+            if !declared.contains(label.as_str()) {
+                errors.push(ValidationError::UndeclaredLabel {
+                    label: label.clone(),
+                    query: query.name.clone(),
+                });
+            }
+            if !used_in_where.insert(label.as_str()) {
+                errors.push(ValidationError::LabelReusedInWhere {
+                    label: label.clone(),
+                    query: query.name.clone(),
+                });
+            }
+        }
+    }
+    if let Some(constraint) = &query.constraint {
+        for ident in constraint.free_idents() {
+            // Free identifiers of the constraint may be labels or object
+            // constants; only flag identifiers that look like labels (i.e.
+            // are declared nowhere) when a label of the same name is also
+            // not declared. Object constants cannot be distinguished
+            // syntactically, so we only require that identifiers which are
+            // *intended* as labels (declared in some query) resolve here.
+            let label_somewhere = model
+                .queries
+                .iter()
+                .any(|q| q.labels().contains(&ident.as_str()));
+            if label_somewhere && !declared.contains(ident.as_str()) {
+                errors.push(ValidationError::UndeclaredLabel {
+                    label: ident.clone(),
+                    query: query.name.clone(),
+                });
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_model;
+    use crate::samples;
+
+    #[test]
+    fn the_medical_example_is_well_formed() {
+        let model = samples::medical_model();
+        let errors = validate_model(&model);
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    }
+
+    #[test]
+    fn undeclared_references_are_reported() {
+        let model = parse_model(
+            "Class Patient isA Person with
+               attribute
+                 takes: Drug
+             end Patient",
+        )
+        .expect("parses");
+        let errors = validate_model(&model);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::UndeclaredClass { reference, .. } if reference == "Person")));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::UndeclaredClass { reference, .. } if reference == "Drug")));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::UndeclaredAttribute { reference, .. } if reference == "takes")));
+    }
+
+    #[test]
+    fn duplicate_declarations_are_reported() {
+        let model = parse_model("Class A with end A Class A with end A").expect("parses");
+        let errors = validate_model(&model);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateDeclaration { name } if name == "A")));
+    }
+
+    #[test]
+    fn synonyms_may_not_appear_in_schema_declarations() {
+        let model = parse_model(
+            "Class Person with end Person
+             Class Topic with end Topic
+             Attribute skilled_in with
+               domain: Person
+               range: Topic
+               inverse: specialist
+             end skilled_in
+             Class Doctor isA Person with
+               attribute
+                 specialist: Person
+             end Doctor",
+        )
+        .expect("parses");
+        let errors = validate_model(&model);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::SynonymInSchema { synonym, .. } if synonym == "specialist")));
+    }
+
+    #[test]
+    fn where_clause_labels_are_checked() {
+        let model = parse_model(
+            "Class Person with end Person
+             Attribute knows with
+               domain: Person
+               range: Person
+             end knows
+             QueryClass Q isA Person with
+               derived
+                 l_1: (knows: Person)
+               where
+                 l_1 = l_2
+             end Q",
+        )
+        .expect("parses");
+        let errors = validate_model(&model);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::UndeclaredLabel { label, .. } if label == "l_2")));
+    }
+
+    #[test]
+    fn label_reuse_in_where_is_reported() {
+        let model = parse_model(
+            "Class Person with end Person
+             Attribute knows with
+               domain: Person
+               range: Person
+             end knows
+             QueryClass Q isA Person with
+               derived
+                 l_1: (knows: Person)
+                 l_2: (knows: Person)
+                 l_3: (knows: Person)
+               where
+                 l_1 = l_2
+                 l_1 = l_3
+             end Q",
+        )
+        .expect("parses");
+        let errors = validate_model(&model);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::LabelReusedInWhere { label, .. } if label == "l_1")));
+    }
+
+    #[test]
+    fn self_superclass_is_reported() {
+        let model = parse_model(
+            "QueryClass Q isA Q with
+             end Q",
+        )
+        .expect("parses");
+        let errors = validate_model(&model);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::SelfSuperclass { query } if query == "Q")));
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let err = ValidationError::UndeclaredClass {
+            reference: "Drug".into(),
+            context: "class `Patient`".into(),
+        };
+        assert!(err.to_string().contains("Drug"));
+        assert!(err.to_string().contains("Patient"));
+    }
+}

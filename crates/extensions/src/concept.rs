@@ -1,0 +1,249 @@
+//! The extended concept language of Section 4.4.
+//!
+//! Compared to QL, the language adds full negation, disjunction, and
+//! qualified universal/existential quantification over (possibly inverted)
+//! attributes, but drops path agreements (which are orthogonal to the
+//! hardness arguments). It therefore contains the language `L` of
+//! [DHL⁺92] referenced by the paper, whose subsumption problem is NP-hard.
+
+use subq_concepts::attribute::Attr;
+use subq_concepts::symbol::{ClassId, Vocabulary};
+use subq_concepts::term::{Concept, ConceptId, Path, PathId, TermArena};
+
+/// A concept of the extended language.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExtConcept {
+    /// The universal concept `⊤`.
+    Top,
+    /// The empty concept `⊥`.
+    Bottom,
+    /// A primitive concept.
+    Prim(ClassId),
+    /// Negation `¬C`.
+    Not(Box<ExtConcept>),
+    /// Intersection.
+    And(Vec<ExtConcept>),
+    /// Union (the harmful construct of Proposition 4.12).
+    Or(Vec<ExtConcept>),
+    /// Qualified existential quantification `∃R.C` (Proposition 4.10/4.11).
+    Exists(Attr, Box<ExtConcept>),
+    /// Universal quantification `∀R.C` (Proposition 4.11).
+    All(Attr, Box<ExtConcept>),
+}
+
+impl ExtConcept {
+    /// Syntactic size (number of constructors).
+    pub fn size(&self) -> usize {
+        match self {
+            ExtConcept::Top | ExtConcept::Bottom | ExtConcept::Prim(_) => 1,
+            ExtConcept::Not(c) => 1 + c.size(),
+            ExtConcept::And(cs) | ExtConcept::Or(cs) => {
+                1 + cs.iter().map(ExtConcept::size).sum::<usize>()
+            }
+            ExtConcept::Exists(_, c) | ExtConcept::All(_, c) => 1 + c.size(),
+        }
+    }
+
+    /// Negation normal form: negation pushed to primitive concepts.
+    pub fn nnf(&self) -> ExtConcept {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, negated: bool) -> ExtConcept {
+        match self {
+            ExtConcept::Top => {
+                if negated {
+                    ExtConcept::Bottom
+                } else {
+                    ExtConcept::Top
+                }
+            }
+            ExtConcept::Bottom => {
+                if negated {
+                    ExtConcept::Top
+                } else {
+                    ExtConcept::Bottom
+                }
+            }
+            ExtConcept::Prim(class) => {
+                if negated {
+                    ExtConcept::Not(Box::new(ExtConcept::Prim(*class)))
+                } else {
+                    ExtConcept::Prim(*class)
+                }
+            }
+            ExtConcept::Not(inner) => inner.nnf_inner(!negated),
+            ExtConcept::And(cs) => {
+                let parts = cs.iter().map(|c| c.nnf_inner(negated)).collect();
+                if negated {
+                    ExtConcept::Or(parts)
+                } else {
+                    ExtConcept::And(parts)
+                }
+            }
+            ExtConcept::Or(cs) => {
+                let parts = cs.iter().map(|c| c.nnf_inner(negated)).collect();
+                if negated {
+                    ExtConcept::And(parts)
+                } else {
+                    ExtConcept::Or(parts)
+                }
+            }
+            ExtConcept::Exists(attr, c) => {
+                let inner = Box::new(c.nnf_inner(negated));
+                if negated {
+                    ExtConcept::All(*attr, inner)
+                } else {
+                    ExtConcept::Exists(*attr, inner)
+                }
+            }
+            ExtConcept::All(attr, c) => {
+                let inner = Box::new(c.nnf_inner(negated));
+                if negated {
+                    ExtConcept::Exists(*attr, inner)
+                } else {
+                    ExtConcept::All(*attr, inner)
+                }
+            }
+        }
+    }
+
+    /// Renders the concept with vocabulary names.
+    pub fn render(&self, voc: &Vocabulary) -> String {
+        match self {
+            ExtConcept::Top => "⊤".into(),
+            ExtConcept::Bottom => "⊥".into(),
+            ExtConcept::Prim(c) => voc.class_name(*c).to_owned(),
+            ExtConcept::Not(c) => format!("¬{}", c.render(voc)),
+            ExtConcept::And(cs) => format!(
+                "({})",
+                cs.iter().map(|c| c.render(voc)).collect::<Vec<_>>().join(" ⊓ ")
+            ),
+            ExtConcept::Or(cs) => format!(
+                "({})",
+                cs.iter().map(|c| c.render(voc)).collect::<Vec<_>>().join(" ⊔ ")
+            ),
+            ExtConcept::Exists(attr, c) => {
+                let name = voc.attr_name(attr.base());
+                let inv = if attr.is_inverted() { "⁻¹" } else { "" };
+                format!("∃{name}{inv}.{}", c.render(voc))
+            }
+            ExtConcept::All(attr, c) => {
+                let name = voc.attr_name(attr.base());
+                let inv = if attr.is_inverted() { "⁻¹" } else { "" };
+                format!("∀{name}{inv}.{}", c.render(voc))
+            }
+        }
+    }
+
+    /// Translates an agreement-free QL concept into the extended language.
+    ///
+    /// Returns `None` when the concept contains a path agreement or a
+    /// singleton — constructs the extended language does not model (they
+    /// are orthogonal to the hardness arguments of Section 4.4).
+    pub fn from_ql(arena: &TermArena, concept: ConceptId) -> Option<ExtConcept> {
+        match arena.concept(concept) {
+            Concept::Top => Some(ExtConcept::Top),
+            Concept::Prim(class) => Some(ExtConcept::Prim(class)),
+            Concept::Singleton(_) => None,
+            Concept::And(l, r) => Some(ExtConcept::And(vec![
+                ExtConcept::from_ql(arena, l)?,
+                ExtConcept::from_ql(arena, r)?,
+            ])),
+            Concept::Exists(path) => ExtConcept::from_ql_path(arena, path),
+            Concept::Agree(..) => None,
+        }
+    }
+
+    fn from_ql_path(arena: &TermArena, path: PathId) -> Option<ExtConcept> {
+        match arena.path(path) {
+            Path::Empty => Some(ExtConcept::Top),
+            Path::Step(restriction, rest) => {
+                let filler = ExtConcept::from_ql(arena, restriction.concept)?;
+                let rest = ExtConcept::from_ql_path(arena, rest)?;
+                Some(ExtConcept::Exists(
+                    restriction.attr,
+                    Box::new(ExtConcept::And(vec![filler, rest])),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voc() -> (Vocabulary, ClassId, ClassId, Attr) {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let b = voc.class("B");
+        let r = Attr::primitive(voc.attribute("r"));
+        (voc, a, b, r)
+    }
+
+    #[test]
+    fn nnf_pushes_negation_inward() {
+        let (_voc, a, b, r) = voc();
+        // ¬(A ⊓ ∃r.B) → ¬A ⊔ ∀r.¬B
+        let c = ExtConcept::Not(Box::new(ExtConcept::And(vec![
+            ExtConcept::Prim(a),
+            ExtConcept::Exists(r, Box::new(ExtConcept::Prim(b))),
+        ])));
+        let nnf = c.nnf();
+        assert_eq!(
+            nnf,
+            ExtConcept::Or(vec![
+                ExtConcept::Not(Box::new(ExtConcept::Prim(a))),
+                ExtConcept::All(r, Box::new(ExtConcept::Not(Box::new(ExtConcept::Prim(b))))),
+            ])
+        );
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let (_voc, a, ..) = voc();
+        let c = ExtConcept::Not(Box::new(ExtConcept::Not(Box::new(ExtConcept::Prim(a)))));
+        assert_eq!(c.nnf(), ExtConcept::Prim(a));
+        assert_eq!(ExtConcept::Not(Box::new(ExtConcept::Top)).nnf(), ExtConcept::Bottom);
+    }
+
+    #[test]
+    fn size_and_render() {
+        let (voc, a, b, r) = voc();
+        let c = ExtConcept::Or(vec![
+            ExtConcept::Prim(a),
+            ExtConcept::All(r, Box::new(ExtConcept::Prim(b))),
+        ]);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.render(&voc), "(A ⊔ ∀r.B)");
+    }
+
+    #[test]
+    fn from_ql_translates_paths_and_rejects_agreements() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let r = Attr::primitive(voc.attribute("r"));
+        let mut arena = TermArena::new();
+        let a_c = arena.prim(a);
+        let top = arena.top();
+        let path = arena.path_of(&[(r, a_c), (r, top)]);
+        let exists = arena.exists(path);
+        let translated = ExtConcept::from_ql(&arena, exists).expect("translates");
+        assert_eq!(
+            translated,
+            ExtConcept::Exists(
+                r,
+                Box::new(ExtConcept::And(vec![
+                    ExtConcept::Prim(a),
+                    ExtConcept::Exists(r, Box::new(ExtConcept::And(vec![
+                        ExtConcept::Top,
+                        ExtConcept::Top
+                    ]))),
+                ]))
+            )
+        );
+        let agree = arena.agree_epsilon(path);
+        assert!(ExtConcept::from_ql(&arena, agree).is_none());
+    }
+}

@@ -1,0 +1,445 @@
+//! Extended *schema* languages and the filler-demand analysis behind
+//! Proposition 4.10.
+//!
+//! The paper explains why qualified existential quantification (`A ⊑
+//! ∃P.A'`) and inverse attributes in the schema destroy tractability: a
+//! complete procedure must create *distinct* attribute fillers for
+//! differently qualified existentials, and must create fillers for every
+//! necessary attribute to detect implicit inclusions through inverse value
+//! restrictions — and both processes iterate, producing exponentially many
+//! individuals. This module makes those counting arguments executable:
+//!
+//! * [`filler_demand`] computes how many individuals a complete expansion
+//!   of the schema constraints on a single object requires, and
+//! * [`expand_and_detect`] runs the naive complete expansion for schemas
+//!   with inverse value restrictions and reports both the implicit atomic
+//!   inclusions it finds and the number of individuals it had to create.
+//!
+//! Instance families ([`qualified_chain`], [`inverse_chain`] and their SL
+//! approximations) exhibit the exponential-versus-linear contrast that
+//! experiment E6 measures.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use subq_concepts::symbol::{AttrId, ClassId, Vocabulary};
+
+/// An axiom of the extended schema language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExtAxiom {
+    /// `A ⊑ B` for primitive `B`.
+    IsA(ClassId, ClassId),
+    /// `A ⊑ ∃P` (plain necessity, as in SL).
+    Necessary(ClassId, AttrId),
+    /// `A ⊑ ∃P.B` — qualified existential (Proposition 4.10, case 1).
+    QualifiedNecessary(ClassId, AttrId, ClassId),
+    /// `A ⊑ ∀P.B` (as in SL).
+    ValueRestriction(ClassId, AttrId, ClassId),
+    /// `A ⊑ ∀P⁻¹.B` — inverse value restriction (Proposition 4.10, case 2).
+    InverseValueRestriction(ClassId, AttrId, ClassId),
+}
+
+/// An extended schema: a set of [`ExtAxiom`]s with lookup indexes.
+#[derive(Clone, Debug, Default)]
+pub struct ExtSchema {
+    axioms: Vec<ExtAxiom>,
+    supers: HashMap<ClassId, Vec<ClassId>>,
+}
+
+impl ExtSchema {
+    /// Creates an empty extended schema.
+    pub fn new() -> Self {
+        ExtSchema::default()
+    }
+
+    /// Adds an axiom.
+    pub fn add(&mut self, axiom: ExtAxiom) {
+        if self.axioms.contains(&axiom) {
+            return;
+        }
+        if let ExtAxiom::IsA(a, b) = axiom {
+            self.supers.entry(a).or_default().push(b);
+        }
+        self.axioms.push(axiom);
+    }
+
+    /// All axioms.
+    pub fn axioms(&self) -> &[ExtAxiom] {
+        &self.axioms
+    }
+
+    /// Number of axioms (the `|Σ|` measure for the sweeps).
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+
+    /// The reflexive-transitive isA closure of a set of classes.
+    pub fn upward_closure(&self, classes: &BTreeSet<ClassId>) -> BTreeSet<ClassId> {
+        let mut out = classes.clone();
+        let mut queue: VecDeque<ClassId> = classes.iter().copied().collect();
+        while let Some(class) = queue.pop_front() {
+            for sup in self.supers.get(&class).into_iter().flatten() {
+                if out.insert(*sup) {
+                    queue.push_back(*sup);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Number of individuals a complete expansion must create for one object of
+/// the given class, following qualified and unqualified necessities up to
+/// the given depth.
+///
+/// Differently qualified fillers must be kept distinct (they have different
+/// properties), which is the source of the exponential growth the paper
+/// describes for Proposition 4.10, case 1.
+pub fn filler_demand(schema: &ExtSchema, class: ClassId, depth: usize) -> u64 {
+    fn demand(schema: &ExtSchema, classes: &BTreeSet<ClassId>, depth: usize) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let closure = schema.upward_closure(classes);
+        let mut total = 1u64;
+        // Qualified necessities: one distinct filler per (attribute,
+        // qualifier) pair.
+        let mut qualified: HashSet<(AttrId, ClassId)> = HashSet::new();
+        let mut plain: HashSet<AttrId> = HashSet::new();
+        for axiom in schema.axioms() {
+            match *axiom {
+                ExtAxiom::QualifiedNecessary(a, p, b) if closure.contains(&a) => {
+                    qualified.insert((p, b));
+                }
+                ExtAxiom::Necessary(a, p) if closure.contains(&a) => {
+                    plain.insert(p);
+                }
+                _ => {}
+            }
+        }
+        for (attr, qualifier) in &qualified {
+            let mut filler_classes = BTreeSet::from([*qualifier]);
+            // Value restrictions also type the filler.
+            for axiom in schema.axioms() {
+                if let ExtAxiom::ValueRestriction(a, p, b) = *axiom {
+                    if p == *attr && closure.contains(&a) {
+                        filler_classes.insert(b);
+                    }
+                }
+            }
+            total += demand(schema, &filler_classes, depth - 1);
+        }
+        // Plain necessities only need one filler per attribute, and only if
+        // no qualified filler for the same attribute exists already.
+        for attr in plain {
+            if qualified.iter().any(|(p, _)| *p == attr) {
+                continue;
+            }
+            let mut filler_classes = BTreeSet::new();
+            for axiom in schema.axioms() {
+                if let ExtAxiom::ValueRestriction(a, p, b) = *axiom {
+                    if p == attr && closure.contains(&a) {
+                        filler_classes.insert(b);
+                    }
+                }
+            }
+            total += demand(schema, &filler_classes, depth - 1);
+        }
+        total
+    }
+    demand(schema, &BTreeSet::from([class]), depth)
+}
+
+/// Result of the naive complete expansion for schemas with inverse value
+/// restrictions.
+#[derive(Clone, Debug, Default)]
+pub struct ExpansionOutcome {
+    /// Primitive classes the root object provably belongs to.
+    pub root_classes: BTreeSet<ClassId>,
+    /// Individuals the expansion created (including the root).
+    pub individuals_created: u64,
+}
+
+/// Runs the naive complete expansion that Proposition 4.10 (case 2) says is
+/// needed in the presence of inverse attributes: create a filler for every
+/// necessary attribute of every individual (up to `depth`), apply value
+/// restrictions forwards and inverse value restrictions backwards until a
+/// fixed point, and report the classes of the root.
+pub fn expand_and_detect(schema: &ExtSchema, class: ClassId, depth: usize) -> ExpansionOutcome {
+    struct Node {
+        classes: BTreeSet<ClassId>,
+        depth: usize,
+        /// `(attribute, child index)` pairs.
+        children: Vec<(AttrId, usize)>,
+        parent: Option<(AttrId, usize)>,
+    }
+
+    let mut nodes = vec![Node {
+        classes: BTreeSet::from([class]),
+        depth: 0,
+        children: Vec::new(),
+        parent: None,
+    }];
+
+    loop {
+        let mut changed = false;
+
+        // isA saturation.
+        for node in 0..nodes.len() {
+            let closure = schema.upward_closure(&nodes[node].classes);
+            if closure.len() > nodes[node].classes.len() {
+                nodes[node].classes = closure;
+                changed = true;
+            }
+        }
+
+        // Create necessary fillers (both plain and qualified) up to depth.
+        for node in 0..nodes.len() {
+            if nodes[node].depth >= depth {
+                continue;
+            }
+            let classes = nodes[node].classes.clone();
+            let mut required: Vec<(AttrId, BTreeSet<ClassId>)> = Vec::new();
+            for axiom in schema.axioms() {
+                match *axiom {
+                    ExtAxiom::Necessary(a, p) if classes.contains(&a) => {
+                        required.push((p, BTreeSet::new()));
+                    }
+                    ExtAxiom::QualifiedNecessary(a, p, b) if classes.contains(&a) => {
+                        required.push((p, BTreeSet::from([b])));
+                    }
+                    _ => {}
+                }
+            }
+            for (attr, mut filler_classes) in required {
+                // One filler per (attribute, qualifier) — reuse an existing
+                // child when it already covers the requirement.
+                let already = nodes[node].children.iter().any(|&(p, child)| {
+                    p == attr && filler_classes.iter().all(|c| nodes[child].classes.contains(c))
+                });
+                if already {
+                    continue;
+                }
+                for axiom in schema.axioms() {
+                    if let ExtAxiom::ValueRestriction(a, p, b) = *axiom {
+                        if p == attr && classes.contains(&a) {
+                            filler_classes.insert(b);
+                        }
+                    }
+                }
+                let child_depth = nodes[node].depth + 1;
+                nodes.push(Node {
+                    classes: filler_classes,
+                    depth: child_depth,
+                    children: Vec::new(),
+                    parent: Some((attr, node)),
+                });
+                let child = nodes.len() - 1;
+                nodes[node].children.push((attr, child));
+                changed = true;
+            }
+        }
+
+        // Forward value restrictions and backward inverse value
+        // restrictions.
+        for node in 0..nodes.len() {
+            let classes = nodes[node].classes.clone();
+            let children = nodes[node].children.clone();
+            for (attr, child) in children {
+                for axiom in schema.axioms() {
+                    match *axiom {
+                        ExtAxiom::ValueRestriction(a, p, b)
+                            if p == attr && classes.contains(&a) =>
+                        {
+                            changed |= nodes[child].classes.insert(b);
+                        }
+                        ExtAxiom::InverseValueRestriction(a, p, b)
+                            if p == attr && nodes[child].classes.contains(&a) =>
+                        {
+                            changed |= nodes[node].classes.insert(b);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if let Some((attr, parent)) = nodes[node].parent {
+                for axiom in schema.axioms() {
+                    if let ExtAxiom::InverseValueRestriction(a, p, b) = *axiom {
+                        if p == attr && classes.contains(&a) {
+                            changed |= nodes[parent].classes.insert(b);
+                        }
+                    }
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    ExpansionOutcome {
+        root_classes: nodes[0].classes.clone(),
+        individuals_created: nodes.len() as u64,
+    }
+}
+
+// ----- instance families ----------------------------------------------------
+
+/// The qualified-existential chain of Proposition 4.10 (case 1): at every
+/// level the class requires two differently qualified `P`-fillers, each of
+/// which is again such a class. A complete expansion needs `2^(n+1) - 1`
+/// individuals.
+pub fn qualified_chain(voc: &mut Vocabulary, levels: usize) -> (ExtSchema, ClassId) {
+    let mut schema = ExtSchema::new();
+    let p = voc.attribute("p");
+    let root = voc.class("Level0");
+    for level in 0..levels {
+        let current = voc.class(&format!("Level{level}"));
+        let left = voc.class(&format!("Left{}", level + 1));
+        let right = voc.class(&format!("Right{}", level + 1));
+        let next = voc.class(&format!("Level{}", level + 1));
+        schema.add(ExtAxiom::QualifiedNecessary(current, p, left));
+        schema.add(ExtAxiom::QualifiedNecessary(current, p, right));
+        schema.add(ExtAxiom::IsA(left, next));
+        schema.add(ExtAxiom::IsA(right, next));
+    }
+    (schema, root)
+}
+
+/// The SL approximation of [`qualified_chain`]: the qualifications are
+/// dropped (`A ⊑ ∃P` plus `A ⊑ ∀P.Level_{i+1}`), which is expressible in SL
+/// and needs only a linear number of fillers.
+pub fn unqualified_chain(voc: &mut Vocabulary, levels: usize) -> (ExtSchema, ClassId) {
+    let mut schema = ExtSchema::new();
+    let p = voc.attribute("p");
+    let root = voc.class("Level0");
+    for level in 0..levels {
+        let current = voc.class(&format!("Level{level}"));
+        let next = voc.class(&format!("Level{}", level + 1));
+        schema.add(ExtAxiom::Necessary(current, p));
+        schema.add(ExtAxiom::ValueRestriction(current, p, next));
+    }
+    (schema, root)
+}
+
+/// The inverse-attribute schema Σ₁ of Section 4.4 generalized to a chain.
+///
+/// Every level class `A_i` has two necessary attributes `p` and `q` whose
+/// fillers belong to the next level (`A_i ⊑ ∀p.B_{i+1}`, `A_i ⊑ ∀q.C_{i+1}`,
+/// `B_{i+1} ⊑ A_{i+1}`, `C_{i+1} ⊑ A_{i+1}`). The deepest level is marked
+/// (`A_n ⊑ T_n`) and the marking propagates back only through inverse value
+/// restrictions along `p`-edges (`T_{i+1} ⊑ ∀p⁻¹.T_i`). The implicit
+/// inclusion `A_0 ⊑_Σ T_0` therefore holds, but a complete procedure can
+/// only find it by materializing fillers for *all* necessary attributes
+/// down to depth `n` — `2^{n+1} − 1` individuals. Returns the schema, the
+/// root class `A_0`, and the target class `T_0`.
+pub fn inverse_chain(voc: &mut Vocabulary, levels: usize) -> (ExtSchema, ClassId, ClassId) {
+    let mut schema = ExtSchema::new();
+    let p = voc.attribute("p");
+    let q = voc.attribute("q");
+    let root = voc.class("A0");
+    let target = voc.class("T0");
+    for level in 0..levels {
+        let current = voc.class(&format!("A{level}"));
+        let left = voc.class(&format!("B{}", level + 1));
+        let right = voc.class(&format!("C{}", level + 1));
+        let next = voc.class(&format!("A{}", level + 1));
+        let marker = voc.class(&format!("T{level}"));
+        let next_marker = voc.class(&format!("T{}", level + 1));
+        schema.add(ExtAxiom::Necessary(current, p));
+        schema.add(ExtAxiom::Necessary(current, q));
+        schema.add(ExtAxiom::ValueRestriction(current, p, left));
+        schema.add(ExtAxiom::ValueRestriction(current, q, right));
+        schema.add(ExtAxiom::IsA(left, next));
+        schema.add(ExtAxiom::IsA(right, next));
+        schema.add(ExtAxiom::InverseValueRestriction(next_marker, p, marker));
+    }
+    let deepest = voc.class(&format!("A{levels}"));
+    let deepest_marker = voc.class(&format!("T{levels}"));
+    schema.add(ExtAxiom::IsA(deepest, deepest_marker));
+    (schema, root, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_chain_demand_is_exponential() {
+        let mut voc = Vocabulary::new();
+        let (schema, root) = qualified_chain(&mut voc, 4);
+        // 1 + 2 + 4 + 8 + 16 = 2^(4+1) - 1.
+        assert_eq!(filler_demand(&schema, root, 4), 31);
+        let (schema6, root6) = {
+            let mut voc = Vocabulary::new();
+            qualified_chain(&mut voc, 6)
+        };
+        assert_eq!(filler_demand(&schema6, root6, 6), 127);
+    }
+
+    #[test]
+    fn unqualified_chain_demand_is_linear() {
+        let mut voc = Vocabulary::new();
+        let (schema, root) = unqualified_chain(&mut voc, 4);
+        assert_eq!(filler_demand(&schema, root, 4), 5);
+        let mut voc = Vocabulary::new();
+        let (schema, root) = unqualified_chain(&mut voc, 10);
+        assert_eq!(filler_demand(&schema, root, 10), 11);
+    }
+
+    #[test]
+    fn inverse_chain_detects_the_implicit_subsumption() {
+        let mut voc = Vocabulary::new();
+        let (schema, root, target) = inverse_chain(&mut voc, 3);
+        let shallow = expand_and_detect(&schema, root, 1);
+        assert!(
+            !shallow.root_classes.contains(&target),
+            "one level of expansion must not yet reveal A0 ⊑ A3"
+        );
+        let deep = expand_and_detect(&schema, root, 3);
+        assert!(
+            deep.root_classes.contains(&target),
+            "full expansion reveals the implicit subsumption A0 ⊑ A3"
+        );
+        assert!(deep.individuals_created > shallow.individuals_created);
+    }
+
+    #[test]
+    fn inverse_chain_expansion_grows_exponentially() {
+        let mut voc = Vocabulary::new();
+        let (schema3, root3, _) = inverse_chain(&mut voc, 3);
+        let mut voc = Vocabulary::new();
+        let (schema5, root5, _) = inverse_chain(&mut voc, 5);
+        let small = expand_and_detect(&schema3, root3, 3).individuals_created;
+        let large = expand_and_detect(&schema5, root5, 5).individuals_created;
+        assert!(small >= 2u64.pow(3));
+        assert!(large >= 2u64.pow(5));
+        assert!(large > 3 * small);
+    }
+
+    #[test]
+    fn filler_demand_depth_zero_is_one() {
+        let mut voc = Vocabulary::new();
+        let (schema, root) = qualified_chain(&mut voc, 3);
+        assert_eq!(filler_demand(&schema, root, 0), 1);
+        assert!(schema.len() > 0);
+        assert!(!schema.is_empty());
+    }
+
+    #[test]
+    fn upward_closure_follows_isa_links() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let b = voc.class("B");
+        let c = voc.class("C");
+        let mut schema = ExtSchema::new();
+        schema.add(ExtAxiom::IsA(a, b));
+        schema.add(ExtAxiom::IsA(b, c));
+        let closure = schema.upward_closure(&BTreeSet::from([a]));
+        assert!(closure.contains(&a) && closure.contains(&b) && closure.contains(&c));
+    }
+}

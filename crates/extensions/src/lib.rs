@@ -1,0 +1,36 @@
+//! The computationally harmful language extensions of Section 4.4.
+//!
+//! The paper shows that SL and QL sit directly at the tractability
+//! frontier: several natural extensions make Σ-subsumption NP-hard or
+//! co-NP-hard. This crate implements those extensions together with
+//! *complete* decision procedures whose cost is worst-case exponential, so
+//! that the frontier can be measured rather than just cited:
+//!
+//! * [`concept`] — an extended concept language (negation, disjunction,
+//!   qualified existential and universal quantification over possibly
+//!   inverted attributes), covering the languages `L` and `L_⊥` of Donini
+//!   et al. that Propositions 4.11–4.13 build on;
+//! * [`tableau`] — a complete satisfiability/subsumption tableau for the
+//!   extended language with an empty schema (exponential because of
+//!   disjunction branching);
+//! * [`propositional`] — DNF-expansion subsumption for the role-free
+//!   fragment, plus the instance families whose expansion grows
+//!   exponentially (Proposition 4.12);
+//! * [`expansion`] — the extended *schema* language with qualified
+//!   existentials and inverse value restrictions (Proposition 4.10), and a
+//!   filler-demand analysis that counts how many individuals a complete
+//!   model construction must create — the quantity the paper's informal
+//!   argument says explodes.
+//!
+//! Experiment E6 sweeps the instance families of this crate and contrasts
+//! their exponential growth with the polynomial behaviour of the core
+//! calculus on the corresponding SL/QL approximations.
+
+pub mod concept;
+pub mod expansion;
+pub mod propositional;
+pub mod tableau;
+
+pub use concept::ExtConcept;
+pub use expansion::{filler_demand, ExtAxiom, ExtSchema};
+pub use tableau::{ext_subsumes, is_satisfiable};

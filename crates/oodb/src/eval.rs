@@ -1,0 +1,345 @@
+//! Deductive evaluation of query classes over a database state.
+//!
+//! The membership conditions of a query class are necessary and sufficient
+//! (Section 2.2), so an object is recognized as an instance as soon as the
+//! state satisfies the translated formula of Figure 4: it belongs to all
+//! superclasses, every derived path can be bound, labels equated in the
+//! `where` clause can be bound to a common object, and the constraint
+//! clause holds for some such binding.
+
+use crate::store::{Database, ObjId};
+use std::collections::{BTreeSet, HashMap};
+use subq_dl::{ConstraintExpr, LabeledPath, QueryClassDecl, Term};
+
+/// Evaluates a query class over the whole database.
+pub fn evaluate_query(db: &Database, query: &QueryClassDecl) -> BTreeSet<ObjId> {
+    evaluate_query_over(db, query, None)
+}
+
+/// Evaluates a query class over a restricted candidate set (used by the
+/// optimizer to filter a subsuming view's extension instead of scanning the
+/// database). `None` means all objects are candidates.
+pub fn evaluate_query_over(
+    db: &Database,
+    query: &QueryClassDecl,
+    candidates: Option<&BTreeSet<ObjId>>,
+) -> BTreeSet<ObjId> {
+    let base: BTreeSet<ObjId> = match candidates {
+        Some(set) => set.clone(),
+        None => initial_candidates(db, query),
+    };
+    base.into_iter()
+        .filter(|&obj| is_member(db, query, obj))
+        .collect()
+}
+
+/// The candidate set used when evaluating from scratch: the intersection of
+/// the extents of the schema superclasses (all objects when there is none).
+pub fn initial_candidates(db: &Database, query: &QueryClassDecl) -> BTreeSet<ObjId> {
+    let mut sets: Vec<BTreeSet<ObjId>> = Vec::new();
+    for sup in &query.is_a {
+        if db.model().class(sup).is_some() {
+            sets.push(db.class_extent(sup));
+        }
+    }
+    match sets.len() {
+        0 => db.objects().collect(),
+        _ => {
+            let mut iter = sets.into_iter();
+            let first = iter.next().expect("non-empty");
+            iter.fold(first, |acc, s| acc.intersection(&s).copied().collect())
+        }
+    }
+}
+
+/// Whether one object is an answer of the query class.
+pub fn is_member(db: &Database, query: &QueryClassDecl, object: ObjId) -> bool {
+    // Superclasses: schema classes by stored membership, query classes
+    // recursively (they are completely defined by their declarations).
+    for sup in &query.is_a {
+        if let Some(sup_query) = db.model().query_class(sup) {
+            if !is_member(db, sup_query, object) {
+                return false;
+            }
+        } else if sup != "Object" && !db.is_instance_of(object, sup) {
+            return false;
+        }
+    }
+
+    // Bind every derived path.
+    let mut endpoints: HashMap<&str, BTreeSet<ObjId>> = HashMap::new();
+    for path in &query.derived {
+        let ends = path_endpoints(db, object, path);
+        if ends.is_empty() {
+            return false;
+        }
+        if let Some(label) = &path.label {
+            endpoints.insert(label.as_str(), ends);
+        }
+    }
+
+    // `where` equalities restrict equated labels to a common binding.
+    let mut constrained: HashMap<&str, BTreeSet<ObjId>> = endpoints.clone();
+    for (left, right) in &query.where_eqs {
+        let (Some(l), Some(r)) = (endpoints.get(left.as_str()), endpoints.get(right.as_str()))
+        else {
+            return false;
+        };
+        let common: BTreeSet<ObjId> = l.intersection(r).copied().collect();
+        if common.is_empty() {
+            return false;
+        }
+        constrained.insert(left.as_str(), common.clone());
+        constrained.insert(right.as_str(), common);
+    }
+
+    // Constraint clause: there must be a binding of the labels it mentions
+    // (consistent with the `where` restrictions) that satisfies it.
+    match &query.constraint {
+        None => true,
+        Some(constraint) => {
+            let free: std::collections::HashSet<String> =
+                constraint.free_idents().into_iter().collect();
+            let domains: Vec<(&str, Vec<ObjId>)> = constrained
+                .iter()
+                .filter(|&(label, _)| free.contains(*label))
+                .map(|(label, objs)| (*label, objs.iter().copied().collect()))
+                .collect();
+            exists_binding(db, constraint, object, &domains, &mut HashMap::new(), 0)
+        }
+    }
+}
+
+/// Searches for a label binding that satisfies the constraint.
+fn exists_binding(
+    db: &Database,
+    constraint: &ConstraintExpr,
+    this: ObjId,
+    domains: &[(&str, Vec<ObjId>)],
+    bound: &mut HashMap<String, ObjId>,
+    index: usize,
+) -> bool {
+    if index == domains.len() {
+        return eval_constraint(db, constraint, this, bound);
+    }
+    let (label, candidates) = &domains[index];
+    for &candidate in candidates {
+        bound.insert((*label).to_owned(), candidate);
+        if exists_binding(db, constraint, this, domains, bound, index + 1) {
+            return true;
+        }
+    }
+    bound.remove(*label);
+    false
+}
+
+/// The objects reachable from `start` along a labeled path.
+pub fn path_endpoints(db: &Database, start: ObjId, path: &LabeledPath) -> BTreeSet<ObjId> {
+    let mut current = BTreeSet::from([start]);
+    for step in &path.steps {
+        let mut next = BTreeSet::new();
+        for &obj in &current {
+            for value in db.attr_values(obj, &step.attr) {
+                if db.satisfies_filter(value, &step.filter) {
+                    next.insert(value);
+                }
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// Evaluates a constraint-clause formula with `this` bound and labels bound
+/// by `env`; other identifiers denote objects by name.
+pub fn eval_constraint(
+    db: &Database,
+    expr: &ConstraintExpr,
+    this: ObjId,
+    env: &HashMap<String, ObjId>,
+) -> bool {
+    let resolve = |term: &Term, env: &HashMap<String, ObjId>| -> Option<ObjId> {
+        match term {
+            Term::This => Some(this),
+            Term::Ident(name) => env.get(name).copied().or_else(|| db.object(name)),
+        }
+    };
+    match expr {
+        ConstraintExpr::In(t, class) => resolve(t, env)
+            .is_some_and(|obj| class == "Object" || db.is_instance_of(obj, class)),
+        ConstraintExpr::HasAttr(s, attr, t) => {
+            match (resolve(s, env), resolve(t, env)) {
+                (Some(from), Some(to)) => db.attr_values(from, attr).contains(&to),
+                _ => false,
+            }
+        }
+        ConstraintExpr::Eq(s, t) => match (resolve(s, env), resolve(t, env)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        },
+        ConstraintExpr::Not(inner) => !eval_constraint(db, inner, this, env),
+        ConstraintExpr::And(a, b) => {
+            eval_constraint(db, a, this, env) && eval_constraint(db, b, this, env)
+        }
+        ConstraintExpr::Or(a, b) => {
+            eval_constraint(db, a, this, env) || eval_constraint(db, b, this, env)
+        }
+        ConstraintExpr::Forall(var, class, body) => db.class_extent(class).into_iter().all(|obj| {
+            let mut env = env.clone();
+            env.insert(var.clone(), obj);
+            eval_constraint(db, body, this, &env)
+        }),
+        ConstraintExpr::Exists(var, class, body) => {
+            db.class_extent(class).into_iter().any(|obj| {
+                let mut env = env.clone();
+                env.insert(var.clone(), obj);
+                eval_constraint(db, body, this, &env)
+            })
+        }
+    }
+}
+
+/// Evaluates a class constraint clause for one object (no label bindings).
+pub fn eval_constraint_for(db: &Database, expr: &ConstraintExpr, this: ObjId) -> bool {
+    eval_constraint(db, expr, this, &HashMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Database;
+    use subq_dl::samples;
+
+    /// The hospital of the store tests extended with a male patient that
+    /// satisfies every condition of QueryPatient.
+    fn hospital_with_john() -> Database {
+        let mut db = crate::store::tests::hospital();
+        let john = db.add_object("john");
+        let john_name = db.add_object("john_name");
+        let welby = db.object("welby").expect("exists");
+        let flu = db.object("flu").expect("exists");
+        let aspirin = db.object("Aspirin").expect("exists");
+        db.assert_class(john, "Patient");
+        db.assert_class(john, "Male");
+        db.assert_class(john_name, "String");
+        db.assert_attr(john, "suffers", flu);
+        db.assert_attr(john, "consults", welby);
+        db.assert_attr(john, "takes", aspirin);
+        db.assert_attr(john, "name", john_name);
+        db
+    }
+
+    #[test]
+    fn view_patient_contains_both_patients() {
+        let db = hospital_with_john();
+        let model = samples::medical_model();
+        let view = model.query_class("ViewPatient").expect("declared");
+        let answers = evaluate_query(&db, view);
+        let mary = db.object("mary").expect("exists");
+        let john = db.object("john").expect("exists");
+        assert_eq!(answers, BTreeSet::from([mary, john]));
+    }
+
+    #[test]
+    fn query_patient_contains_only_john() {
+        let db = hospital_with_john();
+        let model = samples::medical_model();
+        let query = model.query_class("QueryPatient").expect("declared");
+        let answers = evaluate_query(&db, query);
+        let john = db.object("john").expect("exists");
+        assert_eq!(answers, BTreeSet::from([john]));
+    }
+
+    #[test]
+    fn query_answers_are_contained_in_view_answers() {
+        let db = hospital_with_john();
+        let model = samples::medical_model();
+        let query = model.query_class("QueryPatient").expect("declared");
+        let view = model.query_class("ViewPatient").expect("declared");
+        let query_answers = evaluate_query(&db, query);
+        let view_answers = evaluate_query(&db, view);
+        assert!(query_answers.is_subset(&view_answers));
+    }
+
+    #[test]
+    fn constraint_clause_filters_answers() {
+        let mut db = hospital_with_john();
+        let model = samples::medical_model();
+        let query = model.query_class("QueryPatient").expect("declared");
+        let john = db.object("john").expect("exists");
+        assert!(is_member(&db, query, john));
+        // Taking another drug besides Aspirin violates the constraint.
+        let ibuprofen = db.add_object("ibuprofen");
+        db.assert_class(ibuprofen, "Drug");
+        db.assert_attr(john, "takes", ibuprofen);
+        assert!(!is_member(&db, query, john));
+    }
+
+    #[test]
+    fn where_clause_requires_a_common_filler() {
+        let mut db = hospital_with_john();
+        let model = samples::medical_model();
+        let view = model.query_class("ViewPatient").expect("declared");
+        let mary = db.object("mary").expect("exists");
+        assert!(is_member(&db, view, mary));
+        // Replace the doctor's skill with a different disease: the paths
+        // l_1 (consulted doctor's skill) and l_2 (suffered disease) no
+        // longer agree for a new patient similar to mary.
+        let anna = db.add_object("anna");
+        let anna_name = db.add_object("anna_name");
+        let measles = db.add_object("measles");
+        let welby = db.object("welby").expect("exists");
+        db.assert_class(anna, "Patient");
+        db.assert_class(anna_name, "String");
+        db.assert_class(measles, "Disease");
+        db.assert_attr(anna, "name", anna_name);
+        db.assert_attr(anna, "suffers", measles);
+        db.assert_attr(anna, "consults", welby);
+        assert!(!is_member(&db, view, anna));
+    }
+
+    #[test]
+    fn path_endpoints_follow_filters_and_synonyms() {
+        let db = hospital_with_john();
+        let model = samples::medical_model();
+        let query = model.query_class("QueryPatient").expect("declared");
+        let john = db.object("john").expect("exists");
+        let welby = db.object("welby").expect("exists");
+        // l_2: suffers.(specialist: Doctor) reaches the doctor through the
+        // inverse synonym.
+        let ends = path_endpoints(&db, john, &query.derived[1]);
+        assert_eq!(ends, BTreeSet::from([welby]));
+    }
+
+    #[test]
+    fn candidate_restriction_only_limits_the_search_space() {
+        let db = hospital_with_john();
+        let model = samples::medical_model();
+        let view = model.query_class("ViewPatient").expect("declared");
+        let mary = db.object("mary").expect("exists");
+        let john = db.object("john").expect("exists");
+        let restricted = evaluate_query_over(&db, view, Some(&BTreeSet::from([mary])));
+        assert_eq!(restricted, BTreeSet::from([mary]));
+        let full = evaluate_query_over(&db, view, None);
+        assert_eq!(full, BTreeSet::from([mary, john]));
+    }
+
+    #[test]
+    fn evaluating_a_schema_class_turned_query() {
+        // "Every schema class can be turned into a query class": a query
+        // with only an isA clause returns the class extent.
+        let db = hospital_with_john();
+        let query = subq_dl::QueryClassDecl {
+            name: "AllPatients".into(),
+            is_a: vec!["Patient".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        let answers = evaluate_query(&db, &query);
+        assert_eq!(answers, db.class_extent("Patient"));
+    }
+}

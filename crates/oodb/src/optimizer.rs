@@ -1,0 +1,314 @@
+//! The subsumption-driven query optimizer.
+//!
+//! This is the component sketched in Sections 1 and 3.2 of the paper:
+//! "instead of just employing conventional compilation techniques …, a
+//! subsumption checker tests whether an incoming query is subsumed by one
+//! of the views currently materialized in the database. The system modifies
+//! the query evaluation plans by adding access operations to the stored
+//! extensions of subsuming views, thus restricting the search space."
+//!
+//! Concretely, [`OptimizedDatabase::execute`] translates the incoming query
+//! class into its QL concept, checks it (in polynomial time) against the QL
+//! concept of every materialized view, picks the subsuming view with the
+//! smallest stored extension, and evaluates the query's full membership
+//! condition only over that extension. Soundness rests on
+//! Proposition 3.1: Σ-subsumption of the structural abstractions implies
+//! containment of the answer sets in every database state.
+
+use crate::eval::{evaluate_query_over, initial_candidates};
+use crate::store::{Database, ObjId};
+use crate::views::{ViewCatalog, ViewError};
+use std::collections::BTreeSet;
+use subq_calculus::SubsumptionChecker;
+use subq_dl::QueryClassDecl;
+use subq_translate::{translate_query, TranslateError, TranslatedModel};
+
+/// The plan chosen for a query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryPlan {
+    /// Names of all materialized views that subsume the query.
+    pub subsuming_views: Vec<String>,
+    /// The view whose extension will be filtered (the smallest subsuming
+    /// one), if any.
+    pub chosen_view: Option<String>,
+}
+
+/// Statistics of one query execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Number of candidate objects whose membership condition was
+    /// evaluated.
+    pub candidates_examined: usize,
+    /// The materialized view whose extension was used, if any.
+    pub used_view: Option<String>,
+    /// Number of answers.
+    pub answers: usize,
+}
+
+/// A database bundled with its structural translation, a view catalog, and
+/// the subsumption checker glue.
+pub struct OptimizedDatabase {
+    db: Database,
+    translated: TranslatedModel,
+    catalog: ViewCatalog,
+}
+
+impl OptimizedDatabase {
+    /// Wraps a database, translating its model into SL/QL once.
+    pub fn new(db: Database) -> Result<Self, TranslateError> {
+        let translated = subq_translate::translate_model(db.model())?;
+        Ok(OptimizedDatabase {
+            db,
+            translated,
+            catalog: ViewCatalog::new(),
+        })
+    }
+
+    /// Read access to the underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The view catalog.
+    pub fn catalog(&self) -> &ViewCatalog {
+        &self.catalog
+    }
+
+    /// Mutates the database state and invalidates all materialized views.
+    pub fn update<R>(&mut self, mutate: impl FnOnce(&mut Database) -> R) -> R {
+        let result = mutate(&mut self.db);
+        self.catalog.invalidate();
+        result
+    }
+
+    /// Materializes a view: the name must denote a structural query class,
+    /// or a schema class (which the paper notes can always be turned into a
+    /// query class `isA C`).
+    pub fn materialize_view(&self, name: &str) -> Result<(), ViewError> {
+        let definition = if let Some(query) = self.db.model().query_class(name) {
+            query.clone()
+        } else if self.db.model().class(name).is_some() {
+            QueryClassDecl {
+                name: name.to_owned(),
+                is_a: vec![name.to_owned()],
+                derived: vec![],
+                where_eqs: vec![],
+                constraint: None,
+            }
+        } else {
+            return Err(ViewError::UnknownQuery {
+                query: name.to_owned(),
+            });
+        };
+        self.catalog.materialize(&self.db, &definition)
+    }
+
+    /// Computes the evaluation plan for a query: which materialized views
+    /// subsume it, and which one will be used.
+    pub fn plan(&mut self, query: &QueryClassDecl) -> QueryPlan {
+        let query_concept = match translate_query(
+            query,
+            self.db.model(),
+            &mut self.translated.vocabulary,
+            &mut self.translated.arena,
+        ) {
+            Ok(concept) => concept,
+            Err(_) => return QueryPlan::default(),
+        };
+        let checker = SubsumptionChecker::new(&self.translated.schema);
+        let mut subsuming: Vec<(String, usize)> = Vec::new();
+        for view in self.catalog.snapshot() {
+            let view_concept = match self.translated.query_concept(&view.definition.name) {
+                Some(concept) => concept,
+                None => match translate_query(
+                    &view.definition,
+                    self.db.model(),
+                    &mut self.translated.vocabulary,
+                    &mut self.translated.arena,
+                ) {
+                    Ok(concept) => concept,
+                    Err(_) => continue,
+                },
+            };
+            if checker.subsumes(&mut self.translated.arena, query_concept, view_concept) {
+                subsuming.push((view.definition.name.clone(), view.extent.len()));
+            }
+        }
+        subsuming.sort_by_key(|(_, size)| *size);
+        QueryPlan {
+            chosen_view: subsuming.first().map(|(name, _)| name.clone()),
+            subsuming_views: subsuming.into_iter().map(|(name, _)| name).collect(),
+        }
+    }
+
+    /// Executes a query with the optimizer: refreshes stale views, plans,
+    /// and filters the chosen view's extension (falling back to a full
+    /// evaluation when no view subsumes the query).
+    pub fn execute(&mut self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
+        self.catalog.refresh(&self.db);
+        let plan = self.plan(query);
+        match plan.chosen_view.as_deref() {
+            Some(view_name) => {
+                let view = self.catalog.view(view_name).expect("chosen view exists");
+                let answers = evaluate_query_over(&self.db, query, Some(&view.extent));
+                let stats = ExecutionStats {
+                    candidates_examined: view.extent.len(),
+                    used_view: Some(view_name.to_owned()),
+                    answers: answers.len(),
+                };
+                (answers, stats)
+            }
+            None => self.execute_unoptimized(query),
+        }
+    }
+
+    /// Executes a query without using any materialized view (the baseline
+    /// the paper's optimization is compared against).
+    pub fn execute_unoptimized(
+        &self,
+        query: &QueryClassDecl,
+    ) -> (BTreeSet<ObjId>, ExecutionStats) {
+        let candidates = initial_candidates(&self.db, query);
+        let answers = evaluate_query_over(&self.db, query, Some(&candidates));
+        let stats = ExecutionStats {
+            candidates_examined: candidates.len(),
+            used_view: None,
+            answers: answers.len(),
+        };
+        (answers, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_dl::samples;
+
+    fn hospital_with_many_patients(extra: usize) -> Database {
+        let mut db = crate::store::tests::hospital();
+        let welby = db.object("welby").expect("exists");
+        let flu = db.object("flu").expect("exists");
+        let aspirin = db.object("Aspirin").expect("exists");
+        // One fully-matching male patient.
+        let john = db.add_object("john");
+        let john_name = db.add_object("john_name");
+        db.assert_class(john, "Patient");
+        db.assert_class(john, "Male");
+        db.assert_class(john_name, "String");
+        db.assert_attr(john, "suffers", flu);
+        db.assert_attr(john, "consults", welby);
+        db.assert_attr(john, "takes", aspirin);
+        db.assert_attr(john, "name", john_name);
+        // Many male patients that do not consult anyone: they are scanned
+        // by a from-scratch evaluation of QueryPatient (they are in all its
+        // superclasses) but are absent from ViewPatient's extension.
+        for i in 0..extra {
+            let p = db.add_object(&format!("p{i}"));
+            let n = db.add_object(&format!("p{i}_name"));
+            db.assert_class(p, "Patient");
+            db.assert_class(p, "Male");
+            db.assert_class(n, "String");
+            db.assert_attr(p, "suffers", flu);
+            db.assert_attr(p, "name", n);
+        }
+        db
+    }
+
+    #[test]
+    fn plan_finds_the_subsuming_view() {
+        let db = hospital_with_many_patients(10);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        let query = model.query_class("QueryPatient").expect("declared");
+        let plan = odb.plan(query);
+        assert_eq!(plan.subsuming_views, vec!["ViewPatient".to_owned()]);
+        assert_eq!(plan.chosen_view.as_deref(), Some("ViewPatient"));
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_execution_agree() {
+        let db = hospital_with_many_patients(25);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        let query = model.query_class("QueryPatient").expect("declared");
+        let (optimized, opt_stats) = odb.execute(query);
+        let (baseline, base_stats) = odb.execute_unoptimized(query);
+        assert_eq!(optimized, baseline);
+        assert_eq!(opt_stats.answers, base_stats.answers);
+        assert_eq!(opt_stats.used_view.as_deref(), Some("ViewPatient"));
+        assert!(base_stats.used_view.is_none());
+        assert!(
+            opt_stats.candidates_examined < base_stats.candidates_examined,
+            "the view filter must shrink the search space ({} vs {})",
+            opt_stats.candidates_examined,
+            base_stats.candidates_examined
+        );
+    }
+
+    #[test]
+    fn queries_not_subsumed_by_any_view_fall_back_to_full_evaluation() {
+        let db = hospital_with_many_patients(5);
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        // "All patients" is not subsumed by ViewPatient.
+        let query = subq_dl::QueryClassDecl {
+            name: "AllPatients".into(),
+            is_a: vec!["Patient".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        let plan = odb.plan(&query);
+        assert!(plan.subsuming_views.is_empty());
+        let (answers, stats) = odb.execute(&query);
+        assert!(stats.used_view.is_none());
+        assert_eq!(answers, odb.database().class_extent("Patient"));
+    }
+
+    #[test]
+    fn updates_invalidate_views_and_execution_stays_correct() {
+        let db = hospital_with_many_patients(3);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        let query = model.query_class("QueryPatient").expect("declared");
+        let (before, _) = odb.execute(query);
+
+        // A new matching male patient arrives.
+        odb.update(|db| {
+            let welby = db.object("welby").expect("exists");
+            let flu = db.object("flu").expect("exists");
+            let paul = db.add_object("paul");
+            let paul_name = db.add_object("paul_name");
+            db.assert_class(paul, "Patient");
+            db.assert_class(paul, "Male");
+            db.assert_class(paul_name, "String");
+            db.assert_attr(paul, "suffers", flu);
+            db.assert_attr(paul, "consults", welby);
+            db.assert_attr(paul, "name", paul_name);
+        });
+        let (after, stats) = odb.execute(query);
+        assert_eq!(after.len(), before.len() + 1);
+        assert_eq!(stats.used_view.as_deref(), Some("ViewPatient"));
+        // Cross-check against the baseline.
+        let (baseline, _) = odb.execute_unoptimized(query);
+        assert_eq!(after, baseline);
+    }
+
+    #[test]
+    fn every_schema_class_can_be_materialized_as_a_trivial_view() {
+        let db = hospital_with_many_patients(2);
+        let odb = OptimizedDatabase::new(db).expect("translates");
+        // "Person" is a schema class, not a query class; materializing it
+        // builds the trivial query class `isA Person` — the paper's remark
+        // that every schema class can be turned into a query class.
+        odb.materialize_view("Person").expect("materializes");
+        let view = odb.catalog().view("Person").expect("stored");
+        assert_eq!(view.extent, odb.database().class_extent("Person"));
+        // An undeclared name is rejected.
+        let err = odb.materialize_view("Nonsense").expect_err("must fail");
+        assert!(matches!(err, ViewError::UnknownQuery { .. }));
+    }
+}

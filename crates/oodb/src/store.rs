@@ -1,0 +1,439 @@
+//! The object store: objects, class memberships, attribute assertions, and
+//! schema conformance checking.
+//!
+//! A database state (Section 2.1) relates objects to classes by
+//! instance-relationships and to each other by attribute values. Explicit
+//! class membership is propagated upwards along the isA hierarchy ("any
+//! instance of a class is also an instance of the superclasses"), and
+//! attribute assertions made through an inverse synonym are stored in the
+//! primitive direction.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use subq_dl::{DlModel, PathFilter};
+
+/// An object identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A violation of the schema found by conformance checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConformanceViolation {
+    /// An attribute value is not an instance of the class required by the
+    /// declaring class or the attribute's global range.
+    IllTypedValue {
+        object: String,
+        attribute: String,
+        value: String,
+        required: String,
+    },
+    /// A `necessary` attribute has no value for a member of its class.
+    MissingNecessaryValue {
+        object: String,
+        attribute: String,
+        class: String,
+    },
+    /// A `single` attribute has more than one value for a member of its
+    /// class.
+    MultipleValuesForSingle {
+        object: String,
+        attribute: String,
+        class: String,
+    },
+    /// An object violates a class constraint clause.
+    ConstraintViolated { object: String, class: String },
+}
+
+impl fmt::Display for ConformanceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceViolation::IllTypedValue {
+                object,
+                attribute,
+                value,
+                required,
+            } => write!(
+                f,
+                "value `{value}` of attribute `{attribute}` on `{object}` is not an instance of `{required}`"
+            ),
+            ConformanceViolation::MissingNecessaryValue {
+                object,
+                attribute,
+                class,
+            } => write!(
+                f,
+                "`{object}` is a `{class}` but has no value for the necessary attribute `{attribute}`"
+            ),
+            ConformanceViolation::MultipleValuesForSingle {
+                object,
+                attribute,
+                class,
+            } => write!(
+                f,
+                "`{object}` is a `{class}` but has several values for the single attribute `{attribute}`"
+            ),
+            ConformanceViolation::ConstraintViolated { object, class } => {
+                write!(f, "`{object}` violates the constraint clause of `{class}`")
+            }
+        }
+    }
+}
+
+/// An in-memory database state over a DL model.
+#[derive(Clone, Debug)]
+pub struct Database {
+    model: DlModel,
+    object_names: Vec<String>,
+    object_by_name: HashMap<String, ObjId>,
+    /// Explicit (and upward-propagated) class memberships.
+    extents: BTreeMap<String, BTreeSet<ObjId>>,
+    /// Attribute assertions in the primitive direction.
+    attrs: BTreeMap<String, BTreeSet<(ObjId, ObjId)>>,
+}
+
+impl Database {
+    /// Creates an empty state over the given model.
+    pub fn new(model: DlModel) -> Self {
+        Database {
+            model,
+            object_names: Vec::new(),
+            object_by_name: HashMap::new(),
+            extents: BTreeMap::new(),
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// The DL model this state conforms to.
+    pub fn model(&self) -> &DlModel {
+        &self.model
+    }
+
+    /// Creates (or finds) an object by name.
+    pub fn add_object(&mut self, name: &str) -> ObjId {
+        if let Some(&id) = self.object_by_name.get(name) {
+            return id;
+        }
+        let id = ObjId(self.object_names.len() as u32);
+        self.object_names.push(name.to_owned());
+        self.object_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an object by name.
+    pub fn object(&self, name: &str) -> Option<ObjId> {
+        self.object_by_name.get(name).copied()
+    }
+
+    /// The name of an object.
+    pub fn object_name(&self, id: ObjId) -> &str {
+        &self.object_names[id.index()]
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.object_names.len()
+    }
+
+    /// All objects.
+    pub fn objects(&self) -> impl Iterator<Item = ObjId> + '_ {
+        (0..self.object_names.len() as u32).map(ObjId)
+    }
+
+    /// Asserts that an object is an instance of a class; membership is
+    /// propagated to all declared superclasses.
+    pub fn assert_class(&mut self, object: ObjId, class: &str) {
+        if self
+            .extents
+            .get(class)
+            .is_some_and(|ext| ext.contains(&object))
+        {
+            return;
+        }
+        self.extents
+            .entry(class.to_owned())
+            .or_default()
+            .insert(object);
+        let supers: Vec<String> = self
+            .model
+            .class(class)
+            .map(|decl| decl.is_a.clone())
+            .unwrap_or_default();
+        for sup in supers {
+            self.assert_class(object, &sup);
+        }
+    }
+
+    /// Asserts an attribute value; inverse synonyms are stored in the
+    /// primitive direction.
+    pub fn assert_attr(&mut self, from: ObjId, attribute: &str, to: ObjId) {
+        let (name, pair) = match self.model.resolve_attribute(attribute) {
+            Some((decl, true)) => (decl.name.clone(), (to, from)),
+            Some((decl, false)) => (decl.name.clone(), (from, to)),
+            None => (attribute.to_owned(), (from, to)),
+        };
+        self.attrs.entry(name).or_default().insert(pair);
+    }
+
+    /// Whether the object is a (direct or inherited) instance of the class.
+    pub fn is_instance_of(&self, object: ObjId, class: &str) -> bool {
+        self.extents
+            .get(class)
+            .is_some_and(|ext| ext.contains(&object))
+    }
+
+    /// The stored extent of a class (explicit members plus members of
+    /// subclasses, which were propagated at assertion time).
+    pub fn class_extent(&self, class: &str) -> BTreeSet<ObjId> {
+        self.extents.get(class).cloned().unwrap_or_default()
+    }
+
+    /// The values of a (possibly synonym) attribute for an object.
+    pub fn attr_values(&self, object: ObjId, attribute: &str) -> BTreeSet<ObjId> {
+        let (name, inverted) = match self.model.resolve_attribute(attribute) {
+            Some((decl, inv)) => (decl.name.clone(), inv),
+            None => (attribute.to_owned(), false),
+        };
+        let mut out = BTreeSet::new();
+        if let Some(pairs) = self.attrs.get(&name) {
+            for &(from, to) in pairs {
+                if inverted {
+                    if to == object {
+                        out.insert(from);
+                    }
+                } else if from == object {
+                    out.insert(to);
+                }
+            }
+        }
+        out
+    }
+
+    /// All pairs of a primitive attribute.
+    pub fn attr_pairs(&self, attribute: &str) -> BTreeSet<(ObjId, ObjId)> {
+        self.attrs.get(attribute).cloned().unwrap_or_default()
+    }
+
+    /// Whether an object satisfies a path-step filter.
+    pub fn satisfies_filter(&self, object: ObjId, filter: &PathFilter) -> bool {
+        match filter {
+            PathFilter::Any => true,
+            PathFilter::Class(class) => {
+                class == "Object" || self.is_instance_of(object, class)
+            }
+            PathFilter::Singleton(name) => self.object(name) == Some(object),
+        }
+    }
+
+    /// Checks the state against the structural schema (attribute typing,
+    /// `necessary`, `single`, and global domain/range declarations) and the
+    /// class constraint clauses.
+    pub fn check_conformance(&self) -> Vec<ConformanceViolation> {
+        let mut violations = Vec::new();
+        // Per-class attribute restrictions.
+        for class in &self.model.classes {
+            let members = self.class_extent(&class.name);
+            for spec in &class.attributes {
+                for &member in &members {
+                    let values = self.attr_values(member, &spec.name);
+                    if spec.necessary && values.is_empty() {
+                        violations.push(ConformanceViolation::MissingNecessaryValue {
+                            object: self.object_name(member).to_owned(),
+                            attribute: spec.name.clone(),
+                            class: class.name.clone(),
+                        });
+                    }
+                    if spec.single && values.len() > 1 {
+                        violations.push(ConformanceViolation::MultipleValuesForSingle {
+                            object: self.object_name(member).to_owned(),
+                            attribute: spec.name.clone(),
+                            class: class.name.clone(),
+                        });
+                    }
+                    for value in values {
+                        if spec.range != "Object" && !self.is_instance_of(value, &spec.range) {
+                            violations.push(ConformanceViolation::IllTypedValue {
+                                object: self.object_name(member).to_owned(),
+                                attribute: spec.name.clone(),
+                                value: self.object_name(value).to_owned(),
+                                required: spec.range.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            if let Some(constraint) = &class.constraint {
+                for &member in &members {
+                    if !crate::eval::eval_constraint_for(self, constraint, member) {
+                        violations.push(ConformanceViolation::ConstraintViolated {
+                            object: self.object_name(member).to_owned(),
+                            class: class.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Global attribute domain/range typing.
+        for attr in &self.model.attributes {
+            for (from, to) in self.attr_pairs(&attr.name) {
+                if attr.domain != "Object" && !self.is_instance_of(from, &attr.domain) {
+                    violations.push(ConformanceViolation::IllTypedValue {
+                        object: self.object_name(from).to_owned(),
+                        attribute: attr.name.clone(),
+                        value: self.object_name(to).to_owned(),
+                        required: attr.domain.clone(),
+                    });
+                }
+                if attr.range != "Object" && !self.is_instance_of(to, &attr.range) {
+                    violations.push(ConformanceViolation::IllTypedValue {
+                        object: self.object_name(from).to_owned(),
+                        attribute: attr.name.clone(),
+                        value: self.object_name(to).to_owned(),
+                        required: attr.range.clone(),
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use subq_dl::samples;
+
+    /// The small hospital state used across the OODB tests: one compliant
+    /// patient, one doctor, one disease, one drug.
+    pub(crate) fn hospital() -> Database {
+        let mut db = Database::new(samples::medical_model());
+        let mary = db.add_object("mary");
+        let welby = db.add_object("welby");
+        let flu = db.add_object("flu");
+        let aspirin = db.add_object("Aspirin");
+        let mary_name = db.add_object("mary_name");
+        let welby_name = db.add_object("welby_name");
+        db.assert_class(mary, "Patient");
+        db.assert_class(mary, "Female");
+        db.assert_class(welby, "Doctor");
+        db.assert_class(welby, "Female");
+        db.assert_class(flu, "Disease");
+        db.assert_class(aspirin, "Drug");
+        db.assert_class(mary_name, "String");
+        db.assert_class(welby_name, "String");
+        db.assert_attr(mary, "suffers", flu);
+        db.assert_attr(mary, "consults", welby);
+        db.assert_attr(mary, "takes", aspirin);
+        db.assert_attr(mary, "name", mary_name);
+        db.assert_attr(welby, "name", welby_name);
+        db.assert_attr(welby, "skilled_in", flu);
+        db
+    }
+
+    #[test]
+    fn class_membership_propagates_to_superclasses() {
+        let db = hospital();
+        let mary = db.object("mary").expect("exists");
+        assert!(db.is_instance_of(mary, "Patient"));
+        assert!(db.is_instance_of(mary, "Person"));
+        assert!(!db.is_instance_of(mary, "Doctor"));
+        assert!(db.class_extent("Person").len() >= 2);
+    }
+
+    #[test]
+    fn attribute_values_and_synonyms() {
+        let db = hospital();
+        let welby = db.object("welby").expect("exists");
+        let flu = db.object("flu").expect("exists");
+        let mary = db.object("mary").expect("exists");
+        assert_eq!(db.attr_values(welby, "skilled_in"), BTreeSet::from([flu]));
+        // The inverse synonym reads the same pairs backwards.
+        assert_eq!(db.attr_values(flu, "specialist"), BTreeSet::from([welby]));
+        assert_eq!(db.attr_values(mary, "consults"), BTreeSet::from([welby]));
+        assert!(db.attr_values(welby, "consults").is_empty());
+    }
+
+    #[test]
+    fn asserting_via_synonym_stores_primitive_direction() {
+        let mut db = hospital();
+        let welby = db.object("welby").expect("exists");
+        let measles = db.add_object("measles");
+        db.assert_class(measles, "Disease");
+        // "measles' specialist is welby" == "welby is skilled_in measles".
+        db.assert_attr(measles, "specialist", welby);
+        assert!(db.attr_values(welby, "skilled_in").contains(&measles));
+    }
+
+    #[test]
+    fn conformant_state_has_no_violations() {
+        let db = hospital();
+        let violations = db.check_conformance();
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn missing_necessary_value_is_reported() {
+        let mut db = hospital();
+        let bob = db.add_object("bob");
+        db.assert_class(bob, "Patient");
+        let violations = db.check_conformance();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            ConformanceViolation::MissingNecessaryValue { object, attribute, .. }
+                if object == "bob" && attribute == "suffers"
+        )));
+        // bob also lacks a name (necessary on Person).
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            ConformanceViolation::MissingNecessaryValue { object, attribute, .. }
+                if object == "bob" && attribute == "name"
+        )));
+    }
+
+    #[test]
+    fn single_and_typing_violations_are_reported() {
+        let mut db = hospital();
+        let mary = db.object("mary").expect("exists");
+        let other_name = db.add_object("other_name");
+        db.assert_class(other_name, "String");
+        db.assert_attr(mary, "name", other_name);
+        let violations = db.check_conformance();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            ConformanceViolation::MultipleValuesForSingle { object, attribute, .. }
+                if object == "mary" && attribute == "name"
+        )));
+
+        let mut db = hospital();
+        let mary = db.object("mary").expect("exists");
+        let rock = db.add_object("rock");
+        db.assert_attr(mary, "suffers", rock); // not a Disease
+        let violations = db.check_conformance();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            ConformanceViolation::IllTypedValue { value, required, .. }
+                if value == "rock" && required == "Disease"
+        )));
+    }
+
+    #[test]
+    fn class_constraints_are_checked() {
+        let mut db = hospital();
+        let mary = db.object("mary").expect("exists");
+        // Making the patient also a doctor violates Patient's constraint
+        // `not (this in Doctor)`.
+        db.assert_class(mary, "Doctor");
+        let violations = db.check_conformance();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            ConformanceViolation::ConstraintViolated { object, class }
+                if object == "mary" && class == "Patient"
+        )));
+    }
+}

@@ -1,0 +1,232 @@
+//! Materialized views.
+//!
+//! A view is a query class whose constraint part is empty (Section 2.2);
+//! its answers may be materialized — stored explicitly — so that access to
+//! them is as fast as to any schema class. The catalog below stores the
+//! extensions, refreshes them when the database changes, and is shared
+//! behind a read–write lock so that many queries can consult it
+//! concurrently (the "trader" scenario sketched in Section 6).
+
+use crate::eval::evaluate_query;
+use crate::store::{Database, ObjId};
+use parking_lot::RwLock;
+use std::collections::BTreeSet;
+use subq_dl::QueryClassDecl;
+
+/// A materialized view: a structural query class together with its stored
+/// extension.
+#[derive(Clone, Debug)]
+pub struct MaterializedView {
+    /// The view definition (a query class without a constraint clause).
+    pub definition: QueryClassDecl,
+    /// The stored extension.
+    pub extent: BTreeSet<ObjId>,
+    /// Whether the extension reflects the current database state.
+    pub fresh: bool,
+}
+
+impl MaterializedView {
+    /// The number of stored answers.
+    pub fn len(&self) -> usize {
+        self.extent.len()
+    }
+
+    /// Whether the view is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.extent.is_empty()
+    }
+}
+
+/// Errors raised when materializing a query class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewError {
+    /// The query class has a constraint clause; it is not a view and using
+    /// its stored answers for subsumed queries would be unsound.
+    NotStructural { query: String },
+    /// A view with this name is already materialized.
+    AlreadyMaterialized { query: String },
+    /// The name denotes neither a query class nor a schema class.
+    UnknownQuery { query: String },
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::NotStructural { query } => write!(
+                f,
+                "query class `{query}` has a constraint clause and cannot be materialized as a view"
+            ),
+            ViewError::AlreadyMaterialized { query } => {
+                write!(f, "view `{query}` is already materialized")
+            }
+            ViewError::UnknownQuery { query } => {
+                write!(f, "`{query}` is neither a query class nor a schema class")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// The catalog of materialized views.
+#[derive(Debug, Default)]
+pub struct ViewCatalog {
+    views: RwLock<Vec<MaterializedView>>,
+}
+
+impl ViewCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        ViewCatalog::default()
+    }
+
+    /// Materializes a view: evaluates it once and stores the extension.
+    pub fn materialize(
+        &self,
+        db: &Database,
+        definition: &QueryClassDecl,
+    ) -> Result<(), ViewError> {
+        if !definition.is_view() {
+            return Err(ViewError::NotStructural {
+                query: definition.name.clone(),
+            });
+        }
+        let mut views = self.views.write();
+        if views.iter().any(|v| v.definition.name == definition.name) {
+            return Err(ViewError::AlreadyMaterialized {
+                query: definition.name.clone(),
+            });
+        }
+        let extent = evaluate_query(db, definition);
+        views.push(MaterializedView {
+            definition: definition.clone(),
+            extent,
+            fresh: true,
+        });
+        Ok(())
+    }
+
+    /// The names of all materialized views.
+    pub fn view_names(&self) -> Vec<String> {
+        self.views
+            .read()
+            .iter()
+            .map(|v| v.definition.name.clone())
+            .collect()
+    }
+
+    /// A snapshot of one view.
+    pub fn view(&self, name: &str) -> Option<MaterializedView> {
+        self.views
+            .read()
+            .iter()
+            .find(|v| v.definition.name == name)
+            .cloned()
+    }
+
+    /// A snapshot of all views.
+    pub fn snapshot(&self) -> Vec<MaterializedView> {
+        self.views.read().clone()
+    }
+
+    /// Marks every view as stale (called after database updates).
+    pub fn invalidate(&self) {
+        for view in self.views.write().iter_mut() {
+            view.fresh = false;
+        }
+    }
+
+    /// Re-evaluates every stale view against the current state.
+    pub fn refresh(&self, db: &Database) {
+        for view in self.views.write().iter_mut() {
+            if !view.fresh {
+                view.extent = evaluate_query(db, &view.definition);
+                view.fresh = true;
+            }
+        }
+    }
+
+    /// Number of materialized views.
+    pub fn len(&self) -> usize {
+        self.views.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_dl::samples;
+
+    fn db() -> Database {
+        crate::store::tests::hospital()
+    }
+
+    #[test]
+    fn materializing_a_view_stores_its_extent() {
+        let db = db();
+        let model = samples::medical_model();
+        let catalog = ViewCatalog::new();
+        let view = model.query_class("ViewPatient").expect("declared");
+        catalog.materialize(&db, view).expect("materializes");
+        let stored = catalog.view("ViewPatient").expect("stored");
+        assert!(stored.fresh);
+        assert_eq!(stored.extent, evaluate_query(&db, view));
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.view_names(), vec!["ViewPatient".to_owned()]);
+    }
+
+    #[test]
+    fn non_structural_queries_cannot_be_materialized() {
+        let db = db();
+        let model = samples::medical_model();
+        let catalog = ViewCatalog::new();
+        let query = model.query_class("QueryPatient").expect("declared");
+        let err = catalog.materialize(&db, query).expect_err("must fail");
+        assert!(matches!(err, ViewError::NotStructural { .. }));
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn double_materialization_is_rejected() {
+        let db = db();
+        let model = samples::medical_model();
+        let catalog = ViewCatalog::new();
+        let view = model.query_class("ViewPatient").expect("declared");
+        catalog.materialize(&db, view).expect("first");
+        let err = catalog.materialize(&db, view).expect_err("second must fail");
+        assert!(matches!(err, ViewError::AlreadyMaterialized { .. }));
+    }
+
+    #[test]
+    fn invalidate_and_refresh_track_database_changes() {
+        let mut db = db();
+        let model = samples::medical_model();
+        let catalog = ViewCatalog::new();
+        let view = model.query_class("ViewPatient").expect("declared");
+        catalog.materialize(&db, view).expect("materializes");
+        let before = catalog.view("ViewPatient").expect("stored").extent.len();
+
+        // A new conforming patient appears.
+        let anna = db.add_object("anna");
+        let anna_name = db.add_object("anna_name");
+        let flu = db.object("flu").expect("exists");
+        let welby = db.object("welby").expect("exists");
+        db.assert_class(anna, "Patient");
+        db.assert_class(anna_name, "String");
+        db.assert_attr(anna, "name", anna_name);
+        db.assert_attr(anna, "suffers", flu);
+        db.assert_attr(anna, "consults", welby);
+
+        catalog.invalidate();
+        assert!(!catalog.view("ViewPatient").expect("stored").fresh);
+        catalog.refresh(&db);
+        let after = catalog.view("ViewPatient").expect("stored");
+        assert!(after.fresh);
+        assert_eq!(after.extent.len(), before + 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Errors of the structural translation.
+
+use std::fmt;
+
+/// A problem encountered while abstracting a DL model into SL/QL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A path step uses an attribute (or synonym) that is not declared.
+    UnknownAttribute { attribute: String, context: String },
+    /// An attribute synonym appears inside a schema declaration, where only
+    /// primitive attributes are allowed.
+    SynonymInSchema { synonym: String, context: String },
+    /// Query classes inherit from each other in a cycle, so their
+    /// structural definitions cannot be expanded.
+    CyclicQueryInheritance { query: String },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnknownAttribute { attribute, context } => {
+                write!(f, "attribute `{attribute}` used in {context} is not declared")
+            }
+            TranslateError::SynonymInSchema { synonym, context } => write!(
+                f,
+                "attribute synonym `{synonym}` cannot appear in schema declaration {context}"
+            ),
+            TranslateError::CyclicQueryInheritance { query } => write!(
+                f,
+                "query class `{query}` participates in a cyclic isA chain of query classes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = TranslateError::UnknownAttribute {
+            attribute: "knows".into(),
+            context: "query class `Q`".into(),
+        };
+        assert!(e.to_string().contains("knows"));
+        assert!(e.to_string().contains('Q'));
+        let e = TranslateError::CyclicQueryInheritance { query: "Q".into() };
+        assert!(e.to_string().contains("cyclic"));
+    }
+}

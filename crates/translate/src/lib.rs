@@ -1,0 +1,132 @@
+//! Structural abstraction of DL models into the concept languages SL and
+//! QL (Section 3.2 of the paper).
+//!
+//! The translation deliberately forgets the *non-structural* parts:
+//! constraint clauses of classes and query classes are dropped, which is
+//! exactly what makes the resulting subsumption check sound but incomplete
+//! (Proposition 3.1): if the QL translation of a query is Σ-subsumed by the
+//! QL translation of a view, then in every database state the query's
+//! answers are contained in the view's answers.
+//!
+//! * [`translate_schema`] maps class and attribute declarations to SL
+//!   axioms (Figure 6).
+//! * [`translate_query`] maps a query class to a QL concept (the concepts
+//!   `C_Q` and `D_V` of Section 3.2).
+//! * [`translate_model`] bundles both and returns a [`TranslatedModel`]
+//!   ready to be handed to the subsumption checker.
+
+pub mod error;
+pub mod query;
+pub mod schema;
+
+pub use error::TranslateError;
+pub use query::translate_query;
+pub use schema::translate_schema;
+
+use std::collections::HashMap;
+use subq_concepts::prelude::*;
+use subq_dl::DlModel;
+
+/// The universal class of DL; it is mapped to `⊤` in QL and dropped from SL
+/// axioms (where it would be trivially true).
+pub const OBJECT_CLASS: &str = "Object";
+
+/// A fully translated DL model.
+#[derive(Debug, Default)]
+pub struct TranslatedModel {
+    /// The vocabulary shared by the schema and all query concepts.
+    pub vocabulary: Vocabulary,
+    /// The term arena holding all query concepts.
+    pub arena: TermArena,
+    /// The SL schema Σ obtained from the structural part of the schema.
+    pub schema: Schema,
+    /// One QL concept per query class, keyed by query class name.
+    pub queries: HashMap<String, ConceptId>,
+}
+
+impl TranslatedModel {
+    /// The QL concept of a query class, if it was translated.
+    pub fn query_concept(&self, name: &str) -> Option<ConceptId> {
+        self.queries.get(name).copied()
+    }
+}
+
+/// Translates a whole model: the schema into SL axioms and every query
+/// class into a QL concept.
+pub fn translate_model(model: &DlModel) -> Result<TranslatedModel, TranslateError> {
+    let mut out = TranslatedModel::default();
+    out.schema = translate_schema(model, &mut out.vocabulary)?;
+    for query in &model.queries {
+        let concept = translate_query(query, model, &mut out.vocabulary, &mut out.arena)?;
+        out.queries.insert(query.name.clone(), concept);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_calculus::SubsumptionChecker;
+    use subq_dl::samples;
+
+    /// End-to-end reproduction of the paper's worked example: translating
+    /// Figures 1, 3 and 5 and running the calculus detects that
+    /// QueryPatient is subsumed by ViewPatient, but not vice versa.
+    #[test]
+    fn paper_example_subsumption_detected_after_translation() {
+        let model = samples::medical_model();
+        let mut translated = translate_model(&model).expect("translates");
+        let query = translated
+            .query_concept("QueryPatient")
+            .expect("QueryPatient translated");
+        let view = translated
+            .query_concept("ViewPatient")
+            .expect("ViewPatient translated");
+        let checker = SubsumptionChecker::new(&translated.schema);
+        assert!(checker.subsumes(&mut translated.arena, query, view));
+        assert!(!checker.subsumes(&mut translated.arena, view, query));
+    }
+
+    /// Dropping the schema loses the subsumption — the schema knowledge
+    /// (inverse attributes, necessary name, suffers typing) is essential.
+    #[test]
+    fn subsumption_requires_schema_knowledge() {
+        let model = samples::medical_model();
+        let mut translated = translate_model(&model).expect("translates");
+        let query = translated.query_concept("QueryPatient").expect("present");
+        let view = translated.query_concept("ViewPatient").expect("present");
+        let empty = Schema::new();
+        let checker = SubsumptionChecker::new(&empty);
+        assert!(!checker.subsumes(&mut translated.arena, query, view));
+    }
+
+    /// Every translated query class is subsumed by each of its (schema
+    /// class) superclasses.
+    #[test]
+    fn queries_are_subsumed_by_their_superclasses() {
+        let model = samples::medical_model();
+        let mut translated = translate_model(&model).expect("translates");
+        let checker = SubsumptionChecker::new(&translated.schema);
+        for query_decl in &model.queries {
+            let concept = translated
+                .query_concept(&query_decl.name)
+                .expect("translated");
+            for sup in &query_decl.is_a {
+                if model.class(sup).is_none() {
+                    continue;
+                }
+                let class = translated
+                    .vocabulary
+                    .find_class(sup)
+                    .expect("superclass interned");
+                let sup_concept = translated.arena.prim(class);
+                assert!(
+                    checker.subsumes(&mut translated.arena, concept, sup_concept),
+                    "{} should be subsumed by its superclass {}",
+                    query_decl.name,
+                    sup
+                );
+            }
+        }
+    }
+}

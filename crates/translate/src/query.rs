@@ -1,0 +1,304 @@
+//! Translation of query classes into QL concepts (Section 3.2).
+//!
+//! The structural part of a query class is mapped as follows:
+//!
+//! * every superclass contributes a conjunct: a primitive concept for
+//!   schema classes, the recursively expanded concept for query-class
+//!   superclasses (query classes are completely defined, so inlining their
+//!   structural definition is exact for the structural fragment);
+//! * labeled paths become paths of restricted attributes, with inverse
+//!   synonyms made explicit as `P⁻¹`;
+//! * a `where` equality `l₁ = l₂` turns the two labeled paths into a path
+//!   agreement `∃p₁ ≐ p₂`;
+//! * remaining paths (unlabeled, or with labels not used in `where`)
+//!   become plain existential path quantifications `∃p`;
+//! * the constraint clause — the non-structural part — is dropped.
+
+use crate::error::TranslateError;
+use crate::OBJECT_CLASS;
+use std::collections::HashSet;
+use subq_concepts::prelude::*;
+use subq_dl::{DlModel, LabeledPath, PathFilter, QueryClassDecl};
+
+/// Translates one query class into a QL concept.
+pub fn translate_query(
+    query: &QueryClassDecl,
+    model: &DlModel,
+    voc: &mut Vocabulary,
+    arena: &mut TermArena,
+) -> Result<ConceptId, TranslateError> {
+    let mut in_progress = HashSet::new();
+    translate_query_rec(query, model, voc, arena, &mut in_progress)
+}
+
+fn translate_query_rec(
+    query: &QueryClassDecl,
+    model: &DlModel,
+    voc: &mut Vocabulary,
+    arena: &mut TermArena,
+    in_progress: &mut HashSet<String>,
+) -> Result<ConceptId, TranslateError> {
+    if !in_progress.insert(query.name.clone()) {
+        return Err(TranslateError::CyclicQueryInheritance {
+            query: query.name.clone(),
+        });
+    }
+
+    let mut conjuncts = Vec::new();
+
+    // Superclasses.
+    for sup in &query.is_a {
+        if sup == OBJECT_CLASS {
+            continue;
+        }
+        if let Some(sup_query) = model.query_class(sup) {
+            let expanded = translate_query_rec(sup_query, model, voc, arena, in_progress)?;
+            conjuncts.push(expanded);
+        } else {
+            let class = voc.class(sup);
+            conjuncts.push(arena.prim(class));
+        }
+    }
+
+    // Paths: those whose labels are equated in the `where` clause become
+    // agreements, the rest plain existentials.
+    let context = format!("query class `{}`", query.name);
+    let mut used_labels: HashSet<&str> = HashSet::new();
+    for (left, right) in &query.where_eqs {
+        let left_path = find_labeled_path(query, left);
+        let right_path = find_labeled_path(query, right);
+        let (Some(lp), Some(rp)) = (left_path, right_path) else {
+            // Dangling labels are a validation error; skip them here so the
+            // translation stays total on the structural fragment.
+            continue;
+        };
+        let p = translate_path(lp, model, voc, arena, &context)?;
+        let q = translate_path(rp, model, voc, arena, &context)?;
+        conjuncts.push(arena.agree(p, q));
+        used_labels.insert(left.as_str());
+        used_labels.insert(right.as_str());
+    }
+    for path in &query.derived {
+        if let Some(label) = &path.label {
+            if used_labels.contains(label.as_str()) {
+                continue;
+            }
+        }
+        let p = translate_path(path, model, voc, arena, &context)?;
+        conjuncts.push(arena.exists(p));
+    }
+
+    // The constraint clause is the non-structural part: dropped.
+
+    in_progress.remove(&query.name);
+    Ok(arena.and_all(conjuncts))
+}
+
+fn find_labeled_path<'a>(query: &'a QueryClassDecl, label: &str) -> Option<&'a LabeledPath> {
+    query
+        .derived
+        .iter()
+        .find(|p| p.label.as_deref() == Some(label))
+}
+
+/// Translates a labeled path into a QL path, making inverse synonyms
+/// explicit.
+pub fn translate_path(
+    path: &LabeledPath,
+    model: &DlModel,
+    voc: &mut Vocabulary,
+    arena: &mut TermArena,
+    context: &str,
+) -> Result<PathId, TranslateError> {
+    let mut steps = Vec::with_capacity(path.steps.len());
+    for step in &path.steps {
+        let attr = match model.resolve_attribute(&step.attr) {
+            Some((decl, false)) => Attr::primitive(voc.attribute(&decl.name)),
+            Some((decl, true)) => Attr::inverse_of(voc.attribute(&decl.name)),
+            None => {
+                // Attributes that are used in classes but have no global
+                // declaration are still primitive attributes.
+                if model
+                    .classes
+                    .iter()
+                    .any(|c| c.attributes.iter().any(|a| a.name == step.attr))
+                {
+                    Attr::primitive(voc.attribute(&step.attr))
+                } else {
+                    return Err(TranslateError::UnknownAttribute {
+                        attribute: step.attr.clone(),
+                        context: context.to_owned(),
+                    });
+                }
+            }
+        };
+        let filter = match &step.filter {
+            PathFilter::Any => arena.top(),
+            PathFilter::Class(name) if name == OBJECT_CLASS => arena.top(),
+            PathFilter::Class(name) => {
+                let class = voc.class(name);
+                arena.prim(class)
+            }
+            PathFilter::Singleton(object) => {
+                let constant = voc.constant(object);
+                arena.singleton(constant)
+            }
+        };
+        steps.push((attr, filter));
+    }
+    Ok(arena.path_of(&steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate_schema;
+    use subq_concepts::display::DisplayCtx;
+    use subq_dl::parser::parse_model;
+    use subq_dl::samples;
+
+    fn translate_named(name: &str) -> (Vocabulary, TermArena, ConceptId) {
+        let model = samples::medical_model();
+        let mut voc = Vocabulary::new();
+        let _ = translate_schema(&model, &mut voc).expect("schema translates");
+        let mut arena = TermArena::new();
+        let query = model.query_class(name).expect("declared");
+        let concept = translate_query(query, &model, &mut voc, &mut arena).expect("translates");
+        (voc, arena, concept)
+    }
+
+    /// The concept C_Q of Section 3.2, printed in the paper's notation.
+    #[test]
+    fn query_patient_translates_to_c_q() {
+        let (voc, arena, concept) = translate_named("QueryPatient");
+        let rendered = DisplayCtx::new(&voc, &arena).concept(concept);
+        assert_eq!(
+            rendered,
+            "Male ⊓ Patient ⊓ ∃(consults: Female) ≐ (suffers: ⊤)(skilled_in⁻¹: Doctor)"
+        );
+    }
+
+    /// The concept D_V of Section 3.2.
+    #[test]
+    fn view_patient_translates_to_d_v() {
+        let (voc, arena, concept) = translate_named("ViewPatient");
+        let rendered = DisplayCtx::new(&voc, &arena).concept(concept);
+        assert_eq!(
+            rendered,
+            "Patient ⊓ ∃(consults: Doctor)(skilled_in: Disease) ≐ (suffers: Disease) ⊓ ∃(name: String)"
+        );
+    }
+
+    /// The constraint clause of QueryPatient (the Aspirin condition) leaves
+    /// no trace in the translation.
+    #[test]
+    fn constraints_are_dropped_from_queries() {
+        let (voc, arena, concept) = translate_named("QueryPatient");
+        let rendered = DisplayCtx::new(&voc, &arena).concept(concept);
+        assert!(!rendered.contains("Aspirin"));
+        assert!(!rendered.contains("Drug"));
+    }
+
+    /// Inverse synonyms become explicit inverse attributes.
+    #[test]
+    fn synonyms_become_inverse_attributes() {
+        let (voc, arena, concept) = translate_named("QueryPatient");
+        let classes = arena.classes_in(concept);
+        assert!(classes
+            .iter()
+            .any(|c| voc.class_name(*c) == "Doctor"));
+        let rendered = DisplayCtx::new(&voc, &arena).concept(concept);
+        assert!(rendered.contains("skilled_in⁻¹"));
+        assert!(!rendered.contains("specialist"));
+    }
+
+    /// Query classes inheriting from query classes are expanded
+    /// structurally.
+    #[test]
+    fn query_superclasses_are_inlined() {
+        let model = parse_model(
+            "Class Person with end Person
+             Class Doctor isA Person with end Doctor
+             Attribute consults with
+               domain: Person
+               range: Doctor
+             end consults
+             QueryClass Consulters isA Person with
+               derived
+                 (consults: Doctor)
+             end Consulters
+             QueryClass YoungConsulters isA Consulters with
+             end YoungConsulters",
+        )
+        .expect("parses");
+        let mut voc = Vocabulary::new();
+        let mut arena = TermArena::new();
+        let inner = model.query_class("YoungConsulters").expect("declared");
+        let concept = translate_query(inner, &model, &mut voc, &mut arena).expect("translates");
+        let rendered = DisplayCtx::new(&voc, &arena).concept(concept);
+        assert!(rendered.contains("Person"));
+        assert!(rendered.contains("∃(consults: Doctor)"));
+    }
+
+    /// Cyclic query-class inheritance is reported rather than looping.
+    #[test]
+    fn cyclic_query_inheritance_is_an_error() {
+        let model = parse_model(
+            "QueryClass A isA B with end A
+             QueryClass B isA A with end B",
+        )
+        .expect("parses");
+        let mut voc = Vocabulary::new();
+        let mut arena = TermArena::new();
+        let a = model.query_class("A").expect("declared");
+        let err = translate_query(a, &model, &mut voc, &mut arena).expect_err("must fail");
+        assert!(matches!(err, TranslateError::CyclicQueryInheritance { .. }));
+    }
+
+    /// Unknown attributes in paths are reported with their context.
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let model = parse_model(
+            "Class Person with end Person
+             QueryClass Q isA Person with
+               derived
+                 (unknown_attr: Person)
+             end Q",
+        )
+        .expect("parses");
+        let mut voc = Vocabulary::new();
+        let mut arena = TermArena::new();
+        let q = model.query_class("Q").expect("declared");
+        let err = translate_query(q, &model, &mut voc, &mut arena).expect_err("must fail");
+        assert!(
+            matches!(err, TranslateError::UnknownAttribute { ref attribute, .. } if attribute == "unknown_attr")
+        );
+    }
+
+    /// Object filters become ⊤ and singleton filters become singleton
+    /// concepts.
+    #[test]
+    fn object_and_singleton_filters() {
+        let model = parse_model(
+            "Class Person with end Person
+             Class Drug with end Drug
+             Attribute takes with
+               domain: Person
+               range: Drug
+             end takes
+             QueryClass AspirinTaker isA Person with
+               derived
+                 (takes: {Aspirin})
+                 (takes: Object)
+             end AspirinTaker",
+        )
+        .expect("parses");
+        let mut voc = Vocabulary::new();
+        let mut arena = TermArena::new();
+        let q = model.query_class("AspirinTaker").expect("declared");
+        let concept = translate_query(q, &model, &mut voc, &mut arena).expect("translates");
+        let rendered = DisplayCtx::new(&voc, &arena).concept(concept);
+        assert!(rendered.contains("{Aspirin}"));
+        assert!(rendered.contains("∃(takes: ⊤)"));
+    }
+}

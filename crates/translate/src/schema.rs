@@ -1,0 +1,192 @@
+//! Translation of the structural part of a DL schema into SL axioms
+//! (Figure 6 of the paper).
+//!
+//! For each class declaration `Class A isA B with attribute [,necessary]
+//! [,single] a: R … end A`:
+//!
+//! * every isA link becomes `A ⊑ B`,
+//! * every attribute typing becomes `A ⊑ ∀a.R`,
+//! * every `necessary` marker becomes `A ⊑ ∃a`,
+//! * every `single` marker becomes `A ⊑ (≤1 a)`,
+//! * the constraint clause (the non-structural part) is dropped.
+//!
+//! For each attribute declaration `Attribute a with domain: D range: R`,
+//! the typing becomes `a ⊑ D × R`. Inverse synonyms generate no axiom —
+//! they are resolved away when queries are translated.
+//!
+//! The universal class `Object` is dropped wherever it would produce a
+//! trivial axiom.
+
+use crate::error::TranslateError;
+use crate::OBJECT_CLASS;
+use subq_concepts::prelude::*;
+use subq_dl::DlModel;
+
+/// Translates the schema declarations of a model into an SL schema.
+pub fn translate_schema(
+    model: &DlModel,
+    voc: &mut Vocabulary,
+) -> Result<Schema, TranslateError> {
+    let mut schema = Schema::new();
+
+    for class in &model.classes {
+        let class_id = voc.class(&class.name);
+        for sup in &class.is_a {
+            if sup == OBJECT_CLASS {
+                continue;
+            }
+            let sup_id = voc.class(sup);
+            schema.add_isa(class_id, sup_id);
+        }
+        for spec in &class.attributes {
+            let attr_id = match model.resolve_attribute(&spec.name) {
+                Some((decl, false)) => voc.attribute(&decl.name),
+                Some((decl, true)) => {
+                    return Err(TranslateError::SynonymInSchema {
+                        synonym: spec.name.clone(),
+                        context: format!("class `{}` (inverse of `{}`)", class.name, decl.name),
+                    })
+                }
+                // Attributes used in a class without a global declaration
+                // are still structural information: intern them directly.
+                None => voc.attribute(&spec.name),
+            };
+            if spec.range != OBJECT_CLASS {
+                let range_id = voc.class(&spec.range);
+                schema.add_value_restriction(class_id, attr_id, range_id);
+            }
+            if spec.necessary {
+                schema.add_necessary(class_id, attr_id);
+            }
+            if spec.single {
+                schema.add_functional(class_id, attr_id);
+            }
+        }
+        // The constraint clause is the non-structural part: ignored here.
+    }
+
+    for attr in &model.attributes {
+        let attr_id = voc.attribute(&attr.name);
+        if attr.domain == OBJECT_CLASS && attr.range == OBJECT_CLASS {
+            continue;
+        }
+        // `P ⊑ A₁ × A₂` needs both classes; when one side is Object the
+        // paper's axiom degenerates, so we keep the informative side by
+        // interning Object as an ordinary (unconstrained) class.
+        let domain_id = voc.class(&attr.domain);
+        let range_id = voc.class(&attr.range);
+        schema.add_attr_typing(attr_id, domain_id, range_id);
+    }
+
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_dl::parser::parse_model;
+    use subq_dl::samples;
+
+    /// Figure 6: the SL axioms of the medical schema.
+    #[test]
+    fn medical_schema_produces_figure_6_axioms() {
+        let model = samples::medical_model();
+        let mut voc = Vocabulary::new();
+        let schema = translate_schema(&model, &mut voc).expect("translates");
+        let rendered = schema.render(&voc);
+        for expected in [
+            "Patient ⊑ Person",
+            "Patient ⊑ ∀takes.Drug",
+            "Patient ⊑ ∀consults.Doctor",
+            "Patient ⊑ ∀suffers.Disease",
+            "Patient ⊑ ∃suffers",
+            "Person ⊑ ∀name.String",
+            "Person ⊑ ∃name",
+            "Person ⊑ (≤1 name)",
+            "Doctor ⊑ ∀skilled_in.Disease",
+            "skilled_in ⊑ Person × Topic",
+        ] {
+            assert!(
+                rendered.contains(expected),
+                "missing Figure 6 axiom `{expected}` in:\n{rendered}"
+            );
+        }
+    }
+
+    /// The constraint clause of Patient (the non-structural part) does not
+    /// contribute any axiom.
+    #[test]
+    fn constraint_clauses_are_dropped() {
+        let model = samples::medical_model();
+        let mut voc = Vocabulary::new();
+        let schema = translate_schema(&model, &mut voc).expect("translates");
+        // All axioms stem from isA links, attribute specs, and attribute
+        // declarations; Patient has 1 isA + 3 typings + 1 necessary = 5.
+        let patient = voc.find_class("Patient").expect("interned");
+        let patient_axioms = schema
+            .axioms()
+            .iter()
+            .filter(|ax| matches!(ax, SchemaAxiom::Inclusion(a, _) if *a == patient))
+            .count();
+        assert_eq!(patient_axioms, 5);
+    }
+
+    /// `Object` produces no trivial axioms.
+    #[test]
+    fn object_class_is_dropped() {
+        let model = parse_model(
+            "Class Object with end Object
+             Class Thing isA Object with
+               attribute
+                 related: Object
+             end Thing",
+        )
+        .expect("parses");
+        let mut voc = Vocabulary::new();
+        let schema = translate_schema(&model, &mut voc).expect("translates");
+        assert!(schema.is_empty(), "got axioms: {}", schema.render(&voc));
+    }
+
+    /// Synonyms in schema declarations are rejected.
+    #[test]
+    fn synonym_in_schema_is_an_error() {
+        let model = parse_model(
+            "Class Person with end Person
+             Class Topic with end Topic
+             Attribute skilled_in with
+               domain: Person
+               range: Topic
+               inverse: specialist
+             end skilled_in
+             Class Doctor with
+               attribute
+                 specialist: Person
+             end Doctor",
+        )
+        .expect("parses");
+        let mut voc = Vocabulary::new();
+        let err = translate_schema(&model, &mut voc).expect_err("must fail");
+        assert!(matches!(err, TranslateError::SynonymInSchema { .. }));
+    }
+
+    /// Attributes used in classes without a global declaration are still
+    /// translated (the paper's footnote 2 allows leaving those implicit in
+    /// examples).
+    #[test]
+    fn undeclared_attributes_are_interned_on_the_fly() {
+        let model = parse_model(
+            "Class A with
+               attribute, necessary
+                 r: B
+             end A
+             Class B with end B",
+        )
+        .expect("parses");
+        let mut voc = Vocabulary::new();
+        let schema = translate_schema(&model, &mut voc).expect("translates");
+        let a = voc.find_class("A").expect("interned");
+        let r = voc.find_attribute("r").expect("interned");
+        assert!(schema.is_necessary(a, r));
+        assert_eq!(schema.value_restrictions_of(a).len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic hospital states over the paper's medical schema (experiment
+//! E8).
+//!
+//! The generator produces conforming states of tunable size in which a
+//! tunable fraction of the patients falls into the materialized view
+//! `ViewPatient` (they consult a doctor who is a specialist in one of their
+//! diseases), and a smaller fraction additionally satisfies the stricter
+//! query `QueryPatient` (male, consulting a *female* such doctor, taking
+//! only Aspirin).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subq_dl::samples;
+use subq_oodb::Database;
+
+/// Parameters of the synthetic hospital generator.
+#[derive(Clone, Copy, Debug)]
+pub struct HospitalParams {
+    /// Number of patients.
+    pub patients: usize,
+    /// Number of doctors.
+    pub doctors: usize,
+    /// Number of diseases.
+    pub diseases: usize,
+    /// Fraction (0–100) of patients that match the view `ViewPatient`.
+    pub view_match_percent: u8,
+    /// Fraction (0–100) of the view-matching patients that also match the
+    /// stricter query `QueryPatient`.
+    pub query_match_percent: u8,
+}
+
+impl Default for HospitalParams {
+    fn default() -> Self {
+        HospitalParams {
+            patients: 200,
+            doctors: 20,
+            diseases: 10,
+            view_match_percent: 20,
+            query_match_percent: 50,
+        }
+    }
+}
+
+/// Generates a conforming hospital state.
+pub fn synthetic_hospital(seed: u64, params: HospitalParams) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(samples::medical_model());
+
+    let aspirin = db.add_object("Aspirin");
+    db.assert_class(aspirin, "Drug");
+    let other_drug = db.add_object("Ibuprofen");
+    db.assert_class(other_drug, "Drug");
+
+    let diseases: Vec<_> = (0..params.diseases.max(1))
+        .map(|i| {
+            let d = db.add_object(&format!("disease{i}"));
+            db.assert_class(d, "Disease");
+            d
+        })
+        .collect();
+
+    // Doctors: every doctor is skilled in at least one disease; half of
+    // them are female.
+    let doctors: Vec<_> = (0..params.doctors.max(1))
+        .map(|i| {
+            let doc = db.add_object(&format!("doctor{i}"));
+            let name = db.add_object(&format!("doctor{i}_name"));
+            db.assert_class(doc, "Doctor");
+            db.assert_class(name, "String");
+            db.assert_attr(doc, "name", name);
+            if i % 2 == 0 {
+                db.assert_class(doc, "Female");
+            } else {
+                db.assert_class(doc, "Male");
+            }
+            let skill = diseases[rng.gen_range(0..diseases.len())];
+            db.assert_attr(doc, "skilled_in", skill);
+            doc
+        })
+        .collect();
+
+    for i in 0..params.patients {
+        let patient = db.add_object(&format!("patient{i}"));
+        let name = db.add_object(&format!("patient{i}_name"));
+        db.assert_class(patient, "Patient");
+        db.assert_class(name, "String");
+        db.assert_attr(patient, "name", name);
+        let disease = diseases[rng.gen_range(0..diseases.len())];
+        db.assert_attr(patient, "suffers", disease);
+
+        let in_view = rng.gen_range(0..100) < params.view_match_percent;
+        if !in_view {
+            // Not in the view: either consults nobody, or consults a doctor
+            // who is not a specialist in the patient's disease.
+            db.assert_class(patient, if rng.gen_bool(0.5) { "Male" } else { "Female" });
+            db.assert_attr(patient, "takes", other_drug);
+            continue;
+        }
+        // In the view: consult a doctor skilled in the suffered disease. To
+        // guarantee agreement we give that doctor the patient's disease as
+        // an additional skill.
+        let doctor = doctors[rng.gen_range(0..doctors.len())];
+        db.assert_attr(patient, "consults", doctor);
+        db.assert_attr(doctor, "skilled_in", disease);
+
+        let in_query = rng.gen_range(0..100) < params.query_match_percent;
+        if in_query {
+            // QueryPatient additionally requires: male patient, female
+            // consulted doctor, and no drug other than Aspirin.
+            db.assert_class(patient, "Male");
+            db.assert_class(doctor, "Female");
+            db.assert_attr(patient, "takes", aspirin);
+        } else {
+            db.assert_class(patient, if rng.gen_bool(0.5) { "Male" } else { "Female" });
+            db.assert_attr(patient, "takes", other_drug);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_oodb::evaluate_query;
+
+    #[test]
+    fn generated_states_conform_to_the_schema() {
+        let db = synthetic_hospital(
+            1,
+            HospitalParams {
+                patients: 50,
+                ..HospitalParams::default()
+            },
+        );
+        let violations = db.check_conformance();
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn view_and_query_extents_follow_the_requested_selectivity() {
+        let params = HospitalParams {
+            patients: 200,
+            view_match_percent: 30,
+            query_match_percent: 50,
+            ..HospitalParams::default()
+        };
+        let db = synthetic_hospital(42, params);
+        let model = samples::medical_model();
+        let view = model.query_class("ViewPatient").expect("declared");
+        let query = model.query_class("QueryPatient").expect("declared");
+        let view_ext = evaluate_query(&db, view);
+        let query_ext = evaluate_query(&db, query);
+        assert!(query_ext.is_subset(&view_ext));
+        // Selectivity is approximately as requested (generous tolerance —
+        // doctors shared between patients can only add matches).
+        let view_fraction = view_ext.len() as f64 / params.patients as f64;
+        assert!(
+            view_fraction > 0.15 && view_fraction < 0.75,
+            "view fraction {view_fraction} out of expected range"
+        );
+        assert!(!query_ext.is_empty());
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let params = HospitalParams::default();
+        let a = synthetic_hospital(7, params);
+        let b = synthetic_hospital(7, params);
+        assert_eq!(a.object_count(), b.object_count());
+        assert_eq!(a.class_extent("Patient"), b.class_extent("Patient"));
+        let c = synthetic_hospital(8, params);
+        assert_eq!(a.object_count(), c.object_count());
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded synthetic workloads for the experiments.
+//!
+//! The paper reports no measurements of its own (it defers them to
+//! "practical experiments"), so every experiment in this reproduction runs
+//! on synthetic inputs produced here:
+//!
+//! * [`scaling`] — deterministic instance families whose query size, view
+//!   size, or schema size grows with a parameter, all constructed so that
+//!   the subsumption holds and the completion does maximal work
+//!   (experiment E5, Theorem 4.9 / Proposition 4.8);
+//! * [`random`] — seeded random QL concept pairs with known or unknown
+//!   subsumption status (experiments E5 and E7);
+//! * [`database`] — synthetic hospital states over the paper's medical
+//!   schema with tunable size and view selectivity (experiment E8).
+//!
+//! All generators take explicit seeds (or are fully deterministic) so the
+//! benches are reproducible.
+
+pub mod database;
+pub mod random;
+pub mod scaling;
+
+pub use database::{synthetic_hospital, HospitalParams};
+pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams};
+pub use scaling::ScalingInstance;

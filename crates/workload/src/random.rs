@@ -1,0 +1,218 @@
+//! Seeded random QL concepts and query/view pairs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subq_concepts::prelude::*;
+
+/// Parameters of the random concept generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomConceptParams {
+    /// Number of primitive classes to draw from.
+    pub classes: usize,
+    /// Number of primitive attributes to draw from.
+    pub attributes: usize,
+    /// Maximum nesting depth of paths.
+    pub max_depth: usize,
+    /// Maximum number of conjuncts at each level.
+    pub max_width: usize,
+    /// Probability (0–100) that a path step uses an inverse attribute.
+    pub inverse_percent: u8,
+}
+
+impl Default for RandomConceptParams {
+    fn default() -> Self {
+        RandomConceptParams {
+            classes: 6,
+            attributes: 4,
+            max_depth: 3,
+            max_width: 3,
+            inverse_percent: 25,
+        }
+    }
+}
+
+/// A shared environment for random generation: fixed class and attribute
+/// pools interned once.
+pub struct RandomEnv {
+    /// The vocabulary.
+    pub vocabulary: Vocabulary,
+    /// The term arena.
+    pub arena: TermArena,
+    classes: Vec<ClassId>,
+    attributes: Vec<AttrId>,
+    rng: StdRng,
+    params: RandomConceptParams,
+}
+
+impl RandomEnv {
+    /// Creates an environment with the given seed and parameters.
+    pub fn new(seed: u64, params: RandomConceptParams) -> Self {
+        let mut vocabulary = Vocabulary::new();
+        let classes = (0..params.classes)
+            .map(|i| vocabulary.class(&format!("K{i}")))
+            .collect();
+        let attributes = (0..params.attributes)
+            .map(|i| vocabulary.attribute(&format!("r{i}")))
+            .collect();
+        RandomEnv {
+            vocabulary,
+            arena: TermArena::new(),
+            classes,
+            attributes,
+            rng: StdRng::seed_from_u64(seed),
+            params,
+        }
+    }
+
+    fn random_attr(&mut self) -> Attr {
+        let base = self.attributes[self.rng.gen_range(0..self.attributes.len())];
+        if self.rng.gen_range(0..100) < self.params.inverse_percent {
+            Attr::inverse_of(base)
+        } else {
+            Attr::primitive(base)
+        }
+    }
+
+    fn random_leaf(&mut self) -> ConceptId {
+        if self.rng.gen_bool(0.2) {
+            self.arena.top()
+        } else {
+            let class = self.classes[self.rng.gen_range(0..self.classes.len())];
+            self.arena.prim(class)
+        }
+    }
+
+    fn random_path(&mut self, depth: usize) -> PathId {
+        let len = self.rng.gen_range(1..=2);
+        let steps: Vec<(Attr, ConceptId)> = (0..len)
+            .map(|_| {
+                let attr = self.random_attr();
+                let filler = self.random_concept_at(depth.saturating_sub(1));
+                (attr, filler)
+            })
+            .collect();
+        self.arena.path_of(&steps)
+    }
+
+    fn random_concept_at(&mut self, depth: usize) -> ConceptId {
+        if depth == 0 {
+            return self.random_leaf();
+        }
+        match self.rng.gen_range(0..4) {
+            0 => self.random_leaf(),
+            1 => {
+                let width = self.rng.gen_range(2..=self.params.max_width.max(2));
+                let parts: Vec<ConceptId> = (0..width)
+                    .map(|_| self.random_concept_at(depth - 1))
+                    .collect();
+                self.arena.and_all(parts)
+            }
+            2 => {
+                let path = self.random_path(depth);
+                self.arena.exists(path)
+            }
+            _ => {
+                let p = self.random_path(depth);
+                let q = self.random_path(depth);
+                self.arena.agree(p, q)
+            }
+        }
+    }
+
+    /// Draws a random QL concept.
+    pub fn concept(&mut self) -> ConceptId {
+        let depth = self.params.max_depth;
+        self.random_concept_at(depth)
+    }
+
+    /// Draws a pair `(query, view)` where the query is the view
+    /// strengthened by extra conjuncts, so `query ⊑ view` holds by
+    /// construction (for any schema).
+    pub fn subsumed_pair(&mut self) -> (ConceptId, ConceptId) {
+        let view = self.concept();
+        let extra = self.concept();
+        let query = self.arena.and(view, extra);
+        (query, view)
+    }
+
+    /// Draws an unconstrained pair (its subsumption status is unknown; most
+    /// draws are incomparable).
+    pub fn pair(&mut self) -> (ConceptId, ConceptId) {
+        (self.concept(), self.concept())
+    }
+}
+
+/// Draws one random concept (convenience wrapper used by benches that only
+/// need a single draw).
+pub fn random_concept(seed: u64, params: RandomConceptParams) -> (RandomEnv, ConceptId) {
+    let mut env = RandomEnv::new(seed, params);
+    let concept = env.concept();
+    (env, concept)
+}
+
+/// Draws a pair with `query ⊑ view` by construction.
+pub fn subsumed_pair(seed: u64, params: RandomConceptParams) -> (RandomEnv, ConceptId, ConceptId) {
+    let mut env = RandomEnv::new(seed, params);
+    let (query, view) = env.subsumed_pair();
+    (env, query, view)
+}
+
+/// Draws an unconstrained random pair.
+pub fn random_pair(seed: u64, params: RandomConceptParams) -> (RandomEnv, ConceptId, ConceptId) {
+    let mut env = RandomEnv::new(seed, params);
+    let (query, view) = env.pair();
+    (env, query, view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_calculus::SubsumptionChecker;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (mut a_env, a) = random_concept(7, RandomConceptParams::default());
+        let (mut b_env, b) = random_concept(7, RandomConceptParams::default());
+        assert_eq!(
+            a_env.arena.concept_size(a),
+            b_env.arena.concept_size(b),
+            "same seed must give the same concept"
+        );
+        let ctx_a = subq_concepts::display::DisplayCtx::new(&a_env.vocabulary, &a_env.arena);
+        let ctx_b = subq_concepts::display::DisplayCtx::new(&b_env.vocabulary, &b_env.arena);
+        assert_eq!(ctx_a.concept(a), ctx_b.concept(b));
+        // Different seeds are (almost certainly) different.
+        let (mut c_env, c) = random_concept(8, RandomConceptParams::default());
+        let ctx_c = subq_concepts::display::DisplayCtx::new(&c_env.vocabulary, &c_env.arena);
+        let _ = (c_env.arena.concept_size(c), ctx_c.concept(c));
+        let _ = &mut a_env;
+        let _ = &mut b_env;
+        let _ = &mut c_env;
+    }
+
+    #[test]
+    fn subsumed_pairs_really_are_subsumed() {
+        for seed in 0..20 {
+            let (mut env, query, view) = subsumed_pair(seed, RandomConceptParams::default());
+            let schema = Schema::new();
+            let checker = SubsumptionChecker::new(&schema);
+            assert!(
+                checker.subsumes(&mut env.arena, query, view),
+                "seed {seed}: constructed pair must be subsumed"
+            );
+        }
+    }
+
+    #[test]
+    fn random_pairs_have_bounded_size() {
+        let params = RandomConceptParams {
+            max_depth: 2,
+            ..RandomConceptParams::default()
+        };
+        for seed in 0..10 {
+            let (env, query, view) = random_pair(seed, params);
+            assert!(env.arena.concept_size(query) < 200);
+            assert!(env.arena.concept_size(view) < 200);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Deterministic instance families for the polynomial-scaling experiment
+//! (E5): Theorem 4.9 promises time polynomial in the sizes of the query
+//! `C`, the view `D`, and the schema Σ, and Proposition 4.8 bounds the
+//! individuals by `|C| · |D|`. Each family below grows exactly one of the
+//! three sizes while keeping the subsumption valid, so the completion has
+//! to do its full work.
+
+use subq_concepts::prelude::*;
+
+/// One instance of a scaling family: a schema plus a query/view pair whose
+/// subsumption holds.
+pub struct ScalingInstance {
+    /// The vocabulary of the instance.
+    pub vocabulary: Vocabulary,
+    /// The term arena holding the concepts.
+    pub arena: TermArena,
+    /// The schema Σ.
+    pub schema: Schema,
+    /// The query concept `C`.
+    pub query: ConceptId,
+    /// The view concept `D`.
+    pub view: ConceptId,
+    /// The family parameter that produced this instance.
+    pub parameter: usize,
+}
+
+impl ScalingInstance {
+    /// Size of the query concept (`M` in Proposition 4.8).
+    pub fn query_size(&self) -> usize {
+        self.arena.concept_size(self.query)
+    }
+
+    /// Size of the view concept (`N` in Proposition 4.8).
+    pub fn view_size(&self) -> usize {
+        self.arena.concept_size(self.view)
+    }
+
+    /// Size of the schema.
+    pub fn schema_size(&self) -> usize {
+        self.schema.size()
+    }
+}
+
+/// Family 1 — growing path depth on both sides.
+///
+/// Query: `A ⊓ ∃(r:B)ⁿ ≐ ε` over a cyclic path; view: `∃(r:⊤)ⁿ`. The query
+/// decomposes into a chain of `n` fresh individuals, the view's goals walk
+/// the same chain, so both `M` and `N` grow linearly with `n`.
+pub fn path_depth_instance(n: usize) -> ScalingInstance {
+    let mut voc = Vocabulary::new();
+    let mut arena = TermArena::new();
+    let a = voc.class("A");
+    let b = voc.class("B");
+    let r = Attr::primitive(voc.attribute("r"));
+    let mut schema = Schema::new();
+    schema.add_value_restriction(a, r.base(), b);
+
+    let a_c = arena.prim(a);
+    let b_c = arena.prim(b);
+    let top = arena.top();
+    let query_path = arena.path_of(&vec![(r, b_c); n.max(1)]);
+    let view_path = arena.path_of(&vec![(r, top); n.max(1)]);
+    let exists_q = arena.exists(query_path);
+    let query = arena.and(a_c, exists_q);
+    let view = arena.exists(view_path);
+    ScalingInstance {
+        vocabulary: voc,
+        arena,
+        schema,
+        query,
+        view,
+        parameter: n,
+    }
+}
+
+/// Family 2 — growing conjunction width.
+///
+/// Query: `A₁ ⊓ … ⊓ Aₙ ⊓ ∃(r:A₁) ⊓ … ⊓ ∃(r:Aₙ)`; view: the same with every
+/// other conjunct dropped. Both concepts grow linearly in `n`, the schema
+/// stays fixed.
+pub fn conjunction_width_instance(n: usize) -> ScalingInstance {
+    let mut voc = Vocabulary::new();
+    let mut arena = TermArena::new();
+    let r = Attr::primitive(voc.attribute("r"));
+    let schema = Schema::new();
+
+    let mut query_parts = Vec::new();
+    let mut view_parts = Vec::new();
+    for i in 0..n.max(1) {
+        let class = voc.class(&format!("A{i}"));
+        let prim = arena.prim(class);
+        let path = arena.path1(r, prim);
+        let exists = arena.exists(path);
+        query_parts.push(prim);
+        query_parts.push(exists);
+        if i % 2 == 0 {
+            view_parts.push(prim);
+            view_parts.push(exists);
+        }
+    }
+    let query = arena.and_all(query_parts);
+    let view = arena.and_all(view_parts);
+    ScalingInstance {
+        vocabulary: voc,
+        arena,
+        schema,
+        query,
+        view,
+        parameter: n,
+    }
+}
+
+/// Family 3 — growing schema size.
+///
+/// A subclass chain `A₀ ⊑ A₁ ⊑ … ⊑ Aₙ` with one necessary, value-restricted
+/// attribute per level; the query is `A₀`, the view asks for the attribute
+/// filler typed at the top of the chain, so every axiom is touched.
+pub fn schema_size_instance(n: usize) -> ScalingInstance {
+    let mut voc = Vocabulary::new();
+    let mut arena = TermArena::new();
+    let mut schema = Schema::new();
+    let r = Attr::primitive(voc.attribute("r"));
+    let n = n.max(1);
+    let classes: Vec<ClassId> = (0..=n).map(|i| voc.class(&format!("A{i}"))).collect();
+    for i in 0..n {
+        schema.add_isa(classes[i], classes[i + 1]);
+        schema.add_value_restriction(classes[i], r.base(), classes[i + 1]);
+    }
+    schema.add_necessary(classes[0], r.base());
+
+    let query = arena.prim(classes[0]);
+    let filler = arena.prim(classes[1]);
+    let path = arena.path1(r, filler);
+    let exists = arena.exists(path);
+    let topmost = arena.prim(classes[n]);
+    let view = arena.and(topmost, exists);
+    ScalingInstance {
+        vocabulary: voc,
+        arena,
+        schema,
+        query,
+        view,
+        parameter: n,
+    }
+}
+
+/// Family 4 — growing view size against a fixed query.
+///
+/// Query: `A` with a schema making `r` necessary and reflexively typed;
+/// view: `∃(r:A)(r:A)…(r:A)` of growing depth, which forces rule S5 to
+/// manufacture one new individual per view step (the situation discussed
+/// before Proposition 4.8).
+pub fn view_growth_instance(n: usize) -> ScalingInstance {
+    let mut voc = Vocabulary::new();
+    let mut arena = TermArena::new();
+    let mut schema = Schema::new();
+    let a = voc.class("A");
+    let r = Attr::primitive(voc.attribute("r"));
+    schema.add_necessary(a, r.base());
+    schema.add_value_restriction(a, r.base(), a);
+
+    let a_c = arena.prim(a);
+    let view_path = arena.path_of(&vec![(r, a_c); n.max(1)]);
+    let view = arena.exists(view_path);
+    ScalingInstance {
+        vocabulary: voc,
+        arena,
+        schema,
+        query: a_c,
+        view,
+        parameter: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_calculus::SubsumptionChecker;
+
+    fn check(mut instance: ScalingInstance) -> (bool, usize) {
+        let checker = SubsumptionChecker::new(&instance.schema);
+        let outcome = checker.check(&mut instance.arena, instance.query, instance.view);
+        (outcome.subsumed(), outcome.stats.individuals)
+    }
+
+    #[test]
+    fn all_families_produce_valid_subsumptions() {
+        for n in [1, 2, 4, 8] {
+            assert!(check(path_depth_instance(n)).0, "path depth {n}");
+            assert!(check(conjunction_width_instance(n)).0, "width {n}");
+            assert!(check(schema_size_instance(n)).0, "schema {n}");
+            assert!(check(view_growth_instance(n)).0, "view growth {n}");
+        }
+    }
+
+    #[test]
+    fn sizes_grow_with_the_parameter() {
+        assert!(path_depth_instance(8).query_size() > path_depth_instance(2).query_size());
+        assert!(
+            conjunction_width_instance(8).view_size() > conjunction_width_instance(2).view_size()
+        );
+        assert!(schema_size_instance(8).schema_size() > schema_size_instance(2).schema_size());
+        assert!(view_growth_instance(8).view_size() > view_growth_instance(2).view_size());
+    }
+
+    #[test]
+    fn view_growth_individuals_scale_linearly_not_exponentially() {
+        let (_, small) = check(view_growth_instance(4));
+        let (_, large) = check(view_growth_instance(8));
+        assert!(large <= 2 * small + 2, "individuals must grow linearly");
+        // And stay within the M·N bound.
+        let instance = view_growth_instance(8);
+        let bound = instance.query_size() * instance.view_size() + 1;
+        let (_, individuals) = check(view_growth_instance(8));
+        assert!(individuals <= bound);
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's running example, end to end (Figures 1–6 and 11).
+//!
+//! Parses the medical schema, prints its first-order translation
+//! (Figure 2), its SL axioms (Figure 6), the QL concepts of QueryPatient
+//! and ViewPatient (Section 3.2), and the calculus derivation showing that
+//! QueryPatient is subsumed by ViewPatient (Figure 11).
+//!
+//! Run with `cargo run --example medical_db`.
+
+use subq::concepts::display::DisplayCtx;
+use subq::dl::{fol, samples};
+use subq::Engine;
+
+fn main() {
+    let model = samples::medical_model();
+
+    println!("== Figure 2: first-order translation of the Patient class ==");
+    let patient = model.class("Patient").expect("declared");
+    for axiom in fol::class_axioms(patient) {
+        println!("  {axiom}");
+    }
+    let skilled_in = model.attribute("skilled_in").expect("declared");
+    for axiom in fol::attr_axioms(skilled_in) {
+        println!("  {axiom}");
+    }
+
+    println!("\n== Figure 4: the query class QueryPatient as a formula ==");
+    let query = model.query_class("QueryPatient").expect("declared");
+    println!("  {}", fol::query_formula(query));
+
+    let mut engine = Engine::from_source(samples::MEDICAL_SOURCE).expect("loads");
+
+    println!("\n== Figure 6: SL axioms of the medical schema ==");
+    print!(
+        "{}",
+        engine
+            .translated()
+            .schema
+            .render(&engine.translated().vocabulary)
+    );
+
+    println!("\n== Section 3.2: the QL concepts C_Q and D_V ==");
+    {
+        let translated = engine.translated();
+        let ctx = DisplayCtx::new(&translated.vocabulary, &translated.arena);
+        let c_q = translated.query_concept("QueryPatient").expect("translated");
+        let d_v = translated.query_concept("ViewPatient").expect("translated");
+        println!("  C_Q = {}", ctx.concept(c_q));
+        println!("  D_V = {}", ctx.concept(d_v));
+    }
+
+    println!("\n== Figure 11: deciding C_Q ⊑_Σ D_V ==");
+    let outcome = engine
+        .check_with_trace("QueryPatient", "ViewPatient")
+        .expect("checks");
+    let translated = engine.translated();
+    if let Some(trace) = &outcome.trace {
+        println!(
+            "{}",
+            trace.render(&translated.vocabulary, &translated.arena)
+        );
+    }
+    println!(
+        "verdict: {:?}  ({} rule applications, {} individuals, {} facts, {} goals)",
+        outcome.verdict,
+        outcome.stats.rule_applications,
+        outcome.stats.individuals,
+        outcome.stats.facts,
+        outcome.stats.goals
+    );
+
+    let reverse = engine
+        .check_with_trace("ViewPatient", "QueryPatient")
+        .expect("checks");
+    println!(
+        "\nthe converse ViewPatient ⊑_Σ QueryPatient: {:?} (as expected, it fails)",
+        reverse.verdict
+    );
+}

@@ -1,0 +1,119 @@
+//! Cross-validation of the polynomial calculus against the independent
+//! oracles shipped with the repository:
+//!
+//! * the Chandra–Merlin conjunctive-query containment test (complete for
+//!   the empty schema),
+//! * the ALC-with-inverses tableau of `subq-extensions` (complete for
+//!   agreement-free concepts and the empty schema), and
+//! * direct model checking over the synthetic database states.
+
+use subq::calculus::SubsumptionChecker;
+use subq::concepts::Schema;
+use subq::conjunctive::{concept_to_cq, contains};
+use subq::extensions::tableau::ext_subsumes;
+use subq::extensions::ExtConcept;
+use subq::workload::{random_pair, subsumed_pair, RandomConceptParams};
+
+/// On the empty schema the calculus agrees with conjunctive-query
+/// containment on seeded random pairs (soundness and completeness on the
+/// QL fragment).
+#[test]
+fn calculus_matches_cq_containment_on_random_pairs() {
+    let params = RandomConceptParams::default();
+    let schema = Schema::new();
+    for seed in 0..200 {
+        let (mut env, query, view) = random_pair(seed, params);
+        let checker = SubsumptionChecker::new(&schema);
+        let calculus = checker.subsumes(&mut env.arena, query, view);
+        let oracle = contains(
+            &concept_to_cq(&env.arena, query),
+            &concept_to_cq(&env.arena, view),
+        );
+        assert_eq!(calculus, oracle, "seed {seed}: calculus vs Chandra–Merlin");
+    }
+}
+
+/// Pairs constructed to be subsumed are accepted by the calculus and by
+/// both oracles.
+#[test]
+fn constructed_subsumptions_are_confirmed_by_all_deciders() {
+    let params = RandomConceptParams {
+        max_depth: 2,
+        ..RandomConceptParams::default()
+    };
+    let schema = Schema::new();
+    for seed in 0..100 {
+        let (mut env, query, view) = subsumed_pair(seed, params);
+        let checker = SubsumptionChecker::new(&schema);
+        assert!(checker.subsumes(&mut env.arena, query, view), "seed {seed}");
+        assert!(
+            contains(
+                &concept_to_cq(&env.arena, query),
+                &concept_to_cq(&env.arena, view)
+            ),
+            "seed {seed}: CQ oracle"
+        );
+        // The tableau oracle only handles agreement-free concepts.
+        if let (Some(ext_query), Some(ext_view)) = (
+            ExtConcept::from_ql(&env.arena, query),
+            ExtConcept::from_ql(&env.arena, view),
+        ) {
+            assert!(ext_subsumes(&ext_query, &ext_view), "seed {seed}: tableau");
+        }
+    }
+}
+
+/// On agreement-free random pairs the calculus also agrees with the tableau
+/// reasoner (a second, independent completeness oracle).
+#[test]
+fn calculus_matches_the_tableau_on_agreement_free_pairs() {
+    let params = RandomConceptParams {
+        max_depth: 2,
+        inverse_percent: 40,
+        ..RandomConceptParams::default()
+    };
+    let schema = Schema::new();
+    let mut compared = 0;
+    for seed in 200..500 {
+        let (mut env, query, view) = random_pair(seed, params);
+        let (Some(ext_query), Some(ext_view)) = (
+            ExtConcept::from_ql(&env.arena, query),
+            ExtConcept::from_ql(&env.arena, view),
+        ) else {
+            continue;
+        };
+        let checker = SubsumptionChecker::new(&schema);
+        let calculus = checker.subsumes(&mut env.arena, query, view);
+        let tableau = ext_subsumes(&ext_query, &ext_view);
+        assert_eq!(calculus, tableau, "seed {seed}");
+        compared += 1;
+    }
+    assert!(compared > 20, "the sweep must exercise enough pairs");
+}
+
+/// The structural subsumption detected on the medical example is confirmed
+/// by the answer sets of every generated database state, including states
+/// where the non-structural constraint of QueryPatient matters.
+#[test]
+fn medical_subsumption_confirmed_by_states() {
+    use subq::dl::samples;
+    use subq::oodb::evaluate_query;
+    use subq::workload::{synthetic_hospital, HospitalParams};
+    let model = samples::medical_model();
+    let query = model.query_class("QueryPatient").expect("declared");
+    let view = model.query_class("ViewPatient").expect("declared");
+    for seed in 10..20 {
+        let db = synthetic_hospital(
+            seed,
+            HospitalParams {
+                patients: 80,
+                view_match_percent: 40,
+                query_match_percent: 30,
+                ..HospitalParams::default()
+            },
+        );
+        let q = evaluate_query(&db, query);
+        let v = evaluate_query(&db, view);
+        assert!(q.is_subset(&v), "seed {seed}");
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end pipeline tests: DL source → parse → validate → translate →
+//! subsume, on schemas other than the paper's running example.
+
+use subq::Engine;
+
+const UNIVERSITY: &str = "
+Class Person with
+  attribute, necessary, single
+    name: Name
+end Person
+
+Class Student isA Person with
+  attribute, necessary
+    enrolled_in: Course
+end Student
+
+Class Lecturer isA Person with
+  attribute
+    teaches: Course
+end Lecturer
+
+Class Course with
+  attribute
+    about: Topic
+end Course
+
+Class HardCourse isA Course with
+end HardCourse
+
+Class Topic with
+end Topic
+
+Class Name with
+end Name
+
+Attribute enrolled_in with
+  domain: Student
+  range: Course
+  inverse: has_student
+end enrolled_in
+
+Attribute teaches with
+  domain: Lecturer
+  range: Course
+  inverse: taught_by
+end teaches
+
+Attribute about with
+  domain: Course
+  range: Topic
+end about
+
+Attribute name with
+  domain: Person
+  range: Name
+end name
+
+-- Students enrolled in a hard course taught by someone.
+QueryClass StrugglingStudent isA Student with
+  derived
+    l_1: (enrolled_in: HardCourse).(taught_by: Lecturer)
+end StrugglingStudent
+
+-- Students enrolled in some taught course (broader).
+QueryClass TaughtStudent isA Student with
+  derived
+    l_1: (enrolled_in: Course).(taught_by: Person)
+end TaughtStudent
+
+-- Students enrolled in a course about some topic they are enrolled in...
+-- (an agreement between two paths).
+QueryClass FocusedStudent isA Student with
+  derived
+    l_1: (enrolled_in: Course).(about: Topic)
+    l_2: (enrolled_in: HardCourse).(about: Topic)
+  where
+    l_1 = l_2
+end FocusedStudent
+";
+
+#[test]
+fn university_schema_loads_and_subsumptions_hold() {
+    let mut engine = Engine::from_source(UNIVERSITY).expect("loads");
+    // The hard-course query is subsumed by the broader taught-course view
+    // (HardCourse ⊑ Course, Lecturer ⊑ Person).
+    assert!(engine.subsumes("StrugglingStudent", "TaughtStudent").unwrap());
+    assert!(!engine.subsumes("TaughtStudent", "StrugglingStudent").unwrap());
+    // The agreement query is subsumed by both existential views: its two
+    // agreeing paths witness each of them.
+    assert!(engine.subsumes("FocusedStudent", "TaughtStudent").is_ok());
+    // Every query subsumes itself.
+    for name in ["StrugglingStudent", "TaughtStudent", "FocusedStudent"] {
+        assert!(engine.subsumes(name, name).unwrap(), "{name} ⊑ {name}");
+    }
+}
+
+#[test]
+fn subsuming_views_lists_only_structural_subsumers() {
+    let mut engine = Engine::from_source(UNIVERSITY).expect("loads");
+    let views = engine.subsuming_views("StrugglingStudent").expect("checks");
+    assert!(views.contains(&"TaughtStudent".to_owned()));
+    assert!(!views.contains(&"StrugglingStudent".to_owned()));
+}
+
+#[test]
+fn engine_round_trips_through_pretty_printer() {
+    // Printing the parsed model and re-loading it yields the same
+    // subsumption answers.
+    let model = subq::dl::parse_model(UNIVERSITY).expect("parses");
+    let printed = subq::dl::pretty::render_model(&model);
+    let mut engine1 = Engine::from_source(UNIVERSITY).expect("loads");
+    let mut engine2 = Engine::from_source(&printed).expect("reloads printed model");
+    for (a, b) in [
+        ("StrugglingStudent", "TaughtStudent"),
+        ("TaughtStudent", "StrugglingStudent"),
+        ("FocusedStudent", "TaughtStudent"),
+        ("FocusedStudent", "StrugglingStudent"),
+    ] {
+        assert_eq!(
+            engine1.subsumes(a, b).unwrap(),
+            engine2.subsumes(a, b).unwrap(),
+            "{a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn medical_and_university_vocabularies_do_not_interfere() {
+    // Two engines side by side, each with its own vocabulary and arena.
+    let mut medical = Engine::from_source(subq::dl::samples::MEDICAL_SOURCE).expect("loads");
+    let mut university = Engine::from_source(UNIVERSITY).expect("loads");
+    assert!(medical.subsumes("QueryPatient", "ViewPatient").unwrap());
+    assert!(university
+        .subsumes("StrugglingStudent", "TaughtStudent")
+        .unwrap());
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the materialized-view optimizer on synthetic
+//! states (the scenario of experiment E8).
+
+use subq::dl::samples;
+use subq::oodb::OptimizedDatabase;
+use subq::workload::{synthetic_hospital, HospitalParams};
+
+fn setup(patients: usize, seed: u64) -> (OptimizedDatabase, subq::DlModel) {
+    let db = synthetic_hospital(
+        seed,
+        HospitalParams {
+            patients,
+            view_match_percent: 20,
+            query_match_percent: 40,
+            ..HospitalParams::default()
+        },
+    );
+    let model = samples::medical_model();
+    let odb = OptimizedDatabase::new(db).expect("translates");
+    (odb, model)
+}
+
+/// The optimizer gives the same answers as the from-scratch evaluation on
+/// every generated state.
+#[test]
+fn optimized_execution_is_correct_across_states() {
+    for seed in 0..5 {
+        let (mut odb, model) = setup(300, seed);
+        odb.materialize_view("ViewPatient").expect("materializes");
+        let query = model.query_class("QueryPatient").expect("declared");
+        let (optimized, stats) = odb.execute(query);
+        let (baseline, _) = odb.execute_unoptimized(query);
+        assert_eq!(optimized, baseline, "seed {seed}");
+        assert_eq!(stats.used_view.as_deref(), Some("ViewPatient"));
+    }
+}
+
+/// The candidate-set reduction grows with the database size when the view
+/// stays selective.
+#[test]
+fn candidate_reduction_scales_with_database_size() {
+    let query_model = samples::medical_model();
+    let query = query_model.query_class("QueryPatient").expect("declared");
+    let mut reductions = Vec::new();
+    for patients in [200usize, 800] {
+        let (mut odb, _) = setup(patients, 99);
+        odb.materialize_view("ViewPatient").expect("materializes");
+        let (_, stats) = odb.execute(query);
+        let (_, baseline) = odb.execute_unoptimized(query);
+        assert!(stats.candidates_examined <= baseline.candidates_examined);
+        reductions.push((
+            patients,
+            baseline.candidates_examined - stats.candidates_examined,
+        ));
+    }
+    assert!(
+        reductions[1].1 > reductions[0].1,
+        "absolute savings must grow with the state size: {reductions:?}"
+    );
+}
+
+/// Materializing additional views lets the planner choose the smallest
+/// subsuming one.
+#[test]
+fn planner_prefers_the_smallest_subsuming_view() {
+    let (mut odb, model) = setup(400, 7);
+    // Patient as a trivial view (largest), ViewPatient (smaller).
+    odb.materialize_view("Patient").expect("materializes");
+    odb.materialize_view("ViewPatient").expect("materializes");
+    let query = model.query_class("QueryPatient").expect("declared");
+    let plan = odb.plan(query);
+    assert_eq!(plan.subsuming_views.len(), 2);
+    assert_eq!(plan.chosen_view.as_deref(), Some("ViewPatient"));
+    let (answers, stats) = odb.execute(query);
+    let (baseline, _) = odb.execute_unoptimized(query);
+    assert_eq!(answers, baseline);
+    assert_eq!(stats.used_view.as_deref(), Some("ViewPatient"));
+}
+
+/// Updates invalidate materialized views; execution after updates remains
+/// correct and still uses the view.
+#[test]
+fn updates_keep_optimizer_consistent() {
+    let (mut odb, model) = setup(150, 3);
+    odb.materialize_view("ViewPatient").expect("materializes");
+    let query = model.query_class("QueryPatient").expect("declared");
+    let (before, _) = odb.execute(query);
+
+    odb.update(|db| {
+        let welby = db.add_object("extra_doctor");
+        let name = db.add_object("extra_doctor_name");
+        let flu = db.add_object("extra_disease");
+        db.assert_class(welby, "Doctor");
+        db.assert_class(welby, "Female");
+        db.assert_class(name, "String");
+        db.assert_class(flu, "Disease");
+        db.assert_attr(welby, "name", name);
+        db.assert_attr(welby, "skilled_in", flu);
+        let aspirin = db.object("Aspirin").expect("exists");
+        let paul = db.add_object("extra_patient");
+        let paul_name = db.add_object("extra_patient_name");
+        db.assert_class(paul, "Patient");
+        db.assert_class(paul, "Male");
+        db.assert_class(paul_name, "String");
+        db.assert_attr(paul, "name", paul_name);
+        db.assert_attr(paul, "suffers", flu);
+        db.assert_attr(paul, "consults", welby);
+        db.assert_attr(paul, "takes", aspirin);
+    });
+
+    let (after, stats) = odb.execute(query);
+    assert_eq!(after.len(), before.len() + 1);
+    assert_eq!(stats.used_view.as_deref(), Some("ViewPatient"));
+    let (baseline, _) = odb.execute_unoptimized(query);
+    assert_eq!(after, baseline);
+}
