@@ -16,7 +16,10 @@ use subq::workload::ScalingInstance;
 fn run(mut instance: ScalingInstance) -> usize {
     let checker = SubsumptionChecker::new(&instance.schema);
     let outcome = checker.check(&mut instance.arena, instance.query, instance.view);
-    assert!(outcome.subsumed(), "scaling instances are subsumed by construction");
+    assert!(
+        outcome.subsumed(),
+        "scaling instances are subsumed by construction"
+    );
     // Proposition 4.8, asserted on every measured instance.
     let bound = instance.arena.concept_size(outcome.normalized_query)
         * instance.arena.concept_size(outcome.normalized_view)
@@ -29,7 +32,8 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_polynomial_scaling");
     group.sample_size(15);
 
-    let families: [(&str, fn(usize) -> ScalingInstance); 4] = [
+    type Family = fn(usize) -> ScalingInstance;
+    let families: [(&str, Family); 4] = [
         ("path_depth", path_depth_instance),
         ("conjunction_width", conjunction_width_instance),
         ("schema_size", schema_size_instance),
@@ -38,11 +42,7 @@ fn bench_scaling(c: &mut Criterion) {
     for (name, family) in families {
         for n in [2usize, 4, 8, 16, 32] {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
-                b.iter_batched(
-                    || family(n),
-                    run,
-                    criterion::BatchSize::SmallInput,
-                )
+                b.iter_batched(|| family(n), run, criterion::BatchSize::SmallInput)
             });
         }
     }

@@ -23,26 +23,34 @@ fn bench_extensions(c: &mut Criterion) {
     // Proposition 4.10 case 1: qualified existentials vs the SL
     // approximation.
     for n in [4usize, 8, 12] {
-        group.bench_with_input(BenchmarkId::new("qualified_exists_demand", n), &n, |b, &n| {
-            b.iter_batched(
-                || {
-                    let mut voc = Vocabulary::new();
-                    qualified_chain(&mut voc, n)
-                },
-                |(schema, root)| filler_demand(&schema, root, n),
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("sl_approximation_demand", n), &n, |b, &n| {
-            b.iter_batched(
-                || {
-                    let mut voc = Vocabulary::new();
-                    unqualified_chain(&mut voc, n)
-                },
-                |(schema, root)| filler_demand(&schema, root, n),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("qualified_exists_demand", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || {
+                        let mut voc = Vocabulary::new();
+                        qualified_chain(&mut voc, n)
+                    },
+                    |(schema, root)| filler_demand(&schema, root, n),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sl_approximation_demand", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || {
+                        let mut voc = Vocabulary::new();
+                        unqualified_chain(&mut voc, n)
+                    },
+                    |(schema, root)| filler_demand(&schema, root, n),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
 
     // Proposition 4.10 case 2: inverse attributes force the full expansion.
@@ -65,36 +73,44 @@ fn bench_extensions(c: &mut Criterion) {
 
     // Proposition 4.12: disjunction — valuation enumeration.
     for n in [6usize, 10, 14] {
-        group.bench_with_input(BenchmarkId::new("disjunction_valuations", n), &n, |b, &n| {
-            b.iter_batched(
-                || {
-                    let mut voc = Vocabulary::new();
-                    independent_choices(&mut voc, n)
-                },
-                |concept| {
-                    let outcome = prop_subsumes(&concept, &concept).expect("propositional");
-                    assert!(outcome.subsumed);
-                    outcome.valuations
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("disjunction_valuations", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || {
+                        let mut voc = Vocabulary::new();
+                        independent_choices(&mut voc, n)
+                    },
+                    |concept| {
+                        let outcome = prop_subsumes(&concept, &concept).expect("propositional");
+                        assert!(outcome.subsumed);
+                        outcome.valuations
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
 
     // Propositions 4.11/4.13: the complete tableau on pigeonhole instances.
     for holes in [2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::new("tableau_pigeonhole", holes), &holes, |b, &holes| {
-            b.iter_batched(
-                || {
-                    let mut voc = Vocabulary::new();
-                    pigeonhole(&mut voc, holes)
-                },
-                |concept| {
-                    assert!(!is_satisfiable(&concept));
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tableau_pigeonhole", holes),
+            &holes,
+            |b, &holes| {
+                b.iter_batched(
+                    || {
+                        let mut voc = Vocabulary::new();
+                        pigeonhole(&mut voc, holes)
+                    },
+                    |concept| {
+                        assert!(!is_satisfiable(&concept));
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
 
     group.finish();

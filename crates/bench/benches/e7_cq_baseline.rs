@@ -62,7 +62,10 @@ fn bench_cq_baseline(c: &mut Criterion) {
                         pairs
                             .into_iter()
                             .map(|(env, q, v)| {
-                                contains(&concept_to_cq(&env.arena, q), &concept_to_cq(&env.arena, v))
+                                contains(
+                                    &concept_to_cq(&env.arena, q),
+                                    &concept_to_cq(&env.arena, v),
+                                )
                             })
                             .filter(|&b| b)
                             .count()

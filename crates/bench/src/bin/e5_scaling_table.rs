@@ -1,23 +1,48 @@
 //! Prints the E5 table: completion statistics of the four scaling families
 //! as the parameter grows — the executable counterpart of Theorem 4.9 and
-//! Proposition 4.8.
+//! Proposition 4.8 — with the delta engine's candidate counter and best
+//! wall-clock time next to the retained full-scan reference engine's, so
+//! the naive-versus-incremental gap is visible per instance.
+//!
+//! Rows are also written to `BENCH_e5.json` for mechanical tracking.
 
-use subq_bench::run_instance;
 use subq::workload::scaling::{
     conjunction_width_instance, path_depth_instance, schema_size_instance, view_growth_instance,
 };
 use subq::workload::ScalingInstance;
+use subq_bench::{
+    json_object, json_str, row, run_instance, run_reference_instance, time_best, write_json_rows,
+};
 
 fn main() {
-    let families: [(&str, fn(usize) -> ScalingInstance); 4] = [
-        ("path depth", path_depth_instance),
-        ("conjunction width", conjunction_width_instance),
-        ("schema size", schema_size_instance),
-        ("view growth", view_growth_instance),
+    type Family = fn(usize) -> ScalingInstance;
+    let families: [(&str, Family); 4] = [
+        ("path_depth", path_depth_instance),
+        ("conjunction_width", conjunction_width_instance),
+        ("schema_size", schema_size_instance),
+        ("view_growth", view_growth_instance),
     ];
     println!("E5 — polynomial scaling of the subsumption calculus (Theorem 4.9, Prop. 4.8)");
-    println!("| family | n | |C| | |D| | |Σ| | individuals | M·N bound | rule applications |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!(
+        "{}",
+        row(&[
+            "family".into(),
+            "n".into(),
+            "|C|".into(),
+            "|D|".into(),
+            "|Σ|".into(),
+            "individuals".into(),
+            "M·N bound".into(),
+            "rule apps".into(),
+            "examined (delta)".into(),
+            "examined (full scan)".into(),
+            "best time (delta)".into(),
+            "best time (full scan)".into(),
+            "speedup".into(),
+        ])
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let mut json_rows = Vec::new();
     for (name, family) in families {
         for n in [2usize, 4, 8, 16, 32] {
             let mut instance = family(n);
@@ -26,14 +51,65 @@ fn main() {
             let s = instance.schema_size();
             let (subsumed, stats) = run_instance(&mut instance);
             assert!(subsumed);
-            println!(
-                "| {name} | {n} | {m} | {d} | {s} | {} | {} | {} |",
-                stats.individuals,
-                m * d,
-                stats.rule_applications
+            let mut reference = family(n);
+            let (ref_subsumed, ref_stats) = run_reference_instance(&mut reference);
+            assert_eq!(subsumed, ref_subsumed);
+            assert_eq!(stats.outcome_only(), ref_stats.outcome_only());
+
+            let delta_time = time_best(
+                || family(n),
+                |mut instance| {
+                    run_instance(&mut instance);
+                },
             );
+            let naive_time = time_best(
+                || family(n),
+                |mut instance| {
+                    run_reference_instance(&mut instance);
+                },
+            );
+            let speedup = naive_time.as_secs_f64() / delta_time.as_secs_f64().max(1e-12);
+            println!(
+                "{}",
+                row(&[
+                    name.into(),
+                    n.to_string(),
+                    m.to_string(),
+                    d.to_string(),
+                    s.to_string(),
+                    stats.individuals.to_string(),
+                    (m * d).to_string(),
+                    stats.rule_applications.to_string(),
+                    stats.constraints_examined.to_string(),
+                    ref_stats.constraints_examined.to_string(),
+                    format!("{:.1} µs", delta_time.as_secs_f64() * 1e6),
+                    format!("{:.1} µs", naive_time.as_secs_f64() * 1e6),
+                    format!("{speedup:.1}×"),
+                ])
+            );
+            json_rows.push(json_object(&[
+                ("experiment", json_str("e5_polynomial_scaling")),
+                ("family", json_str(name)),
+                ("n", n.to_string()),
+                ("query_size", m.to_string()),
+                ("view_size", d.to_string()),
+                ("schema_size", s.to_string()),
+                ("individuals", stats.individuals.to_string()),
+                ("rule_applications", stats.rule_applications.to_string()),
+                ("examined_delta", stats.constraints_examined.to_string()),
+                (
+                    "examined_full_scan",
+                    ref_stats.constraints_examined.to_string(),
+                ),
+                ("delta_ns", delta_time.as_nanos().to_string()),
+                ("full_scan_ns", naive_time.as_nanos().to_string()),
+                ("speedup", format!("{speedup:.3}")),
+            ]));
         }
     }
+    write_json_rows("BENCH_e5.json", &json_rows);
     println!("\nIndividuals and rule applications grow polynomially (close to linearly) in n;");
-    println!("the individual count never exceeds the M·N bound of Proposition 4.8.");
+    println!("the individual count never exceeds the M·N bound of Proposition 4.8. The delta");
+    println!("engine's examined-candidate column grows with the derived constraints, while the");
+    println!("full scan's grows with rounds × |F ∪ G| — the gap the semi-naive rewrite closes.");
 }

@@ -8,8 +8,10 @@ use subq::extensions::expansion::{
 };
 use subq::extensions::propositional::{independent_choices, prop_subsumes};
 use subq::workload::scaling::view_growth_instance;
+use subq_bench::{json_object, json_str, write_json_rows};
 
 fn main() {
+    let mut json_rows = Vec::new();
     println!("E6 — the tractability frontier of Section 4.4");
     println!("| n | core calculus individuals | ∃P.A filler demand | SL approximation | P⁻¹ expansion individuals | ⊔ valuations |");
     println!("|---|---|---|---|---|---|");
@@ -39,7 +41,24 @@ fn main() {
             "| {n} | {} | {qualified} | {unqualified} | {} | {} |",
             outcome.stats.individuals, expansion.individuals_created, prop.valuations
         );
+        json_rows.push(json_object(&[
+            ("experiment", json_str("e6_extension_blowup")),
+            ("n", n.to_string()),
+            ("core_individuals", outcome.stats.individuals.to_string()),
+            (
+                "core_examined",
+                outcome.stats.constraints_examined.to_string(),
+            ),
+            ("qualified_filler_demand", qualified.to_string()),
+            ("unqualified_filler_demand", unqualified.to_string()),
+            (
+                "inverse_expansion_individuals",
+                expansion.individuals_created.to_string(),
+            ),
+            ("disjunction_valuations", prop.valuations.to_string()),
+        ]));
     }
+    write_json_rows("BENCH_e6.json", &json_rows);
     println!("\nThe core column grows linearly; the extension columns double with every step,");
     println!("matching Propositions 4.10 and 4.12.");
 }

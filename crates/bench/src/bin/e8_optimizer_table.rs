@@ -2,11 +2,14 @@
 //! with and without the subsuming materialized view, across database sizes
 //! and view selectivities.
 
+use std::time::Instant;
 use subq::dl::samples;
 use subq::oodb::OptimizedDatabase;
 use subq::workload::{synthetic_hospital, HospitalParams};
+use subq_bench::{json_object, json_str, write_json_rows};
 
 fn main() {
+    let mut json_rows = Vec::new();
     let model = samples::medical_model();
     let query = model.query_class("QueryPatient").expect("declared").clone();
 
@@ -44,7 +47,93 @@ fn main() {
             base_stats.candidates_examined,
             answers.len()
         );
+        json_rows.push(json_object(&[
+            ("experiment", json_str("e8_optimizer")),
+            ("section", json_str("view_filter")),
+            ("patients", patients.to_string()),
+            ("view_match_percent", selectivity.to_string()),
+            ("view_size", view_size.to_string()),
+            (
+                "candidates_optimized",
+                stats.candidates_examined.to_string(),
+            ),
+            (
+                "candidates_scratch",
+                base_stats.candidates_examined.to_string(),
+            ),
+            ("answers", answers.len().to_string()),
+        ]));
     }
+
+    // Section 2 — planning cost against MANY materialized views: the
+    // memoizing batch subsumption API normalizes the query once and
+    // answers repeat probes from the (query, view) → verdict cache, so a
+    // steady stream of the same queries stops paying N saturations per
+    // plan.
+    let params = HospitalParams {
+        patients: 2_000,
+        doctors: 50,
+        diseases: 20,
+        view_match_percent: 15,
+        query_match_percent: 40,
+    };
+    let db = synthetic_hospital(7, params);
+    let mut odb = OptimizedDatabase::new(db).expect("translates");
+    // Every schema class doubles as a trivial view (the paper's remark),
+    // so the planner has a realistic catalog to probe.
+    for view in [
+        "ViewPatient",
+        "Person",
+        "Patient",
+        "Doctor",
+        "Disease",
+        "Drug",
+        "String",
+        "Topic",
+        "Male",
+        "Female",
+    ] {
+        odb.materialize_view(view).expect("materializes");
+    }
+    let start = Instant::now();
+    let first = odb.plan(&query);
+    let first_plan = start.elapsed();
+    let start = Instant::now();
+    let repeats = 100u32;
+    for _ in 0..repeats {
+        let cached = odb.plan(&query);
+        assert_eq!(cached.subsuming_views, first.subsuming_views);
+    }
+    let cached_plan = start.elapsed() / repeats;
+    let (hits, misses) = odb.subsumption_cache_stats();
+    let speedup = first_plan.as_secs_f64() / cached_plan.as_secs_f64().max(1e-12);
+    println!(
+        "
+Planning against {} materialized views:",
+        odb.catalog().len()
+    );
+    println!(
+        "| first plan (fresh saturations) | repeat plan (memoized) | speedup | cache hits | cache misses |"
+    );
+    println!("|---|---|---|---|---|");
+    println!(
+        "| {:.1} µs | {:.1} µs | {speedup:.1}× | {hits} | {misses} |",
+        first_plan.as_secs_f64() * 1e6,
+        cached_plan.as_secs_f64() * 1e6,
+    );
+    json_rows.push(json_object(&[
+        ("experiment", json_str("e8_optimizer")),
+        ("section", json_str("plan_many_views")),
+        ("views", odb.catalog().len().to_string()),
+        ("first_plan_ns", first_plan.as_nanos().to_string()),
+        ("cached_plan_ns", cached_plan.as_nanos().to_string()),
+        ("speedup", format!("{speedup:.3}")),
+        ("cache_hits", hits.to_string()),
+        ("cache_misses", misses.to_string()),
+    ]));
+    write_json_rows("BENCH_e8.json", &json_rows);
     println!("\nThe optimizer wins whenever the subsuming view is more selective than the query's");
-    println!("superclass extents; the crossover appears as the view match percentage approaches 100%.");
+    println!(
+        "superclass extents; the crossover appears as the view match percentage approaches 100%."
+    );
 }

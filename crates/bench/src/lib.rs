@@ -6,22 +6,93 @@
 //! binary that prints the corresponding table of counters (individuals,
 //! rule applications, branches, valuations, candidates examined) so the
 //! shape can be compared with the paper's statements without relying on
-//! absolute timings.
+//! absolute timings. The table binaries additionally write their rows as
+//! `BENCH_*.json` files so successive PRs can track the perf trajectory
+//! mechanically.
 
+use std::time::{Duration, Instant};
+use subq::calculus::reference::ReferenceCompletion;
 use subq::calculus::{CompletionStats, SubsumptionChecker};
+use subq::concepts::normalize::normalize_concept;
 use subq::workload::ScalingInstance;
 
-/// Runs a scaling instance through the checker and returns whether it was
-/// subsumed together with the completion statistics.
+/// Runs a scaling instance through the checker (delta engine) and returns
+/// whether it was subsumed together with the completion statistics.
 pub fn run_instance(instance: &mut ScalingInstance) -> (bool, CompletionStats) {
     let checker = SubsumptionChecker::new(&instance.schema);
     let outcome = checker.check(&mut instance.arena, instance.query, instance.view);
     (outcome.subsumed(), outcome.stats)
 }
 
+/// Runs a scaling instance through the retained full-scan reference
+/// engine, for the naive-versus-incremental counter and timing columns.
+pub fn run_reference_instance(instance: &mut ScalingInstance) -> (bool, CompletionStats) {
+    let query = normalize_concept(&mut instance.arena, instance.query);
+    let view = normalize_concept(&mut instance.arena, instance.view);
+    let mut completion =
+        ReferenceCompletion::new(&mut instance.arena, &instance.schema, query, view, false);
+    let stats = completion.run();
+    let derived = completion.view_fact_derived() || completion.find_clash().is_some();
+    (derived, stats)
+}
+
+/// Times `work` on fresh instances from `make` until ~50 ms of measurement
+/// (at least 3 runs) and returns the best per-run time.
+pub fn time_best<T>(mut make: impl FnMut() -> T, mut work: impl FnMut(T)) -> Duration {
+    let mut best = Duration::MAX;
+    let mut spent = Duration::ZERO;
+    let mut runs = 0u32;
+    while runs < 3 || (spent < Duration::from_millis(50) && runs < 1000) {
+        let input = make();
+        let start = Instant::now();
+        work(input);
+        let elapsed = start.elapsed();
+        best = best.min(elapsed);
+        spent += elapsed;
+        runs += 1;
+    }
+    best
+}
+
 /// Formats one row of a markdown-style table.
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
+}
+
+/// A machine-readable benchmark row: `(key, value)` pairs serialized as
+/// one flat JSON object. Values are emitted verbatim, so pass numbers as
+/// numbers (`"3"`) and strings pre-quoted (`"\"path_depth\""`).
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(key, value)| format!("\"{key}\": {value}"))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Quotes a string for use as a [`json_object`] value.
+pub fn json_str(value: &str) -> String {
+    format!("\"{}\"", value.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Writes rows as a JSON array to `path` (one `BENCH_*.json` per table
+/// binary).
+pub fn write_json_rows(path: &str, rows: &[String]) {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(row);
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    if let Err(error) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {error}");
+    } else {
+        eprintln!("wrote {path}");
+    }
 }
 
 #[cfg(test)]
@@ -38,7 +109,24 @@ mod tests {
     }
 
     #[test]
+    fn reference_instance_agrees_with_delta() {
+        let mut delta = path_depth_instance(4);
+        let mut naive = path_depth_instance(4);
+        let (a, delta_stats) = run_instance(&mut delta);
+        let (b, ref_stats) = run_reference_instance(&mut naive);
+        assert_eq!(a, b);
+        assert_eq!(delta_stats.outcome_only(), ref_stats.outcome_only());
+        assert!(ref_stats.constraints_examined >= delta_stats.constraints_examined);
+    }
+
+    #[test]
     fn row_formats_markdown() {
         assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+
+    #[test]
+    fn json_rows_are_well_formed() {
+        let row = json_object(&[("family", json_str("path_depth")), ("n", "4".into())]);
+        assert_eq!(row, "{\"family\": \"path_depth\", \"n\": 4}");
     }
 }

@@ -43,7 +43,7 @@ impl CanonicalModel {
         let mut element_of: HashMap<Ind, Element> = HashMap::new();
 
         // Assign elements to individuals in a deterministic order.
-        let mut individuals: Vec<Ind> = facts.individuals().into_iter().collect();
+        let mut individuals: Vec<Ind> = facts.individuals().iter().copied().collect();
         individuals.sort();
         for ind in &individuals {
             let element = interpretation.add_element();

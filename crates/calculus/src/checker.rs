@@ -8,6 +8,7 @@
 
 use crate::engine::{Completion, CompletionStats};
 use crate::trace::DerivationTrace;
+use std::collections::HashMap;
 use subq_concepts::normalize::normalize_concept;
 use subq_concepts::schema::Schema;
 use subq_concepts::term::{ConceptId, TermArena};
@@ -59,6 +60,80 @@ impl SubsumptionOutcome {
     }
 }
 
+/// A memo table for repeated subsumption checks over one arena and schema.
+///
+/// Hash-consing makes `ConceptId` equality coincide with structural
+/// equality, so the outcome of a check is fully determined by the pair of
+/// *normalized* concept identifiers (for a fixed schema). The cache
+/// exploits that twice:
+///
+/// * `concept → normalized concept`, so a query probed against N views
+///   pays for one normalization pass instead of N, and a view probed by
+///   every incoming query is normalized once ever;
+/// * `(normalized query, normalized view) → outcome`, so the whole
+///   saturation is skipped on a repeat probe — the usage pattern of the
+///   query optimizer, which tests every incoming query against every
+///   materialized view.
+///
+/// A cache is only meaningful for the `(TermArena, Schema)` pair it was
+/// populated with; use one cache per optimized database (as
+/// `subq_oodb::OptimizedDatabase` does) and discard it if the schema
+/// changes.
+#[derive(Clone, Debug, Default)]
+pub struct SubsumptionCache {
+    normalized: HashMap<ConceptId, ConceptId>,
+    outcomes: HashMap<(ConceptId, ConceptId), CachedCheck>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CachedCheck {
+    verdict: SubsumptionVerdict,
+    stats: CompletionStats,
+}
+
+impl SubsumptionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SubsumptionCache::default()
+    }
+
+    /// Number of cached `(query, view)` outcomes.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no outcome has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// `(hits, misses)` counters over the cache's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops all cached outcomes and normalizations (keeps the counters).
+    pub fn clear(&mut self) {
+        self.normalized.clear();
+        self.outcomes.clear();
+    }
+
+    /// The memoized normalization of `concept`.
+    fn normalize(&mut self, arena: &mut TermArena, concept: ConceptId) -> ConceptId {
+        if let Some(&normalized) = self.normalized.get(&concept) {
+            return normalized;
+        }
+        let normalized = normalize_concept(arena, concept);
+        self.normalized.insert(concept, normalized);
+        // Normalization is idempotent; remember that too so probing with
+        // an already-normalized concept also hits.
+        self.normalized.insert(normalized, normalized);
+        normalized
+    }
+}
+
 /// A Σ-subsumption checker for QL concepts.
 ///
 /// The checker is cheap to construct and borrows the schema; one checker
@@ -88,7 +163,12 @@ impl<'a> SubsumptionChecker<'a> {
 
     /// Decides `sub ⊑_Σ sup` and returns the full outcome (verdict,
     /// statistics, normalized concepts).
-    pub fn check(&self, arena: &mut TermArena, sub: ConceptId, sup: ConceptId) -> SubsumptionOutcome {
+    pub fn check(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        sup: ConceptId,
+    ) -> SubsumptionOutcome {
         self.run(arena, sub, sup, false)
     }
 
@@ -117,6 +197,67 @@ impl<'a> SubsumptionChecker<'a> {
         self.subsumes(arena, a, b) && self.subsumes(arena, b, a)
     }
 
+    /// Decides `sub ⊑_Σ sup` through a [`SubsumptionCache`]: the
+    /// normalizations of both concepts are memoized and a repeated
+    /// `(query, view)` probe skips the saturation entirely.
+    pub fn check_cached(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        sup: ConceptId,
+        cache: &mut SubsumptionCache,
+    ) -> SubsumptionOutcome {
+        let normalized_query = cache.normalize(arena, sub);
+        let normalized_view = cache.normalize(arena, sup);
+        if let Some(cached) = cache.outcomes.get(&(normalized_query, normalized_view)) {
+            cache.hits += 1;
+            return SubsumptionOutcome {
+                verdict: cached.verdict,
+                stats: cached.stats,
+                normalized_query,
+                normalized_view,
+                trace: None,
+            };
+        }
+        cache.misses += 1;
+        let outcome = self.run_normalized(arena, normalized_query, normalized_view, false);
+        cache.outcomes.insert(
+            (normalized_query, normalized_view),
+            CachedCheck {
+                verdict: outcome.verdict,
+                stats: outcome.stats,
+            },
+        );
+        outcome
+    }
+
+    /// [`SubsumptionChecker::check_cached`], reduced to the verdict.
+    pub fn subsumes_cached(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        sup: ConceptId,
+        cache: &mut SubsumptionCache,
+    ) -> bool {
+        self.check_cached(arena, sub, sup, cache).subsumed()
+    }
+
+    /// Batch probe: decides `sub ⊑_Σ view` for every view, sharing one
+    /// normalization pass for `sub` and the cached outcomes for each
+    /// `(sub, view)` pair — the optimizer's per-query hot path.
+    pub fn check_many(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        views: &[ConceptId],
+        cache: &mut SubsumptionCache,
+    ) -> Vec<SubsumptionOutcome> {
+        views
+            .iter()
+            .map(|&view| self.check_cached(arena, sub, view, cache))
+            .collect()
+    }
+
     fn run(
         &self,
         arena: &mut TermArena,
@@ -126,6 +267,16 @@ impl<'a> SubsumptionChecker<'a> {
     ) -> SubsumptionOutcome {
         let normalized_query = normalize_concept(arena, sub);
         let normalized_view = normalize_concept(arena, sup);
+        self.run_normalized(arena, normalized_query, normalized_view, record_trace)
+    }
+
+    fn run_normalized(
+        &self,
+        arena: &mut TermArena,
+        normalized_query: ConceptId,
+        normalized_view: ConceptId,
+        record_trace: bool,
+    ) -> SubsumptionOutcome {
         let mut completion = Completion::new(
             arena,
             self.schema,
@@ -333,6 +484,56 @@ mod tests {
         let query_and_top = m.arena.and(m.query, top);
         assert!(checker.equivalent(&mut m.arena, m.query, query_and_top));
         assert!(!checker.equivalent(&mut m.arena, m.query, m.view));
+    }
+
+    /// The cache memoizes outcomes: a repeated probe is a lookup, the
+    /// verdicts agree with the uncached path, and the normalization of the
+    /// query is shared across views.
+    #[test]
+    fn cached_checks_agree_and_hit() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let mut cache = SubsumptionCache::new();
+        let patient = m.voc.find_class("Patient").expect("interned");
+        let patient_c = m.arena.prim(patient);
+        let views = [m.view, patient_c, m.query];
+
+        let uncached: Vec<bool> = views
+            .iter()
+            .map(|&v| checker.subsumes(&mut m.arena, m.query, v))
+            .collect();
+        let first: Vec<bool> = checker
+            .check_many(&mut m.arena, m.query, &views, &mut cache)
+            .into_iter()
+            .map(|o| o.subsumed())
+            .collect();
+        assert_eq!(first, uncached);
+        let (hits_before, misses) = cache.stats();
+        assert_eq!(hits_before, 0);
+        assert_eq!(misses, 3);
+
+        // Second probe: all hits, same verdicts, no new outcomes.
+        let second: Vec<bool> = checker
+            .check_many(&mut m.arena, m.query, &views, &mut cache)
+            .into_iter()
+            .map(|o| o.subsumed())
+            .collect();
+        assert_eq!(second, uncached);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 3);
+        assert_eq!(misses, 3);
+        assert_eq!(cache.len(), 3);
+
+        // The cached outcome carries the same stats and normalized ids.
+        let direct = checker.check(&mut m.arena, m.query, m.view);
+        let cached = checker.check_cached(&mut m.arena, m.query, m.view, &mut cache);
+        assert_eq!(direct.verdict, cached.verdict);
+        assert_eq!(direct.stats.outcome_only(), cached.stats.outcome_only());
+        assert_eq!(direct.normalized_query, cached.normalized_query);
+        assert_eq!(direct.normalized_view, cached.normalized_view);
+
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     /// The outcome reports completion statistics compatible with the

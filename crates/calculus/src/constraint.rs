@@ -8,8 +8,22 @@
 //! * `s p t` — `s` and `t` are related through the path `p`.
 //!
 //! A [`ConstraintSet`] stores one of the two components of a pair `F : G`
-//! and maintains the indexes the rules query: concepts per individual,
-//! attribute successors per individual, and path facts per individual.
+//! and maintains every index the delta-driven rules query in O(1):
+//!
+//! * concepts per individual and **individuals per concept** (rules C1/C4,
+//!   `view_individual`),
+//! * attribute successors per individual, **keyed by `(individual,
+//!   attribute)`** so `fillers_via` is a map lookup instead of a linear
+//!   scan (rules S2, S4, S5, G2/G3, C5/C6, D6),
+//! * a **reverse filler index** `t ↦ (R, s)` for the composition triggers
+//!   that must react to a new membership or path fact at the *target* of
+//!   an edge (rules C5/C6 and the inverse-attribute reasoning),
+//! * path facts keyed by `(individual, path)` (rules D4, C3, C4, C5).
+//!
+//! All per-key vectors are in insertion order, so iterating an index yields
+//! the same sequence a linear scan of the whole set would — the delta
+//! engine relies on this to fire rules in exactly the order the paper's
+//! (and the reference engine's) full scans would.
 
 use crate::ind::Ind;
 use std::collections::{HashMap, HashSet};
@@ -19,7 +33,7 @@ use subq_concepts::symbol::Vocabulary;
 use subq_concepts::term::{ConceptId, PathId, TermArena};
 
 /// A single constraint.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Constraint {
     /// `s : C`.
     Member(Ind, ConceptId),
@@ -44,12 +58,14 @@ impl Constraint {
         }
     }
 
-    /// The individuals mentioned by the constraint.
-    pub fn individuals(&self) -> Vec<Ind> {
-        match *self {
-            Constraint::Member(s, _) => vec![s],
-            Constraint::Filler(s, _, t) | Constraint::PathRel(s, _, t) => vec![s, t],
-        }
+    /// The individuals mentioned by the constraint (one or two), without
+    /// allocating.
+    pub fn individuals(&self) -> impl Iterator<Item = Ind> {
+        let (pair, len) = match *self {
+            Constraint::Member(s, _) => ([s, s], 1),
+            Constraint::Filler(s, _, t) | Constraint::PathRel(s, _, t) => ([s, t], 2),
+        };
+        pair.into_iter().take(len)
     }
 
     /// Applies the substitution `[from ↦ to]` to the constraint.
@@ -68,9 +84,15 @@ impl Constraint {
 pub struct ConstraintSet {
     all: HashSet<Constraint>,
     insertion_order: Vec<Constraint>,
+    individuals: HashSet<Ind>,
     members_by_ind: HashMap<Ind, HashSet<ConceptId>>,
+    members_by_concept: HashMap<ConceptId, Vec<Ind>>,
     fillers_by_src: HashMap<Ind, Vec<(Attr, Ind)>>,
+    fillers_by_src_attr: HashMap<(Ind, Attr), Vec<Ind>>,
+    filler_pos: HashMap<(Ind, Attr, Ind), u32>,
+    fillers_by_target: HashMap<Ind, Vec<(Attr, Ind)>>,
     paths_by_src: HashMap<Ind, Vec<(PathId, Ind)>>,
+    paths_by_src_path: HashMap<(Ind, PathId), Vec<Ind>>,
 }
 
 impl ConstraintSet {
@@ -85,15 +107,22 @@ impl ConstraintSet {
             return false;
         }
         self.insertion_order.push(constraint);
+        self.individuals.extend(constraint.individuals());
         match constraint {
             Constraint::Member(s, c) => {
                 self.members_by_ind.entry(s).or_default().insert(c);
+                self.members_by_concept.entry(c).or_default().push(s);
             }
             Constraint::Filler(s, r, t) => {
                 self.fillers_by_src.entry(s).or_default().push((r, t));
+                let via = self.fillers_by_src_attr.entry((s, r)).or_default();
+                self.filler_pos.insert((s, r, t), via.len() as u32);
+                via.push(t);
+                self.fillers_by_target.entry(t).or_default().push((r, s));
             }
             Constraint::PathRel(s, p, t) => {
                 self.paths_by_src.entry(s).or_default().push((p, t));
+                self.paths_by_src_path.entry((s, p)).or_default().push(t);
             }
         }
         true
@@ -113,7 +142,7 @@ impl ConstraintSet {
 
     /// Whether `s R t` is present.
     pub fn has_filler(&self, s: Ind, attr: Attr, t: Ind) -> bool {
-        self.all.contains(&Constraint::Filler(s, attr, t))
+        self.filler_pos.contains_key(&(s, attr, t))
     }
 
     /// Whether `s p t` is present.
@@ -121,7 +150,7 @@ impl ConstraintSet {
         self.all.contains(&Constraint::PathRel(s, path, t))
     }
 
-    /// The concepts `C` with `s : C` present.
+    /// The concepts `C` with `s : C` present (unordered).
     pub fn concepts_of(&self, s: Ind) -> impl Iterator<Item = ConceptId> + '_ {
         self.members_by_ind
             .get(&s)
@@ -129,7 +158,14 @@ impl ConstraintSet {
             .flat_map(|cs| cs.iter().copied())
     }
 
-    /// The `(R, t)` pairs with `s R t` present.
+    /// The individuals `s` with `s : C` present, in insertion order.
+    pub fn members_of(&self, concept: ConceptId) -> &[Ind] {
+        self.members_by_concept
+            .get(&concept)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The `(R, t)` pairs with `s R t` present, in insertion order.
     pub fn fillers_of(&self, s: Ind) -> impl Iterator<Item = (Attr, Ind)> + '_ {
         self.fillers_by_src
             .get(&s)
@@ -137,18 +173,38 @@ impl ConstraintSet {
             .flat_map(|v| v.iter().copied())
     }
 
-    /// The fillers of `s` through a specific attribute.
+    /// The fillers of `s` through a specific attribute, in insertion order
+    /// (an O(1) index lookup, not a scan).
     pub fn fillers_via(&self, s: Ind, attr: Attr) -> impl Iterator<Item = Ind> + '_ {
-        self.fillers_of(s)
-            .filter_map(move |(r, t)| if r == attr { Some(t) } else { None })
+        self.fillers_via_slice(s, attr).iter().copied()
+    }
+
+    /// Slice access to the fillers of `s` through `attr`, in insertion
+    /// order (rule pendings index into this).
+    pub fn fillers_via_slice(&self, s: Ind, attr: Attr) -> &[Ind] {
+        self.fillers_by_src_attr
+            .get(&(s, attr))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Position of `t` within [`ConstraintSet::fillers_via_slice`] of
+    /// `(s, attr)`, if `s attr t` is present.
+    pub fn filler_position(&self, s: Ind, attr: Attr, t: Ind) -> Option<u32> {
+        self.filler_pos.get(&(s, attr, t)).copied()
+    }
+
+    /// The `(R, s)` pairs with `s R t` present — the reverse filler index,
+    /// in insertion order.
+    pub fn fillers_to(&self, t: Ind) -> &[(Attr, Ind)] {
+        self.fillers_by_target.get(&t).map_or(&[], Vec::as_slice)
     }
 
     /// Whether `s` has any filler through `attr`.
     pub fn has_any_filler_via(&self, s: Ind, attr: Attr) -> bool {
-        self.fillers_via(s, attr).next().is_some()
+        !self.fillers_via_slice(s, attr).is_empty()
     }
 
-    /// The `(p, t)` pairs with `s p t` present.
+    /// The `(p, t)` pairs with `s p t` present, in insertion order.
     pub fn paths_of(&self, s: Ind) -> impl Iterator<Item = (PathId, Ind)> + '_ {
         self.paths_by_src
             .get(&s)
@@ -156,20 +212,32 @@ impl ConstraintSet {
             .flat_map(|v| v.iter().copied())
     }
 
-    /// The targets `t` with `s p t` present for a specific path.
+    /// The targets `t` with `s p t` present for a specific path, in
+    /// insertion order (an O(1) index lookup, not a scan).
     pub fn path_targets(&self, s: Ind, path: PathId) -> impl Iterator<Item = Ind> + '_ {
-        self.paths_of(s)
-            .filter_map(move |(p, t)| if p == path { Some(t) } else { None })
+        self.path_targets_slice(s, path).iter().copied()
+    }
+
+    /// Slice access to the targets of `s` through `path`.
+    pub fn path_targets_slice(&self, s: Ind, path: PathId) -> &[Ind] {
+        self.paths_by_src_path
+            .get(&(s, path))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Whether `s` has any target through path `p`.
     pub fn has_any_path_target(&self, s: Ind, path: PathId) -> bool {
-        self.path_targets(s, path).next().is_some()
+        !self.path_targets_slice(s, path).is_empty()
     }
 
     /// All constraints in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Constraint> + '_ {
         self.insertion_order.iter()
+    }
+
+    /// The constraint at a given insertion position.
+    pub fn nth(&self, index: usize) -> Constraint {
+        self.insertion_order[index]
     }
 
     /// Number of constraints.
@@ -182,26 +250,20 @@ impl ConstraintSet {
         self.all.is_empty()
     }
 
-    /// All individuals mentioned by some constraint.
-    pub fn individuals(&self) -> HashSet<Ind> {
-        let mut out = HashSet::new();
-        for constraint in &self.insertion_order {
-            out.extend(constraint.individuals());
-        }
-        out
+    /// All individuals mentioned by some constraint (maintained
+    /// incrementally; no scan).
+    pub fn individuals(&self) -> &HashSet<Ind> {
+        &self.individuals
     }
 
     /// Applies the substitution `[from ↦ to]` to every constraint,
-    /// rebuilding the indexes.
+    /// rebuilding the indexes. Constraints that become equal are merged,
+    /// keeping the first occurrence's position.
     pub fn substitute(&mut self, from: Ind, to: Ind) {
-        let constraints: Vec<Constraint> = self
-            .insertion_order
-            .iter()
-            .map(|c| c.substitute(from, to))
-            .collect();
+        let order = std::mem::take(&mut self.insertion_order);
         *self = ConstraintSet::new();
-        for constraint in constraints {
-            self.insert(constraint);
+        for constraint in order {
+            self.insert(constraint.substitute(from, to));
         }
     }
 
@@ -249,6 +311,25 @@ mod tests {
     }
 
     #[test]
+    fn reverse_and_positional_filler_indexes() {
+        let (_voc, _arena, patient, consults) = fixture();
+        let mut set = ConstraintSet::new();
+        let x = Ind::ROOT;
+        let y = Ind::Var(1);
+        let z = Ind::Var(2);
+        set.insert(Constraint::Member(x, patient));
+        set.insert(Constraint::Filler(x, consults, y));
+        set.insert(Constraint::Filler(x, consults, z));
+        set.insert(Constraint::Filler(z, consults, y));
+        assert_eq!(set.fillers_via_slice(x, consults), &[y, z]);
+        assert_eq!(set.filler_position(x, consults, y), Some(0));
+        assert_eq!(set.filler_position(x, consults, z), Some(1));
+        assert_eq!(set.filler_position(y, consults, x), None);
+        assert_eq!(set.fillers_to(y), &[(consults, x), (consults, z)]);
+        assert_eq!(set.members_of(patient), &[x]);
+    }
+
+    #[test]
     fn path_index_and_targets() {
         let (_voc, mut arena, patient, consults) = fixture();
         let mut set = ConstraintSet::new();
@@ -279,6 +360,7 @@ mod tests {
         let inds = set.individuals();
         assert!(inds.contains(&a));
         assert!(!inds.contains(&y));
+        assert_eq!(set.fillers_to(a), &[(consults, Ind::ROOT)]);
     }
 
     #[test]
@@ -290,6 +372,18 @@ mod tests {
         assert_eq!(set.len(), 2);
         set.substitute(Ind::Var(2), Ind::Var(1));
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn individuals_iterator_is_exact() {
+        let (_voc, _arena, patient, consults) = fixture();
+        let member = Constraint::Member(Ind::ROOT, patient);
+        assert_eq!(member.individuals().collect::<Vec<_>>(), vec![Ind::ROOT]);
+        let filler = Constraint::Filler(Ind::ROOT, consults, Ind::Var(1));
+        assert_eq!(
+            filler.individuals().collect::<Vec<_>>(),
+            vec![Ind::ROOT, Ind::Var(1)]
+        );
     }
 
     #[test]

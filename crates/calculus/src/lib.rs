@@ -45,10 +45,11 @@ pub mod checker;
 pub mod constraint;
 pub mod engine;
 pub mod ind;
+pub mod reference;
 pub mod rules;
 pub mod trace;
 
-pub use checker::{SubsumptionChecker, SubsumptionOutcome, SubsumptionVerdict};
+pub use checker::{SubsumptionCache, SubsumptionChecker, SubsumptionOutcome, SubsumptionVerdict};
 pub use constraint::{Constraint, ConstraintSet};
 pub use engine::{Completion, CompletionStats};
 pub use ind::Ind;

@@ -1,0 +1,935 @@
+//! The naive full-scan completion engine, retained as the semantic
+//! reference for the delta-driven [`crate::engine::Completion`].
+//!
+//! This is the seed implementation of the saturation loop: every fixpoint
+//! round re-collects the candidates of each rule by scanning the whole
+//! fact/goal sets, for a cost of O(rounds × rules × |F ∪ G|). It is kept
+//! (not exported through the prelude) because it is the executable
+//! specification the delta engine is tested against: the equivalence
+//! property suite in `tests/delta_equivalence.rs` asserts that both
+//! engines produce identical final fact/goal sets, clashes, statistics and
+//! rule traces on arbitrary inputs, and the E5 counter tables quote its
+//! `constraints_examined` next to the delta engine's to show the
+//! naive-versus-incremental gap.
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::engine::{Clash, CompletionStats};
+use crate::ind::Ind;
+use crate::rules::RuleId;
+use crate::trace::{DerivationTrace, TraceStep};
+use subq_concepts::attribute::Attr;
+use subq_concepts::schema::Schema;
+use subq_concepts::term::{Concept, ConceptId, Path, PathId, Restriction, TermArena};
+
+/// The full-scan completion of a pair of constraint systems.
+pub struct ReferenceCompletion<'a> {
+    arena: &'a mut TermArena,
+    schema: &'a Schema,
+    facts: ConstraintSet,
+    goals: ConstraintSet,
+    next_var: u32,
+    fresh_vars: usize,
+    rule_applications: usize,
+    constraints_examined: usize,
+    trace: Option<DerivationTrace>,
+    query: ConceptId,
+    view: ConceptId,
+}
+
+impl<'a> ReferenceCompletion<'a> {
+    /// Creates the initial pair `{x : query} : {x : view}`.
+    pub fn new(
+        arena: &'a mut TermArena,
+        schema: &'a Schema,
+        query: ConceptId,
+        view: ConceptId,
+        record_trace: bool,
+    ) -> Self {
+        let mut facts = ConstraintSet::new();
+        let mut goals = ConstraintSet::new();
+        facts.insert(Constraint::Member(Ind::ROOT, query));
+        goals.insert(Constraint::Member(Ind::ROOT, view));
+        ReferenceCompletion {
+            arena,
+            schema,
+            facts,
+            goals,
+            next_var: 1,
+            fresh_vars: 0,
+            rule_applications: 0,
+            constraints_examined: 0,
+            trace: record_trace.then(DerivationTrace::new),
+            query,
+            view,
+        }
+    }
+
+    /// The fact set `F`.
+    pub fn facts(&self) -> &ConstraintSet {
+        &self.facts
+    }
+
+    /// The goal set `G`.
+    pub fn goals(&self) -> &ConstraintSet {
+        &self.goals
+    }
+
+    /// The recorded derivation trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&DerivationTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The term arena the completion works over.
+    pub fn arena(&self) -> &TermArena {
+        self.arena
+    }
+
+    /// The (normalized) query concept `C`.
+    pub fn query(&self) -> ConceptId {
+        self.query
+    }
+
+    /// The (normalized) view concept `D`.
+    pub fn view(&self) -> ConceptId {
+        self.view
+    }
+
+    /// Statistics of the completion so far.
+    pub fn stats(&self) -> CompletionStats {
+        let fact_inds = self.facts.individuals();
+        let extra_goal_inds = self
+            .goals
+            .individuals()
+            .iter()
+            .filter(|i| !fact_inds.contains(i))
+            .count();
+        CompletionStats {
+            individuals: fact_inds.len() + extra_goal_inds,
+            fresh_vars: self.fresh_vars,
+            rule_applications: self.rule_applications,
+            facts: self.facts.len(),
+            goals: self.goals.len(),
+            constraints_examined: self.constraints_examined,
+        }
+    }
+
+    /// The individual `o` such that `o : D` is the (unique) top-level goal.
+    pub fn view_individual(&self) -> Ind {
+        self.goals
+            .iter()
+            .find_map(|c| match *c {
+                Constraint::Member(s, concept) if concept == self.view => Some(s),
+                _ => None,
+            })
+            .unwrap_or(Ind::ROOT)
+    }
+
+    /// Runs rules until no rule is applicable, then returns the statistics.
+    pub fn run(&mut self) -> CompletionStats {
+        loop {
+            if self.apply_group(Group::Decomposition) {
+                continue;
+            }
+            if self.apply_group(Group::Schema) {
+                continue;
+            }
+            if self.apply_group(Group::Goal) {
+                continue;
+            }
+            if self.apply_group(Group::Composition) {
+                continue;
+            }
+            break;
+        }
+        self.stats()
+    }
+
+    /// Whether the completed facts contain the constraint `o : D`.
+    pub fn view_fact_derived(&self) -> bool {
+        let o = self.view_individual();
+        self.facts.has_member(o, self.view)
+    }
+
+    /// Searches the fact set for a clash (Section 4.2) by scanning.
+    pub fn find_clash(&self) -> Option<Clash> {
+        // a : {b} with distinct constants.
+        for constraint in self.facts.iter() {
+            if let Constraint::Member(s, concept) = *constraint {
+                if let (Some(a), Concept::Singleton(b)) =
+                    (s.as_const(), self.arena.concept(concept))
+                {
+                    if a != b {
+                        return Some(Clash::ConstantSingleton(s, Ind::Const(b)));
+                    }
+                }
+            }
+        }
+        // s P a, s P b, s : A with A ⊑ (≤1 P) and a ≠ b constants.
+        for constraint in self.facts.iter() {
+            let Constraint::Member(s, concept) = *constraint else {
+                continue;
+            };
+            let Concept::Prim(class) = self.arena.concept(concept) else {
+                continue;
+            };
+            for attr in self.schema.functional_attrs_of(class) {
+                let attr = Attr::primitive(attr);
+                let const_fillers: Vec<Ind> = self
+                    .facts
+                    .fillers_via(s, attr)
+                    .filter(|t| t.is_const())
+                    .collect();
+                for (i, &a) in const_fillers.iter().enumerate() {
+                    for &b in &const_fillers[i + 1..] {
+                        if a != b {
+                            return Some(Clash::FunctionalFanOut(s, attr, a, b));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    // ----- bookkeeping ----------------------------------------------------
+
+    fn fresh_var(&mut self) -> Ind {
+        let v = Ind::Var(self.next_var);
+        self.next_var += 1;
+        self.fresh_vars += 1;
+        v
+    }
+
+    fn record(&mut self, step: TraceStep) {
+        self.rule_applications += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(step);
+        }
+    }
+
+    /// Adds facts for one rule application; returns whether anything was new.
+    fn add_facts(&mut self, rule: RuleId, constraints: Vec<Constraint>) -> bool {
+        let added: Vec<Constraint> = constraints
+            .into_iter()
+            .filter(|c| self.facts.insert(*c))
+            .collect();
+        if added.is_empty() {
+            return false;
+        }
+        self.record(TraceStep {
+            rule,
+            added_facts: added,
+            added_goals: vec![],
+            substitution: None,
+        });
+        true
+    }
+
+    /// Adds goals for one rule application; returns whether anything was new.
+    fn add_goals(&mut self, rule: RuleId, constraints: Vec<Constraint>) -> bool {
+        let added: Vec<Constraint> = constraints
+            .into_iter()
+            .filter(|c| self.goals.insert(*c))
+            .collect();
+        if added.is_empty() {
+            return false;
+        }
+        self.record(TraceStep {
+            rule,
+            added_facts: vec![],
+            added_goals: added,
+            substitution: None,
+        });
+        true
+    }
+
+    /// Applies the substitution `[from ↦ to]` to the whole pair.
+    fn substitute(&mut self, rule: RuleId, from: Ind, to: Ind) {
+        self.facts.substitute(from, to);
+        self.goals.substitute(from, to);
+        self.record(TraceStep {
+            rule,
+            added_facts: vec![],
+            added_goals: vec![],
+            substitution: Some((from, to)),
+        });
+    }
+
+    fn apply_group(&mut self, group: Group) -> bool {
+        match group {
+            Group::Decomposition => {
+                self.rule_d1()
+                    | self.rule_d2()
+                    | self.rule_d3()
+                    | self.rule_d4()
+                    | self.rule_d5()
+                    | self.rule_d6()
+                    | self.rule_d7()
+            }
+            Group::Schema => {
+                self.rule_s1() | self.rule_s2() | self.rule_s3() | self.rule_s4() | self.rule_s5()
+            }
+            Group::Goal => self.rule_g1() | self.rule_g23(),
+            Group::Composition => {
+                self.rule_c1() | self.rule_c2() | self.rule_c3() | self.rule_c4() | self.rule_c56()
+            }
+        }
+    }
+
+    // ----- decomposition rules (Figure 7) ---------------------------------
+
+    /// D1: `s : C ⊓ D ∈ F` yields `s : C` and `s : D`.
+    fn rule_d1(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates: Vec<(Ind, ConceptId, ConceptId)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::And(l, r) => Some((s, l, r)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, l, r) in candidates {
+            changed |= self.add_facts(
+                RuleId::D1,
+                vec![Constraint::Member(s, l), Constraint::Member(s, r)],
+            );
+        }
+        changed
+    }
+
+    /// D2: `t R⁻¹ s ∈ F` yields `s R t`.
+    fn rule_d2(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates: Vec<(Ind, Attr, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Filler(t, r, s) => Some((s, r.inverse(), t)),
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, r, t) in candidates {
+            changed |= self.add_facts(RuleId::D2, vec![Constraint::Filler(s, r, t)]);
+        }
+        changed
+    }
+
+    /// D3: `y : {a} ∈ F` for a variable `y` substitutes `y` by `a`.
+    fn rule_d3(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidate = self.facts.iter().find_map(|c| match *c {
+            Constraint::Member(s, concept) if s.is_var() => match self.arena.concept(concept) {
+                Concept::Singleton(a) => Some((s, Ind::Const(a))),
+                _ => None,
+            },
+            _ => None,
+        });
+        if let Some((from, to)) = candidate {
+            self.substitute(RuleId::D3, from, to);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// D4: `s : ∃p ∈ F` with no witness yields `s p y` for a fresh `y`.
+    fn rule_d4(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates: Vec<(Ind, PathId)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Exists(p) if !self.arena.is_empty_path(p) => Some((s, p)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, p) in candidates {
+            if self.facts.has_any_path_target(s, p) {
+                continue;
+            }
+            let y = self.fresh_var();
+            changed |= self.add_facts(RuleId::D4, vec![Constraint::PathRel(s, p, y)]);
+        }
+        changed
+    }
+
+    /// D5: `s : ∃p ≐ ε ∈ F` yields the cyclic witness `s p s`.
+    fn rule_d5(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates: Vec<(Ind, PathId)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Agree(p, q)
+                        if self.arena.is_empty_path(q) && !self.arena.is_empty_path(p) =>
+                    {
+                        Some((s, p))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, p) in candidates {
+            changed |= self.add_facts(RuleId::D5, vec![Constraint::PathRel(s, p, s)]);
+        }
+        changed
+    }
+
+    /// D6: unfold the first step of a path fact `s (R:C)p t` (`p ≠ ε`) with
+    /// a fresh middle individual, unless a suitable one already exists.
+    fn rule_d6(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates: Vec<(Ind, Restriction, PathId, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::PathRel(s, p, t) => match self.arena.path(p) {
+                    Path::Step(restriction, rest) if !self.arena.is_empty_path(rest) => {
+                        Some((s, restriction, rest, t))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, restriction, rest, t) in candidates {
+            let exists_witness = self.facts.fillers_via(s, restriction.attr).any(|t_prime| {
+                self.facts.has_member(t_prime, restriction.concept)
+                    && self.facts.has_path(t_prime, rest, t)
+            });
+            if exists_witness {
+                continue;
+            }
+            let y = self.fresh_var();
+            changed |= self.add_facts(
+                RuleId::D6,
+                vec![
+                    Constraint::Filler(s, restriction.attr, y),
+                    Constraint::Member(y, restriction.concept),
+                    Constraint::PathRel(y, rest, t),
+                ],
+            );
+        }
+        changed
+    }
+
+    /// D7: unfold a one-step path fact `s (R:C) t` into `s R t` and `t : C`.
+    fn rule_d7(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates: Vec<(Ind, Restriction, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::PathRel(s, p, t) => match self.arena.path(p) {
+                    Path::Step(restriction, rest) if self.arena.is_empty_path(rest) => {
+                        Some((s, restriction, t))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, restriction, t) in candidates {
+            changed |= self.add_facts(
+                RuleId::D7,
+                vec![
+                    Constraint::Filler(s, restriction.attr, t),
+                    Constraint::Member(t, restriction.concept),
+                ],
+            );
+        }
+        changed
+    }
+
+    // ----- schema rules (Figure 8) -----------------------------------------
+
+    /// The primitive classes `A` with `s : A ∈ F`.
+    fn primitive_memberships(&self) -> Vec<(Ind, subq_concepts::symbol::ClassId)> {
+        self.facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Prim(class) => Some((s, class)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// S1: `s : A₁ ∈ F`, `A₁ ⊑ A₂ ∈ Σ` yields `s : A₂`.
+    fn rule_s1(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates = self.primitive_memberships();
+        let mut changed = false;
+        for (s, a1) in candidates {
+            let supers: Vec<_> = self.schema.supers_of(a1).to_vec();
+            for a2 in supers {
+                let concept = self.arena.prim(a2);
+                changed |= self.add_facts(RuleId::S1, vec![Constraint::Member(s, concept)]);
+            }
+        }
+        changed
+    }
+
+    /// S2: `s : A₁`, `s P t ∈ F`, `A₁ ⊑ ∀P.A₂ ∈ Σ` yields `t : A₂`.
+    fn rule_s2(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates = self.primitive_memberships();
+        let mut changed = false;
+        for (s, a1) in candidates {
+            let restrictions: Vec<_> = self.schema.value_restrictions_of(a1).to_vec();
+            for (p, a2) in restrictions {
+                let fillers: Vec<Ind> = self.facts.fillers_via(s, Attr::primitive(p)).collect();
+                for t in fillers {
+                    let concept = self.arena.prim(a2);
+                    changed |= self.add_facts(RuleId::S2, vec![Constraint::Member(t, concept)]);
+                }
+            }
+        }
+        changed
+    }
+
+    /// S3: `s P t ∈ F`, `P ⊑ A₁ × A₂ ∈ Σ` yields `s : A₁` and `t : A₂`.
+    fn rule_s3(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let candidates: Vec<(Ind, Attr, Ind)> = self
+            .facts
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Filler(s, r, t) if r.is_primitive() => Some((s, r, t)),
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, r, t) in candidates {
+            let Some(p) = r.as_primitive() else { continue };
+            let Some((dom, rng)) = self.schema.attr_typing(p) else {
+                continue;
+            };
+            let dom_c = self.arena.prim(dom);
+            let rng_c = self.arena.prim(rng);
+            changed |= self.add_facts(
+                RuleId::S3,
+                vec![Constraint::Member(s, dom_c), Constraint::Member(t, rng_c)],
+            );
+        }
+        changed
+    }
+
+    /// S4: `s : A`, `s P y`, `s P t ∈ F` with `A ⊑ (≤1 P) ∈ Σ` and `y` a
+    /// variable identifies `y` with `t`.
+    fn rule_s4(&mut self) -> bool {
+        self.constraints_examined += self.facts.len();
+        let memberships = self.primitive_memberships();
+        for (s, a) in memberships {
+            let functional: Vec<_> = self.schema.functional_attrs_of(a).collect();
+            for p in functional {
+                let attr = Attr::primitive(p);
+                let fillers: Vec<Ind> = self.facts.fillers_via(s, attr).collect();
+                if fillers.len() < 2 {
+                    continue;
+                }
+                // Pick a variable to eliminate and any other filler to keep;
+                // prefer keeping constants so the substitution is stable.
+                let keep = fillers
+                    .iter()
+                    .copied()
+                    .find(|f| f.is_const())
+                    .unwrap_or(fillers[0]);
+                let eliminate = fillers.iter().copied().find(|f| f.is_var() && *f != keep);
+                if let Some(y) = eliminate {
+                    self.substitute(RuleId::S4, y, keep);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// S5: a goal `s : ∃(P:C)p` or `s : ∃(P:C)p ≐ ε` demands a `P`-filler
+    /// of `s`; if none exists but some fact `s : A` with `A ⊑ ∃P ∈ Σ`
+    /// guarantees one, create it.
+    fn rule_s5(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, Attr)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => {
+                    let path = match self.arena.concept(concept) {
+                        Concept::Exists(p) => Some(p),
+                        Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some(p),
+                        _ => None,
+                    }?;
+                    match self.arena.path(path) {
+                        Path::Step(restriction, _) if restriction.attr.is_primitive() => {
+                            Some((s, restriction.attr))
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, attr) in candidates {
+            if self.facts.has_any_filler_via(s, attr) {
+                continue;
+            }
+            let p = attr.as_primitive().expect("checked primitive");
+            let has_necessary = self
+                .primitive_class_facts_of(s)
+                .iter()
+                .any(|&a| self.schema.is_necessary(a, p));
+            if !has_necessary {
+                continue;
+            }
+            let y = self.fresh_var();
+            changed |= self.add_facts(RuleId::S5, vec![Constraint::Filler(s, attr, y)]);
+        }
+        changed
+    }
+
+    fn primitive_class_facts_of(&self, s: Ind) -> Vec<subq_concepts::symbol::ClassId> {
+        self.facts
+            .concepts_of(s)
+            .filter_map(|c| match self.arena.concept(c) {
+                Concept::Prim(class) => Some(class),
+                _ => None,
+            })
+            .collect()
+    }
+
+    // ----- goal rules (Figure 9) -------------------------------------------
+
+    /// G1: `s : C ⊓ D ∈ G` yields the goals `s : C` and `s : D`.
+    fn rule_g1(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, ConceptId, ConceptId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::And(l, r) => Some((s, l, r)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, l, r) in candidates {
+            changed |= self.add_goals(
+                RuleId::G1,
+                vec![Constraint::Member(s, l), Constraint::Member(s, r)],
+            );
+        }
+        changed
+    }
+
+    /// G2 and G3: a goal path `s : ∃(R:C)p` (or its `≐ ε` form) and a fact
+    /// `s R t` yield the goals `t : C` (G2) and, if `p ≠ ε`, also `t : ∃p`
+    /// (G3).
+    fn rule_g23(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, Restriction, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => {
+                    let path = match self.arena.concept(concept) {
+                        Concept::Exists(p) => Some(p),
+                        Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some(p),
+                        _ => None,
+                    }?;
+                    match self.arena.path(path) {
+                        Path::Step(restriction, rest) => Some((s, restriction, rest)),
+                        Path::Empty => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, restriction, rest) in candidates {
+            let fillers: Vec<Ind> = self.facts.fillers_via(s, restriction.attr).collect();
+            let rest_is_empty = self.arena.is_empty_path(rest);
+            for t in fillers {
+                if rest_is_empty {
+                    changed |= self
+                        .add_goals(RuleId::G2, vec![Constraint::Member(t, restriction.concept)]);
+                } else {
+                    let exists_rest = self.arena.exists(rest);
+                    changed |= self.add_goals(
+                        RuleId::G3,
+                        vec![
+                            Constraint::Member(t, restriction.concept),
+                            Constraint::Member(t, exists_rest),
+                        ],
+                    );
+                }
+            }
+        }
+        changed
+    }
+
+    // ----- composition rules (Figure 10) -------------------------------------
+
+    /// C1: facts `s : C` and `s : D` compose to `s : C ⊓ D` when the goal
+    /// asks for it.
+    fn rule_c1(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, ConceptId, ConceptId, ConceptId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::And(l, r) => Some((s, concept, l, r)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, whole, l, r) in candidates {
+            if self.facts.has_member(s, l) && self.facts.has_member(s, r) {
+                changed |= self.add_facts(RuleId::C1, vec![Constraint::Member(s, whole)]);
+            }
+        }
+        changed
+    }
+
+    /// C2: a goal `s : ⊤` is trivially satisfied.
+    fn rule_c2(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, ConceptId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Top => Some((s, concept)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, concept) in candidates {
+            changed |= self.add_facts(RuleId::C2, vec![Constraint::Member(s, concept)]);
+        }
+        changed
+    }
+
+    /// C3: a goal `s : ∃p` composes from a witnessing path fact (or `p = ε`).
+    fn rule_c3(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, ConceptId, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Exists(p) => Some((s, concept, p)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, concept, p) in candidates {
+            if self.arena.is_empty_path(p) || self.facts.has_any_path_target(s, p) {
+                changed |= self.add_facts(RuleId::C3, vec![Constraint::Member(s, concept)]);
+            }
+        }
+        changed
+    }
+
+    /// C4: a goal `s : ∃p ≐ ε` composes from a cyclic path fact `s p s`
+    /// (or `p = ε`).
+    fn rule_c4(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, ConceptId, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => match self.arena.concept(concept) {
+                    Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some((s, concept, p)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, concept, p) in candidates {
+            if self.arena.is_empty_path(p) || self.facts.has_path(s, p, s) {
+                changed |= self.add_facts(RuleId::C4, vec![Constraint::Member(s, concept)]);
+            }
+        }
+        changed
+    }
+
+    /// C5 and C6: path facts are composed bottom-up along goal paths.
+    fn rule_c56(&mut self) -> bool {
+        self.constraints_examined += self.goals.len();
+        let candidates: Vec<(Ind, PathId, Restriction, PathId)> = self
+            .goals
+            .iter()
+            .filter_map(|c| match *c {
+                Constraint::Member(s, concept) => {
+                    let path = match self.arena.concept(concept) {
+                        Concept::Exists(p) => Some(p),
+                        Concept::Agree(p, q) if self.arena.is_empty_path(q) => Some(p),
+                        _ => None,
+                    }?;
+                    match self.arena.path(path) {
+                        Path::Step(restriction, rest) => Some((s, path, restriction, rest)),
+                        Path::Empty => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        for (s, full_path, restriction, rest) in candidates {
+            let rest_is_empty = self.arena.is_empty_path(rest);
+            let fillers: Vec<Ind> = self
+                .facts
+                .fillers_via(s, restriction.attr)
+                .filter(|t| self.facts.has_member(*t, restriction.concept))
+                .collect();
+            for t_prime in fillers {
+                if rest_is_empty {
+                    changed |= self
+                        .add_facts(RuleId::C6, vec![Constraint::PathRel(s, full_path, t_prime)]);
+                } else {
+                    let targets: Vec<Ind> = self.facts.path_targets(t_prime, rest).collect();
+                    for t in targets {
+                        changed |=
+                            self.add_facts(RuleId::C5, vec![Constraint::PathRel(s, full_path, t)]);
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+enum Group {
+    Decomposition,
+    Schema,
+    Goal,
+    Composition,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Completion;
+    use subq_concepts::symbol::Vocabulary;
+
+    /// A targeted check of the headline equivalence (the exhaustive suite
+    /// lives in `tests/delta_equivalence.rs`): both engines produce the
+    /// same sets, stats and trace on a schema-heavy instance.
+    #[test]
+    fn reference_and_delta_agree_on_a_schema_heavy_instance() {
+        let mut voc = Vocabulary::new();
+        let patient = voc.class("Patient");
+        let person = voc.class("Person");
+        let string = voc.class("String");
+        let disease = voc.class("Disease");
+        let suffers = voc.attribute("suffers");
+        let name = voc.attribute("name");
+        let mut schema = Schema::new();
+        schema.add_isa(patient, person);
+        schema.add_necessary(patient, suffers);
+        schema.add_value_restriction(patient, suffers, disease);
+        schema.add_necessary(person, name);
+        schema.add_value_restriction(person, name, string);
+        schema.add_functional(person, name);
+
+        let build = |arena: &mut TermArena| {
+            let patient_c = arena.prim(patient);
+            let string_c = arena.prim(string);
+            let disease_c = arena.prim(disease);
+            let np = arena.path1(Attr::primitive(name), string_c);
+            let has_name = arena.exists(np);
+            let sp = arena.path1(Attr::primitive(suffers), disease_c);
+            let has_sickness = arena.agree_epsilon(sp);
+            let view = arena.and_all([patient_c, has_name, has_sickness]);
+            (patient_c, view)
+        };
+
+        let mut arena_ref = TermArena::new();
+        let (q1, v1) = build(&mut arena_ref);
+        let mut reference = ReferenceCompletion::new(&mut arena_ref, &schema, q1, v1, true);
+        let ref_stats = reference.run();
+
+        let mut arena_delta = TermArena::new();
+        let (q2, v2) = build(&mut arena_delta);
+        let mut delta = Completion::new(&mut arena_delta, &schema, q2, v2, true);
+        let delta_stats = delta.run();
+
+        assert_eq!(ref_stats.outcome_only(), delta_stats.outcome_only());
+        assert_eq!(reference.view_fact_derived(), delta.view_fact_derived());
+        assert_eq!(reference.find_clash(), delta.find_clash());
+        assert_eq!(
+            reference.trace().expect("traced").rule_sequence(),
+            delta.trace().expect("traced").rule_sequence()
+        );
+        let mut ref_facts: Vec<Constraint> = reference.facts().iter().copied().collect();
+        let mut delta_facts: Vec<Constraint> = delta.facts().iter().copied().collect();
+        ref_facts.sort();
+        delta_facts.sort();
+        assert_eq!(ref_facts, delta_facts);
+    }
+
+    /// The full scan really does quadratically more candidate work than
+    /// the delta engine on a deep instance.
+    #[test]
+    fn full_scan_examines_far_more_candidates() {
+        let mut voc = Vocabulary::new();
+        let a = voc.class("A");
+        let r = voc.attribute("r");
+        let mut schema = Schema::new();
+        schema.add_necessary(a, r);
+        schema.add_value_restriction(a, r, a);
+
+        let build = |arena: &mut TermArena| {
+            let a_c = arena.prim(a);
+            let path = arena.path_of(&[(Attr::primitive(r), a_c); 16]);
+            let view = arena.exists(path);
+            (a_c, view)
+        };
+        let mut arena_ref = TermArena::new();
+        let (q1, v1) = build(&mut arena_ref);
+        let mut reference = ReferenceCompletion::new(&mut arena_ref, &schema, q1, v1, false);
+        let ref_stats = reference.run();
+
+        let mut arena_delta = TermArena::new();
+        let (q2, v2) = build(&mut arena_delta);
+        let mut delta = Completion::new(&mut arena_delta, &schema, q2, v2, false);
+        let delta_stats = delta.run();
+
+        assert_eq!(ref_stats.outcome_only(), delta_stats.outcome_only());
+        assert!(
+            ref_stats.constraints_examined > 5 * delta_stats.constraints_examined,
+            "reference examined {} vs delta {}",
+            ref_stats.constraints_examined,
+            delta_stats.constraints_examined
+        );
+    }
+}

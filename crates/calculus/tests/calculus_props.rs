@@ -21,10 +21,7 @@ enum Desc {
 }
 
 fn desc() -> impl Strategy<Value = Desc> {
-    let leaf = prop_oneof![
-        (0..N_CLASSES).prop_map(Desc::Prim),
-        Just(Desc::Top),
-    ];
+    let leaf = prop_oneof![(0..N_CLASSES).prop_map(Desc::Prim), Just(Desc::Top),];
     leaf.prop_recursive(3, 20, 4, |inner| {
         let step = (0..N_ATTRS, any::<bool>(), inner.clone());
         let path = prop::collection::vec(step, 1..3);
@@ -73,8 +70,12 @@ struct World {
 
 fn world() -> World {
     let mut voc = Vocabulary::new();
-    let classes = (0..N_CLASSES).map(|i| voc.class(&format!("K{i}"))).collect();
-    let attrs = (0..N_ATTRS).map(|i| voc.attribute(&format!("r{i}"))).collect();
+    let classes = (0..N_CLASSES)
+        .map(|i| voc.class(&format!("K{i}")))
+        .collect();
+    let attrs = (0..N_ATTRS)
+        .map(|i| voc.attribute(&format!("r{i}")))
+        .collect();
     World {
         arena: TermArena::new(),
         classes,

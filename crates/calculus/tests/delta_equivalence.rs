@@ -1,0 +1,303 @@
+//! Equivalence suite: the delta-driven engine and the retained full-scan
+//! reference engine must be observationally identical — same final fact
+//! and goal sets, same clash, same statistics (up to the engine-dependent
+//! work counter), same rule trace, same fresh-variable numbering — on
+//! arbitrary inputs.
+
+use proptest::prelude::*;
+use subq_calculus::reference::ReferenceCompletion;
+use subq_calculus::{Completion, Constraint};
+use subq_concepts::normalize::normalize_concept;
+use subq_concepts::prelude::*;
+use subq_workload::scaling::{
+    conjunction_width_instance, path_depth_instance, schema_size_instance, view_growth_instance,
+};
+use subq_workload::{random_pair, subsumed_pair, RandomConceptParams};
+
+const N_CLASSES: usize = 4;
+const N_ATTRS: usize = 3;
+const N_CONSTS: usize = 2;
+
+/// Concept description, including constants so the substitution rules D3
+/// and S4 and both clash kinds are exercised.
+#[derive(Clone, Debug)]
+enum Desc {
+    Prim(usize),
+    Top,
+    Singleton(usize),
+    And(Box<Desc>, Box<Desc>),
+    Exists(Vec<(usize, bool, Desc)>),
+    Agree(Vec<(usize, bool, Desc)>, Vec<(usize, bool, Desc)>),
+}
+
+fn desc() -> impl Strategy<Value = Desc> {
+    let leaf = prop_oneof![
+        (0..N_CLASSES).prop_map(Desc::Prim),
+        Just(Desc::Top),
+        (0..N_CONSTS).prop_map(Desc::Singleton),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        let step = (0..N_ATTRS, any::<bool>(), inner.clone());
+        let path = prop::collection::vec(step, 1..3);
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Desc::And(Box::new(a), Box::new(b))),
+            path.clone().prop_map(Desc::Exists),
+            (path.clone(), path).prop_map(|(p, q)| Desc::Agree(p, q)),
+        ]
+    })
+}
+
+#[derive(Clone, Debug)]
+struct SchemaDesc {
+    isa: Vec<(usize, usize)>,
+    all: Vec<(usize, usize, usize)>,
+    necessary: Vec<(usize, usize)>,
+    functional: Vec<(usize, usize)>,
+    typings: Vec<(usize, usize, usize)>,
+}
+
+fn schema_desc() -> impl Strategy<Value = SchemaDesc> {
+    (
+        prop::collection::vec((0..N_CLASSES, 0..N_CLASSES), 0..4),
+        prop::collection::vec((0..N_CLASSES, 0..N_ATTRS, 0..N_CLASSES), 0..4),
+        prop::collection::vec((0..N_CLASSES, 0..N_ATTRS), 0..3),
+        prop::collection::vec((0..N_CLASSES, 0..N_ATTRS), 0..2),
+        prop::collection::vec((0..N_ATTRS, 0..N_CLASSES, 0..N_CLASSES), 0..2),
+    )
+        .prop_map(|(isa, all, necessary, functional, typings)| SchemaDesc {
+            isa,
+            all,
+            necessary,
+            functional,
+            typings,
+        })
+}
+
+struct World {
+    arena: TermArena,
+    classes: Vec<ClassId>,
+    attrs: Vec<AttrId>,
+    consts: Vec<ConstId>,
+}
+
+fn world() -> World {
+    let mut voc = Vocabulary::new();
+    let classes = (0..N_CLASSES)
+        .map(|i| voc.class(&format!("K{i}")))
+        .collect();
+    let attrs = (0..N_ATTRS)
+        .map(|i| voc.attribute(&format!("r{i}")))
+        .collect();
+    let consts = (0..N_CONSTS)
+        .map(|i| voc.constant(&format!("c{i}")))
+        .collect();
+    World {
+        arena: TermArena::new(),
+        classes,
+        attrs,
+        consts,
+    }
+}
+
+fn intern(world: &mut World, d: &Desc) -> ConceptId {
+    match d {
+        Desc::Prim(i) => world.arena.prim(world.classes[*i]),
+        Desc::Top => world.arena.top(),
+        Desc::Singleton(i) => world.arena.singleton(world.consts[*i]),
+        Desc::And(a, b) => {
+            let l = intern(world, a);
+            let r = intern(world, b);
+            world.arena.and(l, r)
+        }
+        Desc::Exists(steps) => {
+            let p = intern_path(world, steps);
+            world.arena.exists(p)
+        }
+        Desc::Agree(p, q) => {
+            let pp = intern_path(world, p);
+            let qq = intern_path(world, q);
+            world.arena.agree(pp, qq)
+        }
+    }
+}
+
+fn intern_path(world: &mut World, steps: &[(usize, bool, Desc)]) -> PathId {
+    let interned: Vec<(Attr, ConceptId)> = steps
+        .iter()
+        .map(|(a, inv, d)| {
+            let c = intern(world, d);
+            let attr = if *inv {
+                Attr::inverse_of(world.attrs[*a])
+            } else {
+                Attr::primitive(world.attrs[*a])
+            };
+            (attr, c)
+        })
+        .collect();
+    world.arena.path_of(&interned)
+}
+
+fn build_schema(world: &World, d: &SchemaDesc) -> Schema {
+    let mut schema = Schema::new();
+    for (a, b) in &d.isa {
+        schema.add_isa(world.classes[*a], world.classes[*b]);
+    }
+    for (a, p, b) in &d.all {
+        schema.add_value_restriction(world.classes[*a], world.attrs[*p], world.classes[*b]);
+    }
+    for (a, p) in &d.necessary {
+        schema.add_necessary(world.classes[*a], world.attrs[*p]);
+    }
+    for (a, p) in &d.functional {
+        schema.add_functional(world.classes[*a], world.attrs[*p]);
+    }
+    for (p, a, b) in &d.typings {
+        schema.add_attr_typing(world.attrs[*p], world.classes[*a], world.classes[*b]);
+    }
+    schema
+}
+
+/// Runs both engines on the same (already interned) input and asserts
+/// every observable agrees. Returns an error string on the first
+/// disagreement so the caller can report the failing instance.
+fn assert_engines_agree(
+    arena: &mut TermArena,
+    schema: &Schema,
+    query: ConceptId,
+    view: ConceptId,
+) -> Result<(), String> {
+    let query = normalize_concept(arena, query);
+    let view = normalize_concept(arena, view);
+
+    // The reference engine interns nothing new beyond what rule firing
+    // interns, and both engines intern the same terms in the same order,
+    // so a shared arena is safe; run the reference first.
+    let (ref_stats, ref_facts, ref_goals, ref_clash, ref_derived, ref_seq) = {
+        let mut completion = ReferenceCompletion::new(arena, schema, query, view, true);
+        let stats = completion.run();
+        let mut facts: Vec<Constraint> = completion.facts().iter().copied().collect();
+        let mut goals: Vec<Constraint> = completion.goals().iter().copied().collect();
+        facts.sort();
+        goals.sort();
+        (
+            stats,
+            facts,
+            goals,
+            completion.find_clash(),
+            completion.view_fact_derived(),
+            completion.trace().expect("traced").rule_sequence(),
+        )
+    };
+
+    let mut completion = Completion::new(arena, schema, query, view, true);
+    let stats = completion.run();
+    let mut facts: Vec<Constraint> = completion.facts().iter().copied().collect();
+    let mut goals: Vec<Constraint> = completion.goals().iter().copied().collect();
+    facts.sort();
+    goals.sort();
+
+    if stats.outcome_only() != ref_stats.outcome_only() {
+        return Err(format!(
+            "stats diverge: delta {:?} vs reference {:?}",
+            stats.outcome_only(),
+            ref_stats.outcome_only()
+        ));
+    }
+    if facts != ref_facts {
+        return Err(format!(
+            "fact sets diverge: delta {} facts vs reference {}",
+            facts.len(),
+            ref_facts.len()
+        ));
+    }
+    if goals != ref_goals {
+        return Err(format!(
+            "goal sets diverge: delta {} goals vs reference {}",
+            goals.len(),
+            ref_goals.len()
+        ));
+    }
+    if completion.find_clash() != ref_clash {
+        return Err(format!(
+            "clashes diverge: delta {:?} vs reference {:?}",
+            completion.find_clash(),
+            ref_clash
+        ));
+    }
+    if completion.view_fact_derived() != ref_derived {
+        return Err("view-fact verdicts diverge".to_owned());
+    }
+    let seq = completion.trace().expect("traced").rule_sequence();
+    if seq != ref_seq {
+        return Err(format!(
+            "rule traces diverge at position {}: delta {:?}… vs reference {:?}…",
+            seq.iter()
+                .zip(ref_seq.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(seq.len().min(ref_seq.len())),
+            seq.iter().take(12).collect::<Vec<_>>(),
+            ref_seq.iter().take(12).collect::<Vec<_>>(),
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline property: on arbitrary concept pairs and schemas, the
+    /// delta engine is indistinguishable from the full-scan reference.
+    #[test]
+    fn delta_equals_reference_on_random_pairs(c in desc(), d in desc(), s in schema_desc()) {
+        let mut w = world();
+        let query = intern(&mut w, &c);
+        let view = intern(&mut w, &d);
+        let schema = build_schema(&w, &s);
+        if let Err(msg) = assert_engines_agree(&mut w.arena, &schema, query, view) {
+            prop_assert!(false, "{} on query {:?} / view {:?} / schema {:?}", msg, c, d, s);
+        }
+    }
+}
+
+/// The same equivalence on the seeded `workload` generators the benches
+/// use — 200 random pairs, 100 subsumed-by-construction pairs.
+#[test]
+fn delta_equals_reference_on_workload_instances() {
+    for seed in 0..200u64 {
+        let (mut env, query, view) = random_pair(seed, RandomConceptParams::default());
+        let schema = Schema::new();
+        assert_engines_agree(&mut env.arena, &schema, query, view)
+            .unwrap_or_else(|msg| panic!("random_pair seed {seed}: {msg}"));
+    }
+    for seed in 0..100u64 {
+        let (mut env, query, view) = subsumed_pair(seed, RandomConceptParams::default());
+        let schema = Schema::new();
+        assert_engines_agree(&mut env.arena, &schema, query, view)
+            .unwrap_or_else(|msg| panic!("subsumed_pair seed {seed}: {msg}"));
+    }
+}
+
+/// The scaling families (which drive E5) agree as well, including the
+/// schema-heavy and S5-heavy ones.
+#[test]
+fn delta_equals_reference_on_scaling_families() {
+    type Family = fn(usize) -> subq_workload::ScalingInstance;
+    let families: [(&str, Family); 4] = [
+        ("path_depth", path_depth_instance),
+        ("conjunction_width", conjunction_width_instance),
+        ("schema_size", schema_size_instance),
+        ("view_growth", view_growth_instance),
+    ];
+    for (name, family) in families {
+        for n in [1usize, 2, 3, 5, 8, 13, 21] {
+            let mut instance = family(n);
+            assert_engines_agree(
+                &mut instance.arena,
+                &instance.schema,
+                instance.query,
+                instance.view,
+            )
+            .unwrap_or_else(|msg| panic!("{name} n={n}: {msg}"));
+        }
+    }
+}

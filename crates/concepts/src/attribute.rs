@@ -7,10 +7,10 @@
 //! that maps `P` to `P⁻¹` and `P⁻¹` back to `P`; this is [`Attr::inverse`].
 
 use crate::symbol::AttrId;
-use serde::{Deserialize, Serialize};
 
 /// A QL attribute: a primitive attribute or the inverse of one.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Attr {
     prim: AttrId,
     inverted: bool,

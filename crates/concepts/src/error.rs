@@ -49,7 +49,9 @@ mod tests {
         assert!(e.to_string().contains("Aspirin"));
         let e = ConceptError::UniqueNameViolation("a".into(), "b".into());
         assert!(e.to_string().contains('a') && e.to_string().contains('b'));
-        assert!(ConceptError::NotNormalized.to_string().contains("normalized"));
+        assert!(ConceptError::NotNormalized
+            .to_string()
+            .contains("normalized"));
         let e = ConceptError::IllFormedAxiom("inverse attribute".into());
         assert!(e.to_string().contains("inverse attribute"));
     }

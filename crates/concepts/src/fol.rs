@@ -355,8 +355,9 @@ pub fn eval_formula(
 
     match formula {
         Formula::True => true,
-        Formula::ClassAtom(class, t) => term_value(interp, *t, assignment)
-            .is_some_and(|e| interp.is_in_class(*class, e)),
+        Formula::ClassAtom(class, t) => {
+            term_value(interp, *t, assignment).is_some_and(|e| interp.is_in_class(*class, e))
+        }
         Formula::AttrAtom(attr, s, t) => {
             match (
                 term_value(interp, *s, assignment),
@@ -569,10 +570,7 @@ mod tests {
 
     #[test]
     fn formula_size_counts_connectives() {
-        let f = Formula::And(vec![
-            Formula::True,
-            Formula::Not(Box::new(Formula::True)),
-        ]);
+        let f = Formula::And(vec![Formula::True, Formula::Not(Box::new(Formula::True))]);
         assert_eq!(f.size(), 4);
         assert_eq!(Formula::and(vec![]).size(), 1);
     }

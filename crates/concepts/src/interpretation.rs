@@ -18,13 +18,11 @@ use crate::attribute::Attr;
 use crate::schema::{Schema, SchemaAxiom, SlConcept};
 use crate::symbol::{AttrId, ClassId, ConstId};
 use crate::term::{Concept, ConceptId, Path, PathId, TermArena};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// An element of the domain of an interpretation.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Element(pub u32);
 
 impl Element {
@@ -36,7 +34,8 @@ impl Element {
 }
 
 /// A finite interpretation.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interpretation {
     domain_size: u32,
     class_ext: BTreeMap<ClassId, BTreeSet<Element>>,
@@ -473,10 +472,7 @@ mod tests {
         assert_eq!(f.interp.eval_sl_concept(all).len(), 3);
         // ∃consults holds only at e0.
         let ex = SlConcept::Exists(f.consults);
-        assert_eq!(
-            f.interp.eval_sl_concept(ex),
-            BTreeSet::from([Element(0)])
-        );
+        assert_eq!(f.interp.eval_sl_concept(ex), BTreeSet::from([Element(0)]));
         // (≤1 consults) holds everywhere.
         let f1 = SlConcept::AtMostOne(f.consults);
         assert_eq!(f.interp.eval_sl_concept(f1).len(), 3);

@@ -58,9 +58,7 @@ pub fn is_normalized(arena: &TermArena, concept: ConceptId) -> bool {
         Concept::Prim(_) | Concept::Top | Concept::Singleton(_) => true,
         Concept::And(l, r) => is_normalized(arena, l) && is_normalized(arena, r),
         Concept::Exists(p) => is_normalized_path(arena, p),
-        Concept::Agree(p, q) => {
-            arena.is_empty_path(q) && is_normalized_path(arena, p)
-        }
+        Concept::Agree(p, q) => arena.is_empty_path(q) && is_normalized_path(arena, p),
     }
 }
 
@@ -127,11 +125,7 @@ fn merge_agreement(arena: &mut TermArena, p: PathId, q: PathId) -> PathId {
     // value restriction of step i-1 (⊤ when landing back on the start).
     let top = arena.top();
     for i in (0..q_steps.len()).rev() {
-        let landing = if i == 0 {
-            top
-        } else {
-            q_steps[i - 1].concept
-        };
+        let landing = if i == 0 { top } else { q_steps[i - 1].concept };
         merged.push(Restriction {
             attr: q_steps[i].attr.inverse(),
             concept: landing,

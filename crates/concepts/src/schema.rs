@@ -14,11 +14,11 @@
 //! the whole axiom set for the procedure to stay polynomial in practice.
 
 use crate::symbol::{AttrId, ClassId, Vocabulary};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// An SL concept: the right-hand side of an inclusion axiom.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SlConcept {
     /// A primitive concept `A`.
     Prim(ClassId),
@@ -31,7 +31,8 @@ pub enum SlConcept {
 }
 
 /// A schema axiom.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchemaAxiom {
     /// `A ⊑ D`: all instances of `A` satisfy `D`.
     Inclusion(ClassId, SlConcept),
@@ -40,7 +41,8 @@ pub enum SchemaAxiom {
 }
 
 /// An indexed SL schema.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     axioms: Vec<SchemaAxiom>,
     /// `A ↦ { A' | A ⊑ A' ∈ Σ }` (rule S1).
@@ -292,10 +294,7 @@ mod tests {
         schema.add_attr_typing(skilled, person, topic);
 
         assert_eq!(schema.supers_of(patient), &[person]);
-        assert_eq!(
-            schema.value_restrictions_of(patient),
-            &[(suffers, disease)]
-        );
+        assert_eq!(schema.value_restrictions_of(patient), &[(suffers, disease)]);
         assert!(schema.is_necessary(patient, suffers));
         assert!(!schema.is_necessary(patient, name));
         assert!(schema.is_functional(person, name));

@@ -7,14 +7,14 @@
 //! [`Vocabulary`]. All name-to-id resolution is exact string matching; names
 //! are case-sensitive, as in the paper's examples (`Patient`, `skilled_in`).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $tag:literal) => {
         $(#[$doc])*
-        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
         pub struct $name(pub(crate) u32);
 
         impl $name {
@@ -67,7 +67,8 @@ define_id!(
 /// the same name twice returns the same identifier. The well-known universal
 /// class `Object` of the paper is *not* special-cased here; the translation
 /// layer maps it to the QL concept `⊤` instead.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vocabulary {
     class_names: Vec<String>,
     attr_names: Vec<String>,

@@ -14,11 +14,11 @@
 
 use crate::attribute::Attr;
 use crate::symbol::{ClassId, ConstId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of an interned QL concept inside a [`TermArena`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConceptId(u32);
 
 impl ConceptId {
@@ -30,7 +30,8 @@ impl ConceptId {
 }
 
 /// Identifier of an interned path inside a [`TermArena`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathId(u32);
 
 impl PathId {
@@ -43,7 +44,8 @@ impl PathId {
 
 /// A restricted attribute `(R : C)`: the pairs related by `R` whose second
 /// component is an instance of `C`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Restriction {
     /// The (possibly inverted) attribute `R`.
     pub attr: Attr,
@@ -53,7 +55,8 @@ pub struct Restriction {
 
 /// A path node: either the empty path `ε` or a restriction followed by a
 /// (shared) suffix path.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Path {
     /// The empty path `ε`, denoting the identity relation.
     Empty,
@@ -66,7 +69,8 @@ pub enum Path {
 ///
 /// The variants follow the grammar of Section 3.1:
 /// `C ::= A | ⊤ | {a} | C ⊓ D | ∃p | ∃p ≐ q`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Concept {
     /// A primitive concept `A`.
     Prim(ClassId),

@@ -157,8 +157,9 @@ fn atoms_satisfied(
     assignment: &HashMap<CqVar, Element>,
 ) -> bool {
     query.atoms.iter().all(|atom| match *atom {
-        CqAtom::Class(class, t) => term_value(t, interp, assignment)
-            .is_some_and(|e| interp.is_in_class(class, e)),
+        CqAtom::Class(class, t) => {
+            term_value(t, interp, assignment).is_some_and(|e| interp.is_in_class(class, e))
+        }
         CqAtom::Attr(attr, s, t) => {
             match (
                 term_value(s, interp, assignment),

@@ -166,7 +166,11 @@ impl ConjunctiveQuery {
         } else {
             parts.join(", ")
         };
-        let marker = if self.inconsistent { "  [inconsistent]" } else { "" };
+        let marker = if self.inconsistent {
+            "  [inconsistent]"
+        } else {
+            ""
+        };
         format!("q({}) :- {}{}", term(CqTerm::Var(self.head)), body, marker)
     }
 }
@@ -202,7 +206,11 @@ mod tests {
         let mut q = ConjunctiveQuery::universal();
         let y = q.fresh_var();
         q.push(CqAtom::Attr(consults, CqTerm::Var(q.head), CqTerm::Var(y)));
-        q.push(CqAtom::Attr(consults, CqTerm::Var(y), CqTerm::Const(aspirin)));
+        q.push(CqAtom::Attr(
+            consults,
+            CqTerm::Var(y),
+            CqTerm::Const(aspirin),
+        ));
         assert_eq!(q.variables(), vec![CqVar(0), y]);
         assert_eq!(q.constants(), vec![aspirin]);
     }
@@ -218,7 +226,11 @@ mod tests {
         q.substitute(CqTerm::Var(y), CqTerm::Const(alice));
         assert_eq!(
             q.atoms,
-            vec![CqAtom::Attr(knows, CqTerm::Var(CqVar(0)), CqTerm::Const(alice))]
+            vec![CqAtom::Attr(
+                knows,
+                CqTerm::Var(CqVar(0)),
+                CqTerm::Const(alice)
+            )]
         );
     }
 

@@ -62,10 +62,11 @@ fn resolve(query: &ConjunctiveQuery, mut term: CqTerm) -> CqTerm {
         match term {
             CqTerm::Const(_) => return term,
             CqTerm::Var(v) => {
-                let next = query
-                    .substitutions
-                    .iter()
-                    .find_map(|&(from, to)| if from == v { Some(to) } else { None });
+                let next =
+                    query
+                        .substitutions
+                        .iter()
+                        .find_map(|&(from, to)| if from == v { Some(to) } else { None });
                 match next {
                     Some(to) => term = to,
                     None => return term,
@@ -92,9 +93,7 @@ fn identify(query: &mut ConjunctiveQuery, left: CqTerm, right: CqTerm) {
             _ => query.head_constant = Some(constant),
         }
         query.substitute(CqTerm::Var(head), CqTerm::Const(constant));
-        query
-            .substitutions
-            .push((head, CqTerm::Const(constant)));
+        query.substitutions.push((head, CqTerm::Const(constant)));
     };
     match (left, right) {
         (CqTerm::Const(a), CqTerm::Const(b)) => {

@@ -56,9 +56,15 @@ struct World {
 fn world() -> World {
     let mut voc = Vocabulary::new();
     World {
-        classes: (0..N_CLASSES).map(|i| voc.class(&format!("K{i}"))).collect(),
-        attrs: (0..N_ATTRS).map(|i| voc.attribute(&format!("r{i}"))).collect(),
-        consts: (0..N_CONSTS).map(|i| voc.constant(&format!("c{i}"))).collect(),
+        classes: (0..N_CLASSES)
+            .map(|i| voc.class(&format!("K{i}")))
+            .collect(),
+        attrs: (0..N_ATTRS)
+            .map(|i| voc.attribute(&format!("r{i}")))
+            .collect(),
+        consts: (0..N_CONSTS)
+            .map(|i| voc.constant(&format!("c{i}")))
+            .collect(),
         arena: TermArena::new(),
     }
 }

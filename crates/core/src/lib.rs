@@ -195,8 +195,12 @@ mod tests {
     #[test]
     fn engine_reproduces_the_paper_example() {
         let mut engine = Engine::from_source(dl::samples::MEDICAL_SOURCE).expect("loads");
-        assert!(engine.subsumes("QueryPatient", "ViewPatient").expect("checks"));
-        assert!(!engine.subsumes("ViewPatient", "QueryPatient").expect("checks"));
+        assert!(engine
+            .subsumes("QueryPatient", "ViewPatient")
+            .expect("checks"));
+        assert!(!engine
+            .subsumes("ViewPatient", "QueryPatient")
+            .expect("checks"));
         assert_eq!(
             engine.subsuming_views("QueryPatient").expect("checks"),
             vec!["ViewPatient".to_owned()]

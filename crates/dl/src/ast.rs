@@ -1,10 +1,9 @@
 //! Abstract syntax of the DL schema and query language (Section 2).
 
-use serde::{Deserialize, Serialize};
-
 /// An attribute specification inside a class declaration, e.g.
 /// `suffers: Disease` under the heading `attribute, necessary`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttrSpec {
     /// The attribute name.
     pub name: String,
@@ -20,7 +19,8 @@ pub struct AttrSpec {
 }
 
 /// A class declaration.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClassDecl {
     /// The class name.
     pub name: String,
@@ -34,7 +34,8 @@ pub struct ClassDecl {
 
 /// A global attribute declaration with domain, range and optional inverse
 /// synonym (e.g. `skilled_in` with inverse `specialist`).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttrDecl {
     /// The attribute name.
     pub name: String,
@@ -48,7 +49,8 @@ pub struct AttrDecl {
 }
 
 /// A value filter attached to one step of a labeled path.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PathFilter {
     /// `(a: C)` — the value must be an instance of the class `C`.
     Class(String),
@@ -60,7 +62,8 @@ pub enum PathFilter {
 
 /// One step of a labeled path: a (possibly synonym) attribute with a value
 /// filter.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathStep {
     /// The attribute (or inverse synonym) name.
     pub attr: String,
@@ -70,7 +73,8 @@ pub struct PathStep {
 
 /// A labeled path in the `derived` clause of a query class, e.g.
 /// `l_2: suffers.(specialist: Doctor)`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LabeledPath {
     /// The label naming the derived object at the end of the path; may be
     /// omitted when it is used neither in `where` nor in the constraint.
@@ -81,7 +85,8 @@ pub struct LabeledPath {
 
 /// A term of the constraint language: the implicit `this`, a bound
 /// variable, a label of the enclosing query class, or an object constant.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Term {
     /// The object whose membership is being constrained.
     This,
@@ -95,7 +100,8 @@ pub enum Term {
 /// The language is the first-order many-sorted language of Section 2.1:
 /// quantifiers range over classes, and the only atoms are class membership
 /// `(x in C)`, attribute atoms `(x a y)` and equalities.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ConstraintExpr {
     /// `(t in C)`.
     In(Term, String),
@@ -156,7 +162,8 @@ impl ConstraintExpr {
 }
 
 /// A query class declaration (Section 2.2).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueryClassDecl {
     /// The name of the query class.
     pub name: String,
@@ -188,7 +195,8 @@ impl QueryClassDecl {
 }
 
 /// A complete DL model: schema declarations plus query classes.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DlModel {
     /// Class declarations, in source order.
     pub classes: Vec<ClassDecl>,

@@ -193,7 +193,10 @@ fn path_formula(
         ));
         match &step.filter {
             PathFilter::Class(class) => {
-                conjuncts.push(NamedFormula::Class(class.clone(), NamedTerm::Var(next.clone())));
+                conjuncts.push(NamedFormula::Class(
+                    class.clone(),
+                    NamedTerm::Var(next.clone()),
+                ));
             }
             PathFilter::Singleton(object) => {
                 conjuncts.push(NamedFormula::Eq(
@@ -241,7 +244,10 @@ pub fn constraint_to_formula(expr: &ConstraintExpr, this_var: &str) -> NamedForm
         ConstraintExpr::Forall(var, class, body) => NamedFormula::Forall(
             vec![var.clone()],
             Box::new(NamedFormula::Implies(
-                Box::new(NamedFormula::Class(class.clone(), NamedTerm::Var(var.clone()))),
+                Box::new(NamedFormula::Class(
+                    class.clone(),
+                    NamedTerm::Var(var.clone()),
+                )),
                 Box::new(constraint_to_formula(body, this_var)),
             )),
         ),
@@ -270,12 +276,13 @@ mod tests {
         // The six formulas of Figure 2 for Patient (isA, three typings, one
         // necessity, one constraint).
         assert!(rendered.contains(&"∀ x. (Patient(x) ⇒ Person(x))".to_owned()));
-        assert!(rendered
-            .contains(&"∀ x, y. ((Patient(x) ∧ takes(x, y)) ⇒ Drug(y))".to_owned()));
-        assert!(rendered
-            .contains(&"∀ x, y. ((Patient(x) ∧ consults(x, y)) ⇒ Doctor(y))".to_owned()));
-        assert!(rendered
-            .contains(&"∀ x, y. ((Patient(x) ∧ suffers(x, y)) ⇒ Disease(y))".to_owned()));
+        assert!(rendered.contains(&"∀ x, y. ((Patient(x) ∧ takes(x, y)) ⇒ Drug(y))".to_owned()));
+        assert!(
+            rendered.contains(&"∀ x, y. ((Patient(x) ∧ consults(x, y)) ⇒ Doctor(y))".to_owned())
+        );
+        assert!(
+            rendered.contains(&"∀ x, y. ((Patient(x) ∧ suffers(x, y)) ⇒ Disease(y))".to_owned())
+        );
         assert!(rendered.contains(&"∀ x. (Patient(x) ⇒ ∃ y. suffers(x, y))".to_owned()));
         assert!(rendered.contains(&"∀ x. (Patient(x) ⇒ ¬(Doctor(x)))".to_owned()));
         assert_eq!(axioms.len(), 6);
@@ -287,10 +294,10 @@ mod tests {
         let attr = model.attribute("skilled_in").expect("declared");
         let axioms = attr_axioms(attr);
         let rendered: Vec<String> = axioms.iter().map(|a| a.to_string()).collect();
-        assert!(rendered
-            .contains(&"∀ x, y. (skilled_in(x, y) ⇒ (Person(x) ∧ Topic(y)))".to_owned()));
-        assert!(rendered
-            .contains(&"∀ x, y. (skilled_in(x, y) ⇔ specialist(y, x))".to_owned()));
+        assert!(
+            rendered.contains(&"∀ x, y. (skilled_in(x, y) ⇒ (Person(x) ∧ Topic(y)))".to_owned())
+        );
+        assert!(rendered.contains(&"∀ x, y. (skilled_in(x, y) ⇔ specialist(y, x))".to_owned()));
     }
 
     #[test]

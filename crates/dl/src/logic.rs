@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn size_counts_nodes() {
-        let eq = NamedFormula::Eq(NamedTerm::Var("y".into()), NamedTerm::Const("Aspirin".into()));
+        let eq = NamedFormula::Eq(
+            NamedTerm::Var("y".into()),
+            NamedTerm::Const("Aspirin".into()),
+        );
         let not = NamedFormula::Not(Box::new(eq.clone()));
         assert_eq!(eq.size(), 1);
         assert_eq!(not.size(), 2);

@@ -329,11 +329,7 @@ impl Parser {
                     inverse = Some(self.ident("an attribute name")?);
                 }
                 Some("end") => break,
-                _ => {
-                    return Err(
-                        self.error_here("expected `domain`, `range`, `inverse`, or `end`")
-                    )
-                }
+                _ => return Err(self.error_here("expected `domain`, `range`, `inverse`, or `end`")),
             }
         }
         self.expect_word("end")?;
@@ -738,8 +734,8 @@ mod tests {
 
     #[test]
     fn parse_constraint_round_trips_nested_expressions() {
-        let expr = parse_constraint("(not ((this in Doctor) and (this in Patient)))")
-            .expect("parses");
+        let expr =
+            parse_constraint("(not ((this in Doctor) and (this in Patient)))").expect("parses");
         assert!(matches!(expr, ConstraintExpr::Not(_)));
         let expr = parse_constraint("exists d/Disease (this suffers d)").expect("parses");
         assert!(matches!(expr, ConstraintExpr::Exists(..)));

@@ -36,7 +36,10 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::UndeclaredClass { reference, context } => {
-                write!(f, "class `{reference}` referenced in {context} is not declared")
+                write!(
+                    f,
+                    "class `{reference}` referenced in {context} is not declared"
+                )
             }
             ValidationError::UndeclaredAttribute { reference, context } => {
                 write!(
@@ -54,10 +57,16 @@ impl fmt::Display for ValidationError {
                 )
             }
             ValidationError::UndeclaredLabel { label, query } => {
-                write!(f, "label `{label}` used in `{query}` is not declared in its derived clause")
+                write!(
+                    f,
+                    "label `{label}` used in `{query}` is not declared in its derived clause"
+                )
             }
             ValidationError::LabelReusedInWhere { label, query } => {
-                write!(f, "label `{label}` occurs more than once in the where clause of `{query}`")
+                write!(
+                    f,
+                    "label `{label}` occurs more than once in the where clause of `{query}`"
+                )
             }
             ValidationError::SelfSuperclass { query } => {
                 write!(f, "query class `{query}` lists itself as a superclass")
@@ -328,9 +337,9 @@ mod tests {
         )
         .expect("parses");
         let errors = validate_model(&model);
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, ValidationError::UndeclaredLabel { label, .. } if label == "l_2")));
+        assert!(errors.iter().any(
+            |e| matches!(e, ValidationError::UndeclaredLabel { label, .. } if label == "l_2")
+        ));
     }
 
     #[test]
@@ -353,9 +362,9 @@ mod tests {
         )
         .expect("parses");
         let errors = validate_model(&model);
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, ValidationError::LabelReusedInWhere { label, .. } if label == "l_1")));
+        assert!(errors.iter().any(
+            |e| matches!(e, ValidationError::LabelReusedInWhere { label, .. } if label == "l_1")
+        ));
     }
 
     #[test]

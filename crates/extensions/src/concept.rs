@@ -117,11 +117,17 @@ impl ExtConcept {
             ExtConcept::Not(c) => format!("¬{}", c.render(voc)),
             ExtConcept::And(cs) => format!(
                 "({})",
-                cs.iter().map(|c| c.render(voc)).collect::<Vec<_>>().join(" ⊓ ")
+                cs.iter()
+                    .map(|c| c.render(voc))
+                    .collect::<Vec<_>>()
+                    .join(" ⊓ ")
             ),
             ExtConcept::Or(cs) => format!(
                 "({})",
-                cs.iter().map(|c| c.render(voc)).collect::<Vec<_>>().join(" ⊔ ")
+                cs.iter()
+                    .map(|c| c.render(voc))
+                    .collect::<Vec<_>>()
+                    .join(" ⊔ ")
             ),
             ExtConcept::Exists(attr, c) => {
                 let name = voc.attr_name(attr.base());
@@ -205,7 +211,10 @@ mod tests {
         let (_voc, a, ..) = voc();
         let c = ExtConcept::Not(Box::new(ExtConcept::Not(Box::new(ExtConcept::Prim(a)))));
         assert_eq!(c.nnf(), ExtConcept::Prim(a));
-        assert_eq!(ExtConcept::Not(Box::new(ExtConcept::Top)).nnf(), ExtConcept::Bottom);
+        assert_eq!(
+            ExtConcept::Not(Box::new(ExtConcept::Top)).nnf(),
+            ExtConcept::Bottom
+        );
     }
 
     #[test]
@@ -236,10 +245,10 @@ mod tests {
                 r,
                 Box::new(ExtConcept::And(vec![
                     ExtConcept::Prim(a),
-                    ExtConcept::Exists(r, Box::new(ExtConcept::And(vec![
-                        ExtConcept::Top,
-                        ExtConcept::Top
-                    ]))),
+                    ExtConcept::Exists(
+                        r,
+                        Box::new(ExtConcept::And(vec![ExtConcept::Top, ExtConcept::Top]))
+                    ),
                 ]))
             )
         );

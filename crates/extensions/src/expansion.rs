@@ -188,10 +188,10 @@ pub fn expand_and_detect(schema: &ExtSchema, class: ClassId, depth: usize) -> Ex
         let mut changed = false;
 
         // isA saturation.
-        for node in 0..nodes.len() {
-            let closure = schema.upward_closure(&nodes[node].classes);
-            if closure.len() > nodes[node].classes.len() {
-                nodes[node].classes = closure;
+        for node in nodes.iter_mut() {
+            let closure = schema.upward_closure(&node.classes);
+            if closure.len() > node.classes.len() {
+                node.classes = closure;
                 changed = true;
             }
         }
@@ -218,7 +218,10 @@ pub fn expand_and_detect(schema: &ExtSchema, class: ClassId, depth: usize) -> Ex
                 // One filler per (attribute, qualifier) — reuse an existing
                 // child when it already covers the requirement.
                 let already = nodes[node].children.iter().any(|&(p, child)| {
-                    p == attr && filler_classes.iter().all(|c| nodes[child].classes.contains(c))
+                    p == attr
+                        && filler_classes
+                            .iter()
+                            .all(|c| nodes[child].classes.contains(c))
                 });
                 if already {
                     continue;
@@ -426,7 +429,6 @@ mod tests {
         let mut voc = Vocabulary::new();
         let (schema, root) = qualified_chain(&mut voc, 3);
         assert_eq!(filler_demand(&schema, root, 0), 1);
-        assert!(schema.len() > 0);
         assert!(!schema.is_empty());
     }
 

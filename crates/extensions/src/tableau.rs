@@ -120,9 +120,7 @@ fn expand(mut state: State, stats: &mut TableauStats) -> bool {
         // Branch on the first unexpanded union.
         let choice = state.labels.iter().enumerate().find_map(|(node, label)| {
             label.iter().find_map(|concept| match concept {
-                ExtConcept::Or(parts)
-                    if !parts.iter().any(|p| label.contains(p)) =>
-                {
+                ExtConcept::Or(parts) if !parts.iter().any(|p| label.contains(p)) => {
                     Some((node, parts.clone()))
                 }
                 _ => None,

@@ -168,14 +168,13 @@ pub fn eval_constraint(
         }
     };
     match expr {
-        ConstraintExpr::In(t, class) => resolve(t, env)
-            .is_some_and(|obj| class == "Object" || db.is_instance_of(obj, class)),
-        ConstraintExpr::HasAttr(s, attr, t) => {
-            match (resolve(s, env), resolve(t, env)) {
-                (Some(from), Some(to)) => db.attr_values(from, attr).contains(&to),
-                _ => false,
-            }
+        ConstraintExpr::In(t, class) => {
+            resolve(t, env).is_some_and(|obj| class == "Object" || db.is_instance_of(obj, class))
         }
+        ConstraintExpr::HasAttr(s, attr, t) => match (resolve(s, env), resolve(t, env)) {
+            (Some(from), Some(to)) => db.attr_values(from, attr).contains(&to),
+            _ => false,
+        },
         ConstraintExpr::Eq(s, t) => match (resolve(s, env), resolve(t, env)) {
             (Some(a), Some(b)) => a == b,
             _ => false,
@@ -192,13 +191,11 @@ pub fn eval_constraint(
             env.insert(var.clone(), obj);
             eval_constraint(db, body, this, &env)
         }),
-        ConstraintExpr::Exists(var, class, body) => {
-            db.class_extent(class).into_iter().any(|obj| {
-                let mut env = env.clone();
-                env.insert(var.clone(), obj);
-                eval_constraint(db, body, this, &env)
-            })
-        }
+        ConstraintExpr::Exists(var, class, body) => db.class_extent(class).into_iter().any(|obj| {
+            let mut env = env.clone();
+            env.insert(var.clone(), obj);
+            eval_constraint(db, body, this, &env)
+        }),
     }
 }
 

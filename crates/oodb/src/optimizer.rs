@@ -19,7 +19,7 @@ use crate::eval::{evaluate_query_over, initial_candidates};
 use crate::store::{Database, ObjId};
 use crate::views::{ViewCatalog, ViewError};
 use std::collections::BTreeSet;
-use subq_calculus::SubsumptionChecker;
+use subq_calculus::{SubsumptionCache, SubsumptionChecker};
 use subq_dl::QueryClassDecl;
 use subq_translate::{translate_query, TranslateError, TranslatedModel};
 
@@ -31,6 +31,10 @@ pub struct QueryPlan {
     /// The view whose extension will be filtered (the smallest subsuming
     /// one), if any.
     pub chosen_view: Option<String>,
+    /// How many view probes were answered from the subsumption cache.
+    pub cached_probes: usize,
+    /// How many view probes ran a fresh saturation.
+    pub fresh_probes: usize,
 }
 
 /// Statistics of one query execution.
@@ -51,6 +55,11 @@ pub struct OptimizedDatabase {
     db: Database,
     translated: TranslatedModel,
     catalog: ViewCatalog,
+    /// Memoized `(query, view) → verdict` table. Subsumption depends only
+    /// on the (immutable) translated schema and the concepts, never on
+    /// the database state, so the cache survives updates and view
+    /// refreshes unchanged.
+    subsumption_cache: SubsumptionCache,
 }
 
 impl OptimizedDatabase {
@@ -61,6 +70,7 @@ impl OptimizedDatabase {
             db,
             translated,
             catalog: ViewCatalog::new(),
+            subsumption_cache: SubsumptionCache::new(),
         })
     }
 
@@ -72,6 +82,11 @@ impl OptimizedDatabase {
     /// The view catalog.
     pub fn catalog(&self) -> &ViewCatalog {
         &self.catalog
+    }
+
+    /// `(hits, misses)` of the subsumption memo table since construction.
+    pub fn subsumption_cache_stats(&self) -> (u64, u64) {
+        self.subsumption_cache.stats()
     }
 
     /// Mutates the database state and invalidates all materialized views.
@@ -116,12 +131,16 @@ impl OptimizedDatabase {
             Err(_) => return QueryPlan::default(),
         };
         let checker = SubsumptionChecker::new(&self.translated.schema);
-        let mut subsuming: Vec<(String, usize)> = Vec::new();
-        for view in self.catalog.snapshot() {
-            let view_concept = match self.translated.query_concept(&view.definition.name) {
+        // Collect the view concepts first, then probe them as one batch
+        // through the memo table: the query is normalized once for all N
+        // views, and a `(query, view)` pair that was ever probed before
+        // skips its saturation entirely.
+        let mut candidates: Vec<(String, usize, subq_concepts::term::ConceptId)> = Vec::new();
+        for (definition, extent_len) in self.catalog.summaries() {
+            let view_concept = match self.translated.query_concept(&definition.name) {
                 Some(concept) => concept,
                 None => match translate_query(
-                    &view.definition,
+                    &definition,
                     self.db.model(),
                     &mut self.translated.vocabulary,
                     &mut self.translated.arena,
@@ -130,14 +149,29 @@ impl OptimizedDatabase {
                     Err(_) => continue,
                 },
             };
-            if checker.subsumes(&mut self.translated.arena, query_concept, view_concept) {
-                subsuming.push((view.definition.name.clone(), view.extent.len()));
-            }
+            candidates.push((definition.name, extent_len, view_concept));
         }
+        let view_concepts: Vec<_> = candidates.iter().map(|(_, _, c)| *c).collect();
+        let (hits_before, misses_before) = self.subsumption_cache.stats();
+        let outcomes = checker.check_many(
+            &mut self.translated.arena,
+            query_concept,
+            &view_concepts,
+            &mut self.subsumption_cache,
+        );
+        let (hits_after, misses_after) = self.subsumption_cache.stats();
+        let mut subsuming: Vec<(String, usize)> = candidates
+            .into_iter()
+            .zip(outcomes)
+            .filter(|(_, outcome)| outcome.subsumed())
+            .map(|((name, extent, _), _)| (name, extent))
+            .collect();
         subsuming.sort_by_key(|(_, size)| *size);
         QueryPlan {
             chosen_view: subsuming.first().map(|(name, _)| name.clone()),
             subsuming_views: subsuming.into_iter().map(|(name, _)| name).collect(),
+            cached_probes: (hits_after - hits_before) as usize,
+            fresh_probes: (misses_after - misses_before) as usize,
         }
     }
 
@@ -164,10 +198,7 @@ impl OptimizedDatabase {
 
     /// Executes a query without using any materialized view (the baseline
     /// the paper's optimization is compared against).
-    pub fn execute_unoptimized(
-        &self,
-        query: &QueryClassDecl,
-    ) -> (BTreeSet<ObjId>, ExecutionStats) {
+    pub fn execute_unoptimized(&self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
         let candidates = initial_candidates(&self.db, query);
         let answers = evaluate_query_over(&self.db, query, Some(&candidates));
         let stats = ExecutionStats {
@@ -245,6 +276,41 @@ mod tests {
             opt_stats.candidates_examined,
             base_stats.candidates_examined
         );
+    }
+
+    #[test]
+    fn repeated_plans_are_answered_from_the_subsumption_cache() {
+        let db = hospital_with_many_patients(10);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        odb.materialize_view("Person").expect("materializes");
+        let query = model.query_class("QueryPatient").expect("declared");
+
+        let first = odb.plan(query);
+        assert_eq!(first.cached_probes, 0);
+        assert_eq!(first.fresh_probes, 2);
+
+        let second = odb.plan(query);
+        assert_eq!(second.subsuming_views, first.subsuming_views);
+        assert_eq!(second.chosen_view, first.chosen_view);
+        assert_eq!(second.cached_probes, 2);
+        assert_eq!(second.fresh_probes, 0);
+
+        // Database updates invalidate view extents but not subsumption:
+        // the memo table keeps answering.
+        odb.update(|db| {
+            let p = db.add_object("extra");
+            db.assert_class(p, "Patient");
+        });
+        let (answers_a, _) = odb.execute(query);
+        let third = odb.plan(query);
+        assert_eq!(third.cached_probes, 2);
+        assert_eq!(third.fresh_probes, 0);
+        let (answers_b, _) = odb.execute(query);
+        assert_eq!(answers_a, answers_b);
+        let (hits, misses) = odb.subsumption_cache_stats();
+        assert!(hits >= 2 * misses, "hits {hits} misses {misses}");
     }
 
     #[test]

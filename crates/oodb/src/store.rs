@@ -224,9 +224,7 @@ impl Database {
     pub fn satisfies_filter(&self, object: ObjId, filter: &PathFilter) -> bool {
         match filter {
             PathFilter::Any => true,
-            PathFilter::Class(class) => {
-                class == "Object" || self.is_instance_of(object, class)
-            }
+            PathFilter::Class(class) => class == "Object" || self.is_instance_of(object, class),
             PathFilter::Singleton(name) => self.object(name) == Some(object),
         }
     }

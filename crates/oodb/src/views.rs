@@ -9,8 +9,8 @@
 
 use crate::eval::evaluate_query;
 use crate::store::{Database, ObjId};
-use parking_lot::RwLock;
 use std::collections::BTreeSet;
+use std::sync::RwLock;
 use subq_dl::QueryClassDecl;
 
 /// A materialized view: a structural query class together with its stored
@@ -80,18 +80,22 @@ impl ViewCatalog {
         ViewCatalog::default()
     }
 
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<MaterializedView>> {
+        self.views.read().expect("view catalog lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<MaterializedView>> {
+        self.views.write().expect("view catalog lock poisoned")
+    }
+
     /// Materializes a view: evaluates it once and stores the extension.
-    pub fn materialize(
-        &self,
-        db: &Database,
-        definition: &QueryClassDecl,
-    ) -> Result<(), ViewError> {
+    pub fn materialize(&self, db: &Database, definition: &QueryClassDecl) -> Result<(), ViewError> {
         if !definition.is_view() {
             return Err(ViewError::NotStructural {
                 query: definition.name.clone(),
             });
         }
-        let mut views = self.views.write();
+        let mut views = self.write();
         if views.iter().any(|v| v.definition.name == definition.name) {
             return Err(ViewError::AlreadyMaterialized {
                 query: definition.name.clone(),
@@ -108,8 +112,7 @@ impl ViewCatalog {
 
     /// The names of all materialized views.
     pub fn view_names(&self) -> Vec<String> {
-        self.views
-            .read()
+        self.read()
             .iter()
             .map(|v| v.definition.name.clone())
             .collect()
@@ -117,8 +120,7 @@ impl ViewCatalog {
 
     /// A snapshot of one view.
     pub fn view(&self, name: &str) -> Option<MaterializedView> {
-        self.views
-            .read()
+        self.read()
             .iter()
             .find(|v| v.definition.name == name)
             .cloned()
@@ -126,19 +128,28 @@ impl ViewCatalog {
 
     /// A snapshot of all views.
     pub fn snapshot(&self) -> Vec<MaterializedView> {
-        self.views.read().clone()
+        self.read().clone()
+    }
+
+    /// A snapshot of definitions and extent sizes only — what the planner
+    /// needs — without cloning the stored extents.
+    pub fn summaries(&self) -> Vec<(QueryClassDecl, usize)> {
+        self.read()
+            .iter()
+            .map(|v| (v.definition.clone(), v.extent.len()))
+            .collect()
     }
 
     /// Marks every view as stale (called after database updates).
     pub fn invalidate(&self) {
-        for view in self.views.write().iter_mut() {
+        for view in self.write().iter_mut() {
             view.fresh = false;
         }
     }
 
     /// Re-evaluates every stale view against the current state.
     pub fn refresh(&self, db: &Database) {
-        for view in self.views.write().iter_mut() {
+        for view in self.write().iter_mut() {
             if !view.fresh {
                 view.extent = evaluate_query(db, &view.definition);
                 view.fresh = true;
@@ -148,12 +159,12 @@ impl ViewCatalog {
 
     /// Number of materialized views.
     pub fn len(&self) -> usize {
-        self.views.read().len()
+        self.read().len()
     }
 
     /// Whether the catalog is empty.
     pub fn is_empty(&self) -> bool {
-        self.views.read().is_empty()
+        self.read().is_empty()
     }
 }
 
@@ -198,7 +209,9 @@ mod tests {
         let catalog = ViewCatalog::new();
         let view = model.query_class("ViewPatient").expect("declared");
         catalog.materialize(&db, view).expect("first");
-        let err = catalog.materialize(&db, view).expect_err("second must fail");
+        let err = catalog
+            .materialize(&db, view)
+            .expect_err("second must fail");
         assert!(matches!(err, ViewError::AlreadyMaterialized { .. }));
     }
 

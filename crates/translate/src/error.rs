@@ -19,7 +19,10 @@ impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::UnknownAttribute { attribute, context } => {
-                write!(f, "attribute `{attribute}` used in {context} is not declared")
+                write!(
+                    f,
+                    "attribute `{attribute}` used in {context} is not declared"
+                )
             }
             TranslateError::SynonymInSchema { synonym, context } => write!(
                 f,

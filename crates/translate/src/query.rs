@@ -204,9 +204,7 @@ mod tests {
     fn synonyms_become_inverse_attributes() {
         let (voc, arena, concept) = translate_named("QueryPatient");
         let classes = arena.classes_in(concept);
-        assert!(classes
-            .iter()
-            .any(|c| voc.class_name(*c) == "Doctor"));
+        assert!(classes.iter().any(|c| voc.class_name(*c) == "Doctor"));
         let rendered = DisplayCtx::new(&voc, &arena).concept(concept);
         assert!(rendered.contains("skilled_in⁻¹"));
         assert!(!rendered.contains("specialist"));

@@ -23,10 +23,7 @@ use subq_concepts::prelude::*;
 use subq_dl::DlModel;
 
 /// Translates the schema declarations of a model into an SL schema.
-pub fn translate_schema(
-    model: &DlModel,
-    voc: &mut Vocabulary,
-) -> Result<Schema, TranslateError> {
+pub fn translate_schema(model: &DlModel, voc: &mut Vocabulary) -> Result<Schema, TranslateError> {
     let mut schema = Schema::new();
 
     for class in &model.classes {

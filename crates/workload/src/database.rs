@@ -88,7 +88,7 @@ pub fn synthetic_hospital(seed: u64, params: HospitalParams) -> Database {
         let disease = diseases[rng.gen_range(0..diseases.len())];
         db.assert_attr(patient, "suffers", disease);
 
-        let in_view = rng.gen_range(0..100) < params.view_match_percent;
+        let in_view = rng.gen_range(0..100u8) < params.view_match_percent;
         if !in_view {
             // Not in the view: either consults nobody, or consults a doctor
             // who is not a specialist in the patient's disease.
@@ -103,7 +103,7 @@ pub fn synthetic_hospital(seed: u64, params: HospitalParams) -> Database {
         db.assert_attr(patient, "consults", doctor);
         db.assert_attr(doctor, "skilled_in", disease);
 
-        let in_query = rng.gen_range(0..100) < params.query_match_percent;
+        let in_query = rng.gen_range(0..100u8) < params.query_match_percent;
         if in_query {
             // QueryPatient additionally requires: male patient, female
             // consulted doctor, and no drug other than Aspirin.

@@ -66,7 +66,7 @@ impl RandomEnv {
 
     fn random_attr(&mut self) -> Attr {
         let base = self.attributes[self.rng.gen_range(0..self.attributes.len())];
-        if self.rng.gen_range(0..100) < self.params.inverse_percent {
+        if self.rng.gen_range(0..100u8) < self.params.inverse_percent {
             Attr::inverse_of(base)
         } else {
             Attr::primitive(base)

@@ -22,8 +22,12 @@ use subq::extensions::propositional::{independent_choices, prop_subsumes};
 use subq::workload::scaling::view_growth_instance;
 
 fn main() {
-    println!("n | SL/QL calculus individuals | ∃P.A schema demand | P⁻¹ schema expansion | ⊔ valuations");
-    println!("--|----------------------------|--------------------|----------------------|-------------");
+    println!(
+        "n | SL/QL calculus individuals | ∃P.A schema demand | P⁻¹ schema expansion | ⊔ valuations"
+    );
+    println!(
+        "--|----------------------------|--------------------|----------------------|-------------"
+    );
     for n in 1..=8usize {
         // Core calculus on the SL/QL family of growing view depth.
         let mut instance = view_growth_instance(n);

@@ -43,7 +43,9 @@ fn main() {
     {
         let translated = engine.translated();
         let ctx = DisplayCtx::new(&translated.vocabulary, &translated.arena);
-        let c_q = translated.query_concept("QueryPatient").expect("translated");
+        let c_q = translated
+            .query_concept("QueryPatient")
+            .expect("translated");
         let d_v = translated.query_concept("ViewPatient").expect("translated");
         println!("  C_Q = {}", ctx.concept(c_q));
         println!("  D_V = {}", ctx.concept(d_v));

@@ -1,0 +1,565 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the proptest API this workspace's property tests use:
+//! [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, [`collection::vec`], [`Just`],
+//! [`any`], the [`proptest!`] test macro with `proptest_config`, and the
+//! `prop_assert*` macros.
+//!
+//! Failing cases are reported with their seed and case number but are
+//! **not shrunk** — rerun with the printed case to debug.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic per-test random source (the in-tree `rand` stub's
+    /// seeded generator — one SplitMix64 implementation for the whole
+    /// workspace).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        pub(crate) inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (FNV-1a over the bytes), so
+        /// every test gets a stable, distinct stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Run configuration for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy is just a cloneable sampler.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value and then samples the strategy `f`
+    /// builds from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + Clone,
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `branch`
+    /// wraps an inner strategy into composite values, nested at most
+    /// `depth` levels. The `_desired_size` and `_expected_branch_size`
+    /// parameters of the real API are accepted but ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // At each level, mix leaves back in so sampled trees have
+            // varied depth instead of always bottoming out at `depth`.
+            let composite = branch(strat).boxed();
+            strat = Union {
+                options: Rc::new(vec![leaf.clone(), composite]),
+            }
+            .boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sampler: Rc::new(move |rng: &mut TestRng| self.sample(rng)),
+        }
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2 + Clone,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between equally-weighted alternative strategies (the
+/// engine behind [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Rc<Vec<BoxedStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union of the given alternatives; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union {
+            options: Rc::new(options),
+        }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: Rc::clone(&self.options),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.options.len() as u64) as usize;
+        self.options[ix].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rand::SampleRange::sample(self, &mut rng.inner)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rand::SampleRange::sample(self, &mut rng.inner)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` style).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Canonical strategy types behind [`any`].
+#[derive(Clone)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+        impl Arbitrary for $ty {
+            type Strategy = AnyPrimitive<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = (self.len.lo..self.len.hi).sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of the real crate (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice between alternative strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Declares property tests.
+///
+/// Supports the subset of the real syntax this workspace uses: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items (doc comments and other attributes are
+/// preserved).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property `{}` failed at case {} of {}: {}\n(offline proptest stub: no shrinking)",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(usize),
+        Node(Vec<Tree>),
+    }
+
+    fn tree() -> impl Strategy<Value = Tree> {
+        let leaf = (0..10usize).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            collection::vec(inner, 1..4).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds and tuples sample componentwise.
+        #[test]
+        fn ranges_and_tuples(x in 3..17usize, pair in (0..5usize, any::<bool>())) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(pair.0 < 5);
+        }
+
+        /// Recursive strategies respect the depth bound.
+        #[test]
+        fn recursion_is_bounded(t in tree()) {
+            prop_assert!(depth(&t) <= 3, "depth {} exceeds bound", depth(&t));
+        }
+
+        /// Vec lengths respect the requested range.
+        #[test]
+        fn vec_lengths(v in collection::vec(prop_oneof![Just(1usize), Just(2)], 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e == 1 || e == 2));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        let strat = tree();
+        for _ in 0..20 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

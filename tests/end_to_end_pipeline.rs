@@ -83,8 +83,12 @@ fn university_schema_loads_and_subsumptions_hold() {
     let mut engine = Engine::from_source(UNIVERSITY).expect("loads");
     // The hard-course query is subsumed by the broader taught-course view
     // (HardCourse ⊑ Course, Lecturer ⊑ Person).
-    assert!(engine.subsumes("StrugglingStudent", "TaughtStudent").unwrap());
-    assert!(!engine.subsumes("TaughtStudent", "StrugglingStudent").unwrap());
+    assert!(engine
+        .subsumes("StrugglingStudent", "TaughtStudent")
+        .unwrap());
+    assert!(!engine
+        .subsumes("TaughtStudent", "StrugglingStudent")
+        .unwrap());
     // The agreement query is subsumed by both existential views: its two
     // agreeing paths witness each of them.
     assert!(engine.subsumes("FocusedStudent", "TaughtStudent").is_ok());

@@ -35,7 +35,10 @@ fn figure2_first_order_translation() {
         "∀ x. (Patient(x) ⇒ ∃ y. suffers(x, y))",
         "∀ x. (Patient(x) ⇒ ¬(Doctor(x)))",
     ] {
-        assert!(rendered.contains(&expected.to_owned()), "missing {expected}");
+        assert!(
+            rendered.contains(&expected.to_owned()),
+            "missing {expected}"
+        );
     }
     let skilled_in = model.attribute("skilled_in").expect("declared");
     let rendered: Vec<String> = fol::attr_axioms(skilled_in)
@@ -68,7 +71,10 @@ fn figures3_and_4_query_patient() {
         "takes(t, d)",
         "Aspirin",
     ] {
-        assert!(formula.contains(fragment), "missing {fragment} in {formula}");
+        assert!(
+            formula.contains(fragment),
+            "missing {fragment} in {formula}"
+        );
     }
 }
 
