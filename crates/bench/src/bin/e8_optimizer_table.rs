@@ -6,7 +6,22 @@ use std::time::Instant;
 use subq::dl::samples;
 use subq::oodb::OptimizedDatabase;
 use subq::workload::{synthetic_hospital, HospitalParams};
-use subq_bench::{json_object, json_str, write_json_rows};
+use subq_bench::{json_object, json_str, time_best, write_json_rows};
+
+/// Schema classes that double as trivial views (the paper's remark), after
+/// the one declared structural view.
+const VIEW_NAMES: [&str; 10] = [
+    "ViewPatient",
+    "Person",
+    "Patient",
+    "Doctor",
+    "Disease",
+    "Drug",
+    "String",
+    "Topic",
+    "Male",
+    "Female",
+];
 
 fn main() {
     let mut json_rows = Vec::new();
@@ -66,10 +81,11 @@ fn main() {
     }
 
     // Section 2 — planning cost against MANY materialized views: the
-    // memoizing batch subsumption API normalizes the query once and
-    // answers repeat probes from the (query, view) → verdict cache, so a
-    // steady stream of the same queries stops paying N saturations per
-    // plan.
+    // batch subsumption API normalizes and fact-saturates the query once
+    // for all N views (fresh pairs pay only a goal-side probe over a fork
+    // of the saturated facts), and answers repeat probes from the
+    // (query, view) → verdict cache, so a steady stream of the same
+    // queries stops paying anything per plan.
     let params = HospitalParams {
         patients: 2_000,
         doctors: 50,
@@ -77,27 +93,28 @@ fn main() {
         view_match_percent: 15,
         query_match_percent: 40,
     };
-    let db = synthetic_hospital(7, params);
-    let mut odb = OptimizedDatabase::new(db).expect("translates");
     // Every schema class doubles as a trivial view (the paper's remark),
-    // so the planner has a realistic catalog to probe.
-    for view in [
-        "ViewPatient",
-        "Person",
-        "Patient",
-        "Doctor",
-        "Disease",
-        "Drug",
-        "String",
-        "Topic",
-        "Male",
-        "Female",
-    ] {
-        odb.materialize_view(view).expect("materializes");
-    }
+    // so the planner has a realistic catalog to probe. The first-plan
+    // time is best-of-5 over fresh databases (a one-shot measurement of
+    // ~100 µs is too noisy to track across PRs).
+    let fresh_odb = || {
+        let odb = OptimizedDatabase::new(synthetic_hospital(7, params)).expect("translates");
+        for view in VIEW_NAMES {
+            odb.materialize_view(view).expect("materializes");
+        }
+        odb
+    };
+    let mut odb = fresh_odb();
     let start = Instant::now();
     let first = odb.plan(&query);
-    let first_plan = start.elapsed();
+    let mut first_plan = start.elapsed();
+    for _ in 0..4 {
+        let mut cold = fresh_odb();
+        let start = Instant::now();
+        let plan = cold.plan(&query);
+        first_plan = first_plan.min(start.elapsed());
+        assert_eq!(plan.subsuming_views, first.subsuming_views);
+    }
     let start = Instant::now();
     let repeats = 100u32;
     for _ in 0..repeats {
@@ -113,13 +130,15 @@ Planning against {} materialized views:",
         odb.catalog().len()
     );
     println!(
-        "| first plan (fresh saturations) | repeat plan (memoized) | speedup | cache hits | cache misses |"
+        "| first plan | repeat plan (memoized) | speedup | fact saturations | probes | cache hits | cache misses |"
     );
-    println!("|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|");
     println!(
-        "| {:.1} µs | {:.1} µs | {speedup:.1}× | {hits} | {misses} |",
+        "| {:.1} µs | {:.1} µs | {speedup:.1}× | {} | {} | {hits} | {misses} |",
         first_plan.as_secs_f64() * 1e6,
         cached_plan.as_secs_f64() * 1e6,
+        first.fact_saturations,
+        first.fresh_probes,
     );
     json_rows.push(json_object(&[
         ("experiment", json_str("e8_optimizer")),
@@ -128,9 +147,65 @@ Planning against {} materialized views:",
         ("first_plan_ns", first_plan.as_nanos().to_string()),
         ("cached_plan_ns", cached_plan.as_nanos().to_string()),
         ("speedup", format!("{speedup:.3}")),
+        ("fact_saturations", first.fact_saturations.to_string()),
+        ("probes", first.fresh_probes.to_string()),
         ("cache_hits", hits.to_string()),
         ("cache_misses", misses.to_string()),
     ]));
+
+    // Section 3 — first-plan cost as the catalog grows: with the
+    // saturate-once/probe-many split, the per-view increment is a cheap
+    // goal probe, so the first-plan wall-clock grows sublinearly in the
+    // number of views (every plan performs exactly one fact saturation,
+    // regardless of N).
+    println!("\nFirst-plan cost against a growing catalog (fresh cache per measurement):");
+    println!("| views | first plan | repeat plan | fact saturations | probes |");
+    println!("|---|---|---|---|---|");
+    for n_views in [1usize, 2, 5, 10] {
+        let small = HospitalParams {
+            patients: 200,
+            doctors: 10,
+            diseases: 20,
+            view_match_percent: 15,
+            query_match_percent: 40,
+        };
+        let make_odb = || {
+            let odb = OptimizedDatabase::new(synthetic_hospital(7, small)).expect("translates");
+            for view in &VIEW_NAMES[..n_views] {
+                odb.materialize_view(view).expect("materializes");
+            }
+            odb
+        };
+        let first_plan = time_best(make_odb, |mut odb| {
+            odb.plan(&query);
+        });
+        let mut warm = make_odb();
+        let plan = warm.plan(&query);
+        assert_eq!(plan.fact_saturations, 1);
+        assert_eq!(plan.fresh_probes, n_views);
+        let repeat_plan = time_best(
+            || (),
+            |()| {
+                warm.plan(&query);
+            },
+        );
+        println!(
+            "| {n_views} | {:.1} µs | {:.1} µs | {} | {} |",
+            first_plan.as_secs_f64() * 1e6,
+            repeat_plan.as_secs_f64() * 1e6,
+            plan.fact_saturations,
+            plan.fresh_probes,
+        );
+        json_rows.push(json_object(&[
+            ("experiment", json_str("e8_optimizer")),
+            ("section", json_str("plan_scaling")),
+            ("views", n_views.to_string()),
+            ("first_plan_ns", first_plan.as_nanos().to_string()),
+            ("repeat_plan_ns", repeat_plan.as_nanos().to_string()),
+            ("fact_saturations", plan.fact_saturations.to_string()),
+            ("probes", plan.fresh_probes.to_string()),
+        ]));
+    }
     write_json_rows("BENCH_e8.json", &json_rows);
     println!("\nThe optimizer wins whenever the subsuming view is more selective than the query's");
     println!(

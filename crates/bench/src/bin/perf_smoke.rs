@@ -1,0 +1,88 @@
+//! Perf smoke check: the delta engine's `examined_delta` counters must not
+//! regress past the ceilings recorded in the committed `BENCH_e5.json`.
+//!
+//! Counters (unlike wall-clock) are deterministic, so this is a hard
+//! assertion suitable for CI: it re-runs every `(family, n)` instance of
+//! the E5 table and fails if any instance examines more candidates than
+//! the committed baseline allows (with a small slack for intentional
+//! bookkeeping changes — a real complexity regression blows far past it).
+//!
+//! Run from the repository root (where `BENCH_e5.json` lives), *before*
+//! regenerating the tables: `cargo run --release -p subq-bench --bin
+//! perf_smoke`.
+
+use subq::workload::scaling::{
+    conjunction_width_instance, path_depth_instance, schema_size_instance, view_growth_instance,
+};
+use subq::workload::ScalingInstance;
+use subq_bench::run_instance;
+
+/// Allowed growth over the committed ceiling before the check fails.
+const SLACK_PERCENT: usize = 10;
+
+/// Extracts `"key": value` for a numeric or string value out of one flat
+/// JSON row (the `BENCH_*.json` rows are flat objects on a single line).
+fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": ");
+    let start = row.find(&needle)? + needle.len();
+    let rest = &row[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn main() {
+    let baseline = std::fs::read_to_string("BENCH_e5.json").unwrap_or_else(|error| {
+        panic!("cannot read BENCH_e5.json (run from the repository root): {error}")
+    });
+    type Family = fn(usize) -> ScalingInstance;
+    let families: [(&str, Family); 4] = [
+        ("path_depth", path_depth_instance),
+        ("conjunction_width", conjunction_width_instance),
+        ("schema_size", schema_size_instance),
+        ("view_growth", view_growth_instance),
+    ];
+
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for row in baseline.lines() {
+        if !row.contains("\"e5_polynomial_scaling\"") {
+            continue;
+        }
+        let family_name = field(row, "family").expect("family field");
+        let n: usize = field(row, "n")
+            .expect("n field")
+            .parse()
+            .expect("numeric n");
+        let ceiling: usize = field(row, "examined_delta")
+            .expect("examined_delta field")
+            .parse()
+            .expect("numeric examined_delta");
+        let (_, family) = families
+            .iter()
+            .find(|(name, _)| *name == family_name)
+            .unwrap_or_else(|| panic!("unknown family `{family_name}` in BENCH_e5.json"));
+        let mut instance = family(n);
+        let (subsumed, stats) = run_instance(&mut instance);
+        assert!(subsumed, "{family_name} n={n} must stay subsumed");
+        let allowed = ceiling + ceiling * SLACK_PERCENT / 100;
+        if stats.constraints_examined > allowed {
+            failures.push(format!(
+                "{family_name} n={n}: examined {} > committed ceiling {ceiling} (+{SLACK_PERCENT}% slack = {allowed})",
+                stats.constraints_examined
+            ));
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 16,
+        "BENCH_e5.json yielded only {checked} rows; baseline looks truncated"
+    );
+    if !failures.is_empty() {
+        eprintln!("examined_delta regressions:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("perf smoke OK: {checked} E5 instances within committed examined_delta ceilings");
+}

@@ -5,10 +5,19 @@
 //! `o : D` or a clash. It normalizes path agreements first, runs the
 //! completion, and reports the verdict together with statistics and (on
 //! request) the full derivation trace.
+//!
+//! For the optimizer's one-query-against-N-views workload, the check
+//! splits into two phases: [`SubsumptionChecker::saturate`] computes the
+//! fact-side closure of the query once (it depends only on the schema and
+//! the query), and [`SaturatedQuery::probe`] forks that closure per view
+//! and runs only the goal-side rules. [`SubsumptionCache`] composes both
+//! levels: a repeated `(query, view)` pair skips the probe entirely, and a
+//! *fresh* pair for an already-seen query skips the fact saturation.
 
-use crate::engine::{Completion, CompletionStats};
+use crate::engine::{Completion, CompletionStats, SaturatedFacts};
 use crate::trace::DerivationTrace;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
+use std::collections::VecDeque;
 use subq_concepts::normalize::normalize_concept;
 use subq_concepts::schema::Schema;
 use subq_concepts::term::{ConceptId, TermArena};
@@ -75,16 +84,27 @@ impl SubsumptionOutcome {
 ///   query optimizer, which tests every incoming query against every
 ///   materialized view.
 ///
+/// A third level keeps the fork-able fact closures: `normalized query →
+/// SaturatedFacts`, capped FIFO-style at
+/// [`SubsumptionCache::SATURATED_QUERIES_CAP`] entries, so a *fresh*
+/// `(query, view)` pair pays only a goal-side probe when the query was
+/// saturated before (the hot path of `plan()` when a view is added, or of
+/// the very first plan against N views: one saturation, N probes).
+///
 /// A cache is only meaningful for the `(TermArena, Schema)` pair it was
 /// populated with; use one cache per optimized database (as
 /// `subq_oodb::OptimizedDatabase` does) and discard it if the schema
 /// changes.
 #[derive(Clone, Debug, Default)]
 pub struct SubsumptionCache {
-    normalized: HashMap<ConceptId, ConceptId>,
-    outcomes: HashMap<(ConceptId, ConceptId), CachedCheck>,
+    normalized: FxHashMap<ConceptId, ConceptId>,
+    outcomes: FxHashMap<(ConceptId, ConceptId), CachedCheck>,
+    saturated: FxHashMap<ConceptId, SaturatedFacts>,
+    saturated_order: VecDeque<ConceptId>,
     hits: u64,
     misses: u64,
+    fact_saturations: u64,
+    probes: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -109,15 +129,36 @@ impl SubsumptionCache {
         self.outcomes.is_empty()
     }
 
+    /// Most saturated fact closures retained at once; the oldest is
+    /// evicted first. Repeat `(query, view)` pairs are unaffected (they
+    /// hit the outcome level), so the cap only bounds memory for streams
+    /// of many *distinct* queries.
+    pub const SATURATED_QUERIES_CAP: usize = 64;
+
     /// `(hits, misses)` counters over the cache's lifetime.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
 
-    /// Drops all cached outcomes and normalizations (keeps the counters).
+    /// `(fact saturations, goal probes)` run on behalf of this cache over
+    /// its lifetime. Every miss is one probe; saturations count only the
+    /// fact closures that could not be reused.
+    pub fn saturation_stats(&self) -> (u64, u64) {
+        (self.fact_saturations, self.probes)
+    }
+
+    /// Number of saturated queries currently retained.
+    pub fn saturated_len(&self) -> usize {
+        self.saturated.len()
+    }
+
+    /// Drops all cached outcomes, normalizations and saturated queries
+    /// (keeps the counters).
     pub fn clear(&mut self) {
         self.normalized.clear();
         self.outcomes.clear();
+        self.saturated.clear();
+        self.saturated_order.clear();
     }
 
     /// The memoized normalization of `concept`.
@@ -131,6 +172,94 @@ impl SubsumptionCache {
         // an already-normalized concept also hits.
         self.normalized.insert(normalized, normalized);
         normalized
+    }
+
+    /// Retains a saturated fact closure, evicting the oldest entry once
+    /// the cap is reached. The key must not be present yet.
+    fn store_saturated(&mut self, query: ConceptId, base: SaturatedFacts) {
+        if self.saturated.len() >= Self::SATURATED_QUERIES_CAP {
+            if let Some(oldest) = self.saturated_order.pop_front() {
+                self.saturated.remove(&oldest);
+            }
+        }
+        self.saturated_order.push_back(query);
+        self.saturated.insert(query, base);
+    }
+}
+
+/// A query whose fact side has been saturated once, ready to be probed
+/// against any number of views.
+///
+/// Obtained from [`SubsumptionChecker::saturate`]. Each
+/// [`SaturatedQuery::probe`] forks the snapshot and runs only the
+/// goal-side rules, so classifying a query against N views costs one fact
+/// saturation plus N cheap probes. Forks are independent: probes may run
+/// in any order and the same view may be probed repeatedly with identical
+/// outcomes.
+pub struct SaturatedQuery<'a> {
+    schema: &'a Schema,
+    base: SaturatedFacts,
+}
+
+impl<'a> SaturatedQuery<'a> {
+    /// The normalized query concept the facts were saturated from.
+    pub fn query(&self) -> ConceptId {
+        self.base.query()
+    }
+
+    /// The underlying forkable snapshot.
+    pub fn base(&self) -> &SaturatedFacts {
+        &self.base
+    }
+
+    /// Surrenders the snapshot (e.g. to store it in a cache).
+    pub fn into_base(self) -> SaturatedFacts {
+        self.base
+    }
+
+    /// Decides `query ⊑_Σ view` by forking the saturated facts and
+    /// running the goal-side probe.
+    pub fn probe(&self, arena: &mut TermArena, view: ConceptId) -> SubsumptionOutcome {
+        let normalized_view = normalize_concept(arena, view);
+        probe_saturated(arena, self.schema, &self.base, normalized_view)
+    }
+
+    /// [`SaturatedQuery::probe`], reduced to the verdict.
+    pub fn subsumed_by(&self, arena: &mut TermArena, view: ConceptId) -> bool {
+        self.probe(arena, view).subsumed()
+    }
+}
+
+/// Runs the goal-side probe of `view` over a forked fact closure. The
+/// view must already be normalized.
+fn probe_saturated(
+    arena: &mut TermArena,
+    schema: &Schema,
+    base: &SaturatedFacts,
+    normalized_view: ConceptId,
+) -> SubsumptionOutcome {
+    let mut completion = Completion::resume(arena, schema, base, normalized_view);
+    let stats = completion.run();
+    let verdict = completion_verdict(&completion);
+    SubsumptionOutcome {
+        verdict,
+        stats,
+        normalized_query: base.query(),
+        normalized_view,
+        trace: None,
+    }
+}
+
+/// A clash means the query is Σ-unsatisfiable and hence subsumed by every
+/// concept; check it first so `via_clash` doubles as an unsatisfiability
+/// signal even when the view fact also happens to be derivable.
+fn completion_verdict(completion: &Completion<'_>) -> SubsumptionVerdict {
+    if completion.find_clash().is_some() {
+        SubsumptionVerdict::SubsumedByClash
+    } else if completion.view_fact_derived() {
+        SubsumptionVerdict::SubsumedByFact
+    } else {
+        SubsumptionVerdict::NotSubsumed
     }
 }
 
@@ -197,9 +326,21 @@ impl<'a> SubsumptionChecker<'a> {
         self.subsumes(arena, a, b) && self.subsumes(arena, b, a)
     }
 
+    /// Saturates the fact side of `query` once; the result can be probed
+    /// against any number of views without repeating that work.
+    pub fn saturate(&self, arena: &mut TermArena, query: ConceptId) -> SaturatedQuery<'a> {
+        let normalized_query = normalize_concept(arena, query);
+        SaturatedQuery {
+            schema: self.schema,
+            base: SaturatedFacts::saturate(arena, self.schema, normalized_query),
+        }
+    }
+
     /// Decides `sub ⊑_Σ sup` through a [`SubsumptionCache`]: the
-    /// normalizations of both concepts are memoized and a repeated
-    /// `(query, view)` probe skips the saturation entirely.
+    /// normalizations of both concepts are memoized, a repeated
+    /// `(query, view)` probe skips the completion entirely, and a fresh
+    /// pair forks the query's cached fact closure (saturating it first if
+    /// this is the query's first miss) and runs only the goal-side probe.
     pub fn check_cached(
         &self,
         arena: &mut TermArena,
@@ -220,7 +361,17 @@ impl<'a> SubsumptionChecker<'a> {
             };
         }
         cache.misses += 1;
-        let outcome = self.run_normalized(arena, normalized_query, normalized_view, false);
+        if !cache.saturated.contains_key(&normalized_query) {
+            let base = SaturatedFacts::saturate(arena, self.schema, normalized_query);
+            cache.store_saturated(normalized_query, base);
+            cache.fact_saturations += 1;
+        }
+        cache.probes += 1;
+        let base = cache
+            .saturated
+            .get(&normalized_query)
+            .expect("saturated just above");
+        let outcome = probe_saturated(arena, self.schema, base, normalized_view);
         cache.outcomes.insert(
             (normalized_query, normalized_view),
             CachedCheck {
@@ -243,8 +394,10 @@ impl<'a> SubsumptionChecker<'a> {
     }
 
     /// Batch probe: decides `sub ⊑_Σ view` for every view, sharing one
-    /// normalization pass for `sub` and the cached outcomes for each
-    /// `(sub, view)` pair — the optimizer's per-query hot path.
+    /// normalization pass and one fact saturation for `sub` and the
+    /// cached outcomes for each `(sub, view)` pair — the optimizer's
+    /// per-query hot path. Planning against N fresh views costs exactly
+    /// one fact saturation plus N goal probes.
     pub fn check_many(
         &self,
         arena: &mut TermArena,
@@ -285,17 +438,7 @@ impl<'a> SubsumptionChecker<'a> {
             record_trace,
         );
         let stats = completion.run();
-        // A clash means the query is Σ-unsatisfiable and hence subsumed by
-        // every concept; check it first so `via_clash` doubles as an
-        // unsatisfiability signal even when the view fact also happens to
-        // be derivable.
-        let verdict = if completion.find_clash().is_some() {
-            SubsumptionVerdict::SubsumedByClash
-        } else if completion.view_fact_derived() {
-            SubsumptionVerdict::SubsumedByFact
-        } else {
-            SubsumptionVerdict::NotSubsumed
-        };
+        let verdict = completion_verdict(&completion);
         let trace = completion.trace().cloned();
         SubsumptionOutcome {
             verdict,

@@ -26,7 +26,7 @@
 //! (and the reference engine's) full scans would.
 
 use crate::ind::Ind;
-use std::collections::{HashMap, HashSet};
+use fxhash::{FxHashMap, FxHashSet};
 use subq_concepts::attribute::Attr;
 use subq_concepts::display::DisplayCtx;
 use subq_concepts::symbol::Vocabulary;
@@ -82,17 +82,17 @@ impl Constraint {
 /// An indexed set of constraints (the facts `F` or the goals `G`).
 #[derive(Clone, Debug, Default)]
 pub struct ConstraintSet {
-    all: HashSet<Constraint>,
+    all: FxHashSet<Constraint>,
     insertion_order: Vec<Constraint>,
-    individuals: HashSet<Ind>,
-    members_by_ind: HashMap<Ind, HashSet<ConceptId>>,
-    members_by_concept: HashMap<ConceptId, Vec<Ind>>,
-    fillers_by_src: HashMap<Ind, Vec<(Attr, Ind)>>,
-    fillers_by_src_attr: HashMap<(Ind, Attr), Vec<Ind>>,
-    filler_pos: HashMap<(Ind, Attr, Ind), u32>,
-    fillers_by_target: HashMap<Ind, Vec<(Attr, Ind)>>,
-    paths_by_src: HashMap<Ind, Vec<(PathId, Ind)>>,
-    paths_by_src_path: HashMap<(Ind, PathId), Vec<Ind>>,
+    individuals: FxHashSet<Ind>,
+    members_by_ind: FxHashMap<Ind, FxHashSet<ConceptId>>,
+    members_by_concept: FxHashMap<ConceptId, Vec<Ind>>,
+    fillers_by_src: FxHashMap<Ind, Vec<(Attr, Ind)>>,
+    fillers_by_src_attr: FxHashMap<(Ind, Attr), Vec<Ind>>,
+    filler_pos: FxHashMap<(Ind, Attr, Ind), u32>,
+    fillers_by_target: FxHashMap<Ind, Vec<(Attr, Ind)>>,
+    paths_by_src: FxHashMap<Ind, Vec<(PathId, Ind)>>,
+    paths_by_src_path: FxHashMap<(Ind, PathId), Vec<Ind>>,
 }
 
 impl ConstraintSet {
@@ -252,7 +252,7 @@ impl ConstraintSet {
 
     /// All individuals mentioned by some constraint (maintained
     /// incrementally; no scan).
-    pub fn individuals(&self) -> &HashSet<Ind> {
+    pub fn individuals(&self) -> &FxHashSet<Ind> {
         &self.individuals
     }
 

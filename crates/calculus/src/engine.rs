@@ -51,12 +51,37 @@
 //! runs are bit-identical), and the Figure 11 trace tests hold for both
 //! engines. The equivalence is enforced by the property suite in
 //! `tests/delta_equivalence.rs`.
+//!
+//! # The fact/goal split: saturate once, probe many times
+//!
+//! The optimizer workload is one incoming query classified against *every*
+//! materialized view. The fact side of a completion — the closure of
+//! `{o : C}` under the decomposition and schema rules — depends only on
+//! `(Σ, C)`, never on the view: with an empty goal set, the goal and
+//! composition rules have no candidates and S5 has no demands, so `run()`
+//! computes exactly that closure. [`SaturatedFacts`] snapshots the result
+//! *together with the per-rule worklist positions* (drained queues, filled
+//! registries, counters), so a probe can fork it with one `clone` and
+//! [`Completion::resume`] layers a view's goal on top: only the goal-side
+//! rules (G1–G3, C1–C6, S5) and the fact consequences they trigger run to a
+//! verdict. Planning a query against N views thus costs one fact
+//! saturation plus N cheap goal probes instead of N full completions.
+//!
+//! Fact-reuse applies whenever the schema and the (normalized) query are
+//! fixed — forks are independent, so probes may run in any order and
+//! interleave freely. Substitutions during the fact phase are tracked
+//! through [`SaturatedFacts::root`], so a probe inserts its goal at
+//! whatever individual the start variable `x` was mapped to. The
+//! `tests/probe_equivalence.rs` suite pins probe outcomes (verdict, clash,
+//! final sets, stats) to fresh single-shot completions and to the
+//! full-scan reference engine.
 
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::ind::Ind;
 use crate::rules::RuleId;
 use crate::trace::{DerivationTrace, TraceStep};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use fxhash::FxHashMap;
+use std::collections::{BTreeSet, VecDeque};
 use std::ops::Bound::{Excluded, Unbounded};
 use subq_concepts::attribute::Attr;
 use subq_concepts::schema::Schema;
@@ -81,6 +106,13 @@ pub struct CompletionStats {
     /// counts once; for the full-scan reference engine it counts every
     /// candidate of every round, O(rounds × |F ∪ G|).
     pub constraints_examined: usize,
+    /// Candidates examined *after* the fork, i.e. by the goal-side probe
+    /// alone. Zero for single-shot completions; for a resumed completion
+    /// this is the work the fact-phase reuse did not have to repeat.
+    pub probe_examined: usize,
+    /// Whether this completion was resumed from a [`SaturatedFacts`] fork
+    /// instead of saturating the fact side itself.
+    pub fact_phase_reused: bool,
 }
 
 impl CompletionStats {
@@ -89,6 +121,8 @@ impl CompletionStats {
     /// full-scan reference on the same input.
     pub fn outcome_only(mut self) -> CompletionStats {
         self.constraints_examined = 0;
+        self.probe_examined = 0;
+        self.fact_phase_reused = false;
         self
     }
 }
@@ -140,8 +174,10 @@ struct PathDemand {
 }
 
 /// Per-rule worklists, registries and trigger indexes. Reset (and replayed
-/// from the rebuilt constraint sets) after every substitution.
-#[derive(Default)]
+/// from the rebuilt constraint sets) after every substitution. Clonable so
+/// a fact-phase snapshot can be forked per view probe with the worklist
+/// positions intact.
+#[derive(Clone, Debug, Default)]
 struct RuleState {
     // Fire-once FIFO queues over newly inserted facts.
     d1: VecDeque<(Ind, ConceptId, ConceptId)>,
@@ -157,7 +193,7 @@ struct RuleState {
     // keys are (membership index, value-restriction index, filler
     // position) — the nested loop order of the full scan.
     s2_members: Vec<(Ind, ClassId)>,
-    s2_members_by_ind: HashMap<Ind, Vec<u32>>,
+    s2_members_by_ind: FxHashMap<Ind, Vec<u32>>,
     s2_pending: BTreeSet<(u32, u32, u32)>,
     // S4: memberships of classes with ≥1 functional attribute, in
     // insertion order; the dirty flag skips the (indexed) scan entirely
@@ -166,32 +202,87 @@ struct RuleState {
     s4_dirty: bool,
     // S5: goal-side filler demands, re-triggered by new memberships.
     s5_all: Vec<FillerDemand>,
-    s5_by_ind: HashMap<Ind, Vec<u32>>,
+    s5_by_ind: FxHashMap<Ind, Vec<u32>>,
     s5_pending: BTreeSet<u32>,
     // Fire-once FIFO queues over newly inserted goals.
     g1: VecDeque<(Ind, ConceptId, ConceptId)>,
     c2: VecDeque<(Ind, ConceptId)>,
     // G2/G3: goal × filler join pairs.
     g23_goals: Vec<PathGoal>,
-    g23_by_src_attr: HashMap<(Ind, Attr), Vec<u32>>,
+    g23_by_src_attr: FxHashMap<(Ind, Attr), Vec<u32>>,
     g23_pending: BTreeSet<(u32, u32)>,
     // C1: conjunction goals waiting on their conjunct facts.
     c1_goals: Vec<AndGoal>,
-    c1_by_member: HashMap<(Ind, ConceptId), Vec<u32>>,
+    c1_by_member: FxHashMap<(Ind, ConceptId), Vec<u32>>,
     c1_pending: BTreeSet<u32>,
     // C3/C4: path-existence goals waiting on a witnessing path fact.
     c3_goals: Vec<PathDemand>,
-    c3_by_path: HashMap<(Ind, PathId), Vec<u32>>,
+    c3_by_path: FxHashMap<(Ind, PathId), Vec<u32>>,
     c3_pending: BTreeSet<u32>,
     c4_goals: Vec<PathDemand>,
-    c4_by_path: HashMap<(Ind, PathId), Vec<u32>>,
+    c4_by_path: FxHashMap<(Ind, PathId), Vec<u32>>,
     c4_pending: BTreeSet<u32>,
     // C5/C6: goal × filler join pairs with live suffix lookups.
     c56_goals: Vec<PathGoal>,
-    c56_by_src_attr: HashMap<(Ind, Attr), Vec<u32>>,
+    c56_by_src_attr: FxHashMap<(Ind, Attr), Vec<u32>>,
     c56_pending: BTreeSet<(u32, u32)>,
     // Clash registries (Section 4.2), in insertion order.
     singletons: Vec<(Ind, ConstId)>,
+}
+
+/// The fact-side closure of a normalized query: the completion of
+/// `{x : C}` under the decomposition and schema rules of Σ, snapshotted
+/// together with the per-rule worklist positions and counters.
+///
+/// Computed once per `(Σ, C)` by [`SaturatedFacts::saturate`]; forked
+/// cheaply (one `clone`) by [`Completion::resume`] for every view probe.
+/// The snapshot owns no arena or schema borrow, so it can be stored in a
+/// cache (as [`crate::checker::SubsumptionCache`] does) and outlive the
+/// completion that built it — it only stays meaningful for the
+/// `(TermArena, Schema)` pair it was saturated against.
+#[derive(Clone, Debug)]
+pub struct SaturatedFacts {
+    query: ConceptId,
+    facts: ConstraintSet,
+    root: Ind,
+    next_var: u32,
+    fresh_vars: usize,
+    rule_applications: usize,
+    constraints_examined: usize,
+    rules: RuleState,
+}
+
+impl SaturatedFacts {
+    /// Saturates the fact side of `{x : query}` under the decomposition
+    /// and schema rules. The query must already be normalized.
+    pub fn saturate(arena: &mut TermArena, schema: &Schema, query: ConceptId) -> SaturatedFacts {
+        let mut completion = Completion::new_fact_phase(arena, schema, query);
+        completion.run();
+        completion.into_saturated()
+    }
+
+    /// The (normalized) query concept the facts were saturated from.
+    pub fn query(&self) -> ConceptId {
+        self.query
+    }
+
+    /// The saturated fact set.
+    pub fn facts(&self) -> &ConstraintSet {
+        &self.facts
+    }
+
+    /// The individual the start variable `x` was mapped to by fact-phase
+    /// substitutions (initially `x` itself); probes insert their goal
+    /// here.
+    pub fn root(&self) -> Ind {
+        self.root
+    }
+
+    /// Candidates the fact phase examined — the work every probe forking
+    /// this snapshot skips.
+    pub fn constraints_examined(&self) -> usize {
+        self.constraints_examined
+    }
 }
 
 /// The completion of a pair of constraint systems.
@@ -200,10 +291,13 @@ pub struct Completion<'a> {
     schema: &'a Schema,
     facts: ConstraintSet,
     goals: ConstraintSet,
+    root: Ind,
     next_var: u32,
     fresh_vars: usize,
     rule_applications: usize,
     constraints_examined: usize,
+    fact_phase_examined: usize,
+    fact_phase_reused: bool,
     trace: Option<DerivationTrace>,
     query: ConceptId,
     view: ConceptId,
@@ -223,22 +317,100 @@ impl<'a> Completion<'a> {
         view: ConceptId,
         record_trace: bool,
     ) -> Self {
-        let mut completion = Completion {
+        let mut completion = Completion::empty(arena, schema, query, view, record_trace);
+        completion.insert_fact(Constraint::Member(Ind::ROOT, query));
+        completion.insert_goal(Constraint::Member(Ind::ROOT, view));
+        completion
+    }
+
+    /// A completion with no constraints inserted yet.
+    fn empty(
+        arena: &'a mut TermArena,
+        schema: &'a Schema,
+        query: ConceptId,
+        view: ConceptId,
+        record_trace: bool,
+    ) -> Self {
+        Completion {
             arena,
             schema,
             facts: ConstraintSet::new(),
             goals: ConstraintSet::new(),
+            root: Ind::ROOT,
             next_var: 1,
             fresh_vars: 0,
             rule_applications: 0,
             constraints_examined: 0,
+            fact_phase_examined: 0,
+            fact_phase_reused: false,
             trace: record_trace.then(DerivationTrace::new),
             query,
             view,
             rules: RuleState::default(),
-        };
+        }
+    }
+
+    /// A fact-phase-only completion `{x : query} : ∅`. With no goals, the
+    /// goal/composition rules and S5 have no candidates, so [`run`]
+    /// computes exactly the fact closure under decomposition and schema
+    /// rules. The `view` is a placeholder (the query itself) and is never
+    /// consulted.
+    ///
+    /// [`run`]: Completion::run
+    fn new_fact_phase(arena: &'a mut TermArena, schema: &'a Schema, query: ConceptId) -> Self {
+        let mut completion = Completion::empty(arena, schema, query, query, false);
         completion.insert_fact(Constraint::Member(Ind::ROOT, query));
-        completion.insert_goal(Constraint::Member(Ind::ROOT, view));
+        completion
+    }
+
+    /// Snapshots a (fact-phase) completion into a forkable [`SaturatedFacts`].
+    fn into_saturated(self) -> SaturatedFacts {
+        SaturatedFacts {
+            query: self.query,
+            facts: self.facts,
+            root: self.root,
+            next_var: self.next_var,
+            fresh_vars: self.fresh_vars,
+            rule_applications: self.rule_applications,
+            constraints_examined: self.constraints_examined,
+            rules: self.rules,
+        }
+    }
+
+    /// Forks a saturated fact closure and layers the goal `{o : view}` on
+    /// top, where `o` is whatever the start variable was substituted to
+    /// during the fact phase. Running the result performs only the
+    /// goal-side work; the base snapshot is untouched and can be forked
+    /// again for other views in any order.
+    ///
+    /// The view must be normalized against the same arena and the schema
+    /// must be the one `base` was saturated with. Probes do not record
+    /// traces (the fact-phase steps are not replayed, so a probe trace
+    /// would be partial).
+    pub fn resume(
+        arena: &'a mut TermArena,
+        schema: &'a Schema,
+        base: &SaturatedFacts,
+        view: ConceptId,
+    ) -> Self {
+        let mut completion = Completion {
+            arena,
+            schema,
+            facts: base.facts.clone(),
+            goals: ConstraintSet::new(),
+            root: base.root,
+            next_var: base.next_var,
+            fresh_vars: base.fresh_vars,
+            rule_applications: base.rule_applications,
+            constraints_examined: base.constraints_examined,
+            fact_phase_examined: base.constraints_examined,
+            fact_phase_reused: true,
+            trace: None,
+            query: base.query,
+            view,
+            rules: base.rules.clone(),
+        };
+        completion.insert_goal(Constraint::Member(base.root, view));
         completion
     }
 
@@ -293,6 +465,12 @@ impl<'a> Completion<'a> {
             facts: self.facts.len(),
             goals: self.goals.len(),
             constraints_examined: self.constraints_examined,
+            probe_examined: if self.fact_phase_reused {
+                self.constraints_examined - self.fact_phase_examined
+            } else {
+                0
+            },
+            fact_phase_reused: self.fact_phase_reused,
         }
     }
 
@@ -444,6 +622,9 @@ impl<'a> Completion<'a> {
     /// Applies the substitution `[from ↦ to]` to the whole pair. The sets
     /// are rebuilt, so all rule state is reset and replayed.
     fn substitute(&mut self, rule: RuleId, from: Ind, to: Ind) {
+        if self.root == from {
+            self.root = to;
+        }
         self.facts.substitute(from, to);
         self.goals.substitute(from, to);
         self.record(TraceStep {

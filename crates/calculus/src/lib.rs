@@ -49,9 +49,11 @@ pub mod reference;
 pub mod rules;
 pub mod trace;
 
-pub use checker::{SubsumptionCache, SubsumptionChecker, SubsumptionOutcome, SubsumptionVerdict};
+pub use checker::{
+    SaturatedQuery, SubsumptionCache, SubsumptionChecker, SubsumptionOutcome, SubsumptionVerdict,
+};
 pub use constraint::{Constraint, ConstraintSet};
-pub use engine::{Completion, CompletionStats};
+pub use engine::{Completion, CompletionStats, SaturatedFacts};
 pub use ind::Ind;
 pub use rules::RuleId;
 pub use trace::{DerivationTrace, TraceStep};

@@ -110,6 +110,8 @@ impl<'a> ReferenceCompletion<'a> {
             facts: self.facts.len(),
             goals: self.goals.len(),
             constraints_examined: self.constraints_examined,
+            probe_examined: 0,
+            fact_phase_reused: false,
         }
     }
 

@@ -30,6 +30,7 @@
 //! assert!(!engine.subsumes("ViewPatient", "QueryPatient").unwrap());
 //! ```
 
+pub use fxhash;
 pub use subq_calculus as calculus;
 pub use subq_concepts as concepts;
 pub use subq_conjunctive as conjunctive;

@@ -33,8 +33,14 @@ pub struct QueryPlan {
     pub chosen_view: Option<String>,
     /// How many view probes were answered from the subsumption cache.
     pub cached_probes: usize,
-    /// How many view probes ran a fresh saturation.
+    /// How many view probes ran a goal-side probe (fresh `(query, view)`
+    /// pairs).
     pub fresh_probes: usize,
+    /// How many fact saturations this plan paid for. At most 1: all fresh
+    /// probes of one plan fork the same saturated query, and 0 when the
+    /// query was saturated by an earlier plan (or every pair hit the
+    /// cache).
+    pub fact_saturations: usize,
 }
 
 /// Statistics of one query execution.
@@ -55,10 +61,12 @@ pub struct OptimizedDatabase {
     db: Database,
     translated: TranslatedModel,
     catalog: ViewCatalog,
-    /// Memoized `(query, view) → verdict` table. Subsumption depends only
-    /// on the (immutable) translated schema and the concepts, never on
-    /// the database state, so the cache survives updates and view
-    /// refreshes unchanged.
+    /// Memoized `(query, view) → verdict` table plus the saturated fact
+    /// closures behind it. Subsumption depends only on the translated
+    /// schema and the concepts, never on the database *state*, so the
+    /// cache survives data updates and view refreshes unchanged — but a
+    /// schema mutation re-translates the model and drops it wholesale
+    /// (see [`OptimizedDatabase::update`]).
     subsumption_cache: SubsumptionCache,
 }
 
@@ -90,9 +98,29 @@ impl OptimizedDatabase {
     }
 
     /// Mutates the database state and invalidates all materialized views.
+    ///
+    /// If the closure also mutates the *schema* (through
+    /// [`Database::model_mut`]), the structural translation is redone and
+    /// every piece of state derived from the old one is dropped: the
+    /// subsumption cache (verdicts and saturated queries — they answer
+    /// with respect to the old Σ and point into the old arena) and the
+    /// catalog's cached view concepts. Data-only updates keep all of it:
+    /// subsumption never depends on the database state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutated model no longer translates; schema evolution
+    /// must keep the model structurally well formed.
     pub fn update<R>(&mut self, mutate: impl FnOnce(&mut Database) -> R) -> R {
+        let version_before = self.db.schema_version();
         let result = mutate(&mut self.db);
         self.catalog.invalidate();
+        if self.db.schema_version() != version_before {
+            self.translated = subq_translate::translate_model(self.db.model())
+                .expect("schema mutation left the model untranslatable");
+            self.subsumption_cache.clear();
+            self.catalog.invalidate_concepts();
+        }
         result
     }
 
@@ -131,28 +159,28 @@ impl OptimizedDatabase {
             Err(_) => return QueryPlan::default(),
         };
         let checker = SubsumptionChecker::new(&self.translated.schema);
-        // Collect the view concepts first, then probe them as one batch
-        // through the memo table: the query is normalized once for all N
-        // views, and a `(query, view)` pair that was ever probed before
-        // skips its saturation entirely.
-        let mut candidates: Vec<(String, usize, subq_concepts::term::ConceptId)> = Vec::new();
-        for (definition, extent_len) in self.catalog.summaries() {
-            let view_concept = match self.translated.query_concept(&definition.name) {
-                Some(concept) => concept,
-                None => match translate_query(
-                    &definition,
-                    self.db.model(),
-                    &mut self.translated.vocabulary,
-                    &mut self.translated.arena,
-                ) {
-                    Ok(concept) => concept,
-                    Err(_) => continue,
-                },
-            };
-            candidates.push((definition.name, extent_len, view_concept));
-        }
+        // Collect the view concepts — cached in the catalog from earlier
+        // plans, falling back to the model's pre-translated query classes
+        // and translating from the definition only on a view's very first
+        // plan — then probe them as one batch through the memo table: the
+        // query is normalized and fact-saturated once for all N views, a
+        // repeated `(query, view)` pair skips even the goal probe, and a
+        // fresh pair pays only the goal probe over a fork of the
+        // saturated facts.
+        let db = &self.db;
+        let queries = &self.translated.queries;
+        let vocabulary = &mut self.translated.vocabulary;
+        let arena = &mut self.translated.arena;
+        let candidates: Vec<(String, usize, subq_concepts::term::ConceptId)> =
+            self.catalog.plan_entries_with(|definition| {
+                queries
+                    .get(&definition.name)
+                    .copied()
+                    .or_else(|| translate_query(definition, db.model(), vocabulary, arena).ok())
+            });
         let view_concepts: Vec<_> = candidates.iter().map(|(_, _, c)| *c).collect();
         let (hits_before, misses_before) = self.subsumption_cache.stats();
+        let (saturations_before, _) = self.subsumption_cache.saturation_stats();
         let outcomes = checker.check_many(
             &mut self.translated.arena,
             query_concept,
@@ -160,6 +188,7 @@ impl OptimizedDatabase {
             &mut self.subsumption_cache,
         );
         let (hits_after, misses_after) = self.subsumption_cache.stats();
+        let (saturations_after, _) = self.subsumption_cache.saturation_stats();
         let mut subsuming: Vec<(String, usize)> = candidates
             .into_iter()
             .zip(outcomes)
@@ -172,6 +201,7 @@ impl OptimizedDatabase {
             subsuming_views: subsuming.into_iter().map(|(name, _)| name).collect(),
             cached_probes: (hits_after - hits_before) as usize,
             fresh_probes: (misses_after - misses_before) as usize,
+            fact_saturations: (saturations_after - saturations_before) as usize,
         }
     }
 
@@ -311,6 +341,123 @@ mod tests {
         assert_eq!(answers_a, answers_b);
         let (hits, misses) = odb.subsumption_cache_stats();
         assert!(hits >= 2 * misses, "hits {hits} misses {misses}");
+    }
+
+    /// The acceptance criterion of the two-phase split: planning against
+    /// N fresh views performs exactly one fact saturation (plus N goal
+    /// probes), and repeat plans perform none at all.
+    #[test]
+    fn planning_against_n_fresh_views_saturates_the_query_once() {
+        let db = hospital_with_many_patients(10);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        for view in ["ViewPatient", "Person", "Patient", "Doctor", "Male"] {
+            odb.materialize_view(view).expect("materializes");
+        }
+        let query = model.query_class("QueryPatient").expect("declared");
+
+        let first = odb.plan(query);
+        assert_eq!(first.fresh_probes, 5);
+        assert_eq!(
+            first.fact_saturations, 1,
+            "all five fresh probes must fork one saturated query"
+        );
+
+        let second = odb.plan(query);
+        assert_eq!(second.cached_probes, 5);
+        assert_eq!(second.fresh_probes, 0);
+        assert_eq!(second.fact_saturations, 0);
+
+        // A view added later: its first probe reuses the retained
+        // saturated query — still no new saturation.
+        odb.materialize_view("Female").expect("materializes");
+        let third = odb.plan(query);
+        assert_eq!(third.cached_probes, 5);
+        assert_eq!(third.fresh_probes, 1);
+        assert_eq!(third.fact_saturations, 0);
+        assert_eq!(third.subsuming_views, first.subsuming_views);
+    }
+
+    /// The view-concept cache saves re-translation without changing plans;
+    /// plans before and after the cache is warm are identical.
+    #[test]
+    fn view_concepts_are_translated_once_and_cached_in_the_catalog() {
+        let db = hospital_with_many_patients(5);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        odb.materialize_view("Person").expect("materializes");
+        let pre_cached = odb
+            .catalog()
+            .plan_entries()
+            .into_iter()
+            .filter(|(_, _, concept)| concept.is_some())
+            .count();
+        assert_eq!(pre_cached, 0, "no concept is cached before the first plan");
+        let query = model.query_class("QueryPatient").expect("declared");
+        let first = odb.plan(query);
+        // After one plan every view's concept is cached.
+        assert!(odb
+            .catalog()
+            .plan_entries()
+            .iter()
+            .all(|(_, _, concept)| concept.is_some()));
+        let second = odb.plan(query);
+        assert_eq!(first.subsuming_views, second.subsuming_views);
+        assert_eq!(first.chosen_view, second.chosen_view);
+    }
+
+    /// Satellite regression test: mutating the *schema* through `update`
+    /// must drop the memoized verdicts and saturated-query state — a
+    /// verdict computed against the old Σ must not survive.
+    #[test]
+    fn schema_mutation_through_update_drops_stale_verdicts() {
+        let db = hospital_with_many_patients(5);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        let query = model.query_class("QueryPatient").expect("declared");
+
+        let before = odb.plan(query);
+        assert_eq!(before.subsuming_views, vec!["ViewPatient".to_owned()]);
+
+        // Drop `Person.name` being necessary+single: the subsumption
+        // QueryPatient ⊑_Σ ViewPatient depends on it (the S5-created name
+        // filler), so the old cached verdict is now wrong.
+        odb.update(|db| {
+            let person = db
+                .model_mut()
+                .classes
+                .iter_mut()
+                .find(|c| c.name == "Person")
+                .expect("Person declared");
+            for attr in &mut person.attributes {
+                if attr.name == "name" {
+                    attr.necessary = false;
+                    attr.single = false;
+                }
+            }
+        });
+
+        let after = odb.plan(query);
+        assert!(
+            after.subsuming_views.is_empty(),
+            "stale verdict survived the schema mutation: {:?}",
+            after.subsuming_views
+        );
+        // The plan was recomputed, not served from the (dropped) cache.
+        assert_eq!(after.cached_probes, 0);
+        assert_eq!(after.fresh_probes, 1);
+        assert_eq!(after.fact_saturations, 1);
+
+        // Data-only updates keep the cache (the documented behaviour).
+        odb.update(|db| {
+            let p = db.add_object("one_more");
+            db.assert_class(p, "Patient");
+        });
+        let data_only = odb.plan(query);
+        assert_eq!(data_only.cached_probes, 1);
+        assert_eq!(data_only.fresh_probes, 0);
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub struct Database {
     extents: BTreeMap<String, BTreeSet<ObjId>>,
     /// Attribute assertions in the primitive direction.
     attrs: BTreeMap<String, BTreeSet<(ObjId, ObjId)>>,
+    /// Bumped whenever the model is mutated through [`Database::model_mut`];
+    /// lets wrappers (the optimizer) detect schema changes and drop any
+    /// state derived from the old model.
+    schema_version: u64,
 }
 
 impl Database {
@@ -107,12 +111,27 @@ impl Database {
             object_by_name: HashMap::new(),
             extents: BTreeMap::new(),
             attrs: BTreeMap::new(),
+            schema_version: 0,
         }
     }
 
     /// The DL model this state conforms to.
     pub fn model(&self) -> &DlModel {
         &self.model
+    }
+
+    /// Mutable access to the model, for schema evolution. Every call bumps
+    /// [`Database::schema_version`], pessimistically treating the model as
+    /// changed: anything derived from it (translations, subsumption
+    /// verdicts, saturated queries) must be recomputed.
+    pub fn model_mut(&mut self) -> &mut DlModel {
+        self.schema_version += 1;
+        &mut self.model
+    }
+
+    /// The current schema version (0 until the first [`Database::model_mut`]).
+    pub fn schema_version(&self) -> u64 {
+        self.schema_version
     }
 
     /// Creates (or finds) an object by name.

@@ -11,6 +11,7 @@ use crate::eval::evaluate_query;
 use crate::store::{Database, ObjId};
 use std::collections::BTreeSet;
 use std::sync::RwLock;
+use subq_concepts::term::ConceptId;
 use subq_dl::QueryClassDecl;
 
 /// A materialized view: a structural query class together with its stored
@@ -23,6 +24,10 @@ pub struct MaterializedView {
     pub extent: BTreeSet<ObjId>,
     /// Whether the extension reflects the current database state.
     pub fresh: bool,
+    /// The translated QL concept of the definition, cached by the planner
+    /// after the first translation (valid for one `TranslatedModel`;
+    /// dropped by [`ViewCatalog::invalidate_concepts`] on schema change).
+    pub concept: Option<ConceptId>,
 }
 
 impl MaterializedView {
@@ -106,6 +111,7 @@ impl ViewCatalog {
             definition: definition.clone(),
             extent,
             fresh: true,
+            concept: None,
         });
         Ok(())
     }
@@ -131,13 +137,59 @@ impl ViewCatalog {
         self.read().clone()
     }
 
-    /// A snapshot of definitions and extent sizes only — what the planner
-    /// needs — without cloning the stored extents.
+    /// A snapshot of definitions and extent sizes only — without cloning
+    /// the stored extents.
     pub fn summaries(&self) -> Vec<(QueryClassDecl, usize)> {
         self.read()
             .iter()
             .map(|v| (v.definition.clone(), v.extent.len()))
             .collect()
+    }
+
+    /// What the planner needs per view: name, extent size, and the cached
+    /// translated concept — no definition or extent clones. Views whose
+    /// concept entry is `None` have not been translated since the last
+    /// schema change; [`ViewCatalog::plan_entries_with`] fills them in.
+    pub fn plan_entries(&self) -> Vec<(String, usize, Option<ConceptId>)> {
+        self.read()
+            .iter()
+            .map(|v| (v.definition.name.clone(), v.extent.len(), v.concept))
+            .collect()
+    }
+
+    /// One pass over the catalog for the planner: views whose concept is
+    /// not cached yet are translated through `translate` and the result is
+    /// stored back, all under a single lock acquisition (no per-view
+    /// lookups or definition clones). Views that fail to translate are
+    /// skipped; they are retried on the next plan.
+    pub fn plan_entries_with(
+        &self,
+        mut translate: impl FnMut(&QueryClassDecl) -> Option<ConceptId>,
+    ) -> Vec<(String, usize, ConceptId)> {
+        let mut views = self.write();
+        let mut entries = Vec::with_capacity(views.len());
+        for view in views.iter_mut() {
+            let concept = match view.concept {
+                Some(concept) => concept,
+                None => match translate(&view.definition) {
+                    Some(concept) => {
+                        view.concept = Some(concept);
+                        concept
+                    }
+                    None => continue,
+                },
+            };
+            entries.push((view.definition.name.clone(), view.extent.len(), concept));
+        }
+        entries
+    }
+
+    /// Drops every cached translated concept (called when the schema — and
+    /// with it the arena the `ConceptId`s point into — is re-translated).
+    pub fn invalidate_concepts(&self) {
+        for view in self.write().iter_mut() {
+            view.concept = None;
+        }
     }
 
     /// Marks every view as stale (called after database updates).

@@ -21,5 +21,5 @@ pub mod random;
 pub mod scaling;
 
 pub use database::{synthetic_hospital, HospitalParams};
-pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams};
+pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams, RandomEnv};
 pub use scaling::ScalingInstance;

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `fxhash` / `rustc-hash` crates.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate implements the Fx hash function (the Firefox/rustc hasher)
+//! in-tree: a multiply-and-rotate mix per word, with no per-hasher seed.
+//! It is **not** DoS-resistant — all keys hashed in this workspace are
+//! small dense interned identifiers (`ConceptId`, `PathId`, `Ind`, packed
+//! attribute words) under the process's own control, which is exactly the
+//! workload Fx was designed for and where SipHash's per-byte cost
+//! dominates the lookup.
+//!
+//! The API mirrors the slice of `rustc-hash`/`fxhash` the workspace uses:
+//! [`FxHasher`], [`FxBuildHasher`], and the [`FxHashMap`] / [`FxHashSet`]
+//! aliases.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-sized builder producing default [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hash state: one 64-bit word mixed by rotate-xor-multiply.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, value: u16) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&(1u32, 2u32)), hash_of(&(1u32, 2u32)));
+        assert_eq!(hash_of(&"constraint"), hash_of(&"constraint"));
+    }
+
+    #[test]
+    fn distinguishes_small_keys() {
+        let values: Vec<u64> = (0..1000).map(|i| hash_of(&(i as u32))).collect();
+        let distinct: std::collections::HashSet<u64> = values.iter().copied().collect();
+        assert_eq!(distinct.len(), values.len());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // Streams differing only past the last full word must differ.
+        assert_ne!(
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10])
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        map.insert((1, 2), 3);
+        assert_eq!(map.get(&(1, 2)), Some(&3));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+    }
+}
