@@ -1,0 +1,124 @@
+//! Prints the E9 table: flat-scan versus lattice-traversal planning over
+//! hierarchical view catalogs — subsumption probes per query batch, views
+//! pruned, lattice depth, and plan wall-clock — across catalog shapes and
+//! sizes. Writes the rows to `BENCH_e9.json`; `perf_smoke` asserts the
+//! committed probe ceilings do not regress.
+//!
+//! Probe counts are deterministic (seeded workloads, counter-based), so
+//! they are the headline columns; wall-clock is best-of measurement for
+//! orientation only.
+
+use std::time::Instant;
+use subq::oodb::OptimizedDatabase;
+use subq::workload::{hierarchical_catalog, FamilyShape, HierarchyInstance, HierarchyParams};
+use subq_bench::{json_object, json_str, write_json_rows};
+
+const SEED: u64 = 11;
+const SHAPES: [FamilyShape; 4] = [
+    FamilyShape::Tree,
+    FamilyShape::Chain,
+    FamilyShape::Diamond,
+    FamilyShape::Flat,
+];
+
+fn params(shape: FamilyShape, views: usize) -> HierarchyParams {
+    HierarchyParams {
+        shape,
+        views,
+        members_per_class: 2,
+        queries: 8,
+        intersect_percent: 0,
+        duplicate_percent: 0,
+    }
+}
+
+/// Builds the optimized database and materializes (and classifies) every
+/// view of the instance. Returns it with the number of subsumption probes
+/// classification performed.
+fn build(instance: &HierarchyInstance) -> (OptimizedDatabase, usize) {
+    let db = instance.db.clone();
+    let mut odb = OptimizedDatabase::new(db).expect("translates");
+    let (_, misses_before) = odb.subsumption_cache_stats();
+    for name in &instance.view_names {
+        odb.materialize_view(name).expect("materializes");
+    }
+    let (_, misses_after) = odb.subsumption_cache_stats();
+    assert!(odb.catalog().lattice_violations().is_empty());
+    (odb, (misses_after - misses_before) as usize)
+}
+
+fn main() {
+    let mut json_rows = Vec::new();
+    println!("E9 — flat scan vs subsumption-lattice traversal (8 fresh queries per row)");
+    println!("| shape | views | flat probes | lattice probes | ratio | pruned | max depth | classify probes | flat plan | lattice plan |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+
+    for shape in SHAPES {
+        for views in [10usize, 50, 200] {
+            let instance = hierarchical_catalog(SEED, params(shape, views));
+
+            // Flat arm: every query probes every view once.
+            let (mut flat_odb, _) = build(&instance);
+            let start = Instant::now();
+            let mut flat_probes = 0usize;
+            let mut flat_subsumers = Vec::new();
+            for query in &instance.queries {
+                let plan = flat_odb.plan_flat(query);
+                flat_probes += plan.fresh_probes + plan.cached_probes;
+                flat_subsumers.push(plan.subsuming_views);
+            }
+            let flat_time = start.elapsed();
+
+            // Lattice arm (fresh database, cold caches): failed probes
+            // prune their sub-DAG.
+            let (mut lattice_odb, classify_probes) = build(&instance);
+            let start = Instant::now();
+            let mut lattice_probes = 0usize;
+            let mut pruned = 0usize;
+            let mut max_depth = 0usize;
+            for query in &instance.queries {
+                let plan = lattice_odb.plan(query);
+                lattice_probes += plan.fresh_probes + plan.cached_probes;
+                pruned += plan.probes_pruned;
+                max_depth = max_depth.max(plan.lattice_depth);
+            }
+            let lattice_time = start.elapsed();
+
+            // Sanity: the traversal's frontier choice must agree with the
+            // flat scan (smallest-extension containment argument).
+            for (query, flat_set) in instance.queries.iter().zip(&flat_subsumers) {
+                let plan = lattice_odb.plan(query);
+                for name in &plan.subsuming_views {
+                    assert!(flat_set.contains(name), "{name} not found by flat scan");
+                }
+                assert_eq!(plan.subsuming_views.is_empty(), flat_set.is_empty());
+            }
+
+            let ratio = lattice_probes as f64 / (flat_probes as f64).max(1.0);
+            println!(
+                "| {} | {views} | {flat_probes} | {lattice_probes} | {:.0}% | {pruned} | {max_depth} | {classify_probes} | {:.1} µs | {:.1} µs |",
+                shape.name(),
+                100.0 * ratio,
+                flat_time.as_secs_f64() * 1e6,
+                lattice_time.as_secs_f64() * 1e6,
+            );
+            json_rows.push(json_object(&[
+                ("experiment", json_str("e9_lattice")),
+                ("shape", json_str(shape.name())),
+                ("views", views.to_string()),
+                ("queries", instance.queries.len().to_string()),
+                ("flat_probes", flat_probes.to_string()),
+                ("lattice_probes", lattice_probes.to_string()),
+                ("probes_pruned", pruned.to_string()),
+                ("max_depth", max_depth.to_string()),
+                ("classify_probes", classify_probes.to_string()),
+                ("flat_plan_ns", flat_time.as_nanos().to_string()),
+                ("lattice_plan_ns", lattice_time.as_nanos().to_string()),
+            ]));
+        }
+    }
+
+    write_json_rows("BENCH_e9.json", &json_rows);
+    println!("\nHierarchical shapes prune most of the catalog per plan; the flat anti-hierarchy");
+    println!("is the adversarial case where the traversal degenerates to the linear scan.");
+}

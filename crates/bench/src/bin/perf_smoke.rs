@@ -1,20 +1,26 @@
-//! Perf smoke check: the delta engine's `examined_delta` counters must not
-//! regress past the ceilings recorded in the committed `BENCH_e5.json`.
+//! Perf smoke check: deterministic counters must not regress past the
+//! ceilings recorded in the committed `BENCH_*.json` baselines.
 //!
-//! Counters (unlike wall-clock) are deterministic, so this is a hard
-//! assertion suitable for CI: it re-runs every `(family, n)` instance of
-//! the E5 table and fails if any instance examines more candidates than
-//! the committed baseline allows (with a small slack for intentional
+//! * the delta engine's `examined_delta` counters versus `BENCH_e5.json`
+//!   (every `(family, n)` instance of the E5 table);
+//! * the lattice planner's subsumption-probe counts versus
+//!   `BENCH_e9.json` (every `(shape, views)` instance of the E9 table),
+//!   plus the hard acceptance bound that on hierarchical catalogs of 50
+//!   views the traversal performs at most 50% of the flat scan's probes.
+//!
+//! Counters (unlike wall-clock) are deterministic, so these are hard
+//! assertions suitable for CI (with a small slack for intentional
 //! bookkeeping changes — a real complexity regression blows far past it).
 //!
-//! Run from the repository root (where `BENCH_e5.json` lives), *before*
-//! regenerating the tables: `cargo run --release -p subq-bench --bin
-//! perf_smoke`.
+//! Run from the repository root (where the `BENCH_*.json` files live),
+//! *before* regenerating the tables: `cargo run --release -p subq-bench
+//! --bin perf_smoke`.
 
+use subq::oodb::OptimizedDatabase;
 use subq::workload::scaling::{
     conjunction_width_instance, path_depth_instance, schema_size_instance, view_growth_instance,
 };
-use subq::workload::ScalingInstance;
+use subq::workload::{hierarchical_catalog, FamilyShape, HierarchyParams, ScalingInstance};
 use subq_bench::run_instance;
 
 /// Allowed growth over the committed ceiling before the check fails.
@@ -28,6 +34,84 @@ fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
     let rest = &row[start..];
     let end = rest.find([',', '}'])?;
     Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Re-runs one E9 lattice arm and returns `(flat probes, lattice probes)`.
+/// Must mirror the construction in `e9_lattice_table.rs` (same seed and
+/// parameters) so the counters are comparable.
+fn e9_probe_counts(shape: FamilyShape, views: usize) -> (usize, usize) {
+    let params = HierarchyParams {
+        shape,
+        views,
+        members_per_class: 2,
+        queries: 8,
+        intersect_percent: 0,
+        duplicate_percent: 0,
+    };
+    let instance = hierarchical_catalog(11, params);
+    let mut odb = OptimizedDatabase::new(instance.db.clone()).expect("translates");
+    for name in &instance.view_names {
+        odb.materialize_view(name).expect("materializes");
+    }
+    let mut lattice_probes = 0usize;
+    for query in &instance.queries {
+        let plan = odb.plan(query);
+        lattice_probes += plan.fresh_probes + plan.cached_probes;
+    }
+    // The flat scan deterministically probes every view once per query.
+    let flat_probes = instance.view_names.len() * instance.queries.len();
+    (flat_probes, lattice_probes)
+}
+
+fn e9_checks(failures: &mut Vec<String>) -> usize {
+    let baseline = std::fs::read_to_string("BENCH_e9.json").unwrap_or_else(|error| {
+        panic!("cannot read BENCH_e9.json (run from the repository root): {error}")
+    });
+    let shapes = [
+        ("tree", FamilyShape::Tree),
+        ("chain", FamilyShape::Chain),
+        ("diamond", FamilyShape::Diamond),
+        ("flat", FamilyShape::Flat),
+    ];
+    let mut checked = 0usize;
+    for row in baseline.lines() {
+        if !row.contains("\"e9_lattice\"") {
+            continue;
+        }
+        let shape_name = field(row, "shape").expect("shape field");
+        let views: usize = field(row, "views")
+            .expect("views field")
+            .parse()
+            .expect("numeric views");
+        let ceiling: usize = field(row, "lattice_probes")
+            .expect("lattice_probes field")
+            .parse()
+            .expect("numeric lattice_probes");
+        let (_, shape) = shapes
+            .iter()
+            .find(|(name, _)| *name == shape_name)
+            .unwrap_or_else(|| panic!("unknown shape `{shape_name}` in BENCH_e9.json"));
+        let (flat_probes, lattice_probes) = e9_probe_counts(*shape, views);
+        let allowed = ceiling + ceiling * SLACK_PERCENT / 100;
+        if lattice_probes > allowed {
+            failures.push(format!(
+                "e9 {shape_name} views={views}: {lattice_probes} lattice probes > committed ceiling {ceiling} (+{SLACK_PERCENT}% slack = {allowed})"
+            ));
+        }
+        // The acceptance bound of the lattice planner: on hierarchical
+        // catalogs of 50 views, at most half the flat scan's probes.
+        if views == 50 && *shape != FamilyShape::Flat && 2 * lattice_probes > flat_probes {
+            failures.push(format!(
+                "e9 {shape_name} views=50: {lattice_probes} lattice probes exceed 50% of the flat scan's {flat_probes}"
+            ));
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 12,
+        "BENCH_e9.json yielded only {checked} rows; baseline looks truncated"
+    );
+    checked
 }
 
 fn main() {
@@ -77,12 +161,16 @@ fn main() {
         checked >= 16,
         "BENCH_e5.json yielded only {checked} rows; baseline looks truncated"
     );
+    let e9_checked = e9_checks(&mut failures);
     if !failures.is_empty() {
-        eprintln!("examined_delta regressions:");
+        eprintln!("perf regressions:");
         for failure in &failures {
             eprintln!("  {failure}");
         }
         std::process::exit(1);
     }
-    println!("perf smoke OK: {checked} E5 instances within committed examined_delta ceilings");
+    println!(
+        "perf smoke OK: {checked} E5 instances within committed examined_delta ceilings, \
+         {e9_checked} E9 instances within committed lattice-probe ceilings (hierarchical N=50 ≤ 50% of flat)"
+    );
 }

@@ -393,6 +393,23 @@ impl<'a> SubsumptionChecker<'a> {
         self.check_cached(arena, sub, sup, cache).subsumed()
     }
 
+    /// Σ-equivalence (mutual subsumption) through a [`SubsumptionCache`]:
+    /// the cached counterpart of [`SubsumptionChecker::equivalent`], for
+    /// view-vs-view questions over a long-lived catalog — e.g. asking
+    /// whether two materialized definitions denote the same node of the
+    /// subsumption lattice. Both directions go through the cache, so each
+    /// concept's fact closure is saturated at most once across all such
+    /// checks and repeats are pure lookups.
+    pub fn equivalent_cached(
+        &self,
+        arena: &mut TermArena,
+        a: ConceptId,
+        b: ConceptId,
+        cache: &mut SubsumptionCache,
+    ) -> bool {
+        self.subsumes_cached(arena, a, b, cache) && self.subsumes_cached(arena, b, a, cache)
+    }
+
     /// Batch probe: decides `sub ⊑_Σ view` for every view, sharing one
     /// normalization pass and one fact saturation for `sub` and the
     /// cached outcomes for each `(sub, view)` pair — the optimizer's
@@ -677,6 +694,26 @@ mod tests {
 
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    /// Cached equivalence agrees with the uncached mutual-subsumption
+    /// check and reuses the saturated closures of both operands.
+    #[test]
+    fn cached_equivalence_agrees_with_uncached() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let mut cache = SubsumptionCache::new();
+        let top = m.arena.top();
+        let query_and_top = m.arena.and(m.query, top);
+        assert!(checker.equivalent_cached(&mut m.arena, m.query, query_and_top, &mut cache));
+        assert!(!checker.equivalent_cached(&mut m.arena, m.query, m.view, &mut cache));
+        let (_, misses_before) = cache.stats();
+        // Repeating both checks is pure lookups.
+        assert!(checker.equivalent_cached(&mut m.arena, m.query, query_and_top, &mut cache));
+        assert!(!checker.equivalent_cached(&mut m.arena, m.query, m.view, &mut cache));
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, misses_before);
+        assert!(hits >= 3, "repeat equivalence checks must hit, got {hits}");
     }
 
     /// The outcome reports completion statistics compatible with the

@@ -130,16 +130,29 @@ pub fn render_constraint(expr: &ConstraintExpr) -> String {
             Term::Ident(name) => name.clone(),
         }
     }
+    // A quantified expression used as an operand of `not`/`and`/`or` must
+    // be parenthesized: the quantifier's body extends as far right as
+    // possible, so `(forall x/C φ and ψ)` would re-parse with `and ψ`
+    // *inside* the body (and `not forall …` would not parse at all).
+    // Atoms, `and`/`or`, and `not`-chains self-delimit.
+    fn operand(expr: &ConstraintExpr) -> String {
+        match expr {
+            ConstraintExpr::Forall(..) | ConstraintExpr::Exists(..) => {
+                format!("({})", render_constraint(expr))
+            }
+            _ => render_constraint(expr),
+        }
+    }
     match expr {
         ConstraintExpr::In(t, class) => format!("({} in {})", term(t), class),
         ConstraintExpr::HasAttr(s, attr, t) => format!("({} {} {})", term(s), attr, term(t)),
         ConstraintExpr::Eq(s, t) => format!("({} = {})", term(s), term(t)),
-        ConstraintExpr::Not(inner) => format!("not {}", render_constraint(inner)),
+        ConstraintExpr::Not(inner) => format!("not {}", operand(inner)),
         ConstraintExpr::And(a, b) => {
-            format!("({} and {})", render_constraint(a), render_constraint(b))
+            format!("({} and {})", operand(a), operand(b))
         }
         ConstraintExpr::Or(a, b) => {
-            format!("({} or {})", render_constraint(a), render_constraint(b))
+            format!("({} or {})", operand(a), operand(b))
         }
         ConstraintExpr::Forall(var, class, body) => {
             format!("forall {var}/{class} {}", render_constraint(body))

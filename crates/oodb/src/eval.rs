@@ -208,7 +208,7 @@ pub fn eval_constraint_for(db: &Database, expr: &ConstraintExpr, this: ObjId) ->
 mod tests {
     use super::*;
     use crate::store::Database;
-    use subq_dl::samples;
+    use subq_dl::{samples, PathFilter, PathStep};
 
     /// The hospital of the store tests extended with a male patient that
     /// satisfies every condition of QueryPatient.
@@ -322,6 +322,103 @@ mod tests {
         assert_eq!(restricted, BTreeSet::from([mary]));
         let full = evaluate_query_over(&db, view, None);
         assert_eq!(full, BTreeSet::from([mary, john]));
+    }
+
+    /// A query with no schema superclass starts from the all-objects
+    /// candidate set — both with an empty `isA` clause and with an `isA`
+    /// clause naming only query classes (which restrict by recursive
+    /// membership, not by stored extents).
+    #[test]
+    fn query_without_schema_superclasses_scans_all_objects() {
+        let db = hospital_with_john();
+        let unrestricted = subq_dl::QueryClassDecl {
+            name: "Everything".into(),
+            is_a: vec![],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        let all: BTreeSet<ObjId> = db.objects().collect();
+        assert_eq!(initial_candidates(&db, &unrestricted), all);
+        assert_eq!(evaluate_query(&db, &unrestricted), all);
+
+        // `isA ViewPatient` names a query class: no stored extent to
+        // intersect, so the candidate set stays all objects, and the
+        // recursive membership check does the filtering.
+        let via_query_class = subq_dl::QueryClassDecl {
+            name: "ViaView".into(),
+            is_a: vec!["ViewPatient".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        assert_eq!(initial_candidates(&db, &via_query_class), all);
+        let model = samples::medical_model();
+        let view = model.query_class("ViewPatient").expect("declared");
+        assert_eq!(
+            evaluate_query(&db, &via_query_class),
+            evaluate_query(&db, view)
+        );
+    }
+
+    /// A `where` equality between labels whose paths bind disjoint object
+    /// sets recognizes no member, even when each path binds on its own.
+    #[test]
+    fn where_equality_binding_no_common_object_rejects_members() {
+        let db = hospital_with_john();
+        let john = db.object("john").expect("exists");
+        // l_1: the consulted doctor (welby); l_2: the taken drug
+        // (Aspirin). Both bind, but never to a common object.
+        let query = subq_dl::QueryClassDecl {
+            name: "Impossible".into(),
+            is_a: vec!["Patient".into()],
+            derived: vec![
+                LabeledPath {
+                    label: Some("l_1".into()),
+                    steps: vec![PathStep {
+                        attr: "consults".into(),
+                        filter: PathFilter::Any,
+                    }],
+                },
+                LabeledPath {
+                    label: Some("l_2".into()),
+                    steps: vec![PathStep {
+                        attr: "takes".into(),
+                        filter: PathFilter::Any,
+                    }],
+                },
+            ],
+            where_eqs: vec![("l_1".into(), "l_2".into())],
+            constraint: None,
+        };
+        // Each path binds for john…
+        assert!(!path_endpoints(&db, john, &query.derived[0]).is_empty());
+        assert!(!path_endpoints(&db, john, &query.derived[1]).is_empty());
+        // …but the equality has no common witness.
+        assert!(!is_member(&db, &query, john));
+        assert!(evaluate_query(&db, &query).is_empty());
+        // A `where` clause over an unbound (undeclared) label also
+        // rejects instead of panicking.
+        let dangling = subq_dl::QueryClassDecl {
+            name: "Dangling".into(),
+            is_a: vec!["Patient".into()],
+            derived: vec![],
+            where_eqs: vec![("ghost".into(), "ghost".into())],
+            constraint: None,
+        };
+        assert!(evaluate_query(&db, &dangling).is_empty());
+    }
+
+    /// Evaluation over an explicitly empty restricted candidate set is
+    /// empty — the optimizer's degenerate case of filtering an empty view
+    /// extension.
+    #[test]
+    fn evaluation_over_an_empty_candidate_set_is_empty() {
+        let db = hospital_with_john();
+        let model = samples::medical_model();
+        let view = model.query_class("ViewPatient").expect("declared");
+        let restricted = evaluate_query_over(&db, view, Some(&BTreeSet::new()));
+        assert!(restricted.is_empty());
     }
 
     #[test]

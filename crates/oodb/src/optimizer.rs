@@ -8,25 +8,38 @@
 //! extensions of subsuming views, thus restricting the search space."
 //!
 //! Concretely, [`OptimizedDatabase::execute`] translates the incoming query
-//! class into its QL concept, checks it (in polynomial time) against the QL
-//! concept of every materialized view, picks the subsuming view with the
+//! class into its QL concept, finds the materialized views that subsume it
+//! (in polynomial time per probe), picks a subsuming view with the
 //! smallest stored extension, and evaluates the query's full membership
 //! condition only over that extension. Soundness rests on
 //! Proposition 3.1: Σ-subsumption of the structural abstractions implies
 //! containment of the answer sets in every database state.
+//!
+//! Since PR 3 the subsuming views are found by traversing the catalog's
+//! subsumption lattice ([`OptimizedDatabase::plan`]): a failed probe of a
+//! view prunes every strictly more specific view below it, so large
+//! hierarchical catalogs cost far fewer than N probes per plan. The flat
+//! linear scan is retained as [`OptimizedDatabase::plan_flat`] — the
+//! reference whose answers the traversal must reproduce (on the
+//! maximal-specific frontier) and the baseline of experiment E9.
 
 use crate::eval::{evaluate_query_over, initial_candidates};
 use crate::store::{Database, ObjId};
-use crate::views::{ViewCatalog, ViewError};
+use crate::views::{ClassifyOracle, ViewCatalog, ViewError};
 use std::collections::BTreeSet;
 use subq_calculus::{SubsumptionCache, SubsumptionChecker};
+use subq_concepts::term::{ConceptId, TermArena};
 use subq_dl::QueryClassDecl;
 use subq_translate::{translate_query, TranslateError, TranslatedModel};
 
 /// The plan chosen for a query.
 #[derive(Clone, Debug, Default)]
 pub struct QueryPlan {
-    /// Names of all materialized views that subsume the query.
+    /// The subsuming views the planner reports. For [`OptimizedDatabase::plan`]
+    /// this is the **maximal-specific frontier** — subsuming views with no
+    /// strictly more specific subsuming view below them (plus Σ-equivalent
+    /// peers); for [`OptimizedDatabase::plan_flat`] it is every subsuming
+    /// view. Both are sorted by extent size, smallest first.
     pub subsuming_views: Vec<String>,
     /// The view whose extension will be filtered (the smallest subsuming
     /// one), if any.
@@ -41,6 +54,12 @@ pub struct QueryPlan {
     /// query was saturated by an earlier plan (or every pair hit the
     /// cache).
     pub fact_saturations: usize,
+    /// How many views the lattice traversal did *not* probe: descendants
+    /// of failed probes and equivalence peers. Always 0 for the flat scan.
+    pub probes_pruned: usize,
+    /// Depth of the deepest lattice node probed (roots = 1); 0 for the
+    /// flat scan and for empty catalogs.
+    pub lattice_depth: usize,
 }
 
 /// Statistics of one query execution.
@@ -126,8 +145,11 @@ impl OptimizedDatabase {
 
     /// Materializes a view: the name must denote a structural query class,
     /// or a schema class (which the paper notes can always be turned into a
-    /// query class `isA C`).
-    pub fn materialize_view(&self, name: &str) -> Result<(), ViewError> {
+    /// query class `isA C`). The new view is classified into the catalog's
+    /// subsumption lattice immediately — one fact saturation for its
+    /// top-down parent search, goal-side probes for the rest (reusing the
+    /// cached closures of the views already classified).
+    pub fn materialize_view(&mut self, name: &str) -> Result<(), ViewError> {
         let definition = if let Some(query) = self.db.model().query_class(name) {
             query.clone()
         } else if self.db.model().class(name).is_some() {
@@ -143,11 +165,36 @@ impl OptimizedDatabase {
                 query: name.to_owned(),
             });
         };
-        self.catalog.materialize(&self.db, &definition)
+        self.catalog.materialize(&self.db, &definition)?;
+        self.classify_catalog();
+        Ok(())
     }
 
-    /// Computes the evaluation plan for a query: which materialized views
-    /// subsume it, and which one will be used.
+    /// Inserts every not-yet-classified view into the subsumption lattice.
+    /// Called after materialization and (via [`OptimizedDatabase::plan`])
+    /// after a schema change has reset the lattice.
+    fn classify_catalog(&mut self) {
+        let mut oracle = DatabaseOracle {
+            db: &self.db,
+            queries: &self.translated.queries,
+            vocabulary: &mut self.translated.vocabulary,
+            arena: &mut self.translated.arena,
+            cache: &mut self.subsumption_cache,
+            checker: SubsumptionChecker::new(&self.translated.schema),
+        };
+        self.catalog.classify_pending(&mut oracle);
+    }
+
+    /// Computes the evaluation plan for a query by traversing the view
+    /// lattice from its roots: a view is probed only while every one of
+    /// its Hasse parents subsumes the query — since `V₂ ⊑ V₁` and
+    /// `Q ⋢ V₁` imply `Q ⋢ V₂`, a failed probe prunes the whole sub-DAG
+    /// below it. The reported views are the **maximal-specific subsuming
+    /// frontier**; their extensions are contained in every other subsuming
+    /// view's extension, so picking the smallest of them is never worse
+    /// than the flat scan's globally smallest pick, and the filtered
+    /// answer set is identical (`tests/lattice_equivalence.rs` proves both
+    /// properties against [`OptimizedDatabase::plan_flat`]).
     pub fn plan(&mut self, query: &QueryClassDecl) -> QueryPlan {
         let query_concept = match translate_query(
             query,
@@ -158,26 +205,52 @@ impl OptimizedDatabase {
             Ok(concept) => concept,
             Err(_) => return QueryPlan::default(),
         };
+        // Classify pending views first (newly materialized through the raw
+        // catalog, or the whole catalog after a schema change) so that
+        // classification probes are not attributed to this plan's
+        // counters.
+        self.classify_catalog();
         let checker = SubsumptionChecker::new(&self.translated.schema);
-        // Collect the view concepts — cached in the catalog from earlier
-        // plans, falling back to the model's pre-translated query classes
-        // and translating from the definition only on a view's very first
-        // plan — then probe them as one batch through the memo table: the
-        // query is normalized and fact-saturated once for all N views, a
-        // repeated `(query, view)` pair skips even the goal probe, and a
-        // fresh pair pays only the goal probe over a fork of the
-        // saturated facts.
-        let db = &self.db;
-        let queries = &self.translated.queries;
-        let vocabulary = &mut self.translated.vocabulary;
         let arena = &mut self.translated.arena;
-        let candidates: Vec<(String, usize, subq_concepts::term::ConceptId)> =
-            self.catalog.plan_entries_with(|definition| {
-                queries
-                    .get(&definition.name)
-                    .copied()
-                    .or_else(|| translate_query(definition, db.model(), vocabulary, arena).ok())
-            });
+        let cache = &mut self.subsumption_cache;
+        let (hits_before, misses_before) = cache.stats();
+        let (saturations_before, _) = cache.saturation_stats();
+        let traversal = self.catalog.traverse(|view_concept| {
+            checker.subsumes_cached(arena, query_concept, view_concept, cache)
+        });
+        let (hits_after, misses_after) = cache.stats();
+        let (saturations_after, _) = cache.saturation_stats();
+        let mut subsuming = traversal.frontier;
+        subsuming.sort_by_key(|(_, size)| *size);
+        QueryPlan {
+            chosen_view: subsuming.first().map(|(name, _)| name.clone()),
+            subsuming_views: subsuming.into_iter().map(|(name, _)| name).collect(),
+            cached_probes: (hits_after - hits_before) as usize,
+            fresh_probes: (misses_after - misses_before) as usize,
+            fact_saturations: (saturations_after - saturations_before) as usize,
+            probes_pruned: traversal.pruned,
+            lattice_depth: traversal.depth,
+        }
+    }
+
+    /// The flat reference planner: probes the query against **every**
+    /// materialized view (one batch through the memo table — the query is
+    /// normalized and fact-saturated once for all N views) and reports all
+    /// subsuming views, smallest extension first. Kept as the baseline the
+    /// lattice traversal is verified against and measured relative to
+    /// (experiment E9).
+    pub fn plan_flat(&mut self, query: &QueryClassDecl) -> QueryPlan {
+        let query_concept = match translate_query(
+            query,
+            self.db.model(),
+            &mut self.translated.vocabulary,
+            &mut self.translated.arena,
+        ) {
+            Ok(concept) => concept,
+            Err(_) => return QueryPlan::default(),
+        };
+        let candidates = self.translated_plan_entries();
+        let checker = SubsumptionChecker::new(&self.translated.schema);
         let view_concepts: Vec<_> = candidates.iter().map(|(_, _, c)| *c).collect();
         let (hits_before, misses_before) = self.subsumption_cache.stats();
         let (saturations_before, _) = self.subsumption_cache.saturation_stats();
@@ -202,10 +275,49 @@ impl OptimizedDatabase {
             cached_probes: (hits_after - hits_before) as usize,
             fresh_probes: (misses_after - misses_before) as usize,
             fact_saturations: (saturations_after - saturations_before) as usize,
+            probes_pruned: 0,
+            lattice_depth: 0,
         }
     }
 
-    /// Executes a query with the optimizer: refreshes stale views, plans,
+    /// One pass over the catalog filling in missing view concepts through
+    /// `view_concept`: the shared lookup of every planner-side consumer
+    /// (the flat scan, [`OptimizedDatabase::view_subsumes`]).
+    fn translated_plan_entries(&mut self) -> Vec<(String, usize, ConceptId)> {
+        let db = &self.db;
+        let queries = &self.translated.queries;
+        let vocabulary = &mut self.translated.vocabulary;
+        let arena = &mut self.translated.arena;
+        self.catalog.plan_entries_with(|definition| {
+            view_concept(definition, db, queries, vocabulary, arena)
+        })
+    }
+
+    /// Whether the concept of view `sub` is Σ-subsumed by the concept of
+    /// view `sup` (both must be materialized and translatable). This is
+    /// the probe the lattice classification is built from, exposed so
+    /// tests can verify the classified edges against direct pairwise
+    /// checks.
+    pub fn view_subsumes(&mut self, sub: &str, sup: &str) -> Option<bool> {
+        let entries = self.translated_plan_entries();
+        let concept_of = |name: &str| {
+            entries
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, c)| *c)
+        };
+        let (a, b) = (concept_of(sub)?, concept_of(sup)?);
+        let checker = SubsumptionChecker::new(&self.translated.schema);
+        Some(checker.subsumes_cached(
+            &mut self.translated.arena,
+            a,
+            b,
+            &mut self.subsumption_cache,
+        ))
+    }
+
+    /// Executes a query with the optimizer: refreshes stale views, plans
+    /// (via the lattice traversal),
     /// and filters the chosen view's extension (falling back to a full
     /// evaluation when no view subsumes the query).
     pub fn execute(&mut self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
@@ -238,6 +350,54 @@ impl OptimizedDatabase {
         };
         (answers, stats)
     }
+}
+
+/// The lattice-classification oracle of an optimized database: translates
+/// view definitions with the shared vocabulary and arena (preferring the
+/// model's pre-translated query classes) and answers view-vs-view
+/// subsumption probes through the database's memoizing cache, so each
+/// view's fact closure is saturated at most once across all insertions.
+struct DatabaseOracle<'a> {
+    db: &'a Database,
+    queries: &'a std::collections::HashMap<String, ConceptId>,
+    vocabulary: &'a mut subq_concepts::symbol::Vocabulary,
+    arena: &'a mut TermArena,
+    cache: &'a mut SubsumptionCache,
+    checker: SubsumptionChecker<'a>,
+}
+
+impl ClassifyOracle for DatabaseOracle<'_> {
+    fn concept_of(&mut self, definition: &QueryClassDecl) -> Option<ConceptId> {
+        view_concept(
+            definition,
+            self.db,
+            self.queries,
+            self.vocabulary,
+            self.arena,
+        )
+    }
+
+    fn subsumes(&mut self, sub: ConceptId, sup: ConceptId) -> bool {
+        self.checker
+            .subsumes_cached(self.arena, sub, sup, self.cache)
+    }
+}
+
+/// The QL concept of a view definition: the model's pre-translated query
+/// classes first, a fresh translation of the definition otherwise (e.g.
+/// for the synthesized `isA C` views of schema classes). The single
+/// lookup behind classification, the flat scan, and `view_subsumes`.
+fn view_concept(
+    definition: &QueryClassDecl,
+    db: &Database,
+    queries: &std::collections::HashMap<String, ConceptId>,
+    vocabulary: &mut subq_concepts::symbol::Vocabulary,
+    arena: &mut TermArena,
+) -> Option<ConceptId> {
+    queries
+        .get(&definition.name)
+        .copied()
+        .or_else(|| translate_query(definition, db.model(), vocabulary, arena).ok())
 }
 
 #[cfg(test)]
@@ -378,8 +538,9 @@ mod tests {
         assert_eq!(third.subsuming_views, first.subsuming_views);
     }
 
-    /// The view-concept cache saves re-translation without changing plans;
-    /// plans before and after the cache is warm are identical.
+    /// View concepts are translated once — at classification time — and
+    /// cached in the catalog; plans before and after the cache is warm are
+    /// identical.
     #[test]
     fn view_concepts_are_translated_once_and_cached_in_the_catalog() {
         let db = hospital_with_many_patients(5);
@@ -387,21 +548,15 @@ mod tests {
         let mut odb = OptimizedDatabase::new(db).expect("translates");
         odb.materialize_view("ViewPatient").expect("materializes");
         odb.materialize_view("Person").expect("materializes");
-        let pre_cached = odb
-            .catalog()
-            .plan_entries()
-            .into_iter()
-            .filter(|(_, _, concept)| concept.is_some())
-            .count();
-        assert_eq!(pre_cached, 0, "no concept is cached before the first plan");
-        let query = model.query_class("QueryPatient").expect("declared");
-        let first = odb.plan(query);
-        // After one plan every view's concept is cached.
+        // Classification at materialization time already translated and
+        // cached every view concept.
         assert!(odb
             .catalog()
             .plan_entries()
             .iter()
             .all(|(_, _, concept)| concept.is_some()));
+        let query = model.query_class("QueryPatient").expect("declared");
+        let first = odb.plan(query);
         let second = odb.plan(query);
         assert_eq!(first.subsuming_views, second.subsuming_views);
         assert_eq!(first.chosen_view, second.chosen_view);
@@ -510,10 +665,135 @@ mod tests {
         assert_eq!(after, baseline);
     }
 
+    /// The lattice traversal reports the maximal-specific frontier of the
+    /// flat scan's subsumer set, prunes probes under failed parents, and
+    /// chooses a view with the same (smallest) extension.
+    #[test]
+    fn lattice_plan_agrees_with_the_flat_scan() {
+        let db = hospital_with_many_patients(10);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        for view in [
+            "Person",
+            "Patient",
+            "Doctor",
+            "Male",
+            "Female",
+            "ViewPatient",
+        ] {
+            odb.materialize_view(view).expect("materializes");
+        }
+        assert!(odb.catalog().lattice_violations().is_empty());
+        let query = model.query_class("QueryPatient").expect("declared");
+        let lattice = odb.plan(query);
+        let flat = odb.plan_flat(query);
+        // Flat subsumers: Person, Patient, Male, ViewPatient. The frontier
+        // keeps only ViewPatient and Male (Patient and Person have a more
+        // specific subsumer below them).
+        let mut flat_set = flat.subsuming_views.clone();
+        flat_set.sort();
+        assert_eq!(flat_set, vec!["Male", "Patient", "Person", "ViewPatient"]);
+        let mut frontier = lattice.subsuming_views.clone();
+        frontier.sort();
+        assert_eq!(frontier, vec!["Male", "ViewPatient"]);
+        // Same chosen extension size (the frontier contains a smallest
+        // subsumer), hence identical filtered answers.
+        let extent = |name: &str| odb.catalog().view(name).expect("stored").len();
+        assert_eq!(
+            extent(lattice.chosen_view.as_deref().expect("chosen")),
+            extent(flat.chosen_view.as_deref().expect("chosen")),
+        );
+        assert_eq!(lattice.chosen_view, flat.chosen_view);
+        // Doctor and Female fail but have no descendants here, so every
+        // view is probed; probes + pruned always covers the catalog.
+        assert_eq!(lattice.fresh_probes + lattice.cached_probes, 6);
+        assert_eq!(lattice.probes_pruned, 0);
+        assert!(lattice.lattice_depth >= 3, "Person → Patient → ViewPatient");
+        assert_eq!(flat.probes_pruned, 0);
+        assert_eq!(flat.lattice_depth, 0);
+    }
+
+    /// Satellite regression test: a rejected double materialization and
+    /// data-update refreshes leave the lattice consistent — no dangling
+    /// nodes, no duplicate edges, identical edge set.
+    #[test]
+    fn rejected_materialization_and_refresh_keep_the_lattice_consistent() {
+        let db = hospital_with_many_patients(4);
+        let model = samples::medical_model();
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        for view in ["Person", "Patient", "ViewPatient"] {
+            odb.materialize_view(view).expect("materializes");
+        }
+        let mut edges_before = odb.catalog().lattice_edges();
+        edges_before.sort();
+        assert!(odb.catalog().lattice_violations().is_empty());
+
+        // Double materialization is rejected and must not disturb the DAG.
+        let err = odb.materialize_view("ViewPatient").expect_err("duplicate");
+        assert!(matches!(err, ViewError::AlreadyMaterialized { .. }));
+        let mut edges = odb.catalog().lattice_edges();
+        edges.sort();
+        assert_eq!(edges, edges_before);
+        assert!(odb.catalog().lattice_violations().is_empty());
+
+        // Data mutations invalidate extents, and the refresh performed by
+        // `execute` re-evaluates them — the lattice is untouched.
+        odb.update(|db| {
+            let p = db.add_object("newcomer");
+            db.assert_class(p, "Patient");
+        });
+        let query = model.query_class("QueryPatient").expect("declared");
+        let (answers, _) = odb.execute(query);
+        let (baseline, _) = odb.execute_unoptimized(query);
+        assert_eq!(answers, baseline);
+        let mut edges = odb.catalog().lattice_edges();
+        edges.sort();
+        assert_eq!(edges, edges_before);
+        assert!(odb.catalog().lattice_violations().is_empty());
+        assert_eq!(odb.catalog().classified_count(), 3);
+
+        // A schema mutation rebuilds the lattice; the rebuilt diagram is
+        // consistent again (and in this case identical).
+        odb.update(|db| {
+            db.model_mut();
+        });
+        let _ = odb.plan(query);
+        let mut edges = odb.catalog().lattice_edges();
+        edges.sort();
+        assert_eq!(edges, edges_before);
+        assert!(odb.catalog().lattice_violations().is_empty());
+    }
+
+    /// Deep chains give the traversal something to prune: a query not
+    /// subsumed by the chain root skips the entire chain below it.
+    #[test]
+    fn failed_root_probe_prunes_the_whole_chain() {
+        let db = hospital_with_many_patients(3);
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        for view in ["Doctor", "Person", "Patient", "ViewPatient"] {
+            odb.materialize_view(view).expect("materializes");
+        }
+        // "All females" is subsumed by Person only — the Patient →
+        // ViewPatient chain is pruned once Patient fails; Doctor fails on
+        // its own.
+        let query = subq_dl::QueryClassDecl {
+            name: "AllFemales".into(),
+            is_a: vec!["Female".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        let plan = odb.plan(&query);
+        assert_eq!(plan.subsuming_views, vec!["Person".to_owned()]);
+        // Probed: Person ✓, Patient ✗, Doctor ✗ — ViewPatient pruned.
+        assert_eq!(plan.fresh_probes + plan.cached_probes, 3);
+        assert_eq!(plan.probes_pruned, 1);
+    }
+
     #[test]
     fn every_schema_class_can_be_materialized_as_a_trivial_view() {
         let db = hospital_with_many_patients(2);
-        let odb = OptimizedDatabase::new(db).expect("translates");
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
         // "Person" is a schema class, not a query class; materializing it
         // builds the trivial query class `isA Person` — the paper's remark
         // that every schema class can be turned into a query class.

@@ -1,4 +1,4 @@
-//! Materialized views.
+//! Materialized views, organized into a subsumption lattice.
 //!
 //! A view is a query class whose constraint part is empty (Section 2.2);
 //! its answers may be materialized — stored explicitly — so that access to
@@ -6,6 +6,38 @@
 //! extensions, refreshes them when the database changes, and is shared
 //! behind a read–write lock so that many queries can consult it
 //! concurrently (the "trader" scenario sketched in Section 6).
+//!
+//! # The subsumption lattice
+//!
+//! Beyond the flat list of extensions, the catalog maintains the **Hasse
+//! diagram** of the Σ-subsumption order over the view concepts: an edge
+//! `P → C` records that `C ⊑_Σ P` with no other view strictly between
+//! them. Views whose concepts are Σ-equivalent collapse into one node —
+//! the first-materialized view stays the *representative* and later
+//! equivalent views attach to it as peers.
+//!
+//! The planner exploits the diagram through [`ViewCatalog::traverse`]:
+//! because `C ⊑ P` and `Q ⋢ P` imply `Q ⋢ C`, a failed probe of a parent
+//! prunes every view below it, so a query is tested against a pruned
+//! top-down frontier instead of the whole catalog (the flat `O(N)` scan
+//! the paper's Section 3.2 sketches).
+//!
+//! # Insertion-time classification cost
+//!
+//! Classification is incremental ([`ViewCatalog::classify_pending`]): each
+//! newly materialized view is inserted into the existing DAG with one
+//! top-down parent search (probes `new ⊑ existing`, descending only below
+//! views that subsume the newcomer) and one bottom-up child search (probes
+//! `existing ⊑ new` below the found parents, stopping at the first
+//! subsumed node of every branch). All probes go through the optimizer's
+//! [`subq_calculus::SubsumptionCache`], so the newcomer's fact closure is
+//! saturated **once** for its whole top-down phase and every existing
+//! view's closure is reused from its own insertion — an insertion pays one
+//! fact saturation plus a number of goal-side probes bounded by the size
+//! of the two search frontiers (at worst `O(N)` on a flat anti-hierarchy,
+//! `O(depth × fan-out)` on hierarchical catalogs). The whole diagram is
+//! dropped and rebuilt only when the schema changes (the subsumption
+//! relation itself may then change); data updates never touch it.
 
 use crate::eval::evaluate_query;
 use crate::store::{Database, ObjId};
@@ -15,7 +47,7 @@ use subq_concepts::term::ConceptId;
 use subq_dl::QueryClassDecl;
 
 /// A materialized view: a structural query class together with its stored
-/// extension.
+/// extension and its position in the catalog's subsumption lattice.
 #[derive(Clone, Debug)]
 pub struct MaterializedView {
     /// The view definition (a query class without a constraint clause).
@@ -28,6 +60,18 @@ pub struct MaterializedView {
     /// after the first translation (valid for one `TranslatedModel`;
     /// dropped by [`ViewCatalog::invalidate_concepts`] on schema change).
     pub concept: Option<ConceptId>,
+    /// Hasse parents: indices of the most-specific views strictly *more
+    /// general* than this one. Empty for roots and for equivalence peers.
+    pub parents: Vec<usize>,
+    /// Hasse children: indices of the most-general views strictly *more
+    /// specific* than this one. Empty for leaves and equivalence peers.
+    pub children: Vec<usize>,
+    /// `Some(rep)` when this view's concept is Σ-equivalent to the earlier
+    /// view `rep`, which represents the shared lattice node.
+    pub equiv: Option<usize>,
+    /// Whether this view has been inserted into the lattice since the last
+    /// schema change.
+    pub classified: bool,
 }
 
 impl MaterializedView {
@@ -73,6 +117,38 @@ impl std::fmt::Display for ViewError {
 
 impl std::error::Error for ViewError {}
 
+/// The oracle driving lattice classification: translates view definitions
+/// into concepts and decides Σ-subsumption between two concepts.
+///
+/// Both capabilities live on one trait (rather than two closures) because
+/// a caller typically backs them with the *same* mutable state — the term
+/// arena and the subsumption cache of an optimized database.
+pub trait ClassifyOracle {
+    /// The QL concept of a view definition, or `None` if it does not
+    /// translate under the current schema (the view is skipped and retried
+    /// on the next classification pass).
+    fn concept_of(&mut self, definition: &QueryClassDecl) -> Option<ConceptId>;
+    /// Whether `sub ⊑_Σ sup`.
+    fn subsumes(&mut self, sub: ConceptId, sup: ConceptId) -> bool;
+}
+
+/// The outcome of one lattice traversal ([`ViewCatalog::traverse`]).
+#[derive(Clone, Debug, Default)]
+pub struct LatticeTraversal {
+    /// The maximal-specific subsuming views (`(name, extent size)`): every
+    /// view on the frontier subsumes the query, and no strictly more
+    /// specific view does. Order follows the traversal; callers sort.
+    pub frontier: Vec<(String, usize)>,
+    /// Number of subsumption probes performed.
+    pub probes: usize,
+    /// Number of views whose probe was skipped: descendants of a failed
+    /// probe, and equivalence peers (their verdict is the representative's).
+    pub pruned: usize,
+    /// Depth of the deepest node probed, counting roots as 1 (0 when the
+    /// catalog is empty).
+    pub depth: usize,
+}
+
 /// The catalog of materialized views.
 #[derive(Debug, Default)]
 pub struct ViewCatalog {
@@ -94,6 +170,8 @@ impl ViewCatalog {
     }
 
     /// Materializes a view: evaluates it once and stores the extension.
+    /// The view enters the lattice on the next
+    /// [`ViewCatalog::classify_pending`] pass.
     pub fn materialize(&self, db: &Database, definition: &QueryClassDecl) -> Result<(), ViewError> {
         if !definition.is_view() {
             return Err(ViewError::NotStructural {
@@ -112,6 +190,10 @@ impl ViewCatalog {
             extent,
             fresh: true,
             concept: None,
+            parents: Vec::new(),
+            children: Vec::new(),
+            equiv: None,
+            classified: false,
         });
         Ok(())
     }
@@ -184,15 +266,263 @@ impl ViewCatalog {
         entries
     }
 
-    /// Drops every cached translated concept (called when the schema — and
-    /// with it the arena the `ConceptId`s point into — is re-translated).
-    pub fn invalidate_concepts(&self) {
-        for view in self.write().iter_mut() {
-            view.concept = None;
+    /// Inserts every not-yet-classified view into the subsumption lattice,
+    /// in materialization order, using the oracle for translation and
+    /// subsumption probes. Idempotent: a fully classified catalog returns
+    /// without probing.
+    pub fn classify_pending(&self, oracle: &mut impl ClassifyOracle) {
+        // Fast path under the shared lock: planners call this on every
+        // plan, and in steady state (views classified eagerly on
+        // materialization) nothing is pending — don't serialize concurrent
+        // readers on the writer lock just to find that out.
+        if self.read().iter().all(|v| v.classified) {
+            return;
+        }
+        let mut views = self.write();
+        for index in 0..views.len() {
+            if views[index].concept.is_none() {
+                views[index].concept = oracle.concept_of(&views[index].definition);
+            }
+        }
+        for index in 0..views.len() {
+            if views[index].classified {
+                continue;
+            }
+            let Some(concept) = views[index].concept else {
+                // Untranslatable under the current schema: stays out of the
+                // lattice (and out of plans) until a later pass succeeds.
+                continue;
+            };
+            classify_one(&mut views, index, concept, oracle);
         }
     }
 
-    /// Marks every view as stale (called after database updates).
+    /// Plans a query by traversing the lattice from its roots: `probe`
+    /// decides whether the query is subsumed by a view concept, a failed
+    /// probe prunes the whole sub-DAG below it (soundly, since subsumption
+    /// is transitive), and the result is the *maximal-specific* subsuming
+    /// frontier. Views not yet classified (see
+    /// [`ViewCatalog::classify_pending`]) are ignored.
+    pub fn traverse(&self, mut probe: impl FnMut(ConceptId) -> bool) -> LatticeTraversal {
+        let views = self.read();
+        let n = views.len();
+        let mut result = LatticeTraversal::default();
+        // Verdicts per representative: None = not yet decided.
+        let mut subsumed: Vec<Option<bool>> = vec![None; n];
+        let mut depth: Vec<usize> = vec![0; n];
+        // Kahn-style topological sweep over the representatives so a node
+        // is decided only after all of its parents (diamonds are probed
+        // once, after the *last* parent).
+        let mut pending_parents: Vec<usize> = vec![0; n];
+        let mut queue: Vec<usize> = Vec::new();
+        let mut reps = 0usize;
+        let mut classified_total = 0usize;
+        for (i, view) in views.iter().enumerate() {
+            if !view.classified {
+                continue;
+            }
+            classified_total += 1;
+            if view.equiv.is_some() {
+                continue;
+            }
+            reps += 1;
+            pending_parents[i] = view.parents.len();
+            if view.parents.is_empty() {
+                queue.push(i);
+            }
+        }
+        let mut processed = 0usize;
+        while let Some(i) = queue.pop() {
+            processed += 1;
+            let view = &views[i];
+            let all_parents_hold = view.parents.iter().all(|&p| subsumed[p] == Some(true));
+            depth[i] = 1 + view.parents.iter().map(|&p| depth[p]).max().unwrap_or(0);
+            let verdict = if all_parents_hold {
+                result.probes += 1;
+                result.depth = result.depth.max(depth[i]);
+                probe(views[i].concept.expect("classified views have concepts"))
+            } else {
+                false
+            };
+            subsumed[i] = Some(verdict);
+            for &c in &views[i].children {
+                pending_parents[c] -= 1;
+                if pending_parents[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        debug_assert_eq!(processed, reps, "lattice must be acyclic");
+        result.pruned = classified_total - result.probes;
+        // The frontier: subsuming representatives none of whose children
+        // subsume, expanded by their equivalence peers.
+        for (i, view) in views.iter().enumerate() {
+            let rep = view.equiv.unwrap_or(i);
+            if !view.classified || subsumed[rep] != Some(true) {
+                continue;
+            }
+            let maximal_specific = views[rep]
+                .children
+                .iter()
+                .all(|&c| subsumed[c] != Some(true));
+            if maximal_specific {
+                result
+                    .frontier
+                    .push((view.definition.name.clone(), view.extent.len()));
+            }
+        }
+        result
+    }
+
+    /// Structural invariants of the lattice, as human-readable violations
+    /// (empty = consistent). Checks index validity, parent/child edge
+    /// mirroring, duplicate and self edges, equivalence-peer shape, edge
+    /// cleanliness of unclassified views, and acyclicity.
+    pub fn lattice_violations(&self) -> Vec<String> {
+        let views = self.read();
+        let n = views.len();
+        let mut out = Vec::new();
+        let name = |i: usize| views[i].definition.name.clone();
+        for (i, view) in views.iter().enumerate() {
+            if (!view.classified || view.equiv.is_some())
+                && (!view.parents.is_empty() || !view.children.is_empty())
+            {
+                out.push(format!(
+                    "`{}` is {} but has Hasse edges",
+                    name(i),
+                    if view.classified {
+                        "an equivalence peer"
+                    } else {
+                        "unclassified"
+                    }
+                ));
+            }
+            if let Some(rep) = view.equiv {
+                if !view.classified {
+                    out.push(format!(
+                        "`{}` has an equiv link but is unclassified",
+                        name(i)
+                    ));
+                }
+                if rep >= n {
+                    out.push(format!("`{}` equiv index {rep} out of range", name(i)));
+                } else if views[rep].equiv.is_some() || !views[rep].classified {
+                    out.push(format!(
+                        "`{}` equiv target `{}` is not a classified representative",
+                        name(i),
+                        name(rep)
+                    ));
+                }
+            }
+            for (edges, mirror, what) in [
+                (&view.parents, true, "parent"),
+                (&view.children, false, "child"),
+            ] {
+                let mut seen = BTreeSet::new();
+                for &other in edges.iter() {
+                    if other >= n {
+                        out.push(format!("`{}` {what} index {other} out of range", name(i)));
+                        continue;
+                    }
+                    if other == i {
+                        out.push(format!("`{}` has a self {what} edge", name(i)));
+                    }
+                    if !seen.insert(other) {
+                        out.push(format!(
+                            "`{}` has duplicate {what} `{}`",
+                            name(i),
+                            name(other)
+                        ));
+                    }
+                    let back = if mirror {
+                        &views[other].children
+                    } else {
+                        &views[other].parents
+                    };
+                    if back.iter().filter(|&&b| b == i).count() != 1 {
+                        out.push(format!(
+                            "{what} edge `{}` ↔ `{}` is not mirrored exactly once",
+                            name(i),
+                            name(other)
+                        ));
+                    }
+                }
+            }
+        }
+        // Acyclicity via Kahn over representatives.
+        let mut pending: Vec<usize> = views.iter().map(|v| v.parents.len()).collect();
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&i| views[i].classified && views[i].equiv.is_none() && pending[i] == 0)
+            .collect();
+        let reps = (0..n)
+            .filter(|&i| views[i].classified && views[i].equiv.is_none())
+            .count();
+        let mut processed = 0;
+        while let Some(i) = queue.pop() {
+            processed += 1;
+            for &c in &views[i].children {
+                if c < n && pending[c] > 0 {
+                    pending[c] -= 1;
+                    if pending[c] == 0 {
+                        queue.push(c);
+                    }
+                }
+            }
+        }
+        if processed != reps {
+            out.push(format!(
+                "lattice contains a cycle ({processed} of {reps} representatives sort topologically)"
+            ));
+        }
+        out
+    }
+
+    /// The Hasse edges as `(parent name, child name)` pairs, plus
+    /// equivalence links as `(representative, peer)` — for tests and
+    /// diagnostics.
+    pub fn lattice_edges(&self) -> Vec<(String, String)> {
+        let views = self.read();
+        let mut out = Vec::new();
+        for view in views.iter() {
+            for &c in &view.children {
+                out.push((
+                    view.definition.name.clone(),
+                    views[c].definition.name.clone(),
+                ));
+            }
+            if let Some(rep) = view.equiv {
+                out.push((
+                    views[rep].definition.name.clone(),
+                    view.definition.name.clone(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Number of views inserted into the lattice since the last schema
+    /// change.
+    pub fn classified_count(&self) -> usize {
+        self.read().iter().filter(|v| v.classified).count()
+    }
+
+    /// Drops every cached translated concept **and the whole lattice**
+    /// (called when the schema — and with it both the arena the
+    /// `ConceptId`s point into and the subsumption relation itself — is
+    /// re-translated). Views are reclassified on the next
+    /// [`ViewCatalog::classify_pending`] pass.
+    pub fn invalidate_concepts(&self) {
+        for view in self.write().iter_mut() {
+            view.concept = None;
+            view.parents.clear();
+            view.children.clear();
+            view.equiv = None;
+            view.classified = false;
+        }
+    }
+
+    /// Marks every view as stale (called after database updates). The
+    /// lattice is untouched: subsumption never depends on the state.
     pub fn invalidate(&self) {
         for view in self.write().iter_mut() {
             view.fresh = false;
@@ -220,6 +550,139 @@ impl ViewCatalog {
     }
 }
 
+/// Inserts view `index` (with concept `concept`) into the lattice built
+/// from the already-classified views.
+///
+/// Top-down parent search, equivalence collapse, bottom-up child search,
+/// then Hasse rewiring (dropping parent→child edges the new node now
+/// mediates). See the module doc for the cost argument.
+fn classify_one(
+    views: &mut [MaterializedView],
+    index: usize,
+    concept: ConceptId,
+    oracle: &mut impl ClassifyOracle,
+) {
+    let n = views.len();
+    let is_rep = |views: &[MaterializedView], j: usize| {
+        j != index && views[j].classified && views[j].equiv.is_none()
+    };
+
+    // Phase 1 — top-down parent search: `sup[j]` memoizes `new ⊑ view j`.
+    // Descend only below subsuming views (a non-subsumer's descendants
+    // cannot subsume either).
+    let mut sup: Vec<Option<bool>> = vec![None; n];
+    let mut stack: Vec<usize> = (0..n)
+        .filter(|&j| is_rep(views, j) && views[j].parents.is_empty())
+        .collect();
+    while let Some(j) = stack.pop() {
+        if sup[j].is_some() {
+            continue;
+        }
+        let holds = oracle.subsumes(concept, views[j].concept.expect("reps have concepts"));
+        sup[j] = Some(holds);
+        if holds {
+            for &c in &views[j].children {
+                if sup[c].is_none() {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    let parents: Vec<usize> = (0..n)
+        .filter(|&j| {
+            sup[j] == Some(true) && views[j].children.iter().all(|&c| sup[c] != Some(true))
+        })
+        .collect();
+
+    // Phase 2 — equivalence: a parent that is also subsumed by the new
+    // view shares its concept up to Σ-equivalence; collapse into its node.
+    for &p in &parents {
+        if oracle.subsumes(views[p].concept.expect("reps have concepts"), concept) {
+            views[index].equiv = Some(p);
+            views[index].classified = true;
+            return;
+        }
+    }
+
+    // Phase 3 — bottom-up child search below the parents (or from the
+    // roots when the newcomer is a new root): walk down through
+    // non-subsumed views, stopping at the first `view ⊑ new` of every
+    // branch — those are the candidate children.
+    let mut sub: Vec<Option<bool>> = vec![None; n];
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut stack: Vec<usize> = if parents.is_empty() {
+        (0..n)
+            .filter(|&j| is_rep(views, j) && views[j].parents.is_empty())
+            .collect()
+    } else {
+        parents
+            .iter()
+            .flat_map(|&p| views[p].children.iter().copied())
+            .collect()
+    };
+    while let Some(j) = stack.pop() {
+        if sub[j].is_some() {
+            continue;
+        }
+        let holds = oracle.subsumes(views[j].concept.expect("reps have concepts"), concept);
+        sub[j] = Some(holds);
+        if holds {
+            candidates.push(j);
+        } else {
+            for &c in &views[j].children {
+                if sub[c].is_none() {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    // Keep only the maximal (most general) candidates: drop a candidate
+    // when one of its strict ancestors is also a candidate — the ancestor
+    // subsumes it, so the descendant's edge would be transitive. DAG
+    // reachability decides this without further probes.
+    let mut is_candidate: Vec<bool> = vec![false; n];
+    for &c in &candidates {
+        is_candidate[c] = true;
+    }
+    let children: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let mut up: Vec<usize> = views[c].parents.clone();
+            let mut seen: Vec<bool> = vec![false; n];
+            while let Some(a) = up.pop() {
+                if seen[a] {
+                    continue;
+                }
+                seen[a] = true;
+                if is_candidate[a] {
+                    return false;
+                }
+                up.extend(views[a].parents.iter().copied());
+            }
+            true
+        })
+        .collect();
+
+    // Phase 4 — rewire: the new node now mediates every parent→child pair
+    // it sits between.
+    for &p in &parents {
+        for &c in &children {
+            views[p].children.retain(|&x| x != c);
+            views[c].parents.retain(|&x| x != p);
+        }
+    }
+    for &p in &parents {
+        views[p].children.push(index);
+    }
+    for &c in &children {
+        views[c].parents.push(index);
+    }
+    views[index].parents = parents;
+    views[index].children = children;
+    views[index].classified = true;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +701,7 @@ mod tests {
         catalog.materialize(&db, view).expect("materializes");
         let stored = catalog.view("ViewPatient").expect("stored");
         assert!(stored.fresh);
+        assert!(!stored.classified);
         assert_eq!(stored.extent, evaluate_query(&db, view));
         assert_eq!(catalog.len(), 1);
         assert_eq!(catalog.view_names(), vec!["ViewPatient".to_owned()]);
@@ -293,5 +757,177 @@ mod tests {
         let after = catalog.view("ViewPatient").expect("stored");
         assert!(after.fresh);
         assert_eq!(after.extent.len(), before + 1);
+    }
+
+    /// A scripted oracle over toy concepts lets the graph algorithm be
+    /// tested without the calculus: subsumption is the divisibility order
+    /// on small integers (a ⊑ b iff b divides a), whose Hasse diagram over
+    /// {1,2,3,4,6,12} is the classic diamond-of-diamonds. Each number is
+    /// interned as one real arena concept so `ConceptId`s stay opaque.
+    struct DivisibilityOracle {
+        voc: subq_concepts::symbol::Vocabulary,
+        arena: subq_concepts::term::TermArena,
+        numbers: std::collections::HashMap<ConceptId, u32>,
+    }
+
+    impl DivisibilityOracle {
+        fn new() -> Self {
+            DivisibilityOracle {
+                voc: subq_concepts::symbol::Vocabulary::new(),
+                arena: subq_concepts::term::TermArena::new(),
+                numbers: std::collections::HashMap::new(),
+            }
+        }
+
+        fn concept_for(&mut self, n: u32) -> ConceptId {
+            let class = self.voc.class(&format!("N{n}"));
+            let concept = self.arena.prim(class);
+            self.numbers.insert(concept, n);
+            concept
+        }
+
+        fn number(&self, concept: ConceptId) -> u32 {
+            self.numbers[&concept]
+        }
+    }
+
+    impl ClassifyOracle for DivisibilityOracle {
+        fn concept_of(&mut self, definition: &QueryClassDecl) -> Option<ConceptId> {
+            // Concept = the number encoded in the view name "D<number>".
+            let n = definition.name[1..].parse::<u32>().ok()?;
+            Some(self.concept_for(n))
+        }
+        fn subsumes(&mut self, sub: ConceptId, sup: ConceptId) -> bool {
+            self.number(sub).is_multiple_of(self.number(sup))
+        }
+    }
+
+    fn trivial_view(name: &str) -> QueryClassDecl {
+        QueryClassDecl {
+            name: name.into(),
+            is_a: vec![],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        }
+    }
+
+    fn divisibility_catalog(numbers: &[u32]) -> (ViewCatalog, DivisibilityOracle) {
+        let db = Database::new(subq_dl::DlModel::new());
+        let catalog = ViewCatalog::new();
+        for n in numbers {
+            catalog
+                .materialize(&db, &trivial_view(&format!("D{n}")))
+                .expect("materializes");
+        }
+        let mut oracle = DivisibilityOracle::new();
+        catalog.classify_pending(&mut oracle);
+        (catalog, oracle)
+    }
+
+    #[test]
+    fn classification_builds_the_divisibility_hasse_diagram() {
+        // 1 is the top (divides everything ⇒ everything ⊑ 1).
+        let (catalog, _) = divisibility_catalog(&[1, 2, 3, 4, 6, 12]);
+        assert!(catalog.lattice_violations().is_empty());
+        let mut edges = catalog.lattice_edges();
+        edges.sort();
+        let expect = |p: &str, c: &str| (p.to_owned(), c.to_owned());
+        assert_eq!(
+            edges,
+            vec![
+                expect("D1", "D2"),
+                expect("D1", "D3"),
+                expect("D2", "D4"),
+                expect("D2", "D6"),
+                expect("D3", "D6"),
+                expect("D4", "D12"),
+                expect("D6", "D12"),
+            ]
+        );
+    }
+
+    #[test]
+    fn classification_is_insertion_order_independent() {
+        let mut expected: Option<Vec<(String, String)>> = None;
+        for order in [
+            vec![1u32, 2, 3, 4, 6, 12],
+            vec![12, 6, 4, 3, 2, 1],
+            vec![6, 1, 12, 2, 4, 3],
+        ] {
+            let (catalog, _) = divisibility_catalog(&order);
+            assert!(catalog.lattice_violations().is_empty(), "order {order:?}");
+            let mut edges = catalog.lattice_edges();
+            edges.sort();
+            match &expected {
+                None => expected = Some(edges),
+                Some(first) => assert_eq!(&edges, first, "order {order:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_views_collapse_into_one_node() {
+        // D6 and E6 encode the same number — the second becomes a peer of
+        // the first.
+        let db = Database::new(subq_dl::DlModel::new());
+        let catalog = ViewCatalog::new();
+        for name in ["D2", "D6", "E6", "D12"] {
+            catalog
+                .materialize(&db, &trivial_view(name))
+                .expect("materializes");
+        }
+        let mut oracle = DivisibilityOracle::new();
+        catalog.classify_pending(&mut oracle);
+        assert!(catalog.lattice_violations().is_empty());
+        let e6 = catalog.view("E6").expect("stored");
+        assert_eq!(e6.equiv, Some(1), "E6 collapses onto D6");
+        // Traversal: a query equal to 12 is subsumed by everything; the
+        // frontier is D12 alone (most specific).
+        let result = catalog.traverse(|c| 12 % oracle.number(c) == 0);
+        let names: Vec<&str> = result.frontier.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["D12"]);
+        // A query equal to 6: frontier is the equivalence class {D6, E6}.
+        let result = catalog.traverse(|c| 6 % oracle.number(c) == 0);
+        let mut names: Vec<&str> = result.frontier.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort();
+        assert_eq!(names, vec!["D6", "E6"]);
+    }
+
+    #[test]
+    fn traversal_prunes_failed_subtrees() {
+        let (catalog, oracle) = divisibility_catalog(&[1, 2, 3, 4, 6, 12]);
+        // Query = 4: subsumed by 1, 2, 4. The probe of 3 fails, pruning 6;
+        // 12 is below the failed 6 (and below 4) — probed only when every
+        // parent holds, so it is pruned too.
+        let mut probed = Vec::new();
+        let result = catalog.traverse(|c| {
+            probed.push(oracle.number(c));
+            4 % oracle.number(c) == 0
+        });
+        let names: Vec<&str> = result.frontier.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["D4"]);
+        assert!(!probed.contains(&6), "6 must be pruned after 3 fails");
+        assert!(!probed.contains(&12), "12 must be pruned");
+        assert_eq!(result.probes, 4); // 1, 2, 3, 4
+        assert_eq!(result.pruned, 2); // 6, 12
+        assert_eq!(result.depth, 3); // 1 → 2 → 4
+        assert!(result.probes + result.pruned == catalog.len());
+    }
+
+    #[test]
+    fn schema_invalidation_resets_the_lattice() {
+        let (catalog, _) = divisibility_catalog(&[1, 2, 4]);
+        assert_eq!(catalog.classified_count(), 3);
+        catalog.invalidate_concepts();
+        assert_eq!(catalog.classified_count(), 0);
+        assert!(catalog.lattice_edges().is_empty());
+        assert!(catalog.lattice_violations().is_empty());
+        // Reclassification rebuilds the same diagram.
+        catalog.classify_pending(&mut DivisibilityOracle::new());
+        let mut edges = catalog.lattice_edges();
+        edges.sort();
+        assert_eq!(edges.len(), 2);
+        assert!(catalog.lattice_violations().is_empty());
     }
 }

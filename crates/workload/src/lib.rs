@@ -11,15 +11,20 @@
 //! * [`random`] — seeded random QL concept pairs with known or unknown
 //!   subsumption status (experiments E5 and E7);
 //! * [`database`] — synthetic hospital states over the paper's medical
-//!   schema with tunable size and view selectivity (experiment E8).
+//!   schema with tunable size and view selectivity (experiment E8);
+//! * [`hierarchy`] — hierarchical view-catalog families (chains, balanced
+//!   trees, diamonds, flat anti-hierarchies, random DAGs) for the
+//!   subsumption-lattice planner (experiment E9).
 //!
 //! All generators take explicit seeds (or are fully deterministic) so the
 //! benches are reproducible.
 
 pub mod database;
+pub mod hierarchy;
 pub mod random;
 pub mod scaling;
 
 pub use database::{synthetic_hospital, HospitalParams};
+pub use hierarchy::{hierarchical_catalog, FamilyShape, HierarchyInstance, HierarchyParams};
 pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams, RandomEnv};
 pub use scaling::ScalingInstance;
