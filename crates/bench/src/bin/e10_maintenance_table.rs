@@ -1,0 +1,59 @@
+//! Prints the E10 table: incremental versus full view maintenance after a
+//! single-object update — log deltas consumed, candidate objects
+//! examined, membership conditions evaluated (the headline column),
+//! lattice prunes, and refresh wall-clock — across database sizes and
+//! catalog sizes. Writes the rows to `BENCH_e10.json`; `perf_smoke`
+//! asserts the committed membership-evaluation ceilings do not regress
+//! and enforces the ≥10× acceptance bound at 10k objects × 50 views.
+//!
+//! Membership counts are deterministic (seeded workloads,
+//! counter-based); wall-clock is single-shot measurement for orientation
+//! only.
+
+use subq_bench::{e10_maintenance_arm, json_object, json_str, write_json_rows};
+
+fn main() {
+    let mut json_rows = Vec::new();
+    println!("E10 — incremental vs full refresh after a single-object update");
+    println!(
+        "| objects | views | deltas | candidates | inc memberships | pruned | full memberships | ratio | inc refresh | full refresh |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+
+    for objects in [100usize, 1_000, 10_000] {
+        for views in [10usize, 50] {
+            let row = e10_maintenance_arm(objects, views);
+            let ratio = row.full_memberships as f64 / (row.inc_memberships as f64).max(1.0);
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} | {:.0}× | {:.1} µs | {:.1} µs |",
+                row.objects,
+                row.views,
+                row.deltas,
+                row.inc_candidates,
+                row.inc_memberships,
+                row.inc_prunes,
+                row.full_memberships,
+                ratio,
+                row.inc_ns as f64 / 1e3,
+                row.full_ns as f64 / 1e3,
+            );
+            json_rows.push(json_object(&[
+                ("experiment", json_str("e10_maintenance")),
+                ("objects", row.objects.to_string()),
+                ("views", row.views.to_string()),
+                ("deltas", row.deltas.to_string()),
+                ("inc_candidates", row.inc_candidates.to_string()),
+                ("inc_memberships", row.inc_memberships.to_string()),
+                ("inc_prunes", row.inc_prunes.to_string()),
+                ("full_memberships", row.full_memberships.to_string()),
+                ("inc_refresh_ns", row.inc_ns.to_string()),
+                ("full_refresh_ns", row.full_ns.to_string()),
+            ]));
+        }
+    }
+
+    write_json_rows("BENCH_e10.json", &json_rows);
+    println!("\nIncremental maintenance touches only the views whose symbols the update's");
+    println!("deltas mention and only candidate objects near the change; a full refresh");
+    println!("re-checks every view's whole candidate set on every write.");
+}

@@ -6,7 +6,12 @@
 //! * the lattice planner's subsumption-probe counts versus
 //!   `BENCH_e9.json` (every `(shape, views)` instance of the E9 table),
 //!   plus the hard acceptance bound that on hierarchical catalogs of 50
-//!   views the traversal performs at most 50% of the flat scan's probes.
+//!   views the traversal performs at most 50% of the flat scan's probes;
+//! * the incremental maintainer's membership-evaluation counts versus
+//!   `BENCH_e10.json` (every `(objects, views)` instance of the E10
+//!   table), plus the hard acceptance bound that a single-object update
+//!   against a 10k-object / 50-view catalog refreshes with at least 10×
+//!   fewer membership evaluations than a full refresh.
 //!
 //! Counters (unlike wall-clock) are deterministic, so these are hard
 //! assertions suitable for CI (with a small slack for intentional
@@ -114,6 +119,56 @@ fn e9_checks(failures: &mut Vec<String>) -> usize {
     checked
 }
 
+fn e10_checks(failures: &mut Vec<String>) -> usize {
+    let baseline = std::fs::read_to_string("BENCH_e10.json").unwrap_or_else(|error| {
+        panic!("cannot read BENCH_e10.json (run from the repository root): {error}")
+    });
+    let mut checked = 0usize;
+    for row in baseline.lines() {
+        if !row.contains("\"e10_maintenance\"") {
+            continue;
+        }
+        let objects: usize = field(row, "objects")
+            .expect("objects field")
+            .parse()
+            .expect("numeric objects");
+        let views: usize = field(row, "views")
+            .expect("views field")
+            .parse()
+            .expect("numeric views");
+        let ceiling: u64 = field(row, "inc_memberships")
+            .expect("inc_memberships field")
+            .parse()
+            .expect("numeric inc_memberships");
+        let arm = subq_bench::e10_maintenance_arm(objects, views);
+        let allowed = ceiling + ceiling * SLACK_PERCENT as u64 / 100;
+        if arm.inc_memberships > allowed {
+            failures.push(format!(
+                "e10 objects={objects} views={views}: {} incremental membership evaluations > committed ceiling {ceiling} (+{SLACK_PERCENT}% slack = {allowed})",
+                arm.inc_memberships
+            ));
+        }
+        // The acceptance bound of the maintenance engine: a single-object
+        // update against the 10k-object / 50-view catalog must evaluate
+        // at least 10× fewer memberships than a full refresh.
+        if objects == 10_000
+            && views == 50
+            && arm.full_memberships < 10 * arm.inc_memberships.max(1)
+        {
+            failures.push(format!(
+                "e10 objects=10000 views=50: incremental refresh evaluated {} memberships, full {} — below the 10× acceptance bound",
+                arm.inc_memberships, arm.full_memberships
+            ));
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 6,
+        "BENCH_e10.json yielded only {checked} rows; baseline looks truncated"
+    );
+    checked
+}
+
 fn main() {
     let baseline = std::fs::read_to_string("BENCH_e5.json").unwrap_or_else(|error| {
         panic!("cannot read BENCH_e5.json (run from the repository root): {error}")
@@ -162,6 +217,7 @@ fn main() {
         "BENCH_e5.json yielded only {checked} rows; baseline looks truncated"
     );
     let e9_checked = e9_checks(&mut failures);
+    let e10_checked = e10_checks(&mut failures);
     if !failures.is_empty() {
         eprintln!("perf regressions:");
         for failure in &failures {
@@ -171,6 +227,7 @@ fn main() {
     }
     println!(
         "perf smoke OK: {checked} E5 instances within committed examined_delta ceilings, \
-         {e9_checked} E9 instances within committed lattice-probe ceilings (hierarchical N=50 ≤ 50% of flat)"
+         {e9_checked} E9 instances within committed lattice-probe ceilings (hierarchical N=50 ≤ 50% of flat), \
+         {e10_checked} E10 instances within committed incremental membership-evaluation ceilings (10k×50 ≥ 10× fewer than full)"
     );
 }

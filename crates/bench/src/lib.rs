@@ -36,6 +36,107 @@ pub fn run_reference_instance(instance: &mut ScalingInstance) -> (bool, Completi
     (derived, stats)
 }
 
+/// One row of the E10 incremental-maintenance experiment: the maintenance
+/// work caused by a single-object update against an `objects`-object,
+/// `views`-view catalog, incremental versus full refresh.
+pub struct E10Row {
+    /// Number of objects in the initial state.
+    pub objects: usize,
+    /// Number of materialized views.
+    pub views: usize,
+    /// Log entries the incremental pass consumed.
+    pub deltas: u64,
+    /// Candidate objects the incremental pass examined.
+    pub inc_candidates: u64,
+    /// Membership conditions the incremental pass evaluated.
+    pub inc_memberships: u64,
+    /// Evaluations the subsumption lattice pruned.
+    pub inc_prunes: u64,
+    /// Membership conditions a full refresh evaluates for the same update
+    /// (every view re-checks its whole initial candidate set).
+    pub full_memberships: u64,
+    /// Wall-clock of the incremental refresh.
+    pub inc_ns: u128,
+    /// Wall-clock of the full refresh (on an identically mutated twin).
+    pub full_ns: u128,
+}
+
+/// Builds the E10 arm: a seeded churn instance (tree-shaped hierarchy,
+/// one class view per class, 20% with a derived `link` path), all views
+/// materialized and fresh, then **one** single-object update — a new
+/// object asserted into the deepest class — refreshed incrementally and,
+/// on a twin, by full re-evaluation. Deterministic per `(objects, views)`.
+pub fn e10_maintenance_arm(objects: usize, views: usize) -> E10Row {
+    use subq::oodb::eval::initial_candidates;
+    use subq::oodb::OptimizedDatabase;
+    use subq::workload::{churn_trace, ChurnParams, FamilyShape};
+
+    let params = ChurnParams {
+        shape: FamilyShape::Tree,
+        classes: views,
+        views,
+        path_view_percent: 20,
+        objects,
+        transactions: 0,
+        ops_per_transaction: 1,
+    };
+    let trace = churn_trace(13, params);
+    let mut incremental = OptimizedDatabase::new(trace.db.clone()).expect("translates");
+    let mut full = OptimizedDatabase::new(trace.db).expect("translates");
+    for name in &trace.view_names {
+        incremental.materialize_view(name).expect("materializes");
+        full.materialize_view(name).expect("materializes");
+    }
+
+    // The single-object update: a new object enters the deepest class
+    // (membership propagates up the tree, one delta per ancestor).
+    let deepest = format!("K{}", views - 1);
+    for odb in [&mut incremental, &mut full] {
+        odb.update(|db| {
+            let obj = db.add_object("update_target");
+            db.assert_class(obj, &deepest);
+        });
+    }
+
+    let before = incremental.maintenance_stats();
+    let start = Instant::now();
+    incremental.refresh_views();
+    let inc_ns = start.elapsed().as_nanos();
+    let after = incremental.maintenance_stats();
+
+    // The full baseline evaluates every view's whole candidate set.
+    let full_memberships: u64 = trace
+        .view_names
+        .iter()
+        .map(|name| {
+            let view = full.catalog().view(name).expect("stored");
+            initial_candidates(full.database(), &view.definition).len() as u64
+        })
+        .sum();
+    let start = Instant::now();
+    full.catalog().refresh_full(full.database());
+    let full_ns = start.elapsed().as_nanos();
+
+    // Both strategies must land on identical extensions.
+    for name in &trace.view_names {
+        let a = incremental.catalog().view(name).expect("stored");
+        let b = full.catalog().view(name).expect("stored");
+        assert_eq!(a.extent, b.extent, "E10 {objects}×{views}: view {name}");
+    }
+
+    E10Row {
+        objects,
+        views,
+        deltas: after.deltas_applied - before.deltas_applied,
+        inc_candidates: after.candidates_examined - before.candidates_examined,
+        inc_memberships: after.memberships_evaluated - before.memberships_evaluated,
+        inc_prunes: after.lattice_prunes - before.lattice_prunes,
+        full_memberships,
+        inc_ns,
+        full_ns,
+    }
+}
+
 /// Times `work` on fresh instances from `make` until ~50 ms of measurement
 /// (at least 3 runs) and returns the best per-run time.
 pub fn time_best<T>(mut make: impl FnMut() -> T, mut work: impl FnMut(T)) -> Duration {

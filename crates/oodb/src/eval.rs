@@ -35,21 +35,30 @@ pub fn evaluate_query_over(
 
 /// The candidate set used when evaluating from scratch: the intersection of
 /// the extents of the schema superclasses (all objects when there is none).
+/// Reads the store's maintained extent indexes without cloning them,
+/// intersecting outward from the smallest.
 pub fn initial_candidates(db: &Database, query: &QueryClassDecl) -> BTreeSet<ObjId> {
-    let mut sets: Vec<BTreeSet<ObjId>> = Vec::new();
+    let mut sets: Vec<&BTreeSet<ObjId>> = Vec::new();
     for sup in &query.is_a {
         if db.model().class(sup).is_some() {
-            sets.push(db.class_extent(sup));
+            match db.class_extent_ref(sup) {
+                Some(extent) => sets.push(extent),
+                // A declared superclass nothing was ever asserted into:
+                // the intersection is empty.
+                None => return BTreeSet::new(),
+            }
         }
     }
-    match sets.len() {
-        0 => db.objects().collect(),
-        _ => {
-            let mut iter = sets.into_iter();
-            let first = iter.next().expect("non-empty");
-            iter.fold(first, |acc, s| acc.intersection(&s).copied().collect())
-        }
+    if sets.is_empty() {
+        return db.objects().collect();
     }
+    sets.sort_by_key(|s| s.len());
+    let (smallest, rest) = sets.split_first().expect("non-empty");
+    smallest
+        .iter()
+        .copied()
+        .filter(|obj| rest.iter().all(|s| s.contains(obj)))
+        .collect()
 }
 
 /// Whether one object is an answer of the query class.
@@ -133,13 +142,21 @@ fn exists_binding(
     false
 }
 
-/// The objects reachable from `start` along a labeled path.
+/// The objects reachable from `start` along a labeled path. Synonyms are
+/// resolved once per step; values are read from the store's maintained
+/// indexes without cloning them.
 pub fn path_endpoints(db: &Database, start: ObjId, path: &LabeledPath) -> BTreeSet<ObjId> {
     let mut current = BTreeSet::from([start]);
     for step in &path.steps {
+        let (name, inverted) = db.resolve_attr_direction(&step.attr);
         let mut next = BTreeSet::new();
         for &obj in &current {
-            for value in db.attr_values(obj, &step.attr) {
+            let values = if inverted {
+                db.attr_in(obj, name)
+            } else {
+                db.attr_out(obj, name)
+            };
+            for &value in values.into_iter().flatten() {
                 if db.satisfies_filter(value, &step.filter) {
                     next.insert(value);
                 }
@@ -172,7 +189,7 @@ pub fn eval_constraint(
             resolve(t, env).is_some_and(|obj| class == "Object" || db.is_instance_of(obj, class))
         }
         ConstraintExpr::HasAttr(s, attr, t) => match (resolve(s, env), resolve(t, env)) {
-            (Some(from), Some(to)) => db.attr_values(from, attr).contains(&to),
+            (Some(from), Some(to)) => db.has_attr_value(from, attr, to),
             _ => false,
         },
         ConstraintExpr::Eq(s, t) => match (resolve(s, env), resolve(t, env)) {
@@ -186,16 +203,24 @@ pub fn eval_constraint(
         ConstraintExpr::Or(a, b) => {
             eval_constraint(db, a, this, env) || eval_constraint(db, b, this, env)
         }
-        ConstraintExpr::Forall(var, class, body) => db.class_extent(class).into_iter().all(|obj| {
-            let mut env = env.clone();
-            env.insert(var.clone(), obj);
-            eval_constraint(db, body, this, &env)
-        }),
-        ConstraintExpr::Exists(var, class, body) => db.class_extent(class).into_iter().any(|obj| {
-            let mut env = env.clone();
-            env.insert(var.clone(), obj);
-            eval_constraint(db, body, this, &env)
-        }),
+        ConstraintExpr::Forall(var, class, body) => db
+            .class_extent_ref(class)
+            .into_iter()
+            .flatten()
+            .all(|&obj| {
+                let mut env = env.clone();
+                env.insert(var.clone(), obj);
+                eval_constraint(db, body, this, &env)
+            }),
+        ConstraintExpr::Exists(var, class, body) => db
+            .class_extent_ref(class)
+            .into_iter()
+            .flatten()
+            .any(|&obj| {
+                let mut env = env.clone();
+                env.insert(var.clone(), obj);
+                eval_constraint(db, body, this, &env)
+            }),
     }
 }
 

@@ -1,0 +1,194 @@
+//! The change log: every state mutation of a [`Database`](crate::Database)
+//! is recorded as a [`Delta`] stamped with a monotonically increasing
+//! `data_version`, so that view maintenance can replay exactly the changes
+//! a materialized extension has not seen yet.
+//!
+//! The log records *effective* changes only — a re-assertion of an
+//! existing membership or attribute pair writes nothing — and class
+//! assertions/retractions appear once per class actually touched,
+//! including the memberships the store propagates along the isA hierarchy
+//! (upward on assertion, downward on retraction). This is what makes the
+//! dependency-index lookup in [`propagate`](crate::maintain::propagate)
+//! precise: a view that mentions `Person` sees the `Person` delta of an
+//! object asserted into `Patient` because the store logged the propagated
+//! membership under its own class symbol.
+//!
+//! The log can be [truncated](DeltaLog::truncate_through) below the oldest
+//! version any consumer still needs; a consumer whose snapshot predates
+//! the truncation point detects this through [`DeltaLog::since`] returning
+//! `None` and must fall back to full re-evaluation.
+
+use crate::store::ObjId;
+
+/// One effective state change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delta {
+    /// A new object was created.
+    AddObject {
+        /// The fresh object.
+        object: ObjId,
+    },
+    /// An object entered a class extent (explicitly or by upward isA
+    /// propagation — one delta per extent actually grown).
+    AssertClass {
+        /// The object.
+        object: ObjId,
+        /// The class whose extent grew.
+        class: String,
+    },
+    /// An object left a class extent (explicitly or by downward
+    /// retraction propagation — one delta per extent actually shrunk).
+    RetractClass {
+        /// The object.
+        object: ObjId,
+        /// The class whose extent shrank.
+        class: String,
+    },
+    /// An attribute pair was added, stored in the primitive direction
+    /// (inverse-synonym assertions are resolved before logging).
+    AssertAttr {
+        /// The source object (primitive direction).
+        from: ObjId,
+        /// The primitive attribute name.
+        attribute: String,
+        /// The value object.
+        to: ObjId,
+    },
+    /// An attribute pair was removed (primitive direction).
+    RetractAttr {
+        /// The source object (primitive direction).
+        from: ObjId,
+        /// The primitive attribute name.
+        attribute: String,
+        /// The value object.
+        to: ObjId,
+    },
+}
+
+/// An append-only, truncatable log of [`Delta`]s.
+///
+/// The entry at position `i` has `data_version == base_version + i + 1`;
+/// the version after the last entry is [`DeltaLog::version`]. Versions
+/// never repeat, survive truncation, and strictly increase with every
+/// recorded delta.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaLog {
+    /// Version of the state before the oldest retained entry.
+    base: u64,
+    entries: Vec<Delta>,
+}
+
+impl DeltaLog {
+    /// An empty log at version 0.
+    pub fn new() -> Self {
+        DeltaLog::default()
+    }
+
+    /// The current data version (the version stamped on the last recorded
+    /// delta; 0 for a fresh database).
+    pub fn version(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// The version of the state before the oldest retained entry: replays
+    /// are possible from any version `>= base_version()`.
+    pub fn base_version(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a delta and returns its data version.
+    pub fn record(&mut self, delta: Delta) -> u64 {
+        self.entries.push(delta);
+        self.version()
+    }
+
+    /// The deltas recorded after state version `since` (each paired with
+    /// its own data version, ascending), or `None` when the log was
+    /// truncated past that point and a replay from `since` is impossible.
+    pub fn since(&self, since: u64) -> Option<impl Iterator<Item = (u64, &Delta)>> {
+        if since < self.base {
+            return None;
+        }
+        // A version from the future clamps to an empty replay.
+        let skip = ((since - self.base) as usize).min(self.entries.len());
+        Some(
+            self.entries[skip..]
+                .iter()
+                .enumerate()
+                .map(move |(i, d)| (self.base + skip as u64 + i as u64 + 1, d)),
+        )
+    }
+
+    /// Drops every entry with `data_version <= through` (no-op when
+    /// `through` is at or below the base). Consumers snapshotted at or
+    /// after `through` are unaffected.
+    pub fn truncate_through(&mut self, through: u64) {
+        if through <= self.base {
+            return;
+        }
+        let drop = ((through - self.base) as usize).min(self.entries.len());
+        self.entries.drain(..drop);
+        self.base += drop as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(i: u32) -> Delta {
+        Delta::AddObject { object: ObjId(i) }
+    }
+
+    #[test]
+    fn versions_increase_and_replay_from_any_point() {
+        let mut log = DeltaLog::new();
+        assert_eq!(log.version(), 0);
+        assert_eq!(log.record(add(0)), 1);
+        assert_eq!(log.record(add(1)), 2);
+        assert_eq!(log.record(add(2)), 3);
+        let all: Vec<(u64, Delta)> = log
+            .since(0)
+            .expect("replayable")
+            .map(|(v, d)| (v, d.clone()))
+            .collect();
+        assert_eq!(all, vec![(1, add(0)), (2, add(1)), (3, add(2))]);
+        let tail: Vec<u64> = log.since(2).expect("replayable").map(|(v, _)| v).collect();
+        assert_eq!(tail, vec![3]);
+        assert_eq!(log.since(3).expect("replayable").count(), 0);
+        // A future version yields nothing rather than panicking.
+        assert_eq!(log.since(99).expect("replayable").count(), 0);
+    }
+
+    #[test]
+    fn truncation_preserves_versions_and_rejects_stale_replays() {
+        let mut log = DeltaLog::new();
+        for i in 0..5 {
+            log.record(add(i));
+        }
+        log.truncate_through(2);
+        assert_eq!(log.base_version(), 2);
+        assert_eq!(log.version(), 5);
+        assert_eq!(log.len(), 3);
+        assert!(log.since(1).is_none(), "truncated past version 1");
+        let versions: Vec<u64> = log.since(2).expect("replayable").map(|(v, _)| v).collect();
+        assert_eq!(versions, vec![3, 4, 5]);
+        // Truncating below the base or twice is a no-op.
+        log.truncate_through(1);
+        assert_eq!(log.len(), 3);
+        log.truncate_through(5);
+        assert!(log.is_empty());
+        assert_eq!(log.version(), 5);
+        assert_eq!(log.record(add(9)), 6);
+    }
+}

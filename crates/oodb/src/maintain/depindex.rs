@@ -1,0 +1,281 @@
+//! The dependency index: which views can a delta possibly affect?
+//!
+//! For every materialized view the index extracts, once per (re-)build,
+//! the set of class and attribute symbols its membership condition reads —
+//! recursing through query-class superclasses, resolving inverse synonyms
+//! to their primitive attribute (the direction the log records), and
+//! noting three structural facts the propagator needs:
+//!
+//! * `max_path_len` — the longest `derived` path anywhere in the
+//!   recursive definition, which bounds how far an attribute or filter
+//!   change can sit from an affected source object;
+//! * `unrestricted` — whether the view's candidate set is *all objects*
+//!   (no direct schema superclass), in which case even a bare
+//!   `AddObject` delta makes the new object a candidate;
+//! * `volatile` — whether the recursion reaches a constraint clause
+//!   (a query-class superclass with a `constraint`). Constraints may
+//!   quantify over whole class extents, so a single delta can flip the
+//!   membership of *any* object; volatile views fall back to full
+//!   re-evaluation whenever one of their symbols is touched.
+//!
+//! The index is inverted into `symbol → views` maps so the propagator
+//! looks up the affected views per delta in O(1).
+
+use fxhash::{FxHashMap, FxHashSet};
+use subq_dl::{ConstraintExpr, DlModel, QueryClassDecl};
+
+/// The extracted dependencies of one view definition.
+#[derive(Clone, Debug, Default)]
+pub struct ViewDeps {
+    /// Class symbols whose extents the membership condition reads (isA
+    /// superclasses, path filters, constraint atoms and quantifier
+    /// sorts — recursively through query-class superclasses).
+    pub classes: FxHashSet<String>,
+    /// Primitive attribute names the condition traverses.
+    pub attributes: FxHashSet<String>,
+    /// The longest derived path in the recursive definition.
+    pub max_path_len: usize,
+    /// Whether the candidate set is all objects (no direct schema
+    /// superclass restricts it).
+    pub unrestricted: bool,
+    /// Whether the recursion reaches a constraint clause.
+    pub volatile: bool,
+}
+
+/// `symbol → views` lookup over a catalog's definitions.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyIndex {
+    /// Views (catalog indices) whose condition reads a class extent.
+    by_class: FxHashMap<String, Vec<usize>>,
+    /// Views whose condition traverses a primitive attribute.
+    by_attr: FxHashMap<String, Vec<usize>>,
+    /// Views whose candidate set is all objects.
+    unrestricted: Vec<usize>,
+    /// Views whose recursion reaches a constraint clause. Constraints may
+    /// reference objects *by name* (`Term::Ident`), and object creation
+    /// changes that resolution — so `AddObject` deltas must reach these
+    /// views even when a schema superclass restricts their candidates.
+    volatile: Vec<usize>,
+    /// Per-view dependency summaries, indexed like the catalog.
+    deps: Vec<ViewDeps>,
+}
+
+impl DependencyIndex {
+    /// Builds the index for the catalog's definitions (in catalog order).
+    pub fn build<'a>(
+        model: &DlModel,
+        definitions: impl IntoIterator<Item = &'a QueryClassDecl>,
+    ) -> Self {
+        let mut index = DependencyIndex::default();
+        for (view, definition) in definitions.into_iter().enumerate() {
+            let mut deps = ViewDeps {
+                unrestricted: !definition.is_a.iter().any(|sup| model.class(sup).is_some()),
+                ..ViewDeps::default()
+            };
+            let mut visited = FxHashSet::default();
+            collect(model, definition, &mut deps, &mut visited);
+            for class in &deps.classes {
+                index.by_class.entry(class.clone()).or_default().push(view);
+            }
+            for attr in &deps.attributes {
+                index.by_attr.entry(attr.clone()).or_default().push(view);
+            }
+            if deps.unrestricted {
+                index.unrestricted.push(view);
+            }
+            if deps.volatile {
+                index.volatile.push(view);
+            }
+            index.deps.push(deps);
+        }
+        index
+    }
+
+    /// The views whose condition reads the class.
+    pub fn views_on_class(&self, class: &str) -> &[usize] {
+        self.by_class.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The views whose condition traverses the primitive attribute.
+    pub fn views_on_attr(&self, attribute: &str) -> &[usize] {
+        self.by_attr
+            .get(attribute)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The views for which every new object is a candidate.
+    pub fn unrestricted_views(&self) -> &[usize] {
+        &self.unrestricted
+    }
+
+    /// The views whose recursion reaches a constraint clause (they fall
+    /// back to full re-evaluation whenever touched, including by object
+    /// creation — constraints can resolve objects by name).
+    pub fn volatile_views(&self) -> &[usize] {
+        &self.volatile
+    }
+
+    /// The dependency summary of one view.
+    pub fn deps(&self, view: usize) -> &ViewDeps {
+        &self.deps[view]
+    }
+
+    /// Number of indexed views.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether no view is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+}
+
+/// Walks one definition, accumulating symbols into `deps`. `visited`
+/// guards against isA cycles between query classes.
+fn collect(
+    model: &DlModel,
+    definition: &QueryClassDecl,
+    deps: &mut ViewDeps,
+    visited: &mut FxHashSet<String>,
+) {
+    if !visited.insert(definition.name.clone()) {
+        return;
+    }
+    for sup in &definition.is_a {
+        if let Some(query) = model.query_class(sup) {
+            collect(model, query, deps, visited);
+        } else if sup != "Object" {
+            // Schema classes and undeclared names alike: membership is
+            // read from the stored extent under this symbol.
+            deps.classes.insert(sup.clone());
+        }
+    }
+    for path in &definition.derived {
+        deps.max_path_len = deps.max_path_len.max(path.steps.len());
+        for step in &path.steps {
+            deps.attributes.insert(primitive_attr(model, &step.attr));
+            if let subq_dl::PathFilter::Class(class) = &step.filter {
+                if class != "Object" {
+                    deps.classes.insert(class.clone());
+                }
+            }
+        }
+    }
+    if let Some(constraint) = &definition.constraint {
+        deps.volatile = true;
+        collect_constraint(model, constraint, deps);
+    }
+}
+
+/// Symbols read by a constraint clause.
+fn collect_constraint(model: &DlModel, expr: &ConstraintExpr, deps: &mut ViewDeps) {
+    match expr {
+        ConstraintExpr::In(_, class) => {
+            if class != "Object" {
+                deps.classes.insert(class.clone());
+            }
+        }
+        ConstraintExpr::HasAttr(_, attr, _) => {
+            deps.attributes.insert(primitive_attr(model, attr));
+        }
+        ConstraintExpr::Eq(_, _) => {}
+        ConstraintExpr::Not(inner) => collect_constraint(model, inner, deps),
+        ConstraintExpr::And(a, b) | ConstraintExpr::Or(a, b) => {
+            collect_constraint(model, a, deps);
+            collect_constraint(model, b, deps);
+        }
+        ConstraintExpr::Forall(_, class, body) | ConstraintExpr::Exists(_, class, body) => {
+            if class != "Object" {
+                deps.classes.insert(class.clone());
+            }
+            collect_constraint(model, body, deps);
+        }
+    }
+}
+
+/// The primitive name behind a possibly-synonym attribute.
+fn primitive_attr(model: &DlModel, attribute: &str) -> String {
+    match model.resolve_attribute(attribute) {
+        Some((decl, _)) => decl.name.clone(),
+        None => attribute.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_dl::samples;
+
+    #[test]
+    fn view_patient_dependencies_cover_classes_paths_and_synonyms() {
+        let model = samples::medical_model();
+        let view = model.query_class("ViewPatient").expect("declared");
+        let index = DependencyIndex::build(&model, [view]);
+        let deps = index.deps(0);
+        assert!(!deps.volatile, "views have no constraint clause");
+        assert!(!deps.unrestricted, "isA Patient restricts the candidates");
+        assert!(deps.classes.contains("Patient"));
+        assert!(deps.classes.contains("Doctor"), "path filter class");
+        assert!(deps.attributes.contains("skilled_in"));
+        assert!(deps.attributes.contains("consults"));
+        assert!(deps.attributes.contains("suffers"));
+        assert!(!deps.attributes.contains("specialist"));
+        assert_eq!(deps.max_path_len, 2);
+        assert!(index.views_on_class("Patient").contains(&0));
+        assert!(index.views_on_attr("skilled_in").contains(&0));
+        assert!(index.views_on_attr("specialist").is_empty());
+        assert!(index.unrestricted_views().is_empty());
+    }
+
+    #[test]
+    fn query_class_superclasses_are_recursed_and_constraints_mark_volatile() {
+        let model = samples::medical_model();
+        // A view whose only superclass is the *query class* QueryPatient:
+        // candidates are unrestricted, and the recursion reaches
+        // QueryPatient's constraint clause (volatile) plus everything the
+        // clause and the structural part mention.
+        let via_query = QueryClassDecl {
+            name: "ViaQuery".into(),
+            is_a: vec!["QueryPatient".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        let index = DependencyIndex::build(&model, [&via_query]);
+        let deps = index.deps(0);
+        assert!(deps.volatile);
+        assert!(deps.unrestricted);
+        assert!(deps.classes.contains("Patient"));
+        assert!(deps.classes.contains("Male"));
+        assert!(deps.classes.contains("Drug"), "quantifier sort");
+        assert!(deps.attributes.contains("takes"), "constraint atom");
+        // QueryPatient's `l_2` path uses the inverse synonym `specialist`,
+        // which resolves to its primitive `skilled_in`.
+        assert!(deps.attributes.contains("skilled_in"));
+        assert!(!deps.attributes.contains("specialist"));
+        assert!(index.unrestricted_views().contains(&0));
+    }
+
+    #[test]
+    fn trivial_views_depend_on_their_class_only() {
+        let model = samples::medical_model();
+        let trivial = QueryClassDecl {
+            name: "AllPersons".into(),
+            is_a: vec!["Person".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        let index = DependencyIndex::build(&model, [&trivial]);
+        let deps = index.deps(0);
+        assert_eq!(deps.classes.len(), 1);
+        assert!(deps.attributes.is_empty());
+        assert_eq!(deps.max_path_len, 0);
+        assert!(!deps.volatile);
+        assert!(!deps.unrestricted);
+        assert_eq!(index.len(), 1);
+        assert!(!index.is_empty());
+    }
+}

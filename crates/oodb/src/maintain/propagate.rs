@@ -1,0 +1,335 @@
+//! Delta propagation: refresh only affected views, and only affected
+//! objects, exploiting the subsumption lattice top-down.
+//!
+//! # Candidate computation
+//!
+//! For every delta the propagator derives, per affected view (found
+//! through the [`DependencyIndex`]), a *candidate set* — a superset of
+//! the objects whose membership in that view may have changed:
+//!
+//! * `AddObject` — the new object, for views whose candidate set is all
+//!   objects (`unrestricted`); volatile views (see below) are also
+//!   touched, because a constraint clause can reference the new object
+//!   *by name* and creation changes that resolution;
+//! * `AssertClass` / `RetractClass` on `o` — the ball of radius
+//!   `max_path_len` around `o`: the class may be a path filter up to
+//!   `max_path_len` steps away from the source object (radius 0 when the
+//!   view has no derived paths — then only `o` itself is affected);
+//! * `AssertAttr` / `RetractAttr` on `(from, to)` — the ball of radius
+//!   `max_path_len − 1` around both endpoints.
+//!
+//! Balls are breadth-first walks over the *current* state, treating every
+//! attribute the view mentions as an undirected edge (paths may traverse
+//! an attribute through its inverse synonym). This over-approximates but
+//! never misses: an affected source object reaches the changed element
+//! along its derived path; take the path's first edge changed within the
+//! replayed window — every edge between the source and it is unchanged,
+//! hence present in the current state and walkable backwards, and the
+//! changed edge's own delta seeds the ball at its endpoints. Candidates
+//! are then decided by re-running the ordinary membership check, so
+//! over-approximation costs evaluations, never correctness.
+//!
+//! # Lattice pruning
+//!
+//! Views are refreshed in topological order of the catalog's subsumption
+//! lattice, roots first. Σ-subsumption is sound (Proposition 3.1):
+//! `C ⊑ P` implies `extent(C) ⊆ extent(P)` in every state, so a candidate
+//! absent from a refreshed parent's extension is removed from the child
+//! *without evaluating its membership condition*, and the saving repeats
+//! down the whole sub-DAG. Σ-equivalent peers settle each of their
+//! candidates from their representative's (already refreshed) extension —
+//! mutual subsumption makes the representative's verdict theirs.
+//!
+//! # Fallbacks
+//!
+//! A view falls back to full re-evaluation (the [`refresh_full`] oracle
+//! semantics) when its snapshot predates the log's truncation point or
+//! when its recursive definition reaches a constraint clause (`volatile`
+//! in the [`DependencyIndex`]) and a dependent symbol was touched — a
+//! quantified constraint can flip the membership of objects arbitrarily
+//! far from the delta.
+//!
+//! [`refresh_full`]: crate::views::ViewCatalog::refresh_full
+
+use super::delta::Delta;
+use super::depindex::{DependencyIndex, ViewDeps};
+use crate::eval::{initial_candidates, is_member};
+use crate::store::{Database, ObjId};
+use crate::views::MaterializedView;
+use fxhash::FxHashSet;
+use std::collections::BTreeSet;
+
+/// Counters of the incremental maintainer (cumulative per catalog).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Log entries scanned by refresh passes.
+    pub deltas_applied: u64,
+    /// Candidate objects examined (per view; includes pruned ones).
+    pub candidates_examined: u64,
+    /// Membership conditions actually evaluated.
+    pub memberships_evaluated: u64,
+    /// Evaluations avoided by the lattice: candidates discarded because a
+    /// parent view's refreshed extension already excluded them, plus
+    /// candidates of Σ-equivalence peers (they copy the representative).
+    pub lattice_prunes: u64,
+    /// Views that fell back to full re-evaluation (volatile definitions,
+    /// truncated logs, forced invalidation).
+    pub full_reevaluations: u64,
+}
+
+/// How one view is brought up to date by the current pass.
+enum Plan {
+    /// Already fresh — nothing to do.
+    Fresh,
+    /// Re-evaluate from scratch.
+    Full,
+    /// Re-check exactly these objects.
+    Candidates(BTreeSet<ObjId>),
+}
+
+/// Brings every view up to `db.data_version()`, consuming the delta log.
+/// `index` must describe `views` in catalog order (same length).
+pub fn refresh_views(
+    db: &Database,
+    views: &mut [MaterializedView],
+    index: &DependencyIndex,
+    stats: &mut MaintenanceStats,
+) {
+    debug_assert_eq!(index.len(), views.len());
+    let now = db.data_version();
+    let base = db.delta_log().base_version();
+    let mut plans: Vec<Plan> = views
+        .iter()
+        .map(|view| {
+            if view.force_refresh {
+                // Invalidation the log cannot express (schema mutation).
+                Plan::Full
+            } else if view.fresh_as_of >= now {
+                Plan::Fresh
+            } else if view.fresh_as_of < base {
+                // The log no longer reaches back to this snapshot.
+                Plan::Full
+            } else {
+                Plan::Candidates(BTreeSet::new())
+            }
+        })
+        .collect();
+
+    // Scan the log once, from the oldest replayable snapshot, routing each
+    // delta to the views whose dependencies it touches.
+    let min_snapshot = views
+        .iter()
+        .zip(&plans)
+        .filter(|(_, plan)| matches!(plan, Plan::Candidates(_)))
+        .map(|(view, _)| view.fresh_as_of)
+        .min();
+    if let Some(min_snapshot) = min_snapshot {
+        let replay = db
+            .delta_log()
+            .since(min_snapshot)
+            .expect("snapshots below the log base were planned as Full");
+        for (version, delta) in replay {
+            stats.deltas_applied += 1;
+            // `AddObject` additionally reaches every volatile view:
+            // constraints may resolve objects by name, and creation
+            // changes that resolution even before any class or attribute
+            // is asserted.
+            let empty: &[usize] = &[];
+            let (affected, also, seeds): (&[usize], &[usize], Vec<ObjId>) = match delta {
+                Delta::AddObject { object } => (
+                    index.unrestricted_views(),
+                    index.volatile_views(),
+                    vec![*object],
+                ),
+                Delta::AssertClass { object, class } | Delta::RetractClass { object, class } => {
+                    (index.views_on_class(class), empty, vec![*object])
+                }
+                Delta::AssertAttr {
+                    from,
+                    to,
+                    attribute,
+                }
+                | Delta::RetractAttr {
+                    from,
+                    to,
+                    attribute,
+                } => (index.views_on_attr(attribute), empty, vec![*from, *to]),
+            };
+            let radius_for = |deps: &ViewDeps| match delta {
+                Delta::AddObject { .. } => 0,
+                Delta::AssertClass { .. } | Delta::RetractClass { .. } => deps.max_path_len,
+                Delta::AssertAttr { .. } | Delta::RetractAttr { .. } => {
+                    deps.max_path_len.saturating_sub(1)
+                }
+            };
+            for &i in affected.iter().chain(also) {
+                if views[i].fresh_as_of >= version {
+                    continue; // This view's snapshot already includes the delta.
+                }
+                let deps = index.deps(i);
+                match &mut plans[i] {
+                    Plan::Candidates(_) if deps.volatile => plans[i] = Plan::Full,
+                    Plan::Candidates(candidates) => {
+                        let radius = radius_for(deps);
+                        if radius == 0 {
+                            candidates.extend(seeds.iter().copied());
+                        } else {
+                            candidate_ball(db, deps, &seeds, radius, candidates);
+                        }
+                    }
+                    Plan::Fresh | Plan::Full => {}
+                }
+            }
+        }
+    }
+
+    // Refresh in lattice order: representatives root-down (so parent
+    // extensions are current when a child consults them for pruning),
+    // then equivalence peers, then unclassified views.
+    for i in lattice_order(views) {
+        match std::mem::replace(&mut plans[i], Plan::Fresh) {
+            Plan::Fresh => {}
+            Plan::Full => {
+                refresh_one_full(db, views, i, stats);
+            }
+            Plan::Candidates(candidates) => {
+                if let Some(rep) = views[i].equiv {
+                    // Σ-equivalent peers share the representative's
+                    // extension in every state, so the representative's
+                    // (already refreshed) verdict decides each candidate
+                    // without evaluation — and without cloning the whole
+                    // extension when nothing was touched.
+                    stats.candidates_examined += candidates.len() as u64;
+                    stats.lattice_prunes += candidates.len() as u64;
+                    let verdicts: Vec<(ObjId, bool)> = candidates
+                        .into_iter()
+                        .map(|object| (object, views[rep].extent.contains(&object)))
+                        .collect();
+                    for (object, member) in verdicts {
+                        if member {
+                            views[i].extent.insert(object);
+                        } else {
+                            views[i].extent.remove(&object);
+                        }
+                    }
+                } else {
+                    refresh_one_incremental(db, views, i, candidates, stats);
+                }
+            }
+        }
+        views[i].fresh_as_of = now;
+        views[i].force_refresh = false;
+    }
+}
+
+/// Re-checks the candidates of one (non-peer) view, pruning through its
+/// Hasse parents before evaluating.
+fn refresh_one_incremental(
+    db: &Database,
+    views: &mut [MaterializedView],
+    i: usize,
+    candidates: BTreeSet<ObjId>,
+    stats: &mut MaintenanceStats,
+) {
+    if candidates.is_empty() {
+        return;
+    }
+    let mut verdicts: Vec<(ObjId, bool)> = Vec::with_capacity(candidates.len());
+    {
+        let view = &views[i];
+        for &object in &candidates {
+            stats.candidates_examined += 1;
+            let pruned = view
+                .parents
+                .iter()
+                .any(|&p| !views[p].extent.contains(&object));
+            if pruned {
+                stats.lattice_prunes += 1;
+                verdicts.push((object, false));
+            } else {
+                stats.memberships_evaluated += 1;
+                verdicts.push((object, is_member(db, &view.definition, object)));
+            }
+        }
+    }
+    for (object, member) in verdicts {
+        if member {
+            views[i].extent.insert(object);
+        } else {
+            views[i].extent.remove(&object);
+        }
+    }
+}
+
+/// Re-evaluates one view from scratch (the oracle semantics).
+fn refresh_one_full(
+    db: &Database,
+    views: &mut [MaterializedView],
+    i: usize,
+    stats: &mut MaintenanceStats,
+) {
+    stats.full_reevaluations += 1;
+    let extension: BTreeSet<ObjId> = {
+        let definition = &views[i].definition;
+        let candidates = initial_candidates(db, definition);
+        stats.candidates_examined += candidates.len() as u64;
+        stats.memberships_evaluated += candidates.len() as u64;
+        candidates
+            .into_iter()
+            .filter(|&object| is_member(db, definition, object))
+            .collect()
+    };
+    views[i].extent = extension;
+}
+
+/// The processing order: classified representatives in topological order
+/// (roots first — [`crate::views::representative_topo_order`]), then
+/// equivalence peers, then unclassified views.
+fn lattice_order(views: &[MaterializedView]) -> Vec<usize> {
+    let n = views.len();
+    let (mut order, reps) = crate::views::representative_topo_order(views);
+    debug_assert_eq!(order.len(), reps, "lattice must be acyclic");
+    // Peers after their representatives, then views outside the lattice.
+    order.extend((0..n).filter(|&i| views[i].classified && views[i].equiv.is_some()));
+    order.extend((0..n).filter(|&i| !views[i].classified));
+    debug_assert_eq!(order.len(), n, "every view must be processed");
+    order
+}
+
+/// Collects into `out` every object within `radius` undirected steps of
+/// the seeds, walking only the attributes the view mentions.
+fn candidate_ball(
+    db: &Database,
+    deps: &ViewDeps,
+    seeds: &[ObjId],
+    radius: usize,
+    out: &mut BTreeSet<ObjId>,
+) {
+    let mut visited: FxHashSet<ObjId> = seeds.iter().copied().collect();
+    let mut frontier: Vec<ObjId> = seeds.to_vec();
+    for _ in 0..radius {
+        let mut next = Vec::new();
+        for &object in &frontier {
+            for attribute in &deps.attributes {
+                for neighbors in [
+                    db.attr_in(object, attribute),
+                    db.attr_out(object, attribute),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    for &neighbor in neighbors {
+                        if visited.insert(neighbor) {
+                            next.push(neighbor);
+                        }
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    out.extend(visited);
+}

@@ -116,31 +116,67 @@ impl OptimizedDatabase {
         self.subsumption_cache.stats()
     }
 
-    /// Mutates the database state and invalidates all materialized views.
+    /// Mutates the database state as one transaction. Data mutations are
+    /// routed through the store's delta log, so no explicit invalidation
+    /// happens here: staleness is the per-view comparison of
+    /// [`MaterializedView::fresh_as_of`](crate::views::MaterializedView)
+    /// against [`Database::data_version`], and the next refresh (lazily,
+    /// on [`OptimizedDatabase::execute`], or eagerly via
+    /// [`OptimizedDatabase::refresh_views`]) propagates exactly this
+    /// transaction's deltas to exactly the affected views — the counters
+    /// are available through [`OptimizedDatabase::maintenance_stats`].
+    /// Log entries every view has already consumed are truncated on
+    /// entry, bounding the log by the churn since the staleest view.
     ///
     /// If the closure also mutates the *schema* (through
     /// [`Database::model_mut`]), the structural translation is redone and
     /// every piece of state derived from the old one is dropped: the
     /// subsumption cache (verdicts and saturated queries — they answer
-    /// with respect to the old Σ and point into the old arena) and the
-    /// catalog's cached view concepts. Data-only updates keep all of it:
-    /// subsumption never depends on the database state.
+    /// with respect to the old Σ and point into the old arena), the
+    /// catalog's cached view concepts, and — since schema changes can
+    /// alter evaluation semantics without producing data deltas — every
+    /// materialized extension (forced full re-derivation on the next
+    /// refresh). Data-only updates keep all of it: subsumption never
+    /// depends on the database state.
     ///
     /// # Panics
     ///
     /// Panics if the mutated model no longer translates; schema evolution
     /// must keep the model structurally well formed.
     pub fn update<R>(&mut self, mutate: impl FnOnce(&mut Database) -> R) -> R {
+        if let Some(oldest) = self.catalog.oldest_snapshot() {
+            self.db.truncate_log(oldest);
+        } else {
+            // No views to maintain: nothing will ever replay the log.
+            self.db.truncate_log(self.db.data_version());
+        }
         let version_before = self.db.schema_version();
         let result = mutate(&mut self.db);
-        self.catalog.invalidate();
         if self.db.schema_version() != version_before {
             self.translated = subq_translate::translate_model(self.db.model())
                 .expect("schema mutation left the model untranslatable");
             self.subsumption_cache.clear();
             self.catalog.invalidate_concepts();
+            // Schema changes can alter evaluation semantics (query-class
+            // definitions, synonym resolution, isA recursion) without a
+            // single data delta — force full re-derivation of every
+            // extension.
+            self.catalog.invalidate();
         }
         result
+    }
+
+    /// Brings every materialized view up to the current data version by
+    /// incremental propagation (see [`crate::maintain`]); called lazily by
+    /// [`OptimizedDatabase::execute`], exposed for callers that want to
+    /// refresh eagerly or measure maintenance work in isolation.
+    pub fn refresh_views(&self) {
+        self.catalog.refresh(&self.db);
+    }
+
+    /// The cumulative counters of the incremental view maintainer.
+    pub fn maintenance_stats(&self) -> crate::maintain::MaintenanceStats {
+        self.catalog.maintenance_stats()
     }
 
     /// Materializes a view: the name must denote a structural query class,
@@ -613,6 +649,61 @@ mod tests {
         let data_only = odb.plan(query);
         assert_eq!(data_only.cached_probes, 1);
         assert_eq!(data_only.fresh_probes, 0);
+    }
+
+    /// Regression: a *schema-only* mutation (no data deltas) can change
+    /// what a view's membership condition means — here the constraint of
+    /// a query-class superclass — so `update` must force full
+    /// re-derivation of the extensions; the delta log has nothing to say
+    /// about it.
+    #[test]
+    fn schema_only_mutations_force_extension_rederivation() {
+        use subq_dl::{ConstraintExpr, Term};
+        let db = hospital_with_many_patients(3);
+        let mut odb = OptimizedDatabase::new(db).expect("translates");
+        // A view over the constrained query class (no constraint of its
+        // own, so it is materializable; its answers still depend on
+        // QueryPatient's clause through the recursive membership check).
+        odb.update(|db| {
+            db.model_mut().queries.push(QueryClassDecl {
+                name: "ViaQuery".into(),
+                is_a: vec!["QueryPatient".into()],
+                derived: vec![],
+                where_eqs: vec![],
+                constraint: None,
+            });
+        });
+        odb.materialize_view("ViaQuery").expect("materializes");
+        let before = odb.catalog().view("ViaQuery").expect("stored");
+        assert!(!before.extent.is_empty(), "john matches QueryPatient");
+
+        // Make QueryPatient's constraint unsatisfiable — purely a schema
+        // edit, the data version does not move.
+        let data_version = odb.database().data_version();
+        odb.update(|db| {
+            let qp = db
+                .model_mut()
+                .queries
+                .iter_mut()
+                .find(|q| q.name == "QueryPatient")
+                .expect("declared");
+            qp.constraint = Some(ConstraintExpr::Not(Box::new(ConstraintExpr::Eq(
+                Term::This,
+                Term::This,
+            ))));
+        });
+        assert_eq!(odb.database().data_version(), data_version);
+        odb.refresh_views();
+        let after = odb.catalog().view("ViaQuery").expect("stored");
+        assert!(
+            after.extent.is_empty(),
+            "stale extension survived the schema mutation: {:?}",
+            after.extent
+        );
+        assert_eq!(
+            after.extent,
+            crate::eval::evaluate_query(odb.database(), &after.definition)
+        );
     }
 
     #[test]

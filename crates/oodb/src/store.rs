@@ -6,9 +6,24 @@
 //! class membership is propagated upwards along the isA hierarchy ("any
 //! instance of a class is also an instance of the superclasses"), and
 //! attribute assertions made through an inverse synonym are stored in the
-//! primitive direction.
+//! primitive direction. Retraction propagates the other way: removing an
+//! object from a class also removes it from every subclass, since any
+//! subclass membership would immediately re-imply the retracted one.
+//!
+//! Every effective mutation — object creation, class assertion and
+//! retraction (including the propagated ones), attribute assertion and
+//! retraction — is recorded in a [`DeltaLog`] stamped with a monotonically
+//! increasing [`Database::data_version`]; the incremental view maintainer
+//! ([`crate::maintain`]) consumes the log to refresh only affected views.
+//!
+//! Attribute pairs are held in Fx-hashed forward *and* reverse indexes per
+//! attribute, so [`Database::attr_values`] is a lookup proportional to the
+//! answer instead of a scan over every pair of the attribute, and the
+//! maintainer can walk paths backwards when computing candidate objects.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use crate::maintain::{Delta, DeltaLog};
+use fxhash::{FxHashMap, FxHashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use subq_dl::{DlModel, PathFilter};
 
@@ -86,6 +101,54 @@ impl fmt::Display for ConformanceViolation {
     }
 }
 
+/// The pairs of one primitive attribute, indexed in both directions.
+///
+/// `forward[from]` holds the values, `reverse[to]` the sources; the two
+/// maps always describe the same pair set.
+#[derive(Clone, Debug, Default)]
+struct AttrIndex {
+    forward: FxHashMap<ObjId, BTreeSet<ObjId>>,
+    reverse: FxHashMap<ObjId, BTreeSet<ObjId>>,
+}
+
+impl AttrIndex {
+    fn insert(&mut self, from: ObjId, to: ObjId) -> bool {
+        if self.forward.entry(from).or_default().insert(to) {
+            self.reverse.entry(to).or_default().insert(from);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&mut self, from: ObjId, to: ObjId) -> bool {
+        let Some(values) = self.forward.get_mut(&from) else {
+            return false;
+        };
+        if !values.remove(&to) {
+            return false;
+        }
+        if values.is_empty() {
+            self.forward.remove(&from);
+        }
+        if let Some(sources) = self.reverse.get_mut(&to) {
+            sources.remove(&from);
+            if sources.is_empty() {
+                self.reverse.remove(&to);
+            }
+        }
+        true
+    }
+}
+
+/// Retained delta-log entries are capped: when the log grows past this
+/// bound, the oldest half is dropped. Consumers whose snapshot predates
+/// the truncation point (a catalog refreshed less often than every ~32k
+/// mutations) detect it through [`DeltaLog::since`] and fall back to full
+/// re-evaluation, so the cap bounds memory for log-oblivious users of
+/// [`Database`] without affecting correctness.
+const DELTA_LOG_CAP: usize = 1 << 16;
+
 /// An in-memory database state over a DL model.
 #[derive(Clone, Debug)]
 pub struct Database {
@@ -93,13 +156,15 @@ pub struct Database {
     object_names: Vec<String>,
     object_by_name: HashMap<String, ObjId>,
     /// Explicit (and upward-propagated) class memberships.
-    extents: BTreeMap<String, BTreeSet<ObjId>>,
-    /// Attribute assertions in the primitive direction.
-    attrs: BTreeMap<String, BTreeSet<(ObjId, ObjId)>>,
+    extents: FxHashMap<String, BTreeSet<ObjId>>,
+    /// Attribute assertions in the primitive direction, indexed both ways.
+    attrs: FxHashMap<String, AttrIndex>,
     /// Bumped whenever the model is mutated through [`Database::model_mut`];
     /// lets wrappers (the optimizer) detect schema changes and drop any
     /// state derived from the old model.
     schema_version: u64,
+    /// The change log behind incremental view maintenance.
+    log: DeltaLog,
 }
 
 impl Database {
@@ -109,9 +174,10 @@ impl Database {
             model,
             object_names: Vec::new(),
             object_by_name: HashMap::new(),
-            extents: BTreeMap::new(),
-            attrs: BTreeMap::new(),
+            extents: FxHashMap::default(),
+            attrs: FxHashMap::default(),
             schema_version: 0,
+            log: DeltaLog::new(),
         }
     }
 
@@ -134,6 +200,34 @@ impl Database {
         self.schema_version
     }
 
+    /// The current data version: stamped on the last effective state
+    /// mutation, strictly increasing, 0 for a fresh state.
+    pub fn data_version(&self) -> u64 {
+        self.log.version()
+    }
+
+    /// Appends a delta, enforcing [`DELTA_LOG_CAP`] by dropping the
+    /// oldest half when the log outgrows it (amortized O(1)).
+    fn record(&mut self, delta: Delta) {
+        self.log.record(delta);
+        if self.log.len() > DELTA_LOG_CAP {
+            self.log
+                .truncate_through(self.log.version() - (DELTA_LOG_CAP as u64) / 2);
+        }
+    }
+
+    /// The change log (deltas since the last truncation).
+    pub fn delta_log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// Drops log entries with `data_version <= through`; call with the
+    /// oldest version any view maintainer still needs (see
+    /// [`DeltaLog::truncate_through`]).
+    pub fn truncate_log(&mut self, through: u64) {
+        self.log.truncate_through(through);
+    }
+
     /// Creates (or finds) an object by name.
     pub fn add_object(&mut self, name: &str) -> ObjId {
         if let Some(&id) = self.object_by_name.get(name) {
@@ -142,6 +236,7 @@ impl Database {
         let id = ObjId(self.object_names.len() as u32);
         self.object_names.push(name.to_owned());
         self.object_by_name.insert(name.to_owned(), id);
+        self.record(Delta::AddObject { object: id });
         id
     }
 
@@ -166,7 +261,8 @@ impl Database {
     }
 
     /// Asserts that an object is an instance of a class; membership is
-    /// propagated to all declared superclasses.
+    /// propagated to all declared superclasses. Every extent actually
+    /// grown is logged as its own delta.
     pub fn assert_class(&mut self, object: ObjId, class: &str) {
         if self
             .extents
@@ -179,6 +275,10 @@ impl Database {
             .entry(class.to_owned())
             .or_default()
             .insert(object);
+        self.record(Delta::AssertClass {
+            object,
+            class: class.to_owned(),
+        });
         let supers: Vec<String> = self
             .model
             .class(class)
@@ -189,15 +289,90 @@ impl Database {
         }
     }
 
+    /// Retracts an object from a class. Because explicit membership in any
+    /// subclass would immediately re-imply the retracted one (upward
+    /// propagation), retraction propagates *downwards*: the object also
+    /// leaves every declared subclass it is in. Every extent actually
+    /// shrunk is logged as its own delta.
+    pub fn retract_class(&mut self, object: ObjId, class: &str) {
+        // The retracted class plus its transitive subclasses, via a
+        // subclass adjacency built in one pass over the declarations.
+        let affected: Vec<String> = {
+            let mut children: FxHashMap<&str, Vec<&str>> = FxHashMap::default();
+            for decl in &self.model.classes {
+                for sup in &decl.is_a {
+                    children
+                        .entry(sup.as_str())
+                        .or_default()
+                        .push(decl.name.as_str());
+                }
+            }
+            let mut seen: FxHashSet<&str> = FxHashSet::default();
+            seen.insert(class);
+            let mut out: Vec<String> = Vec::new();
+            let mut frontier: Vec<&str> = vec![class];
+            while let Some(current) = frontier.pop() {
+                out.push(current.to_owned());
+                for &child in children.get(current).map(Vec::as_slice).unwrap_or(&[]) {
+                    if seen.insert(child) {
+                        frontier.push(child);
+                    }
+                }
+            }
+            out
+        };
+        for name in affected {
+            let removed = match self.extents.get_mut(&name) {
+                Some(ext) => ext.remove(&object),
+                None => false,
+            };
+            if removed {
+                self.record(Delta::RetractClass {
+                    object,
+                    class: name,
+                });
+            }
+        }
+    }
+
     /// Asserts an attribute value; inverse synonyms are stored in the
-    /// primitive direction.
+    /// primitive direction. Logged when the pair is new.
     pub fn assert_attr(&mut self, from: ObjId, attribute: &str, to: ObjId) {
-        let (name, pair) = match self.model.resolve_attribute(attribute) {
+        let (name, (from, to)) = self.resolve_pair(attribute, from, to);
+        if self.attrs.entry(name.clone()).or_default().insert(from, to) {
+            self.record(Delta::AssertAttr {
+                from,
+                attribute: name,
+                to,
+            });
+        }
+    }
+
+    /// Retracts an attribute value (inverse synonyms are resolved like in
+    /// [`Database::assert_attr`]). Logged when the pair existed.
+    pub fn retract_attr(&mut self, from: ObjId, attribute: &str, to: ObjId) {
+        let (name, (from, to)) = self.resolve_pair(attribute, from, to);
+        let removed = match self.attrs.get_mut(&name) {
+            Some(index) => index.remove(from, to),
+            None => false,
+        };
+        if removed {
+            self.record(Delta::RetractAttr {
+                from,
+                attribute: name,
+                to,
+            });
+        }
+    }
+
+    /// Resolves a possibly-synonym attribute to its primitive name and
+    /// pair direction.
+    fn resolve_pair(&self, attribute: &str, from: ObjId, to: ObjId) -> (String, (ObjId, ObjId)) {
+        match self.model.resolve_attribute(attribute) {
             Some((decl, true)) => (decl.name.clone(), (to, from)),
             Some((decl, false)) => (decl.name.clone(), (from, to)),
             None => (attribute.to_owned(), (from, to)),
-        };
-        self.attrs.entry(name).or_default().insert(pair);
+        }
     }
 
     /// Whether the object is a (direct or inherited) instance of the class.
@@ -210,33 +385,76 @@ impl Database {
     /// The stored extent of a class (explicit members plus members of
     /// subclasses, which were propagated at assertion time).
     pub fn class_extent(&self, class: &str) -> BTreeSet<ObjId> {
-        self.extents.get(class).cloned().unwrap_or_default()
+        self.class_extent_ref(class).cloned().unwrap_or_default()
     }
 
-    /// The values of a (possibly synonym) attribute for an object.
+    /// The stored extent of a class without cloning (`None` when no object
+    /// was ever asserted into it) — the maintained index behind
+    /// [`Database::class_extent`], for hot read paths.
+    pub fn class_extent_ref(&self, class: &str) -> Option<&BTreeSet<ObjId>> {
+        self.extents.get(class)
+    }
+
+    /// The primitive name and direction behind a possibly-synonym
+    /// attribute: `(name, true)` when `attribute` is an inverse synonym.
+    /// Resolve once per step, then read through [`Database::attr_out`] /
+    /// [`Database::attr_in`] on hot paths.
+    pub fn resolve_attr_direction<'a>(&'a self, attribute: &'a str) -> (&'a str, bool) {
+        match self.model.resolve_attribute(attribute) {
+            Some((decl, inv)) => (decl.name.as_str(), inv),
+            None => (attribute, false),
+        }
+    }
+
+    /// The values of a (possibly synonym) attribute for an object: an
+    /// indexed lookup proportional to the answer size.
     pub fn attr_values(&self, object: ObjId, attribute: &str) -> BTreeSet<ObjId> {
-        let (name, inverted) = match self.model.resolve_attribute(attribute) {
-            Some((decl, inv)) => (decl.name.clone(), inv),
-            None => (attribute.to_owned(), false),
+        let (name, inverted) = self.resolve_attr_direction(attribute);
+        let lookup = if inverted {
+            self.attr_in(object, name)
+        } else {
+            self.attr_out(object, name)
         };
+        lookup.cloned().unwrap_or_default()
+    }
+
+    /// Whether `to` is a value of the (possibly synonym) attribute for
+    /// `from` — a containment probe on the maintained indexes, no clone.
+    pub fn has_attr_value(&self, from: ObjId, attribute: &str, to: ObjId) -> bool {
+        let (name, inverted) = self.resolve_attr_direction(attribute);
+        let lookup = if inverted {
+            self.attr_in(from, name)
+        } else {
+            self.attr_out(from, name)
+        };
+        lookup.is_some_and(|values| values.contains(&to))
+    }
+
+    /// The values of a *primitive* attribute for a source object, from the
+    /// forward index (no clone; `None` when the object has no values).
+    pub fn attr_out(&self, from: ObjId, attribute: &str) -> Option<&BTreeSet<ObjId>> {
+        self.attrs.get(attribute)?.forward.get(&from)
+    }
+
+    /// The sources of a *primitive* attribute for a value object, from the
+    /// reverse index (no clone; `None` when nothing points at the object).
+    pub fn attr_in(&self, to: ObjId, attribute: &str) -> Option<&BTreeSet<ObjId>> {
+        self.attrs.get(attribute)?.reverse.get(&to)
+    }
+
+    /// All pairs of a primitive attribute (rebuilt from the forward
+    /// index; prefer [`Database::attr_out`] / [`Database::attr_in`] on hot
+    /// paths).
+    pub fn attr_pairs(&self, attribute: &str) -> BTreeSet<(ObjId, ObjId)> {
         let mut out = BTreeSet::new();
-        if let Some(pairs) = self.attrs.get(&name) {
-            for &(from, to) in pairs {
-                if inverted {
-                    if to == object {
-                        out.insert(from);
-                    }
-                } else if from == object {
-                    out.insert(to);
+        if let Some(index) = self.attrs.get(attribute) {
+            for (&from, values) in &index.forward {
+                for &to in values {
+                    out.insert((from, to));
                 }
             }
         }
         out
-    }
-
-    /// All pairs of a primitive attribute.
-    pub fn attr_pairs(&self, attribute: &str) -> BTreeSet<(ObjId, ObjId)> {
-        self.attrs.get(attribute).cloned().unwrap_or_default()
     }
 
     /// Whether an object satisfies a path-step filter.
@@ -437,6 +655,139 @@ pub(crate) mod tests {
             ConformanceViolation::IllTypedValue { value, required, .. }
                 if value == "rock" && required == "Disease"
         )));
+    }
+
+    #[test]
+    fn retract_class_propagates_to_subclasses() {
+        let mut db = hospital();
+        let mary = db.object("mary").expect("exists");
+        assert!(db.is_instance_of(mary, "Patient"));
+        assert!(db.is_instance_of(mary, "Person"));
+        // Retracting the superclass takes every subclass membership with
+        // it (otherwise upward propagation would re-imply it immediately):
+        // mary leaves Patient and Female along with Person.
+        db.retract_class(mary, "Person");
+        assert!(!db.is_instance_of(mary, "Person"));
+        assert!(!db.is_instance_of(mary, "Patient"));
+        assert!(!db.is_instance_of(mary, "Female"));
+        // A hierarchy the object never belonged to is untouched.
+        assert!(db.is_instance_of(db.object("flu").expect("exists"), "Disease"));
+
+        // Retracting a subclass leaves the superclass membership alone.
+        let welby = db.object("welby").expect("exists");
+        db.retract_class(welby, "Doctor");
+        assert!(!db.is_instance_of(welby, "Doctor"));
+        assert!(db.is_instance_of(welby, "Person"));
+        // Idempotent: a second retraction changes nothing and logs nothing.
+        let version = db.data_version();
+        db.retract_class(welby, "Doctor");
+        assert_eq!(db.data_version(), version);
+    }
+
+    #[test]
+    fn retract_attr_resolves_synonyms_and_keeps_indexes_consistent() {
+        let mut db = hospital();
+        let welby = db.object("welby").expect("exists");
+        let flu = db.object("flu").expect("exists");
+        assert_eq!(db.attr_values(welby, "skilled_in"), BTreeSet::from([flu]));
+        // Retract through the inverse synonym: "flu's specialist welby".
+        db.retract_attr(flu, "specialist", welby);
+        assert!(db.attr_values(welby, "skilled_in").is_empty());
+        assert!(db.attr_values(flu, "specialist").is_empty());
+        assert!(db.attr_out(welby, "skilled_in").is_none());
+        assert!(db.attr_in(flu, "skilled_in").is_none());
+        assert!(!db.attr_pairs("skilled_in").contains(&(welby, flu)));
+        // Retracting a pair that never existed logs nothing.
+        let version = db.data_version();
+        db.retract_attr(flu, "specialist", welby);
+        assert_eq!(db.data_version(), version);
+        // Re-assertion works after retraction.
+        db.assert_attr(welby, "skilled_in", flu);
+        assert_eq!(db.attr_values(flu, "specialist"), BTreeSet::from([welby]));
+    }
+
+    #[test]
+    fn reverse_indexes_mirror_forward_lookups() {
+        let db = hospital();
+        let mary = db.object("mary").expect("exists");
+        let welby = db.object("welby").expect("exists");
+        assert_eq!(
+            db.attr_out(mary, "consults"),
+            Some(&BTreeSet::from([welby]))
+        );
+        assert_eq!(db.attr_in(welby, "consults"), Some(&BTreeSet::from([mary])));
+        assert_eq!(
+            db.class_extent_ref("Patient"),
+            Some(&db.class_extent("Patient"))
+        );
+        assert!(db.class_extent_ref("Nonsense").is_none());
+    }
+
+    #[test]
+    fn the_delta_log_records_effective_changes_once() {
+        use crate::maintain::Delta;
+        let mut db = Database::new(subq_dl::samples::medical_model());
+        assert_eq!(db.data_version(), 0);
+        let mary = db.add_object("mary");
+        assert_eq!(db.data_version(), 1);
+        // Re-adding is a no-op.
+        assert_eq!(db.add_object("mary"), mary);
+        assert_eq!(db.data_version(), 1);
+        // Asserting Patient propagates to Person: two class deltas, each
+        // under its own class symbol.
+        db.assert_class(mary, "Patient");
+        let classes: Vec<String> = db
+            .delta_log()
+            .since(1)
+            .expect("replayable")
+            .filter_map(|(_, d)| match d {
+                Delta::AssertClass { class, .. } => Some(class.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(classes, vec!["Patient".to_owned(), "Person".to_owned()]);
+        // Re-asserting either is silent.
+        let version = db.data_version();
+        db.assert_class(mary, "Patient");
+        db.assert_class(mary, "Person");
+        assert_eq!(db.data_version(), version);
+        // Attribute assertions through an inverse synonym log the
+        // primitive direction.
+        let flu = db.add_object("flu");
+        let welby = db.add_object("welby");
+        db.assert_attr(flu, "specialist", welby); // inverse of skilled_in
+        let last: Vec<Delta> = db
+            .delta_log()
+            .since(db.data_version() - 1)
+            .expect("replayable")
+            .map(|(_, d)| d.clone())
+            .collect();
+        assert_eq!(
+            last,
+            vec![Delta::AssertAttr {
+                from: welby,
+                attribute: "skilled_in".to_owned(),
+                to: flu,
+            }]
+        );
+        // Retraction propagates downwards and logs both extents.
+        db.retract_class(mary, "Person");
+        let retracted: Vec<String> = db
+            .delta_log()
+            .since(version + 2)
+            .expect("replayable")
+            .filter_map(|(_, d)| match d {
+                Delta::RetractClass { class, .. } => Some(class.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(retracted.contains(&"Person".to_owned()));
+        assert!(retracted.contains(&"Patient".to_owned()));
+        // Truncation below a consumer's snapshot blocks its replay.
+        let now = db.data_version();
+        db.truncate_log(now);
+        assert!(db.delta_log().since(version).is_none());
+        assert!(db.delta_log().since(now).is_some());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! relation itself may then change); data updates never touch it.
 
 use crate::eval::evaluate_query;
+use crate::maintain::{refresh_views, DependencyIndex, MaintenanceStats};
 use crate::store::{Database, ObjId};
 use std::collections::BTreeSet;
 use std::sync::RwLock;
@@ -54,8 +55,15 @@ pub struct MaterializedView {
     pub definition: QueryClassDecl,
     /// The stored extension.
     pub extent: BTreeSet<ObjId>,
-    /// Whether the extension reflects the current database state.
-    pub fresh: bool,
+    /// The [`Database::data_version`] the extension reflects: the view is
+    /// fresh iff `fresh_as_of == db.data_version()`, and a refresh replays
+    /// exactly the deltas after this version.
+    pub fresh_as_of: u64,
+    /// Forces full re-derivation on the next refresh regardless of
+    /// versions — set by [`ViewCatalog::invalidate`] when the extension
+    /// may be wrong for reasons the delta log cannot see (e.g. a schema
+    /// mutation changed evaluation semantics without any data delta).
+    pub force_refresh: bool,
     /// The translated QL concept of the definition, cached by the planner
     /// after the first translation (valid for one `TranslatedModel`;
     /// dropped by [`ViewCatalog::invalidate_concepts`] on schema change).
@@ -149,10 +157,24 @@ pub struct LatticeTraversal {
     pub depth: usize,
 }
 
+/// The maintenance side-state of a catalog: the dependency index (rebuilt
+/// when the set of views or the schema changes) and the cumulative
+/// counters.
+#[derive(Debug, Default)]
+struct MaintState {
+    index: Option<DependencyIndex>,
+    /// Number of views the index was built for.
+    indexed_views: usize,
+    /// Schema version the index was built against.
+    indexed_schema: u64,
+    stats: MaintenanceStats,
+}
+
 /// The catalog of materialized views.
 #[derive(Debug, Default)]
 pub struct ViewCatalog {
     views: RwLock<Vec<MaterializedView>>,
+    maint: RwLock<MaintState>,
 }
 
 impl ViewCatalog {
@@ -188,7 +210,8 @@ impl ViewCatalog {
         views.push(MaterializedView {
             definition: definition.clone(),
             extent,
-            fresh: true,
+            fresh_as_of: db.data_version(),
+            force_refresh: false,
             concept: None,
             parents: Vec::new(),
             children: Vec::new(),
@@ -310,30 +333,13 @@ impl ViewCatalog {
         // Verdicts per representative: None = not yet decided.
         let mut subsumed: Vec<Option<bool>> = vec![None; n];
         let mut depth: Vec<usize> = vec![0; n];
-        // Kahn-style topological sweep over the representatives so a node
-        // is decided only after all of its parents (diamonds are probed
-        // once, after the *last* parent).
-        let mut pending_parents: Vec<usize> = vec![0; n];
-        let mut queue: Vec<usize> = Vec::new();
-        let mut reps = 0usize;
-        let mut classified_total = 0usize;
-        for (i, view) in views.iter().enumerate() {
-            if !view.classified {
-                continue;
-            }
-            classified_total += 1;
-            if view.equiv.is_some() {
-                continue;
-            }
-            reps += 1;
-            pending_parents[i] = view.parents.len();
-            if view.parents.is_empty() {
-                queue.push(i);
-            }
-        }
-        let mut processed = 0usize;
-        while let Some(i) = queue.pop() {
-            processed += 1;
+        // Topological sweep over the representatives so a node is decided
+        // only after all of its parents (diamonds are probed once, after
+        // the *last* parent).
+        let (order, reps) = representative_topo_order(&views);
+        debug_assert_eq!(order.len(), reps, "lattice must be acyclic");
+        let classified_total = views.iter().filter(|v| v.classified).count();
+        for &i in &order {
             let view = &views[i];
             let all_parents_hold = view.parents.iter().all(|&p| subsumed[p] == Some(true));
             depth[i] = 1 + view.parents.iter().map(|&p| depth[p]).max().unwrap_or(0);
@@ -345,14 +351,7 @@ impl ViewCatalog {
                 false
             };
             subsumed[i] = Some(verdict);
-            for &c in &views[i].children {
-                pending_parents[c] -= 1;
-                if pending_parents[c] == 0 {
-                    queue.push(c);
-                }
-            }
         }
-        debug_assert_eq!(processed, reps, "lattice must be acyclic");
         result.pruned = classified_total - result.probes;
         // The frontier: subsuming representatives none of whose children
         // subsume, expanded by their equivalence peers.
@@ -449,29 +448,12 @@ impl ViewCatalog {
                 }
             }
         }
-        // Acyclicity via Kahn over representatives.
-        let mut pending: Vec<usize> = views.iter().map(|v| v.parents.len()).collect();
-        let mut queue: Vec<usize> = (0..n)
-            .filter(|&i| views[i].classified && views[i].equiv.is_none() && pending[i] == 0)
-            .collect();
-        let reps = (0..n)
-            .filter(|&i| views[i].classified && views[i].equiv.is_none())
-            .count();
-        let mut processed = 0;
-        while let Some(i) = queue.pop() {
-            processed += 1;
-            for &c in &views[i].children {
-                if c < n && pending[c] > 0 {
-                    pending[c] -= 1;
-                    if pending[c] == 0 {
-                        queue.push(c);
-                    }
-                }
-            }
-        }
-        if processed != reps {
+        // Acyclicity: every representative must sort topologically.
+        let (order, reps) = representative_topo_order(&views);
+        if order.len() != reps {
             out.push(format!(
-                "lattice contains a cycle ({processed} of {reps} representatives sort topologically)"
+                "lattice contains a cycle ({} of {reps} representatives sort topologically)",
+                order.len()
             ));
         }
         out
@@ -521,22 +503,85 @@ impl ViewCatalog {
         }
     }
 
-    /// Marks every view as stale (called after database updates). The
-    /// lattice is untouched: subsumption never depends on the state.
+    /// Forces every view to be fully re-derived on the next refresh
+    /// (incremental or full), regardless of data versions. Needed when an
+    /// extension may be wrong for reasons the delta log cannot express —
+    /// [`OptimizedDatabase::update`](crate::OptimizedDatabase::update)
+    /// calls this on schema mutations, whose semantic effects (changed
+    /// query-class definitions, synonym rewiring) produce no data deltas.
+    /// Ordinary staleness needs no marking: it is the per-view comparison
+    /// `fresh_as_of < db.data_version()`. The lattice is untouched:
+    /// subsumption never depends on the state.
     pub fn invalidate(&self) {
         for view in self.write().iter_mut() {
-            view.fresh = false;
+            view.force_refresh = true;
         }
     }
 
-    /// Re-evaluates every stale view against the current state.
+    /// Brings every stale view up to the current data version by
+    /// **incremental propagation**: the unseen suffix of the database's
+    /// delta log is routed through the dependency index to the affected
+    /// views, only candidate objects are re-checked, and the subsumption
+    /// lattice prunes evaluations top-down (see [`crate::maintain`]).
+    /// Views whose snapshot predates the log's truncation point fall back
+    /// to full re-evaluation. Equivalent to [`ViewCatalog::refresh_full`]
+    /// on every state (`tests/incremental_equivalence.rs`).
     pub fn refresh(&self, db: &Database) {
+        let now = db.data_version();
+        // Fast path under the shared lock: nothing stale, nothing to do.
+        if self
+            .read()
+            .iter()
+            .all(|v| !v.force_refresh && v.fresh_as_of >= now)
+        {
+            return;
+        }
+        let mut maint = self.maint.write().expect("maintenance lock poisoned");
+        let mut views = self.write();
+        let index_stale = maint.index.is_none()
+            || maint.indexed_views != views.len()
+            || maint.indexed_schema != db.schema_version();
+        if index_stale {
+            maint.index = Some(DependencyIndex::build(
+                db.model(),
+                views.iter().map(|v| &v.definition),
+            ));
+            maint.indexed_views = views.len();
+            maint.indexed_schema = db.schema_version();
+        }
+        let MaintState { index, stats, .. } = &mut *maint;
+        refresh_views(
+            db,
+            &mut views,
+            index.as_ref().expect("index built above"),
+            stats,
+        );
+    }
+
+    /// Re-evaluates every stale view from scratch — the maintenance
+    /// oracle the incremental [`ViewCatalog::refresh`] is verified
+    /// against, and the baseline of experiment E10.
+    pub fn refresh_full(&self, db: &Database) {
+        let now = db.data_version();
         for view in self.write().iter_mut() {
-            if !view.fresh {
+            if view.force_refresh || view.fresh_as_of < now {
                 view.extent = evaluate_query(db, &view.definition);
-                view.fresh = true;
+                view.fresh_as_of = now;
+                view.force_refresh = false;
             }
         }
+    }
+
+    /// The cumulative counters of the incremental maintainer.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.maint.read().expect("maintenance lock poisoned").stats
+    }
+
+    /// The oldest data version any view's extension still reflects
+    /// (`None` for an empty catalog): log entries at or below it can be
+    /// truncated without impairing incremental refresh.
+    pub fn oldest_snapshot(&self) -> Option<u64> {
+        self.read().iter().map(|v| v.fresh_as_of).min()
     }
 
     /// Number of materialized views.
@@ -548,6 +593,34 @@ impl ViewCatalog {
     pub fn is_empty(&self) -> bool {
         self.read().is_empty()
     }
+}
+
+/// The topological order of the classified representatives (parents
+/// strictly before children, Kahn over the Hasse edges), paired with the
+/// number of representatives: an order shorter than the count signals a
+/// cycle. Tolerates malformed edge lists (out-of-range or duplicate
+/// children), which [`ViewCatalog::lattice_violations`] reports
+/// separately. Shared by the planner traversal, the invariant checker,
+/// and the incremental maintainer's refresh order.
+pub(crate) fn representative_topo_order(views: &[MaterializedView]) -> (Vec<usize>, usize) {
+    let n = views.len();
+    let is_rep = |i: usize| views[i].classified && views[i].equiv.is_none();
+    let mut pending: Vec<usize> = views.iter().map(|v| v.parents.len()).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| is_rep(i) && pending[i] == 0).collect();
+    let reps = (0..n).filter(|&i| is_rep(i)).count();
+    let mut order = Vec::with_capacity(reps);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &c in &views[i].children {
+            if c < n && pending[c] > 0 {
+                pending[c] -= 1;
+                if pending[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+    }
+    (order, reps)
 }
 
 /// Inserts view `index` (with concept `concept`) into the lattice built
@@ -700,7 +773,7 @@ mod tests {
         let view = model.query_class("ViewPatient").expect("declared");
         catalog.materialize(&db, view).expect("materializes");
         let stored = catalog.view("ViewPatient").expect("stored");
-        assert!(stored.fresh);
+        assert_eq!(stored.fresh_as_of, db.data_version());
         assert!(!stored.classified);
         assert_eq!(stored.extent, evaluate_query(&db, view));
         assert_eq!(catalog.len(), 1);
@@ -732,7 +805,7 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_and_refresh_track_database_changes() {
+    fn versioned_staleness_tracks_database_changes() {
         let mut db = db();
         let model = samples::medical_model();
         let catalog = ViewCatalog::new();
@@ -740,7 +813,8 @@ mod tests {
         catalog.materialize(&db, view).expect("materializes");
         let before = catalog.view("ViewPatient").expect("stored").extent.len();
 
-        // A new conforming patient appears.
+        // A new conforming patient appears; the view's snapshot version
+        // now lags the database's.
         let anna = db.add_object("anna");
         let anna_name = db.add_object("anna_name");
         let flu = db.object("flu").expect("exists");
@@ -751,12 +825,81 @@ mod tests {
         db.assert_attr(anna, "suffers", flu);
         db.assert_attr(anna, "consults", welby);
 
-        catalog.invalidate();
-        assert!(!catalog.view("ViewPatient").expect("stored").fresh);
+        let stored = catalog.view("ViewPatient").expect("stored");
+        assert!(stored.fresh_as_of < db.data_version(), "stale by version");
         catalog.refresh(&db);
         let after = catalog.view("ViewPatient").expect("stored");
-        assert!(after.fresh);
+        assert_eq!(after.fresh_as_of, db.data_version());
         assert_eq!(after.extent.len(), before + 1);
+        let stats = catalog.maintenance_stats();
+        assert!(stats.deltas_applied > 0);
+        assert!(stats.memberships_evaluated <= stats.candidates_examined);
+
+        // The incremental result agrees with the full-re-evaluation
+        // oracle and with a scratch evaluation.
+        assert_eq!(after.extent, evaluate_query(&db, view));
+        catalog.invalidate();
+        catalog.refresh_full(&db);
+        assert_eq!(
+            catalog.view("ViewPatient").expect("stored").extent,
+            after.extent
+        );
+    }
+
+    #[test]
+    fn forced_invalidation_and_truncated_logs_reevaluate_in_full() {
+        let mut db = db();
+        let model = samples::medical_model();
+        let catalog = ViewCatalog::new();
+        let view = model.query_class("ViewPatient").expect("declared");
+        catalog.materialize(&db, view).expect("materializes");
+        let expected = catalog.view("ViewPatient").expect("stored").extent;
+
+        // `invalidate` forces a full re-derivation even though no delta
+        // was logged since the snapshot.
+        catalog.invalidate();
+        catalog.refresh(&db);
+        assert_eq!(
+            catalog.view("ViewPatient").expect("stored").extent,
+            expected
+        );
+        assert_eq!(catalog.maintenance_stats().full_reevaluations, 1);
+        // The flag is consumed: refreshing again does nothing.
+        catalog.refresh(&db);
+        assert_eq!(catalog.maintenance_stats().full_reevaluations, 1);
+
+        // A log truncated past a view's snapshot also falls back to full
+        // re-evaluation.
+        db.assert_class(db.object("mary").expect("exists"), "Doctor");
+        db.truncate_log(db.data_version());
+        catalog.refresh(&db);
+        assert_eq!(
+            catalog.view("ViewPatient").expect("stored").extent,
+            evaluate_query(&db, view)
+        );
+        assert_eq!(catalog.maintenance_stats().full_reevaluations, 2);
+    }
+
+    /// `invalidate` must force re-derivation even at data version 0,
+    /// where every version comparison says "fresh" — the flag, not the
+    /// version, carries the invalidation (regression: schema mutations
+    /// produce no data deltas).
+    #[test]
+    fn invalidate_forces_rederivation_even_at_data_version_zero() {
+        let db = Database::new(subq_dl::DlModel::new());
+        assert_eq!(db.data_version(), 0);
+        let catalog = ViewCatalog::new();
+        catalog
+            .materialize(&db, &trivial_view("V0"))
+            .expect("materializes");
+        catalog.invalidate();
+        catalog.refresh(&db);
+        assert_eq!(catalog.maintenance_stats().full_reevaluations, 1);
+        // `refresh_full` honours and consumes the flag too.
+        catalog.invalidate();
+        catalog.refresh_full(&db);
+        catalog.refresh(&db);
+        assert_eq!(catalog.maintenance_stats().full_reevaluations, 1);
     }
 
     /// A scripted oracle over toy concepts lets the graph algorithm be

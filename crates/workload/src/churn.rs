@@ -1,0 +1,296 @@
+//! Seeded mixed read/write traces for the incremental-maintenance
+//! experiments (E10) and the `incremental_equivalence` property suite.
+//!
+//! A churn instance is a database over a shaped class hierarchy (the
+//! [`FamilyShape`]s of the [`hierarchy`](crate::hierarchy) generator)
+//! extended with a global `link` attribute (inverse synonym `rev_link`),
+//! a catalog of views — plain class views `Vi = isA Ki`, and optionally
+//! views with a one- or two-step derived `link` path ending in a class
+//! filter — and a sequence of **transactions**, each a batch of
+//! [`ChurnOp`]s mixing object creation, class assertion and retraction,
+//! and attribute assertion and retraction.
+//!
+//! Ops are generated against a simulated object population, so retracts
+//! usually hit existing facts (exercising real deletions) but sometimes
+//! miss (exercising the no-op path). Everything is deterministic per
+//! seed.
+
+use crate::hierarchy::class_parents;
+use crate::FamilyShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subq_dl::{AttrDecl, ClassDecl, DlModel, LabeledPath, PathFilter, PathStep, QueryClassDecl};
+use subq_oodb::Database;
+
+/// One state mutation of a churn trace, by object *name* (applied through
+/// [`ChurnOp::apply`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// Create an object.
+    AddObject(String),
+    /// Assert `object in class`.
+    AssertClass(String, String),
+    /// Retract `object in class` (and its subclasses, per store
+    /// semantics).
+    RetractClass(String, String),
+    /// Assert `from link to`.
+    AssertAttr(String, String),
+    /// Retract `from link to`.
+    RetractAttr(String, String),
+}
+
+impl ChurnOp {
+    /// Applies the op to a database (objects are created on demand).
+    pub fn apply(&self, db: &mut Database) {
+        match self {
+            ChurnOp::AddObject(name) => {
+                db.add_object(name);
+            }
+            ChurnOp::AssertClass(object, class) => {
+                let id = db.add_object(object);
+                db.assert_class(id, class);
+            }
+            ChurnOp::RetractClass(object, class) => {
+                let id = db.add_object(object);
+                db.retract_class(id, class);
+            }
+            ChurnOp::AssertAttr(from, to) => {
+                let (from, to) = (db.add_object(from), db.add_object(to));
+                db.assert_attr(from, "link", to);
+            }
+            ChurnOp::RetractAttr(from, to) => {
+                let (from, to) = (db.add_object(from), db.add_object(to));
+                db.retract_attr(from, "link", to);
+            }
+        }
+    }
+}
+
+/// Parameters of the churn generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnParams {
+    /// The isA shape of the schema classes.
+    pub shape: FamilyShape,
+    /// Number of schema classes `K0..`.
+    pub classes: usize,
+    /// Number of views. Views beyond one per class wrap around with a
+    /// fresh name (Σ-equivalent duplicates).
+    pub views: usize,
+    /// Percent (0–100) of views that add a derived `link` path (one or
+    /// two steps) with a class filter.
+    pub path_view_percent: u8,
+    /// Initial objects (each asserted into a random class, with random
+    /// `link` edges).
+    pub objects: usize,
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Ops per transaction (uniform in `1..=ops_per_transaction`).
+    pub ops_per_transaction: usize,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        ChurnParams {
+            shape: FamilyShape::Tree,
+            classes: 6,
+            views: 8,
+            path_view_percent: 40,
+            objects: 30,
+            transactions: 8,
+            ops_per_transaction: 4,
+        }
+    }
+}
+
+/// A generated churn instance.
+pub struct ChurnTrace {
+    /// The initial database state (views declared in the model).
+    pub db: Database,
+    /// View names, in materialization order.
+    pub view_names: Vec<String>,
+    /// The transactions to apply, in order.
+    pub transactions: Vec<Vec<ChurnOp>>,
+}
+
+/// Generates a seeded churn instance.
+pub fn churn_trace(seed: u64, params: ChurnParams) -> ChurnTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = params.classes.max(1);
+    let mut model = DlModel::new();
+
+    for i in 0..classes {
+        let parents = class_parents(params.shape, i, &mut rng);
+        model.classes.push(ClassDecl {
+            name: format!("K{i}"),
+            is_a: parents.iter().map(|p| format!("K{p}")).collect(),
+            attributes: vec![],
+            constraint: None,
+        });
+    }
+    model.attributes.push(AttrDecl {
+        name: "link".into(),
+        domain: "Object".into(),
+        range: "Object".into(),
+        inverse: Some("rev_link".into()),
+    });
+
+    // Views: one class view per class (wrapping around for duplicates),
+    // some strengthened by a derived link path with a class filter.
+    let mut view_names = Vec::new();
+    for v in 0..params.views {
+        let class = v % classes;
+        let mut view = QueryClassDecl {
+            name: format!("V{v}"),
+            is_a: vec![format!("K{class}")],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        if rng.gen_range(0..100u8) < params.path_view_percent {
+            let target = rng.gen_range(0..classes);
+            let mut steps = vec![PathStep {
+                attr: if rng.gen_bool(0.25) {
+                    "rev_link".into()
+                } else {
+                    "link".into()
+                },
+                filter: PathFilter::Any,
+            }];
+            if rng.gen_bool(0.5) {
+                steps.push(PathStep {
+                    attr: "link".into(),
+                    filter: PathFilter::Class(format!("K{target}")),
+                });
+            } else {
+                steps[0].filter = PathFilter::Class(format!("K{target}"));
+            }
+            view.derived.push(LabeledPath { label: None, steps });
+        }
+        view_names.push(view.name.clone());
+        model.queries.push(view);
+    }
+
+    // Initial population.
+    let mut db = Database::new(model);
+    let object_name = |i: usize| format!("o{i}");
+    for i in 0..params.objects {
+        let obj = db.add_object(&object_name(i));
+        db.assert_class(obj, &format!("K{}", rng.gen_range(0..classes)));
+    }
+    for i in 0..params.objects {
+        if rng.gen_bool(0.6) {
+            let from = db.object(&object_name(i)).expect("created above");
+            let to = db
+                .object(&object_name(rng.gen_range(0..params.objects)))
+                .expect("created above");
+            db.assert_attr(from, "link", to);
+        }
+    }
+
+    // Transactions over a simulated population (so retracts usually hit).
+    let mut population = params.objects;
+    let transactions: Vec<Vec<ChurnOp>> = (0..params.transactions)
+        .map(|_| {
+            let ops = rng.gen_range(1..=params.ops_per_transaction.max(1));
+            (0..ops)
+                .map(|_| {
+                    let any = |rng: &mut StdRng, population: usize| {
+                        object_name(rng.gen_range(0..population.max(1)))
+                    };
+                    match rng.gen_range(0..10u8) {
+                        0 => {
+                            let op = ChurnOp::AddObject(object_name(population));
+                            population += 1;
+                            op
+                        }
+                        1..=3 => ChurnOp::AssertClass(
+                            any(&mut rng, population),
+                            format!("K{}", rng.gen_range(0..classes)),
+                        ),
+                        4..=5 => ChurnOp::RetractClass(
+                            any(&mut rng, population),
+                            format!("K{}", rng.gen_range(0..classes)),
+                        ),
+                        6..=7 => ChurnOp::AssertAttr(
+                            any(&mut rng, population),
+                            any(&mut rng, population),
+                        ),
+                        _ => ChurnOp::RetractAttr(
+                            any(&mut rng, population),
+                            any(&mut rng, population),
+                        ),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    ChurnTrace {
+        db,
+        view_names,
+        transactions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let params = ChurnParams::default();
+        let a = churn_trace(3, params);
+        let b = churn_trace(3, params);
+        assert_eq!(a.view_names, b.view_names);
+        assert_eq!(a.transactions, b.transactions);
+        assert_eq!(a.db.model(), b.db.model());
+        assert_eq!(a.db.object_count(), b.db.object_count());
+        let c = churn_trace(4, params);
+        assert!(a.transactions != c.transactions || a.db.model() != c.db.model());
+    }
+
+    #[test]
+    fn traces_mix_asserts_and_retracts_and_apply_cleanly() {
+        let params = ChurnParams {
+            transactions: 20,
+            ops_per_transaction: 5,
+            ..ChurnParams::default()
+        };
+        let mut trace = churn_trace(7, params);
+        let mut asserts = 0usize;
+        let mut retracts = 0usize;
+        for txn in &trace.transactions {
+            for op in txn {
+                match op {
+                    ChurnOp::AssertClass(..) | ChurnOp::AssertAttr(..) => asserts += 1,
+                    ChurnOp::RetractClass(..) | ChurnOp::RetractAttr(..) => retracts += 1,
+                    ChurnOp::AddObject(_) => {}
+                }
+                op.apply(&mut trace.db);
+            }
+        }
+        assert!(asserts > 0, "no asserts generated");
+        assert!(retracts > 0, "no retracts generated");
+        // Applying ops moved the data version forward.
+        assert!(trace.db.data_version() > 0);
+    }
+
+    #[test]
+    fn declared_views_are_structural_and_evaluable() {
+        let params = ChurnParams {
+            views: 10,
+            path_view_percent: 100,
+            ..ChurnParams::default()
+        };
+        let trace = churn_trace(11, params);
+        assert_eq!(trace.view_names.len(), 10);
+        let model = trace.db.model().clone();
+        for name in &trace.view_names {
+            let decl = model.query_class(name).expect("declared");
+            assert!(decl.is_view());
+            // Evaluation must not panic and stays within the population.
+            let extent = subq_oodb::evaluate_query(&trace.db, decl);
+            assert!(extent.len() <= trace.db.object_count());
+        }
+    }
+}

@@ -102,8 +102,9 @@ pub struct HierarchyInstance {
     pub queries: Vec<QueryClassDecl>,
 }
 
-/// The isA parents of class `i` under the shape.
-fn class_parents(shape: FamilyShape, i: usize, rng: &mut StdRng) -> Vec<usize> {
+/// The isA parents of class `i` under the shape (shared with the churn
+/// generator).
+pub(crate) fn class_parents(shape: FamilyShape, i: usize, rng: &mut StdRng) -> Vec<usize> {
     match shape {
         FamilyShape::Chain => {
             if i == 0 {

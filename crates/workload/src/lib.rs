@@ -14,16 +14,21 @@
 //!   schema with tunable size and view selectivity (experiment E8);
 //! * [`hierarchy`] — hierarchical view-catalog families (chains, balanced
 //!   trees, diamonds, flat anti-hierarchies, random DAGs) for the
-//!   subsumption-lattice planner (experiment E9).
+//!   subsumption-lattice planner (experiment E9);
+//! * [`churn`] — seeded mixed read/write traces (class and attribute
+//!   asserts and retracts in transactions) for the incremental
+//!   view-maintenance engine (experiment E10).
 //!
 //! All generators take explicit seeds (or are fully deterministic) so the
 //! benches are reproducible.
 
+pub mod churn;
 pub mod database;
 pub mod hierarchy;
 pub mod random;
 pub mod scaling;
 
+pub use churn::{churn_trace, ChurnOp, ChurnParams, ChurnTrace};
 pub use database::{synthetic_hospital, HospitalParams};
 pub use hierarchy::{hierarchical_catalog, FamilyShape, HierarchyInstance, HierarchyParams};
 pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams, RandomEnv};
