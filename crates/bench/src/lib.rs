@@ -137,6 +137,209 @@ pub fn e10_maintenance_arm(objects: usize, views: usize) -> E10Row {
     }
 }
 
+/// The default E11 concurrency instance: object count, view count, and
+/// the per-arm measurement window.
+pub mod e11 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+    use subq::oodb::OptimizedDatabase;
+    use subq::workload::{churn_trace, ChurnParams, ChurnTrace, FamilyShape};
+
+    /// One throughput arm of the E11 table.
+    pub struct ThroughputRow {
+        /// Reader threads measured.
+        pub threads: usize,
+        /// Plan+answer operations completed across all readers.
+        pub total_ops: u64,
+        /// Measurement window.
+        pub elapsed_ns: u128,
+        /// Median plan latency (over all readers' sampled plans).
+        pub p50_plan_ns: u64,
+        /// 99th-percentile plan latency.
+        pub p99_plan_ns: u64,
+        /// Snapshots the readers adopted during the window (lower bound:
+        /// sum over readers of observed swaps).
+        pub snapshots_adopted: u64,
+        /// Per-op probe work after warmup: fresh probes observed across
+        /// all readers (0 = every probe answered from a cache — the
+        /// deterministic scalability invariant `perf_smoke` asserts).
+        pub fresh_probes_after_warmup: u64,
+    }
+
+    /// Builds the shared E11 instance: a tree hierarchy with class and
+    /// path views, a churny transaction stream, and a warmed writer
+    /// (every query shape planned once, so the shared memo and the
+    /// published arena carry them).
+    pub fn setup(objects: usize, views: usize) -> (OptimizedDatabase, ChurnTrace) {
+        let params = ChurnParams {
+            shape: FamilyShape::Tree,
+            classes: views.max(2),
+            views,
+            path_view_percent: 30,
+            objects,
+            transactions: 64,
+            ops_per_transaction: 4,
+        };
+        let trace = churn_trace(17, params);
+        let mut writer = OptimizedDatabase::new(trace.db.clone()).expect("translates");
+        for name in &trace.view_names {
+            writer.materialize_view(name).expect("materializes");
+        }
+        (writer, trace)
+    }
+
+    /// Measures aggregate plan+answer throughput with `threads` readers
+    /// and a concurrent churn writer committing (and publishing) the
+    /// trace's transactions at ~1 ms intervals. Deterministic in *work
+    /// shape* (same queries, same churn), wall-clock in *rate*.
+    pub fn throughput_arm(threads: usize, run: Duration) -> ThroughputRow {
+        let (mut writer, trace) = setup(2_000, 12);
+        let queries: Vec<_> = trace
+            .view_names
+            .iter()
+            .map(|name| {
+                writer
+                    .database()
+                    .model()
+                    .query_class(name)
+                    .expect("declared")
+                    .clone()
+            })
+            .collect();
+        // Warm every query shape through the writer: interned in the
+        // published arena, verdicts in the shared memo.
+        for query in &queries {
+            let _ = writer.plan(query);
+        }
+        writer.publish_snapshot();
+
+        let stop = AtomicBool::new(false);
+        let total_ops = AtomicU64::new(0);
+        let adopted = AtomicU64::new(0);
+        let fresh_after_warmup = AtomicU64::new(0);
+        let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let readers: Vec<_> = (0..threads).map(|_| writer.reader()).collect();
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for mut reader in readers {
+                let stop = &stop;
+                let total_ops = &total_ops;
+                let adopted = &adopted;
+                let fresh_after_warmup = &fresh_after_warmup;
+                let latencies = &latencies;
+                let queries = &queries;
+                scope.spawn(move || {
+                    // Per-reader warmup: one pass so private caches hold
+                    // every (query, view) pair under the initial snapshot.
+                    for query in queries {
+                        let _ = reader.execute(query);
+                    }
+                    let mut ops = 0u64;
+                    let mut swaps = 0u64;
+                    let mut fresh = 0u64;
+                    let mut lats: Vec<u64> = Vec::with_capacity(4096);
+                    let mut at = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        if at.is_multiple_of(64) && reader.sync() {
+                            swaps += 1;
+                        }
+                        let query = &queries[at % queries.len()];
+                        let t0 = Instant::now();
+                        let plan = reader.plan(query);
+                        lats.push(t0.elapsed().as_nanos() as u64);
+                        fresh += plan.fresh_probes as u64;
+                        let _ = reader.execute(query);
+                        ops += 1;
+                        at += 1;
+                    }
+                    total_ops.fetch_add(ops, Ordering::Relaxed);
+                    adopted.fetch_add(swaps, Ordering::Relaxed);
+                    fresh_after_warmup.fetch_add(fresh, Ordering::Relaxed);
+                    latencies.lock().expect("latency lock").extend(lats);
+                });
+            }
+
+            // The churn writer: commit + publish a transaction roughly
+            // every millisecond until the window closes.
+            let deadline = started + run;
+            let mut t = 0usize;
+            while Instant::now() < deadline {
+                let txn = &trace.transactions[t % trace.transactions.len()];
+                t += 1;
+                writer.commit(|db| {
+                    for op in txn {
+                        op.apply(db);
+                    }
+                });
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let elapsed_ns = started.elapsed().as_nanos();
+
+        let mut lats = latencies.into_inner().expect("latency lock");
+        lats.sort_unstable();
+        let pick = |q: f64| -> u64 {
+            if lats.is_empty() {
+                0
+            } else {
+                lats[((lats.len() - 1) as f64 * q) as usize]
+            }
+        };
+        ThroughputRow {
+            threads,
+            total_ops: total_ops.into_inner(),
+            elapsed_ns,
+            p50_plan_ns: pick(0.50),
+            p99_plan_ns: pick(0.99),
+            snapshots_adopted: adopted.into_inner(),
+            fresh_probes_after_warmup: fresh_after_warmup.into_inner(),
+        }
+    }
+
+    /// One publish-cost arm: the wall-clock of `publish_snapshot` after a
+    /// transaction of `txn_ops` effective churn operations, best of 5, on
+    /// a 10k-object store — the copy-on-write sharding keeps it
+    /// proportional to the shards touched, not to the store. Every
+    /// iteration commits *fresh* objects (new names, new memberships, new
+    /// edges), so each measured publish follows a transaction that really
+    /// moved the data version by ≥ `txn_ops` deltas — re-applying an
+    /// idempotent op list would measure a no-op publish instead.
+    pub fn publish_cost_arm(txn_ops: usize) -> u128 {
+        let (mut writer, trace) = setup(10_000, 12);
+        writer.publish_snapshot();
+        let classes = trace.view_names.len().max(2);
+        let mut best = u128::MAX;
+        for round in 0..5 {
+            let before = writer.database().data_version();
+            writer.update(|db| {
+                for j in 0..txn_ops {
+                    let name = format!("pub_{txn_ops}_{round}_{j}");
+                    let obj = db.add_object(&name);
+                    match j % 3 {
+                        0 => db.assert_class(obj, &format!("K{}", j % classes)),
+                        1 => {
+                            let peer = db.add_object(&format!("{name}_peer"));
+                            db.assert_attr(obj, "link", peer);
+                        }
+                        _ => {}
+                    }
+                }
+            });
+            assert!(
+                writer.database().data_version() >= before + txn_ops as u64,
+                "publish-cost transaction must be effective"
+            );
+            let start = Instant::now();
+            writer.publish_snapshot();
+            best = best.min(start.elapsed().as_nanos());
+        }
+        best
+    }
+}
+
 /// Times `work` on fresh instances from `make` until ~50 ms of measurement
 /// (at least 3 runs) and returns the best per-run time.
 pub fn time_best<T>(mut make: impl FnMut() -> T, mut work: impl FnMut(T)) -> Duration {

@@ -16,8 +16,11 @@
 
 use crate::engine::{Completion, CompletionStats, SaturatedFacts};
 use crate::trace::DerivationTrace;
-use fxhash::FxHashMap;
+use fxhash::{FxHashMap, FxHasher};
 use std::collections::VecDeque;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 use subq_concepts::normalize::normalize_concept;
 use subq_concepts::schema::Schema;
 use subq_concepts::term::{ConceptId, TermArena};
@@ -85,11 +88,15 @@ impl SubsumptionOutcome {
 ///   materialized view.
 ///
 /// A third level keeps the fork-able fact closures: `normalized query →
-/// SaturatedFacts`, capped FIFO-style at
-/// [`SubsumptionCache::SATURATED_QUERIES_CAP`] entries, so a *fresh*
-/// `(query, view)` pair pays only a goal-side probe when the query was
-/// saturated before (the hot path of `plan()` when a view is added, or of
-/// the very first plan against N views: one saturation, N probes).
+/// SaturatedFacts`, capped at
+/// [`SubsumptionCache::SATURATED_QUERIES_CAP`] entries with
+/// **least-recently-used** eviction (every reuse of a closure moves it to
+/// the back of the eviction queue), so a *fresh* `(query, view)` pair pays
+/// only a goal-side probe when the query was saturated before (the hot
+/// path of `plan()` when a view is added, or of the very first plan
+/// against N views: one saturation, N probes) — and hot query shapes keep
+/// their closures even when a churny stream of one-off queries rolls
+/// through the cache.
 ///
 /// A cache is only meaningful for the `(TermArena, Schema)` pair it was
 /// populated with; use one cache per optimized database (as
@@ -100,11 +107,13 @@ pub struct SubsumptionCache {
     normalized: FxHashMap<ConceptId, ConceptId>,
     outcomes: FxHashMap<(ConceptId, ConceptId), CachedCheck>,
     saturated: FxHashMap<ConceptId, SaturatedFacts>,
+    /// Recency queue over `saturated`: front = least recently used.
     saturated_order: VecDeque<ConceptId>,
     hits: u64,
     misses: u64,
     fact_saturations: u64,
     probes: u64,
+    saturation_evictions: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -129,10 +138,11 @@ impl SubsumptionCache {
         self.outcomes.is_empty()
     }
 
-    /// Most saturated fact closures retained at once; the oldest is
-    /// evicted first. Repeat `(query, view)` pairs are unaffected (they
-    /// hit the outcome level), so the cap only bounds memory for streams
-    /// of many *distinct* queries.
+    /// Most saturated fact closures retained at once; the **least
+    /// recently used** is evicted first, so hot query shapes survive
+    /// churny streams of one-off queries. Repeat `(query, view)` pairs
+    /// are unaffected (they hit the outcome level), so the cap only
+    /// bounds memory for streams of many *distinct* queries.
     pub const SATURATED_QUERIES_CAP: usize = 64;
 
     /// `(hits, misses)` counters over the cache's lifetime.
@@ -150,6 +160,13 @@ impl SubsumptionCache {
     /// Number of saturated queries currently retained.
     pub fn saturated_len(&self) -> usize {
         self.saturated.len()
+    }
+
+    /// Number of saturated fact closures evicted over the cache's
+    /// lifetime (LRU order — see
+    /// [`SubsumptionCache::SATURATED_QUERIES_CAP`]).
+    pub fn saturation_evictions(&self) -> u64 {
+        self.saturation_evictions
     }
 
     /// Drops all cached outcomes, normalizations and saturated queries
@@ -174,16 +191,127 @@ impl SubsumptionCache {
         normalized
     }
 
-    /// Retains a saturated fact closure, evicting the oldest entry once
-    /// the cap is reached. The key must not be present yet.
+    /// Retains a saturated fact closure, evicting the least recently used
+    /// entry once the cap is reached. The key must not be present yet.
     fn store_saturated(&mut self, query: ConceptId, base: SaturatedFacts) {
         if self.saturated.len() >= Self::SATURATED_QUERIES_CAP {
-            if let Some(oldest) = self.saturated_order.pop_front() {
-                self.saturated.remove(&oldest);
+            if let Some(coldest) = self.saturated_order.pop_front() {
+                self.saturated.remove(&coldest);
+                self.saturation_evictions += 1;
             }
         }
         self.saturated_order.push_back(query);
         self.saturated.insert(query, base);
+    }
+
+    /// Marks a retained closure as just used: moves it to the back of the
+    /// eviction queue (O(cap), and the cap is small).
+    fn touch_saturated(&mut self, query: ConceptId) {
+        if let Some(pos) = self.saturated_order.iter().position(|&q| q == query) {
+            self.saturated_order.remove(pos);
+            self.saturated_order.push_back(query);
+        }
+    }
+}
+
+/// Number of independently locked shards of a [`SharedSubsumptionMemo`].
+const MEMO_SHARDS: usize = 16;
+
+/// A thread-safe subsumption memo shared by concurrent readers of one
+/// optimized database: the `(normalized query, normalized view) → verdict`
+/// level of a [`SubsumptionCache`], sharded over [`MEMO_SHARDS`] RwLocks
+/// so readers on different cores rarely contend, with atomic hit/miss
+/// counters.
+///
+/// # Which concept ids may enter the memo
+///
+/// `ConceptId`s are arena indexes. Readers work on *clones* of a
+/// published arena and intern fresh concepts locally, so an id is
+/// meaningful across threads only while it lies **below the published
+/// arena's concept count** (the arena is append-only and hash-consed, so
+/// the shared prefix denotes the same terms in every clone). Callers pass
+/// that bound to [`SubsumptionChecker::check_shared`]; pairs with a
+/// locally interned id stay in the caller's private cache. A memo is only
+/// meaningful for one schema epoch — discard it (as
+/// `subq_oodb::OptimizedDatabase` does) whenever the schema is
+/// re-translated.
+#[derive(Debug)]
+pub struct SharedSubsumptionMemo {
+    shards: [RwLock<FxHashMap<(ConceptId, ConceptId), CachedCheck>>; MEMO_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SharedSubsumptionMemo {
+    fn default() -> Self {
+        SharedSubsumptionMemo {
+            shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SharedSubsumptionMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        SharedSubsumptionMemo::default()
+    }
+
+    fn shard(
+        &self,
+        key: (ConceptId, ConceptId),
+    ) -> &RwLock<FxHashMap<(ConceptId, ConceptId), CachedCheck>> {
+        let mut hasher = FxHasher::default();
+        hasher.write_u64(((key.0.index() as u64) << 32) | key.1.index() as u64);
+        &self.shards[(hasher.finish() as usize) % MEMO_SHARDS]
+    }
+
+    fn get(&self, key: (ConceptId, ConceptId)) -> Option<CachedCheck> {
+        let found = self
+            .shard(key)
+            .read()
+            .expect("shared memo shard poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(check) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(check)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: (ConceptId, ConceptId), check: CachedCheck) {
+        self.shard(key)
+            .write()
+            .expect("shared memo shard poisoned")
+            .insert(key, check);
+    }
+
+    /// `(hits, misses)` of the shared level over its lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoized `(query, view)` verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shared memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no verdict has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -360,8 +488,24 @@ impl<'a> SubsumptionChecker<'a> {
                 trace: None,
             };
         }
+        self.saturate_and_probe(arena, cache, normalized_query, normalized_view)
+    }
+
+    /// The miss path of the cached checks: fork the query's retained fact
+    /// closure (saturating and retaining it first if absent, touching its
+    /// LRU slot otherwise), run the goal-side probe, and memoize the
+    /// outcome.
+    fn saturate_and_probe(
+        &self,
+        arena: &mut TermArena,
+        cache: &mut SubsumptionCache,
+        normalized_query: ConceptId,
+        normalized_view: ConceptId,
+    ) -> SubsumptionOutcome {
         cache.misses += 1;
-        if !cache.saturated.contains_key(&normalized_query) {
+        if cache.saturated.contains_key(&normalized_query) {
+            cache.touch_saturated(normalized_query);
+        } else {
             let base = SaturatedFacts::saturate(arena, self.schema, normalized_query);
             cache.store_saturated(normalized_query, base);
             cache.fact_saturations += 1;
@@ -380,6 +524,80 @@ impl<'a> SubsumptionChecker<'a> {
             },
         );
         outcome
+    }
+
+    /// [`SubsumptionChecker::check_cached`] composed with a
+    /// [`SharedSubsumptionMemo`]: the caller's private cache is consulted
+    /// first, then the shared memo (counting a shared hit as a private hit
+    /// too, so per-caller counters keep their meaning), and a full miss
+    /// saturates/probes locally and publishes the verdict to the memo —
+    /// but **only** when both normalized ids lie below `shared_bound`,
+    /// the published arena's concept count (ids at or above it were
+    /// interned locally by this caller and mean nothing to other
+    /// threads). Pass `usize::MAX` when the arena *is* the published one
+    /// (the single writer).
+    pub fn check_shared(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        sup: ConceptId,
+        cache: &mut SubsumptionCache,
+        shared: &SharedSubsumptionMemo,
+        shared_bound: usize,
+    ) -> SubsumptionOutcome {
+        let normalized_query = cache.normalize(arena, sub);
+        let normalized_view = cache.normalize(arena, sup);
+        let key = (normalized_query, normalized_view);
+        if let Some(cached) = cache.outcomes.get(&key) {
+            cache.hits += 1;
+            return SubsumptionOutcome {
+                verdict: cached.verdict,
+                stats: cached.stats,
+                normalized_query,
+                normalized_view,
+                trace: None,
+            };
+        }
+        let shareable =
+            normalized_query.index() < shared_bound && normalized_view.index() < shared_bound;
+        if shareable {
+            if let Some(cached) = shared.get(key) {
+                cache.hits += 1;
+                cache.outcomes.insert(key, cached);
+                return SubsumptionOutcome {
+                    verdict: cached.verdict,
+                    stats: cached.stats,
+                    normalized_query,
+                    normalized_view,
+                    trace: None,
+                };
+            }
+        }
+        let outcome = self.saturate_and_probe(arena, cache, normalized_query, normalized_view);
+        if shareable {
+            shared.insert(
+                key,
+                CachedCheck {
+                    verdict: outcome.verdict,
+                    stats: outcome.stats,
+                },
+            );
+        }
+        outcome
+    }
+
+    /// [`SubsumptionChecker::check_shared`], reduced to the verdict.
+    pub fn subsumes_shared(
+        &self,
+        arena: &mut TermArena,
+        sub: ConceptId,
+        sup: ConceptId,
+        cache: &mut SubsumptionCache,
+        shared: &SharedSubsumptionMemo,
+        shared_bound: usize,
+    ) -> bool {
+        self.check_shared(arena, sub, sup, cache, shared, shared_bound)
+            .subsumed()
     }
 
     /// [`SubsumptionChecker::check_cached`], reduced to the verdict.
@@ -714,6 +932,109 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(misses, misses_before);
         assert!(hits >= 3, "repeat equivalence checks must hit, got {hits}");
+    }
+
+    /// The saturation level evicts **least-recently-used** closures: a
+    /// query shape kept hot by repeated probes survives a churny stream
+    /// of `CAP` one-off queries that would have rolled it out under the
+    /// old FIFO policy, and the eviction counter accounts for exactly the
+    /// cold entries dropped.
+    #[test]
+    fn saturation_cache_evicts_least_recently_used() {
+        let mut voc = Vocabulary::new();
+        let schema = Schema::new();
+        let mut arena = TermArena::new();
+        let checker = SubsumptionChecker::new(&schema);
+        let mut cache = SubsumptionCache::new();
+        let top = arena.top();
+        let cap = SubsumptionCache::SATURATED_QUERIES_CAP;
+
+        // The hot query, saturated once.
+        let hot = arena.prim(voc.class("Hot"));
+        assert!(checker.subsumes_cached(&mut arena, hot, top, &mut cache));
+        assert_eq!(cache.saturation_stats().0, 1);
+
+        // A churny stream of `cap` distinct one-off queries, the hot
+        // query re-probed (against a fresh view, so the outcome level
+        // does not short-circuit the closure reuse) between every few.
+        let mut churn_saturations = 0;
+        for i in 0..cap {
+            let cold = arena.prim(voc.class(&format!("Cold{i}")));
+            assert!(checker.subsumes_cached(&mut arena, cold, top, &mut cache));
+            churn_saturations += 1;
+            if i % 8 == 0 {
+                let view = arena.prim(voc.class(&format!("View{i}")));
+                let before = cache.saturation_stats().0;
+                checker.subsumes_cached(&mut arena, hot, view, &mut cache);
+                assert_eq!(
+                    cache.saturation_stats().0,
+                    before,
+                    "touching the hot query must reuse its closure"
+                );
+            }
+        }
+
+        // Under FIFO the hot query (the oldest insertion) would be gone;
+        // under LRU it survived the whole stream.
+        let view = arena.prim(voc.class("FinalView"));
+        let before = cache.saturation_stats().0;
+        checker.subsumes_cached(&mut arena, hot, view, &mut cache);
+        assert_eq!(
+            cache.saturation_stats().0,
+            before,
+            "the hot closure must still be retained after {cap} churny queries"
+        );
+        // 1 hot + `cap` churn saturations into a `cap`-slot cache: the
+        // overflow is exactly the eviction count, and every eviction hit
+        // a cold entry.
+        assert_eq!(cache.saturated_len(), cap);
+        assert_eq!(
+            cache.saturation_evictions(),
+            (1 + churn_saturations - cap) as u64
+        );
+    }
+
+    /// The shared memo agrees with the private path, counts hits and
+    /// misses, and refuses pairs above the shared bound (locally interned
+    /// concepts stay private).
+    #[test]
+    fn shared_memo_agrees_and_respects_the_bound() {
+        let mut m = medical_example();
+        let checker = SubsumptionChecker::new(&m.schema);
+        let shared = SharedSubsumptionMemo::new();
+        assert!(shared.is_empty());
+
+        // Warm the base arena first (normalization interns the normal
+        // forms), as the single writer does before publishing a snapshot;
+        // only then do the "readers" clone it.
+        let expect = checker.subsumes(&mut m.arena, m.query, m.view);
+        let mut arena_a = m.arena.clone();
+        let mut arena_b = m.arena.clone();
+        let bound = m.arena.concept_count();
+        let mut cache_a = SubsumptionCache::new();
+        let mut cache_b = SubsumptionCache::new();
+        let a = checker.check_shared(&mut arena_a, m.query, m.view, &mut cache_a, &shared, bound);
+        assert_eq!(a.subsumed(), expect);
+        let published = shared.len();
+        assert!(published >= 1, "verdict must be published");
+
+        // The second reader answers from the memo: no new saturation.
+        let b = checker.check_shared(&mut arena_b, m.query, m.view, &mut cache_b, &shared, bound);
+        assert_eq!(b.subsumed(), expect);
+        assert_eq!(cache_b.saturation_stats(), (0, 0));
+        assert_eq!(shared.len(), published);
+        let (hits, _) = shared.stats();
+        assert!(hits >= 1);
+
+        // A pair involving a locally interned concept stays private.
+        let local = arena_b.and(m.query, m.view);
+        assert!(local.index() >= bound, "freshly interned above the bound");
+        checker.check_shared(&mut arena_b, local, m.view, &mut cache_b, &shared, bound);
+        assert_eq!(shared.len(), published, "local pair must not be published");
+        // …but is still memoized privately: a repeat is a hit.
+        let (hits_before, misses_before) = cache_b.stats();
+        checker.check_shared(&mut arena_b, local, m.view, &mut cache_b, &shared, bound);
+        assert_eq!(cache_b.stats(), (hits_before + 1, misses_before));
     }
 
     /// The outcome reports completion statistics compatible with the

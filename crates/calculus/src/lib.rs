@@ -50,7 +50,8 @@ pub mod rules;
 pub mod trace;
 
 pub use checker::{
-    SaturatedQuery, SubsumptionCache, SubsumptionChecker, SubsumptionOutcome, SubsumptionVerdict,
+    SaturatedQuery, SharedSubsumptionMemo, SubsumptionCache, SubsumptionChecker,
+    SubsumptionOutcome, SubsumptionVerdict,
 };
 pub use constraint::{Constraint, ConstraintSet};
 pub use engine::{Completion, CompletionStats, SaturatedFacts};

@@ -84,6 +84,17 @@ impl DeltaLog {
         DeltaLog::default()
     }
 
+    /// An empty log positioned at `version`: replays from `version` (and
+    /// later) are possible and empty, earlier ones report truncation.
+    /// Used when publishing read snapshots, which carry the version but
+    /// never replay entries.
+    pub fn at_version(version: u64) -> Self {
+        DeltaLog {
+            base: version,
+            entries: Vec::new(),
+        }
+    }
+
     /// The current data version (the version stamped on the last recorded
     /// delta; 0 for a fresh database).
     pub fn version(&self) -> u64 {

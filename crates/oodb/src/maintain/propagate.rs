@@ -49,6 +49,21 @@
 //! quantified constraint can flip the membership of objects arbitrarily
 //! far from the delta.
 //!
+//! # Parallel propagation
+//!
+//! Candidate re-checks only ever consult a view's Hasse *ancestors*
+//! (pruning) or its Σ-equivalence representative, so views in different
+//! weakly-connected components of the lattice are completely independent.
+//! The propagator groups the affected views by component and, when the
+//! routed work is large enough to amortize a spawn, refreshes the
+//! components on [`std::thread::scope`] workers — views inside one
+//! component (one lattice chain) stay in topological order on one worker,
+//! so top-down pruning still fires; one worker's counters are summed into
+//! the catalog's after the join, keeping [`MaintenanceStats`]
+//! deterministic. The single writer then publishes the refreshed state as
+//! one atomic snapshot swap (see
+//! [`OptimizedDatabase::commit`](crate::OptimizedDatabase::commit)).
+//!
 //! [`refresh_full`]: crate::views::ViewCatalog::refresh_full
 
 use super::delta::Delta;
@@ -56,8 +71,24 @@ use super::depindex::{DependencyIndex, ViewDeps};
 use crate::eval::{initial_candidates, is_member};
 use crate::store::{Database, ObjId};
 use crate::views::MaterializedView;
-use fxhash::FxHashSet;
+use fxhash::{FxHashMap, FxHashSet};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Process-wide override of the maintenance worker count: 0 = auto
+/// (`std::thread::available_parallelism`).
+static MAINTENANCE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps (or forces) the number of worker threads parallel view
+/// maintenance may use, process-wide. `None` restores the default —
+/// [`std::thread::available_parallelism`]. Setting an explicit count also
+/// waives the minimum-work threshold (an operator who configures workers
+/// wants them used), which is how the equivalence suites exercise the
+/// parallel path deterministically on any machine.
+pub fn set_maintenance_workers(workers: Option<usize>) {
+    MAINTENANCE_WORKERS.store(workers.unwrap_or(0), Ordering::Relaxed);
+}
 
 /// Counters of the incremental maintainer (cumulative per catalog).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,7 +106,29 @@ pub struct MaintenanceStats {
     /// Views that fell back to full re-evaluation (volatile definitions,
     /// truncated logs, forced invalidation).
     pub full_reevaluations: u64,
+    /// Refresh passes that returned without touching any view state
+    /// because the log suffix routed zero views (see
+    /// [`routes_nothing`] and
+    /// [`ViewCatalog::refresh`](crate::views::ViewCatalog::refresh)).
+    pub empty_refreshes: u64,
 }
+
+impl MaintenanceStats {
+    /// Adds a worker's counters into this one (order-independent, so the
+    /// cumulative stats stay deterministic under parallel propagation).
+    fn absorb(&mut self, other: MaintenanceStats) {
+        self.deltas_applied += other.deltas_applied;
+        self.candidates_examined += other.candidates_examined;
+        self.memberships_evaluated += other.memberships_evaluated;
+        self.lattice_prunes += other.lattice_prunes;
+        self.full_reevaluations += other.full_reevaluations;
+        self.empty_refreshes += other.empty_refreshes;
+    }
+}
+
+/// One view handed to a refresh worker: catalog index, exclusive borrow,
+/// and the plan computed for it by the routing scan.
+type ViewTask<'a> = (usize, &'a mut MaterializedView, Plan);
 
 /// How one view is brought up to date by the current pass.
 enum Plan {
@@ -130,30 +183,15 @@ pub fn refresh_views(
             .expect("snapshots below the log base were planned as Full");
         for (version, delta) in replay {
             stats.deltas_applied += 1;
-            // `AddObject` additionally reaches every volatile view:
-            // constraints may resolve objects by name, and creation
-            // changes that resolution even before any class or attribute
-            // is asserted.
-            let empty: &[usize] = &[];
-            let (affected, also, seeds): (&[usize], &[usize], Vec<ObjId>) = match delta {
-                Delta::AddObject { object } => (
-                    index.unrestricted_views(),
-                    index.volatile_views(),
-                    vec![*object],
-                ),
-                Delta::AssertClass { object, class } | Delta::RetractClass { object, class } => {
-                    (index.views_on_class(class), empty, vec![*object])
+            let (affected, also) = affected_views(index, delta);
+            let seeds: Vec<ObjId> = match delta {
+                Delta::AddObject { object } => vec![*object],
+                Delta::AssertClass { object, .. } | Delta::RetractClass { object, .. } => {
+                    vec![*object]
                 }
-                Delta::AssertAttr {
-                    from,
-                    to,
-                    attribute,
+                Delta::AssertAttr { from, to, .. } | Delta::RetractAttr { from, to, .. } => {
+                    vec![*from, *to]
                 }
-                | Delta::RetractAttr {
-                    from,
-                    to,
-                    attribute,
-                } => (index.views_on_attr(attribute), empty, vec![*from, *to]),
             };
             let radius_for = |deps: &ViewDeps| match delta {
                 Delta::AddObject { .. } => 0,
@@ -185,101 +223,280 @@ pub fn refresh_views(
 
     // Refresh in lattice order: representatives root-down (so parent
     // extensions are current when a child consults them for pruning),
-    // then equivalence peers, then unclassified views.
-    for i in lattice_order(views) {
-        match std::mem::replace(&mut plans[i], Plan::Fresh) {
+    // then equivalence peers, then unclassified views — grouped by
+    // weakly-connected lattice component. Components never read each
+    // other's extensions, so they refresh independently: on workers when
+    // the routed work amortizes the spawns, inline otherwise. Either way
+    // each component runs the identical `refresh_component` code, so the
+    // results (and the summed counters) do not depend on the path taken.
+    let order = lattice_order(views);
+    let comp = components(views);
+    let mut group_of: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut group_indices: Vec<Vec<usize>> = Vec::new();
+    for &i in &order {
+        let next = group_indices.len();
+        let g = *group_of.entry(comp[i]).or_insert(next);
+        if g == group_indices.len() {
+            group_indices.push(Vec::new());
+        }
+        group_indices[g].push(i);
+    }
+
+    // Hand each group its disjoint `&mut` views (with the group's plans),
+    // via the slice's own iterator — no unsafe splitting.
+    let mut slots: Vec<Option<ViewTask<'_>>> = views
+        .iter_mut()
+        .zip(plans)
+        .enumerate()
+        .map(|(i, (view, plan))| Some((i, view, plan)))
+        .collect();
+    let mut groups: Vec<Vec<ViewTask<'_>>> = group_indices
+        .iter()
+        .map(|group| {
+            group
+                .iter()
+                .map(|&i| slots[i].take().expect("every view is in exactly one group"))
+                .collect()
+        })
+        .collect();
+
+    let active_groups = groups.iter().filter(|g| group_work(g) > 0).count();
+    let total_work: usize = groups.iter().map(|g| group_work(g)).sum();
+    let override_workers = MAINTENANCE_WORKERS.load(Ordering::Relaxed);
+    let workers = if override_workers > 0 {
+        override_workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let worth_spawning = override_workers > 0 || total_work >= PARALLEL_WORK_THRESHOLD;
+    if workers > 1 && active_groups >= 2 && worth_spawning {
+        let buckets: Vec<Vec<Vec<ViewTask<'_>>>> = {
+            let mut buckets: Vec<Vec<_>> = (0..workers.min(active_groups))
+                .map(|_| Vec::new())
+                .collect();
+            // Largest groups first, round-robin, for rough balance.
+            groups.sort_by_key(|g| std::cmp::Reverse(group_work(g)));
+            for (at, group) in groups.into_iter().enumerate() {
+                let slot = at % buckets.len();
+                buckets[slot].push(group);
+            }
+            buckets
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .filter(|bucket| !bucket.is_empty())
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        let mut local = MaintenanceStats::default();
+                        for mut group in bucket {
+                            refresh_component(db, &mut group, &mut local, now);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                stats.absorb(handle.join().expect("maintenance worker panicked"));
+            }
+        });
+    } else {
+        for group in &mut groups {
+            refresh_component(db, group, stats, now);
+        }
+    }
+}
+
+/// Spawn workers only when the routed candidate work is at least this
+/// many objects; below it the propagation is cheaper than the spawns.
+const PARALLEL_WORK_THRESHOLD: usize = 64;
+
+/// A rough work estimate for one component: candidates to re-check, plus
+/// the current extension size for full re-evaluations.
+fn group_work(group: &[ViewTask<'_>]) -> usize {
+    group
+        .iter()
+        .map(|(_, view, plan)| match plan {
+            Plan::Fresh => 0,
+            Plan::Full => view.extent.len() + 16,
+            Plan::Candidates(candidates) => candidates.len(),
+        })
+        .sum()
+}
+
+/// Refreshes the views of one lattice component, in topological order
+/// (the order `entries` arrives in): full re-evaluations, candidate
+/// re-checks pruned through the (already refreshed, same-component) Hasse
+/// parents, and Σ-equivalence peers copying their representative's
+/// verdicts.
+fn refresh_component(
+    db: &Database,
+    entries: &mut [ViewTask<'_>],
+    stats: &mut MaintenanceStats,
+    now: u64,
+) {
+    let position: FxHashMap<usize, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(pos, (i, _, _))| (*i, pos))
+        .collect();
+    for at in 0..entries.len() {
+        let (done, rest) = entries.split_at_mut(at);
+        let (_, view, plan) = &mut rest[0];
+        let extent_of = |done: &[ViewTask<'_>], i: usize| Arc::clone(&done[position[&i]].1.extent);
+        match std::mem::replace(plan, Plan::Fresh) {
             Plan::Fresh => {}
             Plan::Full => {
-                refresh_one_full(db, views, i, stats);
+                stats.full_reevaluations += 1;
+                let candidates = initial_candidates(db, &view.definition);
+                stats.candidates_examined += candidates.len() as u64;
+                stats.memberships_evaluated += candidates.len() as u64;
+                let extension: BTreeSet<ObjId> = candidates
+                    .into_iter()
+                    .filter(|&object| is_member(db, &view.definition, object))
+                    .collect();
+                view.extent = Arc::new(extension);
             }
             Plan::Candidates(candidates) => {
-                if let Some(rep) = views[i].equiv {
+                if let Some(rep) = view.equiv {
                     // Σ-equivalent peers share the representative's
                     // extension in every state, so the representative's
                     // (already refreshed) verdict decides each candidate
-                    // without evaluation — and without cloning the whole
-                    // extension when nothing was touched.
+                    // without evaluation — and without unsharing the
+                    // peer's extension when nothing actually changed.
                     stats.candidates_examined += candidates.len() as u64;
                     stats.lattice_prunes += candidates.len() as u64;
-                    let verdicts: Vec<(ObjId, bool)> = candidates
-                        .into_iter()
-                        .map(|object| (object, views[rep].extent.contains(&object)))
-                        .collect();
-                    for (object, member) in verdicts {
-                        if member {
-                            views[i].extent.insert(object);
-                        } else {
-                            views[i].extent.remove(&object);
-                        }
+                    let rep_extent = extent_of(done, rep);
+                    for object in candidates {
+                        apply_verdict(view, object, rep_extent.contains(&object));
                     }
                 } else {
-                    refresh_one_incremental(db, views, i, candidates, stats);
+                    for object in candidates {
+                        stats.candidates_examined += 1;
+                        let pruned = view
+                            .parents
+                            .iter()
+                            .any(|&p| !done[position[&p]].1.extent.contains(&object));
+                        let member = if pruned {
+                            stats.lattice_prunes += 1;
+                            false
+                        } else {
+                            stats.memberships_evaluated += 1;
+                            is_member(db, &view.definition, object)
+                        };
+                        apply_verdict(view, object, member);
+                    }
                 }
             }
         }
-        views[i].fresh_as_of = now;
-        views[i].force_refresh = false;
+        view.fresh_as_of = now;
+        view.force_refresh = false;
     }
 }
 
-/// Re-checks the candidates of one (non-peer) view, pruning through its
-/// Hasse parents before evaluating.
-fn refresh_one_incremental(
-    db: &Database,
-    views: &mut [MaterializedView],
-    i: usize,
-    candidates: BTreeSet<ObjId>,
-    stats: &mut MaintenanceStats,
-) {
-    if candidates.is_empty() {
-        return;
+/// Applies one membership verdict to a view's extension, unsharing the
+/// copy-on-write set only when the verdict actually changes it.
+fn apply_verdict(view: &mut MaterializedView, object: ObjId, member: bool) {
+    if member != view.extent.contains(&object) {
+        let extent = Arc::make_mut(&mut view.extent);
+        if member {
+            extent.insert(object);
+        } else {
+            extent.remove(&object);
+        }
     }
-    let mut verdicts: Vec<(ObjId, bool)> = Vec::with_capacity(candidates.len());
-    {
-        let view = &views[i];
-        for &object in &candidates {
-            stats.candidates_examined += 1;
-            let pruned = view
-                .parents
-                .iter()
-                .any(|&p| !views[p].extent.contains(&object));
-            if pruned {
-                stats.lattice_prunes += 1;
-                verdicts.push((object, false));
-            } else {
-                stats.memberships_evaluated += 1;
-                verdicts.push((object, is_member(db, &view.definition, object)));
+}
+
+/// The weakly-connected component label of every view: union-find over
+/// the Hasse child edges and the equivalence links — the only cross-view
+/// edges a refresh ever reads through.
+fn components(views: &[MaterializedView]) -> Vec<usize> {
+    let n = views.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    for (i, view) in views.iter().enumerate() {
+        for &c in &view.children {
+            if c < n {
+                union(&mut parent, i, c);
+            }
+        }
+        if let Some(rep) = view.equiv {
+            if rep < n {
+                union(&mut parent, i, rep);
             }
         }
     }
-    for (object, member) in verdicts {
-        if member {
-            views[i].extent.insert(object);
-        } else {
-            views[i].extent.remove(&object);
+    (0..n).map(|i| find(&mut parent, i)).collect()
+}
+
+/// The views a delta can possibly affect: the dependency-index lookup
+/// shared by the propagator's routing loop and the empty-refresh pre-scan
+/// ([`routes_nothing`]). `AddObject` additionally reaches every volatile
+/// view: constraints may resolve objects by name, and creation changes
+/// that resolution even before any class or attribute is asserted.
+fn affected_views<'a>(index: &'a DependencyIndex, delta: &Delta) -> (&'a [usize], &'a [usize]) {
+    let empty: &[usize] = &[];
+    match delta {
+        Delta::AddObject { .. } => (index.unrestricted_views(), index.volatile_views()),
+        Delta::AssertClass { class, .. } | Delta::RetractClass { class, .. } => {
+            (index.views_on_class(class), empty)
+        }
+        Delta::AssertAttr { attribute, .. } | Delta::RetractAttr { attribute, .. } => {
+            (index.views_on_attr(attribute), empty)
         }
     }
 }
 
-/// Re-evaluates one view from scratch (the oracle semantics).
-fn refresh_one_full(
-    db: &Database,
-    views: &mut [MaterializedView],
-    i: usize,
-    stats: &mut MaintenanceStats,
-) {
-    stats.full_reevaluations += 1;
-    let extension: BTreeSet<ObjId> = {
-        let definition = &views[i].definition;
-        let candidates = initial_candidates(db, definition);
-        stats.candidates_examined += candidates.len() as u64;
-        stats.memberships_evaluated += candidates.len() as u64;
-        candidates
-            .into_iter()
-            .filter(|&object| is_member(db, definition, object))
-            .collect()
+/// Whether the unseen suffix of the delta log routes **zero** stale views
+/// through the dependency index — the condition under which
+/// [`ViewCatalog::refresh`](crate::views::ViewCatalog::refresh) returns
+/// without touching any view state (no write lock, no allocation beyond
+/// this scan). `false` as soon as any stale view needs work: a routed
+/// delta, a snapshot beyond the log's reach, or a forced refresh (which
+/// the caller checks).
+pub fn routes_nothing(db: &Database, views: &[MaterializedView], index: &DependencyIndex) -> bool {
+    debug_assert_eq!(index.len(), views.len());
+    let now = db.data_version();
+    let base = db.delta_log().base_version();
+    let mut min_snapshot = now;
+    for view in views {
+        if view.fresh_as_of >= now {
+            continue;
+        }
+        if view.fresh_as_of < base {
+            return false; // Needs a full re-evaluation: the log is gone.
+        }
+        min_snapshot = min_snapshot.min(view.fresh_as_of);
+    }
+    if min_snapshot >= now {
+        return true;
+    }
+    let Some(replay) = db.delta_log().since(min_snapshot) else {
+        return false;
     };
-    views[i].extent = extension;
+    for (version, delta) in replay {
+        let (affected, also) = affected_views(index, delta);
+        for &i in affected.iter().chain(also) {
+            if views[i].fresh_as_of < version {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// The processing order: classified representatives in topological order

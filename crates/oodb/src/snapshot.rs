@@ -1,0 +1,337 @@
+//! Snapshot-isolated concurrent reads: immutable published states and
+//! lock-free reader handles.
+//!
+//! The engine follows the writer/reader asymmetry of the paper's serving
+//! scenario (and of the deductive-database integrity-checking literature):
+//! mutations are rare and funnel through the single writer
+//! ([`OptimizedDatabase`]), reads dominate and must scale with cores. The
+//! split is:
+//!
+//! * the **writer** mutates its state in place, brings the materialized
+//!   views up to date (incrementally and, across independent lattice
+//!   components, in parallel — see [`crate::maintain::propagate`]), and
+//!   then *publishes* the result as one [`Snapshot`] with a single atomic
+//!   swap ([`OptimizedDatabase::publish_snapshot`]);
+//! * any number of **readers** ([`Reader`]) hold an `Arc` of a published
+//!   snapshot and answer plans, view probes, and query executions against
+//!   it with **no locking and no `&mut` on any shared structure** — a
+//!   reader that keeps serving an old snapshot simply observes an older,
+//!   internally consistent state (snapshot isolation; there is no
+//!   write-write concurrency to reason about).
+//!
+//! Publishing is cheap because every bulky component is copy-on-write at
+//! shard granularity: the store clones per-class/per-attribute `Arc`
+//! shards ([`crate::store`]), the catalog clones per-view `Arc`'d
+//! definitions and extensions ([`crate::views::MaterializedView`]), and
+//! the translation (vocabulary, term arena, schema) is frozen into an
+//! `Arc` that is rebuilt only when the writer actually interned new
+//! concepts.
+//!
+//! # Subsumption caching across threads
+//!
+//! `ConceptId`s are indexes into a hash-consed, append-only arena. A
+//! reader clones the frozen arena once and interns locally, so ids below
+//! the frozen concept count denote identical terms in *every* clone —
+//! those pairs go through the snapshot's shared, sharded
+//! [`SharedSubsumptionMemo`]; pairs involving a locally interned concept
+//! stay in the reader's small private [`SubsumptionCache`] (which also
+//! keeps the saturated fact closures, LRU-capped). The writer probes with
+//! the same memo, so query shapes it has planned are pre-warmed for every
+//! reader.
+
+use crate::eval::{evaluate_query_over, initial_candidates};
+use crate::optimizer::{ExecutionStats, QueryPlan};
+use crate::store::{Database, ObjId};
+use crate::views::{traverse_lattice, MaterializedView};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
+use subq_calculus::{SharedSubsumptionMemo, SubsumptionCache, SubsumptionChecker};
+use subq_concepts::schema::Schema;
+use subq_concepts::symbol::Vocabulary;
+use subq_concepts::term::{ConceptId, TermArena};
+use subq_dl::QueryClassDecl;
+use subq_translate::{translate_query, TranslatedModel};
+
+#[cfg(doc)]
+use crate::optimizer::OptimizedDatabase;
+
+/// The frozen structural translation a snapshot carries: everything a
+/// reader needs to translate and probe queries, cloned from the writer's
+/// `TranslatedModel` at publish time (and only when it changed).
+#[derive(Debug)]
+pub struct FrozenTranslation {
+    /// The vocabulary shared by the schema and all published concepts.
+    pub vocabulary: Vocabulary,
+    /// The term arena holding all published concepts (readers clone it
+    /// and intern on top).
+    pub arena: TermArena,
+    /// The SL schema Σ.
+    pub schema: Schema,
+    /// Pre-translated query-class concepts, by name.
+    pub queries: HashMap<String, ConceptId>,
+}
+
+impl FrozenTranslation {
+    pub(crate) fn of(translated: &TranslatedModel) -> Self {
+        FrozenTranslation {
+            vocabulary: translated.vocabulary.clone(),
+            arena: translated.arena.clone(),
+            schema: translated.schema.clone(),
+            queries: translated.queries.clone(),
+        }
+    }
+
+    /// Concept ids below this bound are shared-arena ids, identical in
+    /// every reader clone — the bound of the shared subsumption memo.
+    pub fn shared_bound(&self) -> usize {
+        self.arena.concept_count()
+    }
+}
+
+/// One published, immutable, internally consistent state: the database at
+/// a data version together with view extensions that are exactly the
+/// scratch evaluations of their definitions at that version.
+#[derive(Debug)]
+pub struct Snapshot {
+    pub(crate) db: Database,
+    pub(crate) views: Vec<MaterializedView>,
+    pub(crate) translated: Arc<FrozenTranslation>,
+    pub(crate) memo: Arc<SharedSubsumptionMemo>,
+}
+
+impl Snapshot {
+    /// The database state of this snapshot.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The materialized views, in catalog order, with their lattice
+    /// edges.
+    pub fn views(&self) -> &[MaterializedView] {
+        &self.views
+    }
+
+    /// One view by name.
+    pub fn view(&self, name: &str) -> Option<&MaterializedView> {
+        self.views.iter().find(|v| v.definition.name == name)
+    }
+
+    /// The data version this snapshot was published at.
+    pub fn data_version(&self) -> u64 {
+        self.db.data_version()
+    }
+
+    /// The schema version this snapshot was published at.
+    pub fn schema_version(&self) -> u64 {
+        self.db.schema_version()
+    }
+
+    /// The frozen translation.
+    pub fn translated(&self) -> &FrozenTranslation {
+        &self.translated
+    }
+
+    /// `(hits, misses)` of the shared subsumption memo attached to this
+    /// snapshot's schema epoch.
+    pub fn shared_memo_stats(&self) -> (u64, u64) {
+        self.memo.stats()
+    }
+}
+
+/// The publication point: the writer swaps a new [`Snapshot`] in, readers
+/// take `Arc` clones out. The lock is held only for the pointer swap /
+/// pointer clone — never while planning or evaluating — so it is a
+/// handover point, not a serialization point.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotCell {
+    pub(crate) fn new(snapshot: Arc<Snapshot>) -> Self {
+        SnapshotCell {
+            current: RwLock::new(snapshot),
+        }
+    }
+
+    /// The latest published snapshot.
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.current.read().expect("snapshot cell poisoned").clone()
+    }
+
+    pub(crate) fn store(&self, snapshot: Arc<Snapshot>) {
+        *self.current.write().expect("snapshot cell poisoned") = snapshot;
+    }
+}
+
+/// A read handle over published snapshots: plans, probes, and executes
+/// queries with zero locking and no `&mut` on shared state.
+///
+/// A reader owns private clones of the frozen vocabulary and arena (so
+/// translating an unseen query interns locally, without touching the
+/// writer) plus a private [`SubsumptionCache`]; verdicts about
+/// shared-arena concept pairs flow through the snapshot's
+/// [`SharedSubsumptionMemo`], so readers warm each other. The handle
+/// pins one snapshot until [`Reader::sync`] adopts a newer one —
+/// in-between, every answer is consistent with the pinned state.
+///
+/// Readers are independent: create one per thread
+/// ([`OptimizedDatabase::reader`]); the creation cost is the clone of the
+/// frozen arena and vocabulary.
+pub struct Reader {
+    cell: Arc<SnapshotCell>,
+    snapshot: Arc<Snapshot>,
+    vocabulary: Vocabulary,
+    arena: TermArena,
+    cache: SubsumptionCache,
+    shared_bound: usize,
+}
+
+impl Reader {
+    pub(crate) fn new(cell: Arc<SnapshotCell>) -> Self {
+        let snapshot = cell.load();
+        let translated = &snapshot.translated;
+        let (vocabulary, arena) = (translated.vocabulary.clone(), translated.arena.clone());
+        let shared_bound = translated.shared_bound();
+        Reader {
+            cell,
+            snapshot,
+            vocabulary,
+            arena,
+            cache: SubsumptionCache::new(),
+            shared_bound,
+        }
+    }
+
+    /// The snapshot this reader currently answers from.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// The data version of the pinned snapshot.
+    pub fn data_version(&self) -> u64 {
+        self.snapshot.data_version()
+    }
+
+    /// Read access to the pinned database state.
+    pub fn database(&self) -> &Database {
+        self.snapshot.database()
+    }
+
+    /// Adopts the latest published snapshot; returns whether it changed.
+    /// When the new snapshot carries a different frozen translation (the
+    /// writer interned new concepts or re-translated after a schema
+    /// change), the private arena, vocabulary, and cache are rebuilt —
+    /// locally interned ids would otherwise collide with the new shared
+    /// prefix. Data-only publications keep all private state.
+    pub fn sync(&mut self) -> bool {
+        let latest = self.cell.load();
+        if Arc::ptr_eq(&latest, &self.snapshot) {
+            return false;
+        }
+        if !Arc::ptr_eq(&latest.translated, &self.snapshot.translated) {
+            self.vocabulary = latest.translated.vocabulary.clone();
+            self.arena = latest.translated.arena.clone();
+            self.shared_bound = latest.translated.shared_bound();
+            self.cache.clear();
+        }
+        self.snapshot = latest;
+        true
+    }
+
+    /// `(hits, misses)` of this reader's private subsumption cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Plans a query against the pinned snapshot's view lattice — the
+    /// same root-down, prune-on-failure traversal as
+    /// [`OptimizedDatabase::plan`], but over the immutable published view
+    /// list: no catalog lock, no classification pass (published views are
+    /// classified), no writer involvement.
+    pub fn plan(&mut self, query: &QueryClassDecl) -> QueryPlan {
+        let snapshot = Arc::clone(&self.snapshot);
+        let query_concept = match translate_query(
+            query,
+            snapshot.db.model(),
+            &mut self.vocabulary,
+            &mut self.arena,
+        ) {
+            Ok(concept) => concept,
+            Err(_) => return QueryPlan::default(),
+        };
+        let checker = SubsumptionChecker::new(&snapshot.translated.schema);
+        let arena = &mut self.arena;
+        let cache = &mut self.cache;
+        let bound = self.shared_bound;
+        let (hits_before, misses_before) = cache.stats();
+        let (saturations_before, _) = cache.saturation_stats();
+        let traversal = traverse_lattice(&snapshot.views, |view_concept| {
+            checker.subsumes_shared(
+                arena,
+                query_concept,
+                view_concept,
+                cache,
+                &snapshot.memo,
+                bound,
+            )
+        });
+        let (hits_after, misses_after) = cache.stats();
+        let (saturations_after, _) = cache.saturation_stats();
+        let mut subsuming = traversal.frontier;
+        subsuming.sort_by_key(|(_, size)| *size);
+        QueryPlan {
+            chosen_view: subsuming.first().map(|(name, _)| name.clone()),
+            subsuming_views: subsuming.into_iter().map(|(name, _)| name).collect(),
+            cached_probes: (hits_after - hits_before) as usize,
+            fresh_probes: (misses_after - misses_before) as usize,
+            fact_saturations: (saturations_after - saturations_before) as usize,
+            probes_pruned: traversal.pruned,
+            lattice_depth: traversal.depth,
+        }
+    }
+
+    /// Executes a query against the pinned snapshot: plans, filters the
+    /// chosen subsuming view's stored extension, and falls back to a full
+    /// evaluation when no view subsumes — all over immutable state.
+    pub fn execute(&mut self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
+        let plan = self.plan(query);
+        let snapshot = Arc::clone(&self.snapshot);
+        match plan
+            .chosen_view
+            .as_deref()
+            .and_then(|name| snapshot.view(name))
+        {
+            Some(view) => {
+                let answers = evaluate_query_over(&snapshot.db, query, Some(&view.extent));
+                let stats = ExecutionStats {
+                    candidates_examined: view.extent.len(),
+                    used_view: Some(view.definition.name.clone()),
+                    answers: answers.len(),
+                };
+                (answers, stats)
+            }
+            None => self.execute_unoptimized(query),
+        }
+    }
+
+    /// Executes a query against the pinned snapshot without using any
+    /// materialized view.
+    pub fn execute_unoptimized(&self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
+        let candidates = initial_candidates(&self.snapshot.db, query);
+        let answers = evaluate_query_over(&self.snapshot.db, query, Some(&candidates));
+        let stats = ExecutionStats {
+            candidates_examined: candidates.len(),
+            used_view: None,
+            answers: answers.len(),
+        };
+        (answers, stats)
+    }
+
+    /// Whether one object is an answer of the query in the pinned
+    /// snapshot (the membership check of [`crate::eval::is_member`], over
+    /// immutable state).
+    pub fn is_member(&self, query: &QueryClassDecl, object: ObjId) -> bool {
+        crate::eval::is_member(&self.snapshot.db, query, object)
+    }
+}

@@ -22,9 +22,11 @@
 //! maintainer can walk paths backwards when computing candidate objects.
 
 use crate::maintain::{Delta, DeltaLog};
-use fxhash::{FxHashMap, FxHashSet};
-use std::collections::{BTreeSet, HashMap};
+use fxhash::{FxHashMap, FxHashSet, FxHasher};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::Hasher;
+use std::sync::Arc;
 use subq_dl::{DlModel, PathFilter};
 
 /// An object identifier.
@@ -112,6 +114,12 @@ struct AttrIndex {
 }
 
 impl AttrIndex {
+    fn contains(&self, from: ObjId, to: ObjId) -> bool {
+        self.forward
+            .get(&from)
+            .is_some_and(|values| values.contains(&to))
+    }
+
     fn insert(&mut self, from: ObjId, to: ObjId) -> bool {
         if self.forward.entry(from).or_default().insert(to) {
             self.reverse.entry(to).or_default().insert(from);
@@ -149,16 +157,89 @@ impl AttrIndex {
 /// [`Database`] without affecting correctness.
 const DELTA_LOG_CAP: usize = 1 << 16;
 
+/// Objects per copy-on-write chunk of the name table.
+const NAME_CHUNK: usize = 512;
+
+/// Copy-on-write shards of the name → id index.
+const NAME_SHARDS: usize = 32;
+
+/// The object name table, chunked so that a clone shares all full chunks
+/// and appending after a clone copies at most [`NAME_CHUNK`] names.
+#[derive(Clone, Debug, Default)]
+struct ObjectNames {
+    chunks: Vec<Arc<Vec<String>>>,
+    len: usize,
+}
+
+impl ObjectNames {
+    fn push(&mut self, name: String) {
+        if self.len.is_multiple_of(NAME_CHUNK) {
+            self.chunks.push(Arc::new(Vec::with_capacity(NAME_CHUNK)));
+        }
+        Arc::make_mut(self.chunks.last_mut().expect("pushed above")).push(name);
+        self.len += 1;
+    }
+
+    fn get(&self, index: usize) -> &str {
+        &self.chunks[index / NAME_CHUNK][index % NAME_CHUNK]
+    }
+}
+
+/// The name → id index, sharded by name hash so that a clone shares every
+/// shard and an insertion after a clone copies one shard (1/[`NAME_SHARDS`]
+/// of the objects), not the whole map.
+#[derive(Clone, Debug)]
+struct NameIndex {
+    shards: Vec<Arc<FxHashMap<String, ObjId>>>,
+}
+
+impl Default for NameIndex {
+    fn default() -> Self {
+        NameIndex {
+            shards: std::iter::repeat_with(|| Arc::new(FxHashMap::default()))
+                .take(NAME_SHARDS)
+                .collect(),
+        }
+    }
+}
+
+impl NameIndex {
+    fn shard_of(name: &str) -> usize {
+        let mut hasher = FxHasher::default();
+        hasher.write(name.as_bytes());
+        (hasher.finish() as usize) % NAME_SHARDS
+    }
+
+    fn get(&self, name: &str) -> Option<ObjId> {
+        self.shards[Self::shard_of(name)].get(name).copied()
+    }
+
+    fn insert(&mut self, name: String, id: ObjId) {
+        Arc::make_mut(&mut self.shards[Self::shard_of(&name)]).insert(name, id);
+    }
+}
+
 /// An in-memory database state over a DL model.
+///
+/// Every bulky component — the model, the name table, the name index, and
+/// each per-class extent and per-attribute index — sits behind its own
+/// [`Arc`] shard, so `Database::clone` is proportional to the number of
+/// *shards* (classes + attributes + name chunks), not to the number of
+/// objects or assertions, and a mutation after a clone copies only the
+/// shard it touches. This is what makes publishing a read
+/// [`Snapshot`](crate::snapshot::Snapshot) after a small transaction
+/// cheap.
 #[derive(Clone, Debug)]
 pub struct Database {
-    model: DlModel,
-    object_names: Vec<String>,
-    object_by_name: HashMap<String, ObjId>,
-    /// Explicit (and upward-propagated) class memberships.
-    extents: FxHashMap<String, BTreeSet<ObjId>>,
-    /// Attribute assertions in the primitive direction, indexed both ways.
-    attrs: FxHashMap<String, AttrIndex>,
+    model: Arc<DlModel>,
+    object_names: ObjectNames,
+    object_by_name: NameIndex,
+    /// Explicit (and upward-propagated) class memberships, one
+    /// copy-on-write shard per class.
+    extents: FxHashMap<String, Arc<BTreeSet<ObjId>>>,
+    /// Attribute assertions in the primitive direction, indexed both
+    /// ways, one copy-on-write shard per attribute.
+    attrs: FxHashMap<String, Arc<AttrIndex>>,
     /// Bumped whenever the model is mutated through [`Database::model_mut`];
     /// lets wrappers (the optimizer) detect schema changes and drop any
     /// state derived from the old model.
@@ -171,9 +252,9 @@ impl Database {
     /// Creates an empty state over the given model.
     pub fn new(model: DlModel) -> Self {
         Database {
-            model,
-            object_names: Vec::new(),
-            object_by_name: HashMap::new(),
+            model: Arc::new(model),
+            object_names: ObjectNames::default(),
+            object_by_name: NameIndex::default(),
             extents: FxHashMap::default(),
             attrs: FxHashMap::default(),
             schema_version: 0,
@@ -192,7 +273,7 @@ impl Database {
     /// verdicts, saturated queries) must be recomputed.
     pub fn model_mut(&mut self) -> &mut DlModel {
         self.schema_version += 1;
-        &mut self.model
+        Arc::make_mut(&mut self.model)
     }
 
     /// The current schema version (0 until the first [`Database::model_mut`]).
@@ -221,6 +302,32 @@ impl Database {
         &self.log
     }
 
+    /// A clone for publication as an immutable read snapshot: shares
+    /// every copy-on-write shard like `Clone` does, but carries an
+    /// **empty** delta log at the same data version — readers never
+    /// replay the log, and the retained entries (Strings per delta) are
+    /// the one component a plain clone would deep-copy.
+    pub fn snapshot_clone(&self) -> Self {
+        let mut clone = self.clone_without_log();
+        clone.log = DeltaLog::at_version(self.log.version());
+        clone
+    }
+
+    /// `Clone` minus the log entries (helper for
+    /// [`Database::snapshot_clone`]; the log field is overwritten by the
+    /// caller, so an empty placeholder avoids the entry deep-copy).
+    fn clone_without_log(&self) -> Self {
+        Database {
+            model: self.model.clone(),
+            object_names: self.object_names.clone(),
+            object_by_name: self.object_by_name.clone(),
+            extents: self.extents.clone(),
+            attrs: self.attrs.clone(),
+            schema_version: self.schema_version,
+            log: DeltaLog::new(),
+        }
+    }
+
     /// Drops log entries with `data_version <= through`; call with the
     /// oldest version any view maintainer still needs (see
     /// [`DeltaLog::truncate_through`]).
@@ -230,10 +337,10 @@ impl Database {
 
     /// Creates (or finds) an object by name.
     pub fn add_object(&mut self, name: &str) -> ObjId {
-        if let Some(&id) = self.object_by_name.get(name) {
+        if let Some(id) = self.object_by_name.get(name) {
             return id;
         }
-        let id = ObjId(self.object_names.len() as u32);
+        let id = ObjId(self.object_names.len as u32);
         self.object_names.push(name.to_owned());
         self.object_by_name.insert(name.to_owned(), id);
         self.record(Delta::AddObject { object: id });
@@ -242,22 +349,22 @@ impl Database {
 
     /// Looks up an object by name.
     pub fn object(&self, name: &str) -> Option<ObjId> {
-        self.object_by_name.get(name).copied()
+        self.object_by_name.get(name)
     }
 
     /// The name of an object.
     pub fn object_name(&self, id: ObjId) -> &str {
-        &self.object_names[id.index()]
+        self.object_names.get(id.index())
     }
 
     /// Number of objects.
     pub fn object_count(&self) -> usize {
-        self.object_names.len()
+        self.object_names.len
     }
 
     /// All objects.
     pub fn objects(&self) -> impl Iterator<Item = ObjId> + '_ {
-        (0..self.object_names.len() as u32).map(ObjId)
+        (0..self.object_names.len as u32).map(ObjId)
     }
 
     /// Asserts that an object is an instance of a class; membership is
@@ -271,10 +378,7 @@ impl Database {
         {
             return;
         }
-        self.extents
-            .entry(class.to_owned())
-            .or_default()
-            .insert(object);
+        Arc::make_mut(self.extents.entry(class.to_owned()).or_default()).insert(object);
         self.record(Delta::AssertClass {
             object,
             class: class.to_owned(),
@@ -323,8 +427,9 @@ impl Database {
         };
         for name in affected {
             let removed = match self.extents.get_mut(&name) {
-                Some(ext) => ext.remove(&object),
-                None => false,
+                // Probe before `make_mut`: a miss must not copy the shard.
+                Some(ext) if ext.contains(&object) => Arc::make_mut(ext).remove(&object),
+                _ => false,
             };
             if removed {
                 self.record(Delta::RetractClass {
@@ -339,7 +444,9 @@ impl Database {
     /// primitive direction. Logged when the pair is new.
     pub fn assert_attr(&mut self, from: ObjId, attribute: &str, to: ObjId) {
         let (name, (from, to)) = self.resolve_pair(attribute, from, to);
-        if self.attrs.entry(name.clone()).or_default().insert(from, to) {
+        let index = self.attrs.entry(name.clone()).or_default();
+        // Probe before `make_mut`: a re-assertion must not copy the shard.
+        if !index.contains(from, to) && Arc::make_mut(index).insert(from, to) {
             self.record(Delta::AssertAttr {
                 from,
                 attribute: name,
@@ -353,8 +460,9 @@ impl Database {
     pub fn retract_attr(&mut self, from: ObjId, attribute: &str, to: ObjId) {
         let (name, (from, to)) = self.resolve_pair(attribute, from, to);
         let removed = match self.attrs.get_mut(&name) {
-            Some(index) => index.remove(from, to),
-            None => false,
+            // Probe before `make_mut`: a miss must not copy the shard.
+            Some(index) if index.contains(from, to) => Arc::make_mut(index).remove(from, to),
+            _ => false,
         };
         if removed {
             self.record(Delta::RetractAttr {
@@ -392,7 +500,7 @@ impl Database {
     /// was ever asserted into it) — the maintained index behind
     /// [`Database::class_extent`], for hot read paths.
     pub fn class_extent_ref(&self, class: &str) -> Option<&BTreeSet<ObjId>> {
-        self.extents.get(class)
+        self.extents.get(class).map(Arc::as_ref)
     }
 
     /// The primitive name and direction behind a possibly-synonym

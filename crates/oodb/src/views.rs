@@ -40,21 +40,27 @@
 //! relation itself may then change); data updates never touch it.
 
 use crate::eval::evaluate_query;
-use crate::maintain::{refresh_views, DependencyIndex, MaintenanceStats};
+use crate::maintain::{refresh_views, routes_nothing, DependencyIndex, MaintenanceStats};
 use crate::store::{Database, ObjId};
 use std::collections::BTreeSet;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use subq_concepts::term::ConceptId;
 use subq_dl::QueryClassDecl;
 
 /// A materialized view: a structural query class together with its stored
 /// extension and its position in the catalog's subsumption lattice.
+///
+/// The definition and the extension sit behind [`Arc`]s, so cloning a
+/// view — and with it the whole catalog, when a read
+/// [`Snapshot`](crate::snapshot::Snapshot) is published — shares the
+/// bulky parts; a refresh that changes an extension unshares just that
+/// one (`Arc::make_mut`).
 #[derive(Clone, Debug)]
 pub struct MaterializedView {
     /// The view definition (a query class without a constraint clause).
-    pub definition: QueryClassDecl,
+    pub definition: Arc<QueryClassDecl>,
     /// The stored extension.
-    pub extent: BTreeSet<ObjId>,
+    pub extent: Arc<BTreeSet<ObjId>>,
     /// The [`Database::data_version`] the extension reflects: the view is
     /// fresh iff `fresh_as_of == db.data_version()`, and a refresh replays
     /// exactly the deltas after this version.
@@ -167,8 +173,20 @@ struct MaintState {
     indexed_views: usize,
     /// Schema version the index was built against.
     indexed_schema: u64,
+    /// Data version up to which the log suffix is known to route **zero**
+    /// views (see [`ViewCatalog::refresh`]'s empty-refresh early return):
+    /// views may lag behind it by `fresh_as_of` without being stale in
+    /// substance. Reset when the index is rebuilt.
+    routed_through: u64,
     stats: MaintenanceStats,
 }
+
+/// How far (in data versions) views may lag behind a routed-nothing log
+/// suffix before an empty refresh consolidates their `fresh_as_of`
+/// stamps. Small enough that the writer's log truncation keeps the log
+/// (and with it every snapshot clone) bounded by ~this many irrelevant
+/// deltas, large enough that the common empty refresh stays a pure read.
+const ROUTED_LAG_CONSOLIDATE: u64 = 1024;
 
 /// The catalog of materialized views.
 #[derive(Debug, Default)]
@@ -208,8 +226,8 @@ impl ViewCatalog {
         }
         let extent = evaluate_query(db, definition);
         views.push(MaterializedView {
-            definition: definition.clone(),
-            extent,
+            definition: Arc::new(definition.clone()),
+            extent: Arc::new(extent),
             fresh_as_of: db.data_version(),
             force_refresh: false,
             concept: None,
@@ -247,7 +265,7 @@ impl ViewCatalog {
     pub fn summaries(&self) -> Vec<(QueryClassDecl, usize)> {
         self.read()
             .iter()
-            .map(|v| (v.definition.clone(), v.extent.len()))
+            .map(|v| ((*v.definition).clone(), v.extent.len()))
             .collect()
     }
 
@@ -326,51 +344,30 @@ impl ViewCatalog {
     /// is transitive), and the result is the *maximal-specific* subsuming
     /// frontier. Views not yet classified (see
     /// [`ViewCatalog::classify_pending`]) are ignored.
-    pub fn traverse(&self, mut probe: impl FnMut(ConceptId) -> bool) -> LatticeTraversal {
+    pub fn traverse(&self, probe: impl FnMut(ConceptId) -> bool) -> LatticeTraversal {
+        traverse_lattice(&self.read(), probe)
+    }
+
+    /// Depth of the classified lattice (longest root-to-leaf chain,
+    /// counting roots as 1; 0 when nothing is classified) — the depth a
+    /// traversal reports when no probe fails. The flat planner
+    /// ([`OptimizedDatabase::plan_flat`](crate::OptimizedDatabase::plan_flat))
+    /// reports this for counter parity with the lattice planner.
+    pub fn lattice_depth(&self) -> usize {
         let views = self.read();
-        let n = views.len();
-        let mut result = LatticeTraversal::default();
-        // Verdicts per representative: None = not yet decided.
-        let mut subsumed: Vec<Option<bool>> = vec![None; n];
-        let mut depth: Vec<usize> = vec![0; n];
-        // Topological sweep over the representatives so a node is decided
-        // only after all of its parents (diamonds are probed once, after
-        // the *last* parent).
-        let (order, reps) = representative_topo_order(&views);
-        debug_assert_eq!(order.len(), reps, "lattice must be acyclic");
-        let classified_total = views.iter().filter(|v| v.classified).count();
+        let (order, _) = representative_topo_order(&views);
+        let mut depth: Vec<usize> = vec![0; views.len()];
+        let mut max = 0;
         for &i in &order {
-            let view = &views[i];
-            let all_parents_hold = view.parents.iter().all(|&p| subsumed[p] == Some(true));
-            depth[i] = 1 + view.parents.iter().map(|&p| depth[p]).max().unwrap_or(0);
-            let verdict = if all_parents_hold {
-                result.probes += 1;
-                result.depth = result.depth.max(depth[i]);
-                probe(views[i].concept.expect("classified views have concepts"))
-            } else {
-                false
-            };
-            subsumed[i] = Some(verdict);
-        }
-        result.pruned = classified_total - result.probes;
-        // The frontier: subsuming representatives none of whose children
-        // subsume, expanded by their equivalence peers.
-        for (i, view) in views.iter().enumerate() {
-            let rep = view.equiv.unwrap_or(i);
-            if !view.classified || subsumed[rep] != Some(true) {
-                continue;
-            }
-            let maximal_specific = views[rep]
-                .children
+            depth[i] = 1 + views[i]
+                .parents
                 .iter()
-                .all(|&c| subsumed[c] != Some(true));
-            if maximal_specific {
-                result
-                    .frontier
-                    .push((view.definition.name.clone(), view.extent.len()));
-            }
+                .map(|&p| depth[p])
+                .max()
+                .unwrap_or(0);
+            max = max.max(depth[i]);
         }
-        result
+        max
     }
 
     /// Structural invariants of the lattice, as human-readable violations
@@ -537,18 +534,57 @@ impl ViewCatalog {
             return;
         }
         let mut maint = self.maint.write().expect("maintenance lock poisoned");
-        let mut views = self.write();
-        let index_stale = maint.index.is_none()
-            || maint.indexed_views != views.len()
-            || maint.indexed_schema != db.schema_version();
-        if index_stale {
-            maint.index = Some(DependencyIndex::build(
-                db.model(),
-                views.iter().map(|v| &v.definition),
-            ));
-            maint.indexed_views = views.len();
-            maint.indexed_schema = db.schema_version();
+        {
+            let views = self.read();
+            let index_stale = maint.index.is_none()
+                || maint.indexed_views != views.len()
+                || maint.indexed_schema != db.schema_version();
+            if index_stale {
+                maint.index = Some(DependencyIndex::build(
+                    db.model(),
+                    views.iter().map(|v| v.definition.as_ref()),
+                ));
+                maint.indexed_views = views.len();
+                maint.indexed_schema = db.schema_version();
+                maint.routed_through = 0;
+            }
+            let forced = views.iter().any(|v| v.force_refresh);
+            // Empty-refresh early return: when the unseen log suffix
+            // routes **zero** views through the dependency index (and no
+            // view is forced or beyond the log's reach), no view state is
+            // touched at all — no write lock, no candidate sets, no
+            // per-view bookkeeping. The scanned-through version is cached
+            // so the next refresh does not even re-scan the suffix.
+            if !forced && maint.routed_through >= now {
+                return;
+            }
+            let index = maint.index.as_ref().expect("index built above");
+            if !forced && routes_nothing(db, &views, index) {
+                maint.routed_through = now;
+                maint.stats.empty_refreshes += 1;
+                // Consolidate once the lag grows: views that are fresh in
+                // substance but lag by version hold back the writer's log
+                // truncation (the log would grow toward its cap, bloat
+                // snapshot clones, and eventually force full
+                // re-evaluations when the cap drops entries). Bumping
+                // `fresh_as_of` is sound — the whole suffix routes
+                // nothing to them — and costs one u64 store per view, no
+                // allocation, no evaluation.
+                let lag = views
+                    .iter()
+                    .map(|v| now.saturating_sub(v.fresh_as_of))
+                    .max()
+                    .unwrap_or(0);
+                if lag > ROUTED_LAG_CONSOLIDATE {
+                    drop(views);
+                    for view in self.write().iter_mut() {
+                        view.fresh_as_of = now;
+                    }
+                }
+                return;
+            }
         }
+        let mut views = self.write();
         let MaintState { index, stats, .. } = &mut *maint;
         refresh_views(
             db,
@@ -556,6 +592,7 @@ impl ViewCatalog {
             index.as_ref().expect("index built above"),
             stats,
         );
+        maint.routed_through = now;
     }
 
     /// Re-evaluates every stale view from scratch — the maintenance
@@ -565,7 +602,7 @@ impl ViewCatalog {
         let now = db.data_version();
         for view in self.write().iter_mut() {
             if view.force_refresh || view.fresh_as_of < now {
-                view.extent = evaluate_query(db, &view.definition);
+                view.extent = Arc::new(evaluate_query(db, &view.definition));
                 view.fresh_as_of = now;
                 view.force_refresh = false;
             }
@@ -593,6 +630,61 @@ impl ViewCatalog {
     pub fn is_empty(&self) -> bool {
         self.read().is_empty()
     }
+}
+
+/// One lattice traversal over a slice of views — the shared engine behind
+/// [`ViewCatalog::traverse`] (under the catalog's read lock) and the
+/// lock-free planning of a published [`Snapshot`](crate::snapshot::Snapshot)
+/// (over its immutable view list). Probes run root-down; a failed probe
+/// prunes the whole sub-DAG below it; the result is the maximal-specific
+/// subsuming frontier.
+pub(crate) fn traverse_lattice(
+    views: &[MaterializedView],
+    mut probe: impl FnMut(ConceptId) -> bool,
+) -> LatticeTraversal {
+    let n = views.len();
+    let mut result = LatticeTraversal::default();
+    // Verdicts per representative: None = not yet decided.
+    let mut subsumed: Vec<Option<bool>> = vec![None; n];
+    let mut depth: Vec<usize> = vec![0; n];
+    // Topological sweep over the representatives so a node is decided
+    // only after all of its parents (diamonds are probed once, after
+    // the *last* parent).
+    let (order, reps) = representative_topo_order(views);
+    debug_assert_eq!(order.len(), reps, "lattice must be acyclic");
+    let classified_total = views.iter().filter(|v| v.classified).count();
+    for &i in &order {
+        let view = &views[i];
+        let all_parents_hold = view.parents.iter().all(|&p| subsumed[p] == Some(true));
+        depth[i] = 1 + view.parents.iter().map(|&p| depth[p]).max().unwrap_or(0);
+        let verdict = if all_parents_hold {
+            result.probes += 1;
+            result.depth = result.depth.max(depth[i]);
+            probe(views[i].concept.expect("classified views have concepts"))
+        } else {
+            false
+        };
+        subsumed[i] = Some(verdict);
+    }
+    result.pruned = classified_total - result.probes;
+    // The frontier: subsuming representatives none of whose children
+    // subsume, expanded by their equivalence peers.
+    for (i, view) in views.iter().enumerate() {
+        let rep = view.equiv.unwrap_or(i);
+        if !view.classified || subsumed[rep] != Some(true) {
+            continue;
+        }
+        let maximal_specific = views[rep]
+            .children
+            .iter()
+            .all(|&c| subsumed[c] != Some(true));
+        if maximal_specific {
+            result
+                .frontier
+                .push((view.definition.name.clone(), view.extent.len()));
+        }
+    }
+    result
 }
 
 /// The topological order of the classified representatives (parents
@@ -775,7 +867,7 @@ mod tests {
         let stored = catalog.view("ViewPatient").expect("stored");
         assert_eq!(stored.fresh_as_of, db.data_version());
         assert!(!stored.classified);
-        assert_eq!(stored.extent, evaluate_query(&db, view));
+        assert_eq!(*stored.extent, evaluate_query(&db, view));
         assert_eq!(catalog.len(), 1);
         assert_eq!(catalog.view_names(), vec!["ViewPatient".to_owned()]);
     }
@@ -837,7 +929,7 @@ mod tests {
 
         // The incremental result agrees with the full-re-evaluation
         // oracle and with a scratch evaluation.
-        assert_eq!(after.extent, evaluate_query(&db, view));
+        assert_eq!(*after.extent, evaluate_query(&db, view));
         catalog.invalidate();
         catalog.refresh_full(&db);
         assert_eq!(
@@ -874,10 +966,119 @@ mod tests {
         db.truncate_log(db.data_version());
         catalog.refresh(&db);
         assert_eq!(
-            catalog.view("ViewPatient").expect("stored").extent,
+            *catalog.view("ViewPatient").expect("stored").extent,
             evaluate_query(&db, view)
         );
         assert_eq!(catalog.maintenance_stats().full_reevaluations, 2);
+    }
+
+    /// Satellite regression test: a transaction whose deltas route to
+    /// **zero** views through the dependency index must not touch any
+    /// view state — no write lock, no per-view bookkeeping, no
+    /// candidate allocation. The `MaintenanceStats` account for the
+    /// short-circuit, and the scanned-through version is cached so the
+    /// next refresh skips even the scan.
+    #[test]
+    fn refreshes_routing_zero_views_return_early() {
+        let mut db = db();
+        let catalog = ViewCatalog::new();
+        // A view on doctors only: it depends on the `Doctor` extent and
+        // nothing else.
+        let doctors = QueryClassDecl {
+            name: "AllDoctors".into(),
+            is_a: vec!["Doctor".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        catalog.materialize(&db, &doctors).expect("materializes");
+        let fresh_as_of = catalog.view("AllDoctors").expect("stored").fresh_as_of;
+
+        // A transaction that touches only the Disease extent.
+        let measles = db.add_object("measles");
+        db.assert_class(measles, "Disease");
+        assert!(db.data_version() > fresh_as_of);
+
+        let before = catalog.maintenance_stats();
+        catalog.refresh(&db);
+        let after = catalog.maintenance_stats();
+        assert_eq!(after.empty_refreshes, before.empty_refreshes + 1);
+        assert_eq!(after.deltas_applied, before.deltas_applied);
+        assert_eq!(after.candidates_examined, before.candidates_examined);
+        assert_eq!(after.full_reevaluations, before.full_reevaluations);
+        // No view state was touched: the snapshot version is unchanged.
+        let view = catalog.view("AllDoctors").expect("stored");
+        assert_eq!(view.fresh_as_of, fresh_as_of);
+
+        // The second refresh takes the cached-scan fast path: not even a
+        // new empty-refresh pass is recorded.
+        catalog.refresh(&db);
+        assert_eq!(
+            catalog.maintenance_stats().empty_refreshes,
+            after.empty_refreshes
+        );
+
+        // A delta that *does* route to the view still propagates, across
+        // the whole lagging window, and the extension stays correct.
+        let house = db.add_object("house");
+        db.assert_class(house, "Doctor");
+        catalog.refresh(&db);
+        let view = catalog.view("AllDoctors").expect("stored");
+        assert_eq!(view.fresh_as_of, db.data_version());
+        assert_eq!(*view.extent, evaluate_query(&db, &doctors));
+        assert!(view.extent.contains(&house));
+        let stats = catalog.maintenance_stats();
+        assert!(stats.deltas_applied > after.deltas_applied);
+    }
+
+    /// When routed-nothing churn accumulates past the consolidation lag,
+    /// an empty refresh bumps `fresh_as_of` (one u64 store per view, no
+    /// evaluation) so the writer's log truncation is not held back
+    /// forever — without it the log would grow to its cap and eventually
+    /// force full re-evaluations of views that were never affected.
+    #[test]
+    fn long_routed_nothing_churn_consolidates_fresh_as_of() {
+        let mut db = db();
+        let catalog = ViewCatalog::new();
+        let doctors = QueryClassDecl {
+            name: "AllDoctors".into(),
+            is_a: vec!["Doctor".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        catalog.materialize(&db, &doctors).expect("materializes");
+        let start = catalog.view("AllDoctors").expect("stored").fresh_as_of;
+
+        // Irrelevant churn well past the consolidation lag, refreshing
+        // along the way (each refresh is empty).
+        let mut refreshed_at = Vec::new();
+        while db.data_version() < start + super::ROUTED_LAG_CONSOLIDATE + 64 {
+            let obj = db.add_object(&format!("d{}", db.data_version()));
+            db.assert_class(obj, "Disease");
+            if db.data_version().is_multiple_of(256) {
+                catalog.refresh(&db);
+                refreshed_at.push(db.data_version());
+            }
+        }
+        catalog.refresh(&db);
+        let view = catalog.view("AllDoctors").expect("stored");
+        assert!(
+            view.fresh_as_of > start + super::ROUTED_LAG_CONSOLIDATE,
+            "fresh_as_of {} never consolidated past the lag (start {start})",
+            view.fresh_as_of
+        );
+        // Consolidation never evaluated anything, and correctness under a
+        // later *relevant* delta is preserved.
+        let stats = catalog.maintenance_stats();
+        assert_eq!(stats.memberships_evaluated, 0);
+        assert!(stats.empty_refreshes > 0);
+        let house = db.add_object("house");
+        db.assert_class(house, "Doctor");
+        catalog.refresh(&db);
+        let view = catalog.view("AllDoctors").expect("stored");
+        assert_eq!(*view.extent, evaluate_query(&db, &doctors));
+        assert!(view.extent.contains(&house));
     }
 
     /// `invalidate` must force re-derivation even at data version 0,

@@ -61,14 +61,25 @@ fn check_trace(seed: u64, params: ChurnParams, label: &str) -> usize {
             );
             let scratch = evaluate_query(incremental.database(), &inc.definition);
             assert_eq!(
-                inc.extent, scratch,
+                *inc.extent, scratch,
                 "{label}: txn {t}: view {name}: incremental ≠ scratch"
             );
-            assert_eq!(
-                inc.fresh_as_of,
-                incremental.database().data_version(),
-                "{label}: txn {t}: view {name} left stale"
-            );
+            // A refresh that found the log suffix routing zero views
+            // returns without touching view state (PR 5) — including
+            // silently, when a previous pass already scanned through the
+            // current version — so `fresh_as_of` may legitimately lag;
+            // freshness *in substance* is the scratch comparison above.
+            // After a pass that actually propagated (scanned deltas or
+            // re-evaluated in full), every view must be version-fresh.
+            let propagated = after.deltas_applied > before.deltas_applied
+                || after.full_reevaluations > before.full_reevaluations;
+            if propagated {
+                assert_eq!(
+                    inc.fresh_as_of,
+                    incremental.database().data_version(),
+                    "{label}: txn {t}: view {name} left stale"
+                );
+            }
         }
 
         // --- Stats sanity for this pass.
@@ -199,7 +210,7 @@ fn unrestricted_views_see_bare_new_objects() {
     assert_eq!(all_k.extent.len(), 1, "the bare object is not a K");
     for view in [&everything, &all_k] {
         assert_eq!(
-            view.extent,
+            *view.extent,
             evaluate_query(odb.database(), &view.definition)
         );
     }
@@ -258,7 +269,7 @@ fn object_creation_reaches_views_with_name_referencing_constraints() {
         "bare AddObject delta missed the name-referencing constraint"
     );
     assert_eq!(
-        view.extent,
+        *view.extent,
         evaluate_query(odb.database(), &view.definition)
     );
 }
@@ -295,7 +306,7 @@ fn chain_catalogs_prune_through_the_lattice_and_stay_equivalent() {
             for name in &trace.view_names {
                 let view = odb.catalog().view(name).expect("stored");
                 let scratch = evaluate_query(odb.database(), &view.definition);
-                assert_eq!(view.extent, scratch, "seed {seed}: view {name}");
+                assert_eq!(*view.extent, scratch, "seed {seed}: view {name}");
             }
         }
         pruned_total += odb.maintenance_stats().lattice_prunes;
