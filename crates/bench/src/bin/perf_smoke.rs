@@ -15,7 +15,12 @@
 //! * the concurrent read path versus `BENCH_e11.json`: the deterministic
 //!   zero-resaturation invariant on every row and live, plus the
 //!   core-proportional 8-reader throughput bound (the full ≥4× on
-//!   machines with ≥9 cores — see [`e11_checks`]).
+//!   machines with ≥9 cores — see [`e11_checks`]);
+//! * the physical layer versus `BENCH_e12.json`: the ≥5× dense bitmap
+//!   intersection gate (committed and live), the core-proportional
+//!   8-shard scatter-gather bound, the cost-model plan-quality bounds
+//!   (committed and live), and the core-clamped 1M-object p99
+//!   plan+execute bound (see [`e12_checks`]).
 //!
 //! Counters (unlike wall-clock) are deterministic, so these are hard
 //! assertions suitable for CI (with a small slack for intentional
@@ -281,6 +286,160 @@ fn e11_checks(failures: &mut Vec<String>) -> usize {
     checked
 }
 
+/// The E12 physical-layer bounds. Deterministic counters (plan quality)
+/// are re-measured live and hard-asserted; wall-clock properties follow
+/// the E11 scheme — enforced on the committed table proportionally to
+/// the cores it records, and live only where the margin is categorical:
+///
+/// * **intersection**: the committed dense (90%) row and a live
+///   re-measurement must both show the compressed bitmap beating the
+///   ordered-set baseline by ≥5× — the word-parallel-vs-pointer-chase
+///   margin is orders of magnitude, so this is safe on any runner;
+/// * **scatter-gather**: the committed 8-shard row must reach
+///   `clamp(0.45 × cores, 0.7, 4.0)` for its recorded cores (the same
+///   clamp as E11 — never a collapse below ~1×, full scaling only with
+///   the cores to scale onto), and every committed row must report the
+///   same answer count;
+/// * **plan quality**: re-measured live per catalog shape — the
+///   cost-based choice examines at most 10% more candidates than the
+///   best enumerated subsuming view, and is never worse than the
+///   smallest-extension heuristic;
+/// * **latency**: the committed 1M-object p99 must be sub-ms when the
+///   table was generated on ≥4 cores, relaxed to `1 ms × 4/cores` below
+///   that (not re-measured live: building the 1M-object store would
+///   dominate the smoke run).
+fn e12_checks(failures: &mut Vec<String>) -> usize {
+    let baseline = std::fs::read_to_string("BENCH_e12.json").unwrap_or_else(|error| {
+        panic!("cannot read BENCH_e12.json (run from the repository root): {error}")
+    });
+    let mut checked = 0usize;
+    let mut scatter_answers: Option<&str> = None;
+    for line in baseline.lines() {
+        if !line.contains("\"e12_bitmap\"") {
+            continue;
+        }
+        match field(line, "arm").expect("arm field") {
+            "intersect" => {
+                let density: u32 = field(line, "density_percent")
+                    .expect("density_percent field")
+                    .parse()
+                    .expect("numeric density_percent");
+                let speedup: f64 = field(line, "speedup")
+                    .expect("speedup field")
+                    .parse()
+                    .expect("numeric speedup");
+                if density == 90 && speedup < 5.0 {
+                    failures.push(format!(
+                        "e12 committed table: dense intersection speedup {speedup:.2}× below the 5× acceptance gate"
+                    ));
+                }
+            }
+            "scatter" => {
+                let workers: usize = field(line, "workers")
+                    .expect("workers field")
+                    .parse()
+                    .expect("numeric workers");
+                let cores: usize = field(line, "cores")
+                    .expect("cores field")
+                    .parse()
+                    .expect("numeric cores");
+                let speedup: f64 = field(line, "speedup_vs_1")
+                    .expect("speedup_vs_1 field")
+                    .parse()
+                    .expect("numeric speedup_vs_1");
+                let answers = field(line, "answers").expect("answers field");
+                match scatter_answers {
+                    None => scatter_answers = Some(answers),
+                    Some(expected) if expected != answers => failures.push(format!(
+                        "e12 committed table: scatter answers {answers} at {workers} shards differ from {expected} — sharding changed the result"
+                    )),
+                    Some(_) => {}
+                }
+                let bound = (0.45 * cores as f64).clamp(0.7, 4.0);
+                if workers == 8 && speedup < bound {
+                    failures.push(format!(
+                        "e12 committed table: 8-shard scatter speedup {speedup:.2}× below the {bound:.2}× bound for its {cores} recorded cores"
+                    ));
+                }
+            }
+            "plan_quality" => {
+                let ratio: f64 = field(line, "worst_ratio")
+                    .expect("worst_ratio field")
+                    .parse()
+                    .expect("numeric worst_ratio");
+                let worse: usize = field(line, "worse_than_smallest")
+                    .expect("worse_than_smallest field")
+                    .parse()
+                    .expect("numeric worse_than_smallest");
+                let shape = field(line, "shape").expect("shape field");
+                if ratio > 1.10 {
+                    failures.push(format!(
+                        "e12 committed table: {shape} worst plan ratio {ratio:.3} exceeds the 10% accuracy bound"
+                    ));
+                }
+                if worse != 0 {
+                    failures.push(format!(
+                        "e12 committed table: {shape} cost-based choice was worse than smallest-extension {worse} times (must be 0)"
+                    ));
+                }
+            }
+            "latency" => {
+                let cores: usize = field(line, "cores")
+                    .expect("cores field")
+                    .parse()
+                    .expect("numeric cores");
+                let p99: u64 = field(line, "p99_ns")
+                    .expect("p99_ns field")
+                    .parse()
+                    .expect("numeric p99_ns");
+                let allowed = (1_000_000.0 * (4.0 / cores as f64).max(1.0)) as u64;
+                if p99 > allowed {
+                    failures.push(format!(
+                        "e12 committed table: 1M-object p99 plan+execute {p99} ns exceeds the {allowed} ns bound for its {cores} recorded cores"
+                    ));
+                }
+            }
+            other => panic!("unknown arm `{other}` in BENCH_e12.json"),
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 12,
+        "BENCH_e12.json yielded only {checked} rows; baseline looks truncated"
+    );
+
+    // Live: the dense intersection gate (categorical margin) and the
+    // deterministic plan-quality counters per catalog shape.
+    let live = subq_bench::e12::intersect_arm(90);
+    if live.speedup < 5.0 {
+        failures.push(format!(
+            "e12 live: dense intersection speedup {:.2}× below the 5× acceptance gate",
+            live.speedup
+        ));
+    }
+    for shape in [
+        FamilyShape::Tree,
+        FamilyShape::Chain,
+        FamilyShape::Diamond,
+        FamilyShape::Flat,
+    ] {
+        let arm = subq_bench::e12::plan_quality_arm(shape, 50);
+        if arm.worst_ratio > 1.10 {
+            failures.push(format!(
+                "e12 live: {} worst plan ratio {:.3} exceeds the 10% accuracy bound",
+                arm.shape, arm.worst_ratio
+            ));
+        }
+        if arm.worse_than_smallest != 0 {
+            failures.push(format!(
+                "e12 live: {} cost-based choice was worse than smallest-extension {} times (must be 0)",
+                arm.shape, arm.worse_than_smallest
+            ));
+        }
+    }
+    checked
+}
+
 fn main() {
     let baseline = std::fs::read_to_string("BENCH_e5.json").unwrap_or_else(|error| {
         panic!("cannot read BENCH_e5.json (run from the repository root): {error}")
@@ -331,6 +490,7 @@ fn main() {
     let e9_checked = e9_checks(&mut failures);
     let e10_checked = e10_checks(&mut failures);
     let e11_checked = e11_checks(&mut failures);
+    let e12_checked = e12_checks(&mut failures);
     if !failures.is_empty() {
         eprintln!("perf regressions:");
         for failure in &failures {
@@ -342,6 +502,7 @@ fn main() {
         "perf smoke OK: {checked} E5 instances within committed examined_delta ceilings, \
          {e9_checked} E9 instances within committed lattice-probe ceilings (hierarchical N=50 ≤ 50% of flat), \
          {e10_checked} E10 instances within committed incremental membership-evaluation ceilings (10k×50 ≥ 10× fewer than full), \
-         {e11_checked} E11 rows within the concurrency bounds (core-scaled 8-reader speedup, zero post-warmup saturations)"
+         {e11_checked} E11 rows within the concurrency bounds (core-scaled 8-reader speedup, zero post-warmup saturations), \
+         {e12_checked} E12 rows within the physical-layer bounds (≥5× dense bitmap intersection, core-scaled scatter-gather, cost-based plans within 10% of best enumerated)"
     );
 }

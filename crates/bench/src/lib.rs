@@ -340,6 +340,323 @@ pub mod e11 {
     }
 }
 
+/// The E12 physical-layer arms: compressed-bitmap intersection throughput
+/// against the ordered-set baseline, scatter-gather evaluation speedup
+/// versus shard count, cost-model plan quality against the enumerated
+/// alternatives, and plan+execute latency on a large store.
+pub mod e12 {
+    use std::collections::BTreeSet;
+    use std::hint::black_box;
+    use std::time::Instant;
+    use subq::dl::QueryClassDecl;
+    use subq::oodb::eval::{evaluate_query_set, set_eval_workers};
+    use subq::oodb::{CostModel, Database, ObjId, ObjSet, OptimizedDatabase, Statistics};
+    use subq::workload::{
+        churn_trace, hierarchical_catalog, ChurnParams, FamilyShape, HierarchyParams,
+    };
+
+    /// SplitMix64 — a tiny seeded generator so the arm needs no RNG crate.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Samples ids from `0..universe`, each kept with probability
+    /// `target/universe` (deterministic per seed, ≈`target` ids).
+    fn sample_ids(seed: u64, universe: u32, target: usize) -> Vec<u32> {
+        let mut state = seed;
+        let threshold = ((target as u128) << 64) / universe as u128;
+        (0..universe)
+            .filter(|_| (splitmix(&mut state) as u128) < threshold)
+            .collect()
+    }
+
+    /// Best per-op wall-clock of `op` (self-calibrating iteration count,
+    /// best of 5 rounds).
+    fn best_op_ns(mut op: impl FnMut() -> usize) -> u128 {
+        let start = Instant::now();
+        let mut sink = op();
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = (5_000_000 / once).clamp(1, 10_000) as u32;
+        let mut best = u128::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                sink = sink.wrapping_add(op());
+            }
+            best = best.min(start.elapsed().as_nanos() / iters as u128);
+        }
+        black_box(sink);
+        best.max(1)
+    }
+
+    /// One intersection-throughput arm: two ≈100k-id sets at the given
+    /// density, intersected as compressed bitmaps versus ordered sets.
+    pub struct IntersectRow {
+        /// Occupancy of the id universe, percent.
+        pub density_percent: u32,
+        /// Universe size the ids are drawn from.
+        pub universe: u32,
+        /// Ids in each operand (≈100k).
+        pub n: usize,
+        /// Cardinality of the intersection (identical for both engines).
+        pub intersection: usize,
+        /// Best per-intersection wall-clock, compressed bitmap.
+        pub bitmap_ns: u128,
+        /// Best per-intersection wall-clock, `BTreeSet` baseline.
+        pub btree_ns: u128,
+        /// `btree_ns / bitmap_ns`.
+        pub speedup: f64,
+    }
+
+    /// Runs the intersection arm at `density_percent` occupancy with
+    /// n≈100k operands. The E12 acceptance gate is ≥5× at the dense end.
+    pub fn intersect_arm(density_percent: u32) -> IntersectRow {
+        let n = 100_000usize;
+        let universe = (n as u64 * 100 / density_percent as u64).max(n as u64) as u32;
+        let a_ids = sample_ids(7 + density_percent as u64, universe, n);
+        let b_ids = sample_ids(1_007 + density_percent as u64, universe, n);
+        let a_bm: ObjSet = a_ids.iter().map(|&i| ObjId(i)).collect();
+        let b_bm: ObjSet = b_ids.iter().map(|&i| ObjId(i)).collect();
+        let a_bt: BTreeSet<ObjId> = a_ids.iter().map(|&i| ObjId(i)).collect();
+        let b_bt: BTreeSet<ObjId> = b_ids.iter().map(|&i| ObjId(i)).collect();
+        let intersection = a_bm.intersect_len(&b_bm);
+        assert_eq!(
+            intersection,
+            a_bt.intersection(&b_bt).count(),
+            "bitmap and ordered-set intersections must agree"
+        );
+        let bitmap_ns = best_op_ns(|| a_bm.intersect_len(&b_bm));
+        let btree_ns = best_op_ns(|| a_bt.intersection(&b_bt).count());
+        IntersectRow {
+            density_percent,
+            universe,
+            n: a_ids.len().min(b_ids.len()),
+            intersection,
+            bitmap_ns,
+            btree_ns,
+            speedup: btree_ns as f64 / bitmap_ns as f64,
+        }
+    }
+
+    /// Builds the scatter-gather instance: `objects` objects over four
+    /// classes, every view strengthened with a derived `link` path, and
+    /// the first view's definition as the measured query (its candidate
+    /// set is a quarter of the store, its membership check walks paths).
+    pub fn scatter_setup(objects: usize) -> (Database, QueryClassDecl) {
+        let params = ChurnParams {
+            shape: FamilyShape::Tree,
+            classes: 4,
+            views: 4,
+            path_view_percent: 100,
+            objects,
+            transactions: 0,
+            ops_per_transaction: 1,
+        };
+        let trace = churn_trace(19, params);
+        let query = trace
+            .db
+            .model()
+            .query_class("V0")
+            .expect("generated view")
+            .clone();
+        (trace.db, query)
+    }
+
+    /// One scatter-gather arm: full evaluation with the worker count
+    /// forced to `workers` (1 = sequential baseline), best of 3.
+    pub struct ScatterRow {
+        /// Worker threads (= id-range shards) forced for this arm.
+        pub workers: usize,
+        /// Best full-evaluation wall-clock.
+        pub elapsed_ns: u128,
+        /// Answer count — must be identical across shard counts.
+        pub answers: usize,
+    }
+
+    /// Measures one scatter-gather arm and restores the worker default.
+    pub fn scatter_arm(db: &Database, query: &QueryClassDecl, workers: usize) -> ScatterRow {
+        set_eval_workers(Some(workers));
+        let mut best = u128::MAX;
+        let mut answers = 0usize;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let result = evaluate_query_set(db, query, None);
+            best = best.min(start.elapsed().as_nanos());
+            answers = result.len();
+        }
+        set_eval_workers(None);
+        ScatterRow {
+            workers,
+            elapsed_ns: best,
+            answers,
+        }
+    }
+
+    /// One plan-quality arm: how close the cost-based view choice lands
+    /// to the best enumerable choice, per E9 catalog shape. Candidate
+    /// counts are deterministic, so these are hard CI numbers.
+    pub struct PlanRow {
+        /// Catalog shape name.
+        pub shape: &'static str,
+        /// Views in the catalog.
+        pub views: usize,
+        /// Queries that had at least one subsuming view.
+        pub queries: usize,
+        /// Worst `chosen / best` candidates-examined ratio over those
+        /// queries (1.0 = the planner always picked the cheapest member).
+        pub worst_ratio: f64,
+        /// Queries where the cost-based choice examined *more* candidates
+        /// than the smallest-extension heuristic would have (must be 0).
+        pub worse_than_smallest: usize,
+        /// Total candidates the chosen plans examined.
+        pub chosen_candidates: usize,
+        /// Total candidates the per-query best enumerated plans examine.
+        pub best_candidates: usize,
+    }
+
+    /// Runs the plan-quality arm on the same seeded catalogs as E9
+    /// (seed 11, 2 members per class, 8 queries, no intersections).
+    pub fn plan_quality_arm(shape: FamilyShape, views: usize) -> PlanRow {
+        let params = HierarchyParams {
+            shape,
+            views,
+            members_per_class: 2,
+            queries: 8,
+            intersect_percent: 0,
+            duplicate_percent: 0,
+        };
+        let instance = hierarchical_catalog(11, params);
+        let mut odb = OptimizedDatabase::new(instance.db.clone()).expect("translates");
+        for name in &instance.view_names {
+            odb.materialize_view(name).expect("materializes");
+        }
+        let stats = Statistics::collect(odb.database());
+        let mut worst_ratio = 1.0f64;
+        let mut worse_than_smallest = 0usize;
+        let mut chosen_candidates = 0usize;
+        let mut best_candidates = 0usize;
+        let mut queries = 0usize;
+        for query in &instance.queries {
+            let plan = odb.plan(query);
+            if plan.subsuming_views.is_empty() {
+                continue;
+            }
+            let (_, exec) = odb.execute(query);
+            let cost = CostModel::new(&stats, odb.database());
+            let mut best = usize::MAX;
+            let mut smallest_extent = usize::MAX;
+            let mut smallest_realized = 0usize;
+            for name in &plan.subsuming_views {
+                let view = odb.catalog().view(name).expect("stored");
+                let realized = cost.narrow_candidates(&view.extent, query).len();
+                best = best.min(realized);
+                if view.extent.len() < smallest_extent {
+                    smallest_extent = view.extent.len();
+                    smallest_realized = realized;
+                }
+            }
+            let chosen = exec.candidates_examined;
+            if chosen > smallest_realized {
+                worse_than_smallest += 1;
+            }
+            worst_ratio = worst_ratio.max(if best == 0 {
+                1.0
+            } else {
+                chosen as f64 / best as f64
+            });
+            chosen_candidates += chosen;
+            best_candidates += best;
+            queries += 1;
+        }
+        PlanRow {
+            shape: shape.name(),
+            views,
+            queries,
+            worst_ratio,
+            worse_than_smallest,
+            chosen_candidates,
+            best_candidates,
+        }
+    }
+
+    /// One large-store latency arm: p50/p99 of plan+execute over the view
+    /// queries of an `objects`-object store — 256 flat classes (so each
+    /// extent holds ≈`objects/256` ids and the sampled latencies measure
+    /// selective plan+execute, not bulk answer materialization), 64
+    /// views, 20% of them with a derived `link` path.
+    pub struct LatencyRow {
+        /// Objects in the store.
+        pub objects: usize,
+        /// Views materialized (one per class, wrapping).
+        pub views: usize,
+        /// Plan+execute operations sampled.
+        pub ops: usize,
+        /// Median latency.
+        pub p50_ns: u64,
+        /// 99th-percentile latency — the E12 bound is sub-ms on ≥4-core
+        /// hardware, relaxed core-proportionally below that.
+        pub p99_ns: u64,
+    }
+
+    /// Builds the latency store once, warms every query shape, then
+    /// samples `ops` plan+execute round trips.
+    pub fn latency_arm(objects: usize, ops: usize) -> LatencyRow {
+        let params = ChurnParams {
+            shape: FamilyShape::Flat,
+            classes: 256,
+            views: 64,
+            path_view_percent: 20,
+            objects,
+            transactions: 0,
+            ops_per_transaction: 1,
+        };
+        let trace = churn_trace(23, params);
+        let mut odb = OptimizedDatabase::new(trace.db).expect("translates");
+        for name in &trace.view_names {
+            odb.materialize_view(name).expect("materializes");
+        }
+        let queries: Vec<QueryClassDecl> = trace
+            .view_names
+            .iter()
+            .map(|name| {
+                odb.database()
+                    .model()
+                    .query_class(name)
+                    .expect("declared")
+                    .clone()
+            })
+            .collect();
+        // Warm the subsumption memo and the statistics catalog so the
+        // sampled latencies measure the steady state, not first-touch.
+        for query in &queries {
+            let _ = odb.plan(query);
+            let _ = odb.execute(query);
+        }
+        let mut lats: Vec<u64> = Vec::with_capacity(ops);
+        for at in 0..ops {
+            let query = &queries[at % queries.len()];
+            let start = Instant::now();
+            let plan = odb.plan(query);
+            let (answers, _) = odb.execute(query);
+            lats.push(start.elapsed().as_nanos() as u64);
+            black_box((plan.subsuming_views.len(), answers.len()));
+        }
+        lats.sort_unstable();
+        let pick = |q: f64| -> u64 { lats[((lats.len() - 1) as f64 * q) as usize] };
+        LatencyRow {
+            objects,
+            views: 64,
+            ops,
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+        }
+    }
+}
+
 /// Times `work` on fresh instances from `make` until ~50 ms of measurement
 /// (at least 3 runs) and returns the best per-run time.
 pub fn time_best<T>(mut make: impl FnMut() -> T, mut work: impl FnMut(T)) -> Duration {

@@ -7,13 +7,16 @@
 //! `where` clause can be bound to a common object, and the constraint
 //! clause holds for some such binding.
 
+use crate::objset::ObjSet;
 use crate::store::{Database, ObjId};
 use std::collections::{BTreeSet, HashMap};
-use subq_dl::{ConstraintExpr, LabeledPath, QueryClassDecl, Term};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use subq_dl::{ConstraintExpr, LabeledPath, PathFilter, QueryClassDecl, Term};
 
-/// Evaluates a query class over the whole database.
+/// Evaluates a query class over the whole database, materializing the
+/// answers as an ordered set (the observable API boundary).
 pub fn evaluate_query(db: &Database, query: &QueryClassDecl) -> BTreeSet<ObjId> {
-    evaluate_query_over(db, query, None)
+    evaluate_query_set(db, query, None).to_btree()
 }
 
 /// Evaluates a query class over a restricted candidate set (used by the
@@ -22,43 +25,116 @@ pub fn evaluate_query(db: &Database, query: &QueryClassDecl) -> BTreeSet<ObjId> 
 pub fn evaluate_query_over(
     db: &Database,
     query: &QueryClassDecl,
-    candidates: Option<&BTreeSet<ObjId>>,
+    candidates: Option<&ObjSet>,
 ) -> BTreeSet<ObjId> {
-    let base: BTreeSet<ObjId> = match candidates {
-        Some(set) => set.clone(),
-        None => initial_candidates(db, query),
-    };
-    base.into_iter()
-        .filter(|&obj| is_member(db, query, obj))
-        .collect()
+    evaluate_query_set(db, query, candidates).to_btree()
+}
+
+/// [`evaluate_query_over`] without the ordered materialization: the
+/// answers stay a compressed bitmap. This is the physical evaluation path
+/// views and the maintainer run on.
+pub fn evaluate_query_set(
+    db: &Database,
+    query: &QueryClassDecl,
+    candidates: Option<&ObjSet>,
+) -> ObjSet {
+    match candidates {
+        Some(set) => filter_members(db, query, set),
+        None => {
+            let base = initial_candidates(db, query);
+            filter_members(db, query, &base)
+        }
+    }
 }
 
 /// The candidate set used when evaluating from scratch: the intersection of
 /// the extents of the schema superclasses (all objects when there is none).
-/// Reads the store's maintained extent indexes without cloning them,
-/// intersecting outward from the smallest.
-pub fn initial_candidates(db: &Database, query: &QueryClassDecl) -> BTreeSet<ObjId> {
-    let mut sets: Vec<&BTreeSet<ObjId>> = Vec::new();
+/// Intersections run word-parallel on the store's maintained bitmap
+/// extents, smallest first; the unrestricted case returns the
+/// run-compressed universe instead of materializing every id.
+pub fn initial_candidates(db: &Database, query: &QueryClassDecl) -> ObjSet {
+    let mut sets: Vec<&ObjSet> = Vec::new();
     for sup in &query.is_a {
         if db.model().class(sup).is_some() {
             match db.class_extent_ref(sup) {
                 Some(extent) => sets.push(extent),
                 // A declared superclass nothing was ever asserted into:
                 // the intersection is empty.
-                None => return BTreeSet::new(),
+                None => return ObjSet::new(),
             }
         }
     }
     if sets.is_empty() {
-        return db.objects().collect();
+        return db.object_universe();
     }
     sets.sort_by_key(|s| s.len());
     let (smallest, rest) = sets.split_first().expect("non-empty");
-    smallest
-        .iter()
-        .copied()
-        .filter(|obj| rest.iter().all(|s| s.contains(obj)))
-        .collect()
+    let mut acc = (*smallest).clone();
+    for set in rest {
+        acc.and_inplace(set);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+/// Process-wide override of the evaluation worker count: 0 = auto
+/// (`std::thread::available_parallelism`).
+static EVAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps (or forces) the number of worker threads scatter-gather
+/// evaluation may use, process-wide. `None` restores the default —
+/// [`std::thread::available_parallelism`]. Setting an explicit count also
+/// waives the minimum-work threshold, the same contract as
+/// [`crate::maintain::set_maintenance_workers`].
+pub fn set_eval_workers(workers: Option<usize>) {
+    EVAL_WORKERS.store(workers.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Scatter membership checks below this many candidates are cheaper than
+/// the spawns (unless an explicit worker count waives the threshold).
+const PARALLEL_EVAL_THRESHOLD: usize = 4096;
+
+/// Filters a candidate set down to the query's members. Large candidate
+/// sets are split into cardinality-balanced id-range shards
+/// ([`ObjSet::shards`]) checked on [`std::thread::scope`] workers and
+/// gathered with a bitmap union; membership is per-object, so the
+/// scattered result is identical to the sequential one.
+pub fn filter_members(db: &Database, query: &QueryClassDecl, base: &ObjSet) -> ObjSet {
+    let override_workers = EVAL_WORKERS.load(Ordering::Relaxed);
+    let workers = if override_workers > 0 {
+        override_workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let worth_spawning = override_workers > 0 || base.len() >= PARALLEL_EVAL_THRESHOLD;
+    if workers <= 1 || !worth_spawning {
+        return base
+            .iter()
+            .filter(|&obj| is_member(db, query, obj))
+            .collect();
+    }
+    let shards = base.shards(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .filter(|&obj| is_member(db, query, obj))
+                        .collect::<ObjSet>()
+                })
+            })
+            .collect();
+        let mut gathered = ObjSet::new();
+        for handle in handles {
+            gathered.or_inplace(&handle.join().expect("evaluation worker panicked"));
+        }
+        gathered
+    })
 }
 
 /// Whether one object is an answer of the query class.
@@ -76,7 +152,7 @@ pub fn is_member(db: &Database, query: &QueryClassDecl, object: ObjId) -> bool {
     }
 
     // Bind every derived path.
-    let mut endpoints: HashMap<&str, BTreeSet<ObjId>> = HashMap::new();
+    let mut endpoints: HashMap<&str, ObjSet> = HashMap::new();
     for path in &query.derived {
         let ends = path_endpoints(db, object, path);
         if ends.is_empty() {
@@ -88,13 +164,13 @@ pub fn is_member(db: &Database, query: &QueryClassDecl, object: ObjId) -> bool {
     }
 
     // `where` equalities restrict equated labels to a common binding.
-    let mut constrained: HashMap<&str, BTreeSet<ObjId>> = endpoints.clone();
+    let mut constrained: HashMap<&str, ObjSet> = endpoints.clone();
     for (left, right) in &query.where_eqs {
         let (Some(l), Some(r)) = (endpoints.get(left.as_str()), endpoints.get(right.as_str()))
         else {
             return false;
         };
-        let common: BTreeSet<ObjId> = l.intersection(r).copied().collect();
+        let common = l.and(r);
         if common.is_empty() {
             return false;
         }
@@ -112,7 +188,7 @@ pub fn is_member(db: &Database, query: &QueryClassDecl, object: ObjId) -> bool {
             let domains: Vec<(&str, Vec<ObjId>)> = constrained
                 .iter()
                 .filter(|&(label, _)| free.contains(*label))
-                .map(|(label, objs)| (*label, objs.iter().copied().collect()))
+                .map(|(label, objs)| (*label, objs.iter().collect()))
                 .collect();
             exists_binding(db, constraint, object, &domains, &mut HashMap::new(), 0)
         }
@@ -144,22 +220,44 @@ fn exists_binding(
 
 /// The objects reachable from `start` along a labeled path. Synonyms are
 /// resolved once per step; values are read from the store's maintained
-/// indexes without cloning them.
-pub fn path_endpoints(db: &Database, start: ObjId, path: &LabeledPath) -> BTreeSet<ObjId> {
-    let mut current = BTreeSet::from([start]);
+/// posting bitmaps, so an unfiltered step is a union and a class-filtered
+/// step is a union of intersections — both word-parallel.
+pub fn path_endpoints(db: &Database, start: ObjId, path: &LabeledPath) -> ObjSet {
+    let mut current = ObjSet::new();
+    current.insert(start);
     for step in &path.steps {
         let (name, inverted) = db.resolve_attr_direction(&step.attr);
-        let mut next = BTreeSet::new();
-        for &obj in &current {
+        let class_filter = match &step.filter {
+            PathFilter::Class(class) if class != "Object" => {
+                match db.class_extent_ref(class) {
+                    Some(extent) => Some(extent),
+                    // A filter class with no members blocks the step.
+                    None => {
+                        current = ObjSet::new();
+                        break;
+                    }
+                }
+            }
+            _ => None,
+        };
+        let mut next = ObjSet::new();
+        for obj in &current {
             let values = if inverted {
                 db.attr_in(obj, name)
             } else {
                 db.attr_out(obj, name)
             };
-            for &value in values.into_iter().flatten() {
-                if db.satisfies_filter(value, &step.filter) {
-                    next.insert(value);
+            let Some(values) = values else { continue };
+            match (&step.filter, class_filter) {
+                (PathFilter::Singleton(singleton), _) => {
+                    if let Some(id) = db.object(singleton) {
+                        if values.contains(&id) {
+                            next.insert(id);
+                        }
+                    }
                 }
+                (_, Some(extent)) => next.or_inplace(&values.and(extent)),
+                _ => next.or_inplace(values),
             }
         }
         current = next;
@@ -203,24 +301,20 @@ pub fn eval_constraint(
         ConstraintExpr::Or(a, b) => {
             eval_constraint(db, a, this, env) || eval_constraint(db, b, this, env)
         }
-        ConstraintExpr::Forall(var, class, body) => db
-            .class_extent_ref(class)
-            .into_iter()
-            .flatten()
-            .all(|&obj| {
+        ConstraintExpr::Forall(var, class, body) => {
+            db.class_extent_ref(class).into_iter().flatten().all(|obj| {
                 let mut env = env.clone();
                 env.insert(var.clone(), obj);
                 eval_constraint(db, body, this, &env)
-            }),
-        ConstraintExpr::Exists(var, class, body) => db
-            .class_extent_ref(class)
-            .into_iter()
-            .flatten()
-            .any(|&obj| {
+            })
+        }
+        ConstraintExpr::Exists(var, class, body) => {
+            db.class_extent_ref(class).into_iter().flatten().any(|obj| {
                 let mut env = env.clone();
                 env.insert(var.clone(), obj);
                 eval_constraint(db, body, this, &env)
-            }),
+            })
+        }
     }
 }
 
@@ -343,7 +437,8 @@ mod tests {
         let view = model.query_class("ViewPatient").expect("declared");
         let mary = db.object("mary").expect("exists");
         let john = db.object("john").expect("exists");
-        let restricted = evaluate_query_over(&db, view, Some(&BTreeSet::from([mary])));
+        let only_mary: ObjSet = [mary].into_iter().collect();
+        let restricted = evaluate_query_over(&db, view, Some(&only_mary));
         assert_eq!(restricted, BTreeSet::from([mary]));
         let full = evaluate_query_over(&db, view, None);
         assert_eq!(full, BTreeSet::from([mary, john]));
@@ -442,7 +537,7 @@ mod tests {
         let db = hospital_with_john();
         let model = samples::medical_model();
         let view = model.query_class("ViewPatient").expect("declared");
-        let restricted = evaluate_query_over(&db, view, Some(&BTreeSet::new()));
+        let restricted = evaluate_query_over(&db, view, Some(&ObjSet::new()));
         assert!(restricted.is_empty());
     }
 

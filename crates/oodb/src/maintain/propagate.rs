@@ -353,11 +353,13 @@ fn refresh_component(
                 let candidates = initial_candidates(db, &view.definition);
                 stats.candidates_examined += candidates.len() as u64;
                 stats.memberships_evaluated += candidates.len() as u64;
-                let extension: BTreeSet<ObjId> = candidates
-                    .into_iter()
-                    .filter(|&object| is_member(db, &view.definition, object))
-                    .collect();
-                view.extent = Arc::new(extension);
+                // Large candidate sets scatter across id-range shards
+                // inside `filter_members` and gather by bitmap union.
+                view.extent = Arc::new(crate::eval::filter_members(
+                    db,
+                    &view.definition,
+                    &candidates,
+                ));
             }
             Plan::Candidates(candidates) => {
                 if let Some(rep) = view.equiv {
@@ -535,7 +537,7 @@ fn candidate_ball(
                 .into_iter()
                 .flatten()
                 {
-                    for &neighbor in neighbors {
+                    for neighbor in neighbors {
                         if visited.insert(neighbor) {
                             next.push(neighbor);
                         }

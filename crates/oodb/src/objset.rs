@@ -1,0 +1,234 @@
+//! The physical object-set representation: a compressed bitmap.
+//!
+//! [`ObjId`]s are dense `u32`s, which makes a roaring-style bitmap
+//! ([`croaring::Bitmap`]) a drop-in physical representation for every set
+//! the store maintains — class extents, attribute postings, view
+//! extensions, candidate sets. Intersections and unions become
+//! word-parallel container ops instead of node-per-element tree walks,
+//! and a contiguous id universe compresses to a handful of run
+//! containers.
+//!
+//! `ObjSet` is a *physical* swap, never a semantic one: iteration is
+//! ascending like `BTreeSet`'s, and the type compares equal to a
+//! `BTreeSet<ObjId>` with the same content so equivalence suites can keep
+//! asserting against ordered-set oracles. `BTreeSet` survives only at API
+//! boundaries where ordered materialization is the contract (e.g.
+//! [`crate::eval::evaluate_query`]).
+
+use crate::store::ObjId;
+use croaring::Bitmap;
+use std::collections::BTreeSet;
+
+/// A set of [`ObjId`]s backed by a compressed bitmap.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct ObjSet {
+    bits: Bitmap,
+}
+
+impl ObjSet {
+    pub fn new() -> Self {
+        ObjSet {
+            bits: Bitmap::new(),
+        }
+    }
+
+    /// The dense universe `0..n` as run containers: O(`n` / 65 536) to
+    /// build, regardless of cardinality.
+    pub fn universe(n: u32) -> Self {
+        ObjSet {
+            bits: Bitmap::from_range(0..n),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    pub fn contains(&self, id: &ObjId) -> bool {
+        self.bits.contains(id.0)
+    }
+
+    /// Inserts; returns whether the id was absent.
+    pub fn insert(&mut self, id: ObjId) -> bool {
+        self.bits.insert(id.0)
+    }
+
+    /// Removes; returns whether the id was present.
+    pub fn remove(&mut self, id: &ObjId) -> bool {
+        self.bits.remove(id.0)
+    }
+
+    /// Ascending iterator.
+    pub fn iter(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.bits.iter().map(ObjId)
+    }
+
+    pub fn first(&self) -> Option<ObjId> {
+        self.bits.min().map(ObjId)
+    }
+
+    /// Intersection (word-parallel per 16-bit chunk).
+    pub fn and(&self, other: &ObjSet) -> ObjSet {
+        ObjSet {
+            bits: self.bits.and(&other.bits),
+        }
+    }
+
+    /// In-place intersection.
+    pub fn and_inplace(&mut self, other: &ObjSet) {
+        self.bits.and_inplace(&other.bits);
+    }
+
+    /// Union.
+    pub fn or(&self, other: &ObjSet) -> ObjSet {
+        ObjSet {
+            bits: self.bits.or(&other.bits),
+        }
+    }
+
+    /// In-place union (the gather side of scatter-gather).
+    pub fn or_inplace(&mut self, other: &ObjSet) {
+        self.bits.or_inplace(&other.bits);
+    }
+
+    /// Difference `self \ other`.
+    pub fn and_not(&self, other: &ObjSet) -> ObjSet {
+        ObjSet {
+            bits: self.bits.and_not(&other.bits),
+        }
+    }
+
+    /// Intersection cardinality without materializing the result.
+    pub fn intersect_len(&self, other: &ObjSet) -> usize {
+        self.bits.intersect_len(&other.bits)
+    }
+
+    pub fn intersects(&self, other: &ObjSet) -> bool {
+        self.bits.intersects(&other.bits)
+    }
+
+    pub fn is_subset(&self, other: &ObjSet) -> bool {
+        self.bits.is_subset(&other.bits)
+    }
+
+    /// Re-compresses dense chunks into run containers. Call after bulk
+    /// construction, not per mutation.
+    pub fn run_optimize(&mut self) {
+        self.bits.run_optimize();
+    }
+
+    /// Splits the set into at most `p` cardinality-balanced, disjoint,
+    /// ascending id-range iterators that together cover every member —
+    /// the scatter side of scatter-gather evaluation.
+    pub fn shards(&self, p: usize) -> Vec<impl Iterator<Item = ObjId> + Send + '_> {
+        self.bits
+            .shards(p)
+            .into_iter()
+            .map(|shard| shard.map(ObjId))
+            .collect()
+    }
+
+    /// Ordered materialization for API boundaries where `BTreeSet` is the
+    /// observable contract.
+    pub fn to_btree(&self) -> BTreeSet<ObjId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<ObjId> for ObjSet {
+    fn from_iter<I: IntoIterator<Item = ObjId>>(iter: I) -> Self {
+        ObjSet {
+            bits: iter.into_iter().map(|id| id.0).collect(),
+        }
+    }
+}
+
+impl Extend<ObjId> for ObjSet {
+    fn extend<I: IntoIterator<Item = ObjId>>(&mut self, iter: I) {
+        self.bits.extend(iter.into_iter().map(|id| id.0));
+    }
+}
+
+impl<'a> IntoIterator for &'a ObjSet {
+    type Item = ObjId;
+    type IntoIter = std::iter::Map<croaring::Iter<'a>, fn(u32) -> ObjId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bits.iter().map(ObjId)
+    }
+}
+
+impl From<&BTreeSet<ObjId>> for ObjSet {
+    fn from(set: &BTreeSet<ObjId>) -> Self {
+        set.iter().copied().collect()
+    }
+}
+
+/// Equivalence suites assert bitmap-backed extents against `BTreeSet`
+/// oracles; the comparison is semantic (same members).
+impl PartialEq<BTreeSet<ObjId>> for ObjSet {
+    fn eq(&self, other: &BTreeSet<ObjId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<ObjSet> for BTreeSet<ObjId> {
+    fn eq(&self, other: &ObjSet) -> bool {
+        other == self
+    }
+}
+
+impl std::fmt::Debug for ObjSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_btreeset_semantics() {
+        let mut set = ObjSet::new();
+        assert!(set.insert(ObjId(3)));
+        assert!(!set.insert(ObjId(3)));
+        assert!(set.insert(ObjId(70_000)));
+        assert!(set.contains(&ObjId(3)));
+        assert!(!set.contains(&ObjId(4)));
+        assert_eq!(set.len(), 2);
+        let oracle = BTreeSet::from([ObjId(3), ObjId(70_000)]);
+        assert_eq!(set, oracle);
+        assert_eq!(oracle, set);
+        assert!(set.remove(&ObjId(3)));
+        assert!(!set.remove(&ObjId(3)));
+        assert_ne!(set, oracle);
+    }
+
+    #[test]
+    fn universe_and_shards() {
+        let universe = ObjSet::universe(200_000);
+        assert_eq!(universe.len(), 200_000);
+        assert!(universe.contains(&ObjId(199_999)));
+        assert!(!universe.contains(&ObjId(200_000)));
+        let gathered: Vec<ObjId> = universe.shards(4).into_iter().flatten().collect();
+        assert_eq!(gathered.len(), 200_000);
+        assert!(gathered.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn algebra_matches_ordered_sets() {
+        let a: ObjSet = [1u32, 2, 3, 100_000].into_iter().map(ObjId).collect();
+        let b: ObjSet = [2u32, 3, 4].into_iter().map(ObjId).collect();
+        assert_eq!(a.and(&b), BTreeSet::from([ObjId(2), ObjId(3)]));
+        assert_eq!(a.intersect_len(&b), 2);
+        assert_eq!(a.or(&b).len(), 5);
+        assert_eq!(a.and_not(&b), BTreeSet::from([ObjId(1), ObjId(100_000)]));
+        assert!(a.and(&b).is_subset(&a));
+        assert_eq!(a.to_btree().len(), 4);
+    }
+}

@@ -25,6 +25,7 @@
 
 use crate::eval::{evaluate_query_over, initial_candidates};
 use crate::snapshot::{FrozenTranslation, Reader, Snapshot, SnapshotCell};
+use crate::stats::{CostModel, Statistics};
 use crate::store::{Database, ObjId};
 use crate::views::{ClassifyOracle, ViewCatalog, ViewError};
 use std::collections::BTreeSet;
@@ -101,6 +102,9 @@ pub struct OptimizedDatabase {
     /// interned new concepts since (data-only churn publishes without
     /// cloning the arena).
     frozen: Option<(Arc<FrozenTranslation>, (u64, usize, usize))>,
+    /// Cardinality statistics behind the execution cost model, kept fresh
+    /// incrementally from the delta log (see [`crate::stats`]).
+    stats: Statistics,
 }
 
 impl OptimizedDatabase {
@@ -129,6 +133,7 @@ impl OptimizedDatabase {
             memo,
             cell,
             frozen: Some((frozen_translation, fingerprint)),
+            stats: Statistics::new(),
         })
     }
 
@@ -467,20 +472,44 @@ impl OptimizedDatabase {
         ))
     }
 
+    /// The cardinality-statistics catalog, refreshed incrementally from
+    /// the delta log up to the current data version.
+    pub fn statistics(&mut self) -> &Statistics {
+        self.stats.refresh(&self.db);
+        &self.stats
+    }
+
     /// Executes a query with the optimizer: refreshes stale views, plans
-    /// (via the lattice traversal),
-    /// and filters the chosen view's extension (falling back to a full
-    /// evaluation when no view subsumes the query).
+    /// (via the lattice traversal), chooses the **cheapest** frontier
+    /// member by estimated filter cost (never worse than the
+    /// smallest-extension pick — the estimate is monotone in the
+    /// candidate count), narrows the view's extension by the query's
+    /// schema-superclass extents in the cost model's cheapest
+    /// (ascending-cardinality) intersection order, and filters the
+    /// narrowed candidates. Falls back to a full evaluation when no view
+    /// subsumes the query.
     pub fn execute(&mut self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
         self.catalog.refresh(&self.db);
         let plan = self.plan(query);
-        match plan.chosen_view.as_deref() {
-            Some(view_name) => {
-                let view = self.catalog.view(view_name).expect("chosen view exists");
-                let answers = evaluate_query_over(&self.db, query, Some(&view.extent));
+        self.stats.refresh(&self.db);
+        let cost = CostModel::new(&self.stats, &self.db);
+        let chosen = plan
+            .subsuming_views
+            .iter()
+            .filter_map(|name| self.catalog.view(name))
+            .min_by(|a, b| {
+                let estimate = |v: &crate::views::MaterializedView| {
+                    cost.filter_cost(cost.estimated_candidates(v.extent.len(), query), query)
+                };
+                estimate(a).total_cmp(&estimate(b))
+            });
+        match chosen {
+            Some(view) => {
+                let candidates = cost.narrow_candidates(&view.extent, query);
+                let answers = evaluate_query_over(&self.db, query, Some(&candidates));
                 let stats = ExecutionStats {
-                    candidates_examined: view.extent.len(),
-                    used_view: Some(view_name.to_owned()),
+                    candidates_examined: candidates.len(),
+                    used_view: Some(view.definition.name.clone()),
                     answers: answers.len(),
                 };
                 (answers, stats)

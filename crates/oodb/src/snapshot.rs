@@ -41,6 +41,7 @@
 
 use crate::eval::{evaluate_query_over, initial_candidates};
 use crate::optimizer::{ExecutionStats, QueryPlan};
+use crate::stats::{CostModel, Statistics};
 use crate::store::{Database, ObjId};
 use crate::views::{traverse_lattice, MaterializedView};
 use std::collections::{BTreeSet, HashMap};
@@ -185,6 +186,12 @@ pub struct Reader {
     arena: TermArena,
     cache: SubsumptionCache,
     shared_bound: usize,
+    /// Cardinality statistics of the pinned snapshot, collected lazily on
+    /// first execution and dropped when [`Reader::sync`] adopts a newer
+    /// snapshot (published snapshots carry an empty log positioned at
+    /// their version, so a fresh collection is the incremental path's
+    /// truncation fallback anyway).
+    stats: Option<Statistics>,
 }
 
 impl Reader {
@@ -200,6 +207,7 @@ impl Reader {
             arena,
             cache: SubsumptionCache::new(),
             shared_bound,
+            stats: None,
         }
     }
 
@@ -236,6 +244,7 @@ impl Reader {
             self.cache.clear();
         }
         self.snapshot = latest;
+        self.stats = None;
         true
     }
 
@@ -291,21 +300,36 @@ impl Reader {
         }
     }
 
-    /// Executes a query against the pinned snapshot: plans, filters the
-    /// chosen subsuming view's stored extension, and falls back to a full
-    /// evaluation when no view subsumes — all over immutable state.
+    /// Executes a query against the pinned snapshot: plans, chooses the
+    /// cheapest subsuming frontier view by estimated filter cost, narrows
+    /// its stored extension by the query's schema-superclass extents
+    /// (cheapest intersection first — same cost model as
+    /// [`OptimizedDatabase::execute`]), filters the narrowed candidates,
+    /// and falls back to a full evaluation when no view subsumes — all
+    /// over immutable state.
     pub fn execute(&mut self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
         let plan = self.plan(query);
         let snapshot = Arc::clone(&self.snapshot);
-        match plan
-            .chosen_view
-            .as_deref()
-            .and_then(|name| snapshot.view(name))
-        {
+        let stats = self
+            .stats
+            .get_or_insert_with(|| Statistics::collect(&snapshot.db));
+        let cost = CostModel::new(stats, &snapshot.db);
+        let chosen = plan
+            .subsuming_views
+            .iter()
+            .filter_map(|name| snapshot.view(name))
+            .min_by(|a, b| {
+                let estimate = |v: &&MaterializedView| {
+                    cost.filter_cost(cost.estimated_candidates(v.extent.len(), query), query)
+                };
+                estimate(a).total_cmp(&estimate(b))
+            });
+        match chosen {
             Some(view) => {
-                let answers = evaluate_query_over(&snapshot.db, query, Some(&view.extent));
+                let candidates = cost.narrow_candidates(&view.extent, query);
+                let answers = evaluate_query_over(&snapshot.db, query, Some(&candidates));
                 let stats = ExecutionStats {
-                    candidates_examined: view.extent.len(),
+                    candidates_examined: candidates.len(),
                     used_view: Some(view.definition.name.clone()),
                     answers: answers.len(),
                 };

@@ -22,6 +22,7 @@
 //! maintainer can walk paths backwards when computing candidate objects.
 
 use crate::maintain::{Delta, DeltaLog};
+use crate::objset::ObjSet;
 use fxhash::{FxHashMap, FxHashSet, FxHasher};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -106,11 +107,16 @@ impl fmt::Display for ConformanceViolation {
 /// The pairs of one primitive attribute, indexed in both directions.
 ///
 /// `forward[from]` holds the values, `reverse[to]` the sources; the two
-/// maps always describe the same pair set.
+/// maps always describe the same pair set. Postings are compressed
+/// bitmaps ([`ObjSet`]), and the total pair count is maintained as an
+/// O(1) statistic for the cost model.
 #[derive(Clone, Debug, Default)]
 struct AttrIndex {
-    forward: FxHashMap<ObjId, BTreeSet<ObjId>>,
-    reverse: FxHashMap<ObjId, BTreeSet<ObjId>>,
+    forward: FxHashMap<ObjId, ObjSet>,
+    reverse: FxHashMap<ObjId, ObjSet>,
+    /// Number of stored pairs (cardinality statistic, kept in step with
+    /// the indexes).
+    pairs: usize,
 }
 
 impl AttrIndex {
@@ -123,6 +129,7 @@ impl AttrIndex {
     fn insert(&mut self, from: ObjId, to: ObjId) -> bool {
         if self.forward.entry(from).or_default().insert(to) {
             self.reverse.entry(to).or_default().insert(from);
+            self.pairs += 1;
             true
         } else {
             false
@@ -145,7 +152,37 @@ impl AttrIndex {
                 self.reverse.remove(&to);
             }
         }
+        self.pairs -= 1;
         true
+    }
+}
+
+/// O(1) physical statistics of one primitive attribute's index, for the
+/// cost model: total pair count, distinct sources, distinct targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AttrCardinality {
+    pub pairs: usize,
+    pub sources: usize,
+    pub targets: usize,
+}
+
+impl AttrCardinality {
+    /// Average out-fanout (values per source), 0 when unused.
+    pub fn avg_fanout(&self) -> f64 {
+        if self.sources == 0 {
+            0.0
+        } else {
+            self.pairs as f64 / self.sources as f64
+        }
+    }
+
+    /// Average in-fanout (sources per target), 0 when unused.
+    pub fn avg_in_fanout(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            self.pairs as f64 / self.targets as f64
+        }
     }
 }
 
@@ -235,8 +272,8 @@ pub struct Database {
     object_names: ObjectNames,
     object_by_name: NameIndex,
     /// Explicit (and upward-propagated) class memberships, one
-    /// copy-on-write shard per class.
-    extents: FxHashMap<String, Arc<BTreeSet<ObjId>>>,
+    /// copy-on-write compressed-bitmap shard per class.
+    extents: FxHashMap<String, Arc<ObjSet>>,
     /// Attribute assertions in the primitive direction, indexed both
     /// ways, one copy-on-write shard per attribute.
     attrs: FxHashMap<String, Arc<AttrIndex>>,
@@ -367,6 +404,13 @@ impl Database {
         (0..self.object_names.len as u32).map(ObjId)
     }
 
+    /// The full object universe `0..object_count` as a run-compressed
+    /// bitmap — O(objects / 65 536) to build, so unrestricted candidate
+    /// sets stop paying a per-object materialization.
+    pub fn object_universe(&self) -> ObjSet {
+        ObjSet::universe(self.object_names.len as u32)
+    }
+
     /// Asserts that an object is an instance of a class; membership is
     /// propagated to all declared superclasses. Every extent actually
     /// grown is logged as its own delta.
@@ -491,16 +535,40 @@ impl Database {
     }
 
     /// The stored extent of a class (explicit members plus members of
-    /// subclasses, which were propagated at assertion time).
+    /// subclasses, which were propagated at assertion time), materialized
+    /// as an ordered set. This form copies; every hot path reads the
+    /// bitmap through [`Database::class_extent_ref`] instead, leaving
+    /// this for tests and ordered API boundaries.
     pub fn class_extent(&self, class: &str) -> BTreeSet<ObjId> {
-        self.class_extent_ref(class).cloned().unwrap_or_default()
+        self.class_extent_ref(class)
+            .map(ObjSet::to_btree)
+            .unwrap_or_default()
     }
 
     /// The stored extent of a class without cloning (`None` when no object
-    /// was ever asserted into it) — the maintained index behind
-    /// [`Database::class_extent`], for hot read paths.
-    pub fn class_extent_ref(&self, class: &str) -> Option<&BTreeSet<ObjId>> {
+    /// was ever asserted into it) — the maintained compressed-bitmap
+    /// index behind [`Database::class_extent`], for hot read paths.
+    pub fn class_extent_ref(&self, class: &str) -> Option<&ObjSet> {
         self.extents.get(class).map(Arc::as_ref)
+    }
+
+    /// Cardinality of a class extent (0 when nothing was asserted) — an
+    /// O(containers) read off the maintained index, for the cost model.
+    pub fn class_cardinality(&self, class: &str) -> usize {
+        self.extents.get(class).map_or(0, |ext| ext.len())
+    }
+
+    /// Names of every class that ever had a member asserted (the keys of
+    /// the maintained extent shards) — the enumeration behind a full
+    /// statistics collection.
+    pub fn class_names(&self) -> impl Iterator<Item = &str> {
+        self.extents.keys().map(String::as_str)
+    }
+
+    /// Names of every *primitive* attribute that ever had a pair asserted
+    /// (the keys of the maintained index shards).
+    pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.keys().map(String::as_str)
     }
 
     /// The primitive name and direction behind a possibly-synonym
@@ -514,16 +582,26 @@ impl Database {
         }
     }
 
-    /// The values of a (possibly synonym) attribute for an object: an
-    /// indexed lookup proportional to the answer size.
+    /// The values of a (possibly synonym) attribute for an object,
+    /// materialized as an ordered set. This form copies; hot paths read
+    /// the postings through [`Database::attr_values_ref`] /
+    /// [`Database::attr_out`] / [`Database::attr_in`] instead, leaving
+    /// this for tests and ordered API boundaries.
     pub fn attr_values(&self, object: ObjId, attribute: &str) -> BTreeSet<ObjId> {
+        self.attr_values_ref(object, attribute)
+            .map(ObjSet::to_btree)
+            .unwrap_or_default()
+    }
+
+    /// The posting list of a (possibly synonym) attribute for an object,
+    /// without cloning — `None` when the object has no values.
+    pub fn attr_values_ref(&self, object: ObjId, attribute: &str) -> Option<&ObjSet> {
         let (name, inverted) = self.resolve_attr_direction(attribute);
-        let lookup = if inverted {
+        if inverted {
             self.attr_in(object, name)
         } else {
             self.attr_out(object, name)
-        };
-        lookup.cloned().unwrap_or_default()
+        }
     }
 
     /// Whether `to` is a value of the (possibly synonym) attribute for
@@ -540,14 +618,28 @@ impl Database {
 
     /// The values of a *primitive* attribute for a source object, from the
     /// forward index (no clone; `None` when the object has no values).
-    pub fn attr_out(&self, from: ObjId, attribute: &str) -> Option<&BTreeSet<ObjId>> {
+    pub fn attr_out(&self, from: ObjId, attribute: &str) -> Option<&ObjSet> {
         self.attrs.get(attribute)?.forward.get(&from)
     }
 
     /// The sources of a *primitive* attribute for a value object, from the
     /// reverse index (no clone; `None` when nothing points at the object).
-    pub fn attr_in(&self, to: ObjId, attribute: &str) -> Option<&BTreeSet<ObjId>> {
+    pub fn attr_in(&self, to: ObjId, attribute: &str) -> Option<&ObjSet> {
         self.attrs.get(attribute)?.reverse.get(&to)
+    }
+
+    /// O(1) cardinality statistics of a *primitive* attribute's index:
+    /// pair count, distinct sources, distinct targets. Default (all
+    /// zeros) when the attribute was never asserted.
+    pub fn attr_cardinality(&self, attribute: &str) -> AttrCardinality {
+        self.attrs
+            .get(attribute)
+            .map(|index| AttrCardinality {
+                pairs: index.pairs,
+                sources: index.forward.len(),
+                targets: index.reverse.len(),
+            })
+            .unwrap_or_default()
     }
 
     /// All pairs of a primitive attribute (rebuilt from the forward
@@ -557,7 +649,7 @@ impl Database {
         let mut out = BTreeSet::new();
         if let Some(index) = self.attrs.get(attribute) {
             for (&from, values) in &index.forward {
-                for &to in values {
+                for to in values {
                     out.insert((from, to));
                 }
             }
@@ -579,27 +671,28 @@ impl Database {
     /// class constraint clauses.
     pub fn check_conformance(&self) -> Vec<ConformanceViolation> {
         let mut violations = Vec::new();
-        // Per-class attribute restrictions.
+        // Per-class attribute restrictions, read off the maintained
+        // indexes without cloning extents or postings.
         for class in &self.model.classes {
-            let members = self.class_extent(&class.name);
+            let members = self.class_extent_ref(&class.name);
             for spec in &class.attributes {
-                for &member in &members {
-                    let values = self.attr_values(member, &spec.name);
-                    if spec.necessary && values.is_empty() {
+                for member in members.into_iter().flatten() {
+                    let values = self.attr_values_ref(member, &spec.name);
+                    if spec.necessary && values.is_none_or(ObjSet::is_empty) {
                         violations.push(ConformanceViolation::MissingNecessaryValue {
                             object: self.object_name(member).to_owned(),
                             attribute: spec.name.clone(),
                             class: class.name.clone(),
                         });
                     }
-                    if spec.single && values.len() > 1 {
+                    if spec.single && values.is_some_and(|v| v.len() > 1) {
                         violations.push(ConformanceViolation::MultipleValuesForSingle {
                             object: self.object_name(member).to_owned(),
                             attribute: spec.name.clone(),
                             class: class.name.clone(),
                         });
                     }
-                    for value in values {
+                    for value in values.into_iter().flatten() {
                         if spec.range != "Object" && !self.is_instance_of(value, &spec.range) {
                             violations.push(ConformanceViolation::IllTypedValue {
                                 object: self.object_name(member).to_owned(),
@@ -612,7 +705,7 @@ impl Database {
                 }
             }
             if let Some(constraint) = &class.constraint {
-                for &member in &members {
+                for member in members.into_iter().flatten() {
                     if !crate::eval::eval_constraint_for(self, constraint, member) {
                         violations.push(ConformanceViolation::ConstraintViolated {
                             object: self.object_name(member).to_owned(),
@@ -820,15 +913,26 @@ pub(crate) mod tests {
         let mary = db.object("mary").expect("exists");
         let welby = db.object("welby").expect("exists");
         assert_eq!(
-            db.attr_out(mary, "consults"),
-            Some(&BTreeSet::from([welby]))
+            db.attr_out(mary, "consults").expect("indexed"),
+            &BTreeSet::from([welby])
         );
-        assert_eq!(db.attr_in(welby, "consults"), Some(&BTreeSet::from([mary])));
         assert_eq!(
-            db.class_extent_ref("Patient"),
-            Some(&db.class_extent("Patient"))
+            db.attr_in(welby, "consults").expect("indexed"),
+            &BTreeSet::from([mary])
+        );
+        assert_eq!(
+            db.class_extent_ref("Patient").expect("asserted"),
+            &db.class_extent("Patient")
         );
         assert!(db.class_extent_ref("Nonsense").is_none());
+        assert_eq!(db.class_cardinality("Patient"), 1);
+        assert_eq!(db.class_cardinality("Nonsense"), 0);
+        let consults = db.attr_cardinality("consults");
+        assert_eq!(
+            (consults.pairs, consults.sources, consults.targets),
+            (1, 1, 1)
+        );
+        assert_eq!(db.attr_cardinality("nonsense"), AttrCardinality::default());
     }
 
     #[test]

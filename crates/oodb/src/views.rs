@@ -39,9 +39,10 @@
 //! dropped and rebuilt only when the schema changes (the subsumption
 //! relation itself may then change); data updates never touch it.
 
-use crate::eval::evaluate_query;
+use crate::eval::evaluate_query_set;
 use crate::maintain::{refresh_views, routes_nothing, DependencyIndex, MaintenanceStats};
-use crate::store::{Database, ObjId};
+use crate::objset::ObjSet;
+use crate::store::Database;
 use std::collections::BTreeSet;
 use std::sync::{Arc, RwLock};
 use subq_concepts::term::ConceptId;
@@ -59,8 +60,9 @@ use subq_dl::QueryClassDecl;
 pub struct MaterializedView {
     /// The view definition (a query class without a constraint clause).
     pub definition: Arc<QueryClassDecl>,
-    /// The stored extension.
-    pub extent: Arc<BTreeSet<ObjId>>,
+    /// The stored extension, as a compressed bitmap over dense object
+    /// ids (see [`crate::objset`]).
+    pub extent: Arc<ObjSet>,
     /// The [`Database::data_version`] the extension reflects: the view is
     /// fresh iff `fresh_as_of == db.data_version()`, and a refresh replays
     /// exactly the deltas after this version.
@@ -224,7 +226,7 @@ impl ViewCatalog {
                 query: definition.name.clone(),
             });
         }
-        let extent = evaluate_query(db, definition);
+        let extent = evaluate_query_set(db, definition, None);
         views.push(MaterializedView {
             definition: Arc::new(definition.clone()),
             extent: Arc::new(extent),
@@ -602,7 +604,7 @@ impl ViewCatalog {
         let now = db.data_version();
         for view in self.write().iter_mut() {
             if view.force_refresh || view.fresh_as_of < now {
-                view.extent = Arc::new(evaluate_query(db, &view.definition));
+                view.extent = Arc::new(evaluate_query_set(db, &view.definition, None));
                 view.fresh_as_of = now;
                 view.force_refresh = false;
             }
@@ -851,6 +853,7 @@ fn classify_one(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate_query;
     use subq_dl::samples;
 
     fn db() -> Database {

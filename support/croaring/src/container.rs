@@ -1,0 +1,590 @@
+//! The three physical container kinds of a 16-bit chunk.
+//!
+//! Every container stores the low 16 bits of the values sharing one high
+//! 16-bit key:
+//!
+//! * [`Container::Array`] — a sorted `Vec<u16>`, at most [`ARRAY_MAX`]
+//!   elements (4 096). Membership is a binary search, intersection with
+//!   anything is a probe loop proportional to the array.
+//! * [`Container::Bits`] — 1 024 `u64` words (one bit per possible low
+//!   value) with the cardinality cached. Pairwise `and`/`or`/`and_not`/
+//!   `intersect_len` are 64-way word-parallel.
+//! * [`Container::Runs`] — sorted, disjoint, non-adjacent inclusive
+//!   intervals `(start, last)`. One run covering the whole chunk
+//!   represents 65 536 values in 4 bytes — the shape of dense object-id
+//!   universes.
+//!
+//! Containers self-normalize: an array outgrowing [`ARRAY_MAX`] promotes
+//! to bits, a bits container shrinking to [`ARRAY_MAX`] demotes to an
+//! array, and a run list degenerating into many short runs converts to
+//! whichever of the other two fits. Binary ops return array or bits
+//! containers; [`Container::run_optimize`] re-compresses afterwards.
+
+/// Maximum cardinality of an array container; one more element promotes
+/// it to a bits container (and a bits container demotes back at this
+/// size).
+pub const ARRAY_MAX: usize = 4096;
+
+/// Maximum number of runs before a run container converts to array or
+/// bits (beyond this the run list is no smaller than the alternatives).
+pub const RUN_MAX: usize = 2047;
+
+/// Number of `u64` words in a bits container.
+pub const WORDS: usize = 1 << 10;
+
+/// One 16-bit chunk of a bitmap.
+#[derive(Clone, Debug)]
+pub enum Container {
+    /// Sorted values, `len <= ARRAY_MAX`.
+    Array(Vec<u16>),
+    /// Uncompressed bit set with cached cardinality.
+    Bits { words: Box<[u64; WORDS]>, len: u32 },
+    /// Sorted, disjoint, non-adjacent inclusive runs.
+    Runs(Vec<(u16, u16)>),
+}
+
+impl Container {
+    /// An empty array container.
+    pub fn new() -> Self {
+        Container::Array(Vec::new())
+    }
+
+    /// A container holding the inclusive low-value range `lo..=hi`.
+    pub fn full_run(lo: u16, hi: u16) -> Self {
+        debug_assert!(lo <= hi);
+        Container::Runs(vec![(lo, hi)])
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Container::Array(values) => values.len(),
+            Container::Bits { len, .. } => *len as usize,
+            Container::Runs(runs) => runs
+                .iter()
+                .map(|&(start, last)| (last - start) as usize + 1)
+                .sum(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Container::Array(values) => values.is_empty(),
+            Container::Bits { len, .. } => *len == 0,
+            Container::Runs(runs) => runs.is_empty(),
+        }
+    }
+
+    pub fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(values) => values.binary_search(&low).is_ok(),
+            Container::Bits { words, .. } => words[(low >> 6) as usize] & (1u64 << (low & 63)) != 0,
+            Container::Runs(runs) => match runs.partition_point(|&(start, _)| start <= low) {
+                0 => false,
+                at => runs[at - 1].1 >= low,
+            },
+        }
+    }
+
+    /// Inserts `low`; returns whether it was absent. Promotes an array at
+    /// the [`ARRAY_MAX`] boundary and re-forms a degenerate run list.
+    pub fn insert(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(values) => match values.binary_search(&low) {
+                Ok(_) => false,
+                Err(at) => {
+                    if values.len() == ARRAY_MAX {
+                        let mut bits = self.to_bits();
+                        bits.insert(low);
+                        *self = bits;
+                    } else {
+                        values.insert(at, low);
+                    }
+                    true
+                }
+            },
+            Container::Bits { words, len } => {
+                let word = &mut words[(low >> 6) as usize];
+                let mask = 1u64 << (low & 63);
+                if *word & mask != 0 {
+                    false
+                } else {
+                    *word |= mask;
+                    *len += 1;
+                    true
+                }
+            }
+            Container::Runs(runs) => {
+                // The run starting at or before `low`, if any.
+                let at = runs.partition_point(|&(start, _)| start <= low);
+                if at > 0 && runs[at - 1].1 >= low {
+                    return false; // Covered.
+                }
+                let extends_prev = at > 0 && low > 0 && runs[at - 1].1 == low - 1;
+                let extends_next = at < runs.len() && low < u16::MAX && runs[at].0 == low + 1;
+                match (extends_prev, extends_next) {
+                    (true, true) => {
+                        // Bridges two runs into one.
+                        runs[at - 1].1 = runs[at].1;
+                        runs.remove(at);
+                    }
+                    (true, false) => runs[at - 1].1 = low,
+                    (false, true) => runs[at].0 = low,
+                    (false, false) => {
+                        runs.insert(at, (low, low));
+                        if runs.len() > RUN_MAX {
+                            *self = self.to_bits().normalized();
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes `low`; returns whether it was present. Demotes a bits
+    /// container at the [`ARRAY_MAX`] boundary and splits runs.
+    pub fn remove(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(values) => match values.binary_search(&low) {
+                Ok(at) => {
+                    values.remove(at);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bits { words, len } => {
+                let word = &mut words[(low >> 6) as usize];
+                let mask = 1u64 << (low & 63);
+                if *word & mask == 0 {
+                    return false;
+                }
+                *word &= !mask;
+                *len -= 1;
+                if *len as usize <= ARRAY_MAX {
+                    *self = std::mem::take(self).normalized();
+                }
+                true
+            }
+            Container::Runs(runs) => {
+                let at = runs.partition_point(|&(start, _)| start <= low);
+                if at == 0 || runs[at - 1].1 < low {
+                    return false;
+                }
+                let (start, last) = runs[at - 1];
+                match (start == low, last == low) {
+                    (true, true) => {
+                        runs.remove(at - 1);
+                    }
+                    (true, false) => runs[at - 1].0 = low + 1,
+                    (false, true) => runs[at - 1].1 = low - 1,
+                    (false, false) => {
+                        // Split the run around the removed value.
+                        runs[at - 1].1 = low - 1;
+                        runs.insert(at, (low + 1, last));
+                        if runs.len() > RUN_MAX {
+                            *self = self.to_bits().normalized();
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Number of stored values `<= low`.
+    pub fn rank(&self, low: u16) -> usize {
+        match self {
+            Container::Array(values) => values.partition_point(|&v| v <= low),
+            Container::Bits { words, .. } => {
+                let word_index = (low >> 6) as usize;
+                let full: u32 = words[..word_index].iter().map(|w| w.count_ones()).sum();
+                let bit = low & 63;
+                let mask = if bit == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (bit + 1)) - 1
+                };
+                full as usize + (words[word_index] & mask).count_ones() as usize
+            }
+            Container::Runs(runs) => {
+                let mut count = 0usize;
+                for &(start, last) in runs {
+                    if start > low {
+                        break;
+                    }
+                    count += (last.min(low) - start) as usize + 1;
+                }
+                count
+            }
+        }
+    }
+
+    /// The `k`-th smallest stored value (0-based). Panics when
+    /// `k >= len()`.
+    pub fn select(&self, k: usize) -> u16 {
+        match self {
+            Container::Array(values) => values[k],
+            Container::Bits { words, .. } => {
+                let mut remaining = k;
+                for (word_index, &word) in words.iter().enumerate() {
+                    let ones = word.count_ones() as usize;
+                    if remaining < ones {
+                        let mut word = word;
+                        for _ in 0..remaining {
+                            word &= word - 1; // Clear lowest set bit.
+                        }
+                        return ((word_index as u16) << 6) | word.trailing_zeros() as u16;
+                    }
+                    remaining -= ones;
+                }
+                unreachable!("select index out of range")
+            }
+            Container::Runs(runs) => {
+                let mut remaining = k;
+                for &(start, last) in runs {
+                    let run_len = (last - start) as usize + 1;
+                    if remaining < run_len {
+                        return start + remaining as u16;
+                    }
+                    remaining -= run_len;
+                }
+                unreachable!("select index out of range")
+            }
+        }
+    }
+
+    /// The content as a bits container (copying).
+    pub fn to_bits(&self) -> Container {
+        match self {
+            Container::Bits { words, len } => Container::Bits {
+                words: words.clone(),
+                len: *len,
+            },
+            Container::Array(values) => {
+                let mut words = Box::new([0u64; WORDS]);
+                for &v in values {
+                    words[(v >> 6) as usize] |= 1u64 << (v & 63);
+                }
+                Container::Bits {
+                    words,
+                    len: values.len() as u32,
+                }
+            }
+            Container::Runs(runs) => {
+                let mut words = Box::new([0u64; WORDS]);
+                let mut len = 0u32;
+                for &(start, last) in runs {
+                    set_word_range(&mut words, start, last);
+                    len += (last - start) as u32 + 1;
+                }
+                Container::Bits { words, len }
+            }
+        }
+    }
+
+    /// Re-forms the container into the canonical array/bits shape for its
+    /// cardinality (runs are only produced by [`Container::run_optimize`]
+    /// or the run constructors).
+    pub fn normalized(self) -> Container {
+        match self {
+            Container::Bits { words, len } if (len as usize) <= ARRAY_MAX => {
+                let mut values = Vec::with_capacity(len as usize);
+                for (word_index, &word) in words.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let bit = word.trailing_zeros() as u16;
+                        values.push(((word_index as u16) << 6) | bit);
+                        word &= word - 1;
+                    }
+                }
+                Container::Array(values)
+            }
+            other @ Container::Bits { .. } => other,
+            Container::Array(values) if values.len() > ARRAY_MAX => {
+                Container::Array(values).to_bits()
+            }
+            other => other,
+        }
+    }
+
+    /// Converts to a run container when the content compresses well
+    /// (average run length of at least four values), to the canonical
+    /// array/bits shape otherwise.
+    pub fn run_optimize(&mut self) {
+        let mut runs: Vec<(u16, u16)> = Vec::new();
+        for v in self.iter_values() {
+            match runs.last_mut() {
+                Some((_, last)) if *last + 1 == v => *last = v,
+                _ => runs.push((v, v)),
+            }
+        }
+        let len = self.len();
+        if !runs.is_empty() && runs.len() <= RUN_MAX && runs.len() * 4 <= len {
+            *self = Container::Runs(runs);
+        }
+    }
+
+    /// All stored low values, ascending (allocation-free cursor).
+    pub fn iter_values(&self) -> ContainerIter<'_> {
+        ContainerIter::new(self, 0)
+    }
+
+    /// Intersection; `None` when empty.
+    pub fn and(&self, other: &Container) -> Option<Container> {
+        let result = match (self, other) {
+            // A probe loop from the smaller array side stays an array.
+            (Container::Array(values), _) => Container::Array(
+                values
+                    .iter()
+                    .copied()
+                    .filter(|&v| other.contains(v))
+                    .collect(),
+            ),
+            (_, Container::Array(values)) => Container::Array(
+                values
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.contains(v))
+                    .collect(),
+            ),
+            (Container::Bits { words: a, .. }, Container::Bits { words: b, .. }) => {
+                let mut words = Box::new([0u64; WORDS]);
+                let mut len = 0u32;
+                for i in 0..WORDS {
+                    let w = a[i] & b[i];
+                    len += w.count_ones();
+                    words[i] = w;
+                }
+                Container::Bits { words, len }.normalized()
+            }
+            // At least one run container and no array: go word-parallel.
+            _ => return self.to_bits().and(&other.to_bits()),
+        };
+        (!result.is_empty()).then_some(result)
+    }
+
+    /// Intersection cardinality without materializing the result.
+    pub fn intersect_len(&self, other: &Container) -> usize {
+        match (self, other) {
+            (Container::Array(values), _) => values.iter().filter(|&&v| other.contains(v)).count(),
+            (_, Container::Array(values)) => values.iter().filter(|&&v| self.contains(v)).count(),
+            (Container::Bits { words: a, .. }, Container::Bits { words: b, .. }) => (0..WORDS)
+                .map(|i| (a[i] & b[i]).count_ones() as usize)
+                .sum(),
+            (Container::Runs(a), Container::Runs(b)) => {
+                // Two-pointer overlap of sorted disjoint interval lists.
+                let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+                while i < a.len() && j < b.len() {
+                    let lo = a[i].0.max(b[j].0);
+                    let hi = a[i].1.min(b[j].1);
+                    if lo <= hi {
+                        count += (hi - lo) as usize + 1;
+                    }
+                    if a[i].1 <= b[j].1 {
+                        i += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                count
+            }
+            _ => self.to_bits().intersect_len(&other.to_bits()),
+        }
+    }
+
+    /// Union.
+    pub fn or(&self, other: &Container) -> Container {
+        match (self, other) {
+            (Container::Array(a), Container::Array(b)) if a.len() + b.len() <= ARRAY_MAX => {
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&a[i..]);
+                merged.extend_from_slice(&b[j..]);
+                Container::Array(merged)
+            }
+            _ => {
+                let (mut acc, small) = if matches!(self, Container::Bits { .. }) {
+                    (self.to_bits(), other)
+                } else if matches!(other, Container::Bits { .. }) {
+                    (other.to_bits(), self)
+                } else {
+                    (self.to_bits(), other)
+                };
+                match (&mut acc, small) {
+                    (Container::Bits { words, len }, Container::Bits { words: b, .. }) => {
+                        let mut total = 0u32;
+                        for i in 0..WORDS {
+                            words[i] |= b[i];
+                            total += words[i].count_ones();
+                        }
+                        *len = total;
+                    }
+                    (acc_bits, small) => {
+                        for v in small.iter_values() {
+                            acc_bits.insert(v);
+                        }
+                    }
+                }
+                acc.normalized()
+            }
+        }
+    }
+
+    /// Difference `self \ other`; `None` when empty.
+    pub fn and_not(&self, other: &Container) -> Option<Container> {
+        let result = match (self, other) {
+            (Container::Array(values), _) => Container::Array(
+                values
+                    .iter()
+                    .copied()
+                    .filter(|&v| !other.contains(v))
+                    .collect(),
+            ),
+            (Container::Bits { words: a, .. }, Container::Bits { words: b, .. }) => {
+                let mut words = Box::new([0u64; WORDS]);
+                let mut len = 0u32;
+                for i in 0..WORDS {
+                    let w = a[i] & !b[i];
+                    len += w.count_ones();
+                    words[i] = w;
+                }
+                Container::Bits { words, len }.normalized()
+            }
+            _ => return self.to_bits().and_not(&other.to_bits()),
+        };
+        (!result.is_empty()).then_some(result)
+    }
+}
+
+impl Default for Container {
+    fn default() -> Self {
+        Container::new()
+    }
+}
+
+/// Sets bits `start..=last` across the word array.
+fn set_word_range(words: &mut [u64; WORDS], start: u16, last: u16) {
+    let (first_word, last_word) = ((start >> 6) as usize, (last >> 6) as usize);
+    let head = u64::MAX << (start & 63);
+    let tail = u64::MAX >> (63 - (last & 63));
+    if first_word == last_word {
+        words[first_word] |= head & tail;
+    } else {
+        words[first_word] |= head;
+        for word in &mut words[first_word + 1..last_word] {
+            *word = u64::MAX;
+        }
+        words[last_word] |= tail;
+    }
+}
+
+/// Ascending cursor over one container's low values.
+#[derive(Clone, Debug)]
+pub enum ContainerIter<'a> {
+    Array(std::slice::Iter<'a, u16>),
+    Bits {
+        words: &'a [u64; WORDS],
+        word_index: usize,
+        word: u64,
+    },
+    Runs {
+        runs: &'a [(u16, u16)],
+        run_index: usize,
+        /// Next value to yield (u32 so the run end 65 535 does not wrap).
+        next: u32,
+    },
+}
+
+impl<'a> ContainerIter<'a> {
+    /// A cursor positioned at the first stored value `>= from`.
+    pub fn new(container: &'a Container, from: u16) -> Self {
+        match container {
+            Container::Array(values) => {
+                let at = values.partition_point(|&v| v < from);
+                ContainerIter::Array(values[at..].iter())
+            }
+            Container::Bits { words, .. } => {
+                let word_index = (from >> 6) as usize;
+                let word = words[word_index] & (u64::MAX << (from & 63));
+                ContainerIter::Bits {
+                    words,
+                    word_index,
+                    word,
+                }
+            }
+            Container::Runs(runs) => {
+                let run_index = runs.partition_point(|&(_, last)| last < from);
+                let next = match runs.get(run_index) {
+                    Some(&(start, _)) => u32::from(start.max(from)),
+                    None => 1 << 16,
+                };
+                ContainerIter::Runs {
+                    runs,
+                    run_index,
+                    next,
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ContainerIter<'_> {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        match self {
+            ContainerIter::Array(iter) => iter.next().copied(),
+            ContainerIter::Bits {
+                words,
+                word_index,
+                word,
+            } => {
+                while *word == 0 {
+                    *word_index += 1;
+                    if *word_index >= WORDS {
+                        return None;
+                    }
+                    *word = words[*word_index];
+                }
+                let bit = word.trailing_zeros() as u16;
+                *word &= *word - 1;
+                Some(((*word_index as u16) << 6) | bit)
+            }
+            ContainerIter::Runs {
+                runs,
+                run_index,
+                next,
+            } => {
+                let &(_, last) = runs.get(*run_index)?;
+                let value = *next as u16;
+                if *next >= u32::from(last) {
+                    *run_index += 1;
+                    *next = match runs.get(*run_index) {
+                        Some(&(start, _)) => u32::from(start),
+                        None => 1 << 16,
+                    };
+                } else {
+                    *next += 1;
+                }
+                Some(value)
+            }
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Offline in-tree stand-in for a roaring-bitmap crate.
+//!
+//! A [`Bitmap`] is a compressed set of `u32` values, chunked by the high
+//! 16 bits into [`container::Container`]s (sorted array / uncompressed
+//! bits / run-length intervals). Dense chunks get word-parallel set
+//! algebra, sparse chunks stay proportional to their cardinality, and
+//! contiguous id ranges — the shape of a dense object universe —
+//! compress to a handful of runs.
+//!
+//! Beyond the usual `and`/`or`/`and_not`/`intersect_len`, the crate
+//! exposes `rank`/`select` and bounded iteration so a caller can split a
+//! bitmap into cardinality-balanced id-range shards ([`Bitmap::shards`])
+//! for scatter-gather processing.
+
+mod container;
+
+pub use container::{ARRAY_MAX, RUN_MAX};
+
+use container::{Container, ContainerIter};
+
+/// A compressed bitmap over `u32`.
+#[derive(Clone, Default)]
+pub struct Bitmap {
+    /// Non-empty containers, sorted by high-16-bit key.
+    containers: Vec<(u16, Container)>,
+}
+
+#[inline]
+fn key(value: u32) -> u16 {
+    (value >> 16) as u16
+}
+
+#[inline]
+fn low(value: u32) -> u16 {
+    (value & 0xFFFF) as u16
+}
+
+impl Bitmap {
+    pub fn new() -> Self {
+        Bitmap {
+            containers: Vec::new(),
+        }
+    }
+
+    /// The set `range.start..range.end`, built from run containers:
+    /// O(range / 65 536) regardless of cardinality.
+    pub fn from_range(range: std::ops::Range<u32>) -> Self {
+        let mut containers = Vec::new();
+        if range.start >= range.end {
+            return Bitmap { containers };
+        }
+        let last = range.end - 1;
+        for chunk in key(range.start)..=key(last) {
+            let lo = if chunk == key(range.start) {
+                low(range.start)
+            } else {
+                0
+            };
+            let hi = if chunk == key(last) {
+                low(last)
+            } else {
+                u16::MAX
+            };
+            containers.push((chunk, Container::full_run(lo, hi)));
+        }
+        Bitmap { containers }
+    }
+
+    pub fn len(&self) -> usize {
+        self.containers.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    fn container_index(&self, chunk: u16) -> Result<usize, usize> {
+        self.containers.binary_search_by_key(&chunk, |&(k, _)| k)
+    }
+
+    pub fn contains(&self, value: u32) -> bool {
+        match self.container_index(key(value)) {
+            Ok(at) => self.containers[at].1.contains(low(value)),
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts `value`; returns whether it was absent.
+    pub fn insert(&mut self, value: u32) -> bool {
+        match self.container_index(key(value)) {
+            Ok(at) => self.containers[at].1.insert(low(value)),
+            Err(at) => {
+                self.containers
+                    .insert(at, (key(value), Container::Array(vec![low(value)])));
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns whether it was present.
+    pub fn remove(&mut self, value: u32) -> bool {
+        match self.container_index(key(value)) {
+            Ok(at) => {
+                let removed = self.containers[at].1.remove(low(value));
+                if removed && self.containers[at].1.is_empty() {
+                    self.containers.remove(at);
+                }
+                removed
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.containers.clear();
+    }
+
+    pub fn min(&self) -> Option<u32> {
+        self.containers
+            .first()
+            .map(|&(k, ref c)| (u32::from(k) << 16) | u32::from(c.select(0)))
+    }
+
+    pub fn max(&self) -> Option<u32> {
+        self.containers
+            .last()
+            .map(|&(k, ref c)| (u32::from(k) << 16) | u32::from(c.select(c.len() - 1)))
+    }
+
+    /// Number of stored values `<= value`.
+    pub fn rank(&self, value: u32) -> usize {
+        let mut count = 0usize;
+        for &(k, ref c) in &self.containers {
+            if k < key(value) {
+                count += c.len();
+            } else if k == key(value) {
+                count += c.rank(low(value));
+            } else {
+                break;
+            }
+        }
+        count
+    }
+
+    /// The `k`-th smallest stored value (0-based).
+    pub fn select(&self, k: usize) -> Option<u32> {
+        let mut remaining = k;
+        for &(chunk, ref c) in &self.containers {
+            let card = c.len();
+            if remaining < card {
+                return Some((u32::from(chunk) << 16) | u32::from(c.select(remaining)));
+            }
+            remaining -= card;
+        }
+        None
+    }
+
+    /// Intersection.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let mut containers = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.containers.len() && j < other.containers.len() {
+            let (ka, ref ca) = self.containers[i];
+            let (kb, ref cb) = other.containers[j];
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if let Some(c) = ca.and(cb) {
+                        containers.push((ka, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Bitmap { containers }
+    }
+
+    /// In-place intersection.
+    pub fn and_inplace(&mut self, other: &Bitmap) {
+        *self = self.and(other);
+    }
+
+    /// Union.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let mut containers = Vec::with_capacity(self.containers.len().max(other.containers.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.containers.len() || j < other.containers.len() {
+            match (self.containers.get(i), other.containers.get(j)) {
+                (Some(&(ka, ref ca)), Some(&(kb, ref cb))) => match ka.cmp(&kb) {
+                    std::cmp::Ordering::Less => {
+                        containers.push((ka, ca.clone()));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        containers.push((kb, cb.clone()));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        containers.push((ka, ca.or(cb)));
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&(ka, ref ca)), None) => {
+                    containers.push((ka, ca.clone()));
+                    i += 1;
+                }
+                (None, Some(&(kb, ref cb))) => {
+                    containers.push((kb, cb.clone()));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        Bitmap { containers }
+    }
+
+    /// In-place union.
+    pub fn or_inplace(&mut self, other: &Bitmap) {
+        *self = self.or(other);
+    }
+
+    /// Difference `self \ other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        let mut containers = Vec::with_capacity(self.containers.len());
+        for &(chunk, ref c) in &self.containers {
+            match other.container_index(chunk) {
+                Ok(at) => {
+                    if let Some(diff) = c.and_not(&other.containers[at].1) {
+                        containers.push((chunk, diff));
+                    }
+                }
+                Err(_) => containers.push((chunk, c.clone())),
+            }
+        }
+        Bitmap { containers }
+    }
+
+    /// Intersection cardinality without materializing the result.
+    pub fn intersect_len(&self, other: &Bitmap) -> usize {
+        let mut count = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.containers.len() && j < other.containers.len() {
+            let (ka, ref ca) = self.containers[i];
+            let (kb, ref cb) = other.containers[j];
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += ca.intersect_len(cb);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Whether the two sets share any value.
+    pub fn intersects(&self, other: &Bitmap) -> bool {
+        self.intersect_len(other) > 0
+    }
+
+    /// Whether every value of `self` is in `other`.
+    pub fn is_subset(&self, other: &Bitmap) -> bool {
+        self.len() == self.intersect_len(other)
+    }
+
+    /// Re-compresses every container (dense chunks become runs when
+    /// beneficial). Call after bulk construction, not per mutation.
+    pub fn run_optimize(&mut self) {
+        for (_, c) in &mut self.containers {
+            c.run_optimize();
+        }
+    }
+
+    /// Ascending iterator over all stored values.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            containers: &self.containers,
+            front: 0,
+            inner: None,
+            end: 1 << 32,
+        }
+    }
+
+    /// Ascending iterator over stored values in `[start, end)` — `end` is
+    /// `u64` so the range can cover `u32::MAX` inclusively.
+    pub fn iter_range(&self, start: u32, end: u64) -> Iter<'_> {
+        let front = self.containers.partition_point(|&(k, _)| k < key(start));
+        let inner = self
+            .containers
+            .get(front)
+            .and_then(|&(k, ref c)| (k == key(start)).then(|| ContainerIter::new(c, low(start))));
+        Iter {
+            containers: &self.containers,
+            front: if inner.is_some() { front + 1 } else { front },
+            inner: inner.map(|it| (key(start), it)),
+            end,
+        }
+    }
+
+    /// Splits the set into at most `p` cardinality-balanced, disjoint,
+    /// ascending id-range iterators covering every stored value — the
+    /// scatter side of scatter-gather execution.
+    pub fn shards(&self, p: usize) -> Vec<Iter<'_>> {
+        let total = self.len();
+        let p = p.max(1).min(total.max(1));
+        if total == 0 {
+            return vec![self.iter()];
+        }
+        let mut shards = Vec::with_capacity(p);
+        let mut start = 0u32;
+        for s in 0..p {
+            let end = if s + 1 == p {
+                1u64 << 32
+            } else {
+                // First value of the next shard: the (s+1)·total/p-th
+                // smallest element.
+                match self.select((s + 1) * total / p) {
+                    Some(v) => u64::from(v),
+                    None => 1u64 << 32,
+                }
+            };
+            if u64::from(start) >= end && s > 0 {
+                continue; // Degenerate split point; shard would be empty.
+            }
+            shards.push(self.iter_range(start, end));
+            if end >= 1u64 << 32 {
+                break;
+            }
+            start = end as u32;
+        }
+        shards
+    }
+}
+
+impl FromIterator<u32> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut bitmap = Bitmap::new();
+        for value in iter {
+            bitmap.insert(value);
+        }
+        bitmap
+    }
+}
+
+impl Extend<u32> for Bitmap {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for value in iter {
+            self.insert(value);
+        }
+    }
+}
+
+impl PartialEq for Bitmap {
+    fn eq(&self, other: &Self) -> bool {
+        // Containers holding the same content may differ physically
+        // (array vs runs), so compare semantically.
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Bitmap {}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut set = f.debug_set();
+        for (shown, value) in self.iter().enumerate() {
+            if shown == 32 {
+                set.entry(&format_args!("… {} more", self.len() - shown));
+                return set.finish();
+            }
+            set.entry(&value);
+        }
+        set.finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitmap {
+    type Item = u32;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over a [`Bitmap`], optionally bounded.
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    containers: &'a [(u16, Container)],
+    /// Next container index once `inner` drains.
+    front: usize,
+    inner: Option<(u16, ContainerIter<'a>)>,
+    /// Exclusive upper bound on yielded values.
+    end: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if let Some((chunk, ref mut it)) = self.inner {
+                if let Some(lo) = it.next() {
+                    let value = (u32::from(chunk) << 16) | u32::from(lo);
+                    if u64::from(value) >= self.end {
+                        self.inner = None;
+                        self.front = self.containers.len();
+                        return None;
+                    }
+                    return Some(value);
+                }
+                self.inner = None;
+            }
+            let &(chunk, ref container) = self.containers.get(self.front)?;
+            if (u64::from(chunk) << 16) >= self.end {
+                self.front = self.containers.len();
+                return None;
+            }
+            self.front += 1;
+            self.inner = Some((chunk, ContainerIter::new(container, 0)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bm = Bitmap::new();
+        assert!(bm.insert(5));
+        assert!(!bm.insert(5));
+        assert!(bm.insert(1 << 20));
+        assert!(bm.contains(5));
+        assert!(bm.contains(1 << 20));
+        assert!(!bm.contains(6));
+        assert_eq!(bm.len(), 2);
+        assert!(bm.remove(5));
+        assert!(!bm.remove(5));
+        assert_eq!(bm.len(), 1);
+        assert!(!bm.is_empty());
+        assert!(bm.remove(1 << 20));
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    fn array_promotes_to_bits_at_4096() {
+        let mut bm = Bitmap::new();
+        for v in 0..ARRAY_MAX as u32 {
+            bm.insert(2 * v); // Spread out so no runs form.
+        }
+        assert_eq!(bm.len(), ARRAY_MAX);
+        bm.insert(2 * ARRAY_MAX as u32);
+        assert_eq!(bm.len(), ARRAY_MAX + 1);
+        for v in 0..=ARRAY_MAX as u32 {
+            assert!(bm.contains(2 * v), "missing {} after promotion", 2 * v);
+        }
+        // Demote back across the boundary.
+        bm.remove(0);
+        assert_eq!(bm.len(), ARRAY_MAX);
+        for v in 1..=ARRAY_MAX as u32 {
+            assert!(bm.contains(2 * v), "missing {} after demotion", 2 * v);
+        }
+    }
+
+    #[test]
+    fn from_range_is_run_compressed_and_correct() {
+        let bm = Bitmap::from_range(10..300_000);
+        assert_eq!(bm.len(), 300_000 - 10);
+        assert!(!bm.contains(9));
+        assert!(bm.contains(10));
+        assert!(bm.contains(299_999));
+        assert!(!bm.contains(300_000));
+        assert_eq!(bm.min(), Some(10));
+        assert_eq!(bm.max(), Some(299_999));
+        assert!(Bitmap::from_range(7..7).is_empty());
+    }
+
+    #[test]
+    fn set_algebra_small() {
+        let a: Bitmap = [1u32, 2, 3, 100_000, 200_000].into_iter().collect();
+        let b: Bitmap = [2u32, 3, 4, 200_000].into_iter().collect();
+        assert_eq!(a.and(&b), [2u32, 3, 200_000].into_iter().collect());
+        assert_eq!(
+            a.or(&b),
+            [1u32, 2, 3, 4, 100_000, 200_000].into_iter().collect()
+        );
+        assert_eq!(a.and_not(&b), [1u32, 100_000].into_iter().collect());
+        assert_eq!(a.intersect_len(&b), 3);
+        assert!(a.intersects(&b));
+        assert!(!a.is_subset(&b));
+        assert!(a.and(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn rank_select_roundtrip() {
+        let bm = Bitmap::from_range(0..100_000);
+        assert_eq!(bm.rank(0), 1);
+        assert_eq!(bm.rank(99_999), 100_000);
+        assert_eq!(bm.select(0), Some(0));
+        assert_eq!(bm.select(70_000), Some(70_000));
+        assert_eq!(bm.select(100_000), None);
+        let sparse: Bitmap = [10u32, 20, 1 << 17, 1 << 30].into_iter().collect();
+        for (k, v) in sparse.iter().enumerate() {
+            assert_eq!(sparse.select(k), Some(v));
+            assert_eq!(sparse.rank(v), k + 1);
+        }
+    }
+
+    #[test]
+    fn iter_range_respects_bounds() {
+        let bm = Bitmap::from_range(0..200_000);
+        let got: Vec<u32> = bm.iter_range(65_530, 65_540).collect();
+        assert_eq!(got, (65_530..65_540).collect::<Vec<u32>>());
+        let empty: Vec<u32> = bm.iter_range(300_000, 400_000).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn shards_partition_everything() {
+        let bm = Bitmap::from_range(5..250_000);
+        for p in [1usize, 2, 3, 4, 7, 16] {
+            let mut all = Vec::new();
+            let shards = bm.shards(p);
+            assert!(shards.len() <= p);
+            let mut sizes = Vec::new();
+            for shard in shards {
+                let part: Vec<u32> = shard.collect();
+                sizes.push(part.len());
+                all.extend(part);
+            }
+            assert_eq!(all.len(), bm.len(), "p={p} lost or duplicated values");
+            assert!(all.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(all.first(), Some(&5));
+            // Balanced to within one select-granularity step.
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "p={p} imbalance: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn run_optimize_preserves_content() {
+        let mut bm: Bitmap = (0u32..10_000).chain(50_000..50_010).collect();
+        let before: Vec<u32> = bm.iter().collect();
+        bm.run_optimize();
+        let after: Vec<u32> = bm.iter().collect();
+        assert_eq!(before, after);
+        // Mutation after optimization still works.
+        assert!(bm.remove(5_000));
+        assert!(bm.insert(5_000));
+        assert!(bm.insert(40_000));
+        assert_eq!(bm.len(), before.len() + 1);
+    }
+
+    #[test]
+    fn equality_is_semantic_across_representations() {
+        let runs = Bitmap::from_range(0..5_000);
+        let inserted: Bitmap = (0u32..5_000).collect();
+        assert_eq!(runs, inserted);
+        let mut optimized = inserted.clone();
+        optimized.run_optimize();
+        assert_eq!(optimized, runs);
+    }
+}

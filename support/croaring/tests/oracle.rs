@@ -1,0 +1,212 @@
+//! Property tests of [`croaring::Bitmap`] against a `BTreeSet<u32>`
+//! oracle: random op sequences over adversarial densities, plus the
+//! container-promotion boundary at 4 096 elements.
+
+use std::collections::BTreeSet;
+
+use croaring::{Bitmap, ARRAY_MAX};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Checks every read-side operation of `bm` against the oracle.
+fn assert_matches(bm: &Bitmap, oracle: &BTreeSet<u32>, context: &str) {
+    assert_eq!(bm.len(), oracle.len(), "{context}: len");
+    assert_eq!(bm.is_empty(), oracle.is_empty(), "{context}: is_empty");
+    assert!(
+        bm.iter().eq(oracle.iter().copied()),
+        "{context}: iteration order/content"
+    );
+    assert_eq!(bm.min(), oracle.first().copied(), "{context}: min");
+    assert_eq!(bm.max(), oracle.last().copied(), "{context}: max");
+}
+
+/// Draws a value from one of several adversarial densities.
+fn draw(rng: &mut StdRng, universe: u32) -> u32 {
+    match rng.gen_range(0u32..4) {
+        // Dense low range — forces runs/bits containers.
+        0 => rng.gen_range(0..universe / 16 + 1),
+        // Around a container boundary (multiples of 65 536).
+        1 => {
+            let boundary = rng.gen_range(1u32..4) << 16;
+            let offset = rng.gen_range(0i64..8) - 4;
+            boundary.wrapping_add(offset as u32)
+        }
+        // Sparse across the whole universe.
+        2 => rng.gen_range(0..universe),
+        // Very high ids (multiple containers apart).
+        _ => (rng.gen_range(16u32..64) << 16) | rng.gen_range(0u32..1 << 16),
+    }
+}
+
+#[test]
+fn random_op_sequences_match_btreeset_oracle() {
+    for seed in 0u64..12 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        let universe: u32 = match seed % 4 {
+            0 => 64,        // Tiny: mostly empty/singleton shapes.
+            1 => 5_000,     // Around one array container.
+            2 => 300_000,   // Several containers, mixed density.
+            _ => 4_000_000, // Wide and sparse.
+        };
+        let mut bm = Bitmap::new();
+        let mut oracle: BTreeSet<u32> = BTreeSet::new();
+        for step in 0..3_000 {
+            let v = draw(&mut rng, universe);
+            if rng.gen_bool(0.65) {
+                assert_eq!(
+                    bm.insert(v),
+                    oracle.insert(v),
+                    "seed {seed} step {step}: insert({v}) novelty"
+                );
+            } else {
+                assert_eq!(
+                    bm.remove(v),
+                    oracle.remove(&v),
+                    "seed {seed} step {step}: remove({v}) presence"
+                );
+            }
+            assert_eq!(
+                bm.contains(v),
+                oracle.contains(&v),
+                "seed {seed} step {step}: contains({v})"
+            );
+            if step % 257 == 0 {
+                assert_matches(&bm, &oracle, &format!("seed {seed} step {step}"));
+            }
+            if step % 619 == 0 {
+                bm.run_optimize();
+            }
+        }
+        assert_matches(&bm, &oracle, &format!("seed {seed} final"));
+    }
+}
+
+#[test]
+fn binary_ops_match_btreeset_oracle() {
+    for seed in 0u64..10 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ seed);
+        let universe: u32 = [100, 10_000, 500_000][seed as usize % 3];
+        let build = |rng: &mut StdRng, density: f64| {
+            let mut bm = Bitmap::new();
+            let mut set = BTreeSet::new();
+            let count = ((universe as f64) * density) as usize;
+            for _ in 0..count {
+                let v = draw(rng, universe);
+                bm.insert(v);
+                set.insert(v);
+            }
+            if density > 0.5 {
+                bm.run_optimize();
+            }
+            (bm, set)
+        };
+        for &(da, db) in &[(0.0, 0.3), (0.01, 0.9), (0.5, 0.5), (0.9, 0.02)] {
+            let (a, sa) = build(&mut rng, da);
+            let (b, sb) = build(&mut rng, db);
+            let and: BTreeSet<u32> = sa.intersection(&sb).copied().collect();
+            let or: BTreeSet<u32> = sa.union(&sb).copied().collect();
+            let and_not: BTreeSet<u32> = sa.difference(&sb).copied().collect();
+            assert_matches(&a.and(&b), &and, "and");
+            assert_matches(&a.or(&b), &or, "or");
+            assert_matches(&a.and_not(&b), &and_not, "and_not");
+            assert_eq!(a.intersect_len(&b), and.len(), "intersect_len");
+            assert_eq!(a.intersects(&b), !and.is_empty(), "intersects");
+            assert_eq!(a.is_subset(&b), sa.is_subset(&sb), "is_subset");
+            let mut a2 = a.clone();
+            a2.and_inplace(&b);
+            assert_matches(&a2, &and, "and_inplace");
+            let mut a3 = a.clone();
+            a3.or_inplace(&b);
+            assert_matches(&a3, &or, "or_inplace");
+        }
+    }
+}
+
+#[test]
+fn rank_select_match_btreeset_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xABBA);
+    for &universe in &[70u32, 9_000, 800_000] {
+        let mut bm = Bitmap::new();
+        let mut oracle = BTreeSet::new();
+        for _ in 0..universe / 2 {
+            let v = draw(&mut rng, universe);
+            bm.insert(v);
+            oracle.insert(v);
+        }
+        bm.run_optimize();
+        let sorted: Vec<u32> = oracle.iter().copied().collect();
+        for (k, &v) in sorted.iter().enumerate() {
+            assert_eq!(bm.select(k), Some(v), "select({k})");
+            assert_eq!(bm.rank(v), k + 1, "rank({v})");
+            if v > 0 && !oracle.contains(&(v - 1)) {
+                assert_eq!(bm.rank(v - 1), k, "rank({}) below member", v - 1);
+            }
+        }
+        assert_eq!(bm.select(sorted.len()), None);
+        // Probe some absent values too.
+        for _ in 0..200 {
+            let v = draw(&mut rng, universe);
+            let expected = oracle.range(..=v).count();
+            assert_eq!(bm.rank(v), expected, "rank({v}) arbitrary");
+        }
+    }
+}
+
+#[test]
+fn promotion_boundary_at_4096() {
+    // Walk a single container across the array→bits boundary and back,
+    // checking the oracle at every width around the edge.
+    let mut bm = Bitmap::new();
+    let mut oracle = BTreeSet::new();
+    let spread = |i: u32| 3 * i; // Keeps values in one 16-bit chunk, non-contiguous.
+    for i in 0..(ARRAY_MAX as u32 + 8) {
+        bm.insert(spread(i));
+        oracle.insert(spread(i));
+        let width = oracle.len();
+        if (ARRAY_MAX - 2..=ARRAY_MAX + 2).contains(&width) {
+            assert_matches(&bm, &oracle, &format!("growing through {width}"));
+        }
+    }
+    // Binary ops straddling the boundary: one side array-sized, one bits-sized.
+    let small: Bitmap = (0u32..100).map(spread).collect();
+    let small_set: BTreeSet<u32> = (0u32..100).map(spread).collect();
+    assert_matches(&bm.and(&small), &small_set, "bits ∩ array");
+    assert_eq!(bm.intersect_len(&small), 100);
+    // Shrink back down through the demotion edge.
+    for i in (0..(ARRAY_MAX as u32 + 8)).rev() {
+        bm.remove(spread(i));
+        oracle.remove(&spread(i));
+        let width = oracle.len();
+        if (ARRAY_MAX - 2..=ARRAY_MAX + 2).contains(&width) {
+            assert_matches(&bm, &oracle, &format!("shrinking through {width}"));
+        }
+    }
+    assert!(bm.is_empty());
+}
+
+#[test]
+fn dense_runs_and_from_range_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for trial in 0..8 {
+        let start = rng.gen_range(0u32..200_000);
+        let len = rng.gen_range(1u32..150_000);
+        let mut bm = Bitmap::from_range(start..start + len);
+        let mut oracle: BTreeSet<u32> = (start..start + len).collect();
+        assert_matches(&bm, &oracle, &format!("trial {trial} range build"));
+        // Punch random holes through the runs, then refill some.
+        for _ in 0..500 {
+            let v = rng.gen_range(start.saturating_sub(10)..start + len + 10);
+            if rng.gen_bool(0.7) {
+                assert_eq!(bm.remove(v), oracle.remove(&v), "run remove({v})");
+            } else {
+                assert_eq!(bm.insert(v), oracle.insert(v), "run insert({v})");
+            }
+        }
+        assert_matches(&bm, &oracle, &format!("trial {trial} after holes"));
+        // Sharding a run-backed set must partition it exactly.
+        for p in [1usize, 3, 8] {
+            let gathered: Vec<u32> = bm.shards(p).into_iter().flatten().collect();
+            assert!(gathered.iter().copied().eq(oracle.iter().copied()));
+        }
+    }
+}
