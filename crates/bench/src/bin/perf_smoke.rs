@@ -20,7 +20,11 @@
 //!   intersection gate (committed and live), the core-proportional
 //!   8-shard scatter-gather bound, the cost-model plan-quality bounds
 //!   (committed and live), and the core-clamped 1M-object p99
-//!   plan+execute bound (see [`e12_checks`]).
+//!   plan+execute bound (see [`e12_checks`]);
+//! * the durable engine versus `BENCH_e13.json`: the ≥5× group-commit
+//!   amortization of the WAL write at batch 32, the ≥5× image+suffix
+//!   recovery advantage over full-log replay at 64k-entry logs, and the
+//!   checkpoint-image density ceiling (see [`e13_checks`]).
 //!
 //! Counters (unlike wall-clock) are deterministic, so these are hard
 //! assertions suitable for CI (with a small slack for intentional
@@ -440,6 +444,150 @@ fn e12_checks(failures: &mut Vec<String>) -> usize {
     checked
 }
 
+/// The E13 durability bounds. Both acceptance ratios are enforced on the
+/// committed table, where the filesystem they were measured on is part
+/// of the record:
+///
+/// * **group commit**: the committed batch-32 WAL write must be ≥5×
+///   cheaper per transaction than batch-1 — on any real store the fsync
+///   barrier dominates the append, so sharing it across 32 records
+///   clears 5× with an order of magnitude to spare. Live this is
+///   re-measured as a *warning* only: a runner whose scratch directory
+///   is tmpfs has (legitimately) nearly free fsyncs and no amortization
+///   to show;
+/// * **recovery**: the committed image+suffix recovery of a 64k-entry
+///   history must be ≥5× faster than full-log replay. This one *is*
+///   re-measured live as a hard check at a smaller size (16k entries,
+///   ≥2× floor — replay is CPU-bound, so a runner can dilute but not
+///   erase the advantage), with the full 4.5× printed as a warning when
+///   missed;
+/// * **image density**: every committed checkpoint-size row stays under
+///   200 bytes per object (the table records ≈17 — names dominate, the
+///   extents are compressed bitmaps).
+fn e13_checks(failures: &mut Vec<String>) -> usize {
+    let baseline = std::fs::read_to_string("BENCH_e13.json").unwrap_or_else(|error| {
+        panic!("cannot read BENCH_e13.json (run from the repository root): {error}")
+    });
+    let mut checked = 0usize;
+    let mut wal_ns: Vec<(usize, u64)> = Vec::new();
+    let mut recovery_ns: Vec<(String, u64, u64)> = Vec::new();
+    for line in baseline.lines() {
+        if !line.contains("\"e13_durability\"") {
+            continue;
+        }
+        match field(line, "arm").expect("arm field") {
+            "wal_latency" => {
+                let batch: usize = field(line, "batch")
+                    .expect("batch field")
+                    .parse()
+                    .expect("numeric batch");
+                let per_txn: u64 = field(line, "per_txn_ns")
+                    .expect("per_txn_ns field")
+                    .parse()
+                    .expect("numeric per_txn_ns");
+                wal_ns.push((batch, per_txn));
+            }
+            "commit_latency" => {}
+            "recovery" => {
+                let mode = field(line, "mode").expect("mode field").to_string();
+                let entries: u64 = field(line, "log_entries")
+                    .expect("log_entries field")
+                    .parse()
+                    .expect("numeric log_entries");
+                let ns: u64 = field(line, "recovery_ns")
+                    .expect("recovery_ns field")
+                    .parse()
+                    .expect("numeric recovery_ns");
+                recovery_ns.push((mode, entries, ns));
+            }
+            "checkpoint_size" => {
+                let objects: usize = field(line, "objects")
+                    .expect("objects field")
+                    .parse()
+                    .expect("numeric objects");
+                let density: f64 = field(line, "bytes_per_object")
+                    .expect("bytes_per_object field")
+                    .parse()
+                    .expect("numeric bytes_per_object");
+                if density > 200.0 {
+                    failures.push(format!(
+                        "e13 committed table: checkpoint image of the {objects}-object store weighs {density:.1} B/object (ceiling 200)"
+                    ));
+                }
+            }
+            other => panic!("unknown arm `{other}` in BENCH_e13.json"),
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 11,
+        "BENCH_e13.json yielded only {checked} rows; baseline looks truncated"
+    );
+
+    let per_txn = |batch: usize| -> u64 {
+        wal_ns
+            .iter()
+            .find(|(b, _)| *b == batch)
+            .unwrap_or_else(|| panic!("BENCH_e13.json lacks the batch={batch} WAL row"))
+            .1
+    };
+    let committed_amortization = per_txn(1) as f64 / per_txn(32) as f64;
+    if committed_amortization < 5.0 {
+        failures.push(format!(
+            "e13 committed table: batch-32 WAL write only {committed_amortization:.2}× cheaper than batch-1, below the 5× acceptance gate"
+        ));
+    }
+
+    let recovery = |mode: &str| -> (u64, u64) {
+        recovery_ns
+            .iter()
+            .find(|(m, _, _)| m == mode)
+            .map(|(_, entries, ns)| (*entries, *ns))
+            .unwrap_or_else(|| panic!("BENCH_e13.json lacks the {mode} recovery row"))
+    };
+    let (full_entries, full_ns) = recovery("full_log");
+    let (suffix_entries, suffix_ns) = recovery("image_suffix");
+    if full_entries != 65_536 || suffix_entries != 65_536 {
+        failures.push(format!(
+            "e13 committed table: recovery rows cover {full_entries}/{suffix_entries} log entries, not the 64k the acceptance bound is stated for"
+        ));
+    }
+    let committed_recovery = full_ns as f64 / suffix_ns as f64;
+    if committed_recovery < 5.0 {
+        failures.push(format!(
+            "e13 committed table: image+suffix recovery only {committed_recovery:.2}× faster than full-log replay, below the 5× acceptance gate"
+        ));
+    }
+
+    // Live: the recovery ratio is CPU-bound (replay work), so even a
+    // slow shared runner must show a clear advantage at 16k entries.
+    let live_full = subq_bench::e13::recovery_arm(2048, 64, 128, None);
+    let live_suffix = subq_bench::e13::recovery_arm(2048, 64, 128, Some(4));
+    let live_recovery = live_full.recovery_ns as f64 / live_suffix.recovery_ns as f64;
+    if live_recovery < 2.0 {
+        failures.push(format!(
+            "e13 live: image+suffix recovery only {live_recovery:.2}× faster than full-log replay at 16k entries — replay is not suffix-proportional"
+        ));
+    } else if live_recovery < 4.5 {
+        eprintln!(
+            "warning: e13 live recovery advantage {live_recovery:.2}× below the 4.5× target at 16k entries (non-fatal: wall-clock on a shared runner)"
+        );
+    }
+
+    // Live: the WAL amortization is a property of the backing store's
+    // fsync cost — warn-only, because a tmpfs scratch dir has nothing
+    // to amortize.
+    let live_one = subq_bench::e13::wal_latency_arm(1, 64);
+    let live_batch = subq_bench::e13::wal_latency_arm(32, 64);
+    let live_amortization = live_one.per_txn_ns as f64 / live_batch.per_txn_ns as f64;
+    if live_amortization < 4.5 {
+        eprintln!(
+            "warning: e13 live WAL amortization {live_amortization:.2}× below the 4.5× target (non-fatal: the scratch filesystem may have free fsyncs)"
+        );
+    }
+    checked
+}
+
 fn main() {
     let baseline = std::fs::read_to_string("BENCH_e5.json").unwrap_or_else(|error| {
         panic!("cannot read BENCH_e5.json (run from the repository root): {error}")
@@ -491,6 +639,7 @@ fn main() {
     let e10_checked = e10_checks(&mut failures);
     let e11_checked = e11_checks(&mut failures);
     let e12_checked = e12_checks(&mut failures);
+    let e13_checked = e13_checks(&mut failures);
     if !failures.is_empty() {
         eprintln!("perf regressions:");
         for failure in &failures {
@@ -503,6 +652,7 @@ fn main() {
          {e9_checked} E9 instances within committed lattice-probe ceilings (hierarchical N=50 ≤ 50% of flat), \
          {e10_checked} E10 instances within committed incremental membership-evaluation ceilings (10k×50 ≥ 10× fewer than full), \
          {e11_checked} E11 rows within the concurrency bounds (core-scaled 8-reader speedup, zero post-warmup saturations), \
-         {e12_checked} E12 rows within the physical-layer bounds (≥5× dense bitmap intersection, core-scaled scatter-gather, cost-based plans within 10% of best enumerated)"
+         {e12_checked} E12 rows within the physical-layer bounds (≥5× dense bitmap intersection, core-scaled scatter-gather, cost-based plans within 10% of best enumerated), \
+         {e13_checked} E13 rows within the durability bounds (≥5× group-commit amortization at batch 32, ≥5× image+suffix recovery at 64k entries, ≤200 B/object images)"
     );
 }

@@ -79,6 +79,7 @@ pub fn e10_maintenance_arm(objects: usize, views: usize) -> E10Row {
         objects,
         transactions: 0,
         ops_per_transaction: 1,
+        retract_percent: 40,
     };
     let trace = churn_trace(13, params);
     let mut incremental = OptimizedDatabase::new(trace.db.clone()).expect("translates");
@@ -180,6 +181,7 @@ pub mod e11 {
             objects,
             transactions: 64,
             ops_per_transaction: 4,
+            retract_percent: 40,
         };
         let trace = churn_trace(17, params);
         let mut writer = OptimizedDatabase::new(trace.db.clone()).expect("translates");
@@ -455,6 +457,7 @@ pub mod e12 {
             objects,
             transactions: 0,
             ops_per_transaction: 1,
+            retract_percent: 40,
         };
         let trace = churn_trace(19, params);
         let query = trace
@@ -613,6 +616,7 @@ pub mod e12 {
             objects,
             transactions: 0,
             ops_per_transaction: 1,
+            retract_percent: 40,
         };
         let trace = churn_trace(23, params);
         let mut odb = OptimizedDatabase::new(trace.db).expect("translates");
@@ -653,6 +657,334 @@ pub mod e12 {
             ops,
             p50_ns: pick(0.50),
             p99_ns: pick(0.99),
+        }
+    }
+}
+
+/// E13: the durable storage engine — write-ahead logging with group
+/// commit, checkpoint images, and crash recovery (see
+/// `e13_durability_table.rs` for the arms and `tests/crash_recovery.rs`
+/// for the correctness side).
+pub mod e13 {
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use std::time::Instant;
+    use subq::dl::{AttrDecl, ClassDecl, DlModel};
+    use subq::oodb::durable::codec::{encode_record, WalRecord};
+    use subq::oodb::maintain::Delta;
+    use subq::oodb::{
+        Database, DurableOptions, FileBackend, ObjId, OptimizedDatabase, StorageBackend,
+    };
+
+    /// A fresh scratch directory for one arm (the arm removes it).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("subq_e13_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("creating the scratch directory");
+        dir
+    }
+
+    /// The durable-bench schema: eight classes and a `link` attribute.
+    fn bench_model() -> DlModel {
+        let mut model = DlModel::new();
+        for i in 0..8 {
+            model.classes.push(ClassDecl {
+                name: format!("K{i}"),
+                is_a: vec![],
+                attributes: vec![],
+                constraint: None,
+            });
+        }
+        model.attributes.push(AttrDecl {
+            name: "link".into(),
+            domain: "Object".into(),
+            range: "Object".into(),
+            inverse: None,
+        });
+        model
+    }
+
+    /// One row of the WAL-latency arm: the *durability portion* of a
+    /// commit — encode, append, and the (possibly amortized) fsync —
+    /// driven directly against the real [`FileBackend`]. The full commit
+    /// also pays the in-memory update and snapshot publication, which is
+    /// identical at every batch size; isolating the log write is what
+    /// makes the fsync amortization visible on any store.
+    pub struct WalLatencyRow {
+        /// Records per fsync.
+        pub batch: usize,
+        /// Transactions appended.
+        pub txns: usize,
+        /// Encoded bytes of the representative record.
+        pub record_bytes: usize,
+        /// Wall-clock per transaction, append + amortized fsync.
+        pub per_txn_ns: u128,
+        /// Fsyncs actually issued.
+        pub fsyncs: u64,
+    }
+
+    /// Appends `txns` representative 4-delta records through the file
+    /// backend, fsyncing every `batch` records.
+    pub fn wal_latency_arm(batch: usize, txns: usize) -> WalLatencyRow {
+        let dir = scratch_dir(&format!("wal{batch}"));
+        let backend = FileBackend::new(&dir).expect("backend");
+        let record = WalRecord {
+            start_version: 0,
+            deltas: (0..4u32)
+                .map(|i| {
+                    (
+                        Delta::AddObject { object: ObjId(i) },
+                        Some(format!("object{i}")),
+                    )
+                })
+                .collect(),
+        };
+        let mut bytes = Vec::new();
+        encode_record(&record, &mut bytes);
+        for _ in 0..4 {
+            backend.append("wal.log", &bytes).expect("warmup append");
+            backend.sync("wal.log").expect("warmup sync");
+        }
+        let mut fsyncs = 0u64;
+        let mut pending = 0usize;
+        let start = Instant::now();
+        for _ in 0..txns {
+            backend.append("wal.log", &bytes).expect("append");
+            pending += 1;
+            if pending >= batch {
+                backend.sync("wal.log").expect("sync");
+                fsyncs += 1;
+                pending = 0;
+            }
+        }
+        if pending > 0 {
+            backend.sync("wal.log").expect("sync");
+            fsyncs += 1;
+        }
+        let per_txn_ns = (start.elapsed().as_nanos() / txns as u128).max(1);
+        drop(backend);
+        let _ = std::fs::remove_dir_all(&dir);
+        WalLatencyRow {
+            batch,
+            txns,
+            record_bytes: bytes.len(),
+            per_txn_ns,
+            fsyncs,
+        }
+    }
+
+    /// One row of the end-to-end commit arm: `commit_durable` through
+    /// the whole engine (update, WAL, snapshot publication) on the file
+    /// backend. Context for the WAL arm — the durability saving is the
+    /// same, the in-memory work dilutes the ratio.
+    pub struct CommitLatencyRow {
+        /// Records per fsync.
+        pub batch: usize,
+        /// Transactions committed.
+        pub txns: usize,
+        /// Wall-clock per `commit_durable` (two deltas each).
+        pub per_commit_ns: u128,
+        /// Fsyncs the engine issued.
+        pub fsyncs: u64,
+        /// Batches that covered more than one record.
+        pub group_commits: u64,
+    }
+
+    /// Commits `txns` two-delta transactions at the given group-commit
+    /// batch size.
+    pub fn commit_latency_arm(batch: usize, txns: usize) -> CommitLatencyRow {
+        let dir = scratch_dir(&format!("commit{batch}"));
+        let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::new(&dir).expect("backend"));
+        let mut odb = OptimizedDatabase::open(
+            backend,
+            DurableOptions {
+                group_commit: batch,
+            },
+            || Database::new(bench_model()),
+        )
+        .expect("genesis open");
+        let start = Instant::now();
+        for t in 0..txns {
+            odb.commit_durable(|db| {
+                let obj = db.add_object(&format!("c{t}"));
+                db.assert_class(obj, &format!("K{}", t % 8));
+            })
+            .expect("commit");
+        }
+        odb.sync_durable().expect("final sync");
+        let per_commit_ns = (start.elapsed().as_nanos() / txns as u128).max(1);
+        let stats = odb.durability_stats().expect("opened durably");
+        drop(odb);
+        let _ = std::fs::remove_dir_all(&dir);
+        CommitLatencyRow {
+            batch,
+            txns,
+            per_commit_ns,
+            fsyncs: stats.fsyncs,
+            group_commits: stats.group_commits,
+        }
+    }
+
+    /// One row of the recovery arm: wall-clock of `open()` against a
+    /// disk state holding `log_entries` committed deltas — either all of
+    /// them in the WAL (`full_log`) or all but a short suffix absorbed
+    /// into a checkpoint image (`image_suffix`).
+    pub struct RecoveryRow {
+        /// `"full_log"` or `"image_suffix"`.
+        pub mode: &'static str,
+        /// Deltas committed after the genesis image.
+        pub log_entries: u64,
+        /// WAL records recovery replayed.
+        pub replayed_records: u64,
+        /// Wall-clock of `open()` (image load + WAL replay + classify).
+        pub recovery_ns: u128,
+    }
+
+    /// Builds a `txns`-transaction committed history of `2 ×
+    /// edges_per_txn` deltas each over a fixed `objects`-object store —
+    /// every transaction asserts `edges_per_txn` fresh `link` edges and
+    /// retracts the batch asserted sixteen transactions earlier, so the
+    /// log is long while the store (and hence the fixed image-load cost)
+    /// stays small, the regime the checkpoint exists for. Optionally
+    /// checkpoints so only the last `tail_txns` transactions stay in the
+    /// WAL, then times a cold `open()`.
+    pub fn recovery_arm(
+        objects: usize,
+        edges_per_txn: usize,
+        txns: usize,
+        tail_txns: Option<usize>,
+    ) -> RecoveryRow {
+        const WINDOW: usize = 16;
+        let mode = if tail_txns.is_some() {
+            "image_suffix"
+        } else {
+            "full_log"
+        };
+        let entries = (2 * edges_per_txn * txns) as u64;
+        // Edge `k` is unique for every `k` this arm touches: the `to`
+        // endpoint shifts by one per wrap of the `from` endpoint.
+        let edge = |k: usize| (k % objects, (k + k / objects) % objects);
+        let dir = scratch_dir(&format!("recover_{mode}_{entries}"));
+        let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::new(&dir).expect("backend"));
+        {
+            let mut initial = Database::new(bench_model());
+            let ids: Vec<_> = (0..objects)
+                .map(|i| {
+                    let obj = initial.add_object(&format!("o{i}"));
+                    initial.assert_class(obj, &format!("K{}", i % 8));
+                    obj
+                })
+                .collect();
+            // Pre-assert the first WINDOW batches so every transaction
+            // retracts a full batch.
+            for k in 0..WINDOW * edges_per_txn {
+                let (from, to) = edge(k);
+                initial.assert_attr(ids[from], "link", ids[to]);
+            }
+            let mut odb = OptimizedDatabase::open(
+                backend.clone(),
+                DurableOptions { group_commit: 64 },
+                || initial,
+            )
+            .expect("genesis open");
+            let genesis_version = odb.database().data_version();
+            for t in 0..txns {
+                odb.commit_durable(|db| {
+                    for i in 0..edges_per_txn {
+                        let (from, to) = edge((WINDOW + t) * edges_per_txn + i);
+                        db.assert_attr(ids[from], "link", ids[to]);
+                        let (from, to) = edge(t * edges_per_txn + i);
+                        db.retract_attr(ids[from], "link", ids[to]);
+                    }
+                })
+                .expect("commit");
+                if tail_txns == Some(txns - t - 1) {
+                    odb.checkpoint().expect("checkpoint");
+                }
+            }
+            odb.sync_durable().expect("final sync");
+            assert_eq!(
+                odb.database().data_version(),
+                genesis_version + entries,
+                "every assert and retract must be a real delta"
+            );
+        }
+        let start = Instant::now();
+        let odb = OptimizedDatabase::open(backend, DurableOptions::default(), || {
+            panic!("a committed store must recover, not re-seed")
+        })
+        .expect("recovers");
+        let recovery_ns = start.elapsed().as_nanos().max(1);
+        assert_eq!(odb.database().object_count(), objects);
+        assert_eq!(
+            odb.database().attr_pairs("link").len(),
+            WINDOW * edges_per_txn,
+            "the sliding edge window must survive recovery"
+        );
+        let stats = odb.durability_stats().expect("opened durably");
+        drop(odb);
+        let _ = std::fs::remove_dir_all(&dir);
+        RecoveryRow {
+            mode,
+            log_entries: entries,
+            replayed_records: stats.recovered_records,
+            recovery_ns,
+        }
+    }
+
+    /// One row of the checkpoint-size arm: the on-disk image of an
+    /// `objects`-object store (eight class extents, one `link` edge per
+    /// four objects).
+    pub struct CheckpointSizeRow {
+        /// Objects in the store.
+        pub objects: usize,
+        /// `link` edges in the store.
+        pub edges: usize,
+        /// Bytes of the checkpoint image.
+        pub image_bytes: u64,
+        /// `image_bytes / objects`.
+        pub bytes_per_object: f64,
+        /// Wall-clock of writing the image (checkpoint call).
+        pub checkpoint_ns: u128,
+    }
+
+    /// Builds the store in memory, opens it durably (genesis), and
+    /// times one explicit checkpoint.
+    pub fn checkpoint_size_arm(objects: usize) -> CheckpointSizeRow {
+        let dir = scratch_dir(&format!("ckpt{objects}"));
+        let mut db = Database::new(bench_model());
+        for i in 0..objects {
+            let obj = db.add_object(&format!("o{i}"));
+            db.assert_class(obj, &format!("K{}", i % 8));
+        }
+        let mut edges = 0usize;
+        for i in (0..objects).step_by(4) {
+            let from = db.object(&format!("o{i}")).expect("created above");
+            let to = db.object(&format!("o{}", i / 2)).expect("created above");
+            db.assert_attr(from, "link", to);
+            edges += 1;
+        }
+        let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::new(&dir).expect("backend"));
+        let mut odb = OptimizedDatabase::open(backend.clone(), DurableOptions::default(), || db)
+            .expect("genesis open");
+        let start = Instant::now();
+        odb.checkpoint().expect("checkpoint");
+        let checkpoint_ns = start.elapsed().as_nanos().max(1);
+        let image = backend
+            .list()
+            .expect("list")
+            .into_iter()
+            .find(|name| name.ends_with(".img"))
+            .expect("an image exists");
+        let image_bytes = backend.read(&image).expect("read").expect("exists").len() as u64;
+        drop(odb);
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointSizeRow {
+            objects,
+            edges,
+            image_bytes,
+            bytes_per_object: image_bytes as f64 / objects as f64,
+            checkpoint_ns,
         }
     }
 }

@@ -71,6 +71,10 @@ impl ObjSet {
         self.bits.min().map(ObjId)
     }
 
+    pub fn last(&self) -> Option<ObjId> {
+        self.bits.max().map(ObjId)
+    }
+
     /// Intersection (word-parallel per 16-bit chunk).
     pub fn and(&self, other: &ObjSet) -> ObjSet {
         ObjSet {
@@ -136,6 +140,27 @@ impl ObjSet {
     /// observable contract.
     pub fn to_btree(&self) -> BTreeSet<ObjId> {
         self.iter().collect()
+    }
+
+    /// Serializes the set at container granularity (appending to `out`);
+    /// the physical layout is preserved, so a run-compressed universe
+    /// costs bytes proportional to its runs, not its cardinality. The
+    /// checkpoint codec stores every extent, posting, and view extension
+    /// in this form.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.bits.serialize_into(out);
+    }
+
+    /// Serializes to a fresh buffer (see [`ObjSet::serialize_into`]).
+    pub fn serialize(&self) -> Vec<u8> {
+        self.bits.serialize()
+    }
+
+    /// Parses a set written by [`ObjSet::serialize`], consuming the whole
+    /// slice; `None` on truncated or structurally invalid input (never
+    /// panics — recovery treats `None` as corruption).
+    pub fn deserialize(bytes: &[u8]) -> Option<ObjSet> {
+        Bitmap::deserialize(bytes).map(|bits| ObjSet { bits })
     }
 }
 
@@ -218,6 +243,24 @@ mod tests {
         let gathered: Vec<ObjId> = universe.shards(4).into_iter().flatten().collect();
         assert_eq!(gathered.len(), 200_000);
         assert!(gathered.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mixed: ObjSet = (0u32..5_000)
+            .chain((100_000..100_050).map(|v| v * 2 - 100_000))
+            .map(ObjId)
+            .collect();
+        let bytes = mixed.serialize();
+        let back = ObjSet::deserialize(&bytes).expect("own encoding");
+        assert_eq!(back, mixed);
+        assert_eq!(back.to_btree(), mixed.to_btree());
+        assert!(ObjSet::deserialize(&bytes[..bytes.len() - 1]).is_none());
+        let mut universe = ObjSet::universe(1 << 20);
+        universe.run_optimize();
+        let compact = universe.serialize();
+        assert!(compact.len() < 256, "runs must encode compactly");
+        assert_eq!(ObjSet::deserialize(&compact).expect("valid"), universe);
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! reference whose answers the traversal must reproduce (on the
 //! maximal-specific frontier) and the baseline of experiment E9.
 
+use crate::durable::{
+    recover, DurabilityStats, DurableEngine, DurableError, DurableOptions, StorageBackend,
+};
 use crate::eval::{evaluate_query_over, initial_candidates};
+use crate::maintain::Delta;
 use crate::snapshot::{FrozenTranslation, Reader, Snapshot, SnapshotCell};
 use crate::stats::{CostModel, Statistics};
 use crate::store::{Database, ObjId};
@@ -105,6 +109,11 @@ pub struct OptimizedDatabase {
     /// Cardinality statistics behind the execution cost model, kept fresh
     /// incrementally from the delta log (see [`crate::stats`]).
     stats: Statistics,
+    /// The durable engine, when this database was opened through
+    /// [`OptimizedDatabase::open`]: [`OptimizedDatabase::commit_durable`]
+    /// write-ahead logs every transaction before publishing, and
+    /// [`OptimizedDatabase::checkpoint`] compacts the log into an image.
+    durable: Option<DurableEngine>,
 }
 
 impl OptimizedDatabase {
@@ -134,7 +143,94 @@ impl OptimizedDatabase {
             cell,
             frozen: Some((frozen_translation, fingerprint)),
             stats: Statistics::new(),
+            durable: None,
         })
+    }
+
+    /// Opens a durable database over `backend`: loads the newest valid
+    /// checkpoint image, replays the WAL suffix (truncating any torn or
+    /// corrupt tail), restores and re-classifies the materialized views,
+    /// and publishes the recovered state. When the backend holds no
+    /// image at all, `initial` supplies the genesis state, which is
+    /// checkpointed immediately so the first commit already has an image
+    /// to recover against.
+    ///
+    /// The recovered state is always the committed history cut at a
+    /// transaction boundary — never a partial transaction, never a
+    /// transaction that was not durably logged.
+    pub fn open(
+        backend: Arc<dyn StorageBackend>,
+        options: DurableOptions,
+        initial: impl FnOnce() -> Database,
+    ) -> Result<Self, DurableError> {
+        let mut stats = DurabilityStats::default();
+        match recover::recover(backend.as_ref(), &mut stats)? {
+            None => {
+                let db = initial();
+                let mut odb = OptimizedDatabase::new(db).map_err(|e| {
+                    DurableError::Corrupt(format!("genesis model does not translate: {e:?}"))
+                })?;
+                odb.durable = Some(DurableEngine::resume(
+                    backend,
+                    options,
+                    0,
+                    odb.db.data_version(),
+                    stats,
+                ));
+                odb.checkpoint()?;
+                Ok(odb)
+            }
+            Some(recovered) => {
+                let mut db = recovered.db;
+                // Everything recovered is on disk: pin nothing, allow
+                // the cap to trim the replayed suffix once every view
+                // has consumed it.
+                db.set_durable_floor(db.data_version());
+                let recovered_version = db.data_version();
+                let mut odb = OptimizedDatabase::new(db).map_err(|e| {
+                    DurableError::Corrupt(format!("recovered model does not translate: {e:?}"))
+                })?;
+                // Restore the views under their image-stamped freshness:
+                // replayed suffix deltas sit in the in-memory log with
+                // base = image version, so the next refresh propagates
+                // exactly what the image had not seen. Definitions are
+                // recovered from the model — every view names a declared
+                // query class or a schema class (materialized as the
+                // trivial `isA C`).
+                let mut restored = Vec::with_capacity(recovered.views.len());
+                for (name, fresh_as_of, extent) in recovered.views {
+                    let definition = Self::view_definition(&odb.db, &name).ok_or_else(|| {
+                        DurableError::Corrupt(format!(
+                            "checkpoint view {name} is not declared by the recovered model"
+                        ))
+                    })?;
+                    restored.push((Arc::new(definition), Arc::new(extent), fresh_as_of));
+                }
+                odb.catalog.restore(restored);
+                odb.classify_catalog();
+                // Re-classification must reproduce the Hasse diagram the
+                // image recorded: subsumption depends only on the schema
+                // and the definitions, both of which the image carries.
+                let mut derived = odb.catalog.lattice_edges();
+                derived.sort();
+                let mut recorded = recovered.edges;
+                recorded.sort();
+                if derived != recorded {
+                    return Err(DurableError::Corrupt(
+                        "re-classified lattice disagrees with the checkpointed edges".into(),
+                    ));
+                }
+                odb.durable = Some(DurableEngine::resume(
+                    backend,
+                    options,
+                    recovered.checkpoint_version,
+                    recovered_version,
+                    stats,
+                ));
+                odb.publish_snapshot();
+                Ok(odb)
+            }
+        }
     }
 
     /// Read access to the underlying database.
@@ -232,6 +328,113 @@ impl OptimizedDatabase {
         result
     }
 
+    /// [`OptimizedDatabase::commit`] with durability: the transaction's
+    /// delta batch is appended to the write-ahead log (fsynced according
+    /// to [`DurableOptions::group_commit`]) *before* the refreshed state
+    /// is published. `AddObject` deltas are logged with the names the
+    /// store minted, so replay reproduces the name table exactly. A
+    /// transaction that mutated the schema is not expressible as data
+    /// deltas — it triggers an immediate [`OptimizedDatabase::checkpoint`]
+    /// instead, making the new model durable through the image.
+    ///
+    /// On an I/O error the in-memory mutation has already happened but
+    /// was *not* made durable; the caller should treat the database as
+    /// lost (that is the crash the recovery suite drills).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the database was not opened through
+    /// [`OptimizedDatabase::open`].
+    pub fn commit_durable<R>(
+        &mut self,
+        mutate: impl FnOnce(&mut Database) -> R,
+    ) -> Result<R, DurableError> {
+        assert!(
+            self.durable.is_some(),
+            "commit_durable requires a database opened through OptimizedDatabase::open"
+        );
+        let version_before = self.db.data_version();
+        let schema_before = self.db.schema_version();
+        let result = self.update(mutate);
+        let deltas: Vec<(Delta, Option<String>)> = self
+            .db
+            .delta_log()
+            .since(version_before)
+            .expect("the durable floor pins entries the WAL has not seen")
+            .map(|(_, delta)| {
+                let name = match delta {
+                    Delta::AddObject { object } => Some(self.db.object_name(*object).to_owned()),
+                    _ => None,
+                };
+                (delta.clone(), name)
+            })
+            .collect();
+        if !deltas.is_empty() {
+            let appended = version_before + deltas.len() as u64;
+            let engine = self.durable.as_mut().expect("checked above");
+            engine.log_transaction(version_before, deltas)?;
+            // Appended records are on the log (an OS crash may still
+            // lose the unsynced tail — recovery truncates it); the
+            // in-memory delta log no longer needs to pin them for
+            // durability.
+            self.db.set_durable_floor(appended);
+        }
+        if self.db.schema_version() != schema_before {
+            self.checkpoint()?;
+        } else {
+            self.publish_snapshot();
+        }
+        Ok(result)
+    }
+
+    /// Publishes the current state and serializes it into a checkpoint
+    /// image: model, object names, extents, attribute postings, and the
+    /// view catalog with its lattice edges, written atomically. The WAL
+    /// prefix the image covers (all of it — the image is taken at the
+    /// current version) is dropped, bounding recovery time by the churn
+    /// since the last checkpoint instead of the full history. Returns
+    /// the image's data version.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the database was not opened through
+    /// [`OptimizedDatabase::open`].
+    pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        assert!(
+            self.durable.is_some(),
+            "checkpoint requires a database opened through OptimizedDatabase::open"
+        );
+        // Publishing first is what makes stamping every view with the
+        // image version sound: each view is either refreshed through the
+        // current version or confirmed untouched by the deltas in
+        // between.
+        self.publish_snapshot();
+        let engine = self.durable.as_mut().expect("checked above");
+        let version = engine.checkpoint(&self.db, &self.catalog)?;
+        self.db.set_durable_floor(version);
+        Ok(version)
+    }
+
+    /// Forces the pending group-commit batch to stable storage and
+    /// returns the durability watermark: every transaction at or below
+    /// it survives any crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the database was not opened through
+    /// [`OptimizedDatabase::open`].
+    pub fn sync_durable(&mut self) -> Result<u64, DurableError> {
+        self.durable
+            .as_mut()
+            .expect("sync_durable requires a database opened through OptimizedDatabase::open")
+            .sync()
+    }
+
+    /// The durable engine's cumulative counters, when opened durably.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durable.as_ref().map(|engine| engine.stats().clone())
+    }
+
     /// Publishes the current state as an immutable [`Snapshot`]: brings
     /// every view up to the current data version first (so the published
     /// pair (state, extensions) is internally consistent), then swaps the
@@ -295,24 +498,33 @@ impl OptimizedDatabase {
     /// top-down parent search, goal-side probes for the rest (reusing the
     /// cached closures of the views already classified).
     pub fn materialize_view(&mut self, name: &str) -> Result<(), ViewError> {
-        let definition = if let Some(query) = self.db.model().query_class(name) {
-            query.clone()
-        } else if self.db.model().class(name).is_some() {
-            QueryClassDecl {
+        let definition =
+            Self::view_definition(&self.db, name).ok_or_else(|| ViewError::UnknownQuery {
+                query: name.to_owned(),
+            })?;
+        self.catalog.materialize(&self.db, &definition)?;
+        self.classify_catalog();
+        Ok(())
+    }
+
+    /// The definition a view name denotes: the declared query class, or
+    /// the trivial `isA C` query synthesized for a schema class `C`.
+    /// Checkpoint images store only the name — this lookup is what makes
+    /// the name recoverable as a definition.
+    fn view_definition(db: &Database, name: &str) -> Option<QueryClassDecl> {
+        if let Some(query) = db.model().query_class(name) {
+            Some(query.clone())
+        } else if db.model().class(name).is_some() {
+            Some(QueryClassDecl {
                 name: name.to_owned(),
                 is_a: vec![name.to_owned()],
                 derived: vec![],
                 where_eqs: vec![],
                 constraint: None,
-            }
+            })
         } else {
-            return Err(ViewError::UnknownQuery {
-                query: name.to_owned(),
-            });
-        };
-        self.catalog.materialize(&self.db, &definition)?;
-        self.classify_catalog();
-        Ok(())
+            None
+        }
     }
 
     /// Inserts every not-yet-classified view into the subsumption lattice.
@@ -1067,6 +1279,159 @@ mod tests {
             answers,
             crate::eval::evaluate_query(snapshot.database(), query)
         );
+    }
+
+    /// The durable lifecycle end to end: genesis open, logged commits,
+    /// a checkpoint, more commits, crash (drop), reopen — the recovered
+    /// database answers exactly like the one that never went down, the
+    /// restored views are classified, and later commits keep working.
+    #[test]
+    fn durable_open_commit_checkpoint_and_reopen_roundtrip() {
+        use crate::durable::{DurableOptions, FaultyBackend};
+        let backend = Arc::new(FaultyBackend::new());
+        let model = samples::medical_model();
+        let query = model.query_class("QueryPatient").expect("declared").clone();
+
+        let mut odb = OptimizedDatabase::open(backend.clone(), DurableOptions::default(), || {
+            hospital_with_many_patients(8)
+        })
+        .expect("genesis open");
+        odb.materialize_view("ViewPatient").expect("materializes");
+        odb.materialize_view("Patient").expect("materializes");
+        odb.commit_durable(|db| {
+            let welby = db.object("welby").expect("exists");
+            let flu = db.object("flu").expect("exists");
+            let paul = db.add_object("paul");
+            let paul_name = db.add_object("paul_name");
+            db.assert_class(paul, "Patient");
+            db.assert_class(paul, "Male");
+            db.assert_class(paul_name, "String");
+            db.assert_attr(paul, "suffers", flu);
+            db.assert_attr(paul, "consults", welby);
+            db.assert_attr(paul, "name", paul_name);
+        })
+        .expect("commit");
+        let checkpoint_version = odb.checkpoint().expect("checkpoint");
+        assert_eq!(checkpoint_version, odb.database().data_version());
+        // Two more commits land in the WAL only.
+        for i in 0..2 {
+            odb.commit_durable(|db| {
+                let p = db.add_object(&format!("late{i}"));
+                db.assert_class(p, "Patient");
+            })
+            .expect("commit");
+        }
+        let (expected_answers, _) = odb.execute(&query);
+        let expected_version = odb.database().data_version();
+        let expected_edges = {
+            let mut edges = odb.catalog().lattice_edges();
+            edges.sort();
+            edges
+        };
+        let stats = odb.durability_stats().expect("durable");
+        assert_eq!(stats.wal_records, 3);
+        assert!(stats.wal_bytes > 0);
+        assert!(stats.fsyncs >= 3, "group_commit=1 syncs every commit");
+        assert_eq!(stats.checkpoints, 2, "genesis image + explicit checkpoint");
+        drop(odb); // The crash: in-memory state is gone.
+
+        let mut reopened =
+            OptimizedDatabase::open(backend.clone(), DurableOptions::default(), || {
+                panic!("an image exists; genesis must not run")
+            })
+            .expect("recovery");
+        assert_eq!(reopened.database().data_version(), expected_version);
+        let stats = reopened.durability_stats().expect("durable");
+        assert_eq!(
+            stats.recovered_records, 2,
+            "the two post-checkpoint commits"
+        );
+        assert_eq!(stats.truncated_tail_bytes, 0, "nothing was torn");
+        // Views came back classified with the recorded lattice.
+        let mut edges = reopened.catalog().lattice_edges();
+        edges.sort();
+        assert_eq!(edges, expected_edges);
+        let plan = reopened.plan(&query);
+        assert_eq!(plan.chosen_view.as_deref(), Some("ViewPatient"));
+        let (answers, stats_exec) = reopened.execute(&query);
+        assert_eq!(answers, expected_answers);
+        assert_eq!(stats_exec.used_view.as_deref(), Some("ViewPatient"));
+        let (baseline, _) = reopened.execute_unoptimized(&query);
+        assert_eq!(answers, baseline);
+        // The engine keeps going: another durable commit, another view.
+        reopened
+            .commit_durable(|db| {
+                let welby = db.object("welby").expect("exists");
+                let flu = db.object("flu").expect("exists");
+                let q = db.add_object("quincy");
+                let q_name = db.add_object("quincy_name");
+                db.assert_class(q, "Patient");
+                db.assert_class(q, "Male");
+                db.assert_class(q_name, "String");
+                db.assert_attr(q, "suffers", flu);
+                db.assert_attr(q, "consults", welby);
+                db.assert_attr(q, "name", q_name);
+            })
+            .expect("commit after recovery");
+        let (after, _) = reopened.execute(&query);
+        assert_eq!(after.len(), expected_answers.len() + 1);
+        let (baseline, _) = reopened.execute_unoptimized(&query);
+        assert_eq!(after, baseline);
+    }
+
+    /// A schema-mutating durable commit cannot be expressed as data
+    /// deltas: it must checkpoint immediately, and the new model must be
+    /// what recovery sees.
+    #[test]
+    fn schema_mutations_checkpoint_immediately_and_recover() {
+        use crate::durable::{DurableOptions, FaultyBackend};
+        use subq_dl::QueryClassDecl;
+        let backend = Arc::new(FaultyBackend::new());
+        let mut odb = OptimizedDatabase::open(backend.clone(), DurableOptions::default(), || {
+            hospital_with_many_patients(4)
+        })
+        .expect("genesis open");
+        let images_before = odb.durability_stats().expect("durable").checkpoints;
+        odb.commit_durable(|db| {
+            db.model_mut().queries.push(QueryClassDecl {
+                name: "EveryPatient".into(),
+                is_a: vec!["Patient".into()],
+                derived: vec![],
+                where_eqs: vec![],
+                constraint: None,
+            });
+        })
+        .expect("schema commit");
+        assert_eq!(
+            odb.durability_stats().expect("durable").checkpoints,
+            images_before + 1,
+            "schema commits checkpoint immediately"
+        );
+        odb.materialize_view("EveryPatient").expect("materializes");
+        odb.checkpoint().expect("checkpoint the view");
+        drop(odb);
+
+        let mut reopened = OptimizedDatabase::open(backend, DurableOptions::default(), || {
+            panic!("an image exists; genesis must not run")
+        })
+        .expect("recovery");
+        assert!(
+            reopened
+                .database()
+                .model()
+                .query_class("EveryPatient")
+                .is_some(),
+            "the mutated schema survived through the image"
+        );
+        let query = QueryClassDecl {
+            name: "Probe".into(),
+            is_a: vec!["Patient".into()],
+            derived: vec![],
+            where_eqs: vec![],
+            constraint: None,
+        };
+        let plan = reopened.plan(&query);
+        assert_eq!(plan.chosen_view.as_deref(), Some("EveryPatient"));
     }
 
     #[test]

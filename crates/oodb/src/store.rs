@@ -120,6 +120,25 @@ struct AttrIndex {
 }
 
 impl AttrIndex {
+    /// Rebuilds an index from its forward map alone (the checkpoint image
+    /// stores only that half; the reverse index and pair count are
+    /// derived).
+    fn from_forward(forward: FxHashMap<ObjId, ObjSet>) -> AttrIndex {
+        let mut reverse: FxHashMap<ObjId, ObjSet> = FxHashMap::default();
+        let mut pairs = 0usize;
+        for (&from, values) in &forward {
+            pairs += values.len();
+            for to in values {
+                reverse.entry(to).or_default().insert(from);
+            }
+        }
+        AttrIndex {
+            forward,
+            reverse,
+            pairs,
+        }
+    }
+
     fn contains(&self, from: ObjId, to: ObjId) -> bool {
         self.forward
             .get(&from)
@@ -283,6 +302,13 @@ pub struct Database {
     schema_version: u64,
     /// The change log behind incremental view maintenance.
     log: DeltaLog,
+    /// When the durable engine owns history (`Some`), log entries with
+    /// `data_version > floor` are not yet on disk and must never be
+    /// dropped: both [`Database::truncate_log`] and the
+    /// [`DELTA_LOG_CAP`] enforcement clamp their truncation point to the
+    /// floor. The engine advances it after every WAL append and
+    /// checkpoint.
+    durable_floor: Option<u64>,
 }
 
 impl Database {
@@ -296,7 +322,63 @@ impl Database {
             attrs: FxHashMap::default(),
             schema_version: 0,
             log: DeltaLog::new(),
+            durable_floor: None,
         }
+    }
+
+    /// Rebuilds a state from checkpoint-image parts: names in id order,
+    /// extents, and the forward halves of the attribute indexes (the
+    /// reverse indexes and pair counts are derived). The log starts empty
+    /// at `data_version`, exactly like a snapshot clone, so the WAL
+    /// suffix replays on top and view maintenance sees the replayed
+    /// entries as a normal log suffix. Returns `None` when any stored id
+    /// is out of the name-table range (a corrupt image must fail to
+    /// load, not build a state that panics later).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_checkpoint(
+        model: DlModel,
+        schema_version: u64,
+        data_version: u64,
+        names: Vec<String>,
+        extents: Vec<(String, ObjSet)>,
+        attrs: Vec<(String, Vec<(ObjId, ObjSet)>)>,
+    ) -> Option<Database> {
+        let count = names.len() as u64;
+        let mut object_names = ObjectNames::default();
+        let mut object_by_name = NameIndex::default();
+        for (index, name) in names.into_iter().enumerate() {
+            object_by_name.insert(name.clone(), ObjId(index as u32));
+            object_names.push(name);
+        }
+        let mut extent_map: FxHashMap<String, Arc<ObjSet>> = FxHashMap::default();
+        let in_range = |set: &ObjSet| set.last().is_none_or(|id| u64::from(id.0) < count);
+        for (class, extent) in extents {
+            if !in_range(&extent) {
+                return None;
+            }
+            extent_map.insert(class, Arc::new(extent));
+        }
+        let mut attr_map: FxHashMap<String, Arc<AttrIndex>> = FxHashMap::default();
+        for (attribute, postings) in attrs {
+            let mut forward: FxHashMap<ObjId, ObjSet> = FxHashMap::default();
+            for (from, values) in postings {
+                if u64::from(from.0) >= count || !in_range(&values) {
+                    return None;
+                }
+                forward.insert(from, values);
+            }
+            attr_map.insert(attribute, Arc::new(AttrIndex::from_forward(forward)));
+        }
+        Some(Database {
+            model: Arc::new(model),
+            object_names,
+            object_by_name,
+            extents: extent_map,
+            attrs: attr_map,
+            schema_version,
+            log: DeltaLog::at_version(data_version),
+            durable_floor: None,
+        })
     }
 
     /// The DL model this state conforms to.
@@ -324,13 +406,40 @@ impl Database {
         self.log.version()
     }
 
+    /// Clamps a truncation point to the durable floor: entries newer than
+    /// the floor exist nowhere on disk yet and must stay in memory.
+    fn clamp_to_durable_floor(&self, through: u64) -> u64 {
+        match self.durable_floor {
+            Some(floor) => through.min(floor),
+            None => through,
+        }
+    }
+
+    /// Marks every entry with `data_version <= floor` as safely on disk
+    /// (WAL or checkpoint image); newer entries are pinned in memory. The
+    /// durable engine calls this after each WAL append and checkpoint.
+    /// Monotone: the floor never moves backwards.
+    pub(crate) fn set_durable_floor(&mut self, floor: u64) {
+        let floor = self.durable_floor.map_or(floor, |prev| prev.max(floor));
+        self.durable_floor = Some(floor);
+    }
+
+    /// The durable floor, when a durable engine owns history.
+    pub fn durable_floor(&self) -> Option<u64> {
+        self.durable_floor
+    }
+
     /// Appends a delta, enforcing [`DELTA_LOG_CAP`] by dropping the
-    /// oldest half when the log outgrows it (amortized O(1)).
+    /// oldest half when the log outgrows it (amortized O(1)). Under a
+    /// durable engine the drop point is clamped to the durable floor, so
+    /// the log may temporarily exceed the cap rather than lose entries
+    /// that are not yet on disk.
     fn record(&mut self, delta: Delta) {
         self.log.record(delta);
         if self.log.len() > DELTA_LOG_CAP {
-            self.log
-                .truncate_through(self.log.version() - (DELTA_LOG_CAP as u64) / 2);
+            let through =
+                self.clamp_to_durable_floor(self.log.version() - (DELTA_LOG_CAP as u64) / 2);
+            self.log.truncate_through(through);
         }
     }
 
@@ -362,13 +471,19 @@ impl Database {
             attrs: self.attrs.clone(),
             schema_version: self.schema_version,
             log: DeltaLog::new(),
+            // Snapshot clones are read-only; they never truncate, so the
+            // floor is irrelevant — but carrying it costs nothing.
+            durable_floor: self.durable_floor,
         }
     }
 
     /// Drops log entries with `data_version <= through`; call with the
     /// oldest version any view maintainer still needs (see
-    /// [`DeltaLog::truncate_through`]).
+    /// [`DeltaLog::truncate_through`]). Under a durable engine the point
+    /// is clamped to the durable floor — truncation never outruns what
+    /// the WAL and checkpoint have persisted.
     pub fn truncate_log(&mut self, through: u64) {
+        let through = self.clamp_to_durable_floor(through);
         self.log.truncate_through(through);
     }
 
@@ -515,6 +630,104 @@ impl Database {
                 to,
             });
         }
+    }
+
+    /// Applies one WAL-decoded delta *physically*: no isA propagation and
+    /// no synonym resolution, because the log already contains every
+    /// propagated membership as its own entry and every attribute pair in
+    /// the primitive direction. Each applied delta is recorded, so the
+    /// in-memory log (and [`Database::data_version`]) advances exactly as
+    /// it did when the delta was first produced — which is what lets view
+    /// maintenance catch restored extents up through the ordinary
+    /// `since(fresh_as_of)` path after recovery.
+    ///
+    /// Returns `false` (leaving the state untouched) when the delta is
+    /// inconsistent with the current state — a non-sequential object id,
+    /// an out-of-range reference, a retraction of something absent. The
+    /// original log records only *effective* mutations, so on an intact
+    /// WAL every replay is effective; an ineffective one means the record
+    /// stream is corrupt in a way the CRC did not catch, and recovery
+    /// stops there instead of panicking.
+    pub(crate) fn apply_replayed(&mut self, delta: Delta, add_object_name: Option<&str>) -> bool {
+        let count = self.object_names.len as u32;
+        let applied = match &delta {
+            Delta::AddObject { object } => match add_object_name {
+                Some(name) if object.0 == count && self.object_by_name.get(name).is_none() => {
+                    self.object_names.push(name.to_owned());
+                    self.object_by_name.insert(name.to_owned(), *object);
+                    true
+                }
+                _ => false,
+            },
+            Delta::AssertClass { object, class } => {
+                object.0 < count
+                    && !self
+                        .extents
+                        .get(class)
+                        .is_some_and(|ext| ext.contains(object))
+                    && Arc::make_mut(self.extents.entry(class.clone()).or_default()).insert(*object)
+            }
+            Delta::RetractClass { object, class } => match self.extents.get_mut(class) {
+                Some(ext) if ext.contains(object) => Arc::make_mut(ext).remove(object),
+                _ => false,
+            },
+            Delta::AssertAttr {
+                from,
+                attribute,
+                to,
+            } => {
+                from.0 < count && to.0 < count && {
+                    let index = self.attrs.entry(attribute.clone()).or_default();
+                    !index.contains(*from, *to) && Arc::make_mut(index).insert(*from, *to)
+                }
+            }
+            Delta::RetractAttr {
+                from,
+                attribute,
+                to,
+            } => match self.attrs.get_mut(attribute) {
+                Some(index) if index.contains(*from, *to) => {
+                    Arc::make_mut(index).remove(*from, *to)
+                }
+                _ => false,
+            },
+        };
+        if applied {
+            self.record(delta);
+        }
+        applied
+    }
+
+    /// Every class extent, sorted by class name — the deterministic
+    /// enumeration the checkpoint image is written from.
+    pub(crate) fn checkpoint_extents(&self) -> Vec<(&str, &ObjSet)> {
+        let mut out: Vec<(&str, &ObjSet)> = self
+            .extents
+            .iter()
+            .map(|(name, ext)| (name.as_str(), ext.as_ref()))
+            .collect();
+        out.sort_unstable_by_key(|&(name, _)| name);
+        out
+    }
+
+    /// Every attribute's forward postings, sorted by attribute name and
+    /// source id — the reverse half is derived again at load time.
+    pub(crate) fn checkpoint_attrs(&self) -> Vec<(&str, Vec<(ObjId, &ObjSet)>)> {
+        let mut out: Vec<(&str, Vec<(ObjId, &ObjSet)>)> = self
+            .attrs
+            .iter()
+            .map(|(name, index)| {
+                let mut postings: Vec<(ObjId, &ObjSet)> = index
+                    .forward
+                    .iter()
+                    .map(|(&from, values)| (from, values))
+                    .collect();
+                postings.sort_unstable_by_key(|&(from, _)| from);
+                (name.as_str(), postings)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(name, _)| name);
+        out
     }
 
     /// Resolves a possibly-synonym attribute to its primitive name and
@@ -1000,6 +1213,151 @@ pub(crate) mod tests {
         db.truncate_log(now);
         assert!(db.delta_log().since(version).is_none());
         assert!(db.delta_log().since(now).is_some());
+    }
+
+    #[test]
+    fn durable_floor_pins_log_against_truncation_and_cap() {
+        let mut db = Database::new(subq_dl::samples::medical_model());
+        let mary = db.add_object("mary");
+        db.assert_class(mary, "Patient"); // + Person (propagated)
+        let floor = db.data_version();
+        db.set_durable_floor(floor);
+        let flu = db.add_object("flu");
+        db.assert_attr(mary, "suffers", flu);
+        // Explicit truncation clamps to the floor: entries above it are
+        // not yet on disk and must survive.
+        db.truncate_log(db.data_version());
+        assert_eq!(db.delta_log().base_version(), floor);
+        assert!(db.delta_log().since(floor).is_some());
+
+        // The 64k cap also clamps: the log grows past the cap rather
+        // than dropping undurable entries.
+        while db.delta_log().len() <= DELTA_LOG_CAP + 10 {
+            let next = db.object_count();
+            db.add_object(&format!("o{next}"));
+        }
+        assert_eq!(db.delta_log().base_version(), floor);
+        assert!(db.delta_log().len() > DELTA_LOG_CAP);
+
+        // Once the engine advances the floor (WAL append / checkpoint),
+        // cap enforcement resumes on the next recorded delta.
+        let now = db.data_version();
+        db.set_durable_floor(now);
+        db.add_object("one_more");
+        assert!(db.delta_log().len() <= DELTA_LOG_CAP);
+        assert!(db.delta_log().base_version() > floor);
+        // The floor is monotone: a stale (lower) floor cannot re-pin.
+        db.set_durable_floor(floor);
+        assert_eq!(db.durable_floor(), Some(now));
+    }
+
+    #[test]
+    fn apply_replayed_mirrors_original_mutations_without_propagation() {
+        // Drive a state through the public API, then replay its log into
+        // a fresh state delta-by-delta: versions, extents, and attribute
+        // indexes must match exactly.
+        let original = hospital();
+        let mut replayed = Database::new(samples::medical_model());
+        for (version, delta) in original.delta_log().since(0).expect("full log") {
+            let name = match delta {
+                Delta::AddObject { object } => Some(original.object_name(*object)),
+                _ => None,
+            };
+            assert!(
+                replayed.apply_replayed(delta.clone(), name),
+                "replay of {delta:?} at {version} must be effective"
+            );
+            assert_eq!(replayed.data_version(), version);
+        }
+        assert_eq!(replayed.object_count(), original.object_count());
+        for class in original.class_names() {
+            assert_eq!(
+                replayed.class_extent(class),
+                original.class_extent(class),
+                "extent {class}"
+            );
+        }
+        for attr in original.attribute_names() {
+            assert_eq!(
+                replayed.attr_pairs(attr),
+                original.attr_pairs(attr),
+                "pairs {attr}"
+            );
+            assert_eq!(
+                replayed.attr_cardinality(attr),
+                original.attr_cardinality(attr),
+                "cardinality {attr}"
+            );
+        }
+        // Inconsistent replays are rejected without touching the state.
+        let version = replayed.data_version();
+        assert!(!replayed.apply_replayed(Delta::AddObject { object: ObjId(999) }, Some("gap")));
+        assert!(!replayed.apply_replayed(
+            Delta::RetractClass {
+                object: ObjId(0),
+                class: "Nonsense".to_owned()
+            },
+            None
+        ));
+        assert_eq!(replayed.data_version(), version);
+    }
+
+    #[test]
+    fn checkpoint_parts_roundtrip_through_from_checkpoint() {
+        let original = hospital();
+        let names: Vec<String> = (0..original.object_count())
+            .map(|i| original.object_name(ObjId(i as u32)).to_owned())
+            .collect();
+        let extents: Vec<(String, ObjSet)> = original
+            .checkpoint_extents()
+            .into_iter()
+            .map(|(name, ext)| (name.to_owned(), ext.clone()))
+            .collect();
+        let attrs: Vec<(String, Vec<(ObjId, ObjSet)>)> = original
+            .checkpoint_attrs()
+            .into_iter()
+            .map(|(name, postings)| {
+                (
+                    name.to_owned(),
+                    postings
+                        .into_iter()
+                        .map(|(from, values)| (from, values.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let restored = Database::from_checkpoint(
+            original.model().clone(),
+            original.schema_version(),
+            original.data_version(),
+            names,
+            extents,
+            attrs,
+        )
+        .expect("consistent parts");
+        assert_eq!(restored.data_version(), original.data_version());
+        assert_eq!(restored.object_count(), original.object_count());
+        assert_eq!(restored.object("mary"), original.object("mary"));
+        for class in original.class_names() {
+            assert_eq!(restored.class_extent(class), original.class_extent(class));
+        }
+        for attr in original.attribute_names() {
+            assert_eq!(restored.attr_pairs(attr), original.attr_pairs(attr));
+            assert_eq!(
+                restored.attr_cardinality(attr),
+                original.attr_cardinality(attr)
+            );
+        }
+        // Out-of-range ids in any part must fail the load.
+        let bogus = Database::from_checkpoint(
+            original.model().clone(),
+            0,
+            1,
+            vec!["only".to_owned()],
+            vec![("C".to_owned(), [ObjId(7)].into_iter().collect())],
+            Vec::new(),
+        );
+        assert!(bogus.is_none());
     }
 
     #[test]

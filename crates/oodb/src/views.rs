@@ -241,6 +241,33 @@ impl ViewCatalog {
         Ok(())
     }
 
+    /// Reinstalls checkpointed views into an empty catalog: definitions,
+    /// stored extensions, and freshness stamps come from the image; the
+    /// lattice position is left pending, because concepts are bound to
+    /// the term arena of one process and cannot survive a restart —
+    /// classification re-derives the (deterministic) Hasse edges the
+    /// image recorded, which recovery tests assert against. The restored
+    /// `fresh_as_of` is the checkpoint version, so the WAL suffix
+    /// replayed after the restore catches every view up through the
+    /// ordinary incremental path.
+    pub(crate) fn restore(&self, restored: Vec<(Arc<QueryClassDecl>, Arc<ObjSet>, u64)>) {
+        let mut views = self.write();
+        debug_assert!(views.is_empty(), "restore targets a fresh catalog");
+        for (definition, extent, fresh_as_of) in restored {
+            views.push(MaterializedView {
+                definition,
+                extent,
+                fresh_as_of,
+                force_refresh: false,
+                concept: None,
+                parents: Vec::new(),
+                children: Vec::new(),
+                equiv: None,
+                classified: false,
+            });
+        }
+    }
+
     /// The names of all materialized views.
     pub fn view_names(&self) -> Vec<String> {
         self.read()

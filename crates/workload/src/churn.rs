@@ -86,6 +86,12 @@ pub struct ChurnParams {
     pub transactions: usize,
     /// Ops per transaction (uniform in `1..=ops_per_transaction`).
     pub ops_per_transaction: usize,
+    /// Percent (0–100) of mutation ops (everything but `AddObject`)
+    /// that are retractions. The default keeps the historical blend;
+    /// crank it up for retraction-heavy traces that drill downward isA
+    /// propagation and attribute-index shrinkage (the crash-recovery
+    /// suite replays such traces from the WAL).
+    pub retract_percent: u8,
 }
 
 impl Default for ChurnParams {
@@ -98,6 +104,7 @@ impl Default for ChurnParams {
             objects: 30,
             transactions: 8,
             ops_per_transaction: 4,
+            retract_percent: 40,
         }
     }
 }
@@ -197,28 +204,29 @@ pub fn churn_trace(seed: u64, params: ChurnParams) -> ChurnTrace {
                     let any = |rng: &mut StdRng, population: usize| {
                         object_name(rng.gen_range(0..population.max(1)))
                     };
-                    match rng.gen_range(0..10u8) {
-                        0 => {
-                            let op = ChurnOp::AddObject(object_name(population));
-                            population += 1;
-                            op
+                    if rng.gen_range(0..10u8) == 0 {
+                        let op = ChurnOp::AddObject(object_name(population));
+                        population += 1;
+                        op
+                    } else {
+                        let retract = rng.gen_range(0..100u8) < params.retract_percent;
+                        if rng.gen_bool(0.6) {
+                            let class = format!("K{}", rng.gen_range(0..classes));
+                            let object = any(&mut rng, population);
+                            if retract {
+                                ChurnOp::RetractClass(object, class)
+                            } else {
+                                ChurnOp::AssertClass(object, class)
+                            }
+                        } else {
+                            let from = any(&mut rng, population);
+                            let to = any(&mut rng, population);
+                            if retract {
+                                ChurnOp::RetractAttr(from, to)
+                            } else {
+                                ChurnOp::AssertAttr(from, to)
+                            }
                         }
-                        1..=3 => ChurnOp::AssertClass(
-                            any(&mut rng, population),
-                            format!("K{}", rng.gen_range(0..classes)),
-                        ),
-                        4..=5 => ChurnOp::RetractClass(
-                            any(&mut rng, population),
-                            format!("K{}", rng.gen_range(0..classes)),
-                        ),
-                        6..=7 => ChurnOp::AssertAttr(
-                            any(&mut rng, population),
-                            any(&mut rng, population),
-                        ),
-                        _ => ChurnOp::RetractAttr(
-                            any(&mut rng, population),
-                            any(&mut rng, population),
-                        ),
                     }
                 })
                 .collect()
@@ -273,6 +281,37 @@ mod tests {
         assert!(retracts > 0, "no retracts generated");
         // Applying ops moved the data version forward.
         assert!(trace.db.data_version() > 0);
+    }
+
+    #[test]
+    fn retract_percent_shifts_the_op_mix() {
+        let count = |percent: u8| {
+            let trace = churn_trace(
+                5,
+                ChurnParams {
+                    transactions: 40,
+                    ops_per_transaction: 6,
+                    retract_percent: percent,
+                    ..ChurnParams::default()
+                },
+            );
+            let mut retracts = 0usize;
+            let mut asserts = 0usize;
+            for op in trace.transactions.iter().flatten() {
+                match op {
+                    ChurnOp::RetractClass(..) | ChurnOp::RetractAttr(..) => retracts += 1,
+                    ChurnOp::AssertClass(..) | ChurnOp::AssertAttr(..) => asserts += 1,
+                    ChurnOp::AddObject(_) => {}
+                }
+            }
+            (retracts, asserts)
+        };
+        let (none, some_asserts) = count(0);
+        assert_eq!(none, 0, "0% must generate no retractions");
+        assert!(some_asserts > 0);
+        let (all, no_asserts) = count(100);
+        assert!(all > 0);
+        assert_eq!(no_asserts, 0, "100% must generate only retractions");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Crash-point scripting over write-ahead-log bytes.
+//!
+//! The crash-recovery property suite replays a churn trace through the
+//! durable engine, captures the WAL bytes of the full (golden) run, and
+//! then re-opens the database from every prefix a crash could leave
+//! behind. This module enumerates those prefixes: every record boundary
+//! (a clean kill between transactions), torn offsets inside each record
+//! (mid-header, one byte short, seeded interior cuts), and seeded
+//! bit-flip scripts that model silent corruption rather than a torn
+//! tail. Everything is deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subq_oodb::durable::record_boundaries;
+
+/// The byte lengths a crash during WAL appends can leave on disk:
+/// every record boundary of `wal` (including 0 and the full length),
+/// the torn offsets just after and just before each boundary, a
+/// mid-header cut, and `torn_per_record` seeded interior offsets per
+/// record. Sorted, deduplicated.
+pub fn crash_points(wal: &[u8], torn_per_record: usize, seed: u64) -> Vec<usize> {
+    let boundaries = record_boundaries(wal);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5_4B01);
+    let mut points = boundaries.clone();
+    for window in boundaries.windows(2) {
+        let (start, end) = (window[0], window[1]);
+        // Torn inside the frame header, torn mid-record, and torn one
+        // byte short of complete — the adversarial neighborhoods of a
+        // boundary.
+        points.push(start + 1);
+        points.push((start + 6).min(end - 1));
+        points.push(end - 1);
+        for _ in 0..torn_per_record {
+            points.push(rng.gen_range(start..end));
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Seeded `(byte offset, bit)` corruption scripts over a log of
+/// `wal_len` bytes: `count` single-bit flips spread across the whole
+/// log. Applied one at a time (each to a fresh copy), they model bit
+/// rot the CRC framing must catch.
+pub fn flip_points(wal_len: usize, count: usize, seed: u64) -> Vec<(usize, u8)> {
+    if wal_len == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF11B_0B17);
+    (0..count)
+        .map(|_| (rng.gen_range(0..wal_len), rng.gen_range(0..8u8)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A syntactically valid WAL built from the oodb codec, three
+    /// records long.
+    fn sample_wal() -> Vec<u8> {
+        use subq_oodb::durable::codec::encode_record;
+        use subq_oodb::durable::WalRecord;
+        use subq_oodb::maintain::Delta;
+        use subq_oodb::ObjId;
+        let mut bytes = Vec::new();
+        for i in 0..3u64 {
+            encode_record(
+                &WalRecord {
+                    start_version: i,
+                    deltas: vec![(
+                        Delta::AddObject {
+                            object: ObjId(i as u32),
+                        },
+                        Some(format!("o{i}")),
+                    )],
+                },
+                &mut bytes,
+            );
+        }
+        bytes
+    }
+
+    #[test]
+    fn crash_points_cover_boundaries_and_interiors() {
+        let wal = sample_wal();
+        let boundaries = record_boundaries(&wal);
+        assert_eq!(boundaries.len(), 4);
+        let points = crash_points(&wal, 2, 9);
+        // Every clean boundary is a crash point…
+        for b in &boundaries {
+            assert!(points.contains(b), "boundary {b} missing");
+        }
+        // …as is the one-byte-short tear of every record.
+        for window in boundaries.windows(2) {
+            assert!(points.contains(&(window[1] - 1)));
+            assert!(points.contains(&(window[0] + 1)));
+        }
+        // Points are sorted, unique, and in range.
+        assert!(points.windows(2).all(|w| w[0] < w[1]));
+        assert!(points.iter().all(|&p| p <= wal.len()));
+        // Deterministic per seed.
+        assert_eq!(points, crash_points(&wal, 2, 9));
+        assert_ne!(points, crash_points(&wal, 8, 10));
+    }
+
+    #[test]
+    fn flip_points_are_seeded_and_in_range() {
+        let flips = flip_points(1000, 32, 4);
+        assert_eq!(flips.len(), 32);
+        assert!(flips.iter().all(|&(o, b)| o < 1000 && b < 8));
+        assert_eq!(flips, flip_points(1000, 32, 4));
+        assert_ne!(flips, flip_points(1000, 32, 5));
+        assert!(flip_points(0, 10, 1).is_empty());
+    }
+}

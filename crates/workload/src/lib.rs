@@ -17,18 +17,23 @@
 //!   subsumption-lattice planner (experiment E9);
 //! * [`churn`] — seeded mixed read/write traces (class and attribute
 //!   asserts and retracts in transactions) for the incremental
-//!   view-maintenance engine (experiment E10).
+//!   view-maintenance engine (experiment E10);
+//! * [`crash`] — crash-point and bit-flip scripting over write-ahead-log
+//!   bytes for the durable engine's kill-and-recover property suite and
+//!   experiment E13.
 //!
 //! All generators take explicit seeds (or are fully deterministic) so the
 //! benches are reproducible.
 
 pub mod churn;
+pub mod crash;
 pub mod database;
 pub mod hierarchy;
 pub mod random;
 pub mod scaling;
 
 pub use churn::{churn_trace, ChurnOp, ChurnParams, ChurnTrace};
+pub use crash::{crash_points, flip_points};
 pub use database::{synthetic_hospital, HospitalParams};
 pub use hierarchy::{hierarchical_catalog, FamilyShape, HierarchyInstance, HierarchyParams};
 pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams, RandomEnv};

@@ -13,6 +13,7 @@
 //! for scatter-gather processing.
 
 mod container;
+mod serialize;
 
 pub use container::{ARRAY_MAX, RUN_MAX};
 

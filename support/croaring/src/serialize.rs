@@ -1,0 +1,248 @@
+//! Container-level binary serialization.
+//!
+//! The encoding preserves the *physical* container layout (array / bits /
+//! runs), so a run-compressed universe round-trips in a handful of bytes
+//! and a bits container never degrades to 65 536 varints:
+//!
+//! ```text
+//! bitmap   := container_count:u32 container*
+//! container:= key:u16 tag:u8 payload
+//! payload  := tag 0 (array): count:u32 value:u16 ×count     (sorted, unique)
+//!          |  tag 1 (bits):  len:u32   word:u64 ×1024       (len == popcount)
+//!          |  tag 2 (runs):  count:u32 (start:u16 last:u16) ×count
+//! ```
+//!
+//! Everything is little-endian. [`Bitmap::deserialize`] validates every
+//! structural invariant (ordered keys, sorted arrays, disjoint
+//! non-adjacent runs, cached cardinality equal to the popcount) and
+//! returns `None` on any violation — corrupted input can never construct
+//! a bitmap that breaks the container algebra, only fail to load.
+
+use crate::container::{Container, WORDS};
+use crate::Bitmap;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian read cursor.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn write_container(out: &mut Vec<u8>, container: &Container) {
+    match container {
+        Container::Array(values) => {
+            out.push(0);
+            put_u32(out, values.len() as u32);
+            for &v in values {
+                put_u16(out, v);
+            }
+        }
+        Container::Bits { words, len } => {
+            out.push(1);
+            put_u32(out, *len);
+            for word in words.iter() {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        Container::Runs(runs) => {
+            out.push(2);
+            put_u32(out, runs.len() as u32);
+            for &(start, last) in runs {
+                put_u16(out, start);
+                put_u16(out, last);
+            }
+        }
+    }
+}
+
+fn read_container(cursor: &mut Cursor<'_>) -> Option<Container> {
+    match cursor.u8()? {
+        0 => {
+            let count = cursor.u32()? as usize;
+            if count > 1 << 16 {
+                return None;
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(cursor.u16()?);
+            }
+            if !values.windows(2).all(|w| w[0] < w[1]) {
+                return None;
+            }
+            Some(Container::Array(values))
+        }
+        1 => {
+            let len = cursor.u32()?;
+            let mut words = Box::new([0u64; WORDS]);
+            let mut popcount = 0u32;
+            for word in words.iter_mut() {
+                let b = cursor.take(8)?;
+                *word = u64::from_le_bytes(b.try_into().ok()?);
+                popcount += word.count_ones();
+            }
+            if popcount != len {
+                return None;
+            }
+            Some(Container::Bits { words, len })
+        }
+        2 => {
+            let count = cursor.u32()? as usize;
+            if count > 1 << 16 {
+                return None;
+            }
+            let mut runs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let start = cursor.u16()?;
+                let last = cursor.u16()?;
+                if start > last {
+                    return None;
+                }
+                runs.push((start, last));
+            }
+            // Sorted, disjoint, non-adjacent: the next run must start at
+            // least two past the previous run's end.
+            if !runs
+                .windows(2)
+                .all(|w| u32::from(w[0].1) + 1 < u32::from(w[1].0))
+            {
+                return None;
+            }
+            Some(Container::Runs(runs))
+        }
+        _ => None,
+    }
+}
+
+impl Bitmap {
+    /// Serializes into `out` (appending), preserving the physical
+    /// container layout.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.containers.len() as u32);
+        for (key, container) in &self.containers {
+            put_u16(out, *key);
+            write_container(out, container);
+        }
+    }
+
+    /// Serializes to a fresh buffer. See the module docs for the format.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.serialize_into(&mut out);
+        out
+    }
+
+    /// Parses a bitmap written by [`Bitmap::serialize`], consuming the
+    /// whole slice. Returns `None` on truncation, trailing garbage, or
+    /// any structural-invariant violation — never panics on corrupt
+    /// input.
+    pub fn deserialize(bytes: &[u8]) -> Option<Bitmap> {
+        let mut cursor = Cursor::new(bytes);
+        let bitmap = Self::read_from(&mut cursor)?;
+        cursor.done().then_some(bitmap)
+    }
+
+    fn read_from(cursor: &mut Cursor<'_>) -> Option<Bitmap> {
+        let count = cursor.u32()? as usize;
+        if count > 1 << 16 {
+            return None;
+        }
+        let mut containers = Vec::with_capacity(count);
+        let mut last_key: Option<u16> = None;
+        for _ in 0..count {
+            let key = cursor.u16()?;
+            if last_key.is_some_and(|prev| prev >= key) {
+                return None;
+            }
+            last_key = Some(key);
+            let container = read_container(cursor)?;
+            if container.is_empty() {
+                return None;
+            }
+            containers.push((key, container));
+        }
+        Some(Bitmap { containers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_across_container_kinds() {
+        let cases: Vec<Bitmap> = vec![
+            Bitmap::new(),
+            [5u32, 9, 70_000].into_iter().collect(),
+            (0u32..10_000).collect(),                     // bits container
+            Bitmap::from_range(0..200_000),               // runs
+            (0u32..8_192).step_by(2).collect::<Bitmap>(), // promoted, no runs
+        ];
+        for bitmap in cases {
+            let bytes = bitmap.serialize();
+            let back = Bitmap::deserialize(&bytes).expect("valid encoding");
+            assert_eq!(back, bitmap);
+        }
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicking() {
+        let bitmap: Bitmap = (0u32..5_000).collect();
+        let bytes = bitmap.serialize();
+        // Truncations at every prefix length parse to None, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Bitmap::deserialize(&bytes[..cut]).is_none(), "cut={cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Bitmap::deserialize(&long).is_none());
+        // A wrong cached cardinality is rejected.
+        let mut wrong_len = bytes.clone();
+        wrong_len[4 + 2 + 1] ^= 1; // bits container cached len, low byte
+        assert!(Bitmap::deserialize(&wrong_len).is_none());
+        // An unsorted array is rejected.
+        let array: Bitmap = [3u32, 8].into_iter().collect();
+        let mut swapped = array.serialize();
+        let tail = swapped.len();
+        swapped.swap(tail - 4, tail - 2);
+        swapped.swap(tail - 3, tail - 1);
+        assert!(Bitmap::deserialize(&swapped).is_none());
+    }
+}

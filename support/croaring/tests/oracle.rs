@@ -185,6 +185,59 @@ fn promotion_boundary_at_4096() {
 }
 
 #[test]
+fn serialization_roundtrips_against_oracle() {
+    // Random shapes across adversarial densities: whatever physical
+    // container mix a bitmap reached, serialize → deserialize must give
+    // back the same *semantic* set (checked against the BTreeSet oracle).
+    for seed in 0u64..16 {
+        let mut rng = StdRng::seed_from_u64(0x5E71A11 ^ seed);
+        let universe: u32 = [64, 5_000, 300_000, 4_000_000][seed as usize % 4];
+        let mut bm = Bitmap::new();
+        let mut oracle = BTreeSet::new();
+        for _ in 0..2_000 {
+            let v = draw(&mut rng, universe);
+            if rng.gen_bool(0.7) {
+                bm.insert(v);
+                oracle.insert(v);
+            } else {
+                bm.remove(v);
+                oracle.remove(&v);
+            }
+        }
+        if seed % 2 == 0 {
+            bm.run_optimize();
+        }
+        let bytes = bm.serialize();
+        let back = Bitmap::deserialize(&bytes).expect("own encoding is valid");
+        assert_matches(&back, &oracle, &format!("seed {seed} roundtrip"));
+        // The decoded bitmap stays mutable and algebra-compatible.
+        let mut merged = back.clone();
+        merged.or_inplace(&bm);
+        assert_matches(&merged, &oracle, &format!("seed {seed} post-decode or"));
+    }
+
+    // The container-promotion boundary: 4095 / 4096 / 4097 elements in a
+    // single chunk exercise array, boundary-array, and bits encodings;
+    // the same cardinalities built as one run exercise the run encoding.
+    for width in [ARRAY_MAX - 1, ARRAY_MAX, ARRAY_MAX + 1] {
+        let spread: Bitmap = (0..width as u32).map(|i| 2 * i).collect();
+        let spread_oracle: BTreeSet<u32> = (0..width as u32).map(|i| 2 * i).collect();
+        let back = Bitmap::deserialize(&spread.serialize()).expect("boundary spread");
+        assert_matches(&back, &spread_oracle, &format!("spread width {width}"));
+
+        let run = Bitmap::from_range(0..width as u32);
+        let run_oracle: BTreeSet<u32> = (0..width as u32).collect();
+        let back = Bitmap::deserialize(&run.serialize()).expect("boundary run");
+        assert_matches(&back, &run_oracle, &format!("run width {width}"));
+        // Runs encode in O(runs), not O(cardinality).
+        assert!(
+            run.serialize().len() < 32,
+            "run of {width} should stay tiny"
+        );
+    }
+}
+
+#[test]
 fn dense_runs_and_from_range_match_oracle() {
     let mut rng = StdRng::seed_from_u64(0xD1CE);
     for trial in 0..8 {

@@ -162,6 +162,7 @@ fn readers_observe_only_published_equivalent_snapshots_on_100_traces() {
             objects: 16,
             transactions: 4,
             ops_per_transaction: 3,
+            retract_percent: 40,
         };
         run_trace(seed, params, 2, &format!("{shape:?}/seed={seed}"));
         traces += 1;
@@ -181,6 +182,7 @@ fn a_heavier_trace_with_four_readers_stays_equivalent() {
         objects: 60,
         transactions: 10,
         ops_per_transaction: 6,
+        retract_percent: 40,
     };
     run_trace(424_242, params, 4, "heavy/tree");
 }

@@ -135,6 +135,7 @@ fn incremental_maintenance_is_equivalent_on_200_churn_traces() {
                     objects: 24,
                     transactions: 6,
                     ops_per_transaction: 4,
+                    retract_percent: 40,
                 },
             ),
             (
@@ -147,6 +148,7 @@ fn incremental_maintenance_is_equivalent_on_200_churn_traces() {
                     objects: 30,
                     transactions: 6,
                     ops_per_transaction: 5,
+                    retract_percent: 40,
                 },
             ),
         ] {
@@ -165,6 +167,35 @@ fn incremental_maintenance_is_equivalent_on_200_churn_traces() {
         transactions >= 200,
         "only {transactions} transactions across all traces"
     );
+}
+
+/// Retraction-heavy traces drill the downward isA propagation path
+/// (retracting a class strips its subclasses too) and attribute-index
+/// shrinkage much harder than the default blend — the crash-recovery
+/// suite replays the same mixes from the write-ahead log, so the
+/// in-memory maintenance must hold up on them first.
+#[test]
+fn retraction_heavy_churn_stays_equivalent() {
+    let mut transactions = 0usize;
+    for shape in [FamilyShape::Chain, FamilyShape::Tree, FamilyShape::Random] {
+        for seed in 300..305u64 {
+            transactions += check_trace(
+                seed,
+                ChurnParams {
+                    shape,
+                    classes: 6,
+                    views: 8,
+                    path_view_percent: 40,
+                    objects: 24,
+                    transactions: 8,
+                    ops_per_transaction: 5,
+                    retract_percent: 85,
+                },
+                &format!("{}/retract-heavy/seed={seed}", shape.name()),
+            );
+        }
+    }
+    assert!(transactions >= 100, "only {transactions} transactions");
 }
 
 /// Views with no schema superclass have the *all objects* candidate set,
@@ -287,6 +318,7 @@ fn chain_catalogs_prune_through_the_lattice_and_stay_equivalent() {
         objects: 40,
         transactions: 10,
         ops_per_transaction: 6,
+        retract_percent: 40,
     };
     let mut pruned_total = 0u64;
     for seed in 100..110u64 {

@@ -30,6 +30,7 @@ fn parallel_propagation_matches_refresh_full() {
             objects: 40,
             transactions: 6,
             ops_per_transaction: 5,
+            retract_percent: 40,
         };
         let trace = churn_trace(seed, params);
         let mut incremental = OptimizedDatabase::new(trace.db.clone()).expect("translates");
