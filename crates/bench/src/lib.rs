@@ -989,6 +989,103 @@ pub mod e13 {
     }
 }
 
+/// E14: the `subqd` server — mixed churn+query traffic from a fleet of
+/// loopback TCP clients through the load generator (see
+/// `e14_server_table.rs` for the arms and the `tests/server_*.rs` suites
+/// for the correctness side).
+pub mod e14 {
+    use std::sync::Arc;
+    use subq::oodb::{DurableOptions, FaultyBackend, OptimizedDatabase};
+    use subq::server::{percentile, run_mixed_load, LoadParams, Server, ServerConfig};
+    use subq::workload::traffic::TrafficParams;
+    use subq::workload::{churn_trace, ChurnParams, ChurnTrace};
+
+    /// One mixed-traffic run: a fleet of clients, per-op-class latency.
+    pub struct MixedRow {
+        pub clients: usize,
+        pub queue: usize,
+        /// Acknowledged operations (queries + commits); retried `BUSY`
+        /// rounds are counted separately.
+        pub ops: usize,
+        pub queries: usize,
+        pub txns: usize,
+        pub busy: usize,
+        pub errors: usize,
+        pub elapsed_ns: u128,
+        pub ops_per_sec: f64,
+        pub query_p50_ns: u64,
+        pub query_p99_ns: u64,
+        pub txn_p50_ns: u64,
+        pub txn_p99_ns: u64,
+    }
+
+    /// The E14 trace: the standard churn schema with enough objects for
+    /// non-trivial answers and enough transactions that a fleet's
+    /// round-robin shares stay disjoint.
+    fn trace() -> ChurnTrace {
+        churn_trace(
+            0xE14,
+            ChurnParams {
+                objects: 120,
+                transactions: 64,
+                ..ChurnParams::default()
+            },
+        )
+    }
+
+    /// Runs `clients` threads of mixed traffic (each `ops` operations,
+    /// `query_percent`% queries) against a freshly served durable store
+    /// (in-memory backend: the WAL encode + group-commit batching is
+    /// real, the fsync is free, so rows measure the server, not a disk).
+    pub fn mixed_arm(clients: usize, queue: usize, query_percent: u8, ops: usize) -> MixedRow {
+        let trace = trace();
+        let backend = Arc::new(FaultyBackend::new());
+        let mut odb = OptimizedDatabase::open(backend, DurableOptions { group_commit: 64 }, || {
+            trace.db.clone()
+        })
+        .expect("genesis open");
+        for name in &trace.view_names {
+            odb.materialize_view(name).expect("materializes");
+        }
+        odb.checkpoint().expect("checkpoint after materialization");
+        let server = Server::start(
+            odb,
+            ServerConfig {
+                write_queue: queue,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("binds loopback");
+        let report = run_mixed_load(
+            server.addr(),
+            &trace,
+            LoadParams {
+                clients,
+                traffic: TrafficParams { query_percent, ops },
+                ..LoadParams::default()
+            },
+        )
+        .expect("load run");
+        server.shutdown();
+        let elapsed_ns = report.elapsed.as_nanos().max(1);
+        MixedRow {
+            clients,
+            queue,
+            ops: report.ops,
+            queries: report.queries,
+            txns: report.txns,
+            busy: report.busy,
+            errors: report.errors,
+            elapsed_ns,
+            ops_per_sec: report.ops as f64 / (elapsed_ns as f64 / 1e9),
+            query_p50_ns: percentile(&report.query_ns, 50.0),
+            query_p99_ns: percentile(&report.query_ns, 99.0),
+            txn_p50_ns: percentile(&report.txn_ns, 50.0),
+            txn_p99_ns: percentile(&report.txn_ns, 99.0),
+        }
+    }
+}
+
 /// Times `work` on fresh instances from `make` until ~50 ms of measurement
 /// (at least 3 runs) and returns the best per-run time.
 pub fn time_best<T>(mut make: impl FnMut() -> T, mut work: impl FnMut(T)) -> Duration {

@@ -45,5 +45,5 @@ pub use ast::{
     AttrDecl, AttrSpec, ClassDecl, ConstraintExpr, DlModel, LabeledPath, PathFilter, PathStep,
     QueryClassDecl, Term,
 };
-pub use parser::{parse_model, ParseError};
+pub use parser::{parse_model, parse_query, ParseError};
 pub use validate::{validate_model, ValidationError};

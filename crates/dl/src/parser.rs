@@ -87,6 +87,34 @@ pub fn parse_model(source: &str) -> Result<DlModel, ParseError> {
     parser.model()
 }
 
+/// Parses source text that must contain exactly one query-class
+/// declaration and nothing else — the shape a query or view definition
+/// takes when it travels alone over a wire protocol.
+pub fn parse_query(source: &str) -> Result<QueryClassDecl, ParseError> {
+    let model = parse_model(source)?;
+    if !model.classes.is_empty() || !model.attributes.is_empty() {
+        return Err(ParseError {
+            message: "expected a single query class, found schema declarations".to_owned(),
+            line: 0,
+            col: 0,
+        });
+    }
+    let mut queries = model.queries;
+    match (queries.pop(), queries.is_empty()) {
+        (Some(query), true) => Ok(query),
+        (Some(_), false) => Err(ParseError {
+            message: "expected a single query class, found several".to_owned(),
+            line: 0,
+            col: 0,
+        }),
+        (None, _) => Err(ParseError {
+            message: "expected a query class, found none".to_owned(),
+            line: 0,
+            col: 0,
+        }),
+    }
+}
+
 /// Parses a single constraint expression (used by tests and by tools that
 /// store constraints separately).
 pub fn parse_constraint(source: &str) -> Result<ConstraintExpr, ParseError> {

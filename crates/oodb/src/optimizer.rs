@@ -472,6 +472,14 @@ impl OptimizedDatabase {
         Reader::new(self.cell.clone())
     }
 
+    /// The shared publication cell. A server hands this to its worker
+    /// threads *before* moving the database into its writer thread; each
+    /// worker then mints its own [`Reader`] via [`SnapshotCell::reader`]
+    /// and follows publications without ever touching the writer.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell> {
+        self.cell.clone()
+    }
+
     /// The frozen translation for the next snapshot, recloned from the
     /// live one only when the writer interned new concepts (or the schema
     /// epoch changed) since the last publication.

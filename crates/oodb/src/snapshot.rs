@@ -163,6 +163,14 @@ impl SnapshotCell {
     pub(crate) fn store(&self, snapshot: Arc<Snapshot>) {
         *self.current.write().expect("snapshot cell poisoned") = snapshot;
     }
+
+    /// A new lock-free read handle over this cell — the snapshot handout
+    /// for components (like a server's worker threads) that hold the
+    /// shared cell but not the [`OptimizedDatabase`](crate::OptimizedDatabase)
+    /// itself, which a writer thread may own exclusively.
+    pub fn reader(self: &Arc<Self>) -> Reader {
+        Reader::new(self.clone())
+    }
 }
 
 /// A read handle over published snapshots: plans, probes, and executes

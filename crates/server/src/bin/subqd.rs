@@ -1,0 +1,90 @@
+//! The `subqd` binary: serve a DL model over TCP.
+//!
+//! ```text
+//! subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE] [--group-commit N]
+//! ```
+//!
+//! Without `--model` the built-in medical sample schema is served;
+//! without `--dir` the store is volatile (no WAL, no checkpoints).
+//! With `--dir`, the directory is opened through the durable engine:
+//! an existing image + WAL recovers, an empty directory initializes.
+
+use std::process::exit;
+use std::sync::Arc;
+use subq_oodb::{Database, DurableOptions, FileBackend, OptimizedDatabase};
+use subq_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE] [--group-commit N]"
+    );
+    exit(2)
+}
+
+fn fail(what: &str, detail: impl std::fmt::Display) -> ! {
+    eprintln!("subqd: {what}: {detail}");
+    exit(1)
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut dir: Option<String> = None;
+    let mut model_path: Option<String> = None;
+    let mut group_commit = 64usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--port" => config.port = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.write_queue = value().parse().unwrap_or_else(|_| usage()),
+            "--dir" => dir = Some(value()),
+            "--model" => model_path = Some(value()),
+            "--group-commit" => group_commit = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let model = match &model_path {
+        Some(path) => {
+            let source = std::fs::read_to_string(path).unwrap_or_else(|e| fail("reading model", e));
+            subq_dl::parse_model(&source).unwrap_or_else(|e| fail("parsing model", e))
+        }
+        None => subq_dl::samples::medical_model(),
+    };
+
+    let db = match &dir {
+        Some(dir) => {
+            let backend =
+                FileBackend::new(dir.as_str()).unwrap_or_else(|e| fail("opening backend", e));
+            OptimizedDatabase::open(
+                Arc::new(backend),
+                DurableOptions { group_commit },
+                move || Database::new(model),
+            )
+            .unwrap_or_else(|e| fail("recovering store", e))
+        }
+        None => OptimizedDatabase::new(Database::new(model))
+            .unwrap_or_else(|e| fail("translating model", e)),
+    };
+
+    let server = Server::start(db, config).unwrap_or_else(|e| fail("starting server", e));
+    println!("subqd listening on {}", server.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        let stats = server.stats();
+        if server.crashed() {
+            fail("durable engine failed", "restart to recover from the log");
+        }
+        eprintln!(
+            "subqd: sessions={} queries={} commits={} busy={}",
+            stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
+            stats.queries.load(std::sync::atomic::Ordering::Relaxed),
+            stats.commits.load(std::sync::atomic::Ordering::Relaxed),
+            stats
+                .busy_replies
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! The blocking client: one [`TcpStream`], frames out, frames in.
+//!
+//! The protocol is strictly request/reply in order per connection, so
+//! the client is a thin pairing of [`Client::send`] and
+//! [`Client::receive`]; [`Client::request`] does one round trip.
+//! Pipelined use (several `send`s before the matching `receive`s) is
+//! what the load generator leans on to build queue depth.
+
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+use crate::proto::{Request, Response};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+pub struct Client {
+    stream: TcpStream,
+    max_payload: usize,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Bounds how long a [`Client::receive`] may block (None = forever).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// The raw socket, for tests that need to drive it below the
+    /// protocol layer (half-open sessions, draining after a reap).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Sends one request without awaiting the reply (pipelining).
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, request.render().as_bytes())
+    }
+
+    /// Sends raw bytes as-is — the fuzz suites' hole into the framing
+    /// layer.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Receives the next reply frame.
+    pub fn receive(&mut self) -> io::Result<Response> {
+        let payload = read_frame(&mut self.stream, self.max_payload)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "reply is not UTF-8"))?;
+        Response::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// One request/reply round trip.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Sends `BYE`, awaits the `OK`, and drops the connection.
+    pub fn close(mut self) -> io::Result<()> {
+        match self.request(&Request::Bye)? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected BYE reply: {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The load generator: deals a churn trace out to a fleet of client
+//! threads and measures per-op-class latency.
+//!
+//! Schedules come from `subq_workload::traffic` (seeded, transactions
+//! partitioned round-robin so the fleet collectively applies the trace),
+//! requests from [`churn_txn_request`]/[`view_query`]. Each thread runs
+//! its schedule strictly request-by-request, timing every round trip;
+//! `BUSY` replies are counted and the op is retried after a short
+//! backoff (admission control is the server's answer, retry is the
+//! client's). The merged [`LoadReport`] is what experiment E14 tabulates.
+
+use crate::client::Client;
+use crate::proto::{Request, Response, TxnOp};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use subq_dl::QueryClassDecl;
+use subq_workload::traffic::{client_schedule, TrafficOp, TrafficParams};
+use subq_workload::{ChurnOp, ChurnTrace};
+
+/// Merged outcome of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Completed operations (acknowledged queries + commits).
+    pub ops: usize,
+    pub queries: usize,
+    pub txns: usize,
+    /// `BUSY` replies observed (each followed by a retry).
+    pub busy: usize,
+    /// Typed `ERR` replies observed.
+    pub errors: usize,
+    pub elapsed: Duration,
+    /// Nanoseconds per acknowledged query round trip.
+    pub query_ns: Vec<u64>,
+    /// Nanoseconds per acknowledged transaction round trip.
+    pub txn_ns: Vec<u64>,
+}
+
+impl LoadReport {
+    fn absorb(&mut self, other: LoadReport) {
+        self.ops += other.ops;
+        self.queries += other.queries;
+        self.txns += other.txns;
+        self.busy += other.busy;
+        self.errors += other.errors;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.query_ns.extend(other.query_ns);
+        self.txn_ns.extend(other.txn_ns);
+    }
+}
+
+/// The `p`-th percentile (0–100) of a sample set, by sorting.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Converts one churn transaction into its wire request (the churn
+/// generator's single attribute is `link`).
+pub fn churn_txn_request(ops: &[ChurnOp]) -> Request {
+    Request::Txn(
+        ops.iter()
+            .map(|op| match op {
+                ChurnOp::AddObject(name) => TxnOp::Add {
+                    object: name.clone(),
+                },
+                ChurnOp::AssertClass(object, class) => TxnOp::Class {
+                    assert: true,
+                    object: object.clone(),
+                    class: class.clone(),
+                },
+                ChurnOp::RetractClass(object, class) => TxnOp::Class {
+                    assert: false,
+                    object: object.clone(),
+                    class: class.clone(),
+                },
+                ChurnOp::AssertAttr(from, to) => TxnOp::Attr {
+                    assert: true,
+                    from: from.clone(),
+                    attr: "link".to_owned(),
+                    to: to.clone(),
+                },
+                ChurnOp::RetractAttr(from, to) => TxnOp::Attr {
+                    assert: false,
+                    from: from.clone(),
+                    attr: "link".to_owned(),
+                    to: to.clone(),
+                },
+            })
+            .collect(),
+    )
+}
+
+/// The declared definition of view `index` of the trace.
+pub fn view_query(trace: &ChurnTrace, index: usize) -> QueryClassDecl {
+    let name = &trace.view_names[index % trace.view_names.len()];
+    trace
+        .db
+        .model()
+        .query_class(name)
+        .expect("churn views are declared query classes")
+        .clone()
+}
+
+/// Parameters of one mixed-traffic run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadParams {
+    pub clients: usize,
+    pub seed: u64,
+    pub traffic: TrafficParams,
+    /// Backoff before retrying a `BUSY` op.
+    pub busy_backoff: Duration,
+}
+
+impl Default for LoadParams {
+    fn default() -> Self {
+        LoadParams {
+            clients: 4,
+            seed: 0xE14,
+            traffic: TrafficParams::default(),
+            busy_backoff: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Runs `params.clients` threads of mixed churn+query traffic against
+/// `addr` and merges their reports.
+pub fn run_mixed_load(
+    addr: SocketAddr,
+    trace: &ChurnTrace,
+    params: LoadParams,
+) -> io::Result<LoadReport> {
+    let started = Instant::now();
+    let reports: Vec<io::Result<LoadReport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..params.clients)
+            .map(|client| {
+                let trace = &trace;
+                scope.spawn(move || run_client(addr, trace, client, params))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let mut merged = LoadReport::default();
+    for report in reports {
+        merged.absorb(report?);
+    }
+    merged.elapsed = started.elapsed();
+    Ok(merged)
+}
+
+fn run_client(
+    addr: SocketAddr,
+    trace: &ChurnTrace,
+    client: usize,
+    params: LoadParams,
+) -> io::Result<LoadReport> {
+    let schedule = client_schedule(
+        params.seed,
+        client,
+        params.clients,
+        trace.transactions.len(),
+        trace.view_names.len(),
+        params.traffic,
+    );
+    let mut connection = Client::connect(addr)?;
+    connection.set_timeout(Some(Duration::from_secs(30)))?;
+    let mut report = LoadReport::default();
+    let started = Instant::now();
+    for op in schedule {
+        let request = match op {
+            TrafficOp::Query(view) => Request::Query(view_query(trace, view)),
+            TrafficOp::Txn(txn) => churn_txn_request(&trace.transactions[txn]),
+        };
+        loop {
+            let at = Instant::now();
+            let response = connection.request(&request)?;
+            let elapsed_ns = at.elapsed().as_nanos() as u64;
+            match response {
+                Response::Answers { .. } => {
+                    report.ops += 1;
+                    report.queries += 1;
+                    report.query_ns.push(elapsed_ns);
+                    break;
+                }
+                Response::Committed { .. } | Response::Ok { .. } => {
+                    report.ops += 1;
+                    report.txns += 1;
+                    report.txn_ns.push(elapsed_ns);
+                    break;
+                }
+                Response::Busy { .. } => {
+                    report.busy += 1;
+                    std::thread::sleep(params.busy_backoff);
+                }
+                Response::Pong { .. } => break,
+                Response::Error { .. } => {
+                    report.errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+    report.elapsed = started.elapsed();
+    connection.close()?;
+    Ok(report)
+}

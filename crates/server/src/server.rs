@@ -1,0 +1,202 @@
+//! `subqd` itself: configuration, lifecycle, and the accept loop.
+//!
+//! [`Server::start`] takes ownership of an [`OptimizedDatabase`] —
+//! volatile or opened durably — publishes its state, hands a [`Reader`]
+//! to every worker, and moves the database into the single writer
+//! thread. From that point the only paths into the data are the ones
+//! the paper's architecture prescribes: immutable snapshots outward,
+//! one bounded command queue inward.
+
+use crate::worker::{run_worker, Intake};
+use crate::writer::{run_writer, WriteRequest};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use subq_oodb::OptimizedDatabase;
+
+/// Tuning knobs; every buffer the server allocates is bounded by one of
+/// these.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Loopback port to bind (0 picks a free one).
+    pub port: u16,
+    /// Worker threads (0 = one per core).
+    pub workers: usize,
+    /// Depth of the bounded write-command queue; a full queue answers
+    /// `BUSY`.
+    pub write_queue: usize,
+    /// Parsed requests a session may have queued before the server stops
+    /// reading its socket (admission control).
+    pub inbox_limit: usize,
+    /// Outbound bytes a session may have buffered before the server
+    /// stops reading its socket (slow-reader protection).
+    pub outbound_limit: usize,
+    /// Cap on one frame's payload.
+    pub max_payload: usize,
+    /// A session with no progress for this long is closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: 0,
+            write_queue: 64,
+            inbox_limit: 32,
+            outbound_limit: 1 << 22,
+            max_payload: crate::frame::DEFAULT_MAX_PAYLOAD,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Cumulative counters, updated by workers and readable at any time.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub accepted: AtomicU64,
+    pub closed: AtomicU64,
+    pub queries: AtomicU64,
+    pub commits: AtomicU64,
+    pub busy_replies: AtomicU64,
+    /// Survivable per-request errors (parse failures, unknown names).
+    pub protocol_errors: AtomicU64,
+    /// Fatal framing errors (length over cap, checksum mismatch).
+    pub frame_errors: AtomicU64,
+    pub idle_closes: AtomicU64,
+}
+
+impl ServerStats {
+    pub(crate) fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running server; dropping it shuts everything down.
+pub struct Server {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds a loopback listener and spawns the writer, the workers, and
+    /// the accept loop. Durability is inherited from how `db` was
+    /// opened: a durable database commits through the WAL with one
+    /// fsync per drained batch; a volatile one skips the log.
+    pub fn start(mut db: OptimizedDatabase, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        // Publish before handing out readers so every worker starts on
+        // the current state, not a stale cell.
+        db.publish_snapshot();
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let crashed = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<WriteRequest>(config.write_queue.max(1));
+
+        let mut threads = Vec::with_capacity(workers + 2);
+        let mut intakes = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let reader = db.reader();
+            let intake = Arc::new(Intake::default());
+            intakes.push(intake.clone());
+            let (tx, config, stats) = (tx.clone(), config.clone(), stats.clone());
+            let (shutdown, crashed) = (shutdown.clone(), crashed.clone());
+            threads.push(std::thread::spawn(move || {
+                run_worker(reader, intake, tx, config, stats, shutdown, crashed)
+            }));
+        }
+        drop(tx);
+
+        {
+            let (shutdown, crashed) = (shutdown.clone(), crashed.clone());
+            threads.push(std::thread::spawn(move || {
+                run_writer(db, rx, shutdown, crashed)
+            }));
+        }
+
+        {
+            let stats = stats.clone();
+            let (shutdown, crashed) = (shutdown.clone(), crashed.clone());
+            threads.push(std::thread::spawn(move || {
+                let mut next = 0usize;
+                loop {
+                    if shutdown.load(Ordering::Relaxed) || crashed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stats.bump(&stats.accepted);
+                            let intake = &intakes[next % intakes.len()];
+                            next += 1;
+                            intake.streams.lock().expect("intake poisoned").push(stream);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+
+        Ok(Server {
+            addr,
+            stats,
+            shutdown,
+            crashed,
+            threads,
+        })
+    }
+
+    /// The bound loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        self.stats.clone()
+    }
+
+    /// True once the durable engine has failed; the server stops
+    /// accepting and drops every session — recovery is a fresh
+    /// [`OptimizedDatabase::open`] over the surviving files and a new
+    /// [`Server::start`].
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drops every session, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,77 @@
+//! The thread-per-core worker pool.
+//!
+//! Each worker owns one lock-free [`Reader`] minted from the shared
+//! [`SnapshotCell`](subq_oodb::SnapshotCell) and a private vector of
+//! sessions; the accept loop deals new connections into per-worker
+//! intake slots. A worker's loop is: adopt the latest snapshot
+//! ([`Reader::sync`] — one pointer clone), pump every session
+//! (nonblocking reads, query evaluation against the private reader,
+//! ticket polls, nonblocking writes), drop the dead, and nap briefly
+//! when nothing moved. No locks are taken on the read path — the only
+//! shared mutable state a worker touches per loop is its intake slot
+//! and the atomic counters.
+
+use crate::server::{ServerConfig, ServerStats};
+use crate::session::Session;
+use crate::writer::WriteRequest;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use subq_oodb::Reader;
+
+/// The accept loop's hand-off point into one worker.
+#[derive(Default)]
+pub(crate) struct Intake {
+    pub(crate) streams: Mutex<Vec<TcpStream>>,
+}
+
+pub(crate) fn run_worker(
+    mut reader: Reader,
+    intake: Arc<Intake>,
+    tx: SyncSender<WriteRequest>,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+) {
+    let mut sessions: Vec<Session> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) || crashed.load(Ordering::Relaxed) {
+            // Dropping the streams resets the peers; on a durable-engine
+            // crash that is the truthful signal — nothing more will be
+            // acknowledged.
+            stats
+                .closed
+                .fetch_add(sessions.len() as u64, Ordering::Relaxed);
+            return;
+        }
+        {
+            let mut incoming = intake.streams.lock().expect("intake poisoned");
+            for stream in incoming.drain(..) {
+                match Session::new(stream, &config) {
+                    Ok(session) => sessions.push(session),
+                    Err(_) => {
+                        stats.bump(&stats.closed);
+                    }
+                }
+            }
+        }
+        let mut progressed = reader.sync();
+        let now = Instant::now();
+        for session in &mut sessions {
+            progressed |= session.pump(&mut reader, &tx, &config, &stats, now);
+        }
+        let before = sessions.len();
+        sessions.retain(|session| !session.dead);
+        let dropped = before - sessions.len();
+        if dropped > 0 {
+            stats.closed.fetch_add(dropped as u64, Ordering::Relaxed);
+            progressed = true;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}

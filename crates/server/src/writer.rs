@@ -1,0 +1,287 @@
+//! The single-writer command funnel.
+//!
+//! Workers never touch the [`OptimizedDatabase`]: every mutation travels
+//! as a [`WriteRequest`] through one bounded channel into the writer
+//! thread that owns it (the oidadb `edb_job_t` shape — scheduled writes,
+//! threadsafe reads through handles). The writer drains whatever has
+//! queued, applies each command as its own transaction, and — when the
+//! store is durable — forces **one** fsync over the whole drained batch
+//! before completing any ticket: an acknowledged commit is a durable
+//! commit, and the stable-storage barrier is amortized exactly like the
+//! WAL's own group commit (E13 measures that curve; E14 measures this
+//! end of it).
+//!
+//! Admission control lives at the channel: it is a rendezvous of size
+//! `ServerConfig::write_queue`, workers only ever `try_send`, and a full
+//! queue turns into a typed `BUSY` reply instead of buffering — the
+//! writer can be *behind*, never *besieged*.
+
+use crate::proto::{ErrorCode, Response, TxnOp};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use subq_dl::{validate_model, DlModel, QueryClassDecl};
+use subq_oodb::{Database, OptimizedDatabase};
+
+/// A mutation command, already parsed and ready for the writer.
+#[derive(Clone, Debug)]
+pub enum WriteCmd {
+    /// One transaction of ops, applied atomically.
+    Txn(Vec<TxnOp>),
+    /// Declare a query class (schema DDL) and materialize it as a view.
+    DefView(QueryClassDecl),
+    /// Materialize an already-declared query or schema class.
+    Materialize(String),
+}
+
+/// The completion slot a worker polls while the writer works. Single
+/// producer (the writer), single consumer (the owning session).
+#[derive(Clone, Debug)]
+pub struct Ticket(Arc<Mutex<Option<Response>>>);
+
+impl Ticket {
+    pub(crate) fn new() -> Ticket {
+        Ticket(Arc::new(Mutex::new(None)))
+    }
+
+    pub(crate) fn complete(&self, response: Response) {
+        *self.0.lock().expect("ticket poisoned") = Some(response);
+    }
+
+    /// Takes the response once the writer has produced it.
+    pub(crate) fn poll(&self) -> Option<Response> {
+        self.0.lock().expect("ticket poisoned").take()
+    }
+}
+
+/// One queued command plus its completion slot.
+#[derive(Debug)]
+pub struct WriteRequest {
+    pub cmd: WriteCmd,
+    pub ticket: Ticket,
+}
+
+fn internal(message: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::Internal,
+        message: message.to_owned(),
+    }
+}
+
+/// Validates every op against the model: transactions are rejected
+/// atomically (nothing applied) when they reference undeclared classes
+/// or attributes, so a client typo cannot grow shadow extents no query
+/// can see.
+fn validate_txn(model: &DlModel, ops: &[TxnOp]) -> Result<(), Response> {
+    let known_attr = |name: &str| {
+        model
+            .attributes
+            .iter()
+            .any(|a| a.name == name || a.inverse.as_deref() == Some(name))
+    };
+    for op in ops {
+        match op {
+            TxnOp::Add { .. } => {}
+            TxnOp::Class { class, .. } => {
+                if model.class(class).is_none() {
+                    return Err(Response::Error {
+                        code: ErrorCode::Unknown,
+                        message: format!("unknown class {class}"),
+                    });
+                }
+            }
+            TxnOp::Attr { attr, .. } => {
+                if !known_attr(attr) {
+                    return Err(Response::Error {
+                        code: ErrorCode::Unknown,
+                        message: format!("unknown attribute {attr}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_op(db: &mut Database, op: &TxnOp) {
+    match op {
+        TxnOp::Add { object } => {
+            db.add_object(object);
+        }
+        TxnOp::Class {
+            assert,
+            object,
+            class,
+        } => {
+            let id = db.add_object(object);
+            if *assert {
+                db.assert_class(id, class);
+            } else {
+                db.retract_class(id, class);
+            }
+        }
+        TxnOp::Attr {
+            assert,
+            from,
+            attr,
+            to,
+        } => {
+            let (from, to) = (db.add_object(from), db.add_object(to));
+            if *assert {
+                db.assert_attr(from, attr, to);
+            } else {
+                db.retract_attr(from, attr, to);
+            }
+        }
+    }
+}
+
+/// Validates a DEFVIEW against a *clone* of the model before letting it
+/// anywhere near [`OptimizedDatabase::update`], whose contract is that
+/// schema mutations keep the model translatable (it panics otherwise —
+/// a panic no wire client may be able to trigger).
+fn validate_defview(model: &DlModel, decl: &QueryClassDecl) -> Result<(), Response> {
+    let reject = |message: String| Response::Error {
+        code: ErrorCode::Parse,
+        message,
+    };
+    if model.class(&decl.name).is_some() || model.query_class(&decl.name).is_some() {
+        return Err(reject(format!("{} is already declared", decl.name)));
+    }
+    let mut candidate = model.clone();
+    candidate.queries.push(decl.clone());
+    let errors = validate_model(&candidate);
+    if let Some(first) = errors.first() {
+        return Err(reject(format!("invalid view definition: {first}")));
+    }
+    subq_translate::translate_model(&candidate)
+        .map_err(|e| reject(format!("untranslatable view definition: {e}")))?;
+    Ok(())
+}
+
+/// Applies one command; `Err` means the durable engine failed and the
+/// server must stop taking writes.
+fn apply_cmd(
+    db: &mut OptimizedDatabase,
+    durable: bool,
+    cmd: &WriteCmd,
+) -> Result<Response, subq_oodb::DurableError> {
+    match cmd {
+        WriteCmd::Txn(ops) => {
+            if let Err(reply) = validate_txn(db.database().model(), ops) {
+                return Ok(reply);
+            }
+            if durable {
+                db.commit_durable(|db| {
+                    for op in ops {
+                        apply_op(db, op);
+                    }
+                })?;
+            } else {
+                db.commit(|db| {
+                    for op in ops {
+                        apply_op(db, op);
+                    }
+                });
+            }
+            Ok(Response::Committed {
+                version: db.database().data_version(),
+            })
+        }
+        WriteCmd::DefView(decl) => {
+            if let Err(reply) = validate_defview(db.database().model(), decl) {
+                return Ok(reply);
+            }
+            let decl = decl.clone();
+            let name = decl.name.clone();
+            db.update(|db| db.model_mut().queries.push(decl));
+            db.materialize_view(&name)
+                .expect("the view was validated and just declared");
+            if durable {
+                // The new schema is only recoverable through an image.
+                db.checkpoint()?;
+            } else {
+                db.publish_snapshot();
+            }
+            Ok(Response::Ok {
+                version: db.database().data_version(),
+            })
+        }
+        WriteCmd::Materialize(name) => {
+            if let Err(e) = db.materialize_view(name) {
+                return Ok(Response::Error {
+                    code: ErrorCode::Unknown,
+                    message: e.to_string(),
+                });
+            }
+            if durable {
+                db.checkpoint()?;
+            } else {
+                db.publish_snapshot();
+            }
+            Ok(Response::Ok {
+                version: db.database().data_version(),
+            })
+        }
+    }
+}
+
+/// The writer thread: drain, apply, one sync, then acknowledge.
+pub(crate) fn run_writer(
+    mut db: OptimizedDatabase,
+    rx: Receiver<WriteRequest>,
+    shutdown: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+) {
+    let durable = db.durability_stats().is_some();
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(request) => request,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        while let Ok(request) = rx.try_recv() {
+            batch.push(request);
+        }
+        let mut completions: Vec<(Ticket, Response)> = Vec::with_capacity(batch.len());
+        let mut failed = false;
+        for request in batch {
+            if failed {
+                request.ticket.complete(internal("durable engine failed"));
+                continue;
+            }
+            match apply_cmd(&mut db, durable, &request.cmd) {
+                Ok(response) => completions.push((request.ticket, response)),
+                Err(_) => {
+                    failed = true;
+                    crashed.store(true, Ordering::Relaxed);
+                    request.ticket.complete(internal("durable engine failed"));
+                }
+            }
+        }
+        // Group commit: the whole drained batch rides one fsync, and no
+        // ticket completes before it — an ack is a durability promise.
+        if durable && !failed && db.sync_durable().is_err() {
+            failed = true;
+            crashed.store(true, Ordering::Relaxed);
+            for (ticket, _) in completions.drain(..) {
+                ticket.complete(internal("durable engine failed"));
+            }
+        }
+        for (ticket, response) in completions {
+            ticket.complete(response);
+        }
+        if failed {
+            // Leave queued requests to drown with the channel: workers
+            // observe `crashed` and drop their sessions.
+            return;
+        }
+    }
+}

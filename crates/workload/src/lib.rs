@@ -20,7 +20,10 @@
 //!   view-maintenance engine (experiment E10);
 //! * [`crash`] — crash-point and bit-flip scripting over write-ahead-log
 //!   bytes for the durable engine's kill-and-recover property suite and
-//!   experiment E13.
+//!   experiment E13;
+//! * [`traffic`] — per-client mixed query/transaction schedules dealing a
+//!   churn trace out to a fleet of concurrent server clients (experiment
+//!   E14 and the multi-session equivalence suite).
 //!
 //! All generators take explicit seeds (or are fully deterministic) so the
 //! benches are reproducible.
@@ -31,6 +34,7 @@ pub mod database;
 pub mod hierarchy;
 pub mod random;
 pub mod scaling;
+pub mod traffic;
 
 pub use churn::{churn_trace, ChurnOp, ChurnParams, ChurnTrace};
 pub use crash::{crash_points, flip_points};
@@ -38,3 +42,4 @@ pub use database::{synthetic_hospital, HospitalParams};
 pub use hierarchy::{hierarchical_catalog, FamilyShape, HierarchyInstance, HierarchyParams};
 pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams, RandomEnv};
 pub use scaling::ScalingInstance;
+pub use traffic::{client_schedule, TrafficOp, TrafficParams};

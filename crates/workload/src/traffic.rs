@@ -1,0 +1,120 @@
+//! Per-client traffic schedules for the server experiments (E14) and the
+//! multi-session equivalence suite.
+//!
+//! A [`churn_trace`](crate::churn::churn_trace) fixes the database, the
+//! view catalog, and a sequence of write transactions; this module deals
+//! out that trace to `n` concurrent clients as deterministic, seeded
+//! schedules of wire-level operations — queries against the declared
+//! views interleaved with the client's own share of the transactions.
+//! Transactions are partitioned round-robin (client `c` owns every
+//! transaction `t` with `t % n == c`), so a fleet of clients collectively
+//! applies the whole trace while no two clients race to apply the same
+//! transaction; a client that exhausts its share cycles through it again,
+//! keeping write pressure up for as long as the schedule runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One wire-level operation of a mixed traffic schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficOp {
+    /// Execute the definition of view `i` (an index into the trace's
+    /// `view_names`) as a query.
+    Query(usize),
+    /// Apply transaction `i` of the trace as one write transaction.
+    Txn(usize),
+}
+
+/// Parameters of the per-client schedule generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficParams {
+    /// Percent (0–100) of operations that are queries.
+    pub query_percent: u8,
+    /// Operations per client schedule.
+    pub ops: usize,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams {
+            query_percent: 70,
+            ops: 40,
+        }
+    }
+}
+
+/// The seeded schedule of client `client` out of `clients`, over a trace
+/// with `transactions` transactions and `views` declared views.
+pub fn client_schedule(
+    seed: u64,
+    client: usize,
+    clients: usize,
+    transactions: usize,
+    views: usize,
+    params: TrafficParams,
+) -> Vec<TrafficOp> {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let own: Vec<usize> = (0..transactions)
+        .filter(|t| t % clients.max(1) == client)
+        .collect();
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(params.ops);
+    for _ in 0..params.ops {
+        let wants_query = views > 0 && rng.gen_range(0..100u8) < params.query_percent;
+        if wants_query || own.is_empty() {
+            if views > 0 {
+                out.push(TrafficOp::Query(rng.gen_range(0..views)));
+            }
+        } else {
+            out.push(TrafficOp::Txn(own[next % own.len()]));
+            next += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_and_client() {
+        let a = client_schedule(7, 1, 4, 16, 8, TrafficParams::default());
+        let b = client_schedule(7, 1, 4, 16, 8, TrafficParams::default());
+        assert_eq!(a, b);
+        let c = client_schedule(7, 2, 4, 16, 8, TrafficParams::default());
+        assert_ne!(a, c, "clients draw distinct schedules");
+    }
+
+    #[test]
+    fn transactions_are_partitioned_round_robin() {
+        let clients = 3;
+        for client in 0..clients {
+            let params = TrafficParams {
+                query_percent: 0,
+                ops: 100,
+            };
+            let schedule = client_schedule(11, client, clients, 12, 4, params);
+            for op in schedule {
+                match op {
+                    TrafficOp::Txn(t) => assert_eq!(t % clients, client),
+                    TrafficOp::Query(_) => panic!("query_percent = 0"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_query_schedules_stay_in_view_range() {
+        let params = TrafficParams {
+            query_percent: 100,
+            ops: 50,
+        };
+        let schedule = client_schedule(3, 0, 1, 10, 5, params);
+        assert_eq!(schedule.len(), 50);
+        assert!(schedule
+            .iter()
+            .all(|op| matches!(op, TrafficOp::Query(v) if *v < 5)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Crash-during-serve: live traffic over a `FaultyBackend`-backed
+//! store, the process "dies" at scripted WAL byte offsets, and a fresh
+//! `OptimizedDatabase::open` + `Server::start` must bring reconnecting
+//! clients back to **exactly** the last committed boundary — never
+//! losing an acknowledged commit (the server only acks after the
+//! batch's fsync) and never inventing a phantom one.
+//!
+//! Determinism makes the sweep exact: a single driving client applies
+//! the trace's transactions sequentially, so the writer handles batches
+//! of one and the WAL byte stream is identical to an uncrashed golden
+//! run over the same trace. `crash_points` over the golden WAL then
+//! yields offsets that are meaningful in every crashed re-run.
+
+use std::sync::Arc;
+use std::time::Duration;
+use subq_oodb::durable::wal::WAL_FILE;
+use subq_oodb::{evaluate_query, Database, DurableOptions, FaultyBackend, OptimizedDatabase};
+use subq_server::{
+    churn_txn_request, view_query, Client, ErrorCode, Request, Response, Server, ServerConfig,
+};
+use subq_workload::{churn_trace, crash_points, ChurnParams, ChurnTrace};
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        write_queue: 16,
+        ..ServerConfig::default()
+    }
+}
+
+/// Opens `backend` durably (genesis on first use), materializes the
+/// trace's views, checkpoints so every image carries the view catalog,
+/// and starts serving.
+fn durable_server(trace: &ChurnTrace, backend: Arc<FaultyBackend>) -> Server {
+    let mut odb = OptimizedDatabase::open(backend, DurableOptions { group_commit: 8 }, || {
+        trace.db.clone()
+    })
+    .expect("genesis open");
+    for name in &trace.view_names {
+        odb.materialize_view(name).expect("materializes");
+    }
+    odb.checkpoint().expect("checkpoint after materialization");
+    Server::start(odb, config()).expect("binds loopback")
+}
+
+/// Scratch replay of the committed prefix ending at `version`.
+fn scratch_at(trace: &ChurnTrace, committed: &[u64], version: u64) -> Database {
+    let idx = committed
+        .iter()
+        .position(|&c| c == version)
+        .unwrap_or_else(|| panic!("{version} is not a committed boundary of {committed:?}"));
+    let mut db = trace.db.clone();
+    for txn in &trace.transactions[..idx] {
+        for op in txn {
+            op.apply(&mut db);
+        }
+    }
+    assert_eq!(db.data_version(), version, "scratch replay drift");
+    db
+}
+
+fn expected_names(trace: &ChurnTrace, db: &Database, view: usize) -> Vec<String> {
+    let mut names: Vec<String> = evaluate_query(db, &view_query(trace, view))
+        .iter()
+        .map(|id| db.object_name(*id).to_owned())
+        .collect();
+    names.sort();
+    names
+}
+
+/// Checks that a server over `odb` shows exactly boundary `version`.
+fn assert_serves_boundary(
+    odb: OptimizedDatabase,
+    trace: &ChurnTrace,
+    version: u64,
+    scratch: &Database,
+) {
+    let server = Server::start(odb, config()).expect("restarts");
+    let mut client = Client::connect(server.addr()).expect("reconnects");
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    match client.request(&Request::Ping).expect("pongs") {
+        Response::Pong { version: v } => assert_eq!(v, version, "recovered version drift"),
+        other => panic!("expected PONG, got {other:?}"),
+    }
+    for view in 0..trace.view_names.len() {
+        match client
+            .request(&Request::Query(view_query(trace, view)))
+            .expect("answers after recovery")
+        {
+            Response::Answers {
+                version: answered_at,
+                names,
+            } => {
+                assert_eq!(answered_at, version, "view {view} answered off-boundary");
+                let mut sorted = names;
+                sorted.sort();
+                assert_eq!(
+                    sorted,
+                    expected_names(trace, scratch, view),
+                    "view {view} disagrees with scratch replay at {version}"
+                );
+            }
+            other => panic!("expected ANSWERS, got {other:?}"),
+        }
+    }
+    client.close().expect("graceful BYE");
+    server.shutdown();
+}
+
+#[test]
+fn acknowledged_commits_survive_every_scripted_wal_crash() {
+    let seed = 0xC4A5;
+    let params = ChurnParams {
+        transactions: 12,
+        ops_per_transaction: 5,
+        ..ChurnParams::default()
+    };
+    let trace = churn_trace(seed, params);
+    let base = trace.db.data_version();
+
+    // Golden run: the same single-client serve, uncrashed, to learn the
+    // committed boundaries and the exact WAL byte stream.
+    let golden_backend = Arc::new(FaultyBackend::new());
+    let server = durable_server(&trace, golden_backend.clone());
+    let mut client = Client::connect(server.addr()).expect("connects");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut committed = vec![base];
+    for (t, txn) in trace.transactions.iter().enumerate() {
+        match client.request(&churn_txn_request(txn)).expect("commits") {
+            Response::Committed { version } => committed.push(version),
+            other => panic!("txn {t}: expected COMMITTED, got {other:?}"),
+        }
+    }
+    client.close().expect("graceful BYE");
+    server.shutdown();
+    let wal = golden_backend
+        .surviving_files()
+        .remove(WAL_FILE)
+        .expect("WAL exists");
+    assert!(!wal.is_empty(), "the golden run must log transactions");
+
+    // Crash the serve at a spread of torn offsets across the WAL, plus
+    // its full length (= no crash ever fires).
+    let mut cuts = crash_points(&wal, 1, seed);
+    let step = cuts.len().div_ceil(9).max(1);
+    cuts = cuts.into_iter().step_by(step).collect();
+    cuts.push(wal.len());
+
+    for cut in cuts {
+        let backend = Arc::new(FaultyBackend::new());
+        let server = durable_server(&trace, backend.clone());
+        // Arm after setup: only serve-phase WAL appends consume budget.
+        backend.crash_after_bytes(cut as u64);
+
+        let mut client = Client::connect(server.addr()).expect("connects");
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        let mut acked = base;
+        for txn in &trace.transactions {
+            match client.request(&churn_txn_request(txn)) {
+                Ok(Response::Committed { version }) => acked = version,
+                // The writer hit the scripted fault: a typed internal
+                // error for in-flight work, then the connection drops.
+                Ok(Response::Error {
+                    code: ErrorCode::Internal,
+                    ..
+                }) => break,
+                Ok(other) => panic!("cut={cut}: unexpected reply {other:?}"),
+                Err(_) => break,
+            }
+        }
+        drop(client);
+        if cut < wal.len() {
+            assert!(server.crashed(), "cut={cut}: the fault never surfaced");
+        }
+        server.shutdown();
+
+        // The process is gone; the surviving bytes recover.
+        backend.revive();
+        let recovered = OptimizedDatabase::open(backend, DurableOptions::default(), || {
+            panic!("cut={cut}: an image exists, genesis must not run")
+        })
+        .unwrap_or_else(|e| panic!("cut={cut}: recovery failed: {e}"));
+        let version = recovered.database().data_version();
+        assert!(
+            version >= acked,
+            "cut={cut}: lost acknowledged commit {acked}, recovered only {version}"
+        );
+        assert!(
+            committed.contains(&version),
+            "cut={cut}: {version} is not a committed boundary of {committed:?}"
+        );
+
+        // Reconnecting clients see exactly that boundary.
+        let scratch = scratch_at(&trace, &committed, version);
+        assert_serves_boundary(recovered, &trace, version, &scratch);
+    }
+}
+
+#[test]
+fn a_clean_shutdown_reopens_at_the_final_boundary() {
+    let trace = churn_trace(9, ChurnParams::default());
+    let backend = Arc::new(FaultyBackend::new());
+    let server = durable_server(&trace, backend.clone());
+    let mut client = Client::connect(server.addr()).expect("connects");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut last = trace.db.data_version();
+    let mut committed = vec![last];
+    for txn in &trace.transactions {
+        match client.request(&churn_txn_request(txn)).expect("commits") {
+            Response::Committed { version } => {
+                last = version;
+                committed.push(version);
+            }
+            other => panic!("expected COMMITTED, got {other:?}"),
+        }
+    }
+    client.close().expect("graceful BYE");
+    server.shutdown();
+
+    let recovered = OptimizedDatabase::open(backend, DurableOptions::default(), || unreachable!())
+        .expect("clean reopen");
+    assert_eq!(recovered.database().data_version(), last);
+    let scratch = scratch_at(&trace, &committed, last);
+    assert_serves_boundary(recovered, &trace, last, &scratch);
+}
