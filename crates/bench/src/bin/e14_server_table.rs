@@ -78,7 +78,11 @@ fn main() {
             ("queries", r.queries.to_string()),
             ("txns", r.txns.to_string()),
             ("busy", r.busy.to_string()),
+            ("query_busy", r.query_busy.to_string()),
+            ("txn_busy", r.txn_busy.to_string()),
             ("errors", r.errors.to_string()),
+            ("query_errors", r.query_errors.to_string()),
+            ("txn_errors", r.txn_errors.to_string()),
             ("ops_per_sec", format!("{:.1}", r.ops_per_sec)),
             ("query_p50_ns", r.query_p50_ns.to_string()),
             ("query_p99_ns", r.query_p99_ns.to_string()),
@@ -116,7 +120,11 @@ fn main() {
             ("cores", cores.to_string()),
             ("ops", r.ops.to_string()),
             ("busy", r.busy.to_string()),
+            ("query_busy", r.query_busy.to_string()),
+            ("txn_busy", r.txn_busy.to_string()),
             ("errors", r.errors.to_string()),
+            ("query_errors", r.query_errors.to_string()),
+            ("txn_errors", r.txn_errors.to_string()),
             ("ops_per_sec", format!("{:.1}", r.ops_per_sec)),
             ("txn_p50_ns", r.txn_p50_ns.to_string()),
             ("txn_p99_ns", r.txn_p99_ns.to_string()),
@@ -141,7 +149,11 @@ fn main() {
         ("cores", cores.to_string()),
         ("ops", r.ops.to_string()),
         ("busy", r.busy.to_string()),
+        ("query_busy", r.query_busy.to_string()),
+        ("txn_busy", r.txn_busy.to_string()),
         ("errors", r.errors.to_string()),
+        ("query_errors", r.query_errors.to_string()),
+        ("txn_errors", r.txn_errors.to_string()),
         ("ops_per_sec", format!("{:.1}", r.ops_per_sec)),
         ("busy_per_op", format!("{busy_per_op:.3}")),
     ]));

@@ -28,7 +28,11 @@
 //! * the `subqd` server versus `BENCH_e14.json`: the core-clamped
 //!   4-client mixed-traffic speedup, zero typed errors on every row, and
 //!   the saturation row shedding load as typed `BUSY` (see
-//!   [`e14_checks`]).
+//!   [`e14_checks`]);
+//! * the telemetry layer's cost when unread: the instrumented E8
+//!   repeat-plan and E13 durable-commit paths, re-timed with spans
+//!   enabled versus disabled, must stay within 10% of each other (see
+//!   [`overhead_checks`]).
 //!
 //! Counters (unlike wall-clock) are deterministic, so these are hard
 //! assertions suitable for CI (with a small slack for intentional
@@ -713,6 +717,60 @@ fn e14_checks(failures: &mut Vec<String>) -> usize {
     checked
 }
 
+/// The instrumentation-overhead gate: telemetry must be free when
+/// unread. The two hottest instrumented paths — the E8 memoized repeat
+/// plan (counter bumps in the subsumption cache plus the plan-latency
+/// span) and the E13 durable commit (WAL fsync span plus batch-size
+/// histogram) — are timed with telemetry spans enabled and disabled.
+/// Counters are always-on relaxed atomics on both sides; `set_enabled`
+/// gates only the span clock reads, which is exactly the cost this
+/// bounds. Measurements are interleaved best-of-5 pairs so scheduler
+/// noise hits both sides alike, with three attempts before the 10%
+/// ceiling fails hard.
+fn overhead_checks(failures: &mut Vec<String>) {
+    const CEILING: f64 = 1.10;
+    let (mut odb, query) = subq_bench::e8::repeat_plan_setup();
+    let mut best_plan = f64::INFINITY;
+    for _ in 0..3 {
+        let (mut on, mut off) = (u64::MAX, u64::MAX);
+        for _ in 0..5 {
+            subq::telemetry::set_enabled(true);
+            on = on.min(subq_bench::e8::repeat_plan_ns(&mut odb, &query, 64));
+            subq::telemetry::set_enabled(false);
+            off = off.min(subq_bench::e8::repeat_plan_ns(&mut odb, &query, 64));
+        }
+        best_plan = best_plan.min(on as f64 / off.max(1) as f64);
+        if best_plan <= CEILING {
+            break;
+        }
+    }
+    let mut best_commit = f64::INFINITY;
+    for _ in 0..3 {
+        let (mut on, mut off) = (u128::MAX, u128::MAX);
+        for _ in 0..3 {
+            subq::telemetry::set_enabled(true);
+            on = on.min(subq_bench::e13::commit_latency_arm(8, 192).per_commit_ns);
+            subq::telemetry::set_enabled(false);
+            off = off.min(subq_bench::e13::commit_latency_arm(8, 192).per_commit_ns);
+        }
+        best_commit = best_commit.min(on as f64 / off.max(1) as f64);
+        if best_commit <= CEILING {
+            break;
+        }
+    }
+    subq::telemetry::set_enabled(true);
+    if best_plan > CEILING {
+        failures.push(format!(
+            "overhead: instrumented E8 repeat plan is {best_plan:.3}× the disabled baseline (ceiling {CEILING:.2}×) — telemetry is not free when unread"
+        ));
+    }
+    if best_commit > CEILING {
+        failures.push(format!(
+            "overhead: instrumented E13 durable commit is {best_commit:.3}× the disabled baseline (ceiling {CEILING:.2}×) — telemetry is not free when unread"
+        ));
+    }
+}
+
 fn main() {
     let baseline = std::fs::read_to_string("BENCH_e5.json").unwrap_or_else(|error| {
         panic!("cannot read BENCH_e5.json (run from the repository root): {error}")
@@ -766,6 +824,7 @@ fn main() {
     let e12_checked = e12_checks(&mut failures);
     let e13_checked = e13_checks(&mut failures);
     let e14_checked = e14_checks(&mut failures);
+    overhead_checks(&mut failures);
     if !failures.is_empty() {
         eprintln!("perf regressions:");
         for failure in &failures {
@@ -780,6 +839,7 @@ fn main() {
          {e11_checked} E11 rows within the concurrency bounds (core-scaled 8-reader speedup, zero post-warmup saturations), \
          {e12_checked} E12 rows within the physical-layer bounds (≥5× dense bitmap intersection, core-scaled scatter-gather, cost-based plans within 10% of best enumerated), \
          {e13_checked} E13 rows within the durability bounds (≥5× group-commit amortization at batch 32, ≥5× image+suffix recovery at 64k entries, ≤200 B/object images), \
-         {e14_checked} E14 rows within the server bounds (core-scaled 4-client mixed-traffic speedup, saturation shed as typed BUSY, zero typed errors)"
+         {e14_checked} E14 rows within the server bounds (core-scaled 4-client mixed-traffic speedup, saturation shed as typed BUSY, zero typed errors), \
+         and the instrumented E8 repeat-plan and E13 commit paths within 10% of the telemetry-disabled baseline"
     );
 }

@@ -198,6 +198,7 @@ impl SubsumptionCache {
             if let Some(coldest) = self.saturated_order.pop_front() {
                 self.saturated.remove(&coldest);
                 self.saturation_evictions += 1;
+                crate::metrics::metrics().saturation_evictions.inc();
             }
         }
         self.saturated_order.push_back(query);
@@ -480,6 +481,7 @@ impl<'a> SubsumptionChecker<'a> {
         let normalized_view = cache.normalize(arena, sup);
         if let Some(cached) = cache.outcomes.get(&(normalized_query, normalized_view)) {
             cache.hits += 1;
+            crate::metrics::metrics().cache_hits.inc();
             return SubsumptionOutcome {
                 verdict: cached.verdict,
                 stats: cached.stats,
@@ -502,20 +504,30 @@ impl<'a> SubsumptionChecker<'a> {
         normalized_query: ConceptId,
         normalized_view: ConceptId,
     ) -> SubsumptionOutcome {
+        let metrics = crate::metrics::metrics();
         cache.misses += 1;
+        metrics.cache_misses.inc();
         if cache.saturated.contains_key(&normalized_query) {
             cache.touch_saturated(normalized_query);
         } else {
             let base = SaturatedFacts::saturate(arena, self.schema, normalized_query);
             cache.store_saturated(normalized_query, base);
             cache.fact_saturations += 1;
+            metrics.fact_saturations.inc();
         }
         cache.probes += 1;
+        metrics.probes.inc();
         let base = cache
             .saturated
             .get(&normalized_query)
             .expect("saturated just above");
         let outcome = probe_saturated(arena, self.schema, base, normalized_view);
+        metrics
+            .rule_applications
+            .add(outcome.stats.rule_applications as u64);
+        metrics
+            .constraints_examined
+            .add(outcome.stats.constraints_examined as u64);
         cache.outcomes.insert(
             (normalized_query, normalized_view),
             CachedCheck {
@@ -550,6 +562,7 @@ impl<'a> SubsumptionChecker<'a> {
         let key = (normalized_query, normalized_view);
         if let Some(cached) = cache.outcomes.get(&key) {
             cache.hits += 1;
+            crate::metrics::metrics().cache_hits.inc();
             return SubsumptionOutcome {
                 verdict: cached.verdict,
                 stats: cached.stats,
@@ -563,6 +576,7 @@ impl<'a> SubsumptionChecker<'a> {
         if shareable {
             if let Some(cached) = shared.get(key) {
                 cache.hits += 1;
+                crate::metrics::metrics().cache_hits.inc();
                 cache.outcomes.insert(key, cached);
                 return SubsumptionOutcome {
                     verdict: cached.verdict,

@@ -45,6 +45,7 @@ pub mod checker;
 pub mod constraint;
 pub mod engine;
 pub mod ind;
+pub mod metrics;
 pub mod reference;
 pub mod rules;
 pub mod trace;

@@ -19,6 +19,7 @@
 //! | [`extensions`] | the NP-hard language extensions of Section 4.4 |
 //! | [`oodb`] | object store, query-class evaluation, materialized views, optimizer |
 //! | [`server`] | the `subqd` TCP server, wire protocol, client library, load generator |
+//! | [`telemetry`] | process-wide metrics registry, histograms, span timers, slow-query log |
 //! | [`workload`] | synthetic workload generators for the experiments |
 //!
 //! # Quickstart
@@ -39,6 +40,7 @@ pub use subq_dl as dl;
 pub use subq_extensions as extensions;
 pub use subq_oodb as oodb;
 pub use subq_server as server;
+pub use subq_telemetry as telemetry;
 pub use subq_translate as translate;
 pub use subq_workload as workload;
 

@@ -84,7 +84,12 @@ impl Wal {
     /// is pending. Returns the durability watermark.
     pub(crate) fn sync(&mut self, stats: &mut DurabilityStats) -> Result<u64, DurableError> {
         if self.pending > 0 {
-            self.backend.sync(WAL_FILE)?;
+            let metrics = crate::metrics::metrics();
+            metrics.wal_batch_records.record(self.pending as u64);
+            {
+                let _span = metrics.wal_fsync_ns.span();
+                self.backend.sync(WAL_FILE)?;
+            }
             stats.fsyncs += 1;
             if self.pending > 1 {
                 stats.group_commits += 1;

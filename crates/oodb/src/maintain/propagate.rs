@@ -362,6 +362,9 @@ fn refresh_component(
                 ));
             }
             Plan::Candidates(candidates) => {
+                crate::metrics::metrics()
+                    .maintenance_candidates
+                    .record(candidates.len() as u64);
                 if let Some(rep) = view.equiv {
                     // Σ-equivalent peers share the representative's
                     // extension in every state, so the representative's

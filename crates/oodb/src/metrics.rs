@@ -1,0 +1,83 @@
+//! Process-wide telemetry of the storage and optimizer layer.
+//!
+//! Latency histograms span the writer's plan/execute/commit/checkpoint
+//! paths and the WAL's fsync barrier; counters mirror the per-catalog
+//! [`MaintenanceStats`](crate::maintain::MaintenanceStats) and the
+//! per-catalog [`Statistics`](crate::stats::Statistics) refresh counters
+//! by bumping at the same sites, so the registry aggregates every
+//! catalog in the process without double-counting.
+
+use std::sync::OnceLock;
+use subq_telemetry::{Counter, Histogram};
+
+/// Handles to the oodb metrics in the global registry.
+pub struct OodbMetrics {
+    /// Writer-side `plan` latency (nanoseconds).
+    pub plan_ns: Histogram,
+    /// Writer-side `execute` latency (nanoseconds).
+    pub execute_ns: Histogram,
+    /// Reader-side `plan` latency (nanoseconds).
+    pub reader_plan_ns: Histogram,
+    /// Reader-side `execute` latency (nanoseconds).
+    pub reader_execute_ns: Histogram,
+    /// `commit`/`commit_durable` end-to-end latency, mutation through
+    /// snapshot publication (nanoseconds).
+    pub commit_publish_ns: Histogram,
+    /// Checkpoint image write latency (nanoseconds).
+    pub checkpoint_ns: Histogram,
+    /// Durable-open latency: recovery replay (or genesis checkpoint)
+    /// through first publication (nanoseconds).
+    pub recovery_ns: Histogram,
+    /// WAL fsync barrier latency (nanoseconds).
+    pub wal_fsync_ns: Histogram,
+    /// Records covered per fsync (the group-commit batch size).
+    pub wal_batch_records: Histogram,
+    /// Candidate-ball size routed to one view by one refresh pass.
+    pub maintenance_candidates: Histogram,
+    /// Mirrors of [`MaintenanceStats`](crate::maintain::MaintenanceStats).
+    pub maint_deltas_applied: Counter,
+    pub maint_candidates_examined: Counter,
+    pub maint_memberships_evaluated: Counter,
+    pub maint_lattice_prunes: Counter,
+    pub maint_full_reevaluations: Counter,
+    pub maint_empty_refreshes: Counter,
+    /// Mirrors of the [`Statistics`](crate::stats::Statistics) refresh
+    /// counters.
+    pub stats_full_collections: Counter,
+    pub stats_incremental_refreshes: Counter,
+    pub stats_entries_touched: Counter,
+}
+
+/// The oodb metrics, registered on first use.
+pub fn metrics() -> &'static OodbMetrics {
+    static METRICS: OnceLock<OodbMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| OodbMetrics {
+        plan_ns: subq_telemetry::histogram("subq_plan_ns"),
+        execute_ns: subq_telemetry::histogram("subq_execute_ns"),
+        reader_plan_ns: subq_telemetry::histogram("subq_reader_plan_ns"),
+        reader_execute_ns: subq_telemetry::histogram("subq_reader_execute_ns"),
+        commit_publish_ns: subq_telemetry::histogram("subq_commit_publish_ns"),
+        checkpoint_ns: subq_telemetry::histogram("subq_checkpoint_ns"),
+        recovery_ns: subq_telemetry::histogram("subq_recovery_ns"),
+        wal_fsync_ns: subq_telemetry::histogram("subq_wal_fsync_ns"),
+        wal_batch_records: subq_telemetry::histogram("subq_wal_batch_records"),
+        maintenance_candidates: subq_telemetry::histogram("subq_maintenance_candidates"),
+        maint_deltas_applied: subq_telemetry::counter("subq_maintenance_deltas_applied_total"),
+        maint_candidates_examined: subq_telemetry::counter(
+            "subq_maintenance_candidates_examined_total",
+        ),
+        maint_memberships_evaluated: subq_telemetry::counter(
+            "subq_maintenance_memberships_evaluated_total",
+        ),
+        maint_lattice_prunes: subq_telemetry::counter("subq_maintenance_lattice_prunes_total"),
+        maint_full_reevaluations: subq_telemetry::counter(
+            "subq_maintenance_full_reevaluations_total",
+        ),
+        maint_empty_refreshes: subq_telemetry::counter("subq_maintenance_empty_refreshes_total"),
+        stats_full_collections: subq_telemetry::counter("subq_stats_full_collections_total"),
+        stats_incremental_refreshes: subq_telemetry::counter(
+            "subq_stats_incremental_refreshes_total",
+        ),
+        stats_entries_touched: subq_telemetry::counter("subq_stats_entries_touched_total"),
+    })
+}

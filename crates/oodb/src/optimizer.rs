@@ -163,6 +163,7 @@ impl OptimizedDatabase {
         options: DurableOptions,
         initial: impl FnOnce() -> Database,
     ) -> Result<Self, DurableError> {
+        let _span = crate::metrics::metrics().recovery_ns.span();
         let mut stats = DurabilityStats::default();
         match recover::recover(backend.as_ref(), &mut stats)? {
             None => {
@@ -323,6 +324,7 @@ impl OptimizedDatabase {
     /// one atomic snapshot swap. The write path of the snapshot-isolated
     /// serving loop.
     pub fn commit<R>(&mut self, mutate: impl FnOnce(&mut Database) -> R) -> R {
+        let _span = crate::metrics::metrics().commit_publish_ns.span();
         let result = self.update(mutate);
         self.publish_snapshot();
         result
@@ -349,6 +351,7 @@ impl OptimizedDatabase {
         &mut self,
         mutate: impl FnOnce(&mut Database) -> R,
     ) -> Result<R, DurableError> {
+        let _span = crate::metrics::metrics().commit_publish_ns.span();
         assert!(
             self.durable.is_some(),
             "commit_durable requires a database opened through OptimizedDatabase::open"
@@ -400,6 +403,7 @@ impl OptimizedDatabase {
     /// Panics when the database was not opened through
     /// [`OptimizedDatabase::open`].
     pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        let _span = crate::metrics::metrics().checkpoint_ns.span();
         assert!(
             self.durable.is_some(),
             "checkpoint requires a database opened through OptimizedDatabase::open"
@@ -561,6 +565,7 @@ impl OptimizedDatabase {
     /// answer set is identical (`tests/lattice_equivalence.rs` proves both
     /// properties against [`OptimizedDatabase::plan_flat`]).
     pub fn plan(&mut self, query: &QueryClassDecl) -> QueryPlan {
+        let _span = crate::metrics::metrics().plan_ns.span();
         let query_concept = match translate_query(
             query,
             self.db.model(),
@@ -709,6 +714,7 @@ impl OptimizedDatabase {
     /// narrowed candidates. Falls back to a full evaluation when no view
     /// subsumes the query.
     pub fn execute(&mut self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
+        let _span = crate::metrics::metrics().execute_ns.span();
         self.catalog.refresh(&self.db);
         let plan = self.plan(query);
         self.stats.refresh(&self.db);

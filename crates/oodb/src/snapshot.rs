@@ -43,7 +43,7 @@ use crate::eval::{evaluate_query_over, initial_candidates};
 use crate::optimizer::{ExecutionStats, QueryPlan};
 use crate::stats::{CostModel, Statistics};
 use crate::store::{Database, ObjId};
-use crate::views::{traverse_lattice, MaterializedView};
+use crate::views::{traverse_lattice, traverse_lattice_traced, MaterializedView, TraversalTrace};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, RwLock};
 use subq_calculus::{SharedSubsumptionMemo, SubsumptionCache, SubsumptionChecker};
@@ -267,6 +267,7 @@ impl Reader {
     /// list: no catalog lock, no classification pass (published views are
     /// classified), no writer involvement.
     pub fn plan(&mut self, query: &QueryClassDecl) -> QueryPlan {
+        let _span = crate::metrics::metrics().reader_plan_ns.span();
         let snapshot = Arc::clone(&self.snapshot);
         let query_concept = match translate_query(
             query,
@@ -316,6 +317,7 @@ impl Reader {
     /// and falls back to a full evaluation when no view subsumes — all
     /// over immutable state.
     pub fn execute(&mut self, query: &QueryClassDecl) -> (BTreeSet<ObjId>, ExecutionStats) {
+        let _span = crate::metrics::metrics().reader_execute_ns.span();
         let plan = self.plan(query);
         let snapshot = Arc::clone(&self.snapshot);
         let stats = self
@@ -365,5 +367,188 @@ impl Reader {
     /// immutable state).
     pub fn is_member(&self, query: &QueryClassDecl, object: ObjId) -> bool {
         crate::eval::is_member(&self.snapshot.db, query, object)
+    }
+
+    /// Explains how the query would be planned and executed against the
+    /// pinned snapshot: the same traversal as [`Reader::plan`] (so the
+    /// report's counters are exactly the `QueryPlan` the planner would
+    /// return for this query in this cache state), plus the per-view
+    /// probe order, the pruned views, the cost model's estimate for each
+    /// frontier member with the executor's pick, and the narrowing
+    /// (intersection) order. Probes go through the shared memo like any
+    /// plan, so explaining warms the caches the same way planning does.
+    pub fn explain(&mut self, query: &QueryClassDecl) -> ExplainReport {
+        let snapshot = Arc::clone(&self.snapshot);
+        let query_concept = match translate_query(
+            query,
+            snapshot.db.model(),
+            &mut self.vocabulary,
+            &mut self.arena,
+        ) {
+            Ok(concept) => concept,
+            Err(_) => return ExplainReport::default(),
+        };
+        let checker = SubsumptionChecker::new(&snapshot.translated.schema);
+        let arena = &mut self.arena;
+        let cache = &mut self.cache;
+        let bound = self.shared_bound;
+        let (hits_before, misses_before) = cache.stats();
+        let (saturations_before, _) = cache.saturation_stats();
+        let (traversal, trace) = traverse_lattice_traced(&snapshot.views, |view_concept| {
+            checker.subsumes_shared(
+                arena,
+                query_concept,
+                view_concept,
+                cache,
+                &snapshot.memo,
+                bound,
+            )
+        });
+        let (hits_after, misses_after) = cache.stats();
+        let (saturations_after, _) = cache.saturation_stats();
+        let mut subsuming = traversal.frontier;
+        subsuming.sort_by_key(|(_, size)| *size);
+        let plan = QueryPlan {
+            chosen_view: subsuming.first().map(|(name, _)| name.clone()),
+            subsuming_views: subsuming.into_iter().map(|(name, _)| name).collect(),
+            cached_probes: (hits_after - hits_before) as usize,
+            fresh_probes: (misses_after - misses_before) as usize,
+            fact_saturations: (saturations_after - saturations_before) as usize,
+            probes_pruned: traversal.pruned,
+            lattice_depth: traversal.depth,
+        };
+        let stats = self
+            .stats
+            .get_or_insert_with(|| Statistics::collect(&snapshot.db));
+        let cost = CostModel::new(stats, &snapshot.db);
+        let frontier: Vec<FrontierEstimate> = plan
+            .subsuming_views
+            .iter()
+            .filter_map(|name| snapshot.view(name))
+            .map(|v| {
+                let estimated_candidates = cost.estimated_candidates(v.extent.len(), query);
+                FrontierEstimate {
+                    name: v.definition.name.clone(),
+                    extent: v.extent.len(),
+                    estimated_candidates,
+                    estimated_cost: cost.filter_cost(estimated_candidates, query),
+                }
+            })
+            .collect();
+        // The executor's pick, chosen exactly like `Reader::execute`
+        // (iterator `min_by` keeps the *last* of equal minima).
+        let chosen = frontier
+            .iter()
+            .min_by(|a, b| a.estimated_cost.total_cmp(&b.estimated_cost))
+            .map(|f| f.name.clone());
+        let actual_candidates = chosen
+            .as_deref()
+            .and_then(|name| snapshot.view(name))
+            .map(|v| cost.narrow_candidates(&v.extent, query).len());
+        let narrowing_order = cost
+            .intersection_order(query)
+            .into_iter()
+            .map(|(class, cardinality)| (class.to_owned(), cardinality))
+            .collect();
+        ExplainReport {
+            plan,
+            trace,
+            frontier,
+            chosen,
+            narrowing_order,
+            actual_candidates,
+        }
+    }
+}
+
+/// One frontier member of an [`ExplainReport`] with the cost model's
+/// estimates the executor compares.
+#[derive(Clone, Debug)]
+pub struct FrontierEstimate {
+    /// The view's name.
+    pub name: String,
+    /// Stored extension size.
+    pub extent: usize,
+    /// Estimated candidates left after narrowing by the query's
+    /// schema-superclass extents.
+    pub estimated_candidates: usize,
+    /// Estimated filter cost — the quantity [`Reader::execute`]
+    /// minimizes over the frontier.
+    pub estimated_cost: f64,
+}
+
+/// The structured answer of [`Reader::explain`]: the plan the planner
+/// would return for the query (identical counters), the traversal's
+/// per-view events, and the cost model's reasoning for the executor's
+/// choice.
+#[derive(Clone, Debug, Default)]
+pub struct ExplainReport {
+    /// The plan, with counters from exactly this traversal.
+    pub plan: QueryPlan,
+    /// Fired probes in traversal order and the views pruned without a
+    /// probe.
+    pub trace: TraversalTrace,
+    /// The frontier in plan order (smallest extent first) with cost
+    /// estimates.
+    pub frontier: Vec<FrontierEstimate>,
+    /// The frontier member the executor would filter (cheapest estimated
+    /// cost), if any view subsumes.
+    pub chosen: Option<String>,
+    /// The narrowing order: the query's schema superclasses, ascending
+    /// by estimated cardinality, as the executor intersects them.
+    pub narrowing_order: Vec<(String, usize)>,
+    /// Candidates actually left after narrowing the chosen view's
+    /// extension (the number the executor's filter examines).
+    pub actual_candidates: Option<usize>,
+}
+
+impl ExplainReport {
+    /// Renders the report as structured text, one datum per line, no
+    /// blank lines — the payload of the server's `EXPLAIN` command.
+    ///
+    /// Line grammar: a `plan` line carrying every `QueryPlan` counter,
+    /// one `probe` line per fired probe (in traversal order), one
+    /// `pruned` line per unprobed view, one `frontier` line per frontier
+    /// member (`chosen=true` on the executor's pick), one `narrow` line
+    /// per intersected superclass, and a final `candidates` line.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "plan chosen={} subsuming={} cached_probes={} fresh_probes={} fact_saturations={} probes_pruned={} lattice_depth={}",
+            self.chosen.as_deref().unwrap_or("-"),
+            self.plan.subsuming_views.len(),
+            self.plan.cached_probes,
+            self.plan.fresh_probes,
+            self.plan.fact_saturations,
+            self.plan.probes_pruned,
+            self.plan.lattice_depth,
+        ));
+        for (i, (name, verdict)) in self.trace.probed.iter().enumerate() {
+            lines.push(format!(
+                "probe {i} {name} {}",
+                if *verdict { "subsumes" } else { "rejected" }
+            ));
+        }
+        for name in &self.trace.skipped {
+            lines.push(format!("pruned {name}"));
+        }
+        for f in &self.frontier {
+            lines.push(format!(
+                "frontier {} extent={} est_candidates={} est_cost={:.3} chosen={}",
+                f.name,
+                f.extent,
+                f.estimated_candidates,
+                f.estimated_cost,
+                self.chosen.as_deref() == Some(f.name.as_str()),
+            ));
+        }
+        for (i, (class, cardinality)) in self.narrowing_order.iter().enumerate() {
+            lines.push(format!("narrow {i} {class} card={cardinality}"));
+        }
+        lines.push(match self.actual_candidates {
+            Some(n) => format!("candidates actual={n}"),
+            None => "candidates actual=-".to_owned(),
+        });
+        lines
     }
 }

@@ -75,6 +75,7 @@ impl Statistics {
         self.objects = db.object_count();
         self.as_of = db.data_version();
         self.full_collections += 1;
+        crate::metrics::metrics().stats_full_collections.inc();
     }
 
     /// Brings the catalog up to the database's current data version.
@@ -107,6 +108,9 @@ impl Statistics {
             }
         }
         self.entries_touched += (classes.len() + attrs.len()) as u64;
+        crate::metrics::metrics()
+            .stats_entries_touched
+            .add((classes.len() + attrs.len()) as u64);
         for class in classes {
             self.classes
                 .insert(class.to_owned(), db.class_cardinality(class));
@@ -118,6 +122,7 @@ impl Statistics {
         self.objects = db.object_count();
         self.as_of = now;
         self.incremental_refreshes += 1;
+        crate::metrics::metrics().stats_incremental_refreshes.inc();
     }
 
     /// The data version the catalog reflects.

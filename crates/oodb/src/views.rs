@@ -165,6 +165,19 @@ pub struct LatticeTraversal {
     pub depth: usize,
 }
 
+/// The per-view event log of one traced traversal
+/// ([`traverse_lattice_traced`]) — what EXPLAIN reports beyond the
+/// [`LatticeTraversal`] counters. `probed.len()` equals the traversal's
+/// `probes`; `skipped.len()` equals its `pruned`.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalTrace {
+    /// Fired probes in traversal order: `(view name, subsumed?)`.
+    pub probed: Vec<(String, bool)>,
+    /// Classified views never probed — descendants of a failed probe and
+    /// Σ-equivalence peers — in catalog order.
+    pub skipped: Vec<String>,
+}
+
 /// The maintenance side-state of a catalog: the dependency index (rebuilt
 /// when the set of views or the schema changes) and the cumulative
 /// counters.
@@ -591,6 +604,7 @@ impl ViewCatalog {
             if !forced && routes_nothing(db, &views, index) {
                 maint.routed_through = now;
                 maint.stats.empty_refreshes += 1;
+                crate::metrics::metrics().maint_empty_refreshes.inc();
                 // Consolidate once the lag grows: views that are fresh in
                 // substance but lag by version hold back the writer's log
                 // truncation (the log would grow toward its cap, bloat
@@ -615,12 +629,29 @@ impl ViewCatalog {
         }
         let mut views = self.write();
         let MaintState { index, stats, .. } = &mut *maint;
+        let before = *stats;
         refresh_views(
             db,
             &mut views,
             index.as_ref().expect("index built above"),
             stats,
         );
+        let metrics = crate::metrics::metrics();
+        metrics
+            .maint_deltas_applied
+            .add(stats.deltas_applied - before.deltas_applied);
+        metrics
+            .maint_candidates_examined
+            .add(stats.candidates_examined - before.candidates_examined);
+        metrics
+            .maint_memberships_evaluated
+            .add(stats.memberships_evaluated - before.memberships_evaluated);
+        metrics
+            .maint_lattice_prunes
+            .add(stats.lattice_prunes - before.lattice_prunes);
+        metrics
+            .maint_full_reevaluations
+            .add(stats.full_reevaluations - before.full_reevaluations);
         maint.routed_through = now;
     }
 
@@ -669,13 +700,38 @@ impl ViewCatalog {
 /// subsuming frontier.
 pub(crate) fn traverse_lattice(
     views: &[MaterializedView],
+    probe: impl FnMut(ConceptId) -> bool,
+) -> LatticeTraversal {
+    traverse_lattice_inner(views, probe, None)
+}
+
+/// [`traverse_lattice`] with the per-view event trace EXPLAIN reports —
+/// kept off the planning hot path because collecting it clones one name
+/// per classified view.
+pub(crate) fn traverse_lattice_traced(
+    views: &[MaterializedView],
+    probe: impl FnMut(ConceptId) -> bool,
+) -> (LatticeTraversal, TraversalTrace) {
+    let mut trace = TraversalTrace::default();
+    let result = traverse_lattice_inner(views, probe, Some(&mut trace));
+    (result, trace)
+}
+
+fn traverse_lattice_inner(
+    views: &[MaterializedView],
     mut probe: impl FnMut(ConceptId) -> bool,
+    mut trace: Option<&mut TraversalTrace>,
 ) -> LatticeTraversal {
     let n = views.len();
     let mut result = LatticeTraversal::default();
     // Verdicts per representative: None = not yet decided.
     let mut subsumed: Vec<Option<bool>> = vec![None; n];
     let mut depth: Vec<usize> = vec![0; n];
+    let mut fired = if trace.is_some() {
+        vec![false; n]
+    } else {
+        Vec::new()
+    };
     // Topological sweep over the representatives so a node is decided
     // only after all of its parents (diamonds are probed once, after
     // the *last* parent).
@@ -689,13 +745,25 @@ pub(crate) fn traverse_lattice(
         let verdict = if all_parents_hold {
             result.probes += 1;
             result.depth = result.depth.max(depth[i]);
-            probe(views[i].concept.expect("classified views have concepts"))
+            let verdict = probe(views[i].concept.expect("classified views have concepts"));
+            if let Some(trace) = trace.as_deref_mut() {
+                fired[i] = true;
+                trace.probed.push((view.definition.name.clone(), verdict));
+            }
+            verdict
         } else {
             false
         };
         subsumed[i] = Some(verdict);
     }
     result.pruned = classified_total - result.probes;
+    if let Some(trace) = trace {
+        for (i, view) in views.iter().enumerate() {
+            if view.classified && !fired[i] {
+                trace.skipped.push(view.definition.name.clone());
+            }
+        }
+    }
     // The frontier: subsuming representatives none of whose children
     // subsume, expanded by their equivalence peers.
     for (i, view) in views.iter().enumerate() {

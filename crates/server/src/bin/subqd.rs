@@ -1,22 +1,38 @@
 //! The `subqd` binary: serve a DL model over TCP.
 //!
 //! ```text
-//! subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE] [--group-commit N]
+//! subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE]
+//!       [--group-commit N] [--log-level off|info|debug] [--slow-query-us N]
+//!       [--metrics-dump PATH]
 //! ```
 //!
 //! Without `--model` the built-in medical sample schema is served;
 //! without `--dir` the store is volatile (no WAL, no checkpoints).
 //! With `--dir`, the directory is opened through the durable engine:
 //! an existing image + WAL recovers, an empty directory initializes.
+//!
+//! Observability knobs:
+//!
+//! * `--log-level` — timestamped lifecycle logging to stderr (`info`
+//!   covers startup/recovery/shutdown summaries, `debug` adds
+//!   accept/close/reap and writer batch-commit lines);
+//! * `--slow-query-us N` — queries slower than N microseconds land in
+//!   the slow-query ring, readable over the wire with `STATS SLOW`;
+//! * `--metrics-dump PATH` — the full Prometheus-style text exposition
+//!   of the process registry is rewritten to PATH every 5 seconds (the
+//!   same text `STATS` returns over the wire).
 
 use std::process::exit;
 use std::sync::Arc;
 use subq_oodb::{Database, DurableOptions, FileBackend, OptimizedDatabase};
 use subq_server::{Server, ServerConfig};
+use subq_telemetry::log;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE] [--group-commit N]"
+        "usage: subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE] \
+         [--group-commit N] [--log-level off|info|debug] [--slow-query-us N] \
+         [--metrics-dump PATH]"
     );
     exit(2)
 }
@@ -30,6 +46,7 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut dir: Option<String> = None;
     let mut model_path: Option<String> = None;
+    let mut metrics_dump: Option<String> = None;
     let mut group_commit = 64usize;
 
     let mut args = std::env::args().skip(1);
@@ -42,6 +59,14 @@ fn main() {
             "--dir" => dir = Some(value()),
             "--model" => model_path = Some(value()),
             "--group-commit" => group_commit = value().parse().unwrap_or_else(|_| usage()),
+            "--log-level" => {
+                let level = log::Level::parse(&value()).unwrap_or_else(|| usage());
+                log::set_level(level);
+            }
+            "--slow-query-us" => {
+                config.slow_query_us = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--metrics-dump" => metrics_dump = Some(value()),
             _ => usage(),
         }
     }
@@ -58,12 +83,22 @@ fn main() {
         Some(dir) => {
             let backend =
                 FileBackend::new(dir.as_str()).unwrap_or_else(|e| fail("opening backend", e));
-            OptimizedDatabase::open(
+            let db = OptimizedDatabase::open(
                 Arc::new(backend),
                 DurableOptions { group_commit },
                 move || Database::new(model),
             )
-            .unwrap_or_else(|e| fail("recovering store", e))
+            .unwrap_or_else(|e| fail("recovering store", e));
+            if let Some(stats) = db.durability_stats() {
+                let version = db.database().data_version();
+                log::info(|| {
+                    format!(
+                        "recovered {dir}: version={version} replayed={} truncated_tail_bytes={}",
+                        stats.recovered_records, stats.truncated_tail_bytes
+                    )
+                });
+            }
+            db
         }
         None => OptimizedDatabase::new(Database::new(model))
             .unwrap_or_else(|e| fail("translating model", e)),
@@ -71,20 +106,30 @@ fn main() {
 
     let server = Server::start(db, config).unwrap_or_else(|e| fail("starting server", e));
     println!("subqd listening on {}", server.addr());
+    log::info(|| format!("listening on {}", server.addr()));
+    let mut ticks = 0u64;
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(60));
-        let stats = server.stats();
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        ticks += 1;
         if server.crashed() {
             fail("durable engine failed", "restart to recover from the log");
         }
-        eprintln!(
-            "subqd: sessions={} queries={} commits={} busy={}",
-            stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
-            stats.queries.load(std::sync::atomic::Ordering::Relaxed),
-            stats.commits.load(std::sync::atomic::Ordering::Relaxed),
-            stats
-                .busy_replies
-                .load(std::sync::atomic::Ordering::Relaxed),
-        );
+        if let Some(path) = &metrics_dump {
+            if let Err(e) = std::fs::write(path, subq_telemetry::global().render()) {
+                eprintln!("subqd: writing metrics dump: {e}");
+            }
+        }
+        if ticks.is_multiple_of(12) {
+            let stats = server.stats();
+            eprintln!(
+                "subqd: sessions={} queries={} commits={} busy={}",
+                stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
+                stats.queries.load(std::sync::atomic::Ordering::Relaxed),
+                stats.commits.load(std::sync::atomic::Ordering::Relaxed),
+                stats
+                    .busy_replies
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
     }
 }

@@ -29,6 +29,7 @@
 pub mod client;
 pub mod frame;
 pub mod load;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 mod session;

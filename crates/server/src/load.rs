@@ -27,8 +27,16 @@ pub struct LoadReport {
     pub txns: usize,
     /// `BUSY` replies observed (each followed by a retry).
     pub busy: usize,
+    /// `BUSY` replies observed on query ops specifically.
+    pub query_busy: usize,
+    /// `BUSY` replies observed on transaction ops specifically.
+    pub txn_busy: usize,
     /// Typed `ERR` replies observed.
     pub errors: usize,
+    /// `ERR` replies observed on query ops specifically.
+    pub query_errors: usize,
+    /// `ERR` replies observed on transaction ops specifically.
+    pub txn_errors: usize,
     pub elapsed: Duration,
     /// Nanoseconds per acknowledged query round trip.
     pub query_ns: Vec<u64>,
@@ -42,7 +50,11 @@ impl LoadReport {
         self.queries += other.queries;
         self.txns += other.txns;
         self.busy += other.busy;
+        self.query_busy += other.query_busy;
+        self.txn_busy += other.txn_busy;
         self.errors += other.errors;
+        self.query_errors += other.query_errors;
+        self.txn_errors += other.txn_errors;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.query_ns.extend(other.query_ns);
         self.txn_ns.extend(other.txn_ns);
@@ -179,6 +191,7 @@ fn run_client(
             TrafficOp::Query(view) => Request::Query(view_query(trace, view)),
             TrafficOp::Txn(txn) => churn_txn_request(&trace.transactions[txn]),
         };
+        let is_query = matches!(request, Request::Query(_));
         loop {
             let at = Instant::now();
             let response = connection.request(&request)?;
@@ -198,11 +211,21 @@ fn run_client(
                 }
                 Response::Busy { .. } => {
                     report.busy += 1;
+                    if is_query {
+                        report.query_busy += 1;
+                    } else {
+                        report.txn_busy += 1;
+                    }
                     std::thread::sleep(params.busy_backoff);
                 }
-                Response::Pong { .. } => break,
+                Response::Pong { .. } | Response::Report { .. } => break,
                 Response::Error { .. } => {
                     report.errors += 1;
+                    if is_query {
+                        report.query_errors += 1;
+                    } else {
+                        report.txn_errors += 1;
+                    }
                     break;
                 }
             }

@@ -13,8 +13,10 @@
 //! request  := PING | BYE
 //!           | MATERIALIZE <name>
 //!           | QUERY \n <dl query-class>
+//!           | EXPLAIN \n <dl query-class>
 //!           | DEFVIEW \n <dl query-class>
 //!           | TXN <n> \n (<op> \n?){n}
+//!           | STATS | STATS SLOW
 //! op       := add <obj>
 //!           | class (+|-) <obj> <class>
 //!           | attr (+|-) <from> <attr> <to>
@@ -22,7 +24,14 @@
 //!           | BUSY <detail>
 //!           | ERR <code> <message>
 //!           | ANSWERS <version> <n> \n (<name> \n?){n}
+//!           | REPORT <version> <n> \n (<line> \n?){n}
 //! ```
+//!
+//! `EXPLAIN` answers with a `REPORT` whose lines are the structured
+//! plan text of [`subq_oodb::ExplainReport::render_lines`]; `STATS`
+//! answers with the metrics registry in Prometheus text exposition;
+//! `STATS SLOW` answers with the slow-query ring, one
+//! `<micros> <label>` line per retained entry, oldest first.
 
 use std::fmt;
 use subq_dl::pretty::render_query;
@@ -62,12 +71,18 @@ pub enum Request {
     Bye,
     /// Evaluate a query class against the worker's snapshot.
     Query(QueryClassDecl),
+    /// Explain how a query class would be planned and executed, without
+    /// evaluating it; answered with a [`Response::Report`].
+    Explain(QueryClassDecl),
     /// Declare a new view (schema DDL) and materialize it.
     DefView(QueryClassDecl),
     /// Materialize an already-declared query or schema class as a view.
     Materialize { name: String },
     /// Apply one write transaction through the single writer.
     Txn(Vec<TxnOp>),
+    /// Read the metrics registry (`slow = false`) or the slow-query ring
+    /// (`slow = true`); answered with a [`Response::Report`].
+    Stats { slow: bool },
 }
 
 /// Typed error classes carried by [`Response::Error`].
@@ -129,6 +144,9 @@ pub enum Response {
     Busy { detail: String },
     /// A typed error.
     Error { code: ErrorCode, message: String },
+    /// Structured observability text (EXPLAIN plans, STATS expositions)
+    /// from the snapshot at `version`, one datum per line.
+    Report { version: u64, lines: Vec<String> },
 }
 
 /// Why a request failed to parse; becomes an `ERR` reply.
@@ -235,8 +253,16 @@ impl Request {
             Request::Ping => "PING".to_owned(),
             Request::Bye => "BYE".to_owned(),
             Request::Query(query) => format!("QUERY\n{}", render_query(query)),
+            Request::Explain(query) => format!("EXPLAIN\n{}", render_query(query)),
             Request::DefView(query) => format!("DEFVIEW\n{}", render_query(query)),
             Request::Materialize { name } => format!("MATERIALIZE {name}"),
+            Request::Stats { slow } => {
+                if *slow {
+                    "STATS SLOW".to_owned()
+                } else {
+                    "STATS".to_owned()
+                }
+            }
             Request::Txn(ops) => {
                 let mut out = format!("TXN {}\n", ops.len());
                 for op in ops {
@@ -276,6 +302,23 @@ impl Request {
                     parse_query(rest).map_err(|e| (ErrorCode::Parse, format!("bad query: {e}")))?;
                 Ok(Request::Query(query))
             }
+            Some("EXPLAIN") => {
+                end_of_line(words)?;
+                let query =
+                    parse_query(rest).map_err(|e| (ErrorCode::Parse, format!("bad query: {e}")))?;
+                Ok(Request::Explain(query))
+            }
+            Some("STATS") => match words.next() {
+                None => Ok(Request::Stats { slow: false }),
+                Some("SLOW") => {
+                    end_of_line(words)?;
+                    Ok(Request::Stats { slow: true })
+                }
+                Some(other) => Err((
+                    ErrorCode::Parse,
+                    format!("unknown STATS selector {other:?}"),
+                )),
+            },
             Some("DEFVIEW") => {
                 end_of_line(words)?;
                 let query = parse_query(rest)
@@ -334,6 +377,14 @@ impl Response {
             }
             Response::Busy { detail } => format!("BUSY {detail}"),
             Response::Error { code, message } => format!("ERR {code} {message}"),
+            Response::Report { version, lines } => {
+                let mut out = format!("REPORT {version} {}\n", lines.len());
+                for line in lines {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out
+            }
         }
     }
 
@@ -371,6 +422,21 @@ impl Response {
                     ));
                 }
                 Ok(Response::Answers { version, names })
+            }
+            Some("REPORT") => {
+                let version = version(words.next())?;
+                let count: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| "REPORT needs a count".to_owned())?;
+                let lines: Vec<String> = rest.lines().map(str::to_owned).collect();
+                if lines.len() != count {
+                    return Err(format!(
+                        "REPORT declared {count} lines, found {}",
+                        lines.len()
+                    ));
+                }
+                Ok(Response::Report { version, lines })
             }
             Some("BUSY") => {
                 let at = first.find("BUSY").expect("matched") + "BUSY".len();

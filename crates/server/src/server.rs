@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use subq_oodb::OptimizedDatabase;
+use subq_telemetry::{log, SlowLog};
 
 /// Tuning knobs; every buffer the server allocates is bounded by one of
 /// these.
@@ -39,6 +40,9 @@ pub struct ServerConfig {
     pub max_payload: usize,
     /// A session with no progress for this long is closed.
     pub idle_timeout: Duration,
+    /// Queries slower than this many microseconds are recorded in the
+    /// slow-query ring (`None` disables the log).
+    pub slow_query_us: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +55,7 @@ impl Default for ServerConfig {
             outbound_limit: 1 << 22,
             max_payload: crate::frame::DEFAULT_MAX_PAYLOAD,
             idle_timeout: Duration::from_secs(30),
+            slow_query_us: None,
         }
     }
 }
@@ -68,6 +73,9 @@ pub struct ServerStats {
     /// Fatal framing errors (length over cap, checksum mismatch).
     pub frame_errors: AtomicU64,
     pub idle_closes: AtomicU64,
+    /// The slow-query ring `STATS SLOW` reads back (see
+    /// [`ServerConfig::slow_query_us`]).
+    pub slow_log: SlowLog,
 }
 
 impl ServerStats {
@@ -139,8 +147,10 @@ impl Server {
                         return;
                     }
                     match listener.accept() {
-                        Ok((stream, _)) => {
+                        Ok((stream, peer)) => {
                             stats.bump(&stats.accepted);
+                            crate::metrics::metrics().accepted.inc();
+                            log::debug(|| format!("accept {peer}"));
                             let intake = &intakes[next % intakes.len()];
                             next += 1;
                             intake.streams.lock().expect("intake poisoned").push(stream);

@@ -38,7 +38,15 @@ enum WorkItem {
 /// An ordered reply: ready to send, or waiting on the writer.
 enum Outcome {
     Ready(Response),
-    Waiting(Ticket),
+    Waiting {
+        ticket: Ticket,
+        /// When the command was queued — the op-class latency histograms
+        /// measure submission to completion.
+        submitted: Instant,
+        /// DDL (DEFVIEW/MATERIALIZE) vs. transaction, for the histogram
+        /// split.
+        ddl: bool,
+    },
 }
 
 pub(crate) struct Session {
@@ -112,6 +120,7 @@ impl Session {
         }
         if now.duration_since(self.last_activity) > config.idle_timeout {
             stats.bump(&stats.idle_closes);
+            crate::metrics::metrics().idle_closes.inc();
             self.dead = true;
         }
         progressed
@@ -140,6 +149,7 @@ impl Session {
                 }
                 Ok(n) => {
                     progressed = true;
+                    crate::metrics::metrics().bytes_in.add(n as u64);
                     self.decoder.extend(&chunk[..n]);
                     // Stay fair across sessions: one pump ingests at
                     // most ~16 KiB beyond what is already buffered.
@@ -168,6 +178,7 @@ impl Session {
                     // then the connection closes after flushing.
                     progressed = true;
                     stats.bump(&stats.frame_errors);
+                    crate::metrics::metrics().frame_errors.inc();
                     let code = match frame_error {
                         FrameError::TooBig { .. } => ErrorCode::TooBig,
                         FrameError::BadCrc { .. } => ErrorCode::BadCrc,
@@ -190,6 +201,7 @@ impl Session {
             Ok(text) => text,
             Err(_) => {
                 stats.bump(&stats.protocol_errors);
+                crate::metrics::metrics().protocol_errors.inc();
                 self.work.push_back(WorkItem::Reply(Response::Error {
                     code: ErrorCode::Parse,
                     message: "payload is not UTF-8".to_owned(),
@@ -201,6 +213,7 @@ impl Session {
             Ok(request) => self.work.push_back(WorkItem::Do(request)),
             Err((code, message)) => {
                 stats.bump(&stats.protocol_errors);
+                crate::metrics::metrics().protocol_errors.inc();
                 self.work
                     .push_back(WorkItem::Reply(Response::Error { code, message }));
             }
@@ -248,22 +261,79 @@ impl Session {
                     let response = match validate_query(reader.database().model(), query) {
                         Err(response) => {
                             stats.bump(&stats.protocol_errors);
+                            crate::metrics::metrics().protocol_errors.inc();
                             response
                         }
                         Ok(()) => {
+                            let metrics = crate::metrics::metrics();
                             let version = reader.data_version();
                             let query = query.clone();
+                            let started = Instant::now();
                             let (answers, _) = reader.execute(&query);
-                            let names = answers
+                            let names: Vec<String> = answers
                                 .iter()
                                 .map(|id| reader.database().object_name(*id).to_owned())
                                 .collect();
+                            let elapsed = started.elapsed();
+                            metrics.query_ns.record(elapsed.as_nanos() as u64);
+                            if let Some(threshold) = config.slow_query_us {
+                                let micros = elapsed.as_micros() as u64;
+                                if micros >= threshold {
+                                    stats.slow_log.record(micros, query.name.as_str());
+                                }
+                            }
                             stats.bump(&stats.queries);
+                            metrics.queries.inc();
                             Response::Answers { version, names }
                         }
                     };
                     self.work.pop_front();
                     self.push_reply(response);
+                }
+                WorkItem::Do(Request::Explain(query)) => {
+                    // Gated exactly like a query: the explained plan must
+                    // see this session's own acknowledged writes.
+                    if self.outstanding > 0 || reader.data_version() < self.last_committed {
+                        break;
+                    }
+                    let response = match validate_query(reader.database().model(), query) {
+                        Err(response) => {
+                            stats.bump(&stats.protocol_errors);
+                            crate::metrics::metrics().protocol_errors.inc();
+                            response
+                        }
+                        Ok(()) => {
+                            let _span = crate::metrics::metrics().explain_ns.span();
+                            let version = reader.data_version();
+                            let query = query.clone();
+                            let report = reader.explain(&query);
+                            Response::Report {
+                                version,
+                                lines: report.render_lines(),
+                            }
+                        }
+                    };
+                    self.work.pop_front();
+                    self.push_reply(response);
+                }
+                WorkItem::Do(Request::Stats { slow }) => {
+                    let version = reader.data_version();
+                    let lines = if *slow {
+                        stats
+                            .slow_log
+                            .entries()
+                            .into_iter()
+                            .map(|e| format!("{} {}", e.micros, e.label))
+                            .collect()
+                    } else {
+                        subq_telemetry::global()
+                            .render()
+                            .lines()
+                            .map(str::to_owned)
+                            .collect()
+                    };
+                    self.work.pop_front();
+                    self.push_reply(Response::Report { version, lines });
                 }
                 WorkItem::Do(
                     Request::Txn(_) | Request::DefView(_) | Request::Materialize { .. },
@@ -281,17 +351,24 @@ impl Session {
                         Request::Materialize { name } => WriteCmd::Materialize(name),
                         _ => unreachable!("matched a write request"),
                     };
+                    let ddl = !matches!(cmd, WriteCmd::Txn(_));
                     let ticket = Ticket::new();
                     match tx.try_send(WriteRequest {
                         cmd,
                         ticket: ticket.clone(),
                     }) {
                         Ok(()) => {
+                            crate::metrics::metrics().queue_depth.add(1);
                             self.outstanding += 1;
-                            self.replies.push_back(Outcome::Waiting(ticket));
+                            self.replies.push_back(Outcome::Waiting {
+                                ticket,
+                                submitted: Instant::now(),
+                                ddl,
+                            });
                         }
                         Err(TrySendError::Full(_)) => {
                             stats.bump(&stats.busy_replies);
+                            crate::metrics::metrics().busy_replies.inc();
                             self.push_reply(Response::Busy {
                                 detail: format!(
                                     "write queue of {} is full; retry",
@@ -324,17 +401,29 @@ impl Session {
             let polled = match self.replies.front() {
                 None => break,
                 Some(Outcome::Ready(_)) => None,
-                Some(Outcome::Waiting(ticket)) => match ticket.poll() {
-                    Some(response) => Some(response),
+                Some(Outcome::Waiting {
+                    ticket,
+                    submitted,
+                    ddl,
+                }) => match ticket.poll() {
+                    Some(response) => Some((response, *submitted, *ddl)),
                     None => break,
                 },
             };
             let response = match polled {
-                Some(response) => {
+                Some((response, submitted, ddl)) => {
                     self.outstanding -= 1;
+                    let metrics = crate::metrics::metrics();
+                    let histogram = if ddl {
+                        &metrics.ddl_ns
+                    } else {
+                        &metrics.commit_ns
+                    };
+                    histogram.record(submitted.elapsed().as_nanos() as u64);
                     if let Response::Committed { version } = &response {
                         self.last_committed = (*version).max(self.last_committed);
                         stats.bump(&stats.commits);
+                        metrics.commits.inc();
                     }
                     self.replies.pop_front();
                     response
@@ -360,6 +449,7 @@ impl Session {
                 Ok(0) => break,
                 Ok(n) => {
                     self.sent += n;
+                    crate::metrics::metrics().bytes_out.add(n as u64);
                     progressed = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,

@@ -20,6 +20,7 @@ use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use subq_oodb::Reader;
+use subq_telemetry::log;
 
 /// The accept loop's hand-off point into one worker.
 #[derive(Default)]
@@ -38,6 +39,7 @@ pub(crate) fn run_worker(
 ) {
     let mut sessions: Vec<Session> = Vec::new();
     loop {
+        let metrics = crate::metrics::metrics();
         if shutdown.load(Ordering::Relaxed) || crashed.load(Ordering::Relaxed) {
             // Dropping the streams resets the peers; on a durable-engine
             // crash that is the truthful signal — nothing more will be
@@ -45,15 +47,21 @@ pub(crate) fn run_worker(
             stats
                 .closed
                 .fetch_add(sessions.len() as u64, Ordering::Relaxed);
+            metrics.closed.add(sessions.len() as u64);
+            metrics.active_sessions.sub(sessions.len() as i64);
             return;
         }
         {
             let mut incoming = intake.streams.lock().expect("intake poisoned");
             for stream in incoming.drain(..) {
                 match Session::new(stream, &config) {
-                    Ok(session) => sessions.push(session),
+                    Ok(session) => {
+                        metrics.active_sessions.add(1);
+                        sessions.push(session);
+                    }
                     Err(_) => {
                         stats.bump(&stats.closed);
+                        metrics.closed.inc();
                     }
                 }
             }
@@ -68,6 +76,9 @@ pub(crate) fn run_worker(
         let dropped = before - sessions.len();
         if dropped > 0 {
             stats.closed.fetch_add(dropped as u64, Ordering::Relaxed);
+            metrics.closed.add(dropped as u64);
+            metrics.active_sessions.sub(dropped as i64);
+            log::debug(|| format!("close {dropped} session(s), {} open", sessions.len()));
             progressed = true;
         }
         if !progressed {

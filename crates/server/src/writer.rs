@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use subq_dl::{validate_model, DlModel, QueryClassDecl};
 use subq_oodb::{Database, OptimizedDatabase};
+use subq_telemetry::log;
 
 /// A mutation command, already parsed and ready for the writer.
 #[derive(Clone, Debug)]
@@ -250,6 +251,10 @@ pub(crate) fn run_writer(
         while let Ok(request) = rx.try_recv() {
             batch.push(request);
         }
+        crate::metrics::metrics()
+            .queue_depth
+            .sub(batch.len() as i64);
+        let batch_len = batch.len();
         let mut completions: Vec<(Ticket, Response)> = Vec::with_capacity(batch.len());
         let mut failed = false;
         for request in batch {
@@ -277,6 +282,14 @@ pub(crate) fn run_writer(
         }
         for (ticket, response) in completions {
             ticket.complete(response);
+        }
+        if !failed {
+            log::debug(|| {
+                format!(
+                    "writer batch of {batch_len} committed (durable={durable}, version={})",
+                    db.database().data_version()
+                )
+            });
         }
         if failed {
             // Leave queued requests to drown with the channel: workers

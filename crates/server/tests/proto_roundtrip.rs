@@ -156,7 +156,7 @@ fn random_txn_op(rng: &mut StdRng) -> TxnOp {
 }
 
 fn random_request(rng: &mut StdRng, index: usize) -> Request {
-    match rng.gen_range(0..6u8) {
+    match rng.gen_range(0..8u8) {
         0 => Request::Ping,
         1 => Request::Bye,
         2 => Request::Query(random_query(rng, index)),
@@ -164,11 +164,38 @@ fn random_request(rng: &mut StdRng, index: usize) -> Request {
         4 => Request::Materialize {
             name: random_ident(rng),
         },
+        5 => Request::Explain(random_query(rng, index)),
+        6 => Request::Stats {
+            slow: rng.gen_bool(0.5),
+        },
         _ => Request::Txn(
             (0..rng.gen_range(0..=6usize))
                 .map(|_| random_txn_op(rng))
                 .collect(),
         ),
+    }
+}
+
+/// A plausible `REPORT` payload line: metric exposition or plan text —
+/// anything newline-free the registry or the explainer emits.
+fn random_report_line(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..4u8) {
+        0 => format!(
+            "subq_{}_total {}",
+            random_ident(rng),
+            rng.gen_range(0..1_000_000u64)
+        ),
+        1 => format!(
+            "subq_{}_ns{{quantile=\"0.9\"}} {}",
+            random_ident(rng),
+            rng.gen_range(0..1_000_000u64)
+        ),
+        2 => format!(
+            "probe {} {} subsumes",
+            rng.gen_range(0..20u32),
+            random_ident(rng)
+        ),
+        _ => format!("# TYPE {} counter", random_ident(rng)),
     }
 }
 
@@ -180,9 +207,15 @@ fn random_response(rng: &mut StdRng) -> Response {
         ErrorCode::BadCrc,
         ErrorCode::Internal,
     ];
-    match rng.gen_range(0..6u8) {
+    match rng.gen_range(0..7u8) {
         0 => Response::Pong {
             version: rng.gen_range(0..u64::MAX),
+        },
+        6 => Response::Report {
+            version: rng.gen_range(0..1_000_000),
+            lines: (0..rng.gen_range(0..=10usize))
+                .map(|_| random_report_line(rng))
+                .collect(),
         },
         1 => Response::Ok {
             version: rng.gen_range(0..1_000_000),
@@ -225,6 +258,8 @@ fn every_request_frame_type_round_trips_exactly() {
             name: "V0".to_owned(),
         },
         Request::Txn(Vec::new()),
+        Request::Stats { slow: false },
+        Request::Stats { slow: true },
     ];
     fixed.extend((0..400).map(|i| random_request(&mut rng, i)));
     for (i, request) in fixed.iter().enumerate() {
@@ -248,6 +283,10 @@ fn every_response_frame_type_round_trips_exactly() {
         },
         Response::Busy {
             detail: String::new(),
+        },
+        Response::Report {
+            version: 0,
+            lines: Vec::new(),
         },
     ];
     fixed.extend((0..400).map(|_| random_response(&mut rng)));
@@ -333,6 +372,9 @@ fn malformed_request_text_yields_typed_parse_failures() {
         "QUERY\nnot a query",
         "QUERY\nClass C with\nend C",
         "DEFVIEW\n",
+        "EXPLAIN\nnot dl",
+        "STATS LOUD",
+        "STATS SLOW extra",
     ] {
         let failure = Request::parse(text);
         assert!(

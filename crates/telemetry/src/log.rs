@@ -1,0 +1,69 @@
+//! Leveled, timestamped stderr logging for daemon lifecycle events.
+//!
+//! Off by default so the library crates and the test suites stay silent;
+//! `subqd --log-level {off,info,debug}` turns it on. Messages are built
+//! lazily (the closure runs only when the level admits the line), so a
+//! disabled logger costs one relaxed atomic load per call site.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, ordered: `Off < Info < Debug`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Off = 0,
+    Info = 1,
+    Debug = 2,
+}
+
+impl Level {
+    /// Parses the `--log-level` flag values.
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s {
+            "off" => Level::Off,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            _ => return None,
+        })
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Sets the process-wide log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Info,
+        2 => Level::Debug,
+        _ => Level::Off,
+    }
+}
+
+fn emit(admit: Level, tag: &str, message: impl FnOnce() -> String) {
+    if level() >= admit {
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        eprintln!(
+            "[{}.{:03} {tag}] {}",
+            now.as_secs(),
+            now.subsec_millis(),
+            message()
+        );
+    }
+}
+
+/// Logs a lifecycle event at `info`.
+pub fn info(message: impl FnOnce() -> String) {
+    emit(Level::Info, "INFO", message);
+}
+
+/// Logs a per-event detail at `debug`.
+pub fn debug(message: impl FnOnce() -> String) {
+    emit(Level::Debug, "DEBUG", message);
+}

@@ -1,0 +1,91 @@
+//! A bounded ring buffer of slow-operation records.
+//!
+//! The server records queries whose round trip exceeded the
+//! `--slow-query-us` threshold; `STATS SLOW` reads the ring back over
+//! the wire. The ring keeps the **most recent** entries — a burst of
+//! slow queries evicts the oldest records, never blocks the recorder.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One slow operation: how long it took and what it was.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Elapsed microseconds.
+    pub micros: u64,
+    /// A short label (the query-class name).
+    pub label: String,
+}
+
+/// A bounded, thread-safe ring of [`SlowEntry`] records.
+#[derive(Debug)]
+pub struct SlowLog {
+    cap: usize,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A ring retaining at most `cap` entries (at least one).
+    pub fn new(cap: usize) -> SlowLog {
+        SlowLog {
+            cap: cap.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one slow operation, evicting the oldest entry when full.
+    pub fn record(&self, micros: u64, label: impl Into<String>) {
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() >= self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(SlowEntry {
+            micros,
+            label: label.into(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries
+            .lock()
+            .expect("slow log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slow log poisoned").len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SlowLog {
+    /// A ring of 128 entries — the daemon default.
+    fn default() -> Self {
+        SlowLog::new(128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_entries() {
+        let log = SlowLog::new(3);
+        for i in 0..5u64 {
+            log.record(i, format!("q{i}"));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].micros, 2);
+        assert_eq!(entries[2].label, "q4");
+    }
+}

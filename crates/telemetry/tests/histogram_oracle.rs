@@ -1,0 +1,164 @@
+//! Property suites for the telemetry primitives:
+//!
+//! * the histogram's quantile estimation against a sorted-vec oracle —
+//!   for every seeded sample distribution and every quantile, the
+//!   estimate must land in the same log2 bucket as the exact sample
+//!   quantile (the crate's documented accuracy contract);
+//! * the sharded counter under concurrent writers — the shard sum must
+//!   equal the arithmetic total, with no lost updates across threads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use subq_telemetry::{Counter, Histogram};
+
+/// The library's bucket mapping, restated independently: bucket 0 holds
+/// {0, 1}, bucket `i ≥ 1` holds `[2^i, 2^(i+1))`.
+fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+/// The exact sample quantile under the histogram's rank rule: the
+/// `ceil(q·n)`-th smallest sample (1-based, clamped into the set).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+/// One seeded sample stream per named shape, sized by `len`.
+fn sample_stream(shape: &str, seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| match shape {
+            // Uniform over a wide range: many buckets populated.
+            "uniform" => rng.gen_range(0u64..1_000_000),
+            // Log-uniform: every bucket equally likely — the adversarial
+            // case for bucket-midpoint estimation.
+            "log_uniform" => {
+                let bits = rng.gen_range(0u32..40);
+                rng.next_u64() >> (64 - bits.max(1))
+            }
+            // Heavy tail: mostly small values, occasional huge ones.
+            "heavy_tail" => {
+                if rng.gen_bool(0.05) {
+                    rng.gen_range(1_000_000u64..1_000_000_000)
+                } else {
+                    rng.gen_range(0u64..1_000)
+                }
+            }
+            // Constant: every quantile is the same sample.
+            "constant" => 42,
+            // Two spikes far apart: quantiles jump between them.
+            "bimodal" => {
+                if i % 3 == 0 {
+                    rng.gen_range(10u64..20)
+                } else {
+                    rng.gen_range(1_000_000u64..2_000_000)
+                }
+            }
+            _ => unreachable!("unknown shape {shape}"),
+        })
+        .collect()
+}
+
+#[test]
+fn quantile_estimates_share_the_oracle_bucket() {
+    let shapes = [
+        "uniform",
+        "log_uniform",
+        "heavy_tail",
+        "constant",
+        "bimodal",
+    ];
+    let mut cases = 0usize;
+    for shape in shapes {
+        for seed in 0..20u64 {
+            for len in [1usize, 2, 3, 10, 127, 1024] {
+                let samples = sample_stream(shape, 0xC0FFEE ^ seed, len);
+                let histogram = Histogram::unregistered();
+                for &v in &samples {
+                    histogram.record(v);
+                }
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                for q in [0.5, 0.9, 0.99] {
+                    let estimate = histogram.quantile(q);
+                    let exact = oracle_quantile(&sorted, q);
+                    assert_eq!(
+                        bucket_index(estimate),
+                        bucket_index(exact),
+                        "{shape} seed={seed} len={len} q={q}: estimate {estimate} \
+                         not in the exact quantile {exact}'s log2 bucket"
+                    );
+                }
+                let (count, sum, p50, p90, p99) = histogram.summary();
+                assert_eq!(count, samples.len() as u64);
+                assert_eq!(sum, samples.iter().copied().sum::<u64>());
+                assert!(p50 <= p90 && p90 <= p99, "{shape} quantiles out of order");
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, shapes.len() * 20 * 6);
+}
+
+#[test]
+fn quantile_of_empty_histogram_is_zero() {
+    let histogram = Histogram::unregistered();
+    assert_eq!(histogram.quantile(0.5), 0);
+    assert_eq!(histogram.summary(), (0, 0, 0, 0, 0));
+}
+
+#[test]
+fn counter_shards_lose_no_updates_across_threads() {
+    let counter = Counter::unregistered();
+    let threads = 8usize;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let counter = &counter;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Mix unit bumps and wider adds so both entry points
+                    // are covered under contention.
+                    if (i + t as u64).is_multiple_of(4) {
+                        counter.add(3);
+                    } else {
+                        counter.inc();
+                    }
+                }
+            });
+        }
+    });
+    let expected: u64 = (0..threads as u64)
+        .map(|t| {
+            (0..per_thread)
+                .map(|i| if (i + t).is_multiple_of(4) { 3 } else { 1 })
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(counter.get(), expected);
+}
+
+#[test]
+fn histogram_records_are_thread_safe() {
+    let histogram = Histogram::unregistered();
+    let threads = 4usize;
+    let per_thread = 5_000u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let histogram = &histogram;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    histogram.record(i);
+                }
+            });
+        }
+    });
+    assert_eq!(histogram.count(), threads as u64 * per_thread);
+    let per_thread_sum: u64 = (0..per_thread).sum();
+    assert_eq!(histogram.sum(), threads as u64 * per_thread_sum);
+}
