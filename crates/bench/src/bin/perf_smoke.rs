@@ -29,6 +29,12 @@
 //!   4-client mixed-traffic speedup, zero typed errors on every row, and
 //!   the saturation row shedding load as typed `BUSY` (see
 //!   [`e14_checks`]);
+//! * the view advisor versus `BENCH_e15.json`: the auto arm within a
+//!   core-clamped 2× of the hand-tuned static catalog with zero manual
+//!   DDL and at least one auto-materialization, plus the live
+//!   anti-collapse floor and the ≤2%-target observe-mode recording
+//!   overhead on the E14 mixed path (see [`e15_checks`] and
+//!   [`advisor_observe_overhead_checks`]);
 //! * the telemetry layer's cost when unread: the instrumented E8
 //!   repeat-plan and E13 durable-commit paths, re-timed with spans
 //!   enabled versus disabled, must stay within 10% of each other (see
@@ -717,6 +723,180 @@ fn e14_checks(failures: &mut Vec<String>) -> usize {
     checked
 }
 
+/// The E15 advisor bounds. The headline claim — a store that starts with
+/// **zero** materialized views and `--advisor auto` lands within ~2× of
+/// a hand-tuned static catalog on the adversarial shifting workload —
+/// follows the committed-hard/live-floor scheme:
+///
+/// * **zero manual DDL**: the committed auto row must record
+///   `manual_ddl == 0` — the arm construction materializes nothing by
+///   hand, and the gate pins that;
+/// * **the advisor acted**: the committed auto row must record at least
+///   one auto-materialization — an advisor that never fires trivially
+///   "matches" hand-tuned only because this trace is small;
+/// * **≤2× of hand-tuned**: the committed auto query p50 must stay
+///   within `2× × max(1, 2/cores)` of the committed hand-tuned p50 —
+///   the full 2× with ≥2 recorded cores, relaxed on a single-core
+///   runner where client threads, workers, and the writer all contend
+///   for one CPU;
+/// * **no typed errors**: every committed row records zero `ERR`
+///   replies — auto-materialization must never turn valid traffic into
+///   errors;
+/// * **live anti-collapse**: a live auto-vs-hand-tuned re-measurement
+///   (best of three) must keep auto throughput above 0.25× of
+///   hand-tuned and must materialize at least one view — only a wedged
+///   advisor pass or a catalog-corrupting one falls below that.
+fn e15_checks(failures: &mut Vec<String>) -> usize {
+    use subq::oodb::AdvisorMode;
+
+    let baseline = std::fs::read_to_string("BENCH_e15.json").unwrap_or_else(|error| {
+        panic!("cannot read BENCH_e15.json (run from the repository root): {error}")
+    });
+    let mut checked = 0usize;
+    let mut hand_p50: Option<u64> = None;
+    let mut auto_p50: Option<(u64, usize)> = None;
+    for line in baseline.lines() {
+        if !line.contains("\"e15_advisor\"") {
+            continue;
+        }
+        let arm = field(line, "arm").expect("arm field");
+        let errors: usize = field(line, "errors")
+            .expect("errors field")
+            .parse()
+            .expect("numeric errors");
+        if errors != 0 {
+            failures.push(format!(
+                "e15 committed table: {arm} row records {errors} typed ERR replies (must be 0)"
+            ));
+        }
+        let p50: u64 = field(line, "query_p50_ns")
+            .expect("query_p50_ns field")
+            .parse()
+            .expect("numeric query_p50_ns");
+        match arm {
+            "hand_tuned" => hand_p50 = Some(p50),
+            "cold" => {}
+            "auto" => {
+                let manual_ddl: usize = field(line, "manual_ddl")
+                    .expect("manual_ddl field")
+                    .parse()
+                    .expect("numeric manual_ddl");
+                let materialized: u64 = field(line, "auto_materialized")
+                    .expect("auto_materialized field")
+                    .parse()
+                    .expect("numeric auto_materialized");
+                let cores: usize = field(line, "cores")
+                    .expect("cores field")
+                    .parse()
+                    .expect("numeric cores");
+                if manual_ddl != 0 {
+                    failures.push(format!(
+                        "e15 committed table: auto row records {manual_ddl} manual DDL statements (must be 0 — the arm must win without hand tuning)"
+                    ));
+                }
+                if materialized == 0 {
+                    failures.push(
+                        "e15 committed table: auto row records zero auto-materializations — the advisor never fired"
+                            .to_string(),
+                    );
+                }
+                auto_p50 = Some((p50, cores));
+            }
+            other => panic!("unknown arm `{other}` in BENCH_e15.json"),
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "BENCH_e15.json yielded only {checked} rows; baseline looks truncated"
+    );
+    let hand_p50 = hand_p50.expect("BENCH_e15.json lacks the hand_tuned row");
+    let (auto_p50, cores) = auto_p50.expect("BENCH_e15.json lacks the auto row");
+    let ratio = auto_p50 as f64 / hand_p50.max(1) as f64;
+    let bound = 2.0 * (2.0 / cores as f64).max(1.0);
+    if ratio > bound {
+        failures.push(format!(
+            "e15 committed table: auto query p50 is {ratio:.2}× hand-tuned, above the {bound:.2}× bound for its {cores} recorded cores"
+        ));
+    }
+
+    // Live: anti-collapse floor on throughput plus the advisor-activity
+    // assertion (best of three — loopback wall-clock is noisy, but an
+    // advisor that materializes nothing or collapses the serving path
+    // fails every attempt).
+    let floor = 0.25;
+    let mut best_live = 0.0f64;
+    let mut live_materialized = 0u64;
+    for attempt in 0..3 {
+        let hand = subq_bench::e15::advisor_arm("hand_tuned", AdvisorMode::Off, true, 2, 300);
+        let auto = subq_bench::e15::advisor_arm("auto", AdvisorMode::Auto, false, 2, 300);
+        for arm in [&hand, &auto] {
+            if arm.errors != 0 {
+                failures.push(format!(
+                    "e15 live attempt {attempt} arm={}: {} typed ERR replies (must be 0)",
+                    arm.arm, arm.errors
+                ));
+            }
+        }
+        live_materialized = live_materialized.max(auto.auto_materialized);
+        best_live = best_live.max(auto.ops_per_sec / hand.ops_per_sec.max(1.0));
+        if best_live >= 1.0 && live_materialized > 0 {
+            break;
+        }
+    }
+    if live_materialized == 0 {
+        failures.push(
+            "e15 live: the auto arm materialized zero views over 3 attempts — the advisor never fired"
+                .to_string(),
+        );
+    }
+    if best_live < floor {
+        failures.push(format!(
+            "e15 live: best auto-vs-hand-tuned throughput {best_live:.2}× over 3 attempts below the {floor:.2}× anti-collapse floor — auto-materialization is wrecking the serving path"
+        ));
+    }
+    checked
+}
+
+/// The advisor-observation overhead gate: with `--advisor observe`, every
+/// reader pays one relaxed flag load plus a shape normalization and ring
+/// push per query — the acceptance bound says that costs ≤2% on the E14
+/// stationary mixed path. Wall-clock over loopback TCP is noisy, so the
+/// scheme mirrors [`overhead_checks`]: interleaved best-of-5 pairs, three
+/// attempts, the 2% target printed as a warning when missed and only a
+/// 10% blowout failing hard (a real per-query regression — an allocation
+/// storm, a lock on the read path — blows far past 10%).
+fn advisor_observe_overhead_checks(failures: &mut Vec<String>) {
+    use subq::oodb::AdvisorMode;
+
+    const TARGET: f64 = 1.02;
+    const CEILING: f64 = 1.10;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let (mut observe, mut off) = (f64::MAX, f64::MAX);
+        for _ in 0..5 {
+            let on_row = subq_bench::e14::mixed_arm_advisor(2, 64, 70, 120, AdvisorMode::Observe);
+            let off_row = subq_bench::e14::mixed_arm_advisor(2, 64, 70, 120, AdvisorMode::Off);
+            // Per-op wall-clock, lower is better; keep each side's best.
+            observe = observe.min(1e9 / on_row.ops_per_sec.max(1.0));
+            off = off.min(1e9 / off_row.ops_per_sec.max(1.0));
+        }
+        best = best.min(observe / off);
+        if best <= TARGET {
+            break;
+        }
+    }
+    if best > CEILING {
+        failures.push(format!(
+            "advisor overhead: observe-mode E14 mixed traffic is {best:.3}× the advisor-off baseline (hard ceiling {CEILING:.2}×) — shape recording is not cheap"
+        ));
+    } else if best > TARGET {
+        eprintln!(
+            "warning: advisor observe overhead {best:.3}× above the {TARGET:.2}× target (non-fatal: loopback wall-clock on a shared runner)"
+        );
+    }
+}
+
 /// The instrumentation-overhead gate: telemetry must be free when
 /// unread. The two hottest instrumented paths — the E8 memoized repeat
 /// plan (counter bumps in the subsumption cache plus the plan-latency
@@ -824,6 +1004,8 @@ fn main() {
     let e12_checked = e12_checks(&mut failures);
     let e13_checked = e13_checks(&mut failures);
     let e14_checked = e14_checks(&mut failures);
+    let e15_checked = e15_checks(&mut failures);
+    advisor_observe_overhead_checks(&mut failures);
     overhead_checks(&mut failures);
     if !failures.is_empty() {
         eprintln!("perf regressions:");
@@ -840,6 +1022,7 @@ fn main() {
          {e12_checked} E12 rows within the physical-layer bounds (≥5× dense bitmap intersection, core-scaled scatter-gather, cost-based plans within 10% of best enumerated), \
          {e13_checked} E13 rows within the durability bounds (≥5× group-commit amortization at batch 32, ≥5× image+suffix recovery at 64k entries, ≤200 B/object images), \
          {e14_checked} E14 rows within the server bounds (core-scaled 4-client mixed-traffic speedup, saturation shed as typed BUSY, zero typed errors), \
+         {e15_checked} E15 rows within the advisor bounds (auto within core-clamped 2× of hand-tuned with zero manual DDL, the advisor visibly fired, observe-mode recording cheap), \
          and the instrumented E8 repeat-plan and E13 commit paths within 10% of the telemetry-disabled baseline"
     );
 }

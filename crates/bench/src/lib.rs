@@ -1058,7 +1058,9 @@ pub mod e13 {
 /// for the correctness side).
 pub mod e14 {
     use std::sync::Arc;
-    use subq::oodb::{DurableOptions, FaultyBackend, OptimizedDatabase};
+    use subq::oodb::{
+        AdvisorConfig, AdvisorMode, DurableOptions, FaultyBackend, OptimizedDatabase,
+    };
     use subq::server::{percentile, run_mixed_load, LoadParams, Server, ServerConfig};
     use subq::workload::traffic::TrafficParams;
     use subq::workload::{churn_trace, ChurnParams, ChurnTrace};
@@ -1107,6 +1109,19 @@ pub mod e14 {
     /// (in-memory backend: the WAL encode + group-commit batching is
     /// real, the fsync is free, so rows measure the server, not a disk).
     pub fn mixed_arm(clients: usize, queue: usize, query_percent: u8, ops: usize) -> MixedRow {
+        mixed_arm_advisor(clients, queue, query_percent, ops, AdvisorMode::Off)
+    }
+
+    /// Like [`mixed_arm`] but with the advisor in the given mode — the
+    /// `observe`-overhead gate compares `Off` against `Observe` on the
+    /// otherwise identical stationary mix.
+    pub fn mixed_arm_advisor(
+        clients: usize,
+        queue: usize,
+        query_percent: u8,
+        ops: usize,
+        mode: AdvisorMode,
+    ) -> MixedRow {
         let trace = trace();
         let backend = Arc::new(FaultyBackend::new());
         let mut odb = OptimizedDatabase::open(backend, DurableOptions { group_commit: 64 }, || {
@@ -1121,6 +1136,10 @@ pub mod e14 {
             odb,
             ServerConfig {
                 write_queue: queue,
+                advisor: AdvisorConfig {
+                    mode,
+                    ..AdvisorConfig::default()
+                },
                 ..ServerConfig::default()
             },
         )
@@ -1155,6 +1174,154 @@ pub mod e14 {
             query_p99_ns: percentile(&report.query_ns, 99.0),
             txn_p50_ns: percentile(&report.txn_ns, 50.0),
             txn_p99_ns: percentile(&report.txn_ns, 99.0),
+        }
+    }
+}
+
+/// E15: the workload-adaptive view advisor under an adversarial
+/// phase-shifting mix — a hand-tuned static catalog (every view
+/// materialized up front, advisor off) versus a cold store that starts
+/// with **zero** materialized views and `--advisor auto` (see
+/// `e15_advisor_table.rs` for the arms and `tests/advisor_*.rs` for the
+/// correctness side).
+pub mod e15 {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use subq::oodb::{
+        AdvisorConfig, AdvisorMode, DurableOptions, FaultyBackend, OptimizedDatabase,
+    };
+    use subq::server::{percentile, run_mixed_load, LoadParams, Server, ServerConfig};
+    use subq::workload::traffic::{ShiftParams, TrafficParams};
+    use subq::workload::{churn_trace, ChurnParams, ChurnTrace};
+
+    /// One arm of the advisor experiment.
+    pub struct AdvisorRow {
+        pub arm: &'static str,
+        pub clients: usize,
+        pub ops: usize,
+        pub queries: usize,
+        pub txns: usize,
+        pub errors: usize,
+        /// Views materialized by hand before the run (the DDL budget the
+        /// auto arm must win without).
+        pub manual_ddl: usize,
+        /// Advisor lifecycle activity during the run, from the process
+        /// counters (`subq_advisor_*_total` deltas).
+        pub auto_materialized: u64,
+        pub auto_evicted: u64,
+        pub rejected_subsumed: u64,
+        pub elapsed_ns: u128,
+        pub ops_per_sec: f64,
+        pub query_p50_ns: u64,
+        pub query_p99_ns: u64,
+    }
+
+    /// The E15 trace: a wider catalog (12 views over 8 classes) than E14
+    /// so the shifting hot window has somewhere to move, and enough
+    /// transactions to keep maintenance pressure on materialized views.
+    fn trace() -> ChurnTrace {
+        churn_trace(
+            0xE15,
+            ChurnParams {
+                classes: 8,
+                views: 12,
+                objects: 240,
+                transactions: 96,
+                ..ChurnParams::default()
+            },
+        )
+    }
+
+    /// The adversarial schedule: the hot window (3 of 12 views) rotates
+    /// every 120 ops per client, so a static guess about "the hot views"
+    /// goes stale mid-run.
+    pub fn shift() -> ShiftParams {
+        ShiftParams {
+            phase_ops: 120,
+            views_per_phase: 3,
+        }
+    }
+
+    /// Runs one arm of the shifting workload. `hand_tuned` materializes
+    /// the full catalog up front (and counts it as `manual_ddl`); the
+    /// auto arm starts with zero materialized views and must earn its
+    /// catalog from the advisor alone.
+    pub fn advisor_arm(
+        arm: &'static str,
+        mode: AdvisorMode,
+        hand_tuned: bool,
+        clients: usize,
+        ops: usize,
+    ) -> AdvisorRow {
+        let trace = trace();
+        let backend = Arc::new(FaultyBackend::new());
+        let mut odb = OptimizedDatabase::open(backend, DurableOptions { group_commit: 64 }, || {
+            trace.db.clone()
+        })
+        .expect("genesis open");
+        let mut manual_ddl = 0usize;
+        if hand_tuned {
+            for name in &trace.view_names {
+                odb.materialize_view(name).expect("materializes");
+                manual_ddl += 1;
+            }
+            odb.checkpoint().expect("checkpoint after materialization");
+        }
+        let materialized_before = subq::telemetry::counter("subq_advisor_materialized_total").get();
+        let evicted_before = subq::telemetry::counter("subq_advisor_evicted_total").get();
+        let rejected_before =
+            subq::telemetry::counter("subq_advisor_rejected_subsumed_total").get();
+        let server = Server::start(
+            odb,
+            ServerConfig {
+                write_queue: 64,
+                advisor: AdvisorConfig {
+                    mode,
+                    ..AdvisorConfig::default()
+                },
+                // Frequent passes: the run is short, the advisor must
+                // react within a phase, not once per wall-clock second.
+                advisor_interval: Duration::from_millis(10),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("binds loopback");
+        let report = run_mixed_load(
+            server.addr(),
+            &trace,
+            LoadParams {
+                clients,
+                seed: 0xE15,
+                traffic: TrafficParams {
+                    query_percent: 85,
+                    ops,
+                },
+                shift: Some(shift()),
+                ..LoadParams::default()
+            },
+        )
+        .expect("load run");
+        server.shutdown();
+        let elapsed_ns = report.elapsed.as_nanos().max(1);
+        AdvisorRow {
+            arm,
+            clients,
+            ops: report.ops,
+            queries: report.queries,
+            txns: report.txns,
+            errors: report.errors,
+            manual_ddl,
+            auto_materialized: subq::telemetry::counter("subq_advisor_materialized_total").get()
+                - materialized_before,
+            auto_evicted: subq::telemetry::counter("subq_advisor_evicted_total").get()
+                - evicted_before,
+            rejected_subsumed: subq::telemetry::counter("subq_advisor_rejected_subsumed_total")
+                .get()
+                - rejected_before,
+            elapsed_ns,
+            ops_per_sec: report.ops as f64 / (elapsed_ns as f64 / 1e9),
+            query_p50_ns: percentile(&report.query_ns, 50.0),
+            query_p99_ns: percentile(&report.query_ns, 99.0),
         }
     }
 }

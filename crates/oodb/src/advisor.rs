@@ -1,0 +1,691 @@
+//! The workload-adaptive view advisor: query-shape mining, gain-scored
+//! auto-materialization, and cold-view eviction.
+//!
+//! The paper's optimization only pays off when the views a workload needs
+//! are actually materialized — and PRs 1–9 left that choice to a human.
+//! This module closes the loop: every [`Reader`](crate::Reader) records
+//! the *shape* of each executed query into a lock-free per-reader ring
+//! ([`ShapeRing`]); the writer harvests the rings at the publish boundary,
+//! mines frequent shapes with exponential decay, scores each candidate by
+//! expected gain under the [`CostModel`](crate::stats::CostModel), and —
+//! in [`AdvisorMode::Auto`] — materializes the winners through the
+//! ordinary [`ViewCatalog`](crate::views::ViewCatalog) path and evicts
+//! auto-views the workload has gone cold on. User-declared views are
+//! never touched, and the advisor acts only between transactions, so
+//! snapshot isolation and read-your-writes are untouched.
+//!
+//! # Shape normalization
+//!
+//! Two queries that differ only in a bound constant — a `{obj}` path
+//! filter or a `where` literal — are the *same* shape: the advisor
+//! generalizes the constant away ([`normalize_shape`]), because a view
+//! over the generalized shape Σ-subsumes every constant-bound instance
+//! and can therefore serve all of them. Labels are renamed positionally
+//! and clauses are sorted, so the normalized declaration is a canonical
+//! form fit for hashing ([`shape_key`]).
+
+use crate::stats::CostModel;
+use fxhash::{FxHashMap, FxHasher};
+use std::cell::UnsafeCell;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use subq_dl::{LabeledPath, PathFilter, QueryClassDecl};
+
+/// The reserved name prefix of advisor-declared views. User `DEFVIEW`s
+/// under this prefix are rejected at the server boundary, which is what
+/// lets the advisor evict anything carrying it without ever touching a
+/// view a user declared by hand.
+pub const AUTO_VIEW_PREFIX: &str = "__adv_";
+
+/// Capacity of one reader's shape ring. Full rings drop the newest event
+/// (and count the drop) — recording must never block or allocate
+/// unboundedly on the read path.
+pub(crate) const SHAPE_RING_CAPACITY: usize = 256;
+
+/// Canonicalizes a query into its *shape*: bound constants are
+/// generalized away (`(attr: {obj})` becomes `attr`, `where` clauses
+/// mentioning anything but a declared label are dropped), derived paths
+/// are sorted structurally, labels are renamed positionally (`l0`,
+/// `l1`, …) with the surviving `where` equalities rewritten to match,
+/// superclasses are sorted and deduplicated, and the name is blanked.
+///
+/// The result is both a canonical hash key (two queries differing only
+/// in a literal normalize identically) and a *materializable
+/// generalization*: it Σ-subsumes every query it was derived from, so a
+/// view over it serves them all through the ordinary subsumption route.
+pub fn normalize_shape(query: &QueryClassDecl) -> QueryClassDecl {
+    let mut is_a = query.is_a.clone();
+    is_a.sort();
+    is_a.dedup();
+    // Generalize constants out of the paths, remember each old label with
+    // its path, and sort the paths by structure so label numbering does
+    // not depend on source order.
+    let mut derived: Vec<(Option<String>, LabeledPath)> = query
+        .derived
+        .iter()
+        .map(|path| {
+            let steps = path
+                .steps
+                .iter()
+                .map(|step| subq_dl::PathStep {
+                    attr: step.attr.clone(),
+                    filter: match &step.filter {
+                        PathFilter::Singleton(_) => PathFilter::Any,
+                        other => other.clone(),
+                    },
+                })
+                .collect();
+            (path.label.clone(), LabeledPath { label: None, steps })
+        })
+        .collect();
+    derived.sort_by(|(_, a), (_, b)| format!("{:?}", a.steps).cmp(&format!("{:?}", b.steps)));
+    let mut rename: FxHashMap<&str, String> = FxHashMap::default();
+    for (index, (old, path)) in derived.iter_mut().enumerate() {
+        let new = format!("l{index}");
+        if let Some(old) = old.as_deref() {
+            rename.insert(old, new.clone());
+        }
+        path.label = Some(new);
+    }
+    // Keep only label-to-label equalities (they are structural); a side
+    // naming anything else is a bound literal and is generalized away.
+    let mut where_eqs: Vec<(String, String)> = query
+        .where_eqs
+        .iter()
+        .filter_map(|(a, b)| {
+            let (a, b) = (rename.get(a.as_str())?, rename.get(b.as_str())?);
+            let mut pair = [a.clone(), b.clone()];
+            pair.sort();
+            let [a, b] = pair;
+            Some((a, b))
+        })
+        .collect();
+    where_eqs.sort();
+    where_eqs.dedup();
+    QueryClassDecl {
+        name: String::new(),
+        is_a,
+        derived: derived.into_iter().map(|(_, path)| path).collect(),
+        where_eqs,
+        constraint: query.constraint.clone(),
+    }
+}
+
+/// The hash key of a query's canonical shape.
+pub fn shape_key(shape: &QueryClassDecl) -> u64 {
+    let mut hasher = FxHasher::default();
+    format!("{:?}|{:?}|{:?}", shape.is_a, shape.derived, shape.where_eqs).hash(&mut hasher);
+    hasher.finish()
+}
+
+/// One recorded query execution: the normalized shape plus what the
+/// executor observed — enough for the advisor to estimate both the cost
+/// the query paid and the cost a dedicated view would have left.
+#[derive(Clone, Debug)]
+pub struct ShapeEvent {
+    /// The canonical shape ([`normalize_shape`]).
+    pub shape: Arc<QueryClassDecl>,
+    /// The view the executor routed through, if any.
+    pub used_view: Option<String>,
+    /// Candidates whose membership condition was evaluated.
+    pub candidates_examined: u64,
+    /// Answers returned — the size a view over this shape would store.
+    pub answers: u64,
+}
+
+/// A lock-free bounded single-producer/single-consumer ring of
+/// [`ShapeEvent`]s: the producer is the one [`Reader`](crate::Reader)
+/// owning the ring, the consumer is the writer harvesting at the publish
+/// boundary. A full ring drops the newest event and counts it — the read
+/// path never blocks.
+pub struct ShapeRing {
+    slots: Box<[UnsafeCell<Option<ShapeEvent>>]>,
+    /// Next slot the consumer pops (only the consumer advances it).
+    head: AtomicUsize,
+    /// Next slot the producer fills (only the producer advances it).
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// Safety: head/tail form an SPSC handshake — the producer writes a slot
+// strictly before publishing it with a Release store of `tail`, and the
+// consumer reads slots strictly after an Acquire load of `tail` (and
+// vice versa for `head`), so no slot is ever accessed concurrently.
+unsafe impl Sync for ShapeRing {}
+unsafe impl Send for ShapeRing {}
+
+impl ShapeRing {
+    pub(crate) fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(ShapeRing {
+            slots: (0..capacity).map(|_| UnsafeCell::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Producer side: appends one event, dropping it (counted) when the
+    /// consumer has fallen a full ring behind.
+    pub(crate) fn push(&self, event: ShapeEvent) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Safety: slot `tail` is outside the consumer's published window.
+        unsafe { *self.slots[tail % self.slots.len()].get() = Some(event) };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side: moves every published event into `into`.
+    pub(crate) fn harvest(&self, into: &mut Vec<ShapeEvent>) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        for index in head..tail {
+            // Safety: slots in `head..tail` are published by the producer
+            // and not yet released back to it.
+            if let Some(event) = unsafe { (*self.slots[index % self.slots.len()].get()).take() } {
+                into.push(event);
+            }
+        }
+        self.head.store(tail, Ordering::Release);
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// What the advisor is allowed to do.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdvisorMode {
+    /// No recording, no mining — zero read-path cost beyond one relaxed
+    /// atomic load per execution.
+    #[default]
+    Off,
+    /// Record and mine shapes, score candidates (visible via `ADVISE`),
+    /// but never touch the catalog.
+    Observe,
+    /// Observe *and* auto-materialize winners / evict cold auto-views at
+    /// the publish boundary.
+    Auto,
+}
+
+impl AdvisorMode {
+    /// Parses the `--advisor` flag values.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "off" => Some(AdvisorMode::Off),
+            "observe" => Some(AdvisorMode::Observe),
+            "auto" => Some(AdvisorMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AdvisorMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdvisorMode::Off => "off",
+            AdvisorMode::Observe => "observe",
+            AdvisorMode::Auto => "auto",
+        })
+    }
+}
+
+/// The advisor's budget and sensitivity knobs.
+#[derive(Clone, Debug)]
+pub struct AdvisorConfig {
+    pub mode: AdvisorMode,
+    /// Upper bound on concurrently materialized auto-views.
+    pub max_auto_views: usize,
+    /// Minimum expected gain (in cost-model probes per pass) before a
+    /// shape is worth materializing.
+    pub min_gain: f64,
+    /// Multiplier applied to every shape's decayed frequency per advisor
+    /// pass — recent traffic dominates, stale phases fade.
+    pub decay: f64,
+    /// Consecutive cold passes (no routed query) before an auto-view is
+    /// evicted.
+    pub evict_after: u32,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            mode: AdvisorMode::Off,
+            max_auto_views: 8,
+            min_gain: 1.0,
+            decay: 0.8,
+            evict_after: 8,
+        }
+    }
+}
+
+/// One mined shape with its decayed heat and latest observations.
+#[derive(Clone, Debug)]
+struct ShapeStat {
+    shape: Arc<QueryClassDecl>,
+    /// Exponentially decayed execution frequency.
+    freq: f64,
+    /// Total executions ever observed.
+    total: u64,
+    /// Latest observed candidate count (what the query paid).
+    last_candidates: u64,
+    /// Latest observed answer count (what a dedicated view would store).
+    last_answers: u64,
+    /// Latest scoring verdict, for the `ADVISE` report.
+    status: ShapeStatus,
+    /// Latest computed gain estimate.
+    gain: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShapeStatus {
+    /// Seen but not yet scored (or not scorable: constrained shapes are
+    /// not materializable).
+    Pending,
+    /// Scored below `min_gain` (or the budget was exhausted).
+    BelowMinGain,
+    /// An existing view already serves it about as cheaply.
+    RejectedSubsumed,
+    /// Materialized as an auto-view.
+    Materialized,
+    /// Its auto-view went cold and was evicted.
+    Evicted,
+}
+
+impl ShapeStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            ShapeStatus::Pending => "pending",
+            ShapeStatus::BelowMinGain => "below_min_gain",
+            ShapeStatus::RejectedSubsumed => "rejected_subsumed",
+            ShapeStatus::Materialized => "materialized",
+            ShapeStatus::Evicted => "evicted",
+        }
+    }
+}
+
+/// The writer-side mining and scoring state. Owned by
+/// [`OptimizedDatabase`](crate::OptimizedDatabase); all mutation happens
+/// on the writer, at the publish boundary.
+#[derive(Debug, Default)]
+pub struct Advisor {
+    config: AdvisorConfig,
+    shapes: FxHashMap<u64, ShapeStat>,
+    /// Shape key → the auto-view name minted for it. Survives eviction:
+    /// the declaration stays in the model (checkpoint images may refer to
+    /// it), so re-materialization is a catalog-only operation.
+    auto_views: FxHashMap<u64, String>,
+    /// Auto-view name → consecutive passes without a routed query.
+    cold_passes: FxHashMap<String, u32>,
+    next_id: usize,
+    /// Cumulative counters, mirrored into telemetry.
+    pub materialized_total: u64,
+    pub evicted_total: u64,
+    pub rejected_subsumed_total: u64,
+    pub events_harvested: u64,
+}
+
+/// What one advisor pass did — the writer logs it and tests assert on it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdvisorPass {
+    /// Auto-views materialized this pass.
+    pub materialized: Vec<String>,
+    /// Auto-views evicted this pass.
+    pub evicted: Vec<String>,
+    /// Events consumed from the rings and the writer's local log.
+    pub harvested: usize,
+}
+
+/// A scored decision the pass hands back to the database layer, which
+/// owns the catalog and the model.
+#[derive(Debug)]
+pub(crate) struct AdvisorPlan {
+    /// `(shape key, existing auto-view name if any, definition, expected
+    /// extent size)` to materialize, best gain first. The expected size is
+    /// the latest observed answer count — what the subsumption-rejection
+    /// test compares the incumbent view's cost against.
+    pub winners: Vec<(u64, Option<String>, QueryClassDecl, u64)>,
+    /// Auto-view names to evict.
+    pub evict: Vec<String>,
+}
+
+impl Advisor {
+    /// The active configuration.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    pub(crate) fn set_config(&mut self, config: AdvisorConfig) {
+        self.config = config;
+    }
+
+    /// Whether a view name belongs to the advisor (and is therefore
+    /// evictable).
+    pub fn is_auto_view(name: &str) -> bool {
+        name.starts_with(AUTO_VIEW_PREFIX)
+    }
+
+    /// Folds one harvested batch into the decayed shape table.
+    pub(crate) fn absorb(&mut self, events: &[ShapeEvent]) {
+        self.events_harvested += events.len() as u64;
+        for event in events {
+            let key = shape_key(&event.shape);
+            let stat = self.shapes.entry(key).or_insert_with(|| ShapeStat {
+                shape: event.shape.clone(),
+                freq: 0.0,
+                total: 0,
+                last_candidates: 0,
+                last_answers: 0,
+                status: ShapeStatus::Pending,
+                gain: 0.0,
+            });
+            stat.freq += 1.0;
+            stat.total += 1;
+            stat.last_candidates = event.candidates_examined;
+            stat.last_answers = event.answers;
+            if let Some(view) = &event.used_view {
+                if Self::is_auto_view(view) {
+                    self.cold_passes.insert(view.clone(), 0);
+                }
+            }
+        }
+    }
+
+    /// Decays every shape's heat and returns the materialize/evict plan
+    /// under the current budget. `cost` estimates per-query work,
+    /// `maintenance_per_delta` the membership checks one delta costs an
+    /// average view, and `deltas` how many deltas landed since the last
+    /// pass. `served_views` lists currently materialized view names.
+    pub(crate) fn plan_pass(
+        &mut self,
+        cost: &CostModel<'_>,
+        maintenance_per_delta: f64,
+        deltas: u64,
+        served_views: &[String],
+    ) -> AdvisorPlan {
+        for stat in self.shapes.values_mut() {
+            stat.freq *= self.config.decay;
+        }
+        self.shapes.retain(|_, stat| stat.freq > 1e-3);
+        let mut plan = AdvisorPlan {
+            winners: Vec::new(),
+            evict: Vec::new(),
+        };
+        // Eviction first: auto-views no query routed through for
+        // `evict_after` consecutive passes free budget for this pass's
+        // winners. Only names the advisor minted are ever candidates.
+        let materialized_auto: Vec<&String> = served_views
+            .iter()
+            .filter(|name| Self::is_auto_view(name))
+            .collect();
+        for name in &materialized_auto {
+            let cold = self.cold_passes.entry((*name).clone()).or_insert(0);
+            *cold += 1;
+            if *cold > self.config.evict_after {
+                plan.evict.push((*name).clone());
+            }
+        }
+        for name in &plan.evict {
+            self.cold_passes.remove(name);
+            if let Some((&key, _)) = self.auto_views.iter().find(|(_, v)| *v == name) {
+                if let Some(stat) = self.shapes.get_mut(&key) {
+                    stat.status = ShapeStatus::Evicted;
+                    // Residual decayed heat must not re-materialize an
+                    // evicted view on the next pass (an idle writer would
+                    // oscillate evict→materialize until the decay drops
+                    // below min_gain); only fresh traffic re-heats it.
+                    stat.freq = 0.0;
+                }
+            }
+        }
+        let mut live_auto = materialized_auto.len() - plan.evict.len();
+
+        // Score every mined shape. Ranked best gain first so the budget
+        // goes to the hottest candidates.
+        let mut scored: Vec<(u64, f64)> = Vec::new();
+        for (&key, stat) in self.shapes.iter_mut() {
+            if stat.shape.constraint.is_some() {
+                // Not a view; its stored answers would be unsound.
+                stat.status = ShapeStatus::Pending;
+                continue;
+            }
+            if let Some(name) = self.auto_views.get(&key) {
+                if plan.evict.contains(name) {
+                    // Evicted this very pass for being cold — do not
+                    // re-materialize it from its residual heat; it must
+                    // earn its way back through fresh traffic.
+                    stat.status = ShapeStatus::Evicted;
+                    continue;
+                }
+                if served_views.iter().any(|v| v == name) {
+                    stat.status = ShapeStatus::Materialized;
+                    continue;
+                }
+            }
+            // Gain per query: what the last execution paid minus what
+            // filtering a dedicated extension would cost.
+            let paid = cost.filter_cost(stat.last_candidates as usize, &stat.shape);
+            let with_view = cost.filter_cost(stat.last_answers as usize, &stat.shape);
+            let maintenance =
+                deltas as f64 * maintenance_per_delta * cost.membership_cost(&stat.shape);
+            stat.gain = stat.freq * (paid - with_view).max(0.0) - maintenance;
+            if stat.gain < self.config.min_gain {
+                stat.status = ShapeStatus::BelowMinGain;
+                continue;
+            }
+            scored.push((key, stat.gain));
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (key, _) in scored {
+            if live_auto >= self.config.max_auto_views {
+                let stat = self.shapes.get_mut(&key).expect("scored above");
+                stat.status = ShapeStatus::BelowMinGain;
+                continue;
+            }
+            let stat = self.shapes.get_mut(&key).expect("scored above");
+            let mut definition = (*stat.shape).clone();
+            let existing = self.auto_views.get(&key).cloned();
+            definition.name = existing
+                .clone()
+                .unwrap_or_else(|| format!("{AUTO_VIEW_PREFIX}{}", self.next_id));
+            plan.winners
+                .push((key, existing, definition, stat.last_answers));
+            live_auto += 1;
+        }
+        plan
+    }
+
+    /// Records the outcome of one materialization the database performed.
+    pub(crate) fn note_materialized(&mut self, key: u64, name: &str, fresh_declaration: bool) {
+        if fresh_declaration {
+            self.next_id += 1;
+        }
+        self.auto_views.insert(key, name.to_owned());
+        self.cold_passes.insert(name.to_owned(), 0);
+        self.materialized_total += 1;
+        if let Some(stat) = self.shapes.get_mut(&key) {
+            stat.status = ShapeStatus::Materialized;
+        }
+        let metrics = crate::metrics::metrics();
+        metrics.advisor_materialized.inc();
+        if let Some(stat) = self.shapes.get(&key) {
+            metrics.advisor_gain_estimate.record(stat.gain as u64);
+        }
+    }
+
+    /// Records that a candidate was rejected because the lattice already
+    /// serves it cheaply through an existing view.
+    pub(crate) fn note_rejected_subsumed(&mut self, key: u64) {
+        self.rejected_subsumed_total += 1;
+        crate::metrics::metrics().advisor_rejected_subsumed.inc();
+        if let Some(stat) = self.shapes.get_mut(&key) {
+            stat.status = ShapeStatus::RejectedSubsumed;
+        }
+    }
+
+    /// Records one performed eviction.
+    pub(crate) fn note_evicted(&mut self, _name: &str) {
+        self.evicted_total += 1;
+        crate::metrics::metrics().advisor_evicted.inc();
+    }
+
+    /// The auto-view name minted for a shape key, if any.
+    pub fn auto_view_name(&self, key: u64) -> Option<&str> {
+        self.auto_views.get(&key).map(String::as_str)
+    }
+
+    /// The current candidate table, one line per mined shape, hottest
+    /// first — the payload of the `ADVISE` wire verb. Line grammar:
+    /// `candidate <key> freq=<decayed> total=<n> gain=<estimate>
+    /// status=<status> view=<name|-> shape=<debug>` followed by a final
+    /// `advisor` summary line.
+    pub fn report_lines(&self) -> Vec<String> {
+        let mut stats: Vec<(&u64, &ShapeStat)> = self.shapes.iter().collect();
+        stats.sort_by(|a, b| b.1.freq.total_cmp(&a.1.freq));
+        let mut lines: Vec<String> = stats
+            .into_iter()
+            .map(|(key, stat)| {
+                format!(
+                    "candidate {key:016x} freq={:.2} total={} gain={:.1} status={} view={} shape={:?}+{:?}",
+                    stat.freq,
+                    stat.total,
+                    stat.gain,
+                    stat.status.as_str(),
+                    self.auto_views.get(key).map_or("-", String::as_str),
+                    stat.shape.is_a,
+                    stat.shape.derived.len(),
+                )
+            })
+            .collect();
+        lines.push(format!(
+            "advisor mode={} shapes={} auto_views={} materialized={} evicted={} rejected_subsumed={} harvested={}",
+            self.config.mode,
+            self.shapes.len(),
+            self.auto_views.len(),
+            self.materialized_total,
+            self.evicted_total,
+            self.rejected_subsumed_total,
+            self.events_harvested,
+        ));
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subq_dl::PathStep;
+
+    fn shape_with(filter: PathFilter, literal: &str) -> QueryClassDecl {
+        QueryClassDecl {
+            name: "Q".into(),
+            is_a: vec!["Patient".into(), "Male".into(), "Patient".into()],
+            derived: vec![
+                LabeledPath {
+                    label: Some("d".into()),
+                    steps: vec![PathStep {
+                        attr: "suffers".into(),
+                        filter,
+                    }],
+                },
+                LabeledPath {
+                    label: Some("c".into()),
+                    steps: vec![PathStep {
+                        attr: "consults".into(),
+                        filter: PathFilter::Class("Doctor".into()),
+                    }],
+                },
+            ],
+            where_eqs: vec![("d".into(), literal.into()), ("c".into(), "d".into())],
+            constraint: None,
+        }
+    }
+
+    /// Satellite 1: the canonical form is pinned — constants are
+    /// generalized away, labels are positional, clauses are sorted.
+    #[test]
+    fn normalization_pins_the_canonical_form() {
+        let shape = normalize_shape(&shape_with(PathFilter::Singleton("flu".into()), "aspirin"));
+        assert_eq!(shape.name, "");
+        assert_eq!(shape.is_a, vec!["Male".to_owned(), "Patient".to_owned()]);
+        // Paths sorted structurally: `consults.(…: Doctor)` before the
+        // generalized `suffers` (labels are positional after the sort).
+        assert_eq!(shape.derived.len(), 2);
+        assert_eq!(shape.derived[0].label.as_deref(), Some("l0"));
+        assert_eq!(shape.derived[0].steps[0].attr, "consults");
+        assert_eq!(
+            shape.derived[0].steps[0].filter,
+            PathFilter::Class("Doctor".into())
+        );
+        assert_eq!(shape.derived[1].label.as_deref(), Some("l1"));
+        assert_eq!(shape.derived[1].steps[0].attr, "suffers");
+        assert_eq!(
+            shape.derived[1].steps[0].filter,
+            PathFilter::Any,
+            "constant generalized"
+        );
+        // The `where d = aspirin` literal is dropped; `c = d` survives as
+        // the positional pair, sides sorted.
+        assert_eq!(shape.where_eqs, vec![("l0".to_owned(), "l1".to_owned())]);
+        assert!(shape.constraint.is_none());
+    }
+
+    /// Two queries differing only in bound constants hash identically;
+    /// a structurally different query does not.
+    #[test]
+    fn constants_do_not_split_shapes() {
+        let a = shape_with(PathFilter::Singleton("flu".into()), "aspirin");
+        let b = shape_with(PathFilter::Singleton("measles".into()), "penicillin");
+        assert_eq!(normalize_shape(&a), normalize_shape(&b));
+        assert_eq!(
+            shape_key(&normalize_shape(&a)),
+            shape_key(&normalize_shape(&b))
+        );
+        let c = shape_with(PathFilter::Class("Disease".into()), "aspirin");
+        assert_ne!(
+            shape_key(&normalize_shape(&a)),
+            shape_key(&normalize_shape(&c))
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded_and_harvestable() {
+        let ring = ShapeRing::new(4);
+        let event = |n: u64| ShapeEvent {
+            shape: Arc::new(normalize_shape(&shape_with(PathFilter::Any, "x"))),
+            used_view: None,
+            candidates_examined: n,
+            answers: n,
+        };
+        for n in 0..6 {
+            ring.push(event(n));
+        }
+        assert_eq!(ring.dropped(), 2, "two events over capacity dropped");
+        let mut out = Vec::new();
+        ring.harvest(&mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].candidates_examined, 0);
+        assert_eq!(out[3].candidates_examined, 3);
+        // The ring is reusable after a harvest.
+        ring.push(event(9));
+        out.clear();
+        ring.harvest(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].candidates_examined, 9);
+    }
+
+    #[test]
+    fn advisor_mode_parses_the_flag_values() {
+        assert_eq!(AdvisorMode::parse("off"), Some(AdvisorMode::Off));
+        assert_eq!(AdvisorMode::parse("observe"), Some(AdvisorMode::Observe));
+        assert_eq!(AdvisorMode::parse("auto"), Some(AdvisorMode::Auto));
+        assert_eq!(AdvisorMode::parse("bogus"), None);
+        assert_eq!(AdvisorMode::Auto.to_string(), "auto");
+    }
+}

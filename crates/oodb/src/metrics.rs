@@ -46,6 +46,16 @@ pub struct OodbMetrics {
     pub stats_full_collections: Counter,
     pub stats_incremental_refreshes: Counter,
     pub stats_entries_touched: Counter,
+    /// Advisor lifecycle counters (see [`crate::advisor`]).
+    pub advisor_materialized: Counter,
+    pub advisor_evicted: Counter,
+    pub advisor_rejected_subsumed: Counter,
+    /// Gain estimate (cost-model probes) of each auto-materialized shape.
+    pub advisor_gain_estimate: Histogram,
+    /// Queries routed through each chosen frontier view, summed over all
+    /// views (per-view tallies live in [`Statistics`](crate::stats::Statistics)
+    /// and per-view counters are registered lazily by name).
+    pub view_hits: Counter,
 }
 
 /// The oodb metrics, registered on first use.
@@ -79,5 +89,10 @@ pub fn metrics() -> &'static OodbMetrics {
             "subq_stats_incremental_refreshes_total",
         ),
         stats_entries_touched: subq_telemetry::counter("subq_stats_entries_touched_total"),
+        advisor_materialized: subq_telemetry::counter("subq_advisor_materialized_total"),
+        advisor_evicted: subq_telemetry::counter("subq_advisor_evicted_total"),
+        advisor_rejected_subsumed: subq_telemetry::counter("subq_advisor_rejected_subsumed_total"),
+        advisor_gain_estimate: subq_telemetry::histogram("subq_advisor_gain_estimate"),
+        view_hits: subq_telemetry::counter("subq_view_hits_total"),
     })
 }

@@ -23,6 +23,9 @@
 //! reference whose answers the traversal must reproduce (on the
 //! maximal-specific frontier) and the baseline of experiment E9.
 
+use crate::advisor::{
+    normalize_shape, Advisor, AdvisorConfig, AdvisorMode, AdvisorPass, ShapeEvent,
+};
 use crate::durable::{
     recover, DurabilityStats, DurableEngine, DurableError, DurableOptions, StorageBackend,
 };
@@ -114,6 +117,16 @@ pub struct OptimizedDatabase {
     /// write-ahead logs every transaction before publishing, and
     /// [`OptimizedDatabase::checkpoint`] compacts the log into an image.
     durable: Option<DurableEngine>,
+    /// The workload-adaptive view advisor (see [`crate::advisor`]):
+    /// mined shapes, budget, and lifecycle counters. Acts only inside
+    /// [`OptimizedDatabase::run_advisor`].
+    advisor: Advisor,
+    /// Shapes recorded by the *writer's* own executions (readers record
+    /// into their lock-free rings); drained by the advisor pass.
+    shape_log: Vec<ShapeEvent>,
+    /// Data version at the last advisor pass — its delta count scales
+    /// the estimated maintenance cost of a candidate view.
+    advisor_last_version: u64,
 }
 
 impl OptimizedDatabase {
@@ -144,6 +157,9 @@ impl OptimizedDatabase {
             frozen: Some((frozen_translation, fingerprint)),
             stats: Statistics::new(),
             durable: None,
+            advisor: Advisor::default(),
+            shape_log: Vec::new(),
+            advisor_last_version: 0,
         })
     }
 
@@ -729,7 +745,7 @@ impl OptimizedDatabase {
                 };
                 estimate(a).total_cmp(&estimate(b))
             });
-        match chosen {
+        let (answers, exec) = match chosen {
             Some(view) => {
                 let candidates = cost.narrow_candidates(&view.extent, query);
                 let answers = evaluate_query_over(&self.db, query, Some(&candidates));
@@ -741,7 +757,167 @@ impl OptimizedDatabase {
                 (answers, stats)
             }
             None => self.execute_unoptimized(query),
+        };
+        if let Some(view) = exec.used_view.as_deref() {
+            self.stats.record_view_hit(view);
         }
+        if self.cell.recording() && query.constraint.is_none() {
+            // The writer records into its own log rather than a ring — it
+            // is the harvester, so there is nobody to race with.
+            self.shape_log.push(ShapeEvent {
+                shape: Arc::new(normalize_shape(query)),
+                used_view: exec.used_view.clone(),
+                candidates_examined: exec.candidates_examined as u64,
+                answers: exec.answers as u64,
+            });
+        }
+        (answers, exec)
+    }
+
+    /// Configures the workload-adaptive view advisor (see
+    /// [`crate::advisor`]). Any mode other than [`AdvisorMode::Off`] turns
+    /// on shape recording in the writer and in every reader; `Off` turns
+    /// it back off (readers then pay one relaxed atomic load per
+    /// execution and nothing else).
+    pub fn set_advisor_config(&mut self, config: AdvisorConfig) {
+        self.cell.set_recording(config.mode != AdvisorMode::Off);
+        self.advisor.set_config(config);
+    }
+
+    /// The advisor's mined-shape state and lifecycle counters.
+    pub fn advisor(&self) -> &Advisor {
+        &self.advisor
+    }
+
+    /// The `ADVISE` report: one line per mined candidate (hottest first)
+    /// plus a summary line.
+    pub fn advisor_report(&self) -> Vec<String> {
+        self.advisor.report_lines()
+    }
+
+    /// One advisor pass at the publish boundary: harvests every reader's
+    /// shape ring plus the writer's own shape log, folds the events into
+    /// the decayed frequency table, and — in [`AdvisorMode::Auto`] —
+    /// evicts cold auto-views and materializes the gain-scored winners
+    /// through the ordinary catalog path. A winner the lattice already
+    /// serves about as cheaply through an existing view is rejected
+    /// instead of materialized. The advisor only ever evicts names it
+    /// minted itself (`__adv_*`); user-declared views are never touched.
+    ///
+    /// Runs strictly between transactions: on a durable database a pass
+    /// that declared a new query class checkpoints (schema changes are
+    /// not expressible as WAL deltas), any other catalog change
+    /// republishes, and a pass that changed nothing publishes nothing.
+    pub fn run_advisor(&mut self) -> Result<AdvisorPass, DurableError> {
+        if self.advisor.config().mode == AdvisorMode::Off {
+            return Ok(AdvisorPass::default());
+        }
+        let mut events = Vec::new();
+        self.cell.harvest_shapes(&mut events);
+        // Reader-side view hits arrive only through the rings; the
+        // writer's own executions tallied theirs directly in `execute`.
+        for event in &events {
+            if let Some(view) = event.used_view.as_deref() {
+                self.stats.record_view_hit(view);
+            }
+        }
+        events.append(&mut self.shape_log);
+        self.advisor.absorb(&events);
+        self.stats.refresh(&self.db);
+        // Surface the per-view tallies in the exposition (`STATS` over
+        // the wire). Gauges are set, not bumped, so passes are idempotent.
+        for (view, hits) in self.stats.view_hit_counts() {
+            subq_telemetry::gauge(&format!("subq_view_hits{{view=\"{view}\"}}")).set(hits as i64);
+        }
+        let version = self.db.data_version();
+        let deltas = version.saturating_sub(self.advisor_last_version);
+        self.advisor_last_version = version;
+        // Estimated membership checks one delta costs an average view,
+        // from the maintainer's cumulative candidate-ball sizes.
+        let maint = self.catalog.maintenance_stats();
+        let maintenance_per_delta =
+            maint.candidates_examined as f64 / maint.deltas_applied.max(1) as f64;
+        let served = self.catalog.view_names();
+        let cost = CostModel::new(&self.stats, &self.db);
+        let plan = self
+            .advisor
+            .plan_pass(&cost, maintenance_per_delta, deltas, &served);
+        let mut pass = AdvisorPass {
+            harvested: events.len(),
+            ..AdvisorPass::default()
+        };
+        if self.advisor.config().mode != AdvisorMode::Auto {
+            return Ok(pass);
+        }
+        // Evictions first — they free budget for this pass's winners.
+        // Defense in depth: only advisor-minted names are ever evicted.
+        for name in &plan.evict {
+            if Advisor::is_auto_view(name) && self.catalog.evict(name) {
+                self.advisor.note_evicted(name);
+                pass.evicted.push(name.clone());
+            }
+        }
+        let mut schema_changed = false;
+        for (key, existing, definition, expected_extent) in plan.winners {
+            // Subsumption rejection: when the lattice already routes this
+            // shape through a view whose estimated filter cost is within
+            // 2x of a dedicated extension's, a new view buys almost
+            // nothing — leave the existing one to serve it.
+            let current = self.plan(&definition);
+            let incumbent = current
+                .chosen_view
+                .as_deref()
+                .and_then(|name| self.catalog.view(name));
+            if let Some(view) = incumbent {
+                let cost = CostModel::new(&self.stats, &self.db);
+                let via_existing = cost.filter_cost(
+                    cost.estimated_candidates(view.extent.len(), &definition),
+                    &definition,
+                );
+                let dedicated = cost.filter_cost(expected_extent as usize, &definition);
+                if via_existing <= dedicated * 2.0 + 1.0 {
+                    self.advisor.note_rejected_subsumed(key);
+                    continue;
+                }
+            }
+            let name = definition.name.clone();
+            let fresh = existing.is_none();
+            if fresh {
+                // The declaration enters the model through the ordinary
+                // schema path (`update` panics on an untranslatable
+                // model, so pre-validate and skip losers). The served
+                // model may carry pre-existing validation warnings, so
+                // only problems the new declaration *adds* disqualify
+                // it. Evicted auto-views keep their declaration —
+                // checkpoint images refer to views by name — so a
+                // re-materialization is catalog-only.
+                let baseline = subq_dl::validate_model(self.db.model()).len();
+                let mut probe = self.db.model().clone();
+                probe.queries.push(definition.clone());
+                if subq_dl::validate_model(&probe).len() > baseline
+                    || subq_translate::translate_model(&probe).is_err()
+                {
+                    continue;
+                }
+                self.update(|db| db.model_mut().queries.push(definition.clone()));
+                schema_changed = true;
+            }
+            match self.materialize_view(&name) {
+                Ok(()) => {
+                    self.advisor.note_materialized(key, &name, fresh);
+                    pass.materialized.push(name);
+                }
+                Err(_) => continue,
+            }
+        }
+        if !pass.materialized.is_empty() || !pass.evicted.is_empty() {
+            if self.durable.is_some() && schema_changed {
+                self.checkpoint()?;
+            } else {
+                self.publish_snapshot();
+            }
+        }
+        Ok(pass)
     }
 
     /// Executes a query without using any materialized view (the baseline

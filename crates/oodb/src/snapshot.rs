@@ -39,13 +39,15 @@
 //! the same memo, so query shapes it has planned are pre-warmed for every
 //! reader.
 
+use crate::advisor::{normalize_shape, ShapeEvent, ShapeRing, SHAPE_RING_CAPACITY};
 use crate::eval::{evaluate_query_over, initial_candidates};
 use crate::optimizer::{ExecutionStats, QueryPlan};
 use crate::stats::{CostModel, Statistics};
 use crate::store::{Database, ObjId};
 use crate::views::{traverse_lattice, traverse_lattice_traced, MaterializedView, TraversalTrace};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use subq_calculus::{SharedSubsumptionMemo, SubsumptionCache, SubsumptionChecker};
 use subq_concepts::schema::Schema;
 use subq_concepts::symbol::Vocabulary;
@@ -143,16 +145,64 @@ impl Snapshot {
 /// take `Arc` clones out. The lock is held only for the pointer swap /
 /// pointer clone — never while planning or evaluating — so it is a
 /// handover point, not a serialization point.
-#[derive(Debug)]
 pub struct SnapshotCell {
     current: RwLock<Arc<Snapshot>>,
+    /// Whether readers record query shapes for the advisor. One relaxed
+    /// load per execution when off — the entire read-path cost of a
+    /// disabled advisor.
+    record_shapes: AtomicBool,
+    /// The shape rings of every reader minted from this cell, harvested
+    /// by the writer at the publish boundary. Touched only at reader
+    /// creation and harvest time — never on the query path.
+    rings: Mutex<Vec<Weak<ShapeRing>>>,
+}
+
+impl std::fmt::Debug for SnapshotCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("record_shapes", &self.record_shapes)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SnapshotCell {
     pub(crate) fn new(snapshot: Arc<Snapshot>) -> Self {
         SnapshotCell {
             current: RwLock::new(snapshot),
+            record_shapes: AtomicBool::new(false),
+            rings: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Turns reader-side shape recording on or off (the writer flips this
+    /// when the advisor mode changes).
+    pub fn set_recording(&self, on: bool) {
+        self.record_shapes.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether readers currently record query shapes.
+    pub fn recording(&self) -> bool {
+        self.record_shapes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn register_ring(&self, ring: &Arc<ShapeRing>) {
+        self.rings
+            .lock()
+            .expect("shape ring registry poisoned")
+            .push(Arc::downgrade(ring));
+    }
+
+    /// Drains every live reader ring into `into` and prunes rings whose
+    /// readers are gone. Writer-side, at the publish boundary.
+    pub(crate) fn harvest_shapes(&self, into: &mut Vec<ShapeEvent>) {
+        let mut rings = self.rings.lock().expect("shape ring registry poisoned");
+        rings.retain(|weak| match weak.upgrade() {
+            Some(ring) => {
+                ring.harvest(into);
+                true
+            }
+            None => false,
+        });
     }
 
     /// The latest published snapshot.
@@ -200,6 +250,10 @@ pub struct Reader {
     /// their version, so a fresh collection is the incremental path's
     /// truncation fallback anyway).
     stats: Option<Statistics>,
+    /// This reader's shape log: executions are pushed here (lock-free,
+    /// bounded) when the cell has recording enabled; the writer harvests
+    /// at the publish boundary. See [`crate::advisor`].
+    shapes: Arc<ShapeRing>,
 }
 
 impl Reader {
@@ -208,6 +262,8 @@ impl Reader {
         let translated = &snapshot.translated;
         let (vocabulary, arena) = (translated.vocabulary.clone(), translated.arena.clone());
         let shared_bound = translated.shared_bound();
+        let shapes = ShapeRing::new(SHAPE_RING_CAPACITY);
+        cell.register_ring(&shapes);
         Reader {
             cell,
             snapshot,
@@ -216,6 +272,7 @@ impl Reader {
             cache: SubsumptionCache::new(),
             shared_bound,
             stats: None,
+            shapes,
         }
     }
 
@@ -334,7 +391,7 @@ impl Reader {
                 };
                 estimate(a).total_cmp(&estimate(b))
             });
-        match chosen {
+        let (answers, exec) = match chosen {
             Some(view) => {
                 let candidates = cost.narrow_candidates(&view.extent, query);
                 let answers = evaluate_query_over(&snapshot.db, query, Some(&candidates));
@@ -346,7 +403,25 @@ impl Reader {
                 (answers, stats)
             }
             None => self.execute_unoptimized(query),
+        };
+        if let Some(view) = exec.used_view.as_deref() {
+            if let Some(stats) = self.stats.as_mut() {
+                stats.record_view_hit(view);
+            }
         }
+        // Shape recording for the advisor: one relaxed load when off;
+        // when on, normalize and push into this reader's bounded ring
+        // (never blocks, never allocates past the ring). Constrained
+        // queries are skipped — their shapes cannot be materialized.
+        if self.cell.recording() && query.constraint.is_none() {
+            self.shapes.push(ShapeEvent {
+                shape: Arc::new(normalize_shape(query)),
+                used_view: exec.used_view.clone(),
+                candidates_examined: exec.candidates_examined as u64,
+                answers: exec.answers as u64,
+            });
+        }
+        (answers, exec)
     }
 
     /// Executes a query against the pinned snapshot without using any

@@ -655,6 +655,36 @@ impl ViewCatalog {
         maint.routed_through = now;
     }
 
+    /// Removes one materialized view from the catalog — the advisor's
+    /// eviction primitive. Because Hasse edges and equivalence links are
+    /// positional indices, removing an element invalidates every edge in
+    /// the catalog: the whole lattice is reset (cached concepts are kept
+    /// — they are still valid for the current schema epoch) and the
+    /// survivors are reclassified on the next
+    /// [`ViewCatalog::classify_pending`] pass, which re-derives the
+    /// deterministic sub-diagram from memoized probes. The dependency
+    /// index is dropped so maintenance stops routing deltas to the
+    /// evicted extension. Returns whether the view existed.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut views = self.write();
+        let Some(position) = views.iter().position(|v| v.definition.name == name) else {
+            return false;
+        };
+        views.remove(position);
+        for view in views.iter_mut() {
+            view.parents.clear();
+            view.children.clear();
+            view.equiv = None;
+            view.classified = false;
+        }
+        drop(views);
+        let mut maint = self.maint.write().expect("maintenance lock poisoned");
+        maint.index = None;
+        maint.indexed_views = usize::MAX;
+        maint.routed_through = 0;
+        true
+    }
+
     /// Re-evaluates every stale view from scratch — the maintenance
     /// oracle the incremental [`ViewCatalog::refresh`] is verified
     /// against, and the baseline of experiment E10.
@@ -1355,6 +1385,50 @@ mod tests {
         assert_eq!(result.pruned, 2); // 6, 12
         assert_eq!(result.depth, 3); // 1 → 2 → 4
         assert!(result.probes + result.pruned == catalog.len());
+    }
+
+    /// Eviction removes a node, resets positional edges, and the next
+    /// classification pass rebuilds a consistent sub-diagram; putting the
+    /// view back restores the original diagram exactly.
+    #[test]
+    fn evicting_and_rematerializing_keeps_the_lattice_consistent() {
+        let db = Database::new(subq_dl::DlModel::new());
+        let (catalog, mut oracle) = divisibility_catalog(&[1, 2, 3, 4, 6, 12]);
+        let mut full_edges = catalog.lattice_edges();
+        full_edges.sort();
+
+        assert!(catalog.evict("D6"), "view existed");
+        assert!(!catalog.evict("D6"), "second evict is a no-op");
+        assert_eq!(catalog.len(), 5);
+        assert!(
+            catalog.lattice_violations().is_empty(),
+            "reset lattice is clean"
+        );
+        catalog.classify_pending(&mut oracle);
+        assert!(catalog.lattice_violations().is_empty());
+        let mut edges = catalog.lattice_edges();
+        edges.sort();
+        let expect = |p: &str, c: &str| (p.to_owned(), c.to_owned());
+        assert_eq!(
+            edges,
+            vec![
+                expect("D1", "D2"),
+                expect("D1", "D3"),
+                expect("D2", "D4"),
+                expect("D3", "D12"),
+                expect("D4", "D12"),
+            ],
+            "D12 reattaches to D3 and D4 once D6 is gone"
+        );
+
+        catalog
+            .materialize(&db, &trivial_view("D6"))
+            .expect("re-materializes after eviction");
+        catalog.classify_pending(&mut oracle);
+        assert!(catalog.lattice_violations().is_empty());
+        let mut edges = catalog.lattice_edges();
+        edges.sort();
+        assert_eq!(edges, full_edges, "re-materialization restores the diagram");
     }
 
     #[test]

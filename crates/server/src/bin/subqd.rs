@@ -3,7 +3,9 @@
 //! ```text
 //! subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE]
 //!       [--group-commit N] [--log-level off|info|debug] [--slow-query-us N]
-//!       [--metrics-dump PATH]
+//!       [--metrics-dump PATH] [--advisor off|observe|auto]
+//!       [--advisor-max-views N] [--advisor-min-gain F]
+//!       [--advisor-evict-after N] [--advisor-interval-ms N]
 //! ```
 //!
 //! Without `--model` the built-in medical sample schema is served;
@@ -20,11 +22,32 @@
 //!   the slow-query ring, readable over the wire with `STATS SLOW`;
 //! * `--metrics-dump PATH` — the full Prometheus-style text exposition
 //!   of the process registry is rewritten to PATH every 5 seconds (the
-//!   same text `STATS` returns over the wire).
+//!   same text `STATS` returns over the wire), once right after
+//!   startup, and once more on shutdown — even a sub-5-second run
+//!   leaves a complete final dump behind.
+//!
+//! Self-tuning knobs (the workload-adaptive view advisor):
+//!
+//! * `--advisor off|observe|auto` — `observe` mines query shapes and
+//!   scores candidates (readable with `ADVISE`) without touching the
+//!   catalog; `auto` additionally materializes the winners and evicts
+//!   cold auto-views;
+//! * `--advisor-max-views N` — cap on concurrently live auto-views;
+//! * `--advisor-min-gain F` — minimum expected gain before a shape is
+//!   materialized;
+//! * `--advisor-evict-after N` — passes an auto-view may stay cold
+//!   before it is evicted;
+//! * `--advisor-interval-ms N` — spacing of automatic advisor passes
+//!   on the writer thread.
+//!
+//! Shutdown: `quit`, `stop`, or `shutdown` on stdin stops the server
+//! cleanly (exit 0) after flushing the metrics dump. A durable-engine
+//! failure exits 1, also after a final dump.
 
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use subq_oodb::{Database, DurableOptions, FileBackend, OptimizedDatabase};
+use subq_oodb::{AdvisorMode, Database, DurableOptions, FileBackend, OptimizedDatabase};
 use subq_server::{Server, ServerConfig};
 use subq_telemetry::log;
 
@@ -32,7 +55,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: subqd [--port N] [--workers N] [--queue N] [--dir PATH] [--model FILE] \
          [--group-commit N] [--log-level off|info|debug] [--slow-query-us N] \
-         [--metrics-dump PATH]"
+         [--metrics-dump PATH] [--advisor off|observe|auto] [--advisor-max-views N] \
+         [--advisor-min-gain F] [--advisor-evict-after N] [--advisor-interval-ms N]"
     );
     exit(2)
 }
@@ -40,6 +64,12 @@ fn usage() -> ! {
 fn fail(what: &str, detail: impl std::fmt::Display) -> ! {
     eprintln!("subqd: {what}: {detail}");
     exit(1)
+}
+
+fn write_dump(path: &str) {
+    if let Err(e) = std::fs::write(path, subq_telemetry::global().render()) {
+        eprintln!("subqd: writing metrics dump: {e}");
+    }
 }
 
 fn main() {
@@ -67,6 +97,22 @@ fn main() {
                 config.slow_query_us = Some(value().parse().unwrap_or_else(|_| usage()));
             }
             "--metrics-dump" => metrics_dump = Some(value()),
+            "--advisor" => {
+                config.advisor.mode = AdvisorMode::parse(&value()).unwrap_or_else(|| usage());
+            }
+            "--advisor-max-views" => {
+                config.advisor.max_auto_views = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--advisor-min-gain" => {
+                config.advisor.min_gain = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--advisor-evict-after" => {
+                config.advisor.evict_after = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--advisor-interval-ms" => {
+                config.advisor_interval =
+                    std::time::Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }
@@ -107,28 +153,65 @@ fn main() {
     let server = Server::start(db, config).unwrap_or_else(|e| fail("starting server", e));
     println!("subqd listening on {}", server.addr());
     log::info(|| format!("listening on {}", server.addr()));
+
+    // `quit`/`stop`/`shutdown` on stdin requests a clean exit. EOF (a
+    // daemonized stdin) just parks the watcher — it never shuts down.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {
+                        if matches!(line.trim(), "quit" | "stop" | "shutdown") {
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // First dump right away: even a run killed within seconds leaves a
+    // complete exposition behind, not an absent file.
+    if let Some(path) = &metrics_dump {
+        write_dump(path);
+    }
     let mut ticks = 0u64;
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(5));
+        std::thread::sleep(std::time::Duration::from_millis(100));
         ticks += 1;
+        if stop.load(Ordering::Relaxed) {
+            log::info(|| "shutdown requested on stdin".to_owned());
+            server.shutdown();
+            if let Some(path) = &metrics_dump {
+                write_dump(path);
+            }
+            exit(0)
+        }
         if server.crashed() {
+            if let Some(path) = &metrics_dump {
+                write_dump(path);
+            }
             fail("durable engine failed", "restart to recover from the log");
         }
-        if let Some(path) = &metrics_dump {
-            if let Err(e) = std::fs::write(path, subq_telemetry::global().render()) {
-                eprintln!("subqd: writing metrics dump: {e}");
+        if ticks.is_multiple_of(50) {
+            if let Some(path) = &metrics_dump {
+                write_dump(path);
             }
         }
-        if ticks.is_multiple_of(12) {
+        if ticks.is_multiple_of(600) {
             let stats = server.stats();
             eprintln!(
                 "subqd: sessions={} queries={} commits={} busy={}",
-                stats.accepted.load(std::sync::atomic::Ordering::Relaxed),
-                stats.queries.load(std::sync::atomic::Ordering::Relaxed),
-                stats.commits.load(std::sync::atomic::Ordering::Relaxed),
-                stats
-                    .busy_replies
-                    .load(std::sync::atomic::Ordering::Relaxed),
+                stats.accepted.load(Ordering::Relaxed),
+                stats.queries.load(Ordering::Relaxed),
+                stats.commits.load(Ordering::Relaxed),
+                stats.busy_replies.load(Ordering::Relaxed),
             );
         }
     }

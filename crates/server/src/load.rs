@@ -15,7 +15,9 @@ use std::io;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 use subq_dl::QueryClassDecl;
-use subq_workload::traffic::{client_schedule, TrafficOp, TrafficParams};
+use subq_workload::traffic::{
+    client_schedule, shifting_schedule, ShiftParams, TrafficOp, TrafficParams,
+};
 use subq_workload::{ChurnOp, ChurnTrace};
 
 /// Merged outcome of one load run.
@@ -127,6 +129,11 @@ pub struct LoadParams {
     pub traffic: TrafficParams,
     /// Backoff before retrying a `BUSY` op.
     pub busy_backoff: Duration,
+    /// When set, schedules come from
+    /// [`shifting_schedule`](subq_workload::traffic::shifting_schedule):
+    /// the hot view window rotates every `phase_ops` operations (the
+    /// adversarial E15 workload). `None` keeps the stationary E14 mix.
+    pub shift: Option<ShiftParams>,
 }
 
 impl Default for LoadParams {
@@ -136,6 +143,7 @@ impl Default for LoadParams {
             seed: 0xE14,
             traffic: TrafficParams::default(),
             busy_backoff: Duration::from_micros(200),
+            shift: None,
         }
     }
 }
@@ -174,14 +182,25 @@ fn run_client(
     client: usize,
     params: LoadParams,
 ) -> io::Result<LoadReport> {
-    let schedule = client_schedule(
-        params.seed,
-        client,
-        params.clients,
-        trace.transactions.len(),
-        trace.view_names.len(),
-        params.traffic,
-    );
+    let schedule = match params.shift {
+        Some(shift) => shifting_schedule(
+            params.seed,
+            client,
+            params.clients,
+            trace.transactions.len(),
+            trace.view_names.len(),
+            params.traffic,
+            shift,
+        ),
+        None => client_schedule(
+            params.seed,
+            client,
+            params.clients,
+            trace.transactions.len(),
+            trace.view_names.len(),
+            params.traffic,
+        ),
+    };
     let mut connection = Client::connect(addr)?;
     connection.set_timeout(Some(Duration::from_secs(30)))?;
     let mut report = LoadReport::default();

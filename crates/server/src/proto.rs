@@ -17,6 +17,7 @@
 //!           | DEFVIEW \n <dl query-class>
 //!           | TXN <n> \n (<op> \n?){n}
 //!           | STATS | STATS SLOW
+//!           | ADVISE
 //! op       := add <obj>
 //!           | class (+|-) <obj> <class>
 //!           | attr (+|-) <from> <attr> <to>
@@ -31,7 +32,11 @@
 //! plan text of [`subq_oodb::ExplainReport::render_lines`]; `STATS`
 //! answers with the metrics registry in Prometheus text exposition;
 //! `STATS SLOW` answers with the slow-query ring, one
-//! `<micros> <label>` line per retained entry, oldest first.
+//! `<micros> <label>` line per retained entry, oldest first. `ADVISE`
+//! forces one advisor pass through the writer and answers with the
+//! advisor's candidate table (`candidate …` lines, hottest first, then
+//! one `advisor …` summary line — see
+//! [`subq_oodb::Advisor::report_lines`]).
 
 use std::fmt;
 use subq_dl::pretty::render_query;
@@ -83,6 +88,10 @@ pub enum Request {
     /// Read the metrics registry (`slow = false`) or the slow-query ring
     /// (`slow = true`); answered with a [`Response::Report`].
     Stats { slow: bool },
+    /// Force one advisor pass and read the candidate table; answered
+    /// with a [`Response::Report`]. Routed through the writer — mining
+    /// and materialization only ever happen between transactions.
+    Advise,
 }
 
 /// Typed error classes carried by [`Response::Error`].
@@ -263,6 +272,7 @@ impl Request {
                     "STATS".to_owned()
                 }
             }
+            Request::Advise => "ADVISE".to_owned(),
             Request::Txn(ops) => {
                 let mut out = format!("TXN {}\n", ops.len());
                 for op in ops {
@@ -319,6 +329,10 @@ impl Request {
                     format!("unknown STATS selector {other:?}"),
                 )),
             },
+            Some("ADVISE") => {
+                end_of_line(words)?;
+                Ok(Request::Advise)
+            }
             Some("DEFVIEW") => {
                 end_of_line(words)?;
                 let query = parse_query(rest)

@@ -16,7 +16,7 @@ use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use subq_oodb::OptimizedDatabase;
+use subq_oodb::{AdvisorConfig, OptimizedDatabase};
 use subq_telemetry::{log, SlowLog};
 
 /// Tuning knobs; every buffer the server allocates is bounded by one of
@@ -43,6 +43,12 @@ pub struct ServerConfig {
     /// Queries slower than this many microseconds are recorded in the
     /// slow-query ring (`None` disables the log).
     pub slow_query_us: Option<u64>,
+    /// The workload-adaptive view advisor: mode and budget (off by
+    /// default). See [`subq_oodb::advisor`].
+    pub advisor: AdvisorConfig,
+    /// Minimum spacing between automatic advisor passes on the writer
+    /// thread (an explicit `ADVISE` always forces one).
+    pub advisor_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +62,8 @@ impl Default for ServerConfig {
             max_payload: crate::frame::DEFAULT_MAX_PAYLOAD,
             idle_timeout: Duration::from_secs(30),
             slow_query_us: None,
+            advisor: AdvisorConfig::default(),
+            advisor_interval: Duration::from_millis(200),
         }
     }
 }
@@ -104,7 +112,9 @@ impl Server {
         let addr = listener.local_addr()?;
 
         // Publish before handing out readers so every worker starts on
-        // the current state, not a stale cell.
+        // the current state, not a stale cell. The advisor config lands
+        // first: it flips the recording flag the published cell carries.
+        db.set_advisor_config(config.advisor.clone());
         db.publish_snapshot();
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -132,8 +142,9 @@ impl Server {
 
         {
             let (shutdown, crashed) = (shutdown.clone(), crashed.clone());
+            let advisor_interval = config.advisor_interval;
             threads.push(std::thread::spawn(move || {
-                run_writer(db, rx, shutdown, crashed)
+                run_writer(db, rx, shutdown, crashed, advisor_interval)
             }));
         }
 

@@ -336,7 +336,10 @@ impl Session {
                     self.push_reply(Response::Report { version, lines });
                 }
                 WorkItem::Do(
-                    Request::Txn(_) | Request::DefView(_) | Request::Materialize { .. },
+                    Request::Txn(_)
+                    | Request::DefView(_)
+                    | Request::Materialize { .. }
+                    | Request::Advise,
                 ) => {
                     if self.replies.len() >= config.inbox_limit {
                         // Bound the per-session ticket fan-out too.
@@ -349,6 +352,7 @@ impl Session {
                         Request::Txn(ops) => WriteCmd::Txn(ops),
                         Request::DefView(decl) => WriteCmd::DefView(decl),
                         Request::Materialize { name } => WriteCmd::Materialize(name),
+                        Request::Advise => WriteCmd::Advise,
                         _ => unreachable!("matched a write request"),
                     };
                     let ddl = !matches!(cmd, WriteCmd::Txn(_));

@@ -20,7 +20,7 @@ use crate::proto::{ErrorCode, Response, TxnOp};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use subq_dl::{validate_model, DlModel, QueryClassDecl};
 use subq_oodb::{Database, OptimizedDatabase};
 use subq_telemetry::log;
@@ -34,6 +34,8 @@ pub enum WriteCmd {
     DefView(QueryClassDecl),
     /// Materialize an already-declared query or schema class.
     Materialize(String),
+    /// Force one advisor pass and report the candidate table.
+    Advise,
 }
 
 /// The completion slot a worker polls while the writer works. Single
@@ -147,6 +149,12 @@ fn validate_defview(model: &DlModel, decl: &QueryClassDecl) -> Result<(), Respon
         code: ErrorCode::Parse,
         message,
     };
+    if decl.name.starts_with(subq_oodb::AUTO_VIEW_PREFIX) {
+        return Err(reject(format!(
+            "the {} name prefix is reserved for advisor-materialized views",
+            subq_oodb::AUTO_VIEW_PREFIX
+        )));
+    }
     if model.class(&decl.name).is_some() || model.query_class(&decl.name).is_some() {
         return Err(reject(format!("{} is already declared", decl.name)));
     }
@@ -225,23 +233,64 @@ fn apply_cmd(
                 version: db.database().data_version(),
             })
         }
+        WriteCmd::Advise => {
+            db.run_advisor()?;
+            Ok(Response::Report {
+                version: db.database().data_version(),
+                lines: db.advisor_report(),
+            })
+        }
     }
 }
 
-/// The writer thread: drain, apply, one sync, then acknowledge.
+/// One advisor pass between batches; returns `false` when the durable
+/// engine failed underneath it and the writer must stop.
+fn advisor_tick(db: &mut OptimizedDatabase, crashed: &AtomicBool) -> bool {
+    match db.run_advisor() {
+        Ok(pass) => {
+            if !pass.materialized.is_empty() || !pass.evicted.is_empty() {
+                log::info(|| {
+                    format!(
+                        "advisor pass: materialized={:?} evicted={:?} harvested={}",
+                        pass.materialized, pass.evicted, pass.harvested
+                    )
+                });
+            }
+            true
+        }
+        Err(_) => {
+            crashed.store(true, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// The writer thread: drain, apply, one sync, then acknowledge. Between
+/// batches (and on idle ticks) it runs the view advisor at most once per
+/// `advisor_interval` — mining and auto-materialization ride the same
+/// thread as every other catalog mutation, strictly outside any
+/// transaction.
 pub(crate) fn run_writer(
     mut db: OptimizedDatabase,
     rx: Receiver<WriteRequest>,
     shutdown: Arc<AtomicBool>,
     crashed: Arc<AtomicBool>,
+    advisor_interval: Duration,
 ) {
     let durable = db.durability_stats().is_some();
+    let mut last_advice = Instant::now();
     loop {
         let first = match rx.recv_timeout(Duration::from_millis(5)) {
             Ok(request) => request,
             Err(RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
+                }
+                if last_advice.elapsed() >= advisor_interval {
+                    last_advice = Instant::now();
+                    if !advisor_tick(&mut db, &crashed) {
+                        return;
+                    }
                 }
                 continue;
             }
@@ -295,6 +344,12 @@ pub(crate) fn run_writer(
             // Leave queued requests to drown with the channel: workers
             // observe `crashed` and drop their sessions.
             return;
+        }
+        if last_advice.elapsed() >= advisor_interval {
+            last_advice = Instant::now();
+            if !advisor_tick(&mut db, &crashed) {
+                return;
+            }
         }
     }
 }

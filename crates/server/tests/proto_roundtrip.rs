@@ -156,7 +156,7 @@ fn random_txn_op(rng: &mut StdRng) -> TxnOp {
 }
 
 fn random_request(rng: &mut StdRng, index: usize) -> Request {
-    match rng.gen_range(0..8u8) {
+    match rng.gen_range(0..9u8) {
         0 => Request::Ping,
         1 => Request::Bye,
         2 => Request::Query(random_query(rng, index)),
@@ -168,6 +168,7 @@ fn random_request(rng: &mut StdRng, index: usize) -> Request {
         6 => Request::Stats {
             slow: rng.gen_bool(0.5),
         },
+        7 => Request::Advise,
         _ => Request::Txn(
             (0..rng.gen_range(0..=6usize))
                 .map(|_| random_txn_op(rng))
@@ -260,6 +261,7 @@ fn every_request_frame_type_round_trips_exactly() {
         Request::Txn(Vec::new()),
         Request::Stats { slow: false },
         Request::Stats { slow: true },
+        Request::Advise,
     ];
     fixed.extend((0..400).map(|i| random_request(&mut rng, i)));
     for (i, request) in fixed.iter().enumerate() {
@@ -375,6 +377,7 @@ fn malformed_request_text_yields_typed_parse_failures() {
         "EXPLAIN\nnot dl",
         "STATS LOUD",
         "STATS SLOW extra",
+        "ADVISE extra",
     ] {
         let failure = Request::parse(text);
         assert!(

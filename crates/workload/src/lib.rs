@@ -42,4 +42,4 @@ pub use database::{synthetic_hospital, HospitalParams};
 pub use hierarchy::{hierarchical_catalog, FamilyShape, HierarchyInstance, HierarchyParams};
 pub use random::{random_concept, random_pair, subsumed_pair, RandomConceptParams, RandomEnv};
 pub use scaling::ScalingInstance;
-pub use traffic::{client_schedule, TrafficOp, TrafficParams};
+pub use traffic::{client_schedule, shifting_schedule, ShiftParams, TrafficOp, TrafficParams};

@@ -74,9 +74,93 @@ pub fn client_schedule(
     out
 }
 
+/// Parameters of the phase-shifting schedule generator: the adversarial
+/// workload of experiment E15, whose hot view set rotates mid-run so a
+/// statically tuned catalog goes stale and a workload-adaptive one must
+/// re-tune.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftParams {
+    /// Operations per phase (per client); after each phase the hot view
+    /// window rotates by `views_per_phase`.
+    pub phase_ops: usize,
+    /// Number of views hot in any one phase.
+    pub views_per_phase: usize,
+}
+
+impl Default for ShiftParams {
+    fn default() -> Self {
+        ShiftParams {
+            phase_ops: 20,
+            views_per_phase: 2,
+        }
+    }
+}
+
+/// Like [`client_schedule`], but queries in phase `p` (operation indices
+/// `p * phase_ops ..`) draw only from the hot window
+/// `{(p * views_per_phase + j) % views | j < views_per_phase}` — the
+/// workload's interest keeps moving across the catalog. Transactions are
+/// partitioned round-robin exactly as in [`client_schedule`].
+pub fn shifting_schedule(
+    seed: u64,
+    client: usize,
+    clients: usize,
+    transactions: usize,
+    views: usize,
+    params: TrafficParams,
+    shift: ShiftParams,
+) -> Vec<TrafficOp> {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let own: Vec<usize> = (0..transactions)
+        .filter(|t| t % clients.max(1) == client)
+        .collect();
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(params.ops);
+    for i in 0..params.ops {
+        let phase = i / shift.phase_ops.max(1);
+        let wants_query = views > 0 && rng.gen_range(0..100u8) < params.query_percent;
+        if wants_query || own.is_empty() {
+            if views > 0 {
+                let window = shift.views_per_phase.clamp(1, views);
+                let hot = (phase * window + rng.gen_range(0..window)) % views;
+                out.push(TrafficOp::Query(hot));
+            }
+        } else {
+            out.push(TrafficOp::Txn(own[next % own.len()]));
+            next += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shifting_schedules_rotate_the_hot_window() {
+        let params = TrafficParams {
+            query_percent: 100,
+            ops: 40,
+        };
+        let shift = ShiftParams {
+            phase_ops: 10,
+            views_per_phase: 2,
+        };
+        let schedule = shifting_schedule(5, 0, 1, 8, 8, params, shift);
+        assert_eq!(schedule.len(), 40);
+        for (i, op) in schedule.iter().enumerate() {
+            let TrafficOp::Query(v) = op else {
+                panic!("query_percent = 100")
+            };
+            let phase = i / 10;
+            let window: Vec<usize> = (0..2).map(|j| (phase * 2 + j) % 8).collect();
+            assert!(window.contains(v), "op {i} queried {v} outside {window:?}");
+        }
+        // Deterministic per seed.
+        assert_eq!(schedule, shifting_schedule(5, 0, 1, 8, 8, params, shift));
+    }
 
     #[test]
     fn schedules_are_deterministic_per_seed_and_client() {

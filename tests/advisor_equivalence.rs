@@ -1,0 +1,302 @@
+//! Equivalence suite for the workload-adaptive view advisor: with
+//! `--advisor auto` mining the query stream and mutating the catalog at
+//! commit boundaries, answers must stay byte-identical to from-scratch
+//! evaluation and the catalog invariants must hold at every step.
+//!
+//! The invariants, checked over 100+ seeded shifting-workload churn
+//! traces:
+//!
+//! * **Auto answers ≡ scratch.** Every query a reader executes — before
+//!   and after each advisor pass — returns exactly the from-scratch
+//!   evaluation of that query over the reader's pinned snapshot state,
+//!   at the same published version.
+//! * **The lattice stays consistent.** `lattice_violations()` is empty
+//!   after every advisor pass, including passes that evict and
+//!   re-materialize auto-views.
+//! * **User views are untouched.** Views materialized by hand are never
+//!   evicted and their extensions keep matching scratch evaluation; only
+//!   `__adv_`-prefixed names the advisor minted itself are ever evicted.
+//! * **The advisor actually acts.** Across the suite the traces drive at
+//!   least one auto-materialization and at least one eviction — the
+//!   invariants above are not holding vacuously.
+
+use subq::oodb::{
+    evaluate_query, Advisor, AdvisorConfig, AdvisorMode, OptimizedDatabase, AUTO_VIEW_PREFIX,
+};
+use subq::workload::{churn_trace, ChurnParams};
+
+/// Asserts that the reader's planner answers equal scratch evaluation
+/// over the reader's own pinned snapshot state.
+fn verify_reader(
+    reader: &mut subq::oodb::Reader,
+    trace: &subq::workload::ChurnTrace,
+    hot: &[usize],
+    label: &str,
+) {
+    for &i in hot {
+        let query = trace
+            .db
+            .model()
+            .query_class(&trace.view_names[i])
+            .expect("churn views are declared query classes")
+            .clone();
+        let version = reader.data_version();
+        let (answers, _) = reader.execute(&query);
+        let scratch = evaluate_query(reader.snapshot().database(), &query);
+        assert_eq!(
+            answers, scratch,
+            "{label}: v{version}: execute({}) diverged from scratch",
+            query.name
+        );
+    }
+}
+
+/// One shifting-workload trace under `--advisor auto`: apply every
+/// transaction, rotate the hot query window so earlier auto-views go
+/// cold, run an advisor pass per commit, and verify the invariants at
+/// each step. Returns `(materialized, evicted)` advisor activity.
+fn run_trace(seed: u64) -> (usize, usize) {
+    let params = ChurnParams {
+        classes: 4,
+        views: 6,
+        path_view_percent: 60,
+        objects: 30,
+        transactions: 8,
+        ..ChurnParams::default()
+    };
+    let trace = churn_trace(seed, params);
+    let mut writer = OptimizedDatabase::new(trace.db.clone()).expect("translates");
+    // Two user views, materialized by hand: the advisor must leave them
+    // alone no matter what it does to its own catalog entries.
+    let user_views: Vec<String> = trace.view_names.iter().take(2).cloned().collect();
+    for name in &user_views {
+        writer.materialize_view(name).expect("materializes");
+    }
+    writer.set_advisor_config(AdvisorConfig {
+        mode: AdvisorMode::Auto,
+        evict_after: 1,
+        ..AdvisorConfig::default()
+    });
+    writer.publish_snapshot();
+    let mut reader = writer.reader();
+    let views = trace.view_names.len();
+    let label = format!("trace {seed}");
+    let (mut materialized, mut evicted) = (0usize, 0usize);
+    for (t, txn) in trace.transactions.iter().enumerate() {
+        writer.update(|db| {
+            for op in txn {
+                op.apply(db);
+            }
+        });
+        writer.refresh_views();
+        writer.publish_snapshot();
+        reader.sync();
+        // The hot window rotates every transaction: views the advisor
+        // materialized for earlier phases go cold and must be evicted.
+        let hot = [t % views, (t + 1) % views];
+        for _ in 0..4 {
+            verify_reader(&mut reader, &trace, &hot, &label);
+        }
+        let pass = writer.run_advisor().expect("advisor pass");
+        materialized += pass.materialized.len();
+        evicted += pass.evicted.len();
+        for name in pass.materialized.iter().chain(pass.evicted.iter()) {
+            assert!(
+                Advisor::is_auto_view(name),
+                "{label}: advisor touched non-{AUTO_VIEW_PREFIX} view {name}"
+            );
+        }
+        // Catalog invariants after the pass: the subsumption lattice is
+        // consistent and the user views are still served.
+        let violations = writer.catalog().lattice_violations();
+        assert!(
+            violations.is_empty(),
+            "{label}: lattice violations after advisor pass {t}: {violations:?}"
+        );
+        let served = writer.catalog().view_names();
+        for name in &user_views {
+            assert!(
+                served.contains(name),
+                "{label}: user view {name} missing after advisor pass {t} (served: {served:?})"
+            );
+        }
+        // The pass published; the reader adopts the advisor's snapshot
+        // and answers must still be scratch-identical.
+        reader.sync();
+        verify_reader(&mut reader, &trace, &hot, &label);
+        // User-view extensions stay scratch-identical through advisor
+        // catalog churn.
+        let snapshot = reader.snapshot().clone();
+        for name in &user_views {
+            let view = snapshot.view(name).expect("user view served");
+            let scratch = evaluate_query(snapshot.database(), &view.definition);
+            assert_eq!(
+                *view.extent, scratch,
+                "{label}: user view {name} diverged from scratch after pass {t}"
+            );
+        }
+    }
+    (materialized, evicted)
+}
+
+#[test]
+fn auto_advisor_answers_match_scratch_over_100_shifting_traces() {
+    let (mut materialized, mut evicted) = (0usize, 0usize);
+    for seed in 0..100 {
+        let (m, e) = run_trace(seed);
+        materialized += m;
+        evicted += e;
+    }
+    // The invariants must not hold vacuously: across 100 traces the
+    // advisor materialized and evicted real views.
+    assert!(
+        materialized > 0,
+        "100 shifting traces never drove an auto-materialization"
+    );
+    assert!(evicted > 0, "100 shifting traces never drove an eviction");
+}
+
+/// The full evict + re-materialize cycle on one database: a shape goes
+/// hot (materialized), cold (evicted), then hot again (re-materialized
+/// under its original `__adv_` name via the catalog-only path), with the
+/// lattice consistent at every step.
+#[test]
+fn evict_and_rematerialize_cycle_keeps_the_lattice_consistent() {
+    let params = ChurnParams {
+        classes: 4,
+        views: 6,
+        path_view_percent: 60,
+        objects: 40,
+        transactions: 0,
+        ..ChurnParams::default()
+    };
+    let trace = churn_trace(7, params);
+    let mut writer = OptimizedDatabase::new(trace.db.clone()).expect("translates");
+    writer.set_advisor_config(AdvisorConfig {
+        mode: AdvisorMode::Auto,
+        evict_after: 1,
+        ..AdvisorConfig::default()
+    });
+    writer.publish_snapshot();
+    let mut reader = writer.reader();
+    let hot_query = |reader: &mut subq::oodb::Reader, index: usize, rounds: usize| {
+        let query = trace
+            .db
+            .model()
+            .query_class(&trace.view_names[index])
+            .expect("declared")
+            .clone();
+        reader.sync();
+        for _ in 0..rounds {
+            reader.execute(&query);
+        }
+    };
+
+    // Phase 1: hammer a path view until the advisor materializes it.
+    let mut first = Vec::new();
+    for _ in 0..4 {
+        hot_query(&mut reader, 2, 10);
+        first.extend(writer.run_advisor().expect("pass").materialized);
+        if !first.is_empty() {
+            break;
+        }
+    }
+    assert!(!first.is_empty(), "the hot shape was never materialized");
+    assert!(writer.catalog().lattice_violations().is_empty());
+
+    // Phase 2: go cold (query a different view) until it is evicted.
+    let mut evicted = Vec::new();
+    for _ in 0..6 {
+        hot_query(&mut reader, 3, 10);
+        evicted.extend(writer.run_advisor().expect("pass").evicted);
+        if evicted.contains(&first[0]) {
+            break;
+        }
+    }
+    assert!(
+        evicted.contains(&first[0]),
+        "the cold auto-view {first:?} was never evicted (evicted: {evicted:?})"
+    );
+    assert!(writer.catalog().lattice_violations().is_empty());
+    assert!(!writer.catalog().view_names().contains(&first[0]));
+
+    // Phase 3: the shape goes hot again — re-materialized under the same
+    // name (its declaration survived eviction), lattice still clean.
+    let mut again = Vec::new();
+    for _ in 0..6 {
+        hot_query(&mut reader, 2, 10);
+        again.extend(writer.run_advisor().expect("pass").materialized);
+        if again.contains(&first[0]) {
+            break;
+        }
+    }
+    assert!(
+        again.contains(&first[0]),
+        "the re-hot shape was not re-materialized as {first:?} (materialized: {again:?})"
+    );
+    assert!(writer.catalog().lattice_violations().is_empty());
+    // Re-adopted by readers: answers still scratch-identical.
+    reader.sync();
+    let query = trace
+        .db
+        .model()
+        .query_class(&trace.view_names[2])
+        .expect("declared")
+        .clone();
+    let (answers, stats) = reader.execute(&query);
+    assert_eq!(
+        answers,
+        evaluate_query(reader.snapshot().database(), &query)
+    );
+    assert_eq!(
+        stats.used_view.as_deref(),
+        Some(first[0].as_str()),
+        "the re-materialized auto-view serves its shape again"
+    );
+}
+
+/// Observe mode mines and reports but never mutates: the catalog after
+/// heavy traffic is exactly the catalog before it.
+#[test]
+fn observe_mode_never_touches_the_catalog() {
+    let trace = churn_trace(
+        11,
+        ChurnParams {
+            path_view_percent: 60,
+            transactions: 0,
+            ..ChurnParams::default()
+        },
+    );
+    let mut writer = OptimizedDatabase::new(trace.db.clone()).expect("translates");
+    writer
+        .materialize_view(&trace.view_names[0])
+        .expect("materializes");
+    writer.set_advisor_config(AdvisorConfig {
+        mode: AdvisorMode::Observe,
+        ..AdvisorConfig::default()
+    });
+    writer.publish_snapshot();
+    let before = writer.catalog().view_names();
+    let mut reader = writer.reader();
+    reader.sync();
+    let query = trace
+        .db
+        .model()
+        .query_class(&trace.view_names[2])
+        .expect("declared")
+        .clone();
+    for _ in 0..50 {
+        reader.execute(&query);
+    }
+    let pass = writer.run_advisor().expect("pass");
+    assert!(pass.materialized.is_empty() && pass.evicted.is_empty());
+    assert!(pass.harvested > 0, "observe mode must still harvest shapes");
+    assert_eq!(writer.catalog().view_names(), before);
+    // The mined candidate is visible in the report even though nothing
+    // was materialized.
+    let report = writer.advisor_report();
+    assert!(
+        report.iter().any(|line| line.starts_with("candidate ")),
+        "observe mode reports no candidates: {report:?}"
+    );
+}

@@ -1,0 +1,185 @@
+//! The advisor over the live wire: `ADVISE` forces a mining pass on the
+//! writer thread and reports the candidate table; `--advisor auto`
+//! materializes winners with **zero** `DEFVIEW` statements ever sent;
+//! the `__adv_` name prefix is reserved and user `DEFVIEW`s of it are
+//! rejected with a typed error.
+
+use std::time::Duration;
+use subq_oodb::{evaluate_query, AdvisorConfig, AdvisorMode, OptimizedDatabase};
+use subq_server::{view_query, Client, ErrorCode, Request, Response, Server, ServerConfig};
+use subq_workload::{churn_trace, ChurnParams, ChurnTrace};
+
+/// Extracts `key=value` from a space-separated report line.
+fn field(line: &str, key: &str) -> String {
+    let needle = format!("{key}=");
+    line.split(' ')
+        .find_map(|token| token.strip_prefix(&needle))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .to_owned()
+}
+
+fn serve(mode: AdvisorMode, materialize: bool) -> (Server, ChurnTrace) {
+    let trace = churn_trace(
+        41,
+        ChurnParams {
+            path_view_percent: 60,
+            ..ChurnParams::default()
+        },
+    );
+    let mut odb = OptimizedDatabase::new(trace.db.clone()).expect("translates");
+    if materialize {
+        for name in &trace.view_names {
+            odb.materialize_view(name).expect("materializes");
+        }
+    }
+    let server = Server::start(
+        odb,
+        ServerConfig {
+            advisor: AdvisorConfig {
+                mode,
+                ..AdvisorConfig::default()
+            },
+            // Only explicit ADVISE requests run passes in these tests.
+            advisor_interval: Duration::from_secs(3600),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds loopback");
+    (server, trace)
+}
+
+fn advise(client: &mut Client) -> Vec<String> {
+    match client.request(&Request::Advise).expect("advises") {
+        Response::Report { lines, .. } => lines,
+        other => panic!("expected REPORT, got {other:?}"),
+    }
+}
+
+/// The summary line of an ADVISE report (`advisor mode=... shapes=...`).
+fn summary(lines: &[String]) -> &String {
+    lines
+        .iter()
+        .find(|line| line.starts_with("advisor "))
+        .unwrap_or_else(|| panic!("no summary line in {lines:?}"))
+}
+
+#[test]
+fn advise_reports_mined_candidates_in_observe_mode() {
+    let (server, trace) = serve(AdvisorMode::Observe, true);
+    let mut client = Client::connect(server.addr()).expect("connects");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // An ADVISE before any traffic: a report with the summary line only.
+    let lines = advise(&mut client);
+    assert_eq!(field(summary(&lines), "mode"), "observe");
+    // Drive query traffic so the worker readers mine shapes, then ask
+    // again: the candidates are on the wire, the catalog is untouched.
+    for view in 0..trace.view_names.len() {
+        for _ in 0..10 {
+            match client
+                .request(&Request::Query(view_query(&trace, view)))
+                .expect("queries")
+            {
+                Response::Answers { .. } => {}
+                other => panic!("expected ANSWERS, got {other:?}"),
+            }
+        }
+    }
+    let lines = advise(&mut client);
+    let summary_line = summary(&lines);
+    assert!(
+        field(summary_line, "shapes")
+            .parse::<usize>()
+            .expect("numeric")
+            > 0,
+        "no shapes mined: {lines:?}"
+    );
+    assert_eq!(field(summary_line, "materialized"), "0");
+    assert!(
+        lines.iter().any(|line| line.starts_with("candidate ")),
+        "no candidate lines: {lines:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn auto_mode_materializes_over_the_wire_with_zero_defview() {
+    // Zero views materialized by hand, zero DEFVIEW sent: the advisor is
+    // the only path to a catalog.
+    let (server, trace) = serve(AdvisorMode::Auto, false);
+    let mut client = Client::connect(server.addr()).expect("connects");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut auto_views = 0usize;
+    for _round in 0..5 {
+        for view in 0..trace.view_names.len() {
+            for _ in 0..10 {
+                client
+                    .request(&Request::Query(view_query(&trace, view)))
+                    .expect("queries");
+            }
+        }
+        let lines = advise(&mut client);
+        auto_views = field(summary(&lines), "auto_views")
+            .parse()
+            .expect("numeric auto_views");
+        if auto_views > 0 {
+            assert!(
+                lines.iter().any(|line| line.contains("view=__adv_")),
+                "materialized but no __adv_ view in the report: {lines:?}"
+            );
+            break;
+        }
+    }
+    assert!(
+        auto_views > 0,
+        "five rounds of traffic never drove an auto-materialization"
+    );
+    // Answers after auto-materialization are still scratch-identical
+    // (the store saw no writes, so scratch is the initial state).
+    for view in 0..trace.view_names.len() {
+        let query = view_query(&trace, view);
+        let answers = match client
+            .request(&Request::Query(query.clone()))
+            .expect("queries")
+        {
+            Response::Answers { names, .. } => names,
+            other => panic!("expected ANSWERS, got {other:?}"),
+        };
+        let expected: Vec<String> = evaluate_query(&trace.db, &query)
+            .iter()
+            .map(|id| trace.db.object_name(*id).to_owned())
+            .collect();
+        assert_eq!(
+            answers, expected,
+            "view {view} diverged after auto-materialization"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn defview_of_the_reserved_prefix_is_rejected() {
+    let (server, trace) = serve(AdvisorMode::Off, true);
+    let mut client = Client::connect(server.addr()).expect("connects");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut decl = view_query(&trace, 0);
+    decl.name = "__adv_evil".to_owned();
+    match client.request(&Request::DefView(decl)).expect("round trip") {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Parse);
+            assert!(
+                message.contains("reserved"),
+                "rejection does not name the reservation: {message}"
+            );
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    // The session survives the rejection and keeps answering.
+    match client
+        .request(&Request::Query(view_query(&trace, 0)))
+        .expect("queries")
+    {
+        Response::Answers { .. } => {}
+        other => panic!("expected ANSWERS, got {other:?}"),
+    }
+    server.shutdown();
+}
